@@ -1,0 +1,71 @@
+"""§IV defense ablation: degrading the temperature sensor.
+
+"Reducing the resolution or the update frequency of the temperature
+sensors can reduce the channel capacity." This bench quantifies that claim
+on our substrate: BER of the 1-hop vertical channel at a fixed rate as the
+sensor quantum coarsens and the hardware update period slows.
+"""
+
+from repro.core.coremap import CoreMap
+from repro.covert import ChannelConfig, run_transmission
+from repro.covert.encoding import random_payload
+from repro.platform import XEON_8259CL, CpuInstance
+from repro.sim import build_machine
+from repro.thermal.sensors import SensorModel
+from repro.util.rng import derive_rng
+from repro.util.tables import format_table
+
+RATE_BPS = 4.0
+N_BITS = 400
+
+
+def _measure(sensor: SensorModel, seed: int = 400) -> float:
+    instance = CpuInstance.generate(XEON_8259CL, seed=seed)
+    machine = build_machine(instance, seed=seed, sensor=sensor)
+    core_map = CoreMap.from_instance(instance)
+    sender, receiver = core_map.vertical_neighbor_pairs()[0]
+    payload = random_payload(N_BITS, derive_rng(seed, "defense"))
+    result = run_transmission(
+        machine, [sender], receiver, payload, ChannelConfig(bit_rate=RATE_BPS)
+    )
+    return result.ber
+
+
+def test_sensor_resolution_defense(once):
+    def run():
+        rows = []
+        bers = []
+        for quantum in (1.0, 2.0, 4.0, 8.0):
+            ber = _measure(SensorModel(quantum=quantum))
+            bers.append(ber)
+            rows.append([f"{quantum:g} C", f"{ber * 100:.1f}%"])
+        return rows, bers
+
+    rows, bers = once(run)
+    print()
+    print(format_table(["sensor quantum", f"BER @ {RATE_BPS:g} bps"], rows,
+                       title="Defense: coarser sensor resolution"))
+    # Coarser sensors must severely degrade the channel: an 8 C quantum
+    # swallows the ~4 C 1-hop signal entirely.
+    assert bers[0] < 0.05
+    assert bers[-1] > 0.25
+    assert bers[-1] > bers[0]
+
+
+def test_sensor_update_period_defense(once):
+    def run():
+        rows = []
+        bers = []
+        for period in (0.0, 0.1, 0.3, 1.0):
+            ber = _measure(SensorModel(update_period=period))
+            bers.append(ber)
+            rows.append([f"{period:g} s", f"{ber * 100:.1f}%"])
+        return rows, bers
+
+    rows, bers = once(run)
+    print()
+    print(format_table(["sensor update period", f"BER @ {RATE_BPS:g} bps"], rows,
+                       title="Defense: slower sensor updates"))
+    # A 1 s refresh period cannot carry 4 bps Manchester (half-bit 125 ms).
+    assert bers[0] < 0.05
+    assert bers[-1] > 0.25

@@ -1,0 +1,91 @@
+"""§VI related-work comparison: the paper's method vs the two baselines.
+
+* McCalpin-style rule generalisation: learns the CHA-enumeration rule from
+  mapped training dies and predicts new instances from their fuse masks —
+  perfect within a generation, useless across generations (Ice Lake uses a
+  different rule), while the paper's pipeline maps every generation from
+  scratch (bench_fig5_icelake: 100 %).
+* Latency-based location (Horro et al.): with two IMCs in one tile row,
+  tiles mirrored about that row share a latency fingerprint.
+"""
+
+from repro.core.baselines import (
+    RuleGeneralizationBaseline,
+    capid_fuse_mask,
+    latency_locate,
+)
+from repro.core.coremap import CoreMap
+from repro.platform import XEON_6354, XEON_8259CL, CpuInstance
+from repro.platform.fleet import instance_seed
+from repro.sim import build_machine
+from repro.util.tables import format_table
+
+TRAIN, TEST = 8, 25
+
+
+def _train(sku, seed=9090):
+    baseline = RuleGeneralizationBaseline(die=sku.die)
+    for i in range(TRAIN):
+        inst = CpuInstance.generate(sku, instance_seed(seed, sku, i))
+        baseline.train(capid_fuse_mask(inst), CoreMap.from_instance(inst))
+    return baseline
+
+
+def _accuracy(baseline, sku, seed=9090):
+    hits = 0
+    for i in range(TRAIN, TRAIN + TEST):
+        inst = CpuInstance.generate(sku, instance_seed(seed, sku, i))
+        truth = CoreMap.from_instance(inst)
+        predicted = baseline.predict(
+            capid_fuse_mask(inst), dict(inst.os_to_cha), truth.llc_only_chas
+        )
+        hits += predicted is not None and predicted.cha_positions == truth.cha_positions
+    return hits / TEST
+
+
+def test_rule_generalisation_baseline(once):
+    def run():
+        skx = _train(XEON_8259CL)
+        icx = _train(XEON_6354)
+        rows = [
+            ["8259CL rule -> fresh 8259CL", skx.learned_order, f"{_accuracy(skx, XEON_8259CL) * 100:.0f}%"],
+            ["8259CL rule -> 6354 (Ice Lake)", skx.learned_order, f"{_accuracy(skx, XEON_6354) * 100:.0f}%"],
+            ["6354 rule -> fresh 6354", icx.learned_order, f"{_accuracy(icx, XEON_6354) * 100:.0f}%"],
+        ]
+        return skx, rows
+
+    skx, rows = once(run)
+    print()
+    print(format_table(
+        ["scenario", "learned rule", "prediction accuracy"],
+        rows,
+        title="Baseline: McCalpin-style rule generalisation (SVI)",
+    ))
+    # In-generation the baseline is genuinely strong...
+    assert rows[0][2] == "100%"
+    # ...but a new generation with a different enumeration rule breaks it
+    # (the pipeline's bench_fig5_icelake maps those at 100% with no
+    # retraining — the §VI contrast).
+    assert rows[1][2] == "0%"
+    assert skx.learned_order == "column_major"
+
+
+def test_latency_baseline(once):
+    def run():
+        inst = CpuInstance.generate(XEON_8259CL, seed=7)
+        machine = build_machine(inst, with_thermal=False)
+        return latency_locate(machine)
+
+    report = once(run)
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["cores uniquely located", f"{len(report.resolved_cores)}/{len(report.candidates)}"],
+            ["cores ambiguous", f"{len(report.ambiguous_cores)}/{len(report.candidates)}"],
+            ["mean candidate tiles per core", f"{report.mean_candidates():.2f}"],
+        ],
+        title="Baseline: latency-to-IMC location (SVI, Horro et al. style)",
+    ))
+    assert report.resolution_rate <= 0.5
+    assert report.ambiguous_cores

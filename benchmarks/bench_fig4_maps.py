@@ -1,0 +1,22 @@
+"""Fig. 4: the three most frequent 8259CL core-location maps."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_top_patterns(once):
+    result = once(fig4.run)
+    print()
+    print(result.render())
+
+    assert len(result.top_patterns) == 3
+    assert result.accuracy == 1.0
+
+    counts = [count for count, _ in result.top_patterns]
+    assert counts == sorted(counts, reverse=True)
+
+    # Each rendered map carries the full structure the figure shows.
+    for _, core_map in result.top_patterns:
+        assert len(core_map.os_to_cha) == 24
+        assert len(core_map.llc_only_chas) == 2
+        text = core_map.render()
+        assert "LLC/" in text

@@ -1,0 +1,24 @@
+"""Fig. 5: Ice Lake Xeon 6354 mapping (10 instances, as the paper)."""
+
+from repro.experiments import fig5
+
+
+def test_fig5_icelake_mapping(once):
+    result = once(fig5.run)
+    print()
+    print(result.render())
+
+    # The ascending OS->CHA rule read off Fig. 5 must hold exactly.
+    assert result.matches_paper_mapping()
+
+    # Paper: 6 unique patterns out of 10 instances; we require the same
+    # regime (several, but fewer than the fleet size).
+    assert 2 <= result.n_unique_patterns <= result.fleet_size
+
+    # Every locatable CHA correctly placed on the larger ICX grid.
+    assert result.accuracy == 1.0
+
+    # 18 cores and 8 LLC-only tiles on the example map (26 CHAs),
+    # minus any unlocatable ones.
+    assert len(result.example_map.os_to_cha) == 18
+    assert len(result.example_map.cha_positions) >= 24

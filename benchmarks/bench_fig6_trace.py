@@ -1,0 +1,24 @@
+"""Fig. 6: thermal covert-channel traces at 1/2/3-hop receivers."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_thermal_traces(once):
+    result = once(fig6.run)
+    print()
+    print(result.render())
+
+    # Source swings strongly (paper: 34..48 C).
+    source_swing = result.source_temps.max() - result.source_temps.min()
+    assert source_swing >= 8.0
+
+    # Attenuation grows with hop count (paper: 1-hop ~3 C, further less).
+    swings = [t.samples.max() - t.samples.min() for t in result.traces]
+    assert swings[0] < source_swing
+    assert all(a >= b for a, b in zip(swings, swings[1:]))
+
+    # 1-hop decodes the figure's pattern essentially exactly; 3-hop is
+    # unstable (the paper's traces show decode failures there).
+    assert result.traces[0].errors <= 1
+    if len(result.traces) >= 3:
+        assert result.traces[2].errors >= result.traces[0].errors

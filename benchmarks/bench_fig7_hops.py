@@ -1,0 +1,30 @@
+"""Fig. 7: BER vs transfer rate per hop count and orientation."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_hop_sweep(once):
+    result = once(fig7.run)
+    print()
+    print(result.render())
+
+    # (b) 1-hop vertical: ~0% at 1 bps, < 10% at 4 bps (paper's values).
+    assert result.ber("vertical", 1, 1.0) <= 0.01
+    assert result.ber("vertical", 1, 4.0) < 0.10
+
+    # (a) 1-hop horizontal is worse than vertical at 4 bps; the paper
+    # reports > 20% horizontal there.
+    assert result.ber("horizontal", 1, 4.0) > result.ber("vertical", 1, 4.0)
+    assert result.ber("horizontal", 1, 4.0) > 0.10
+
+    # Non-adjacent pairs are "too high to be utilized as a reliable channel".
+    for orientation in ("vertical", "horizontal"):
+        for hops in (2, 3):
+            key = (orientation, hops, 4.0)
+            if key in result.points:
+                assert result.points[key].ber > 0.15, key
+
+    # BER grows (weakly) with rate on the workable vertical 1-hop channel.
+    series = [result.ber("vertical", 1, r) for r in (1.0, 2.0, 4.0, 8.0)]
+    assert series[-1] >= series[0]
+    assert series[-1] > 0.05  # 8 bps exceeds the channel bandwidth

@@ -1,0 +1,32 @@
+"""Fig. 8: multi-sender BER reduction and multi-channel aggregate rates."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_strengthened_channels(once):
+    result = once(fig8.run)
+    print()
+    print(result.render())
+
+    # (a) More synchronized senders reduce the BER at speed (paper: 4
+    # senders take 4 bps errors down to ~2%; we check at 8 bps where the
+    # single-sender channel visibly struggles).
+    one = result.multi_sender[(1, 8.0)].ber
+    four = result.multi_sender[(4, 8.0)].ber
+    assert one > 0.02
+    assert four < one
+
+    # (b) Aggregate throughput scales with channel count.
+    agg2 = result.multi_channel[(2, 2.0)]
+    agg8 = result.multi_channel[(8, 2.0)]
+    assert agg8.aggregate_rate == 4 * agg2.aggregate_rate
+
+    # The paper's headline: >= 15 bps aggregate under 1% BER (they report
+    # exactly 15 bps; our substrate reaches at least that).
+    assert result.best_aggregate_under(0.01) >= 15.0
+
+    # And the 40 bps x8 @ 5 bps point exists, at elevated error (as in the
+    # paper, where 40 bps is reported above the 1% regime).
+    x8_fast = result.multi_channel[(8, 5.0)]
+    assert x8_fast.aggregate_rate == 40.0
+    assert x8_fast.ber > result.multi_channel[(8, 2.0)].ber

@@ -1,0 +1,58 @@
+"""Cost profile of the mapping pipeline itself (not a paper figure).
+
+Times the three §II steps separately on one 8259CL instance so regressions
+in any stage are visible, and reports the ILP's size. These are the numbers
+a user weighing the attack's practicality would ask for.
+"""
+
+import time
+
+from repro.core.cha_mapping import build_eviction_sets, map_os_to_cha
+from repro.core.probes import collect_observations
+from repro.core.reconstruct import reconstruct_map
+from repro.platform import XEON_8259CL, CpuInstance
+from repro.sim import build_machine
+from repro.uncore.session import UncorePmonSession
+from repro.util.tables import format_table
+
+
+def test_pipeline_stage_costs(once):
+    def run():
+        instance = CpuInstance.generate(XEON_8259CL, seed=500)
+        machine = build_machine(instance, seed=500, with_thermal=False)
+        session = UncorePmonSession(machine.msr, machine.n_chas)
+
+        rows = []
+        t0 = time.perf_counter()
+        sets = build_eviction_sets(machine, session)
+        cha_mapping = map_os_to_cha(machine, session, sets)
+        t1 = time.perf_counter()
+        rows.append(["step 1: OS core <-> CHA mapping", f"{t1 - t0:.2f}s"])
+
+        observations = collect_observations(machine, session, cha_mapping)
+        t2 = time.perf_counter()
+        rows.append(
+            [f"step 2: {len(observations)} traffic probes", f"{t2 - t1:.2f}s"]
+        )
+
+        result = reconstruct_map(observations, cha_mapping, instance.sku.die.grid)
+        t3 = time.perf_counter()
+        rows.append(
+            [
+                f"step 3: ILP ({len(result.layout.model.variables)} vars, "
+                f"{len(result.layout.model.constraints)} constraints, "
+                f"{result.refinement_cuts} refinements)",
+                f"{t3 - t2:.2f}s",
+            ]
+        )
+        rows.append(["total", f"{t3 - t0:.2f}s"])
+        return rows, result, instance
+
+    rows, result, instance = once(run)
+    print()
+    print(format_table(["stage", "wall clock"], rows, title="Pipeline cost profile"))
+    from repro.core.coremap import CoreMap
+
+    truth = CoreMap.from_instance(instance)
+    located = frozenset(result.core_map.cha_positions)
+    assert result.core_map.equivalent(truth.restricted_to(located))

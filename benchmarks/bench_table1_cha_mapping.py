@@ -1,0 +1,26 @@
+"""Table I: OS core ID ↔ CHA ID mappings measured over per-SKU fleets."""
+
+from repro.experiments import table1
+from repro.experiments.table1 import PAPER_TABLE1
+
+
+def test_table1_cha_mappings(once):
+    result = once(table1.run)
+    print()
+    print(result.render())
+
+    # The paper's dominant mapping per SKU must be the measured dominant one.
+    for sku in ("8124M", "8175M", "8259CL"):
+        assert result.matches_paper_top(sku), f"{sku} dominant mapping mismatch"
+
+    # 8124M and 8175M have contiguous CHA IDs -> exactly one mapping.
+    assert result.n_variants("8124M") == 1
+    assert result.n_variants("8175M") == 1
+
+    # 8259CL's LLC-only tiles produce several variants (paper: 7 at n=100).
+    assert 2 <= result.n_variants("8259CL") <= 10
+
+    # Every measured 8259CL mapping above the noise floor is a paper row.
+    paper_rows = {row for _, row in PAPER_TABLE1["8259CL"]}
+    for mapping, count in result.mappings["8259CL"].most_common(2):
+        assert mapping in paper_rows

@@ -1,0 +1,20 @@
+"""Table II: core-location pattern statistics from fully mapped fleets."""
+
+from repro.experiments import table2
+
+
+def test_table2_location_patterns(once):
+    result = once(table2.run)
+    print()
+    print(result.render())
+
+    for sku in ("8124M", "8175M", "8259CL"):
+        # The tool must recover (the locatable part of) every hidden map.
+        assert result.accuracy[sku] == 1.0, f"{sku} reconstruction failures"
+        # One dominant pattern plus a tail (Table II's qualitative shape;
+        # the paper's dominant patterns hold 19-53% of instances).
+        assert result.top4(sku)[0] >= 0.12 * result.fleet_size
+        assert result.n_unique(sku) >= 3
+
+    # Pattern diversity ordering: 8259CL > 8175M > 8124M (paper: 53/26/14).
+    assert result.n_unique("8259CL") >= result.n_unique("8175M") >= result.n_unique("8124M")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Two-phase attack using the PPIN-keyed map store (§IV).
+
+"Although our core mapping process requires root privileges, the identified
+core locations are permanent on a CPU instance" — so the realistic attack
+splits into:
+
+* **Phase 1 (privileged, once per CPU):** run the pipeline, store the map
+  keyed by PPIN (``repro.store.MapDatabase`` / the ``repro-map`` CLI).
+* **Phase 2 (unprivileged, any later time):** read the PPIN, look the map
+  up, and place covert-channel threads with physical knowledge.
+
+Run:  python examples/persistent_attack.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import XEON_8259CL, build_machine_for_sku, map_cpu
+from repro.covert import ChannelConfig, run_transmission
+from repro.covert.encoding import random_payload
+from repro.covert.multi import pick_vertical_pairs
+from repro.store import MapDatabase
+from repro.util.rng import derive_rng
+
+
+def main() -> None:
+    db_path = Path(tempfile.mkdtemp(prefix="repro-maps-")) / "maps.json"
+
+    # ---- Phase 1: privileged mapping, stored once --------------------------
+    print("phase 1 (root): mapping the CPU and storing the result...")
+    machine = build_machine_for_sku(XEON_8259CL, instance_seed=7)
+    result = map_cpu(machine)
+    db = MapDatabase(db_path)
+    db.store(result)
+    db.save()
+    print(f"  stored map for PPIN {result.ppin:#018x} in {db_path}")
+
+    # ---- Phase 2: unprivileged attack, later -------------------------------
+    print("\nphase 2 (user level): loading the map by PPIN and attacking...")
+    # The attacker process only needs the PPIN (readable once, or leaked)
+    # and the database — no measurements, no root.
+    ppin = machine.read_ppin()
+    core_map = MapDatabase(db_path).lookup(ppin)
+    sender, receiver = pick_vertical_pairs(core_map, 1)[0]
+    print(f"  map says cores {sender} -> {receiver} are vertical neighbours")
+
+    payload = random_payload(300, derive_rng(99, "secret"))
+    tx = run_transmission(
+        machine, [sender], receiver, payload, ChannelConfig(bit_rate=4.0)
+    )
+    print(f"  exfiltrated {len(payload)} bits at 4 bps with "
+          f"BER {tx.ber * 100:.2f}% (sync offset {tx.sync.offset})")
+
+
+if __name__ == "__main__":
+    main()

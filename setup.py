@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``. This file
+exists so the package can be installed in environments without the ``wheel``
+module or network access (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

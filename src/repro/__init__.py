@@ -1,0 +1,57 @@
+"""Reproduction of "Know Your Neighbor: Physically Locating Xeon Processor
+Cores on the Core Tile Grid" (Hyungmin Cho, DATE 2022).
+
+Quickstart::
+
+    from repro import build_machine_for_sku, map_cpu, XEON_8259CL
+
+    machine = build_machine_for_sku(XEON_8259CL, instance_seed=7)
+    result = map_cpu(machine)
+    print(result.core_map.render())
+
+Package layout:
+
+* ``repro.core`` — the paper's contribution: the three-step core-locating
+  pipeline (§II) and its ILP reconstruction (§II-C);
+* ``repro.covert`` — the inter-core thermal covert channel (§IV/§V);
+* ``repro.mesh`` / ``repro.cache`` / ``repro.msr`` / ``repro.uncore`` /
+  ``repro.platform`` / ``repro.sim`` / ``repro.thermal`` — the substrates
+  standing in for the Xeon hardware and the cloud fleet;
+* ``repro.ilp`` — the MILP solver substrate;
+* ``repro.experiments`` — one module per paper table/figure
+  (``python -m repro.experiments --list``).
+"""
+
+from repro.core import MappingConfig, MappingResult, map_cpu
+from repro.core.coremap import CoreMap
+from repro.platform import (
+    SKU_CATALOG,
+    XEON_6354,
+    XEON_8124M,
+    XEON_8175M,
+    XEON_8259CL,
+    CpuInstance,
+    generate_fleet,
+)
+from repro.sim import NoiseConfig, SimulatedMachine, build_machine, build_machine_for_sku
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MappingConfig",
+    "MappingResult",
+    "map_cpu",
+    "CoreMap",
+    "SKU_CATALOG",
+    "XEON_6354",
+    "XEON_8124M",
+    "XEON_8175M",
+    "XEON_8259CL",
+    "CpuInstance",
+    "generate_fleet",
+    "NoiseConfig",
+    "SimulatedMachine",
+    "build_machine",
+    "build_machine_for_sku",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Cache-hierarchy substrate: addresses, LLC slice hash, L2 sets, coherence.
+
+The paper's step 1 (§II-A) needs *slice eviction sets* — groups of cache
+lines that share an LLC slice and an L2 set — and discovers a line's home
+slice by watching ``LLC_LOOKUP`` uncore counters while two cores contend on
+the line. This package provides:
+
+* the (undisclosed-on-real-hardware) XOR-matrix slice hash our simulated CPUs
+  use (:mod:`repro.cache.slice_hash`),
+* L2 set/associativity geometry (:mod:`repro.cache.l2`),
+* mesh-traffic generation for loads/evictions/contended writes
+  (:mod:`repro.cache.coherence`),
+* the :class:`~repro.cache.eviction.SliceEvictionSet` container plus a
+  ground-truth oracle builder used by tests (the *attacker-side* builder,
+  which may not peek at the hash, lives in :mod:`repro.core.cha_mapping`).
+"""
+
+from repro.cache.address import LINE_BYTES, LINE_OFFSET_BITS, line_index, line_address, random_line_addresses
+from repro.cache.slice_hash import SliceHash
+from repro.cache.l2 import L2Config
+from repro.cache.coherence import CacheSystem
+from repro.cache.eviction import SliceEvictionSet, oracle_eviction_set
+
+__all__ = [
+    "LINE_BYTES",
+    "LINE_OFFSET_BITS",
+    "line_index",
+    "line_address",
+    "random_line_addresses",
+    "SliceHash",
+    "L2Config",
+    "CacheSystem",
+    "SliceEvictionSet",
+    "oracle_eviction_set",
+]

@@ -1,0 +1,51 @@
+"""Physical-address helpers.
+
+Addresses are plain integers (up to 46 bits, the Skylake-SP physical address
+width). A *cache line* is identified by the address with the 6 offset bits
+stripped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bytes per cache line on every CPU this reproduction models.
+LINE_BYTES = 64
+#: log2(LINE_BYTES)
+LINE_OFFSET_BITS = 6
+#: Physical address width of Skylake-SP.
+PHYS_ADDR_BITS = 46
+
+
+def line_index(addr: int) -> int:
+    """Cache-line index of a byte address (offset bits stripped)."""
+    if addr < 0:
+        raise ValueError("addresses are non-negative")
+    return addr >> LINE_OFFSET_BITS
+
+
+def line_address(index: int) -> int:
+    """Byte address of the first byte of cache line ``index``."""
+    if index < 0:
+        raise ValueError("line indices are non-negative")
+    return index << LINE_OFFSET_BITS
+
+
+def random_line_addresses(rng: np.random.Generator, count: int, addr_bits: int = PHYS_ADDR_BITS) -> list[int]:
+    """Sample ``count`` distinct line-aligned physical addresses.
+
+    Models the attacker's large mmap'ed buffer: a pool of lines with
+    effectively random physical placement.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    n_lines = 1 << (addr_bits - LINE_OFFSET_BITS)
+    picked: set[int] = set()
+    out: list[int] = []
+    while len(out) < count:
+        idx = int(rng.integers(n_lines))
+        if idx in picked:
+            continue
+        picked.add(idx)
+        out.append(line_address(idx))
+    return out

@@ -1,0 +1,121 @@
+"""Coherence-driven mesh traffic.
+
+:class:`CacheSystem` binds an instance's slice hash and L2 geometry to its
+mesh: it resolves a physical address to the tile homing its LLC slice and
+injects the corresponding ring traffic. The three operations mirror the
+probes the paper uses:
+
+* ``sweep_evictions`` — repeatedly walking a slice eviction set from a core
+  (§II-A step-1 probe: core tile → LLC-slice tile writeback traffic);
+* ``contended_write`` — two cores hammering one line (the §II-A home-slice
+  discovery probe: the home CHA's ``LLC_LOOKUP`` count dwarfs the others);
+* ``producer_consumer`` — a writer on the source tile and a reader on the
+  sink tile bouncing one line (§II-B step-2 probe: the modified data travels
+  source tile → sink tile across the mesh).
+"""
+
+from __future__ import annotations
+
+from repro.cache.l2 import L2Config
+from repro.cache.slice_hash import SliceHash
+from repro.mesh.geometry import TileCoord
+from repro.mesh.noc import Mesh
+from repro.mesh.routing import RingClass
+
+
+class CacheSystem:
+    """Address-indexed view of a CPU instance's cache hierarchy."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        slice_hash: SliceHash,
+        l2: L2Config,
+        cha_coords: list[TileCoord] | None = None,
+    ):
+        self.mesh = mesh
+        self.slice_hash = slice_hash
+        self.l2 = l2
+        # CHA-index → tile coordinate, in CHA-ID (column-major) order.
+        self.cha_coords = list(cha_coords) if cha_coords is not None else mesh.cha_coords()
+        if len(self.cha_coords) != slice_hash.n_slices:
+            raise ValueError(
+                f"slice hash addresses {slice_hash.n_slices} slices but the die "
+                f"has {len(self.cha_coords)} CHAs"
+            )
+
+    # -- address resolution ------------------------------------------------------
+    def home_cha(self, addr: int) -> int:
+        """CHA index homing the line containing ``addr``."""
+        return self.slice_hash.slice_of(addr)
+
+    def home_coord(self, addr: int) -> TileCoord:
+        """Tile coordinate homing the line containing ``addr``."""
+        return self.cha_coords[self.home_cha(addr)]
+
+    # -- probe operations -----------------------------------------------------------
+    def sweep_evictions(self, core: TileCoord, addrs: list[int], sweeps: int) -> None:
+        """Walk ``addrs`` from ``core`` ``sweeps`` times, spilling to the LLC.
+
+        Each sweep of a slice eviction set larger than the L2 associativity
+        evicts (and refills) every line: writeback data and refill data move
+        on the BL rings between the core tile and the home-slice tile, the
+        refill *requests* travel on the AD ring, and the home CHA is looked
+        up each time.
+        """
+        if sweeps < 0:
+            raise ValueError("sweeps must be non-negative")
+        for addr in addrs:
+            home = self.home_coord(addr)
+            self.mesh.counters.add_llc_lookup(home, sweeps)
+            self.mesh.inject_messages(core, home, sweeps, RingClass.AD)  # refill reqs
+            self.mesh.inject_transfer(core, home, sweeps)  # writeback data
+            self.mesh.inject_transfer(home, core, sweeps)  # refill data
+
+    def contended_write(self, core_a: TileCoord, core_b: TileCoord, addr: int, rounds: int) -> None:
+        """Two cores repeatedly write the same line (home-slice discovery).
+
+        Every ownership transfer consults the home CHA's directory (RFO
+        requests on AD), so the home tile's LLC_LOOKUP counter advances ~2
+        per round while data bounces between the contenders through the
+        home on the BL rings.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        home = self.home_coord(addr)
+        self.mesh.counters.add_llc_lookup(home, 2 * rounds)
+        self.mesh.inject_messages(core_a, home, rounds, RingClass.AD)
+        self.mesh.inject_messages(core_b, home, rounds, RingClass.AD)
+        self.mesh.inject_transfer(core_a, home, rounds)
+        self.mesh.inject_transfer(home, core_b, rounds)
+        self.mesh.inject_transfer(core_b, home, rounds)
+        self.mesh.inject_transfer(home, core_a, rounds)
+
+    def producer_consumer(self, source: TileCoord, sink: TileCoord, addr: int, rounds: int) -> None:
+        """The §II-B step-2 probe: writer at ``source``, reader at ``sink``.
+
+        ``addr`` is chosen (by the attacker) to be homed at the sink tile's
+        own LLC slice, so every read pulls the modified line from the source
+        tile's private L2 across the mesh to the sink — a clean
+        source → sink data stream on the **BL** rings. The read *requests*
+        and snoops flow the opposite way on the **AD** ring and the
+        completion acks on **AK** — which is exactly why the paper monitors
+        the BL events: only the data leg reveals the source→sink direction.
+        If the attacker picks an address homed elsewhere, the extra leg via
+        the home tile is modelled too.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        home = self.home_coord(addr)
+        self.mesh.counters.add_llc_lookup(home, rounds)
+        # Read request to the home CHA, snoop forwarded to the owner.
+        self.mesh.inject_messages(sink, home, rounds, RingClass.AD)
+        self.mesh.inject_messages(home, source, rounds, RingClass.AD)
+        # Completion acknowledgements.
+        self.mesh.inject_messages(sink, home, rounds, RingClass.AK)
+        if home == sink:
+            self.mesh.inject_transfer(source, sink, rounds)
+        else:
+            # Forwarded through the home CHA's directory.
+            self.mesh.inject_transfer(source, home, rounds)
+            self.mesh.inject_transfer(home, sink, rounds)

@@ -1,0 +1,97 @@
+"""Slice eviction sets.
+
+A *slice eviction set* (§II-A) is a group of cache lines that share both an
+LLC slice and an L2 set; touching more of them than the L2 associativity
+forces targeted evictions toward that one slice.
+
+:func:`oracle_eviction_set` constructs one from ground truth (slice hash in
+hand) — used by tests and by the simulator's internals. The attacker-side
+construction, which only sees PMON counters, is
+:func:`repro.core.cha_mapping.build_eviction_sets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.address import LINE_OFFSET_BITS, PHYS_ADDR_BITS
+from repro.cache.l2 import L2Config
+from repro.cache.slice_hash import SliceHash
+
+
+@dataclass
+class SliceEvictionSet:
+    """Lines sharing LLC slice ``cha_index`` and one L2 set."""
+
+    cha_index: int
+    l2_set: int
+    addresses: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def is_usable(self, l2: L2Config) -> bool:
+        """Whether sweeping this set defeats the L2 (enough lines)."""
+        return len(self.addresses) >= l2.eviction_set_size()
+
+    def add(self, addr: int) -> None:
+        if addr in self.addresses:
+            raise ValueError(f"address {addr:#x} already in the set")
+        self.addresses.append(addr)
+
+
+def addresses_in_l2_set(
+    l2: L2Config, l2_set: int, rng: np.random.Generator, count: int
+) -> list[int]:
+    """Sample distinct line addresses whose L2 set index equals ``l2_set``.
+
+    The L2 is physically indexed by known address bits, so both the oracle
+    and the attacker can fix the set bits and randomise only the tag — the
+    same trick real eviction-set construction uses (cf. Yan et al.).
+    """
+    if not 0 <= l2_set < l2.n_sets:
+        raise ValueError(f"l2_set {l2_set} out of range")
+    tag_shift = LINE_OFFSET_BITS + l2.set_index_bits
+    n_tags = 1 << (PHYS_ADDR_BITS - tag_shift)
+    seen: set[int] = set()
+    out: list[int] = []
+    while len(out) < count:
+        tag = int(rng.integers(n_tags))
+        if tag in seen:
+            continue
+        seen.add(tag)
+        out.append((tag << tag_shift) | (l2_set << LINE_OFFSET_BITS))
+    return out
+
+
+def oracle_eviction_set(
+    slice_hash: SliceHash,
+    l2: L2Config,
+    cha_index: int,
+    rng: np.random.Generator,
+    size: int | None = None,
+    l2_set: int | None = None,
+    max_probe: int = 200_000,
+) -> SliceEvictionSet:
+    """Build a slice eviction set using ground-truth hash knowledge.
+
+    Fixes an L2 set, then samples same-set lines until ``size`` of them
+    (default: enough to defeat the L2) hash to ``cha_index``.
+    """
+    if not 0 <= cha_index < slice_hash.n_slices:
+        raise ValueError(f"cha_index {cha_index} out of range")
+    target_size = l2.eviction_set_size() if size is None else size
+    chosen_set = int(rng.integers(l2.n_sets)) if l2_set is None else l2_set
+    ev = SliceEvictionSet(cha_index=cha_index, l2_set=chosen_set)
+    for addr in addresses_in_l2_set(l2, chosen_set, rng, max_probe):
+        if slice_hash.slice_of(addr) != cha_index:
+            continue
+        ev.add(addr)
+        if len(ev) >= target_size:
+            return ev
+    raise RuntimeError(
+        f"could not assemble {target_size} lines for CHA {cha_index} "
+        f"within {max_probe} probes"
+    )

@@ -1,0 +1,45 @@
+"""Private L2 cache geometry.
+
+Slice eviction sets must agree on the L2 *set* as well as the LLC slice
+(§II-A): only then does touching more lines than the associativity force
+evictions toward the targeted LLC slice. Skylake-SP's L2 is 1 MiB,
+16-way, 64 B lines → 1024 sets indexed by physical address bits [15:6].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.address import LINE_OFFSET_BITS
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Set/associativity geometry of the private L2."""
+
+    n_sets: int = 1024
+    associativity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_sets <= 0 or (self.n_sets & (self.n_sets - 1)) != 0:
+            raise ValueError("n_sets must be a positive power of two")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+
+    @property
+    def set_index_bits(self) -> int:
+        return self.n_sets.bit_length() - 1
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_sets * self.associativity * (1 << LINE_OFFSET_BITS)
+
+    def set_index(self, addr: int) -> int:
+        """L2 set index of a byte address."""
+        if addr < 0:
+            raise ValueError("addresses are non-negative")
+        return (addr >> LINE_OFFSET_BITS) & (self.n_sets - 1)
+
+    def eviction_set_size(self) -> int:
+        """Lines needed so repeated sweeps always spill to the LLC slice."""
+        return self.associativity + 1

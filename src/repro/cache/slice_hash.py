@@ -1,0 +1,104 @@
+"""The LLC slice hash.
+
+Intel does not disclose the address → LLC-slice mapping; reverse-engineering
+work (Maurice et al.; Yan et al., cited by the paper) shows it is built from
+XOR reductions of physical-address bits. Our simulated CPUs use the same
+structure:
+
+* ``k = ceil(log2(n_slices))`` hash bits, each the parity of the line address
+  ANDed with a per-bit random mask over the tag/set bits;
+* for non-power-of-two slice counts (e.g. the 26 CHAs of an 8259CL), a wider
+  ``k + 3``-bit hash is reduced modulo ``n_slices``, which keeps the line
+  distribution near-uniform.
+
+Each CPU instance draws its own masks from its seed, so — like on real
+hardware — the mapper can never hard-code the hash and must discover line
+homes through the PMON (§II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.address import LINE_OFFSET_BITS, PHYS_ADDR_BITS
+from repro.util.bitops import xor_reduce_mask
+
+
+@dataclass(frozen=True)
+class SliceHash:
+    """XOR-matrix hash from line addresses to slice indices ``[0, n_slices)``."""
+
+    n_slices: int
+    masks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_slices <= 0:
+            raise ValueError("n_slices must be positive")
+        if self.n_slices > 1 and (1 << len(self.masks)) < self.n_slices:
+            raise ValueError(
+                f"{len(self.masks)} hash bits cannot address {self.n_slices} slices"
+            )
+
+    @staticmethod
+    def generate(n_slices: int, rng: np.random.Generator, addr_bits: int = PHYS_ADDR_BITS) -> "SliceHash":
+        """Draw a fresh hash for a CPU instance.
+
+        Masks cover bits ``[LINE_OFFSET_BITS, addr_bits)`` and are re-drawn
+        until they are linearly independent over GF(2), which keeps every
+        hash value reachable.
+        """
+        if n_slices <= 0:
+            raise ValueError("n_slices must be positive")
+        if n_slices == 1:
+            return SliceHash(1, ())
+        k = int(np.ceil(np.log2(n_slices)))
+        if (1 << k) != n_slices:
+            k += 3  # extra bits so the modulo reduction stays near-uniform
+        field_width = addr_bits - LINE_OFFSET_BITS
+        while True:
+            masks = []
+            for _ in range(k):
+                mask_bits = 0
+                while mask_bits == 0:
+                    mask_bits = int(rng.integers(1, 1 << 31)) | (
+                        int(rng.integers(0, 1 << 31)) << 31
+                    )
+                    mask_bits &= (1 << field_width) - 1
+                masks.append(mask_bits << LINE_OFFSET_BITS)
+            if _masks_independent(masks, addr_bits):
+                return SliceHash(n_slices, tuple(masks))
+
+    def hash_bits(self, addr: int) -> int:
+        """Raw hash value of a byte address, before modulo reduction."""
+        value = 0
+        for i, mask in enumerate(self.masks):
+            value |= xor_reduce_mask(addr, mask) << i
+        return value
+
+    def slice_of(self, addr: int) -> int:
+        """LLC slice (CHA index) homing the line containing ``addr``."""
+        if self.n_slices == 1:
+            return 0
+        return self.hash_bits(addr) % self.n_slices
+
+
+def _masks_independent(masks: list[int], addr_bits: int) -> bool:
+    """Check linear independence of masks as GF(2) row vectors."""
+    rows = list(masks)
+    rank = 0
+    for col in reversed(range(addr_bits)):
+        pivot = None
+        for i in range(rank, len(rows)):
+            if (rows[i] >> col) & 1:
+                pivot = i
+                break
+        if pivot is None:
+            continue
+        rows[rank], rows[pivot] = rows[pivot], rows[rank]
+        for i in range(len(rows)):
+            if i != rank and (rows[i] >> col) & 1:
+                rows[i] ^= rows[rank]
+        rank += 1
+    return rank == len(masks)

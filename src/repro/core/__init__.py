@@ -1,0 +1,40 @@
+"""The paper's contribution: physically locating cores on the tile grid.
+
+The pipeline has the paper's three steps (§II):
+
+1. :mod:`repro.core.cha_mapping` — OS core ID ↔ CHA ID mapping via slice
+   eviction sets and ``LLC_LOOKUP`` monitoring;
+2. :mod:`repro.core.probes` — inter-tile traffic generation between every
+   core pair and partial ingress observation via the ring counters;
+3. :mod:`repro.core.ilp_formulation` + :mod:`repro.core.reconstruct` — the
+   §II-C ILP whose solution is the core map.
+
+:mod:`repro.core.pipeline` chains the steps end-to-end against a
+:class:`~repro.sim.machine.SimulatedMachine` (or, with the hardware MSR
+backend, a real Xeon). :mod:`repro.core.verify` implements the §V-D
+thermal cross-check of a reconstructed map.
+"""
+
+from repro.core.coremap import CoreMap
+from repro.core.observations import PathObservation
+from repro.core.cha_mapping import ChaMappingResult, build_eviction_sets, map_os_to_cha
+from repro.core.probes import collect_observations
+from repro.core.ilp_formulation import IlpLayout, build_layout_model
+from repro.core.reconstruct import ReconstructionResult, reconstruct_map
+from repro.core.pipeline import MappingConfig, MappingResult, map_cpu
+
+__all__ = [
+    "CoreMap",
+    "PathObservation",
+    "ChaMappingResult",
+    "build_eviction_sets",
+    "map_os_to_cha",
+    "collect_observations",
+    "IlpLayout",
+    "build_layout_model",
+    "ReconstructionResult",
+    "reconstruct_map",
+    "MappingConfig",
+    "MappingResult",
+    "map_cpu",
+]

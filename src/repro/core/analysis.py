@@ -1,0 +1,129 @@
+"""Graph analytics over recovered core maps.
+
+Downstream users of a :class:`~repro.core.coremap.CoreMap` — covert-channel
+placement, contention-aware schedulers, side-channel auditors — mostly ask
+graph questions: who is adjacent to whom, how far apart are two cores, how
+well-connected is the die. This module answers them with networkx graphs
+built from the map.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.coremap import CoreMap
+from repro.mesh.geometry import TileCoord
+
+#: Relative thermal coupling weight per adjacency orientation (§V-A:
+#: vertical neighbours couple roughly 2-3× more strongly than horizontal).
+ORIENTATION_COUPLING = {"vertical": 1.0, "horizontal": 0.4}
+
+
+def adjacency_graph(core_map: CoreMap) -> "nx.Graph":
+    """Undirected graph over CHAs; edges join physically adjacent tiles.
+
+    Node attributes: ``pos`` (tile coordinate), ``os_core`` (or ``None``),
+    ``llc_only``. Edge attributes: ``orientation`` ("vertical" /
+    "horizontal") and ``coupling`` (relative thermal weight).
+    """
+    graph = nx.Graph()
+    cha_to_os = core_map.cha_to_os
+    by_coord: dict[TileCoord, int] = {}
+    for cha, pos in core_map.cha_positions.items():
+        graph.add_node(
+            cha,
+            pos=pos,
+            os_core=cha_to_os.get(cha),
+            llc_only=cha in core_map.llc_only_chas,
+        )
+        by_coord[pos] = cha
+    for cha, pos in core_map.cha_positions.items():
+        for d_row, d_col, orientation in ((1, 0, "vertical"), (0, 1, "horizontal")):
+            neighbor = by_coord.get(TileCoord(pos.row + d_row, pos.col + d_col))
+            if neighbor is not None:
+                graph.add_edge(
+                    cha,
+                    neighbor,
+                    orientation=orientation,
+                    coupling=ORIENTATION_COUPLING[orientation],
+                )
+    return graph
+
+
+def core_adjacency_graph(core_map: CoreMap) -> "nx.Graph":
+    """The sub-graph over active cores only, relabelled by OS core ID."""
+    graph = adjacency_graph(core_map)
+    core_nodes = [n for n, data in graph.nodes(data=True) if data["os_core"] is not None]
+    sub = graph.subgraph(core_nodes).copy()
+    return nx.relabel_nodes(sub, {n: graph.nodes[n]["os_core"] for n in core_nodes})
+
+
+def tile_distance(core_map: CoreMap, os_a: int, os_b: int) -> int:
+    """Physical Manhattan distance in tile hops between two cores."""
+    a = core_map.position_of_os_core(os_a)
+    b = core_map.position_of_os_core(os_b)
+    return a.manhattan(b)
+
+
+def thermal_neighbor_ranking(core_map: CoreMap, os_core: int) -> list[tuple[int, float]]:
+    """Neighbouring OS cores ranked by expected thermal coupling."""
+    graph = core_adjacency_graph(core_map)
+    if os_core not in graph:
+        raise ValueError(f"no such core in the map: {os_core}")
+    ranked = sorted(
+        ((nbr, data["coupling"]) for nbr, data in graph[os_core].items()),
+        key=lambda item: (-item[1], item[0]),
+    )
+    return ranked
+
+
+def isolation_report(core_map: CoreMap) -> dict[str, object]:
+    """Connectivity summary of the core-adjacency graph.
+
+    Reports the connected components, any fully isolated cores (no adjacent
+    core at all — the §V-D 'exception' tiles), and the mean core degree.
+    """
+    graph = core_adjacency_graph(core_map)
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    components.sort(key=lambda c: (-len(c), c))
+    isolated = sorted(n for n in graph if graph.degree(n) == 0)
+    degrees = [d for _, d in graph.degree()]
+    return {
+        "n_components": len(components),
+        "components": components,
+        "isolated_cores": isolated,
+        "mean_degree": sum(degrees) / len(degrees) if degrees else 0.0,
+    }
+
+
+def channel_interference_graph(
+    core_map: CoreMap, pairs: list[tuple[int, int]]
+) -> "nx.Graph":
+    """Interference structure of a set of (sender, receiver) channels.
+
+    Nodes are channel indices; an edge appears when one channel's sender is
+    physically adjacent to another channel's receiver, weighted by the
+    coupling of the closest such adjacency. Used to sanity-check §V-C
+    placements.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(pairs)))
+    positions = {
+        os: core_map.position_of_os_core(os)
+        for pair in pairs
+        for os in pair
+    }
+    for i, (s_i, r_i) in enumerate(pairs):
+        for j, (s_j, r_j) in enumerate(pairs):
+            if i >= j:
+                continue
+            weight = 0.0
+            for sender, receiver in ((s_i, r_j), (s_j, r_i)):
+                s_pos, r_pos = positions[sender], positions[receiver]
+                if s_pos.is_vertical_neighbor(r_pos):
+                    weight = max(weight, ORIENTATION_COUPLING["vertical"])
+                elif s_pos.is_horizontal_neighbor(r_pos):
+                    weight = max(weight, ORIENTATION_COUPLING["horizontal"])
+            if weight > 0:
+                graph.add_edge(i, j, coupling=weight)
+    return graph

@@ -1,0 +1,185 @@
+"""Step 1: OS core ID ↔ CHA ID mapping (§II-A).
+
+The tool first needs to know, for each CHA ID it can monitor, which OS core
+ID (if any) lives on the same tile:
+
+1. **Home-slice discovery** — two pinned threads hammer one cache line with
+   simultaneous writes; the CHA whose ``LLC_LOOKUP`` count dwarfs the others
+   is the line's home. Repeating over random same-L2-set lines yields a
+   *slice eviction set* per CHA.
+2. **Co-location test** — a thread on OS core *i* sweeps CHA *j*'s eviction
+   set. If core and slice share a tile, the evictions never touch the mesh;
+   otherwise the ring counters light up. The unique silent (core, CHA) pair
+   per core is the mapping. CHAs claimed by no core are LLC-only tiles.
+
+Everything here talks to the machine only through pinned workloads and the
+PMON session — no ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.eviction import SliceEvictionSet
+from repro.core.errors import MappingError
+from repro.sim.machine import SimulatedMachine
+from repro.sim.threads import ContendedWrite, EvictionSweep
+from repro.uncore.session import UncorePmonSession
+
+
+@dataclass
+class ChaMappingResult:
+    """Outcome of step 1."""
+
+    os_to_cha: dict[int, int]
+    llc_only_chas: frozenset[int]
+    eviction_sets: dict[int, SliceEvictionSet]
+
+    @property
+    def cha_to_os(self) -> dict[int, int]:
+        return {cha: os_id for os_id, cha in self.os_to_cha.items()}
+
+    def core_chas(self) -> frozenset[int]:
+        return frozenset(self.os_to_cha.values())
+
+
+def discover_home_cha(
+    machine: SimulatedMachine,
+    session: UncorePmonSession,
+    address: int,
+    rounds: int = 400,
+    margin: float = 4.0,
+) -> int:
+    """Find the CHA homing ``address`` via the contended-write probe.
+
+    Requires the top ``LLC_LOOKUP`` count to exceed the runner-up by
+    ``margin``× — a cloud machine always has background lookups.
+    """
+    contenders = machine.os_cores()[:2]
+    if len(contenders) < 2:
+        raise MappingError("home discovery needs at least two cores")
+    workload = ContendedWrite(contenders[0], contenders[1], address, rounds)
+    lookups = session.measure_llc_lookups(lambda: machine.execute(workload))
+    ranked = sorted(range(len(lookups)), key=lambda cha: lookups[cha], reverse=True)
+    best, second = ranked[0], ranked[1]
+    if lookups[best] < rounds:
+        raise MappingError(
+            f"no CHA saw enough lookups for line {address:#x} "
+            f"(max {lookups[best]} < {rounds})"
+        )
+    if lookups[second] > 0 and lookups[best] < margin * lookups[second]:
+        raise MappingError(
+            f"ambiguous home for line {address:#x}: "
+            f"CHA {best}={lookups[best]} vs CHA {second}={lookups[second]}"
+        )
+    return best
+
+
+def build_eviction_sets(
+    machine: SimulatedMachine,
+    session: UncorePmonSession,
+    l2_set: int = 0,
+    set_size: int | None = None,
+    max_lines: int = 20_000,
+    rounds: int = 400,
+) -> dict[int, SliceEvictionSet]:
+    """Assemble one slice eviction set per CHA (§II-A).
+
+    Samples same-L2-set lines (hugepage-style allocation fixes the set
+    bits), discovers each line's home CHA through the PMON, and buckets
+    until every CHA has enough lines to defeat the L2.
+    """
+    session.program_llc_lookup()
+    target = set_size if set_size is not None else machine.l2_geometry.eviction_set_size()
+    sets: dict[int, SliceEvictionSet] = {
+        cha: SliceEvictionSet(cha_index=cha, l2_set=l2_set) for cha in range(session.n_chas)
+    }
+    pending = {cha for cha in sets}
+    for address in machine.sample_lines_in_l2_set(l2_set, max_lines):
+        if not pending:
+            break
+        home = discover_home_cha(machine, session, address, rounds)
+        if home in pending:
+            sets[home].add(address)
+            if len(sets[home]) >= target:
+                pending.discard(home)
+    if pending:
+        raise MappingError(
+            f"could not fill eviction sets for CHAs {sorted(pending)} "
+            f"within {max_lines} probed lines"
+        )
+    return sets
+
+
+def measure_noise_floor(
+    machine: SimulatedMachine, session: UncorePmonSession, windows: int = 3
+) -> int:
+    """Worst-case total ring cycles an idle measurement window collects.
+
+    On a cloud machine, co-tenant traffic hits the counters even with no
+    attacker workload running; the co-location threshold must sit above it.
+    """
+    if windows <= 0:
+        raise ValueError("windows must be positive")
+    floor = 0
+    for _ in range(windows):
+        readings = session.measure_rings(machine.idle_window)
+        floor = max(floor, sum(r.total() for r in readings))
+    return floor
+
+
+def map_os_to_cha(
+    machine: SimulatedMachine,
+    session: UncorePmonSession,
+    eviction_sets: dict[int, SliceEvictionSet],
+    sweeps: int = 100,
+    quiet_threshold: int | None = None,
+) -> ChaMappingResult:
+    """Run the co-location test for every (OS core, CHA) combination.
+
+    ``quiet_threshold`` defaults to an adaptive value: the measured
+    co-tenant noise floor plus half the traffic the sweeps would cause at
+    the minimum off-tile distance. When the noise floor approaches the
+    off-tile signal, the sweep count is scaled up first so the two stay
+    separable — the calibration a real tool performs before probing.
+    """
+    session.program_ring_monitors()
+    some_set = next(iter(eviction_sets.values()))
+    set_len = len(some_set.addresses)
+    if quiet_threshold is None:
+        floor = measure_noise_floor(machine, session)
+        # Minimum off-tile signal is ~4 cycles per line per sweep (two legs
+        # of 2 cycles); keep it at least 3x the noise floor.
+        min_sweeps = -(-3 * floor // max(1, 4 * set_len))  # ceil division
+        sweeps = max(sweeps, min_sweeps)
+        quiet_threshold = floor + 2 * set_len * sweeps
+
+    os_to_cha: dict[int, int] = {}
+    claimed: set[int] = set()
+    for os_core in machine.os_cores():
+        quiet: list[tuple[int, int]] = []
+        for cha, ev_set in sorted(eviction_sets.items()):
+            if cha in claimed:
+                continue
+            workload = EvictionSweep(os_core, tuple(ev_set.addresses), sweeps)
+            readings = session.measure_rings(lambda: machine.execute(workload))
+            total = sum(r.total() for r in readings)
+            if total < quiet_threshold:
+                quiet.append((total, cha))
+        if not quiet:
+            raise MappingError(f"OS core {os_core} co-locates with no CHA")
+        if len(quiet) > 1:
+            raise MappingError(
+                f"OS core {os_core} appears co-located with CHAs "
+                f"{[cha for _, cha in quiet]}; raise the probe intensity"
+            )
+        cha = quiet[0][1]
+        os_to_cha[os_core] = cha
+        claimed.add(cha)
+
+    llc_only = frozenset(range(session.n_chas)) - frozenset(claimed)
+    return ChaMappingResult(
+        os_to_cha=os_to_cha,
+        llc_only_chas=llc_only,
+        eviction_sets=eviction_sets,
+    )

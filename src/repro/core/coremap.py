@@ -1,0 +1,193 @@
+"""The core-map data model.
+
+A :class:`CoreMap` places every CHA of a CPU instance on a tile grid and
+records which OS core (if any) lives at each CHA. Reconstructed maps are
+*relative*: two physical truths the observations cannot distinguish are
+
+* a **horizontal mirror** of the whole die — vertical ring labels reveal
+  true up/down, but the odd-column mirroring makes left/right labels
+  direction-blind, and mirroring flips both direction and column parity, so
+  every observation is invariant;
+* the width of **fully vacant tile rows/columns** (no CHA anywhere) — the
+  §II-D failure case; the ILP's tightest-packing objective compacts them.
+
+``canonical_key``/``equivalent`` therefore compare maps up to horizontal
+mirror and compaction, which is exactly the equivalence the paper's
+"relative location ... is correctly mapped" statement describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.util.tables import format_grid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.instance import CpuInstance
+
+
+@dataclass(frozen=True)
+class CoreMap:
+    """Placement of a CPU's CHAs (and their cores) on the tile grid."""
+
+    grid: GridSpec
+    #: CHA ID → tile coordinate.
+    cha_positions: dict[int, TileCoord]
+    #: OS core ID → CHA ID.
+    os_to_cha: dict[int, int]
+    #: CHAs with no core behind them (LLC-only tiles).
+    llc_only_chas: frozenset[int] = frozenset()
+    #: Known IMC tile positions (ground-truth maps only; reconstructed maps
+    #: cannot see IMC tiles and leave this empty).
+    imc_coords: frozenset[TileCoord] = frozenset()
+
+    def __post_init__(self) -> None:
+        coords = list(self.cha_positions.values())
+        if len(set(coords)) != len(coords):
+            raise ValueError("two CHAs share one tile position")
+        for coord in coords:
+            if not self.grid.contains(coord):
+                raise ValueError(f"CHA position {coord} outside the {self.grid} grid")
+        for os_id, cha in self.os_to_cha.items():
+            if cha not in self.cha_positions:
+                raise ValueError(f"OS core {os_id} references unknown CHA {cha}")
+            if cha in self.llc_only_chas:
+                raise ValueError(f"OS core {os_id} mapped to LLC-only CHA {cha}")
+
+    # -- lookups ---------------------------------------------------------------
+    @property
+    def n_chas(self) -> int:
+        return len(self.cha_positions)
+
+    @property
+    def cha_to_os(self) -> dict[int, int]:
+        return {cha: os_id for os_id, cha in self.os_to_cha.items()}
+
+    def position_of_cha(self, cha: int) -> TileCoord:
+        return self.cha_positions[cha]
+
+    def position_of_os_core(self, os_core: int) -> TileCoord:
+        return self.cha_positions[self.os_to_cha[os_core]]
+
+    def os_core_at(self, coord: TileCoord) -> int | None:
+        cha_to_os = self.cha_to_os
+        for cha, pos in self.cha_positions.items():
+            if pos == coord:
+                return cha_to_os.get(cha)
+        return None
+
+    def occupied_rows(self) -> list[int]:
+        return sorted({c.row for c in self.cha_positions.values()})
+
+    def occupied_cols(self) -> list[int]:
+        return sorted({c.col for c in self.cha_positions.values()})
+
+    # -- neighbourhood (for the covert-channel placement) -----------------------
+    def neighbor_os_cores(self, os_core: int) -> dict[str, int]:
+        """OS cores on the four adjacent tiles, keyed by direction."""
+        pos = self.position_of_os_core(os_core)
+        out: dict[str, int] = {}
+        for name, (dr, dc) in {
+            "up": (-1, 0),
+            "down": (1, 0),
+            "left": (0, -1),
+            "right": (0, 1),
+        }.items():
+            neighbor = self.os_core_at(TileCoord(pos.row + dr, pos.col + dc))
+            if neighbor is not None:
+                out[name] = neighbor
+        return out
+
+    def vertical_neighbor_pairs(self) -> list[tuple[int, int]]:
+        """All (upper, lower) OS-core pairs on vertically adjacent tiles."""
+        pairs = []
+        for os_core in sorted(self.os_to_cha):
+            below = self.neighbor_os_cores(os_core).get("down")
+            if below is not None:
+                pairs.append((os_core, below))
+        return pairs
+
+    def restricted_to(self, chas: frozenset[int] | set[int]) -> "CoreMap":
+        """The sub-map over ``chas`` only.
+
+        Used to compare a reconstruction against ground truth when some
+        CHAs were unlocatable (no probe route ever touches them — e.g. a
+        column populated only by LLC-only and IMC tiles).
+        """
+        keep = set(chas)
+        return replace(
+            self,
+            cha_positions={c: p for c, p in self.cha_positions.items() if c in keep},
+            os_to_cha={os: c for os, c in self.os_to_cha.items() if c in keep},
+            llc_only_chas=frozenset(self.llc_only_chas & keep),
+        )
+
+    # -- canonical form -----------------------------------------------------------
+    def compacted(self) -> "CoreMap":
+        """Reindex so occupied rows/columns are contiguous from 0 (§II-D)."""
+        rows = {r: i for i, r in enumerate(self.occupied_rows())}
+        cols = {c: i for i, c in enumerate(self.occupied_cols())}
+        positions = {
+            cha: TileCoord(rows[p.row], cols[p.col]) for cha, p in self.cha_positions.items()
+        }
+        grid = GridSpec(max(len(rows), 1), max(len(cols), 1))
+        return replace(self, grid=grid, cha_positions=positions, imc_coords=frozenset())
+
+    def mirrored(self) -> "CoreMap":
+        """Horizontal mirror (the observation-invariant reflection)."""
+        w = self.grid.n_cols - 1
+        positions = {
+            cha: TileCoord(p.row, w - p.col) for cha, p in self.cha_positions.items()
+        }
+        imcs = frozenset(TileCoord(p.row, w - p.col) for p in self.imc_coords)
+        return replace(self, cha_positions=positions, imc_coords=imcs)
+
+    def _placement_key(self) -> tuple:
+        return tuple(sorted((p, cha) for cha, p in self.cha_positions.items()))
+
+    def canonical_key(self) -> tuple:
+        """Identity up to compaction and horizontal mirror."""
+        a = self.compacted()._placement_key()
+        b = self.mirrored().compacted()._placement_key()
+        ids = (
+            tuple(sorted(self.os_to_cha.items())),
+            tuple(sorted(self.llc_only_chas)),
+        )
+        return (min(a, b), ids)
+
+    def equivalent(self, other: "CoreMap") -> bool:
+        """Equality up to the reconstruction's inherent ambiguities."""
+        return self.canonical_key() == other.canonical_key()
+
+    # -- construction / rendering ---------------------------------------------
+    @classmethod
+    def from_instance(cls, instance: "CpuInstance") -> "CoreMap":
+        """Ground-truth map of a simulated instance (for validation only)."""
+        return cls(
+            grid=instance.sku.die.grid,
+            cha_positions={cha: coord for cha, coord in enumerate(instance.cha_coords)},
+            os_to_cha=dict(instance.os_to_cha),
+            llc_only_chas=frozenset(
+                cha
+                for cha, coord in enumerate(instance.cha_coords)
+                if coord in instance.pattern.llc_only_slots
+            ),
+            imc_coords=frozenset(instance.sku.die.imc_coords),
+        )
+
+    def render(self) -> str:
+        """Fig. 4/5-style grid printout: cells are ``os/cha``, ``LLC/cha``, ``IMC``."""
+        cells: dict[tuple[int, int], str] = {}
+        cha_to_os = self.cha_to_os
+        for cha, pos in self.cha_positions.items():
+            if cha in self.llc_only_chas:
+                label = f"LLC/{cha}"
+            else:
+                os_id = cha_to_os.get(cha)
+                label = f"{os_id}/{cha}" if os_id is not None else f"?/{cha}"
+            cells[(pos.row, pos.col)] = label
+        for imc in self.imc_coords:
+            cells[(imc.row, imc.col)] = "IMC"
+        return format_grid(cells, self.grid.n_rows, self.grid.n_cols, empty="--")

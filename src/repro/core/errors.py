@@ -1,0 +1,9 @@
+"""Exceptions raised by the mapping pipeline."""
+
+
+class MappingError(RuntimeError):
+    """A measurement or reconstruction step could not produce a sound result."""
+
+
+class ReconstructionInfeasible(MappingError):
+    """The ILP found the observation set unsatisfiable (noise/corruption)."""

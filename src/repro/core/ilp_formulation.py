@@ -1,0 +1,411 @@
+"""The §II-C ILP formulation.
+
+Variables and constraints follow the paper:
+
+* integer position variables ``R_i ∈ [0, T_h)`` and ``C_i ∈ [0, T_w)`` per
+  located CHA;
+* **alignment** — every vertical-ingress observer shares the source's
+  column; every horizontal-ingress observer shares the sink's row;
+* **vertical bounding box** — for up-channel paths,
+  ``R_s > R_k ≥ R_e`` over the path's vertical observers (reversed for
+  down);
+* **horizontal bounding box** — two constraint sets (eastbound/westbound)
+  per path, each nullified by a big-M binary (``NE_p``/``NW_p``),
+  with ``NE_p + NW_p = 1`` enforcing exactly one direction (§II-C-4);
+* **one-hot + indicator variables** and the weighted occupied-row/column
+  objective that yields the tightest placement (§II-C-5/6).
+
+Engineering additions, all documented in DESIGN.md:
+
+* ``reduce=True`` substitutes the alignment equalities before building the
+  model: one variable per row/column *equivalence class* (union-find over
+  the alignment constraints) and one NE/NW pair per unique horizontal
+  constraint signature. Algebraically equivalent and typically 10× smaller.
+* **distinctness** — two CHAs never share a tile. Core-core pairs are
+  separated by their mutual probes' strict inequalities; pairs involving an
+  LLC-only CHA (never a probe endpoint) get explicit big-M disjunctions.
+* **horizontal-observer column strictness** — a CHA that received
+  horizontal ingress cannot share the source's column (the tile at the
+  source's column on the sink's row is the *turn* tile, which is entered
+  vertically). The paper's ``C_s ≤ C_k`` allows equality; we exclude it,
+  deduplicated per column-class pair.
+* :func:`add_route_exclusion` — negative information for the refinement
+  loop (see :mod:`repro.core.reconstruct`): a live CHA that stayed silent
+  on a probe must lie on neither the vertical nor the horizontal segment of
+  that probe's route, encoded as selector-binary disjunctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import MappingError
+from repro.core.observations import PathObservation
+from repro.ilp.model import Model, Variable, lin_sum
+from repro.mesh.geometry import GridSpec
+from repro.util.dsu import DisjointSets
+
+
+@dataclass
+class IlpLayout:
+    """A built layout model plus the bookkeeping to read positions back."""
+
+    model: Model
+    grid: GridSpec
+    #: CHA → dense row/column class index (identity classes when not reduced).
+    row_class_of: dict[int, int]
+    col_class_of: dict[int, int]
+    #: Class index → position variable.
+    row_vars: list[Variable]
+    col_vars: list[Variable]
+    #: CHAs that appear in at least one observation (locatable).
+    observed: frozenset[int]
+    #: CHAs with no observation at all (cannot be located; §II-B item 4).
+    unobserved: frozenset[int]
+    reduced: bool
+    #: Number of NE/NW guard pairs actually created.
+    n_direction_guards: int = 0
+    #: Observation index → its (NE, NW) guard pair (shared when deduped).
+    guards: dict[int, tuple[Variable, Variable]] = field(default_factory=dict)
+    #: One-hot binaries: (class index, grid index) → variable.
+    row_onehots: dict[tuple[int, int], Variable] = field(default_factory=dict)
+    col_onehots: dict[tuple[int, int], Variable] = field(default_factory=dict)
+    #: Route exclusions already added (observation index, excluded CHA).
+    exclusions: set[tuple[int, int]] = field(default_factory=set)
+
+    def row_var(self, cha: int) -> Variable:
+        return self.row_vars[self.row_class_of[cha]]
+
+    def col_var(self, cha: int) -> Variable:
+        return self.col_vars[self.col_class_of[cha]]
+
+    @property
+    def big_m(self) -> int:
+        return self.grid.n_rows + self.grid.n_cols + 2
+
+
+def build_layout_model(
+    observations: list[PathObservation],
+    n_chas: int,
+    grid: GridSpec,
+    endpoint_chas: frozenset[int] | None = None,
+    reduce: bool = True,
+) -> IlpLayout:
+    """Build the §II-C model from step-2 observations.
+
+    ``endpoint_chas`` are the CHAs known to carry cores (probe endpoints);
+    the rest are LLC-only and receive explicit distinctness constraints.
+    ``grid`` is the die's tile grid, known from the public floorplan.
+    """
+    if n_chas <= 0:
+        raise ValueError("n_chas must be positive")
+    observed = set()
+    for obs in observations:
+        if not 0 <= obs.source_cha < n_chas or not 0 <= obs.sink_cha < n_chas:
+            raise ValueError("observation references an out-of-range CHA")
+        observed.add(obs.source_cha)
+        observed.add(obs.sink_cha)
+        observed |= obs.observers
+    unobserved = frozenset(range(n_chas)) - observed
+    endpoints = endpoint_chas if endpoint_chas is not None else frozenset(observed)
+
+    # Alignment classes (always computed; used for distinctness even when
+    # the model itself is not reduced).
+    col_dsu = DisjointSets(n_chas)
+    row_dsu = DisjointSets(n_chas)
+    for obs in observations:
+        for v in obs.vertical_observers:
+            col_dsu.union(obs.source_cha, v)
+        for h in obs.horizontal:
+            row_dsu.union(obs.sink_cha, h)
+
+    model = Model("core-layout")
+    big_m = grid.n_rows + grid.n_cols + 2
+
+    if reduce:
+        row_class_of, row_vars = _class_variables(model, row_dsu, observed, grid.n_rows, "R")
+        col_class_of, col_vars = _class_variables(model, col_dsu, observed, grid.n_cols, "C")
+    else:
+        row_class_of = {cha: cha for cha in observed}
+        col_class_of = {cha: cha for cha in observed}
+        row_vars = [None] * n_chas  # type: ignore[list-item]
+        col_vars = [None] * n_chas  # type: ignore[list-item]
+        for cha in sorted(observed):
+            row_vars[cha] = model.add_integer(f"R_{cha}", 0, grid.n_rows - 1)
+            col_vars[cha] = model.add_integer(f"C_{cha}", 0, grid.n_cols - 1)
+
+    def rv(cha: int) -> Variable:
+        return row_vars[row_class_of[cha]]
+
+    def cv(cha: int) -> Variable:
+        return col_vars[col_class_of[cha]]
+
+    # -- alignment constraints (explicit only in the faithful full model) ------
+    if not reduce:
+        for p, obs in enumerate(observations):
+            for v in sorted(obs.vertical_observers):
+                model.add_constraint(
+                    (cv(v) - cv(obs.source_cha)).make_eq(0), name=f"align_col_p{p}_cha{v}"
+                )
+            for h in sorted(obs.horizontal):
+                model.add_constraint(
+                    (rv(h) - rv(obs.sink_cha)).make_eq(0), name=f"align_row_p{p}_cha{h}"
+                )
+
+    # -- vertical bounding boxes -------------------------------------------------
+    for p, obs in enumerate(observations):
+        s, e = obs.source_cha, obs.sink_cha
+        for k in sorted(obs.up):
+            # Upward travel: row indices shrink toward the sink.
+            model.add_constraint(rv(s) - rv(k) >= 1, name=f"vbox_up_s_p{p}_cha{k}")
+            model.add_constraint(rv(k) - rv(e) >= 0, name=f"vbox_up_e_p{p}_cha{k}")
+        for k in sorted(obs.down):
+            model.add_constraint(rv(k) - rv(s) >= 1, name=f"vbox_dn_s_p{p}_cha{k}")
+            model.add_constraint(rv(e) - rv(k) >= 0, name=f"vbox_dn_e_p{p}_cha{k}")
+
+    # -- horizontal bounding boxes with NE/NW direction guards --------------------
+    n_guards = 0
+    guards: dict[int, tuple[Variable, Variable]] = {}
+    signature_guards: dict[tuple, tuple[Variable, Variable]] = {}
+    for p, obs in enumerate(observations):
+        if not obs.has_horizontal or obs.sink_reached_vertically:
+            continue
+        s, e = obs.source_cha, obs.sink_cha
+        intermediates = sorted(
+            {cha for cha in obs.horizontal if cha != e}, key=lambda cha: col_class_of[cha]
+        )
+        signature = (
+            col_class_of[s],
+            col_class_of[e],
+            frozenset(col_class_of[k] for k in intermediates),
+        )
+        if reduce and signature in signature_guards:
+            guards[p] = signature_guards[signature]
+            continue
+        ne = model.add_binary(f"NE_p{p}")
+        nw = model.add_binary(f"NW_p{p}")
+        guards[p] = (ne, nw)
+        signature_guards[signature] = (ne, nw)
+        n_guards += 1
+        model.add_constraint((ne + nw).make_eq(1), name=f"dir_p{p}")
+        # Eastbound set (active when NE == 0): columns grow source → sink.
+        model.add_constraint(cv(e) - cv(s) + big_m * ne >= 1, name=f"hbox_e_ends_p{p}")
+        # Westbound set (active when NW == 0): columns shrink source → sink.
+        model.add_constraint(cv(s) - cv(e) + big_m * nw >= 1, name=f"hbox_w_ends_p{p}")
+        for k in intermediates:
+            model.add_constraint(cv(k) - cv(s) + big_m * ne >= 0, name=f"hbox_e_sk_p{p}_{k}")
+            model.add_constraint(cv(e) - cv(k) + big_m * ne >= 1, name=f"hbox_e_ke_p{p}_{k}")
+            model.add_constraint(cv(s) - cv(k) + big_m * nw >= 0, name=f"hbox_w_sk_p{p}_{k}")
+            model.add_constraint(cv(k) - cv(e) + big_m * nw >= 1, name=f"hbox_w_ke_p{p}_{k}")
+
+    # -- horizontal observers never share the source's column ---------------------
+    # (the tile at the source column on the sink row is the turn tile, which
+    # is entered vertically; equality would misclassify the channel type).
+    strict_pairs: set[tuple[int, int]] = set()
+    for obs in observations:
+        if obs.sink_reached_vertically:
+            continue
+        for k in obs.horizontal:
+            a, bcls = col_class_of[k], col_class_of[obs.source_cha]
+            if a == bcls:
+                raise MappingError(
+                    f"CHA {k} observed horizontal ingress but shares a column "
+                    f"class with source {obs.source_cha}; inconsistent input"
+                )
+            strict_pairs.add((min(a, bcls), max(a, bcls)))
+    for index, (a, bcls) in enumerate(sorted(strict_pairs)):
+        z = model.add_binary(f"colneq_{a}_{bcls}")
+        va, vb = col_vars[a], col_vars[bcls]
+        model.add_constraint(va - vb + big_m * z >= 1, name=f"colneq1_{index}")
+        model.add_constraint(vb - va + big_m * (1 - z) >= 1, name=f"colneq2_{index}")
+
+    # -- distinctness for LLC-only CHAs ---------------------------------------------
+    llc_like = sorted(observed - endpoints)
+    for i in llc_like:
+        for j in sorted(observed):
+            if j == i or (j in llc_like and j < i):
+                continue  # each unordered pair once
+            _add_distinctness(model, rv, cv, row_class_of, col_class_of, i, j, big_m)
+
+    # -- one-hot encodings, indicators and the objective ----------------------------
+    row_obj, row_onehots = _add_indicators(model, row_vars, row_class_of, grid.n_rows, "R")
+    col_obj, col_onehots = _add_indicators(model, col_vars, col_class_of, grid.n_cols, "C")
+    model.minimize(row_obj + col_obj)
+
+    return IlpLayout(
+        model=model,
+        grid=grid,
+        row_class_of=row_class_of,
+        col_class_of=col_class_of,
+        row_vars=row_vars,
+        col_vars=col_vars,
+        observed=frozenset(observed),
+        unobserved=unobserved,
+        reduced=reduce,
+        n_direction_guards=n_guards,
+        guards=guards,
+        row_onehots=row_onehots,
+        col_onehots=col_onehots,
+    )
+
+
+def add_route_exclusion(layout: IlpLayout, obs_index: int, obs: PathObservation, cha: int) -> bool:
+    """Constrain ``cha`` to lie on neither segment of observation ``obs``'s route.
+
+    Negative information: ``cha``'s PMON was live yet silent during this
+    probe, so it cannot sit on the vertical segment (source's column,
+    between source and sink rows) nor on the horizontal segment (sink's
+    row, strictly between the columns, sink side inclusive). Returns False
+    if this exclusion was already added.
+    """
+    key = (obs_index, cha)
+    if key in layout.exclusions:
+        return False
+    layout.exclusions.add(key)
+
+    model = layout.model
+    b = layout.big_m
+    rv, cv = layout.row_var, layout.col_var
+    s, e = obs.source_cha, obs.sink_cha
+    tag = f"x{obs_index}_{cha}"
+
+    # --- not on the vertical segment -------------------------------------------
+    a1 = model.add_binary(f"va1_{tag}")  # column differs (west side)
+    a2 = model.add_binary(f"va2_{tag}")  # column differs (east side)
+    a3 = model.add_binary(f"va3_{tag}")  # row below the segment
+    a4 = model.add_binary(f"va4_{tag}")  # row above the segment
+    model.add_constraint(cv(s) - cv(cha) + b * (1 - a1) >= 1, name=f"vx1_{tag}")
+    model.add_constraint(cv(cha) - cv(s) + b * (1 - a2) >= 1, name=f"vx2_{tag}")
+    if obs.up:
+        # Segment rows: R_e .. R_s-1 (travelling upward).
+        model.add_constraint(rv(e) - rv(cha) + b * (1 - a3) >= 1, name=f"vx3_{tag}")
+        model.add_constraint(rv(cha) - rv(s) + b * (1 - a4) >= 0, name=f"vx4_{tag}")
+    elif obs.down:
+        # Segment rows: R_s+1 .. R_e.
+        model.add_constraint(rv(s) - rv(cha) + b * (1 - a3) >= 0, name=f"vx3_{tag}")
+        model.add_constraint(rv(cha) - rv(e) + b * (1 - a4) >= 1, name=f"vx4_{tag}")
+    else:
+        # Direction unknown (all vertical observers disabled): exclude the
+        # closed row interval between source and sink.
+        model.add_constraint(rv(s) - rv(cha) + b * (1 - a3) >= 1, name=f"vx3a_{tag}")
+        model.add_constraint(rv(e) - rv(cha) + b * (1 - a3) >= 1, name=f"vx3b_{tag}")
+        model.add_constraint(rv(cha) - rv(s) + b * (1 - a4) >= 1, name=f"vx4a_{tag}")
+        model.add_constraint(rv(cha) - rv(e) + b * (1 - a4) >= 1, name=f"vx4b_{tag}")
+    model.add_constraint(lin_sum([a1, a2, a3, a4]) >= 1, name=f"vsel_{tag}")
+
+    # --- not on the horizontal segment -------------------------------------------
+    if obs.has_horizontal and not obs.sink_reached_vertically and obs_index in layout.guards:
+        ne, nw = layout.guards[obs_index]
+        b1 = model.add_binary(f"hb1_{tag}")  # row above the sink row
+        b2 = model.add_binary(f"hb2_{tag}")  # row below the sink row
+        b3 = model.add_binary(f"hb3_{tag}")  # on the source side of the span
+        b4 = model.add_binary(f"hb4_{tag}")  # beyond the sink
+        model.add_constraint(rv(e) - rv(cha) + b * (1 - b1) >= 1, name=f"hx1_{tag}")
+        model.add_constraint(rv(cha) - rv(e) + b * (1 - b2) >= 1, name=f"hx2_{tag}")
+        # Source side: eastbound ⇒ C_t ≤ C_s; westbound ⇒ C_t ≥ C_s.
+        model.add_constraint(
+            cv(s) - cv(cha) + b * (1 - b3) + b * ne >= 0, name=f"hx3e_{tag}"
+        )
+        model.add_constraint(
+            cv(cha) - cv(s) + b * (1 - b3) + b * nw >= 0, name=f"hx3w_{tag}"
+        )
+        # Beyond the sink: eastbound ⇒ C_t ≥ C_e+1; westbound ⇒ C_t ≤ C_e-1.
+        model.add_constraint(
+            cv(cha) - cv(e) + b * (1 - b4) + b * ne >= 1, name=f"hx4e_{tag}"
+        )
+        model.add_constraint(
+            cv(e) - cv(cha) + b * (1 - b4) + b * nw >= 1, name=f"hx4w_{tag}"
+        )
+        model.add_constraint(lin_sum([b1, b2, b3, b4]) >= 1, name=f"hsel_{tag}")
+    return True
+
+
+def _class_variables(
+    model: Model,
+    dsu: DisjointSets,
+    observed: set[int],
+    upper: int,
+    prefix: str,
+) -> tuple[dict[int, int], list[Variable]]:
+    """One bounded integer variable per alignment class of observed CHAs."""
+    roots = sorted({dsu.find(cha) for cha in observed})
+    class_of_root = {root: idx for idx, root in enumerate(roots)}
+    class_of = {cha: class_of_root[dsu.find(cha)] for cha in observed}
+    variables = [
+        model.add_integer(f"{prefix}cls_{idx}", 0, upper - 1) for idx in range(len(roots))
+    ]
+    return class_of, variables
+
+
+def _add_distinctness(model, rv, cv, row_class_of, col_class_of, i, j, big_m) -> None:
+    """Forbid CHAs ``i`` and ``j`` from sharing a tile.
+
+    Uses the cheapest sufficient encoding: if the alignment classes already
+    pin them to one shared axis, a single binary separates the other axis;
+    otherwise two binaries select one of four separations.
+    """
+    same_row = row_class_of[i] == row_class_of[j]
+    same_col = col_class_of[i] == col_class_of[j]
+    if same_row and same_col:
+        raise MappingError(
+            f"observations force CHAs {i} and {j} onto one tile; inconsistent input"
+        )
+    if same_col:
+        z = model.add_binary(f"sep_r_{i}_{j}")
+        model.add_constraint(rv(i) - rv(j) + big_m * z >= 1, name=f"diff_r1_{i}_{j}")
+        model.add_constraint(rv(j) - rv(i) + big_m * (1 - z) >= 1, name=f"diff_r2_{i}_{j}")
+        return
+    if same_row:
+        z = model.add_binary(f"sep_c_{i}_{j}")
+        model.add_constraint(cv(i) - cv(j) + big_m * z >= 1, name=f"diff_c1_{i}_{j}")
+        model.add_constraint(cv(j) - cv(i) + big_m * (1 - z) >= 1, name=f"diff_c2_{i}_{j}")
+        return
+    za = model.add_binary(f"sep_a_{i}_{j}")
+    zb = model.add_binary(f"sep_b_{i}_{j}")
+    model.add_constraint(
+        rv(i) - rv(j) + big_m * (za + zb) >= 1, name=f"diff_q1_{i}_{j}"
+    )
+    model.add_constraint(
+        rv(j) - rv(i) + big_m * (1 - za + zb) >= 1, name=f"diff_q2_{i}_{j}"
+    )
+    model.add_constraint(
+        cv(i) - cv(j) + big_m * (za + 1 - zb) >= 1, name=f"diff_q3_{i}_{j}"
+    )
+    model.add_constraint(
+        cv(j) - cv(i) + big_m * (2 - za - zb) >= 1, name=f"diff_q4_{i}_{j}"
+    )
+
+
+def _add_indicators(model, variables, class_of, upper, prefix):
+    """§II-C-5/6: one-hot encodings, occupancy indicators, weighted objective.
+
+    Indicator ``I_r`` is 1 iff some class occupies index ``r``; the
+    objective term ``sum((r + 1) * I_r)`` makes larger indices costlier, so
+    the optimum is the tightest packing. Returns the objective expression
+    and the one-hot variable dictionary keyed by (class, index).
+    """
+    used = sorted({class_of[cha] for cha in class_of})
+    big_m = len(used) + 1
+    indicator_terms = []
+    onehots: dict[tuple[int, int], Variable] = {}
+    one_hots_by_index: list[list[Variable]] = [[] for _ in range(upper)]
+    for q in used:
+        var = variables[q]
+        one_hot = [model.add_binary(f"OH{prefix}_{q}_{r}") for r in range(upper)]
+        model.add_constraint(lin_sum(one_hot).make_eq(1), name=f"oh_sum_{prefix}{q}")
+        model.add_constraint(
+            (lin_sum(r * oh for r, oh in enumerate(one_hot)) - var).make_eq(0),
+            name=f"oh_link_{prefix}{q}",
+        )
+        for r, oh in enumerate(one_hot):
+            one_hots_by_index[r].append(oh)
+            onehots[(q, r)] = oh
+    for r in range(upper):
+        indicator = model.add_binary(f"{prefix}I_{r}")
+        occupancy = lin_sum(one_hots_by_index[r]) if one_hots_by_index[r] else None
+        if occupancy is None:
+            continue
+        model.add_constraint(occupancy - indicator >= 0, name=f"ind_lo_{prefix}{r}")
+        model.add_constraint(big_m * indicator - occupancy >= 0, name=f"ind_hi_{prefix}{r}")
+        indicator_terms.append((r + 1) * indicator)
+    return lin_sum(indicator_terms), onehots

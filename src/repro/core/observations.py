@@ -1,0 +1,92 @@
+"""Path observations — the partial information the ring counters yield.
+
+One §II-B probe (source core, sink core) produces a :class:`PathObservation`
+after thresholding the per-CHA ingress readings:
+
+* ``up``/``down`` — CHAs that saw vertical BL-ring ingress (direction is
+  truthful);
+* ``horizontal`` — CHAs that saw horizontal ingress (LEFT/RIGHT labels are
+  direction-blind, §II-C-4, so they are pooled).
+
+The observation is *partial*: disabled tiles report nothing, and only
+ingress is visible. That is all the information the ILP receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mesh.routing import Channel
+from repro.uncore.session import ChannelReading
+
+
+@dataclass(frozen=True)
+class PathObservation:
+    """Thresholded ingress observations for one source→sink probe."""
+
+    source_cha: int
+    sink_cha: int
+    up: frozenset[int] = frozenset()
+    down: frozenset[int] = frozenset()
+    horizontal: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.source_cha == self.sink_cha:
+            raise ValueError("a path needs distinct source and sink")
+        if self.source_cha in (self.up | self.down | self.horizontal):
+            raise ValueError("the source never receives its own traffic")
+
+    @property
+    def has_vertical(self) -> bool:
+        return bool(self.up or self.down)
+
+    @property
+    def has_horizontal(self) -> bool:
+        return bool(self.horizontal)
+
+    @property
+    def vertical_observers(self) -> frozenset[int]:
+        return self.up | self.down
+
+    @property
+    def observers(self) -> frozenset[int]:
+        return self.up | self.down | self.horizontal
+
+    @property
+    def sink_reached_vertically(self) -> bool:
+        """True iff the sink's last hop was vertical ⇒ same column as source."""
+        return self.sink_cha in self.vertical_observers
+
+
+def observation_from_readings(
+    source_cha: int,
+    sink_cha: int,
+    readings: list[ChannelReading],
+    threshold: int,
+) -> PathObservation:
+    """Threshold raw counter readings into a :class:`PathObservation`.
+
+    ``threshold`` separates probe traffic (≈ 2 cycles × rounds on every
+    path tile) from background noise; the pipeline sets it to ``rounds``
+    (half the expected signal).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    up, down, horizontal = set(), set(), set()
+    for reading in readings:
+        if reading.cha_id == source_cha:
+            continue  # egress is never counted; any reading here is noise
+        if reading.cycles.get(Channel.UP, 0) >= threshold:
+            up.add(reading.cha_id)
+        if reading.cycles.get(Channel.DOWN, 0) >= threshold:
+            down.add(reading.cha_id)
+        h = reading.cycles.get(Channel.LEFT, 0) + reading.cycles.get(Channel.RIGHT, 0)
+        if h >= threshold:
+            horizontal.add(reading.cha_id)
+    return PathObservation(
+        source_cha=source_cha,
+        sink_cha=sink_cha,
+        up=frozenset(up),
+        down=frozenset(down),
+        horizontal=frozenset(horizontal),
+    )

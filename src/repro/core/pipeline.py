@@ -1,0 +1,100 @@
+"""End-to-end mapping pipeline (§II): the tool a user would actually run.
+
+``map_cpu(machine)`` performs all three steps against a machine and returns
+the reconstructed :class:`~repro.core.coremap.CoreMap` keyed by the CPU's
+PPIN — exactly the artefact the paper stores per cloud instance ("once we
+map the core locations of a CPU instance, we can associate the core map
+with the PPIN").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.cha_mapping import ChaMappingResult, build_eviction_sets, map_os_to_cha
+from repro.core.coremap import CoreMap
+from repro.core.probes import collect_observations
+from repro.core.reconstruct import ReconstructionResult, reconstruct_map
+from repro.mesh.geometry import GridSpec
+from repro.sim.machine import SimulatedMachine
+from repro.uncore.session import UncorePmonSession
+
+
+@dataclass(frozen=True)
+class MappingConfig:
+    """Tunables of the pipeline (paper defaults)."""
+
+    #: Contended-write rounds per home-slice discovery probe.
+    home_discovery_rounds: int = 400
+    #: Eviction sweeps per co-location test.
+    colocation_sweeps: int = 100
+    #: Producer/consumer rounds per step-2 traffic probe.
+    probe_rounds: int = 2000
+    #: L2 set used for all eviction sets.
+    l2_set: int = 0
+    #: Use the alignment-class-reduced ILP (equivalent, much smaller).
+    reduce_ilp: bool = True
+    #: Optional MILP backend override (defaults to HiGHS via SciPy).
+    solver: object | None = None
+
+
+@dataclass
+class MappingResult:
+    """Everything the pipeline learned about one CPU instance."""
+
+    ppin: int
+    cha_mapping: ChaMappingResult
+    reconstruction: ReconstructionResult
+    elapsed_seconds: float
+
+    @property
+    def core_map(self) -> CoreMap:
+        return self.reconstruction.core_map
+
+
+def map_cpu(
+    machine: SimulatedMachine,
+    grid: GridSpec | None = None,
+    config: MappingConfig | None = None,
+) -> MappingResult:
+    """Run the full three-step pipeline against ``machine``.
+
+    ``grid`` is the die's tile grid, known from the CPU model's public
+    floorplan; it defaults to the machine's SKU grid (the same information,
+    fetched from the catalogue).
+    """
+    config = config or MappingConfig()
+    grid = grid or machine.instance.sku.die.grid
+    started = time.perf_counter()
+
+    session = UncorePmonSession(machine.msr, machine.n_chas)
+
+    # Step 1: OS core ID ↔ CHA ID.
+    eviction_sets = build_eviction_sets(
+        machine, session, l2_set=config.l2_set, rounds=config.home_discovery_rounds
+    )
+    cha_mapping = map_os_to_cha(
+        machine, session, eviction_sets, sweeps=config.colocation_sweeps
+    )
+
+    # Step 2: pairwise traffic probes.
+    observations = collect_observations(
+        machine, session, cha_mapping, rounds=config.probe_rounds
+    )
+
+    # Step 3: ILP reconstruction.
+    reconstruction = reconstruct_map(
+        observations,
+        cha_mapping,
+        grid,
+        solver=config.solver,
+        reduce=config.reduce_ilp,
+    )
+
+    return MappingResult(
+        ppin=machine.read_ppin(),
+        cha_mapping=cha_mapping,
+        reconstruction=reconstruction,
+        elapsed_seconds=time.perf_counter() - started,
+    )

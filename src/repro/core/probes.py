@@ -1,0 +1,60 @@
+"""Step 2: inter-tile traffic generation and monitoring (§II-B).
+
+For every ordered pair of cores, bounce a cache line homed at the sink
+tile's LLC slice between a writer on the source and a reader on the sink,
+and record which CHAs observed ring ingress. Each probe yields one
+:class:`~repro.core.observations.PathObservation`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.cha_mapping import ChaMappingResult
+from repro.core.errors import MappingError
+from repro.core.observations import PathObservation, observation_from_readings
+from repro.sim.machine import SimulatedMachine
+from repro.sim.threads import ProducerConsumer
+from repro.uncore.session import UncorePmonSession
+
+
+def default_probe_pairs(os_cores: list[int]) -> list[tuple[int, int]]:
+    """All ordered pairs of distinct cores — the paper probes everything."""
+    return [(a, b) for a in os_cores for b in os_cores if a != b]
+
+
+def collect_observations(
+    machine: SimulatedMachine,
+    session: UncorePmonSession,
+    cha_mapping: ChaMappingResult,
+    rounds: int = 2000,
+    threshold: int | None = None,
+    pairs: Iterable[tuple[int, int]] | None = None,
+) -> list[PathObservation]:
+    """Probe core pairs and threshold the counter readings into observations.
+
+    The default ``threshold`` equals ``rounds``: probe traffic occupies
+    ~2 cycles × rounds on every tile of the path, so half of that cleanly
+    separates signal from co-tenant noise.
+    """
+    if threshold is None:
+        threshold = rounds
+    session.program_ring_monitors()
+    probe_pairs = list(pairs) if pairs is not None else default_probe_pairs(machine.os_cores())
+
+    observations: list[PathObservation] = []
+    for source_os, sink_os in probe_pairs:
+        source_cha = cha_mapping.os_to_cha.get(source_os)
+        sink_cha = cha_mapping.os_to_cha.get(sink_os)
+        if source_cha is None or sink_cha is None:
+            raise MappingError(f"pair ({source_os}, {sink_os}) has unmapped cores")
+        sink_set = cha_mapping.eviction_sets[sink_cha]
+        if not sink_set.addresses:
+            raise MappingError(f"no known line homed at CHA {sink_cha}")
+        address = sink_set.addresses[0]
+        workload = ProducerConsumer(source_os, sink_os, address, rounds)
+        readings = session.measure_rings(lambda: machine.execute(workload))
+        observations.append(
+            observation_from_readings(source_cha, sink_cha, readings, threshold)
+        )
+    return observations

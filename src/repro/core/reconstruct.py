@@ -1,0 +1,209 @@
+"""Step 3: solve the layout ILP and extract the core map.
+
+Beyond the plain §II-C solve, this module adds a **consistency-refinement
+loop** (an extension documented in DESIGN.md): the paper's constraints only
+encode *positive* observations (who saw traffic), so the tightest-packing
+objective can occasionally return a layout that is positively consistent
+yet contradicts *negative* information — a live CHA that sits on the
+hypothesised route but saw nothing, or saw the wrong channel class. The
+loop simulates the observations each candidate layout would have produced
+(dimension-order routing is deterministic), and when a contradiction is
+found it excludes that exact assignment with a no-good cut over the one-hot
+variables and re-solves. The accepted layout reproduces every measured
+observation exactly. ``refine=False`` gives the paper's raw behaviour
+(ablated in ``benchmarks/bench_ablation_solver.py``).
+
+§II-D semantics also live here: when a whole tile row or column is vacant,
+absolute indices cannot be recovered — the objective compacts the gap — but
+the relative placement is still correct. :class:`ReconstructionResult`
+records enough to detect that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cha_mapping import ChaMappingResult
+from repro.core.coremap import CoreMap
+from repro.core.errors import MappingError, ReconstructionInfeasible
+from repro.core.ilp_formulation import IlpLayout, add_route_exclusion, build_layout_model
+from repro.core.observations import PathObservation
+from repro.ilp import default_solver
+from repro.ilp.model import lin_sum
+from repro.ilp.solution import Solution
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.routing import Channel, ingress_events
+
+
+@dataclass
+class ReconstructionResult:
+    """A reconstructed map plus solver diagnostics."""
+
+    core_map: CoreMap
+    solution: Solution
+    layout: IlpLayout
+    #: CHAs that appeared in no observation and could not be placed.
+    unlocated_chas: frozenset[int]
+    #: Number of no-good cuts the consistency loop needed (0 = first
+    #: solution already explained every observation).
+    refinement_cuts: int = 0
+    #: True when the accepted layout reproduces every observation exactly.
+    consistent: bool = True
+
+    @property
+    def occupied_shape(self) -> tuple[int, int]:
+        rows = self.core_map.occupied_rows()
+        cols = self.core_map.occupied_cols()
+        return (len(rows), len(cols))
+
+    def may_have_vacant_lines(self) -> bool:
+        """§II-D: fewer occupied rows/cols than the grid has ⇒ the absolute
+        indices may be shifted by unobservable vacant lines."""
+        rows, cols = self.occupied_shape
+        return rows < self.layout.grid.n_rows or cols < self.layout.grid.n_cols
+
+
+def predict_observation(
+    positions: dict[int, TileCoord], source_cha: int, sink_cha: int
+) -> PathObservation:
+    """Observations a hypothesised layout would produce for one probe.
+
+    Routing is Y-first dimension-order; only tiles that carry a located CHA
+    report ingress (everything else is a disabled/IMC tile or empty space).
+    """
+    cha_at: dict[TileCoord, int] = {coord: cha for cha, coord in positions.items()}
+    up, down, horizontal = set(), set(), set()
+    for coord, channel in ingress_events(positions[source_cha], positions[sink_cha]):
+        cha = cha_at.get(coord)
+        if cha is None:
+            continue
+        if channel is Channel.UP:
+            up.add(cha)
+        elif channel is Channel.DOWN:
+            down.add(cha)
+        else:
+            horizontal.add(cha)
+    return PathObservation(
+        source_cha=source_cha,
+        sink_cha=sink_cha,
+        up=frozenset(up),
+        down=frozenset(down),
+        horizontal=frozenset(horizontal),
+    )
+
+
+def _find_contradictions(
+    positions: dict[int, TileCoord], observations: list[PathObservation]
+) -> list[tuple[int, PathObservation, frozenset[int]]]:
+    """Measured observations the hypothesis fails to reproduce.
+
+    Returns ``(index, observation, phantom_observers)`` triples, where the
+    phantoms are CHAs the hypothesis puts on the route although their live
+    counters stayed silent — the negative information the base §II-C model
+    does not encode.
+    """
+    out = []
+    for index, obs in enumerate(observations):
+        predicted = predict_observation(positions, obs.source_cha, obs.sink_cha)
+        mismatch = (
+            predicted.up != obs.up
+            or predicted.down != obs.down
+            or predicted.horizontal != obs.horizontal
+        )
+        if mismatch:
+            phantoms = predicted.observers - obs.observers
+            out.append((index, obs, phantoms))
+    return out
+
+
+def reconstruct_map(
+    observations: list[PathObservation],
+    cha_mapping: ChaMappingResult,
+    grid: GridSpec,
+    solver=None,
+    reduce: bool = True,
+    refine: bool = True,
+    max_refinements: int = 80,
+) -> ReconstructionResult:
+    """Build and solve the §II-C ILP; return the placed core map."""
+    if not observations:
+        raise MappingError("cannot reconstruct a map from zero observations")
+    n_chas = len(cha_mapping.os_to_cha) + len(cha_mapping.llc_only_chas)
+    layout = build_layout_model(
+        observations,
+        n_chas=n_chas,
+        grid=grid,
+        endpoint_chas=cha_mapping.core_chas(),
+        reduce=reduce,
+    )
+    solver = solver or default_solver()
+
+    cuts = 0
+    while True:
+        solution = solver.solve(layout.model)
+        if not solution.status.ok:
+            raise ReconstructionInfeasible(
+                f"layout ILP ended with status {solution.status.value} after "
+                f"{cuts} refinement rounds: {solution.message}"
+            )
+        positions = _extract_positions(layout, solution)
+        if not refine:
+            consistent = not _find_contradictions(positions, observations)
+            break
+        contradictions = _find_contradictions(positions, observations)
+        if not contradictions:
+            consistent = True
+            break
+        if cuts >= max_refinements:
+            consistent = False
+            break
+        # Targeted negative constraints: every phantom observer is excluded
+        # from its path's route. If a round contributes nothing new (e.g.
+        # pure extra/missing-observer noise), fall back to a no-good cut so
+        # the loop still makes progress.
+        added_any = False
+        for index, obs, phantoms in contradictions:
+            for cha in sorted(phantoms):
+                added_any |= add_route_exclusion(layout, index, obs, cha)
+        if not added_any:
+            _add_no_good_cut(layout, solution, cuts)
+        cuts += 1
+
+    core_map = CoreMap(
+        grid=grid,
+        cha_positions=positions,
+        os_to_cha=dict(cha_mapping.os_to_cha),
+        llc_only_chas=frozenset(cha_mapping.llc_only_chas) & frozenset(positions),
+    )
+    return ReconstructionResult(
+        core_map=core_map,
+        solution=solution,
+        layout=layout,
+        unlocated_chas=layout.unobserved,
+        refinement_cuts=cuts,
+        consistent=consistent,
+    )
+
+
+def _extract_positions(layout: IlpLayout, solution: Solution) -> dict[int, TileCoord]:
+    positions: dict[int, TileCoord] = {}
+    for cha in sorted(layout.observed):
+        row = solution.int_value_of(layout.row_vars[layout.row_class_of[cha]])
+        col = solution.int_value_of(layout.col_vars[layout.col_class_of[cha]])
+        positions[cha] = TileCoord(row, col)
+    return positions
+
+
+def _add_no_good_cut(layout: IlpLayout, solution: Solution, cut_index: int) -> None:
+    """Exclude exactly the current one-hot assignment from the model."""
+    active = [
+        var
+        for onehots in (layout.row_onehots, layout.col_onehots)
+        for var in onehots.values()
+        if solution.int_value_of(var) == 1
+    ]
+    if not active:
+        raise ReconstructionInfeasible("cannot cut an empty assignment")
+    layout.model.add_constraint(
+        lin_sum(active) <= len(active) - 1, name=f"nogood_{cut_index}"
+    )

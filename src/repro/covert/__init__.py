@@ -1,0 +1,56 @@
+"""Inter-core thermal covert channel (§IV/§V).
+
+The sender toggles CPU load to heat its tile; the receiver reads its own
+core's 1 °C-granular temperature sensor; bits are Manchester-coded to avoid
+thermal bias, and the decoder synchronises on a signature preamble (§IV-A).
+
+* :mod:`repro.covert.encoding` — Manchester code + signature sequences;
+* :mod:`repro.covert.fec` — optional Hamming(7,4) layer (extension; the
+  paper reports raw BER without error correction);
+* :mod:`repro.covert.receiver` — slope/level detectors over quantised
+  samples;
+* :mod:`repro.covert.syncdec` — signature-offset synchronisation;
+* :mod:`repro.covert.channel` — the transmission orchestrator (single and
+  concurrent multi-channel);
+* :mod:`repro.covert.multi` — sender/receiver placement from a recovered
+  core map: multiple surrounding senders (§V-B) and parallel channels
+  (§V-C);
+* :mod:`repro.covert.metrics` — BER / throughput / BSC capacity.
+"""
+
+from repro.covert.encoding import SIGNATURE, manchester_encode, manchester_decode_levels
+from repro.covert.fec import hamming74_encode, hamming74_decode
+from repro.covert.receiver import DetectorKind, detect_bits
+from repro.covert.syncdec import synchronize
+from repro.covert.channel import ChannelConfig, ChannelSpec, TransmissionResult, run_transmission, run_concurrent
+from repro.covert.multi import (
+    surrounding_senders,
+    pick_vertical_pairs,
+    multi_sender_measurement,
+    multi_channel_measurement,
+)
+from repro.covert.external import ExternalProbe, run_external_transmission
+from repro.covert.metrics import MeasurementPoint
+
+__all__ = [
+    "SIGNATURE",
+    "manchester_encode",
+    "manchester_decode_levels",
+    "hamming74_encode",
+    "hamming74_decode",
+    "DetectorKind",
+    "detect_bits",
+    "synchronize",
+    "ChannelConfig",
+    "ChannelSpec",
+    "TransmissionResult",
+    "run_transmission",
+    "run_concurrent",
+    "surrounding_senders",
+    "pick_vertical_pairs",
+    "multi_sender_measurement",
+    "multi_channel_measurement",
+    "ExternalProbe",
+    "run_external_transmission",
+    "MeasurementPoint",
+]

@@ -1,0 +1,174 @@
+"""Transmission orchestration for the thermal covert channel.
+
+A frame is ``warm-up bits + signature + payload``, Manchester-encoded into
+half-period load levels. The orchestrator drives the machine's thermal
+simulation sample-by-sample while the receiver(s) poll their core sensor —
+exactly the paper's setup, including concurrent multi-channel operation
+(§V-C) where several sender/receiver pairs transmit simultaneously and
+interfere through the shared die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.covert.encoding import SIGNATURE, manchester_encode
+from repro.covert.receiver import DetectorKind, detect_bits
+from repro.covert.syncdec import SyncResult, synchronize
+from repro.sim.machine import SimulatedMachine
+from repro.util.stats import bit_error_rate
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Transmission parameters."""
+
+    bit_rate: float = 1.0
+    #: Sensor polls per bit period (must be even: Manchester halves).
+    samples_per_bit: int = 10
+    signature: tuple[int, ...] = SIGNATURE
+    #: Alternating warm-up bits before the signature (thermal settling).
+    warmup_bits: int = 4
+    detector: DetectorKind = DetectorKind.SLOPE
+
+    def __post_init__(self) -> None:
+        if self.bit_rate <= 0:
+            raise ValueError("bit_rate must be positive")
+        if self.samples_per_bit < 4 or self.samples_per_bit % 2:
+            raise ValueError("samples_per_bit must be an even number >= 4")
+        if self.warmup_bits < 0:
+            raise ValueError("warmup_bits must be non-negative")
+
+    @property
+    def sample_dt(self) -> float:
+        return 1.0 / (self.bit_rate * self.samples_per_bit)
+
+    @property
+    def warmup(self) -> list[int]:
+        return [i % 2 for i in range(self.warmup_bits)]
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One logical channel: synchronized senders, one receiver, a payload."""
+
+    senders: tuple[int, ...]
+    receiver: int
+    payload: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.senders:
+            raise ValueError("a channel needs at least one sender")
+        if self.receiver in self.senders:
+            raise ValueError("the receiver cannot also be a sender")
+        if not self.payload:
+            raise ValueError("payload must be non-empty")
+
+
+@dataclass
+class TransmissionResult:
+    """Outcome of one channel within a transmission."""
+
+    spec: ChannelSpec
+    decoded: list[int]
+    ber: float
+    sync: SyncResult
+    duration_seconds: float
+    samples: np.ndarray
+
+    @property
+    def bit_rate_effective(self) -> float:
+        return len(self.spec.payload) / self.duration_seconds
+
+    @property
+    def errors(self) -> int:
+        n = min(len(self.decoded), len(self.spec.payload))
+        wrong = sum(1 for a, b in zip(self.spec.payload[:n], self.decoded[:n]) if a != b)
+        return wrong + (len(self.spec.payload) - n)
+
+
+def run_concurrent(
+    machine: SimulatedMachine,
+    specs: list[ChannelSpec],
+    config: ChannelConfig,
+) -> list[TransmissionResult]:
+    """Run all channels simultaneously on one machine and decode each."""
+    if not specs:
+        raise ValueError("no channels to run")
+    lengths = {len(s.payload) for s in specs}
+    if len(lengths) != 1:
+        raise ValueError("concurrent channels must share a payload length")
+    used: set[int] = set()
+    for spec in specs:
+        cores = set(spec.senders) | {spec.receiver}
+        if cores & used:
+            raise ValueError("channels must use disjoint cores")
+        used |= cores
+
+    frames = [
+        manchester_encode(config.warmup + list(config.signature) + list(spec.payload))
+        for spec in specs
+    ]
+    n_halves = len(frames[0])
+    spb = config.samples_per_bit
+    half_samples = spb // 2
+    dt = config.sample_dt
+
+    thermal = machine.thermal
+    thermal.set_timestep(dt)
+    sample_buffers: list[list[int]] = [[] for _ in specs]
+
+    for half in range(n_halves):
+        for spec, frame in zip(specs, frames):
+            level = float(frame[half])
+            for sender in spec.senders:
+                machine.set_core_load(sender, level)
+        for _ in range(half_samples):
+            machine.advance_time(dt)
+            for buffer, spec in zip(sample_buffers, specs):
+                buffer.append(machine.read_core_temp_c(spec.receiver))
+
+    # Idle tail so the final bit has its closing sample at every offset.
+    for spec in specs:
+        for sender in spec.senders:
+            machine.set_core_load(sender, 0.0)
+    for _ in range(2 * spb):
+        machine.advance_time(dt)
+        for buffer, spec in zip(sample_buffers, specs):
+            buffer.append(machine.read_core_temp_c(spec.receiver))
+
+    duration = (n_halves / 2) / config.bit_rate
+    results = []
+    for spec, buffer in zip(specs, sample_buffers):
+        samples = np.asarray(buffer, dtype=float)
+        max_offset = (config.warmup_bits + 1) * spb + spb // 2
+        sync = synchronize(samples, spb, config.signature, max_offset, config.detector)
+        payload_offset = sync.offset + len(config.signature) * spb
+        decoded = detect_bits(
+            samples, spb, len(spec.payload), payload_offset, config.detector
+        )
+        results.append(
+            TransmissionResult(
+                spec=spec,
+                decoded=decoded,
+                ber=bit_error_rate(list(spec.payload), decoded),
+                sync=sync,
+                duration_seconds=duration,
+                samples=samples,
+            )
+        )
+    return results
+
+
+def run_transmission(
+    machine: SimulatedMachine,
+    senders: tuple[int, ...] | list[int],
+    receiver: int,
+    payload: list[int],
+    config: ChannelConfig,
+) -> TransmissionResult:
+    """Single-channel convenience wrapper around :func:`run_concurrent`."""
+    spec = ChannelSpec(tuple(senders), receiver, tuple(payload))
+    return run_concurrent(machine, [spec], config)[0]

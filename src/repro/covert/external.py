@@ -1,0 +1,120 @@
+"""External thermal covert channel (§IV).
+
+"Even if the internal channel is blocked, our mechanism can help to create
+a stronger *external* thermal covert channel. An attacker who has physical
+access to the hardware can externally probe the temperature of the desired
+core tiles on the CPU die" [8 — IR pyrometry of small targets].
+
+The external receiver differs from the internal one in every parameter
+that matters:
+
+* it needs the core map to aim the probe — which is exactly what the
+  locating pipeline provides (the probe is aimed at a *tile*, not an OS
+  core ID);
+* its spot averages heat over a small neighbourhood of tiles (optics);
+* it is **not** quantised to 1 °C and not rate-limited by the sensor MSR —
+  so defences that degrade the internal sensor (§IV) do not touch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.covert.channel import ChannelConfig, TransmissionResult, ChannelSpec
+from repro.covert.receiver import detect_bits
+from repro.covert.syncdec import synchronize
+from repro.covert.encoding import manchester_encode
+from repro.mesh.geometry import TileCoord
+from repro.sim.machine import SimulatedMachine
+from repro.util.stats import bit_error_rate
+
+
+@dataclass(frozen=True)
+class ExternalProbe:
+    """An IR pyrometer aimed at one tile of the exposed die.
+
+    ``spot_radius`` is the optical spot's half-width in tile units: 0 reads
+    one tile; 1 averages the 3×3 neighbourhood weighted by distance.
+    ``noise_sigma`` is the radiometric noise in °C.
+    """
+
+    target: TileCoord
+    spot_radius: int = 0
+    noise_sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.spot_radius < 0:
+            raise ValueError("spot_radius must be non-negative")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+
+    def read(self, machine: SimulatedMachine, rng: np.random.Generator) -> float:
+        """One radiometric sample (float °C — no quantisation)."""
+        thermal = machine.thermal
+        grid = thermal.grid
+        total_weight = 0.0
+        value = 0.0
+        r = self.spot_radius
+        for d_row in range(-r, r + 1):
+            for d_col in range(-r, r + 1):
+                coord = TileCoord(self.target.row + d_row, self.target.col + d_col)
+                if not grid.contains(coord):
+                    continue
+                weight = 1.0 / (1.0 + abs(d_row) + abs(d_col))
+                value += weight * thermal.true_temp_c(coord)
+                total_weight += weight
+        reading = value / total_weight
+        if self.noise_sigma:
+            reading += rng.normal(0.0, self.noise_sigma)
+        return reading
+
+
+def run_external_transmission(
+    machine: SimulatedMachine,
+    sender_os: int,
+    probe: ExternalProbe,
+    payload: list[int],
+    config: ChannelConfig,
+    rng: np.random.Generator,
+) -> TransmissionResult:
+    """Transmit from an on-die sender to an external probe.
+
+    The sender is an ordinary co-tenant thread; the receiver is outside the
+    machine entirely (its samples never touch the MSR path, so §IV's sensor
+    defences cannot block it).
+    """
+    frame = manchester_encode(config.warmup + list(config.signature) + list(payload))
+    spb = config.samples_per_bit
+    dt = config.sample_dt
+
+    thermal = machine.thermal
+    thermal.set_timestep(dt)
+    samples: list[float] = []
+    for level in frame:
+        machine.set_core_load(sender_os, float(level))
+        for _ in range(spb // 2):
+            machine.advance_time(dt)
+            samples.append(probe.read(machine, rng))
+    machine.set_core_load(sender_os, 0.0)
+    for _ in range(2 * spb):
+        machine.advance_time(dt)
+        samples.append(probe.read(machine, rng))
+
+    series = np.asarray(samples, dtype=float)
+    max_offset = (config.warmup_bits + 1) * spb + spb // 2
+    sync = synchronize(series, spb, config.signature, max_offset, config.detector)
+    decoded = detect_bits(
+        series, spb, len(payload), sync.offset + len(config.signature) * spb, config.detector
+    )
+    # receiver = -1: the receiver is the external probe, not an OS core.
+    spec = ChannelSpec((sender_os,), receiver=-1, payload=tuple(payload))
+    return TransmissionResult(
+        spec=spec,
+        decoded=decoded,
+        ber=bit_error_rate(list(payload), decoded),
+        sync=sync,
+        duration_seconds=(len(frame) / 2) / config.bit_rate,
+        samples=series,
+    )

@@ -1,0 +1,51 @@
+"""Measurement-point bookkeeping for the §V evaluation sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.stats import bsc_capacity, wilson_interval
+
+
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """One point of a Fig. 7/8-style curve."""
+
+    label: str
+    bit_rate: float
+    n_bits: int
+    errors: int
+    #: Aggregated rate across parallel channels (== bit_rate for one channel).
+    aggregate_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        if not 0 <= self.errors <= self.n_bits:
+            raise ValueError("errors must lie in [0, n_bits]")
+
+    @property
+    def ber(self) -> float:
+        return self.errors / self.n_bits
+
+    @property
+    def ber_interval(self) -> tuple[float, float]:
+        return wilson_interval(self.errors, self.n_bits)
+
+    @property
+    def capacity_bps(self) -> float:
+        """Error-corrected ceiling: BSC capacity × raw rate (extension)."""
+        rate = self.aggregate_rate if self.aggregate_rate is not None else self.bit_rate
+        return bsc_capacity(self.ber) * rate
+
+    def row(self) -> list[str]:
+        """Table cells for the experiment printouts."""
+        rate = self.aggregate_rate if self.aggregate_rate is not None else self.bit_rate
+        lo, hi = self.ber_interval
+        return [
+            self.label,
+            f"{rate:g}",
+            f"{self.ber * 100:.2f}%",
+            f"[{lo * 100:.2f}, {hi * 100:.2f}]%",
+            f"{self.errors}/{self.n_bits}",
+        ]

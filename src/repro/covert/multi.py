@@ -1,0 +1,164 @@
+"""Sender/receiver placement driven by the recovered core map.
+
+This is where the paper's attack pays off: knowing the physical map, the
+attacker places senders *next to* the receiver (up to the eight surrounding
+tiles, §V-B) or builds several well-separated parallel channels (§V-C) —
+things ``lstopo``'s logical IDs cannot do on a large Xeon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coremap import CoreMap
+from repro.covert.channel import ChannelConfig, ChannelSpec, run_concurrent
+from repro.covert.encoding import random_payload
+from repro.covert.metrics import MeasurementPoint
+from repro.mesh.geometry import TileCoord
+from repro.sim.machine import SimulatedMachine
+
+#: Neighbour offsets ordered by thermal coupling strength: vertical first
+#: (§V-A), then horizontal, then diagonal.
+_SURROUND_ORDER = [
+    (-1, 0), (1, 0), (0, -1), (0, 1), (-1, -1), (-1, 1), (1, -1), (1, 1),
+]
+
+
+def surrounding_senders(core_map: CoreMap, receiver_os: int, n_senders: int) -> list[int]:
+    """Up to ``n_senders`` cores on tiles surrounding the receiver (§V-B)."""
+    if n_senders <= 0:
+        raise ValueError("n_senders must be positive")
+    if n_senders > len(_SURROUND_ORDER):
+        raise ValueError("at most eight senders can surround one receiver")
+    pos = core_map.position_of_os_core(receiver_os)
+    senders: list[int] = []
+    for d_row, d_col in _SURROUND_ORDER:
+        neighbor = core_map.os_core_at(TileCoord(pos.row + d_row, pos.col + d_col))
+        if neighbor is not None:
+            senders.append(neighbor)
+        if len(senders) == n_senders:
+            break
+    return senders
+
+
+def best_surrounded_receiver(core_map: CoreMap) -> int:
+    """The core with the most active-core neighbours on surrounding tiles."""
+    def count(os_core: int) -> int:
+        return len(surrounding_senders(core_map, os_core, 8))
+
+    return max(sorted(core_map.os_to_cha), key=count)
+
+
+def pick_vertical_pairs(core_map: CoreMap, n_pairs: int) -> list[tuple[int, int]]:
+    """Disjoint vertical 1-hop (sender, receiver) pairs for parallel channels.
+
+    Interference at a receiver comes almost entirely from *foreign senders*
+    on adjacent tiles (foreign receivers are idle). The greedy selection
+    therefore considers both orientations of every vertical neighbour pair
+    and picks, at each step, the pair whose receiver is adjacent to the
+    fewest chosen senders (and whose sender bothers the fewest chosen
+    receivers) — orienting receivers outward. This is precisely the kind of
+    layout decision that requires the physical map the paper recovers.
+    """
+    if n_pairs <= 0:
+        raise ValueError("n_pairs must be positive")
+
+    def pos(os_core: int) -> TileCoord:
+        return core_map.position_of_os_core(os_core)
+
+    def adjacent(a: TileCoord, b: TileCoord) -> bool:
+        return abs(a.row - b.row) + abs(a.col - b.col) == 1
+
+    candidates: list[tuple[int, int]] = []
+    for upper, lower in core_map.vertical_neighbor_pairs():
+        candidates.append((upper, lower))
+        candidates.append((lower, upper))
+
+    chosen: list[tuple[int, int]] = []
+    used: set[int] = set()
+    while len(chosen) < n_pairs:
+        best: tuple[tuple[int, int, int], tuple[int, int]] | None = None
+        for sender, receiver in candidates:
+            if sender in used or receiver in used:
+                continue
+            r_pos, s_pos = pos(receiver), pos(sender)
+            rx_hits = sum(1 for s, _ in chosen if adjacent(pos(s), r_pos))
+            tx_hits = sum(1 for _, r in chosen if adjacent(pos(r), s_pos))
+            # Prefer quiet receivers, then quiet senders, then edge receivers
+            # (fewer future neighbours).
+            edge_bonus = min(
+                r_pos.row,
+                r_pos.col,
+                core_map.grid.n_rows - 1 - r_pos.row,
+                core_map.grid.n_cols - 1 - r_pos.col,
+            )
+            score = (rx_hits, tx_hits, edge_bonus)
+            if best is None or score < best[0]:
+                best = (score, (sender, receiver))
+        if best is None:
+            raise ValueError(
+                f"the map offers only {len(chosen)} disjoint vertical pairs, "
+                f"{n_pairs} requested"
+            )
+        sender, receiver = best[1]
+        chosen.append((sender, receiver))
+        used.update((sender, receiver))
+    return chosen
+
+
+def multi_sender_measurement(
+    machine: SimulatedMachine,
+    core_map: CoreMap,
+    n_senders: int,
+    bit_rate: float,
+    n_bits: int,
+    rng: np.random.Generator,
+    receiver_os: int | None = None,
+    samples_per_bit: int = 10,
+) -> MeasurementPoint:
+    """§V-B: one receiver, ``n_senders`` synchronized surrounding senders."""
+    receiver = best_surrounded_receiver(core_map) if receiver_os is None else receiver_os
+    senders = surrounding_senders(core_map, receiver, n_senders)
+    if len(senders) < n_senders:
+        raise ValueError(
+            f"receiver {receiver} has only {len(senders)} surrounding cores"
+        )
+    payload = random_payload(n_bits, rng)
+    config = ChannelConfig(bit_rate=bit_rate, samples_per_bit=samples_per_bit)
+    result = run_concurrent(
+        machine, [ChannelSpec(tuple(senders), receiver, tuple(payload))], config
+    )[0]
+    return MeasurementPoint(
+        label=f"{n_senders} sender(s)",
+        bit_rate=bit_rate,
+        n_bits=n_bits,
+        errors=result.errors,
+    )
+
+
+def multi_channel_measurement(
+    machine: SimulatedMachine,
+    core_map: CoreMap,
+    n_channels: int,
+    per_channel_rate: float,
+    n_bits: int,
+    rng: np.random.Generator,
+    samples_per_bit: int = 10,
+) -> MeasurementPoint:
+    """§V-C: ``n_channels`` disjoint vertical pairs transmitting in parallel."""
+    pairs = pick_vertical_pairs(core_map, n_channels)
+    specs = [
+        ChannelSpec((sender,), receiver, tuple(random_payload(n_bits, rng)))
+        for sender, receiver in pairs
+    ]
+    config = ChannelConfig(bit_rate=per_channel_rate, samples_per_bit=samples_per_bit)
+    results = run_concurrent(machine, specs, config)
+    total_bits = sum(len(s.payload) for s in specs)
+    total_errors = sum(r.errors for r in results)
+    return MeasurementPoint(
+        label=f"x{n_channels} channels @ {per_channel_rate:g} bps",
+        bit_rate=per_channel_rate,
+        n_bits=total_bits,
+        errors=total_errors,
+        aggregate_rate=per_channel_rate * n_channels,
+    )

@@ -1,0 +1,68 @@
+"""Bit detection over quantised temperature samples.
+
+The receiver holds ``samples_per_bit`` sensor readings per bit period. Two
+detectors are provided:
+
+* **slope** (default) — a Manchester ``1`` heats during the first half and
+  cools during the second, so the net first-half rise minus second-half
+  rise is positive; with an even sample grid this reduces to
+  ``2·T[mid] − T[start] − T[end]``, which is immune to slow thermal drift;
+* **level** — compares half-period means; simpler, but phase-shifted by the
+  thermal inertia, kept for the detector ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class DetectorKind(enum.Enum):
+    SLOPE = "slope"
+    LEVEL = "level"
+
+
+def bit_scores(
+    samples: Sequence[float],
+    samples_per_bit: int,
+    n_bits: int,
+    offset: int = 0,
+    detector: DetectorKind = DetectorKind.SLOPE,
+) -> np.ndarray:
+    """Soft decision score per bit (>0 → bit 1)."""
+    if samples_per_bit < 2:
+        raise ValueError("need at least two samples per bit")
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    needed = offset + n_bits * samples_per_bit + 1
+    if len(samples) < needed:
+        raise ValueError(
+            f"need {needed} samples for {n_bits} bits at offset {offset}, "
+            f"got {len(samples)}"
+        )
+    data = np.asarray(samples, dtype=float)
+    half = samples_per_bit // 2
+    scores = np.empty(n_bits)
+    for i in range(n_bits):
+        start = offset + i * samples_per_bit
+        mid = start + half
+        end = start + samples_per_bit
+        if detector is DetectorKind.SLOPE:
+            scores[i] = 2.0 * data[mid] - data[start] - data[end]
+        else:
+            scores[i] = data[start:mid].mean() - data[mid:end].mean()
+    return scores
+
+
+def detect_bits(
+    samples: Sequence[float],
+    samples_per_bit: int,
+    n_bits: int,
+    offset: int = 0,
+    detector: DetectorKind = DetectorKind.SLOPE,
+) -> list[int]:
+    """Hard bit decisions at a given sample offset."""
+    scores = bit_scores(samples, samples_per_bit, n_bits, offset, detector)
+    return [1 if s > 0 else 0 for s in scores]

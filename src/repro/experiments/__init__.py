@@ -1,0 +1,22 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(...)`` returning a result object with a
+``render()`` method that prints the same rows/series the paper reports.
+``python -m repro.experiments <id>`` runs one from the command line; the
+``benchmarks/`` suite wraps the same functions with pytest-benchmark.
+
+Environment knobs (all optional):
+
+* ``REPRO_SEED`` — root seed for fleets/payloads (default 2022);
+* ``REPRO_FLEET_SIZE`` — instances per SKU for Table I (default 100, as in
+  the paper);
+* ``REPRO_MAP_FLEET_SIZE`` — instances per SKU run through the *full*
+  mapping pipeline for Table II / Fig 4 (default 40; set 100 to match the
+  paper's scale at ~4× the runtime);
+* ``REPRO_BITS`` — payload bits per covert-channel measurement point
+  (default 1000; the paper uses 10000).
+"""
+
+from repro.experiments import table1, table2, fig4, fig5, fig6, fig7, fig8, verify_map
+
+__all__ = ["table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "verify_map"]

@@ -1,0 +1,115 @@
+"""Shared experiment plumbing: env knobs, fleet mapping, pair finding."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.cha_mapping import ChaMappingResult, build_eviction_sets, map_os_to_cha
+from repro.core.coremap import CoreMap
+from repro.core.pipeline import MappingResult, map_cpu
+from repro.mesh.geometry import TileCoord
+from repro.platform.fleet import instance_seed
+from repro.platform.instance import CpuInstance
+from repro.platform.skus import SkuSpec
+from repro.sim.factory import build_machine
+from repro.sim.machine import SimulatedMachine
+from repro.uncore.session import UncorePmonSession
+
+DEFAULT_SEED = 2022
+
+
+def env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"{name} must be positive")
+    return value
+
+
+def root_seed() -> int:
+    return env_int("REPRO_SEED", DEFAULT_SEED)
+
+
+def fleet_size() -> int:
+    """Instances per SKU for the (cheap) Table-I survey."""
+    return env_int("REPRO_FLEET_SIZE", 100)
+
+
+def map_fleet_size() -> int:
+    """Instances per SKU run through the full pipeline (Table II / Fig 4)."""
+    return env_int("REPRO_MAP_FLEET_SIZE", 40)
+
+
+def payload_bits() -> int:
+    """Bits per covert-channel measurement point (paper: 10000)."""
+    return env_int("REPRO_BITS", 1000)
+
+
+@dataclass
+class MappedInstance:
+    """One fleet member: hidden truth plus what the tool recovered."""
+
+    instance: CpuInstance
+    machine: SimulatedMachine
+    result: MappingResult
+
+    @property
+    def recovered_map(self) -> CoreMap:
+        return self.result.core_map
+
+    @property
+    def truth_map(self) -> CoreMap:
+        return CoreMap.from_instance(self.instance)
+
+    @property
+    def correct(self) -> bool:
+        """Reconstruction matches truth over every *locatable* CHA.
+
+        CHAs no probe route ever touches (e.g. an all-LLC-only column)
+        cannot be located by the method — they are excluded from the
+        comparison, and ``n_unlocated`` reports how many there were.
+        """
+        located = frozenset(self.recovered_map.cha_positions)
+        return self.recovered_map.equivalent(self.truth_map.restricted_to(located))
+
+    @property
+    def n_unlocated(self) -> int:
+        return len(self.result.reconstruction.unlocated_chas)
+
+
+def machine_for(sku: SkuSpec, index: int, seed: int, with_thermal: bool = False) -> SimulatedMachine:
+    instance = CpuInstance.generate(sku, instance_seed(seed, sku, index))
+    return build_machine(instance, seed=seed + index, with_thermal=with_thermal)
+
+
+def run_step1(machine: SimulatedMachine) -> ChaMappingResult:
+    """Only the §II-A step (what Table I reports)."""
+    session = UncorePmonSession(machine.msr, machine.n_chas)
+    sets = build_eviction_sets(machine, session)
+    return map_os_to_cha(machine, session, sets)
+
+
+def map_whole_fleet(sku: SkuSpec, n_instances: int, seed: int) -> list[MappedInstance]:
+    """Run the full pipeline over a fleet of ``sku`` instances."""
+    out: list[MappedInstance] = []
+    for index in range(n_instances):
+        machine = machine_for(sku, index, seed)
+        result = map_cpu(machine)
+        out.append(MappedInstance(machine.instance, machine, result))
+    return out
+
+
+def find_hop_pair(core_map: CoreMap, d_row: int, d_col: int) -> tuple[int, int] | None:
+    """A (sender, receiver) core pair separated by exactly (d_row, d_col)."""
+    for os_core in sorted(core_map.os_to_cha):
+        pos = core_map.position_of_os_core(os_core)
+        other = core_map.os_core_at(TileCoord(pos.row + d_row, pos.col + d_col))
+        if other is not None:
+            return os_core, other
+    return None

@@ -1,0 +1,150 @@
+"""Fig. 6: thermal covert-channel traces at 1/2/3-hop receivers.
+
+One sender transmits the figure's bit pattern; receivers 1, 2 and 3
+vertical hops away record their sensors during the *same* transmission.
+The report renders the temperature traces (ASCII) and each receiver's
+decoded bits — dampened-but-decodable at 1 hop, unstable further out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.covert.channel import ChannelConfig
+from repro.covert.encoding import manchester_encode
+from repro.covert.receiver import detect_bits
+from repro.covert.syncdec import synchronize
+from repro.experiments import common
+from repro.mesh.geometry import TileCoord
+from repro.platform.skus import SKU_CATALOG
+from repro.core.pipeline import map_cpu
+
+#: The bit pattern visible in Fig. 6.
+FIG6_BITS = (1, 0, 1, 0, 0, 0, 0, 1, 1)
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: np.ndarray, width: int = 72) -> str:
+    if len(values) == 0:
+        return ""
+    idx = np.linspace(0, len(values) - 1, min(width, len(values))).astype(int)
+    sampled = values[idx]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    if hi - lo < 1e-9:
+        return _SPARKS[0] * len(sampled)
+    scaled = ((sampled - lo) / (hi - lo) * (len(_SPARKS) - 1)).astype(int)
+    return "".join(_SPARKS[v] for v in scaled)
+
+
+@dataclass
+class HopTrace:
+    hops: int
+    receiver_os: int
+    samples: np.ndarray
+    decoded: list[int]
+    errors: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.hops}-hop sink (core {self.receiver_os}): "
+            f"{self.samples.min():.0f}..{self.samples.max():.0f} C, "
+            f"decoded {''.join(map(str, self.decoded))} "
+            f"({self.errors} errors)"
+        )
+
+
+@dataclass
+class Fig6Result:
+    bit_rate: float
+    sent_bits: tuple[int, ...]
+    source_os: int
+    source_temps: np.ndarray
+    traces: list[HopTrace]
+
+    def render(self) -> str:
+        lines = [
+            f"Fig. 6 — inter-core thermal covert channel at {self.bit_rate:g} bps",
+            f"sent data: {''.join(map(str, self.sent_bits))}",
+            f"source (core {self.source_os}) temp "
+            f"{self.source_temps.min():.0f}..{self.source_temps.max():.0f} C:",
+            "  " + _sparkline(self.source_temps),
+        ]
+        for trace in self.traces:
+            lines.append(trace.summary())
+            lines.append("  " + _sparkline(trace.samples))
+        return "\n".join(lines)
+
+
+def _find_vertical_stack(core_map, depth: int) -> list[int] | None:
+    """OS cores stacked vertically: sender plus ``depth`` receivers below."""
+    for os_core in sorted(core_map.os_to_cha):
+        pos = core_map.position_of_os_core(os_core)
+        stack = [os_core]
+        for hop in range(1, depth + 1):
+            nxt = core_map.os_core_at(TileCoord(pos.row + hop, pos.col))
+            if nxt is None:
+                break
+            stack.append(nxt)
+        if len(stack) == depth + 1:
+            return stack
+    return None
+
+
+def run(seed: int | None = None, bit_rate: float = 1.0) -> Fig6Result:
+    seed = seed if seed is not None else common.root_seed()
+    machine = common.machine_for(SKU_CATALOG["8259CL"], 0, seed, with_thermal=True)
+    core_map = map_cpu(machine).core_map
+
+    stack = None
+    for depth in (3, 2, 1):
+        stack = _find_vertical_stack(core_map, depth)
+        if stack:
+            break
+    if stack is None:
+        raise RuntimeError("the map offers no vertical core stack at all")
+    source, receivers = stack[0], stack[1:]
+
+    config = ChannelConfig(bit_rate=bit_rate)
+    frame = manchester_encode(config.warmup + list(config.signature) + list(FIG6_BITS))
+    spb = config.samples_per_bit
+    dt = config.sample_dt
+
+    machine.thermal.set_timestep(dt)
+    source_temps: list[int] = []
+    receiver_temps: list[list[int]] = [[] for _ in receivers]
+    for level in frame:
+        machine.set_core_load(source, float(level))
+        for _ in range(spb // 2):
+            machine.advance_time(dt)
+            source_temps.append(machine.read_core_temp_c(source))
+            for buffer, rx in zip(receiver_temps, receivers):
+                buffer.append(machine.read_core_temp_c(rx))
+    machine.set_core_load(source, 0.0)
+    for _ in range(2 * spb):
+        machine.advance_time(dt)
+        source_temps.append(machine.read_core_temp_c(source))
+        for buffer, rx in zip(receiver_temps, receivers):
+            buffer.append(machine.read_core_temp_c(rx))
+
+    traces = []
+    for hop, (buffer, rx) in enumerate(zip(receiver_temps, receivers), start=1):
+        samples = np.asarray(buffer, dtype=float)
+        sync = synchronize(
+            samples, spb, config.signature, (config.warmup_bits + 1) * spb + spb // 2
+        )
+        decoded = detect_bits(
+            samples, spb, len(FIG6_BITS), sync.offset + len(config.signature) * spb
+        )
+        errors = sum(1 for a, b in zip(FIG6_BITS, decoded) if a != b)
+        traces.append(HopTrace(hop, rx, samples, decoded, errors))
+
+    return Fig6Result(
+        bit_rate=bit_rate,
+        sent_bits=FIG6_BITS,
+        source_os=source,
+        source_temps=np.asarray(source_temps, dtype=float),
+        traces=traces,
+    )

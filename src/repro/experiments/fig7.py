@@ -1,0 +1,86 @@
+"""Fig. 7: bit error rate vs transfer rate for sender-receiver hop counts.
+
+(a) horizontally separated pairs, (b) vertically separated pairs, each at
+1/2/3 hops over a rate sweep. Pairs are chosen from the *recovered* core
+map (the attack's whole point). Expected shape: 1-hop workable and
+vertical strictly better than horizontal (the paper's >20 % horizontal vs
+<10 % vertical at 4 bps), ≥2 hops unusable at speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import map_cpu
+from repro.covert.channel import ChannelConfig, run_transmission
+from repro.covert.encoding import random_payload
+from repro.covert.metrics import MeasurementPoint
+from repro.experiments import common
+from repro.platform.skus import SKU_CATALOG
+from repro.util.rng import derive_rng
+from repro.util.tables import format_table
+
+RATES = (1.0, 2.0, 4.0, 8.0)
+HOPS = (1, 2, 3)
+ORIENTATIONS = ("horizontal", "vertical")
+
+
+@dataclass
+class Fig7Result:
+    n_bits: int
+    #: (orientation, hops, rate) → point; missing key = no such pair on map.
+    points: dict[tuple[str, int, float], MeasurementPoint]
+
+    def ber(self, orientation: str, hops: int, rate: float) -> float:
+        return self.points[(orientation, hops, rate)].ber
+
+    def render(self) -> str:
+        blocks = [f"Fig. 7 — BER vs transfer rate ({self.n_bits} bits per point)"]
+        for orientation in ORIENTATIONS:
+            rows = []
+            for hops in HOPS:
+                row = [f"{hops}-hop"]
+                for rate in RATES:
+                    point = self.points.get((orientation, hops, rate))
+                    row.append("n/a" if point is None else f"{point.ber * 100:.1f}%")
+                rows.append(row)
+            blocks.append(
+                format_table(
+                    ["pair"] + [f"{r:g} bps" for r in RATES],
+                    rows,
+                    title=f"({'a' if orientation == 'horizontal' else 'b'}) {orientation} pairs",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(seed: int | None = None, n_bits: int | None = None) -> Fig7Result:
+    seed = seed if seed is not None else common.root_seed()
+    n_bits = n_bits if n_bits is not None else common.payload_bits()
+    mapped_machine = common.machine_for(SKU_CATALOG["8259CL"], 0, seed, with_thermal=True)
+    core_map = map_cpu(mapped_machine).core_map
+
+    rng = derive_rng(seed, "fig7-payload")
+    points: dict[tuple[str, int, float], MeasurementPoint] = {}
+    for orientation in ORIENTATIONS:
+        for hops in HOPS:
+            d_row, d_col = (0, hops) if orientation == "horizontal" else (hops, 0)
+            pair = common.find_hop_pair(core_map, d_row, d_col)
+            if pair is None:
+                continue
+            sender, receiver = pair
+            for rate in RATES:
+                machine = common.machine_for(
+                    SKU_CATALOG["8259CL"], 0, seed, with_thermal=True
+                )
+                payload = random_payload(n_bits, rng)
+                result = run_transmission(
+                    machine, [sender], receiver, payload, ChannelConfig(bit_rate=rate)
+                )
+                points[(orientation, hops, rate)] = MeasurementPoint(
+                    label=f"{orientation} {hops}-hop",
+                    bit_rate=rate,
+                    n_bits=n_bits,
+                    errors=result.errors,
+                )
+    return Fig7Result(n_bits=n_bits, points=points)

@@ -1,0 +1,55 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import fig4, fig5, fig6, fig7, fig8, table1, table2, verify_map
+
+EXPERIMENTS = {
+    "table1": (table1, "OS core ID <-> CHA ID mappings per SKU"),
+    "table2": (table2, "core-location pattern statistics"),
+    "fig4": (fig4, "three most frequent 8259CL core maps"),
+    "fig5": (fig5, "Ice Lake Xeon 6354 mapping"),
+    "fig6": (fig6, "thermal covert-channel traces at 1/2/3 hops"),
+    "fig7": (fig7, "BER vs rate for hop counts and orientations"),
+    "fig8": (fig8, "multi-sender and multi-channel covert channels"),
+    "verify": (verify_map, "thermal verification of the recovered map (SV-D)"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=list(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--seed", type=int, default=None, help="override REPRO_SEED")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module, _ = EXPERIMENTS[name]
+        started = time.perf_counter()
+        result = module.run(seed=args.seed) if args.seed is not None else module.run()
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

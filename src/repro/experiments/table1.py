@@ -1,0 +1,93 @@
+"""Table I: OS core ID → CHA ID mapping per CPU model.
+
+Runs the §II-A step over a fleet of each SKU and tabulates the distinct
+mappings with their instance counts — the exact content of Table I. The
+paper's reference rows are embedded so the report can diff against them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.experiments import common
+from repro.platform.skus import SKU_CATALOG
+from repro.util.tables import format_table
+
+#: The paper's Table I, keyed by SKU: list of (instances, OS→CHA row).
+PAPER_TABLE1: dict[str, list[tuple[int, tuple[int, ...]]]] = {
+    "8124M": [
+        (100, (0, 4, 8, 12, 16, 2, 6, 10, 14, 1, 5, 9, 13, 17, 3, 7, 11, 15)),
+    ],
+    "8175M": [
+        (
+            100,
+            (0, 4, 8, 12, 16, 20, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 3, 7, 11, 15, 19, 23),
+        ),
+    ],
+    "8259CL": [
+        (62, (0, 4, 8, 12, 16, 20, 24, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 7, 11, 15, 19, 23)),
+        (33, (0, 4, 8, 12, 16, 20, 24, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 3, 7, 11, 15, 19, 23)),
+        (1, (0, 4, 8, 12, 16, 20, 24, 2, 6, 10, 14, 18, 22, 1, 9, 13, 17, 21, 3, 7, 11, 15, 19, 23)),
+        (1, (0, 4, 8, 12, 16, 20, 24, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 25, 7, 11, 15, 19)),
+        (1, (0, 4, 8, 12, 20, 24, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 25, 3, 7, 11, 15, 19, 23)),
+        (1, (0, 4, 8, 12, 16, 20, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 25, 7, 11, 15, 19, 23)),
+        (1, (0, 4, 8, 12, 20, 24, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 25, 7, 11, 15, 19, 23)),
+    ],
+}
+
+_SKUS = ("8124M", "8175M", "8259CL")
+
+
+@dataclass
+class Table1Result:
+    fleet_size: int
+    #: SKU → Counter of OS→CHA mapping rows.
+    mappings: dict[str, Counter]
+
+    def top_mapping(self, sku_name: str) -> tuple[int, ...]:
+        return self.mappings[sku_name].most_common(1)[0][0]
+
+    def matches_paper_top(self, sku_name: str) -> bool:
+        """Whether the most frequent measured mapping equals the paper's."""
+        return self.top_mapping(sku_name) == PAPER_TABLE1[sku_name][0][1]
+
+    def n_variants(self, sku_name: str) -> int:
+        return len(self.mappings[sku_name])
+
+    def render(self) -> str:
+        blocks = [
+            f"Table I — OS core ID -> CHA ID mappings "
+            f"({self.fleet_size} instances per SKU; paper: 100)"
+        ]
+        for sku_name in _SKUS:
+            rows = []
+            for mapping, count in self.mappings[sku_name].most_common():
+                known = any(mapping == row for _, row in PAPER_TABLE1[sku_name])
+                rows.append(
+                    [sku_name, count, "yes" if known else "no", " ".join(map(str, mapping))]
+                )
+            blocks.append(
+                format_table(
+                    ["CPU model", "# insts", "in paper?", "CHA IDs (OS core order)"],
+                    rows,
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(fleet_size: int | None = None, seed: int | None = None) -> Table1Result:
+    """Measure the OS↔CHA mapping of every fleet instance (step 1 only)."""
+    n = fleet_size if fleet_size is not None else common.fleet_size()
+    seed = seed if seed is not None else common.root_seed()
+    mappings: dict[str, Counter] = {}
+    for sku_name in _SKUS:
+        sku = SKU_CATALOG[sku_name]
+        counter: Counter = Counter()
+        for index in range(n):
+            machine = common.machine_for(sku, index, seed)
+            step1 = common.run_step1(machine)
+            row = tuple(step1.os_to_cha[os] for os in sorted(step1.os_to_cha))
+            counter[row] += 1
+        mappings[sku_name] = counter
+    return Table1Result(fleet_size=n, mappings=mappings)

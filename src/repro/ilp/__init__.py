@@ -1,0 +1,42 @@
+"""Integer linear programming substrate.
+
+The paper reconstructs the core map by solving an ILP (§II-C). This package
+provides everything needed for that, built from scratch:
+
+* :mod:`repro.ilp.model` — a small modelling layer (variables, linear
+  expressions, constraints, objective) with operator overloading.
+* :mod:`repro.ilp.simplex` — a dense two-phase primal simplex LP solver.
+* :mod:`repro.ilp.branch_bound` — a best-first branch-and-bound MILP solver
+  on top of the simplex (or any LP relaxation solver).
+* :mod:`repro.ilp.scipy_backend` — an adapter to ``scipy.optimize.milp``
+  (HiGHS), used for the paper-scale instances.
+
+Both MILP backends implement ``solve(model) -> Solution`` and can be swapped
+freely; the reconstruction code defaults to HiGHS but every backend is
+validated against the other in the test suite.
+"""
+
+from repro.ilp.model import LinearExpr, Model, Variable, VarType
+from repro.ilp.solution import Solution, SolveStatus
+from repro.ilp.simplex import SimplexSolver, LpResult, LpStatus
+from repro.ilp.branch_bound import BranchBoundSolver
+from repro.ilp.scipy_backend import ScipyMilpSolver
+
+__all__ = [
+    "LinearExpr",
+    "Model",
+    "Variable",
+    "VarType",
+    "Solution",
+    "SolveStatus",
+    "SimplexSolver",
+    "LpResult",
+    "LpStatus",
+    "BranchBoundSolver",
+    "ScipyMilpSolver",
+]
+
+
+def default_solver() -> "ScipyMilpSolver":
+    """Return the default MILP backend used by the reconstruction pipeline."""
+    return ScipyMilpSolver()

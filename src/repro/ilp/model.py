@@ -1,0 +1,302 @@
+"""A small MILP modelling layer.
+
+Supports exactly what the §II-C formulation needs — integer/binary/continuous
+variables with bounds, linear constraints built with natural operator
+syntax, and a linear objective:
+
+>>> m = Model("demo")
+>>> x = m.add_integer("x", lo=0, hi=10)
+>>> y = m.add_binary("y")
+>>> m.add_constraint(x + 5 * y <= 8, name="cap")
+>>> m.minimize(-x - 2 * y)
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable; identified by its index within its model."""
+
+    index: int
+    name: str
+    var_type: VarType
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"variable {self.name}: lo {self.lo} > hi {self.hi}")
+
+    # -- expression building -------------------------------------------------
+    def _expr(self) -> "LinearExpr":
+        return LinearExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other) -> "LinearExpr":
+        return self._expr() + other
+
+    def __radd__(self, other) -> "LinearExpr":
+        return self._expr() + other
+
+    def __sub__(self, other) -> "LinearExpr":
+        return self._expr() - other
+
+    def __rsub__(self, other) -> "LinearExpr":
+        return (-1.0) * self._expr() + other
+
+    def __mul__(self, coeff) -> "LinearExpr":
+        return self._expr() * coeff
+
+    def __rmul__(self, coeff) -> "LinearExpr":
+        return self._expr() * coeff
+
+    def __neg__(self) -> "LinearExpr":
+        return self._expr() * -1.0
+
+    def __le__(self, other) -> "Constraint":
+        return self._expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self._expr() >= other
+
+    # NOTE: Variable is a frozen dataclass, so ``==`` is identity-style
+    # comparison; use ``Variable.eq(rhs)`` or ``expr == rhs`` on LinearExpr
+    # for equality constraints.
+    def eq(self, other) -> "Constraint":
+        return self._expr().make_eq(other)
+
+
+class LinearExpr:
+    """An immutable linear expression ``sum(coeff_i * var_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: dict[int, float] | None = None, constant: float = 0.0):
+        self.coeffs: dict[int, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(other) -> "LinearExpr":
+        if isinstance(other, LinearExpr):
+            return other
+        if isinstance(other, Variable):
+            return other._expr()
+        if isinstance(other, (int, float, np.integer, np.floating)):
+            return LinearExpr({}, float(other))
+        raise TypeError(f"cannot use {type(other).__name__} in a linear expression")
+
+    def __add__(self, other) -> "LinearExpr":
+        o = self._coerce(other)
+        coeffs = dict(self.coeffs)
+        for idx, c in o.coeffs.items():
+            coeffs[idx] = coeffs.get(idx, 0.0) + c
+        return LinearExpr(coeffs, self.constant + o.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinearExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinearExpr":
+        return self._coerce(other) + (self * -1.0)
+
+    def __mul__(self, coeff) -> "LinearExpr":
+        if not isinstance(coeff, (int, float, np.integer, np.floating)):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        k = float(coeff)
+        return LinearExpr({i: c * k for i, c in self.coeffs.items()}, self.constant * k)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearExpr":
+        return self * -1.0
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), Sense.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), Sense.GE)
+
+    def make_eq(self, other) -> "Constraint":
+        """Build an equality constraint (``==`` is kept for object identity)."""
+        return Constraint(self - self._coerce(other), Sense.EQ)
+
+    def evaluate(self, values: np.ndarray) -> float:
+        """Evaluate the expression given a dense variable-value vector."""
+        return self.constant + sum(c * values[i] for i, c in self.coeffs.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = [f"{c:+g}*x{i}" for i, c in sorted(self.coeffs.items())]
+        return f"LinearExpr({' '.join(terms)} {self.constant:+g})"
+
+
+def lin_sum(items: Iterable) -> LinearExpr:
+    """Sum variables/expressions into a single :class:`LinearExpr`."""
+    total = LinearExpr()
+    for item in items:
+        total = total + item
+    return total
+
+
+class Sense(enum.Enum):
+    """Constraint sense, normalised as ``expr <sense> 0``."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0``."""
+
+    expr: LinearExpr
+    sense: Sense
+    name: str = ""
+
+    def violation(self, values: np.ndarray) -> float:
+        """Amount by which the constraint is violated at ``values`` (0 if met)."""
+        v = self.expr.evaluate(values)
+        if self.sense is Sense.LE:
+            return max(0.0, v)
+        if self.sense is Sense.GE:
+            return max(0.0, -v)
+        return abs(v)
+
+
+@dataclass
+class Model:
+    """A MILP: variables, constraints, and a minimisation objective."""
+
+    name: str = "model"
+    variables: list[Variable] = field(default_factory=list)
+    constraints: list[Constraint] = field(default_factory=list)
+    objective: LinearExpr = field(default_factory=LinearExpr)
+
+    # -- variable creation ----------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        var_type: VarType = VarType.CONTINUOUS,
+        lo: float = 0.0,
+        hi: float = math.inf,
+    ) -> Variable:
+        var = Variable(len(self.variables), name, var_type, float(lo), float(hi))
+        self.variables.append(var)
+        return var
+
+    def add_integer(self, name: str, lo: int = 0, hi: int | float = math.inf) -> Variable:
+        return self.add_variable(name, VarType.INTEGER, lo, hi)
+
+    def add_binary(self, name: str) -> Variable:
+        return self.add_variable(name, VarType.BINARY, 0.0, 1.0)
+
+    def add_continuous(self, name: str, lo: float = 0.0, hi: float = math.inf) -> Variable:
+        return self.add_variable(name, VarType.CONTINUOUS, lo, hi)
+
+    # -- constraints / objective ----------------------------------------------
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a Constraint (did you compare a "
+                "Variable with '=='? use .eq() or expr.make_eq())"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def minimize(self, expr) -> None:
+        self.objective = LinearExpr._coerce(expr)
+
+    # -- dense form -----------------------------------------------------------
+    def to_arrays(self) -> "ModelArrays":
+        """Lower the model to dense arrays for the numeric solvers.
+
+        Constraints are normalised to ``A_ub @ x <= b_ub`` and
+        ``A_eq @ x == b_eq``.
+        """
+        n = len(self.variables)
+        c = np.zeros(n)
+        for i, coeff in self.objective.coeffs.items():
+            c[i] = coeff
+
+        ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+        for con in self.constraints:
+            row = np.zeros(n)
+            for i, coeff in con.expr.coeffs.items():
+                row[i] = coeff
+            rhs = -con.expr.constant
+            if con.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif con.sense is Sense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        lo = np.array([v.lo for v in self.variables])
+        hi = np.array([v.hi for v in self.variables])
+        integrality = np.array(
+            [1 if v.var_type in (VarType.INTEGER, VarType.BINARY) else 0 for v in self.variables]
+        )
+        return ModelArrays(
+            c=c,
+            a_ub=np.array(ub_rows) if ub_rows else np.zeros((0, n)),
+            b_ub=np.array(ub_rhs) if ub_rhs else np.zeros(0),
+            a_eq=np.array(eq_rows) if eq_rows else np.zeros((0, n)),
+            b_eq=np.array(eq_rhs) if eq_rhs else np.zeros(0),
+            lo=lo,
+            hi=hi,
+            integrality=integrality,
+            objective_constant=self.objective.constant,
+        )
+
+    def is_feasible(self, values: np.ndarray, tol: float = 1e-6) -> bool:
+        """Check a candidate assignment against bounds, integrality, constraints."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(self.variables),):
+            raise ValueError("value vector has wrong length")
+        for var in self.variables:
+            v = values[var.index]
+            if v < var.lo - tol or v > var.hi + tol:
+                return False
+            if var.var_type in (VarType.INTEGER, VarType.BINARY):
+                if abs(v - round(v)) > tol:
+                    return False
+        return all(con.violation(values) <= tol for con in self.constraints)
+
+    def objective_value(self, values: np.ndarray) -> float:
+        return self.objective.evaluate(np.asarray(values, dtype=float))
+
+
+@dataclass
+class ModelArrays:
+    """Dense lowering of a :class:`Model` (minimise ``c @ x``)."""
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    integrality: np.ndarray
+    objective_constant: float

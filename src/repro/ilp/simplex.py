@@ -1,0 +1,244 @@
+"""A dense two-phase primal simplex LP solver.
+
+This is the LP substrate underneath :class:`repro.ilp.branch_bound.BranchBoundSolver`.
+It is written for clarity and robustness on the small/medium instances the
+test-suite and ablation benches exercise, not for raw speed; the paper-scale
+reconstruction uses the HiGHS backend instead.
+
+The solver accepts the dense :class:`~repro.ilp.model.ModelArrays` lowering:
+
+    minimise   c @ x
+    subject to a_ub @ x <= b_ub
+               a_eq @ x == b_eq
+               lo <= x <= hi
+
+Internally the problem is shifted to ``y = x - lo >= 0``, finite upper bounds
+become explicit rows, slack variables turn inequalities into equalities, and
+phase 1 minimises the sum of artificial variables. Bland's rule is used
+throughout, which guarantees termination at the cost of some extra pivots.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ilp.model import Model, ModelArrays
+
+_TOL = 1e-9
+
+
+class LpStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class LpResult:
+    status: LpStatus
+    x: np.ndarray | None = None
+    objective: float = float("nan")
+    iterations: int = 0
+
+
+class SimplexSolver:
+    """Two-phase tableau simplex over :class:`ModelArrays` or :class:`Model`."""
+
+    def __init__(self, max_iterations: int = 50_000):
+        self.max_iterations = max_iterations
+
+    # -- public API -----------------------------------------------------------
+    def solve_model(self, model: Model) -> LpResult:
+        """Solve the LP relaxation of ``model`` (integrality ignored)."""
+        return self.solve_arrays(model.to_arrays())
+
+    def solve_arrays(
+        self,
+        arrays: ModelArrays,
+        lo_override: np.ndarray | None = None,
+        hi_override: np.ndarray | None = None,
+    ) -> LpResult:
+        """Solve with optional bound overrides (used by branch & bound)."""
+        lo = np.array(arrays.lo if lo_override is None else lo_override, dtype=float)
+        hi = np.array(arrays.hi if hi_override is None else hi_override, dtype=float)
+        if np.any(lo > hi + _TOL):
+            return LpResult(LpStatus.INFEASIBLE)
+        if not np.all(np.isfinite(lo)):
+            raise ValueError("simplex solver requires finite lower bounds")
+
+        n = len(arrays.c)
+        # Shift to y = x - lo >= 0.
+        b_ub = arrays.b_ub - arrays.a_ub @ lo if arrays.a_ub.size else arrays.b_ub.copy()
+        b_eq = arrays.b_eq - arrays.a_eq @ lo if arrays.a_eq.size else arrays.b_eq.copy()
+
+        # Finite upper bounds become extra <= rows: y_i <= hi_i - lo_i.
+        bound_rows, bound_rhs = [], []
+        for i in range(n):
+            if math.isfinite(hi[i]):
+                row = np.zeros(n)
+                row[i] = 1.0
+                bound_rows.append(row)
+                bound_rhs.append(hi[i] - lo[i])
+
+        a_ub = np.vstack([arrays.a_ub] + bound_rows) if bound_rows else arrays.a_ub
+        b_ub = np.concatenate([b_ub, np.array(bound_rhs)]) if bound_rows else b_ub
+
+        result = self._solve_standard(arrays.c, a_ub, b_ub, arrays.a_eq, b_eq)
+        if result.status is LpStatus.OPTIMAL:
+            assert result.x is not None
+            x = result.x[:n] + lo
+            obj = float(arrays.c @ x) + arrays.objective_constant
+            return LpResult(LpStatus.OPTIMAL, x, obj, result.iterations)
+        return result
+
+    # -- core two-phase simplex ------------------------------------------------
+    def _solve_standard(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+    ) -> LpResult:
+        """Solve min c@y, a_ub y <= b_ub, a_eq y == b_eq, y >= 0."""
+        n = len(c)
+        m_ub, m_eq = len(b_ub), len(b_eq)
+        m = m_ub + m_eq
+        if m == 0:
+            # Unconstrained besides y >= 0: optimum at 0 unless some c < 0.
+            if np.any(c < -_TOL):
+                return LpResult(LpStatus.UNBOUNDED)
+            return LpResult(LpStatus.OPTIMAL, np.zeros(n), 0.0, 0)
+
+        # Columns: [y (n)] [slack (m_ub)] [artificial (<= m)]
+        a = np.zeros((m, n + m_ub))
+        b = np.zeros(m)
+        if m_ub:
+            a[:m_ub, :n] = a_ub
+            a[:m_ub, n : n + m_ub] = np.eye(m_ub)
+            b[:m_ub] = b_ub
+        if m_eq:
+            a[m_ub:, :n] = a_eq
+            b[m_ub:] = b_eq
+
+        # Make rhs non-negative.
+        for i in range(m):
+            if b[i] < 0:
+                a[i, :] *= -1.0
+                b[i] *= -1.0
+
+        # Choose a starting basis: slack column if it is +1 in its own row,
+        # artificial otherwise.
+        basis = [-1] * m
+        art_cols: list[int] = []
+        cols = [a]
+        n_total = n + m_ub
+        for i in range(m):
+            if i < m_ub and a[i, n + i] == 1.0 and b[i] >= 0:
+                basis[i] = n + i
+        for i in range(m):
+            if basis[i] == -1:
+                col = np.zeros((m, 1))
+                col[i, 0] = 1.0
+                cols.append(col)
+                basis[i] = n_total
+                art_cols.append(n_total)
+                n_total += 1
+        tableau_a = np.hstack(cols)
+
+        iterations = 0
+        if art_cols:
+            # Phase 1: minimise sum of artificials.
+            c1 = np.zeros(n_total)
+            for j in art_cols:
+                c1[j] = 1.0
+            status, iters = self._simplex_loop(tableau_a, b, c1, basis)
+            iterations += iters
+            if status is not LpStatus.OPTIMAL:
+                return LpResult(status, iterations=iterations)
+            if self._basic_objective(b, c1, basis) > 1e-7:
+                return LpResult(LpStatus.INFEASIBLE, iterations=iterations)
+            # Pivot artificials out of the basis where possible.
+            for i in range(m):
+                if basis[i] in art_cols:
+                    pivoted = False
+                    for j in range(n + m_ub):
+                        if abs(tableau_a[i, j]) > _TOL and j not in basis:
+                            self._pivot(tableau_a, b, basis, i, j)
+                            pivoted = True
+                            break
+                    if not pivoted:
+                        # Redundant row; artificial stays basic at value 0.
+                        pass
+
+        # Phase 2.
+        c2 = np.zeros(n_total)
+        c2[:n] = c
+        for j in art_cols:
+            c2[j] = 1e12  # keep any degenerate artificial pinned at zero
+        status, iters = self._simplex_loop(tableau_a, b, c2, basis)
+        iterations += iters
+        if status is not LpStatus.OPTIMAL:
+            return LpResult(status, iterations=iterations)
+
+        y = np.zeros(n_total)
+        for i, j in enumerate(basis):
+            y[j] = b[i]
+        return LpResult(LpStatus.OPTIMAL, y[:n], float(c @ y[:n]), iterations)
+
+    @staticmethod
+    def _basic_objective(b: np.ndarray, c: np.ndarray, basis: list[int]) -> float:
+        return float(sum(c[j] * b[i] for i, j in enumerate(basis)))
+
+    def _simplex_loop(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray, basis: list[int]
+    ) -> tuple[LpStatus, int]:
+        """Run primal simplex pivots in place with Bland's rule."""
+        m, n_total = a.shape
+        for iteration in range(self.max_iterations):
+            # Reduced costs: r = c - c_B @ B^-1 A; tableau is kept in
+            # canonical form, so r_j = c_j - sum_i c[basis[i]] * a[i, j].
+            cb = c[basis]
+            reduced = c - cb @ a
+            entering = -1
+            for j in range(n_total):  # Bland: smallest index with r_j < -tol
+                if j not in basis and reduced[j] < -1e-9:
+                    entering = j
+                    break
+            if entering < 0:
+                return LpStatus.OPTIMAL, iteration
+            # Ratio test (Bland: smallest basis index ties).
+            leaving, best_ratio = -1, math.inf
+            for i in range(m):
+                if a[i, entering] > _TOL:
+                    ratio = b[i] / a[i, entering]
+                    if ratio < best_ratio - _TOL or (
+                        abs(ratio - best_ratio) <= _TOL
+                        and (leaving < 0 or basis[i] < basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving < 0:
+                return LpStatus.UNBOUNDED, iteration
+            self._pivot(a, b, basis, leaving, entering)
+        return LpStatus.ITERATION_LIMIT, self.max_iterations
+
+    @staticmethod
+    def _pivot(a: np.ndarray, b: np.ndarray, basis: list[int], row: int, col: int) -> None:
+        """Pivot the tableau so ``col`` becomes basic in ``row``."""
+        pivot = a[row, col]
+        a[row, :] /= pivot
+        b[row] /= pivot
+        for i in range(len(b)):
+            if i != row and abs(a[i, col]) > _TOL:
+                factor = a[i, col]
+                a[i, :] -= factor * a[row, :]
+                b[i] -= factor * b[row]
+                if abs(b[i]) < _TOL:
+                    b[i] = 0.0
+        basis[row] = col

@@ -1,0 +1,43 @@
+"""Common result types shared by all MILP backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node_limit"
+    ERROR = "error"
+
+    @property
+    def ok(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class Solution:
+    """Result of solving a :class:`repro.ilp.model.Model`."""
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    nodes_explored: int = 0
+    message: str = ""
+
+    def value_of(self, var) -> float:
+        """Value assigned to a :class:`~repro.ilp.model.Variable`."""
+        if not self.status.ok:
+            raise RuntimeError(f"no solution available (status={self.status.value})")
+        return float(self.values[var.index])
+
+    def int_value_of(self, var) -> int:
+        """Integer value assigned to an integral variable (rounded)."""
+        return int(round(self.value_of(var)))

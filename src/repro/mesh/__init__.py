@@ -1,0 +1,32 @@
+"""Xeon mesh-interconnect substrate.
+
+Models exactly the properties of the Skylake-SP style mesh that the paper's
+locating method (§II) depends on:
+
+* a rectangular grid of tiles — core+LLC/CHA tiles, LLC-only tiles, disabled
+  tiles, and IMC tiles;
+* Y-first (vertical then horizontal) dimension-order routing;
+* per-tile *ingress* channel occupancy, with truthful ``up``/``down`` labels
+  for vertical hops and parity-alternating ``left``/``right`` labels for
+  horizontal hops (odd tile columns are mirrored on the die, §II-C-4).
+"""
+
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.tile import Tile, TileKind
+from repro.mesh.routing import Channel, RingClass, ingress_events, route_path
+from repro.mesh.traffic import ChannelCounters, IngressEvent
+from repro.mesh.noc import Mesh
+
+__all__ = [
+    "GridSpec",
+    "TileCoord",
+    "Tile",
+    "TileKind",
+    "Channel",
+    "RingClass",
+    "route_path",
+    "ingress_events",
+    "ChannelCounters",
+    "IngressEvent",
+    "Mesh",
+]

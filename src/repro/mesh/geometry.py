@@ -1,0 +1,69 @@
+"""Tile-grid geometry primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+
+class TileCoord(NamedTuple):
+    """Position of a tile on the die grid.
+
+    Row 0 is the top of the die; "up" movement decreases the row index.
+    Column 0 is the leftmost column; "east" movement increases the column.
+    """
+
+    row: int
+    col: int
+
+    def step(self, d_row: int, d_col: int) -> "TileCoord":
+        return TileCoord(self.row + d_row, self.col + d_col)
+
+    def manhattan(self, other: "TileCoord") -> int:
+        return abs(self.row - other.row) + abs(self.col - other.col)
+
+    def is_vertical_neighbor(self, other: "TileCoord") -> bool:
+        return self.col == other.col and abs(self.row - other.row) == 1
+
+    def is_horizontal_neighbor(self, other: "TileCoord") -> bool:
+        return self.row == other.row and abs(self.col - other.col) == 1
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Dimensions of a die's tile grid."""
+
+    n_rows: int
+    n_cols: int
+
+    def __post_init__(self) -> None:
+        if self.n_rows <= 0 or self.n_cols <= 0:
+            raise ValueError(f"grid must be non-empty, got {self.n_rows}x{self.n_cols}")
+
+    @property
+    def n_tiles(self) -> int:
+        return self.n_rows * self.n_cols
+
+    def contains(self, coord: TileCoord) -> bool:
+        return 0 <= coord.row < self.n_rows and 0 <= coord.col < self.n_cols
+
+    def coords(self) -> Iterator[TileCoord]:
+        """All coordinates in row-major order."""
+        for r in range(self.n_rows):
+            for c in range(self.n_cols):
+                yield TileCoord(r, c)
+
+    def coords_column_major(self) -> Iterator[TileCoord]:
+        """All coordinates column-major (top-to-bottom, then left-to-right).
+
+        This is the order in which CHA IDs are assigned on real Xeon dies
+        (§III-B: "the CHA IDs are numbered in the column-major order,
+        skipping disabled tiles").
+        """
+        for c in range(self.n_cols):
+            for r in range(self.n_rows):
+                yield TileCoord(r, c)
+
+    def require(self, coord: TileCoord) -> None:
+        if not self.contains(coord):
+            raise ValueError(f"{coord} outside {self.n_rows}x{self.n_cols} grid")

@@ -1,0 +1,145 @@
+"""The mesh network-on-chip model.
+
+:class:`Mesh` combines the grid geometry, the per-tile kinds, the routing
+function and the ground-truth counters, and offers traffic-injection
+primitives used by the cache-coherence and machine layers:
+
+* ``inject_transfer`` — a cache-line data transfer between two tiles
+  (deposits BL-ring ingress-occupancy cycles along the Y-first route);
+* ``inject_llc_access`` — an access to a line homed at some CHA (deposits an
+  LLC lookup at the home tile, plus data movement if requester and home
+  differ);
+* ``inject_background`` — random core↔IMC flows modelling other tenants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.routing import Channel, RingClass, ingress_events
+from repro.mesh.tile import Tile, TileKind
+from repro.mesh.traffic import ChannelCounters
+
+#: BL (data) ring occupancy cycles per 64-byte cache line; the Skylake-SP BL
+#: ring moves 32 bytes per cycle, so a line occupies a channel for 2 cycles.
+DATA_CYCLES_PER_LINE = 2
+#: AD/AK messages are single-flit: one occupancy cycle per message.
+MESSAGE_CYCLES = 1
+
+
+class Mesh:
+    """A die's mesh interconnect with ground-truth traffic accounting."""
+
+    def __init__(self, grid: GridSpec, tile_kinds: Mapping[TileCoord, TileKind]):
+        self.grid = grid
+        missing = [c for c in grid.coords() if c not in tile_kinds]
+        if missing:
+            raise ValueError(f"tile kinds missing for {len(missing)} coords, e.g. {missing[0]}")
+        extra = [c for c in tile_kinds if not grid.contains(c)]
+        if extra:
+            raise ValueError(f"tile kinds given outside grid, e.g. {extra[0]}")
+        self._tiles = {c: Tile(c, tile_kinds[c]) for c in grid.coords()}
+        self.counters = ChannelCounters()
+
+    # -- structure -------------------------------------------------------------
+    def tile(self, coord: TileCoord) -> Tile:
+        self.grid.require(coord)
+        return self._tiles[coord]
+
+    def tiles(self) -> list[Tile]:
+        return [self._tiles[c] for c in self.grid.coords()]
+
+    def cha_coords(self) -> list[TileCoord]:
+        """CHA-bearing tiles in column-major order — i.e. CHA-ID order."""
+        return [c for c in self.grid.coords_column_major() if self._tiles[c].has_cha]
+
+    def core_coords(self) -> list[TileCoord]:
+        """Tiles with an active core, column-major order."""
+        return [c for c in self.grid.coords_column_major() if self._tiles[c].has_active_core]
+
+    def kind_at(self, coord: TileCoord) -> TileKind:
+        return self.tile(coord).kind
+
+    # -- traffic injection -------------------------------------------------------
+    def inject_transfer(
+        self,
+        src: TileCoord,
+        dst: TileCoord,
+        lines: int,
+        cycles_per_line: int = DATA_CYCLES_PER_LINE,
+        ring: RingClass = RingClass.BL,
+    ) -> None:
+        """Move ``lines`` cache lines of data from ``src`` to ``dst``."""
+        self.grid.require(src)
+        self.grid.require(dst)
+        if lines < 0:
+            raise ValueError("lines must be non-negative")
+        if lines == 0 or src == dst:
+            return
+        cycles = lines * cycles_per_line
+        for tile, channel in ingress_events(src, dst):
+            self.counters.add(tile, channel, cycles, ring)
+
+    def inject_messages(
+        self, src: TileCoord, dst: TileCoord, messages: int, ring: RingClass = RingClass.AD
+    ) -> None:
+        """Send single-flit messages (requests/snoops/acks) from ``src`` to ``dst``."""
+        self.inject_transfer(src, dst, messages, cycles_per_line=MESSAGE_CYCLES, ring=ring)
+
+    def inject_llc_access(
+        self, requester: TileCoord, home: TileCoord, accesses: int, data_lines: int | None = None
+    ) -> None:
+        """Access a line homed at ``home`` from a core at ``requester``.
+
+        Every access looks up the home CHA. If requester and home are on
+        different tiles, the data movement crosses the mesh (home → requester
+        fills, requester → home writebacks are symmetric for the step-1
+        probe's purposes; we account the fill direction).
+        """
+        if accesses < 0:
+            raise ValueError("accesses must be non-negative")
+        if not self.tile(home).has_cha:
+            raise ValueError(f"{home} carries no CHA; cannot home a cache line there")
+        self.counters.add_llc_lookup(home, accesses)
+        lines = accesses if data_lines is None else data_lines
+        self.inject_transfer(home, requester, lines)
+
+    def inject_background(
+        self, rng: np.random.Generator, flows: int, lines_per_flow: int
+    ) -> None:
+        """Inject random tenant traffic between cores and IMC tiles."""
+        cores = self.core_coords()
+        imcs = [c for c in self.grid.coords() if self._tiles[c].kind is TileKind.IMC]
+        endpoints = imcs if imcs else cores
+        if not cores:
+            return
+        for _ in range(flows):
+            src = cores[rng.integers(len(cores))]
+            dst = endpoints[rng.integers(len(endpoints))]
+            if src == dst:
+                continue
+            jitter = max(1, int(rng.poisson(lines_per_flow)))
+            if rng.random() < 0.5:
+                src, dst = dst, src
+            self.inject_transfer(src, dst, jitter)
+
+    # -- observability helpers ------------------------------------------------
+    def visible_read(
+        self, coord: TileCoord, channel: Channel, ring: RingClass = RingClass.BL
+    ) -> int:
+        """Counter value as the uncore PMON would expose it.
+
+        Disabled and IMC tiles have no live counters: reads return 0 (the
+        register space simply is not there / is powered down).
+        """
+        if not self.tile(coord).pmon_visible:
+            return 0
+        return self.counters.read(coord, channel, ring)
+
+    def visible_llc_lookup(self, coord: TileCoord) -> int:
+        if not self.tile(coord).pmon_visible:
+            return 0
+        return self.counters.read_llc_lookup(coord)

@@ -1,0 +1,109 @@
+"""Dimension-order routing and ingress-channel labelling.
+
+The Xeon mesh uses Y-first dimension-order routing (§II): a packet first
+completes all vertical movement in the source's column, then moves
+horizontally along the sink's row.
+
+**Observability model.** The uncore PMON ring counters are ingress-occupancy
+counters: each tile a packet *enters* records occupied cycles on the channel
+it arrived through. Vertical arrivals are labelled truthfully (``UP`` means
+the packet was travelling upward). Horizontal labels alternate with the
+receiving tile's column parity because every odd tile column is mirrored on
+the die (§II-C-4), so a ``LEFT``/``RIGHT`` observation does **not** reveal
+whether the packet travelled east or west — only that it moved horizontally.
+The ILP encodes that ambiguity with the NE/NW guard binaries.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.mesh.geometry import TileCoord
+
+
+class Channel(enum.Enum):
+    """Ingress channel label at a tile's ring stop."""
+
+    UP = "up"
+    DOWN = "down"
+    LEFT = "left"
+    RIGHT = "right"
+
+    @property
+    def is_vertical(self) -> bool:
+        return self in (Channel.UP, Channel.DOWN)
+
+    @property
+    def is_horizontal(self) -> bool:
+        return not self.is_vertical
+
+
+class RingClass(enum.Enum):
+    """Mesh message class (each has its own physical ring).
+
+    The Skylake-SP mesh separates request (AD), data (BL) and
+    acknowledgement (AK) traffic. The paper's probes monitor the **BL**
+    rings ("``VERT_RING_BL_IN_USE``… These counters record the number of
+    cycles the data channel is occupied") because only the data transfer
+    flows source → sink; requests flow the opposite way.
+    """
+
+    AD = "ad"  # requests/snoops
+    BL = "bl"  # data
+    AK = "ak"  # acknowledgements
+
+
+def route_path(src: TileCoord, dst: TileCoord) -> list[TileCoord]:
+    """Tiles visited from ``src`` to ``dst`` (inclusive), Y-first.
+
+    The packet moves vertically within ``src``'s column until it reaches
+    ``dst``'s row, then horizontally along that row.
+    """
+    path = [src]
+    row, col = src.row, src.col
+    step_r = 1 if dst.row > row else -1
+    while row != dst.row:
+        row += step_r
+        path.append(TileCoord(row, col))
+    step_c = 1 if dst.col > col else -1
+    while col != dst.col:
+        col += step_c
+        path.append(TileCoord(row, col))
+    return path
+
+
+def horizontal_label(receiving_col: int, eastbound: bool) -> Channel:
+    """Ingress label for a horizontal arrival at a tile in ``receiving_col``.
+
+    Odd columns are mirrored, so the label is flipped there. The invariant
+    that matters: along a row, consecutive tiles observe alternating
+    LEFT/RIGHT labels regardless of true direction — exactly the paper's
+    "packets that travel horizontally will encounter alternating channel
+    types (left and right) regardless of the travel direction".
+    """
+    mirrored = receiving_col % 2 == 1
+    if eastbound != mirrored:
+        return Channel.RIGHT
+    return Channel.LEFT
+
+
+def ingress_events(src: TileCoord, dst: TileCoord) -> list[tuple[TileCoord, Channel]]:
+    """Per-hop ingress observations for a packet from ``src`` to ``dst``.
+
+    Returns one ``(receiving_tile, channel_label)`` pair per hop, in travel
+    order. The source tile emits but never receives, so it does not appear;
+    the sink appears via its final arrival. An empty list is returned when
+    ``src == dst`` (same-tile transfers never touch the mesh — the property
+    step 1 of the mapping pipeline exploits).
+    """
+    if src == dst:
+        return []
+    events: list[tuple[TileCoord, Channel]] = []
+    path = route_path(src, dst)
+    for prev, cur in zip(path, path[1:]):
+        if cur.row != prev.row:
+            label = Channel.UP if cur.row < prev.row else Channel.DOWN
+        else:
+            label = horizontal_label(cur.col, eastbound=cur.col > prev.col)
+        events.append((cur, label))
+    return events

@@ -1,0 +1,64 @@
+"""Tile kinds and the per-tile record.
+
+The paper distinguishes four kinds of mesh nodes (§II-B):
+
+* **CORE** — an active processor core plus an LLC slice and its CHA. Can host
+  pinned threads; its uncore PMON counters are live.
+* **LLC_ONLY** — the core is fused off but the LLC slice/CHA stays active.
+  Cannot host threads, but its PMON counters are live (it still gets a
+  CHA ID).
+* **DISABLED** — a fully fused-off core tile. It still *routes* mesh traffic,
+  but its PMON counters are disabled and it receives no CHA ID — this is the
+  source of the partial-observability problem the ILP must overcome.
+* **IMC** — an integrated-memory-controller tile. A valid mesh node, but it
+  carries no CHA and no core.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.mesh.geometry import TileCoord
+
+
+class TileKind(enum.Enum):
+    CORE = "core"
+    LLC_ONLY = "llc_only"
+    DISABLED = "disabled"
+    IMC = "imc"
+
+    @property
+    def has_cha(self) -> bool:
+        """Whether the tile carries a CHA (and therefore gets a CHA ID)."""
+        return self in (TileKind.CORE, TileKind.LLC_ONLY)
+
+    @property
+    def has_active_core(self) -> bool:
+        """Whether user threads can be pinned to this tile."""
+        return self is TileKind.CORE
+
+    @property
+    def pmon_visible(self) -> bool:
+        """Whether the tile's uncore PMON counters report traffic."""
+        return self.has_cha
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A tile on the die with its kind."""
+
+    coord: TileCoord
+    kind: TileKind
+
+    @property
+    def has_cha(self) -> bool:
+        return self.kind.has_cha
+
+    @property
+    def has_active_core(self) -> bool:
+        return self.kind.has_active_core
+
+    @property
+    def pmon_visible(self) -> bool:
+        return self.kind.pmon_visible

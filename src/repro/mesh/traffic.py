@@ -1,0 +1,87 @@
+"""Traffic accounting: ingress events and cumulative channel counters.
+
+Counters are kept per (tile, channel, ring class): the mesh carries
+separate AD (request), BL (data) and AK (acknowledgement) rings, and the
+uncore PMON events select one class — the paper's probes monitor BL only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.mesh.geometry import TileCoord
+from repro.mesh.routing import Channel, RingClass
+
+CounterKey = tuple[TileCoord, Channel, RingClass]
+
+
+@dataclass(frozen=True)
+class IngressEvent:
+    """One ingress observation: ``cycles`` of occupancy at a ring stop."""
+
+    tile: TileCoord
+    channel: Channel
+    cycles: int
+    ring: RingClass = RingClass.BL
+
+
+class ChannelCounters:
+    """Cumulative per-(tile, channel, ring) occupancy cycles.
+
+    This is the ground-truth accounting inside the mesh model. The uncore
+    PMON layer exposes *filtered* views of it (only CHA-bearing tiles, only
+    the programmed events).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[CounterKey] = Counter()
+        self._llc_lookups: Counter[TileCoord] = Counter()
+
+    # -- ring occupancy --------------------------------------------------------
+    def add(
+        self,
+        tile: TileCoord,
+        channel: Channel,
+        cycles: int = 1,
+        ring: RingClass = RingClass.BL,
+    ) -> None:
+        if cycles < 0:
+            raise ValueError("cycle counts only ever increase")
+        self._counts[(tile, channel, ring)] += cycles
+
+    def add_events(self, events: Iterable[IngressEvent]) -> None:
+        for ev in events:
+            self.add(ev.tile, ev.channel, ev.cycles, ev.ring)
+
+    def read(
+        self, tile: TileCoord, channel: Channel, ring: RingClass = RingClass.BL
+    ) -> int:
+        return self._counts[(tile, channel, ring)]
+
+    # -- LLC lookups -----------------------------------------------------------
+    def add_llc_lookup(self, tile: TileCoord, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("lookup counts only ever increase")
+        self._llc_lookups[tile] += count
+
+    def read_llc_lookup(self, tile: TileCoord) -> int:
+        return self._llc_lookups[tile]
+
+    # -- snapshots ---------------------------------------------------------------
+    def snapshot(self) -> dict[CounterKey, int]:
+        return dict(self._counts)
+
+    def snapshot_llc(self) -> dict[TileCoord, int]:
+        return dict(self._llc_lookups)
+
+    @staticmethod
+    def diff(after: dict[CounterKey, int], before: dict[CounterKey, int]) -> dict[CounterKey, int]:
+        """Per-key increase between two snapshots (keys absent before count from 0)."""
+        out: dict[CounterKey, int] = {}
+        for key, value in after.items():
+            delta = value - before.get(key, 0)
+            if delta:
+                out[key] = delta
+        return out

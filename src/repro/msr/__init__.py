@@ -1,0 +1,54 @@
+"""Model-specific-register (MSR) access layer.
+
+The paper's tool needs root MSR access for three things: the PPIN (to key
+core maps to CPU instances), the uncore PMON CHA counter blocks, and the
+per-core thermal sensors. This package provides:
+
+* :mod:`repro.msr.constants` — the register map (addresses, field layouts);
+* :mod:`repro.msr.device` — the access interface plus an in-memory register
+  file with dynamic read hooks (what the simulator wires counters into);
+* :mod:`repro.msr.simfs` — a simulated ``/dev/cpu/N/msr`` file tree: real
+  files, real ``pread`` at offset = register number, refreshed from the
+  dynamic register file — the measurement stack exercises the same file
+  I/O code path it would use on hardware;
+* :mod:`repro.msr.hwfs` — the real-hardware backend with the identical
+  interface.
+"""
+
+from repro.msr.constants import (
+    MSR_PPIN,
+    MSR_PPIN_CTL,
+    IA32_THERM_STATUS,
+    MSR_TEMPERATURE_TARGET,
+    CHA_MSR_BASE,
+    CHA_MSR_STRIDE,
+    ChaBlockOffset,
+    cha_msr,
+    encode_therm_status,
+    decode_therm_status,
+    encode_temperature_target,
+    decode_temperature_target,
+)
+from repro.msr.device import MsrDevice, MsrRegisterFile
+from repro.msr.simfs import FileBackedMsrDevice, MsrFileTree
+from repro.msr.hwfs import HardwareMsrDevice
+
+__all__ = [
+    "MSR_PPIN",
+    "MSR_PPIN_CTL",
+    "IA32_THERM_STATUS",
+    "MSR_TEMPERATURE_TARGET",
+    "CHA_MSR_BASE",
+    "CHA_MSR_STRIDE",
+    "ChaBlockOffset",
+    "cha_msr",
+    "encode_therm_status",
+    "decode_therm_status",
+    "encode_temperature_target",
+    "decode_temperature_target",
+    "MsrDevice",
+    "MsrRegisterFile",
+    "FileBackedMsrDevice",
+    "MsrFileTree",
+    "HardwareMsrDevice",
+]

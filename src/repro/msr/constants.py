@@ -1,0 +1,103 @@
+"""MSR register map used by the locating tool.
+
+Addresses follow the Intel SDM / the Xeon Scalable uncore performance
+monitoring reference the paper cites [5]; only the registers the pipeline
+touches are modelled.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.util.bitops import bitfield, bits
+
+#: Protected Processor Inventory Number (unique per CPU package).
+MSR_PPIN = 0x4F
+#: PPIN control (bit 1 = enable).
+MSR_PPIN_CTL = 0x4E
+
+#: Per-core thermal status; digital readout in bits [22:16] gives the
+#: distance to TjMax in degrees C (1 degree granularity, §IV).
+IA32_THERM_STATUS = 0x19C
+#: TjMax lives in bits [23:16].
+MSR_TEMPERATURE_TARGET = 0x1A2
+
+#: Base address of CHA 0's uncore PMON register block (Skylake-SP layout);
+#: each CHA occupies a 0x10-register window.
+CHA_MSR_BASE = 0x0E00
+CHA_MSR_STRIDE = 0x10
+#: Largest CHA count of any modelled die (ICX grids have up to 40).
+MAX_CHAS = 64
+
+
+class ChaBlockOffset(enum.IntEnum):
+    """Register offsets within one CHA's PMON block."""
+
+    UNIT_CTL = 0x0
+    CTL0 = 0x1
+    CTL1 = 0x2
+    CTL2 = 0x3
+    CTL3 = 0x4
+    FILTER0 = 0x5
+    FILTER1 = 0x6
+    STATUS = 0x7
+    CTR0 = 0x8
+    CTR1 = 0x9
+    CTR2 = 0xA
+    CTR3 = 0xB
+
+
+#: Number of general-purpose counters per CHA.
+CHA_NUM_COUNTERS = 4
+
+#: UNIT_CTL bit: freeze all counters of the box.
+UNIT_CTL_FRZ = 1 << 8
+#: UNIT_CTL bit: reset counters.
+UNIT_CTL_RST_CTRS = 1 << 1
+
+
+def cha_msr(cha_id: int, offset: ChaBlockOffset) -> int:
+    """MSR address of ``offset`` within CHA ``cha_id``'s PMON block."""
+    if not 0 <= cha_id < MAX_CHAS:
+        raise ValueError(f"cha_id {cha_id} out of range")
+    return CHA_MSR_BASE + CHA_MSR_STRIDE * cha_id + int(offset)
+
+
+def cha_of_msr(addr: int) -> tuple[int, ChaBlockOffset] | None:
+    """Inverse of :func:`cha_msr`; ``None`` if the address is not a CHA block."""
+    if not CHA_MSR_BASE <= addr < CHA_MSR_BASE + CHA_MSR_STRIDE * MAX_CHAS:
+        return None
+    rel = addr - CHA_MSR_BASE
+    offset = rel % CHA_MSR_STRIDE
+    if offset > int(ChaBlockOffset.CTR3):
+        return None
+    return rel // CHA_MSR_STRIDE, ChaBlockOffset(offset)
+
+
+# -- thermal register packing ----------------------------------------------------
+
+def encode_therm_status(readout: int, valid: bool = True) -> int:
+    """Pack a digital readout (degrees below TjMax) into IA32_THERM_STATUS."""
+    if not 0 <= readout <= 127:
+        raise ValueError(f"digital readout {readout} out of 7-bit range")
+    value = bitfield(0, 16, 22, readout)
+    if valid:
+        value |= 1 << 31
+    return value
+
+
+def decode_therm_status(value: int) -> tuple[int, bool]:
+    """Unpack (digital readout, reading-valid) from IA32_THERM_STATUS."""
+    return bits(value, 16, 22), bool(bits(value, 31, 31))
+
+
+def encode_temperature_target(tjmax: int) -> int:
+    """Pack TjMax (degrees C) into MSR_TEMPERATURE_TARGET."""
+    if not 0 <= tjmax <= 255:
+        raise ValueError(f"TjMax {tjmax} out of 8-bit range")
+    return bitfield(0, 16, 23, tjmax)
+
+
+def decode_temperature_target(value: int) -> int:
+    """Unpack TjMax (degrees C) from MSR_TEMPERATURE_TARGET."""
+    return bits(value, 16, 23)

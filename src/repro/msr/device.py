@@ -1,0 +1,88 @@
+"""MSR device abstraction and the in-memory register file.
+
+Everything above this layer (uncore PMON sessions, thermal sensor reads, the
+PPIN fetch) talks to a :class:`MsrDevice`: 64-bit reads/writes addressed by
+``(os_cpu, msr_address)``. Three implementations exist:
+
+* :class:`MsrRegisterFile` (here) — in-memory with dynamic read hooks; the
+  simulator registers hooks so PMON counter reads reflect live mesh state;
+* :class:`repro.msr.simfs.FileBackedMsrDevice` — real files + ``pread``;
+* :class:`repro.msr.hwfs.HardwareMsrDevice` — ``/dev/cpu/N/msr``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Protocol, runtime_checkable
+
+_U64_MASK = (1 << 64) - 1
+
+ReadHook = Callable[[int, int], int]  # (os_cpu, msr_addr) -> value
+WriteHook = Callable[[int, int, int], None]  # (os_cpu, msr_addr, value)
+
+
+class MsrAccessError(RuntimeError):
+    """Raised when an MSR cannot be read or written."""
+
+
+@runtime_checkable
+class MsrDevice(Protocol):
+    """64-bit register access keyed by (OS CPU number, MSR address)."""
+
+    def read(self, os_cpu: int, addr: int) -> int:  # pragma: no cover - protocol
+        ...
+
+    def write(self, os_cpu: int, addr: int, value: int) -> None:  # pragma: no cover
+        ...
+
+
+class MsrRegisterFile:
+    """In-memory MSR store with per-address dynamic hooks.
+
+    Static registers (PPIN, TjMax) are plain stored values; dynamic registers
+    (PMON counters, thermal status) are backed by read hooks so each read
+    reflects the simulator's current state. Write hooks let control registers
+    (counter config, unit freeze) take effect in the PMON model.
+    """
+
+    def __init__(self, n_cpus: int):
+        if n_cpus <= 0:
+            raise ValueError("n_cpus must be positive")
+        self.n_cpus = n_cpus
+        self._values: dict[tuple[int, int], int] = {}
+        self._read_hooks: dict[int, ReadHook] = {}
+        self._write_hooks: dict[int, WriteHook] = {}
+
+    def _check_cpu(self, os_cpu: int) -> None:
+        if not 0 <= os_cpu < self.n_cpus:
+            raise MsrAccessError(f"no such CPU: {os_cpu}")
+
+    # -- hook installation ------------------------------------------------------
+    def install_read_hook(self, addr: int, hook: ReadHook) -> None:
+        self._read_hooks[addr] = hook
+
+    def install_write_hook(self, addr: int, hook: WriteHook) -> None:
+        self._write_hooks[addr] = hook
+
+    # -- MsrDevice interface -------------------------------------------------------
+    def read(self, os_cpu: int, addr: int) -> int:
+        self._check_cpu(os_cpu)
+        hook = self._read_hooks.get(addr)
+        if hook is not None:
+            return hook(os_cpu, addr) & _U64_MASK
+        return self._values.get((os_cpu, addr), 0)
+
+    def write(self, os_cpu: int, addr: int, value: int) -> None:
+        self._check_cpu(os_cpu)
+        if not 0 <= value <= _U64_MASK:
+            raise MsrAccessError(f"value {value:#x} does not fit in 64 bits")
+        self._values[(os_cpu, addr)] = value
+        hook = self._write_hooks.get(addr)
+        if hook is not None:
+            hook(os_cpu, addr, value)
+
+    # -- convenience for simulator setup ---------------------------------------
+    def set_all_cpus(self, addr: int, value: int) -> None:
+        """Store the same static value at ``addr`` on every CPU (e.g. PPIN)."""
+        for cpu in range(self.n_cpus):
+            self.write(cpu, addr, value)

@@ -1,0 +1,64 @@
+"""Real-hardware MSR backend.
+
+Reads/writes ``/dev/cpu/N/msr`` device nodes (requires the ``msr`` kernel
+module and root). This is the backend the tool would use on an actual Xeon
+bare-metal instance; its file access pattern is byte-identical to
+:class:`repro.msr.simfs.FileBackedMsrDevice`, which is how it is covered by
+the test suite without hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+from repro.msr.device import MsrAccessError
+
+_U64 = struct.Struct("<Q")
+
+
+class HardwareMsrDevice:
+    """``MsrDevice`` over Linux msr device nodes."""
+
+    def __init__(self, dev_root: str | os.PathLike = "/dev/cpu"):
+        self.dev_root = Path(dev_root)
+
+    def msr_path(self, os_cpu: int) -> Path:
+        return self.dev_root / str(os_cpu) / "msr"
+
+    def available(self) -> bool:
+        """Whether at least CPU 0's msr node exists and is readable."""
+        path = self.msr_path(0)
+        return path.exists() and os.access(path, os.R_OK)
+
+    def read(self, os_cpu: int, addr: int) -> int:
+        path = self.msr_path(os_cpu)
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError as exc:
+            raise MsrAccessError(f"cannot open {path}: {exc}") from exc
+        try:
+            data = os.pread(fd, 8, addr)
+        except OSError as exc:
+            raise MsrAccessError(f"rdmsr {addr:#x} failed on CPU {os_cpu}: {exc}") from exc
+        finally:
+            os.close(fd)
+        if len(data) != 8:
+            raise MsrAccessError(f"short read at MSR {addr:#x} on CPU {os_cpu}")
+        return _U64.unpack(data)[0]
+
+    def write(self, os_cpu: int, addr: int, value: int) -> None:
+        path = self.msr_path(os_cpu)
+        try:
+            fd = os.open(path, os.O_WRONLY)
+        except OSError as exc:
+            raise MsrAccessError(f"cannot open {path}: {exc}") from exc
+        try:
+            written = os.pwrite(fd, _U64.pack(value), addr)
+        except OSError as exc:
+            raise MsrAccessError(f"wrmsr {addr:#x} failed on CPU {os_cpu}: {exc}") from exc
+        finally:
+            os.close(fd)
+        if written != 8:
+            raise MsrAccessError(f"short write at MSR {addr:#x} on CPU {os_cpu}")

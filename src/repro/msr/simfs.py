@@ -1,0 +1,116 @@
+"""Simulated ``/dev/cpu/N/msr`` file tree.
+
+On Linux, ``/dev/cpu/N/msr`` is a pseudo-file where ``pread(fd, 8, addr)``
+returns MSR ``addr`` of CPU ``N`` as 8 little-endian bytes — the kernel
+interprets the file offset as a *register index*, so consecutive MSR
+addresses never overlap even though each read returns 8 bytes. A regular
+file cannot reproduce that aliasing, so the simulated tree stores register
+``addr`` at byte offset ``addr * 8`` (a record-indexed layout); everything
+else — open, ``pread``/``pwrite``, little-endian unpack — is byte-for-byte
+what :class:`repro.msr.hwfs.HardwareMsrDevice` does against real device
+nodes.
+
+* :class:`MsrFileTree` materialises ``<root>/cpu<N>/msr`` regular files and
+  refreshes the byte ranges of registered MSR addresses from a backing
+  :class:`~repro.msr.device.MsrRegisterFile` before each read;
+* :class:`FileBackedMsrDevice` implements the :class:`MsrDevice` interface
+  purely with file I/O on those files.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+from repro.msr.device import MsrAccessError, MsrRegisterFile
+
+_U64 = struct.Struct("<Q")
+#: Bytes per register record in the simulated file.
+RECORD_SIZE = 8
+
+
+def record_offset(addr: int) -> int:
+    """Byte offset of MSR ``addr`` within a simulated msr file."""
+    if addr < 0:
+        raise MsrAccessError(f"invalid MSR address {addr:#x}")
+    return addr * RECORD_SIZE
+
+
+class MsrFileTree:
+    """A directory of per-CPU msr files backed by a register file."""
+
+    def __init__(self, root: str | os.PathLike, registers: MsrRegisterFile, tracked_addrs: list[int]):
+        self.root = Path(root)
+        self.registers = registers
+        self.tracked_addrs = sorted(set(tracked_addrs))
+        if not self.tracked_addrs:
+            raise ValueError("tracked_addrs must name at least one MSR")
+        self._size = record_offset(max(self.tracked_addrs)) + RECORD_SIZE
+        self.root.mkdir(parents=True, exist_ok=True)
+        for cpu in range(registers.n_cpus):
+            path = self.msr_path(cpu)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "wb") as f:
+                f.truncate(self._size)
+        self.sync()
+
+    def msr_path(self, os_cpu: int) -> Path:
+        return self.root / f"cpu{os_cpu}" / "msr"
+
+    def sync(self, os_cpu: int | None = None, addrs: list[int] | None = None) -> None:
+        """Flush current register values into the file bytes."""
+        cpus = range(self.registers.n_cpus) if os_cpu is None else [os_cpu]
+        addresses = self.tracked_addrs if addrs is None else addrs
+        for cpu in cpus:
+            with open(self.msr_path(cpu), "r+b") as f:
+                for addr in addresses:
+                    f.seek(record_offset(addr))
+                    f.write(_U64.pack(self.registers.read(cpu, addr)))
+
+    def apply_write(self, os_cpu: int, addr: int) -> None:
+        """Propagate one file-level register write back into the register file."""
+        with open(self.msr_path(os_cpu), "rb") as f:
+            f.seek(record_offset(addr))
+            (value,) = _U64.unpack(f.read(RECORD_SIZE))
+        self.registers.write(os_cpu, addr, value)
+
+
+class FileBackedMsrDevice:
+    """``MsrDevice`` speaking pure file I/O against a :class:`MsrFileTree`.
+
+    Reads first ask the tree to refresh the target bytes (standing in for
+    the kernel's on-demand ``rdmsr``), then ``pread`` the 8 bytes; writes
+    ``pwrite`` and then propagate. The pread/pwrite calls are identical to
+    the hardware backend's (modulo the record-indexed offset).
+    """
+
+    def __init__(self, tree: MsrFileTree):
+        self.tree = tree
+
+    def read(self, os_cpu: int, addr: int) -> int:
+        self.tree.sync(os_cpu, [addr])
+        path = self.tree.msr_path(os_cpu)
+        if not path.exists():
+            raise MsrAccessError(f"no msr file for CPU {os_cpu}")
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            data = os.pread(fd, RECORD_SIZE, record_offset(addr))
+        finally:
+            os.close(fd)
+        if len(data) != RECORD_SIZE:
+            raise MsrAccessError(f"short read at MSR {addr:#x} on CPU {os_cpu}")
+        return _U64.unpack(data)[0]
+
+    def write(self, os_cpu: int, addr: int, value: int) -> None:
+        path = self.tree.msr_path(os_cpu)
+        if not path.exists():
+            raise MsrAccessError(f"no msr file for CPU {os_cpu}")
+        fd = os.open(path, os.O_WRONLY)
+        try:
+            written = os.pwrite(fd, _U64.pack(value), record_offset(addr))
+        finally:
+            os.close(fd)
+        if written != RECORD_SIZE:
+            raise MsrAccessError(f"short write at MSR {addr:#x} on CPU {os_cpu}")
+        self.tree.apply_write(os_cpu, addr)

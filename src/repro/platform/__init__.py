@@ -1,0 +1,50 @@
+"""Generative model of Xeon CPU instances.
+
+Real Xeon dies come in a few fixed tile-grid sizes; each SKU activates a
+subset of core tiles, and each *instance* of a SKU can have a different
+fused pattern (which tiles are disabled or LLC-only). This package generates
+such instances with hidden ground truth:
+
+* :mod:`repro.platform.dies` — die catalogue (grid size, IMC tile positions,
+  CHA enumeration order);
+* :mod:`repro.platform.skus` — SKU catalogue (die, core count, LLC-only
+  count, enumeration rule, fused-pattern mixture calibrated to §III);
+* :mod:`repro.platform.fusing` — per-instance fused-pattern sampling;
+* :mod:`repro.platform.enumeration` — CHA-ID and OS-core-ID assignment
+  rules (column-major §III-B; the stride-4 rule behind Table I);
+* :mod:`repro.platform.instance` — a full CPU instance: mesh, cache system,
+  MSR register file with PPIN and PMON wired up;
+* :mod:`repro.platform.fleet` — seeded fleets standing in for the paper's
+  300 cloud instances.
+"""
+
+from repro.platform.dies import DieConfig, SKX_XCC, ICX_XCC, DIE_CATALOG
+from repro.platform.skus import SkuSpec, XEON_8124M, XEON_8175M, XEON_8259CL, XEON_6354, SKU_CATALOG
+from repro.platform.fusing import FusedPattern, sample_pattern
+from repro.platform.enumeration import (
+    EnumerationRule,
+    assign_cha_ids,
+    assign_os_core_ids,
+)
+from repro.platform.instance import CpuInstance
+from repro.platform.fleet import generate_fleet
+
+__all__ = [
+    "DieConfig",
+    "SKX_XCC",
+    "ICX_XCC",
+    "DIE_CATALOG",
+    "SkuSpec",
+    "XEON_8124M",
+    "XEON_8175M",
+    "XEON_8259CL",
+    "XEON_6354",
+    "SKU_CATALOG",
+    "FusedPattern",
+    "sample_pattern",
+    "EnumerationRule",
+    "assign_cha_ids",
+    "assign_os_core_ids",
+    "CpuInstance",
+    "generate_fleet",
+]

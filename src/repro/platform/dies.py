@@ -1,0 +1,71 @@
+"""Die catalogue.
+
+A die fixes the tile-grid geometry, which tiles are IMC tiles, and the order
+in which CHA IDs are laid out over CHA-bearing tiles. Two dies are modelled:
+
+* ``SKX_XCC`` — the Skylake/Cascade Lake XCC die of Fig. 1: a 5×6 grid with
+  two IMC tiles in row 1 (columns 0 and 5), i.e. 28 core-tile slots, CHA IDs
+  column-major (§III-B).
+* ``ICX_XCC`` — an Ice Lake server die per §III-B / Fig. 5: the paper
+  reports 18 cores "mapped on an 8×6 tile grid"; we model a 6-row × 8-column
+  grid with four IMC tiles on the left/right edges (44 core-tile slots) and
+  row-major CHA enumeration, giving the "clearly different" CHA location
+  pattern the paper observes on Ice Lake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mesh.geometry import GridSpec, TileCoord
+
+
+@dataclass(frozen=True)
+class DieConfig:
+    """Geometry and enumeration conventions of one physical die."""
+
+    name: str
+    grid: GridSpec
+    imc_coords: frozenset[TileCoord]
+    #: "column_major" (SKX/CLX) or "row_major" (ICX) CHA-ID layout.
+    cha_order: str = "column_major"
+
+    def __post_init__(self) -> None:
+        for coord in self.imc_coords:
+            if not self.grid.contains(coord):
+                raise ValueError(f"IMC tile {coord} outside grid of die {self.name}")
+        if self.cha_order not in ("column_major", "row_major"):
+            raise ValueError(f"unknown cha_order {self.cha_order!r}")
+
+    @property
+    def core_slots(self) -> list[TileCoord]:
+        """Core-tile slots (non-IMC positions) in CHA-enumeration order."""
+        coords = (
+            self.grid.coords_column_major()
+            if self.cha_order == "column_major"
+            else self.grid.coords()
+        )
+        return [c for c in coords if c not in self.imc_coords]
+
+    @property
+    def n_core_slots(self) -> int:
+        return self.grid.n_tiles - len(self.imc_coords)
+
+
+SKX_XCC = DieConfig(
+    name="SKX_XCC",
+    grid=GridSpec(n_rows=5, n_cols=6),
+    imc_coords=frozenset({TileCoord(1, 0), TileCoord(1, 5)}),
+    cha_order="column_major",
+)
+
+ICX_XCC = DieConfig(
+    name="ICX_XCC",
+    grid=GridSpec(n_rows=6, n_cols=8),
+    imc_coords=frozenset(
+        {TileCoord(2, 0), TileCoord(4, 0), TileCoord(2, 7), TileCoord(4, 7)}
+    ),
+    cha_order="row_major",
+)
+
+DIE_CATALOG: dict[str, DieConfig] = {die.name: die for die in (SKX_XCC, ICX_XCC)}

@@ -1,0 +1,81 @@
+"""CHA-ID and OS-core-ID enumeration rules.
+
+Two empirical regularities from §III drive this module:
+
+* **CHA IDs** are assigned over CHA-bearing tiles in the die's enumeration
+  order (column-major on SKX/CLX), *skipping disabled tiles* — the rule the
+  paper infers from its 300 mapping samples ("the CHA IDs are numbered in
+  the column-major order, skipping disabled tiles").
+* **OS core IDs** on SKX/CLX enumerate the active-core CHA IDs grouped by
+  ``CHA mod 4`` in residue order ``(0, 2, 1, 3)`` (ascending CHA within a
+  group). This single rule reproduces every row of Table I — including all
+  seven 8259CL variants once the instance's LLC-only CHA IDs are fixed,
+  and the fact that 8124M/8175M instances (whose CHA ID spaces are
+  contiguous) all share one mapping. Ice Lake instead enumerates active-core
+  CHAs in plain ascending order (visible in Fig. 5's ID pairs).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.mesh.geometry import TileCoord
+from repro.platform.dies import DieConfig
+
+
+class EnumerationRule(enum.Enum):
+    """How OS core IDs are derived from active-core CHA IDs."""
+
+    STRIDE4 = "stride4"  # SKX / CLX: residue groups (0, 2, 1, 3)
+    ASCENDING = "ascending"  # ICX
+
+    def os_order(self, core_cha_ids: list[int]) -> list[int]:
+        """Return active-core CHA IDs in OS-core-ID order."""
+        chas = sorted(core_cha_ids)
+        if len(set(chas)) != len(chas):
+            raise ValueError("duplicate CHA IDs")
+        if self is EnumerationRule.ASCENDING:
+            return chas
+        residue_priority = {0: 0, 2: 1, 1: 2, 3: 3}
+        return sorted(chas, key=lambda cha: (residue_priority[cha % 4], cha))
+
+
+def assign_cha_ids(
+    die: DieConfig, disabled_slots: frozenset[TileCoord]
+) -> dict[TileCoord, int]:
+    """Map CHA-bearing tile coordinates to CHA IDs.
+
+    ``disabled_slots`` are fully fused-off tiles: they are skipped in the
+    numbering (and carry no CHA at all). IMC tiles never appear.
+    """
+    for coord in disabled_slots:
+        if coord in die.imc_coords:
+            raise ValueError(f"{coord} is an IMC tile; it cannot be a disabled core slot")
+        if not die.grid.contains(coord):
+            raise ValueError(f"disabled slot {coord} outside die grid")
+    mapping: dict[TileCoord, int] = {}
+    next_id = 0
+    for coord in die.core_slots:
+        if coord in disabled_slots:
+            continue
+        mapping[coord] = next_id
+        next_id += 1
+    return mapping
+
+
+def assign_os_core_ids(
+    cha_ids_by_coord: dict[TileCoord, int],
+    llc_only_coords: frozenset[TileCoord],
+    rule: EnumerationRule,
+) -> dict[int, int]:
+    """Map OS core IDs to CHA IDs.
+
+    ``llc_only_coords`` carry a CHA but no usable core, so they receive no
+    OS core ID — which is why their presence perturbs the whole mapping
+    (the 8259CL effect in Table I).
+    """
+    core_chas = [
+        cha for coord, cha in cha_ids_by_coord.items() if coord not in llc_only_coords
+    ]
+    ordered = rule.os_order(core_chas)
+    return {os_id: cha for os_id, cha in enumerate(ordered)}

@@ -1,0 +1,32 @@
+"""Fleet generation — the stand-in for the paper's cloud survey.
+
+The paper maps 100 bare-metal instances of each of three SKUs on AWS plus
+10 Ice Lake instances on OCI. :func:`generate_fleet` produces the analogous
+seeded population of :class:`~repro.platform.instance.CpuInstance` objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.platform.instance import CpuInstance
+from repro.platform.skus import SkuSpec
+from repro.util.rng import derive_rng
+
+
+def instance_seed(root_seed: int, sku: SkuSpec, index: int) -> int:
+    """Deterministic per-instance seed within a fleet."""
+    return int(derive_rng(root_seed, "fleet", sku.name, index).integers(1 << 62))
+
+
+def iter_fleet(sku: SkuSpec, n_instances: int, root_seed: int = 0) -> Iterator[CpuInstance]:
+    """Lazily generate a fleet (useful when instances are processed one by one)."""
+    if n_instances < 0:
+        raise ValueError("n_instances must be non-negative")
+    for index in range(n_instances):
+        yield CpuInstance.generate(sku, instance_seed(root_seed, sku, index))
+
+
+def generate_fleet(sku: SkuSpec, n_instances: int, root_seed: int = 0) -> list[CpuInstance]:
+    """Generate ``n_instances`` independent instances of ``sku``."""
+    return list(iter_fleet(sku, n_instances, root_seed))

@@ -1,0 +1,170 @@
+"""Per-instance fused-pattern sampling.
+
+A *fused pattern* decides, for one CPU instance, which core-tile slots are
+fully disabled and which keep their LLC slice but lose the core (LLC-only).
+The paper's survey (§III) shows the resulting location patterns are diverse
+but far from uniform: a handful of patterns dominate and a long tail of
+rarer ones follows (Table II), while the LLC-only tiles sit at a few
+preferred CHA indices (Table I's seven 8259CL variants).
+
+We model that with a per-SKU **deterministic pattern pool** — each entry is
+a complete fused pattern (disabled-slot set plus LLC-only placement):
+
+* the pool's *disabled-slot sets* are random draws over the die's core
+  slots (defect-driven fusing);
+* each entry's *LLC-only tiles* are chosen **by CHA index** from the SKU's
+  categorical distribution calibrated to Table I (e.g. 8259CL prefers CHA
+  IDs {3, 25}). Fusing by slice index rather than position matches the
+  observation that the OS↔CHA mapping varies far less than the location
+  pattern;
+* instances then sample pool entries from a mixture — a short head of
+  canonical patterns with explicit probabilities (yield binning reuses
+  known-good fuse masks) plus a uniform tail — whose weights are calibrated
+  per SKU so pattern-diversity statistics land in Table II's regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.mesh.geometry import TileCoord
+from repro.platform.enumeration import assign_cha_ids
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (skus imports us)
+    from repro.platform.skus import SkuSpec
+
+#: Master seed for the per-SKU pattern pools. Fixed: the pools model silicon
+#: reality (which fuse masks exist in the wild), not experiment randomness.
+POOL_MASTER_SEED = 0x5EED_CAFE
+
+
+@dataclass(frozen=True)
+class PatternMixture:
+    """Mixture shape of a SKU's fused-pattern distribution."""
+
+    head_weights: tuple[float, ...]
+    tail_pool_size: int
+
+    def __post_init__(self) -> None:
+        if any(w < 0 for w in self.head_weights):
+            raise ValueError("head weights must be non-negative")
+        if sum(self.head_weights) > 1.0 + 1e-9:
+            raise ValueError("head weights must sum to at most 1")
+        if self.tail_pool_size < 0:
+            raise ValueError("tail pool size must be non-negative")
+        if sum(self.head_weights) < 1.0 - 1e-9 and self.tail_pool_size == 0:
+            raise ValueError("sub-unit head weights need a non-empty tail pool")
+
+    @property
+    def pool_size(self) -> int:
+        return len(self.head_weights) + self.tail_pool_size
+
+
+@dataclass(frozen=True)
+class FusedPattern:
+    """One instance's fusing outcome."""
+
+    disabled_slots: frozenset[TileCoord]
+    llc_only_slots: frozenset[TileCoord]
+
+    def __post_init__(self) -> None:
+        if self.disabled_slots & self.llc_only_slots:
+            raise ValueError("a slot cannot be both disabled and LLC-only")
+
+
+def _draw_disabled_set(
+    slots: list[TileCoord], n_disabled: int, rng: np.random.Generator
+) -> frozenset[TileCoord]:
+    picked = rng.choice(len(slots), size=n_disabled, replace=False)
+    return frozenset(slots[int(i)] for i in picked)
+
+
+def _draw_llc_only(
+    sku: "SkuSpec",
+    disabled: frozenset[TileCoord],
+    rng: np.random.Generator,
+    forced_cha_indices: tuple[int, ...] | None = None,
+) -> frozenset[TileCoord]:
+    """Place the SKU's LLC-only tiles at CHA indices drawn from its distribution.
+
+    Head pool entries carry large probability mass, so their CHA indices are
+    pinned (``forced_cha_indices``) rather than drawn — this keeps the
+    Table-I variant frequencies stable instead of hostage to a few draws.
+    """
+    if sku.n_llc_only == 0:
+        return frozenset()
+    if forced_cha_indices is not None:
+        cha_indices = forced_cha_indices
+    else:
+        choices, weights = zip(*sku.llc_only_cha_distribution)
+        pick = rng.choice(len(choices), p=np.array(weights) / sum(weights))
+        cha_indices = choices[int(pick)]
+    cha_by_coord = assign_cha_ids(sku.die, disabled)
+    coord_by_cha = {cha: coord for coord, cha in cha_by_coord.items()}
+    missing = [i for i in cha_indices if i not in coord_by_cha]
+    if missing:
+        raise ValueError(f"{sku.name}: LLC-only CHA indices {missing} do not exist")
+    return frozenset(coord_by_cha[i] for i in cha_indices)
+
+
+@lru_cache(maxsize=None)
+def _pattern_pool_cached(sku_name: str) -> tuple[FusedPattern, ...]:
+    from repro.platform.skus import SKU_CATALOG
+
+    sku = SKU_CATALOG[sku_name]
+    slots = sku.die.core_slots
+    if sku.n_disabled > len(slots):
+        raise ValueError(f"{sku_name}: cannot disable {sku.n_disabled} of {len(slots)} slots")
+    rng = derive_rng(POOL_MASTER_SEED, "pattern-pool", sku_name)
+    pool: list[FusedPattern] = []
+    seen: set[FusedPattern] = set()
+    size = sku.mixture.pool_size
+    guard = 0
+    while len(pool) < size:
+        guard += 1
+        if guard > 100 * size + 100:
+            raise RuntimeError(f"{sku_name}: pattern space too small for pool of {size}")
+        disabled = _draw_disabled_set(slots, sku.n_disabled, rng)
+        forced = None
+        if sku.head_llc_only_chas is not None and len(pool) < len(sku.head_llc_only_chas):
+            forced = sku.head_llc_only_chas[len(pool)]
+        pattern = FusedPattern(disabled, _draw_llc_only(sku, disabled, rng, forced))
+        if pattern in seen:
+            continue
+        seen.add(pattern)
+        pool.append(pattern)
+    return tuple(pool)
+
+
+def pattern_pool(sku: "SkuSpec") -> tuple[FusedPattern, ...]:
+    """The SKU's deterministic pool: head patterns first, then the tail."""
+    if sku.name not in _sku_registry_names():
+        raise ValueError(f"unknown SKU {sku.name!r}; pattern pools are keyed by catalogue name")
+    return _pattern_pool_cached(sku.name)
+
+
+def _sku_registry_names() -> frozenset[str]:
+    from repro.platform.skus import SKU_CATALOG
+
+    return frozenset(SKU_CATALOG)
+
+
+def sample_pattern(sku: "SkuSpec", rng: np.random.Generator) -> FusedPattern:
+    """Sample one instance's fused pattern from the SKU's mixture."""
+    pool = pattern_pool(sku)
+    head = sku.mixture.head_weights
+    u = rng.random()
+    acc = 0.0
+    for i, w in enumerate(head):
+        acc += w
+        if u < acc:
+            return pool[i]
+    tail = len(pool) - len(head)
+    if tail == 0:
+        return pool[int(rng.integers(len(head)))]
+    return pool[len(head) + int(rng.integers(tail))]

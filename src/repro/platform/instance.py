@@ -1,0 +1,159 @@
+"""A full simulated CPU instance.
+
+:class:`CpuInstance` assembles everything one physical CPU package carries:
+the die with its instance-specific fused pattern, the mesh, the cache system
+with an instance-specific slice hash, and the MSR register file with PPIN,
+TjMax and the CHA PMON blocks wired in.
+
+The instance holds the **hidden ground truth** (which tile each OS core sits
+on). Attacker-facing code must never touch it directly — it goes through
+:class:`repro.sim.machine.SimulatedMachine`, which exposes only the
+interfaces the paper's tool has on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.coherence import CacheSystem
+from repro.cache.l2 import L2Config
+from repro.cache.slice_hash import SliceHash
+from repro.mesh.geometry import TileCoord
+from repro.mesh.noc import Mesh
+from repro.mesh.tile import TileKind
+from repro.msr.constants import (
+    IA32_THERM_STATUS,
+    MSR_PPIN,
+    MSR_PPIN_CTL,
+    MSR_TEMPERATURE_TARGET,
+    encode_temperature_target,
+)
+from repro.msr.device import MsrRegisterFile
+from repro.platform.enumeration import assign_cha_ids, assign_os_core_ids
+from repro.platform.fusing import FusedPattern, sample_pattern
+from repro.platform.skus import SkuSpec
+from repro.uncore.pmon import ChaPmonModel
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class CpuInstance:
+    """One CPU package with hidden physical ground truth."""
+
+    sku: SkuSpec
+    seed: int
+    ppin: int
+    pattern: FusedPattern
+    mesh: Mesh
+    #: CHA ID → tile coordinate.
+    cha_coords: list[TileCoord]
+    #: OS core ID → CHA ID (the Table-I mapping, hidden from the attacker).
+    os_to_cha: dict[int, int]
+    slice_hash: SliceHash
+    l2: L2Config
+    cache: CacheSystem
+    registers: MsrRegisterFile
+    pmon: ChaPmonModel
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def generate(cls, sku: SkuSpec, seed: int, l2: L2Config | None = None) -> "CpuInstance":
+        """Build an instance from a SKU and an instance seed."""
+        rng = derive_rng(seed, "instance", sku.name)
+        pattern = sample_pattern(sku, rng)
+
+        kinds: dict[TileCoord, TileKind] = {}
+        for coord in sku.die.grid.coords():
+            if coord in sku.die.imc_coords:
+                kinds[coord] = TileKind.IMC
+            elif coord in pattern.disabled_slots:
+                kinds[coord] = TileKind.DISABLED
+            elif coord in pattern.llc_only_slots:
+                kinds[coord] = TileKind.LLC_ONLY
+            else:
+                kinds[coord] = TileKind.CORE
+        mesh = Mesh(sku.die.grid, kinds)
+
+        cha_by_coord = assign_cha_ids(sku.die, pattern.disabled_slots)
+        cha_coords: list[TileCoord] = [TileCoord(0, 0)] * len(cha_by_coord)
+        for coord, cha in cha_by_coord.items():
+            cha_coords[cha] = coord
+        if len(cha_by_coord) != sku.n_chas:
+            raise RuntimeError(
+                f"{sku.name}: pattern yields {len(cha_by_coord)} CHAs, expected {sku.n_chas}"
+            )
+
+        os_to_cha = assign_os_core_ids(cha_by_coord, pattern.llc_only_slots, sku.enumeration)
+
+        l2 = l2 or L2Config()
+        slice_hash = SliceHash.generate(sku.n_chas, derive_rng(seed, "slice-hash", sku.name))
+        cache = CacheSystem(mesh, slice_hash, l2, cha_coords)
+
+        registers = MsrRegisterFile(n_cpus=sku.n_cores)
+        pmon = ChaPmonModel(mesh, cha_coords, registers)
+
+        ppin = int(derive_rng(seed, "ppin", sku.name).integers(1, 1 << 63))
+        registers.set_all_cpus(MSR_PPIN_CTL, 0b10)  # PPIN enabled
+        registers.set_all_cpus(MSR_PPIN, ppin)
+        registers.set_all_cpus(MSR_TEMPERATURE_TARGET, encode_temperature_target(sku.tjmax))
+
+        return cls(
+            sku=sku,
+            seed=seed,
+            ppin=ppin,
+            pattern=pattern,
+            mesh=mesh,
+            cha_coords=cha_coords,
+            os_to_cha=os_to_cha,
+            slice_hash=slice_hash,
+            l2=l2,
+            cache=cache,
+            registers=registers,
+            pmon=pmon,
+        )
+
+    # -- hidden ground truth -------------------------------------------------------
+    @property
+    def n_os_cores(self) -> int:
+        return self.sku.n_cores
+
+    @property
+    def n_chas(self) -> int:
+        return len(self.cha_coords)
+
+    @property
+    def cha_to_os(self) -> dict[int, int]:
+        return {cha: os_id for os_id, cha in self.os_to_cha.items()}
+
+    def coord_of_cha(self, cha_id: int) -> TileCoord:
+        return self.cha_coords[cha_id]
+
+    def coord_of_os_core(self, os_core: int) -> TileCoord:
+        if os_core not in self.os_to_cha:
+            raise ValueError(f"no such OS core: {os_core}")
+        return self.cha_coords[self.os_to_cha[os_core]]
+
+    def kind_grid(self) -> dict[TileCoord, TileKind]:
+        return {t.coord: t.kind for t in self.mesh.tiles()}
+
+    def tracked_msr_addrs(self) -> list[int]:
+        """All MSR addresses the simulated msr file tree must carry."""
+        addrs = self.pmon.tracked_addrs()
+        addrs += [MSR_PPIN, MSR_PPIN_CTL, MSR_TEMPERATURE_TARGET, IA32_THERM_STATUS]
+        return sorted(set(addrs))
+
+    # -- canonical pattern identity (Table II) ------------------------------------
+    def location_pattern_key(self) -> tuple:
+        """Hashable identity of this instance's core-location pattern.
+
+        Two instances share a Table-II "location pattern" iff every tile
+        agrees on (kind, CHA ID, OS core ID).
+        """
+        cha_by_coord = {coord: cha for cha, coord in enumerate(self.cha_coords)}
+        cha_to_os = self.cha_to_os
+        cells = []
+        for tile in self.mesh.tiles():
+            cha = cha_by_coord.get(tile.coord)
+            os_id = cha_to_os.get(cha) if cha is not None else None
+            cells.append((tile.coord, tile.kind.value, cha, os_id))
+        return tuple(cells)

@@ -1,0 +1,131 @@
+"""SKU catalogue.
+
+The four CPU models the paper surveys (§III):
+
+* **Xeon Platinum 8124M** — 18 cores on the 28-slot SKX XCC die (10 fully
+  disabled tiles, no LLC-only tiles → contiguous CHA IDs 0–17, hence a
+  single OS↔CHA mapping across all instances, as in Table I).
+* **Xeon Platinum 8175M** — 24 cores on SKX XCC (4 disabled, no LLC-only →
+  CHA IDs 0–23, again one shared mapping).
+* **Xeon Platinum 8259CL** — 24 cores + 2 LLC-only tiles on CLX XCC
+  (2 disabled → 26 CHAs; the LLC-only CHA indices follow Table I's observed
+  distribution, producing the seven mapping variants).
+* **Xeon Gold 6354** — 18 cores on the Ice Lake die with 8 LLC-only tiles
+  (26 CHAs, ascending OS-core enumeration, row-major CHA layout — Fig. 5).
+
+Mixture parameters are calibrated so fleet pattern statistics land in
+Table II's regime; see DESIGN.md §5 and EXPERIMENTS.md for measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.dies import DieConfig, ICX_XCC, SKX_XCC
+from repro.platform.enumeration import EnumerationRule
+from repro.platform.fusing import PatternMixture
+
+#: (CHA-index tuple, weight) — which CHA IDs the LLC-only tiles occupy.
+LlcOnlyDistribution = tuple[tuple[tuple[int, ...], float], ...]
+
+_NO_LLC_ONLY: LlcOnlyDistribution = (((), 1.0),)
+
+
+@dataclass(frozen=True)
+class SkuSpec:
+    """One CPU model: die, activation counts, enumeration, fusing statistics."""
+
+    name: str
+    die: DieConfig
+    n_cores: int
+    n_llc_only: int
+    enumeration: EnumerationRule
+    mixture: PatternMixture
+    llc_only_cha_distribution: LlcOnlyDistribution = _NO_LLC_ONLY
+    #: Pinned LLC-only CHA indices for the head pool entries (None → drawn
+    #: from the distribution like tail entries).
+    head_llc_only_chas: tuple[tuple[int, ...], ...] | None = None
+    tjmax: int = 100
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError(f"{self.name}: need at least one core")
+        if self.n_llc_only < 0:
+            raise ValueError(f"{self.name}: negative LLC-only count")
+        if self.n_chas > self.die.n_core_slots:
+            raise ValueError(
+                f"{self.name}: {self.n_chas} CHAs exceed the die's "
+                f"{self.die.n_core_slots} core slots"
+            )
+        for cha_indices, weight in self.llc_only_cha_distribution:
+            if len(cha_indices) != self.n_llc_only:
+                raise ValueError(
+                    f"{self.name}: LLC-only option {cha_indices} has arity "
+                    f"{len(cha_indices)}, expected {self.n_llc_only}"
+                )
+            if any(not 0 <= i < self.n_chas for i in cha_indices):
+                raise ValueError(f"{self.name}: LLC-only CHA index out of range")
+            if weight <= 0:
+                raise ValueError(f"{self.name}: non-positive LLC-only weight")
+
+    @property
+    def n_chas(self) -> int:
+        """Active CHAs: every core tile plus every LLC-only tile."""
+        return self.n_cores + self.n_llc_only
+
+    @property
+    def n_disabled(self) -> int:
+        """Fully fused-off core-tile slots."""
+        return self.die.n_core_slots - self.n_chas
+
+
+XEON_8124M = SkuSpec(
+    name="8124M",
+    die=SKX_XCC,
+    n_cores=18,
+    n_llc_only=0,
+    enumeration=EnumerationRule.STRIDE4,
+    mixture=PatternMixture(head_weights=(0.53, 0.18, 0.05, 0.05), tail_pool_size=12),
+)
+
+XEON_8175M = SkuSpec(
+    name="8175M",
+    die=SKX_XCC,
+    n_cores=24,
+    n_llc_only=0,
+    enumeration=EnumerationRule.STRIDE4,
+    mixture=PatternMixture(head_weights=(0.52, 0.07, 0.07, 0.06), tail_pool_size=60),
+)
+
+XEON_8259CL = SkuSpec(
+    name="8259CL",
+    die=SKX_XCC,
+    n_cores=24,
+    n_llc_only=2,
+    enumeration=EnumerationRule.STRIDE4,
+    mixture=PatternMixture(head_weights=(0.19, 0.05, 0.04, 0.04), tail_pool_size=100),
+    llc_only_cha_distribution=(
+        ((3, 25), 0.57),
+        ((2, 25), 0.33),
+        ((5, 25), 0.02),
+        ((3, 23), 0.02),
+        ((2, 16), 0.02),
+        ((3, 24), 0.02),
+        ((3, 16), 0.02),
+    ),
+    head_llc_only_chas=((3, 25), (2, 25), (3, 25), (2, 25)),
+)
+
+XEON_6354 = SkuSpec(
+    name="6354",
+    die=ICX_XCC,
+    n_cores=18,
+    n_llc_only=8,
+    enumeration=EnumerationRule.ASCENDING,
+    mixture=PatternMixture(head_weights=(0.3, 0.2), tail_pool_size=15),
+    llc_only_cha_distribution=(((0, 2, 4, 12, 15, 18, 21, 24), 1.0),),
+)
+
+SKU_CATALOG: dict[str, SkuSpec] = {
+    sku.name: sku for sku in (XEON_8124M, XEON_8175M, XEON_8259CL, XEON_6354)
+}

@@ -1,0 +1,32 @@
+"""The attacker/tool-facing machine facade.
+
+:class:`~repro.sim.machine.SimulatedMachine` is the composition root that
+stands in for "a bare-metal cloud instance with root": it exposes *only*
+what the paper's tool can use on real hardware —
+
+* the list of OS core IDs;
+* pinned worker-thread workloads (eviction sweeps, contended writes,
+  producer/consumer line bouncing) addressed **by OS core ID**;
+* MSR access (PPIN, uncore PMON, thermal status), optionally through a
+  simulated ``/dev/cpu/N/msr`` file tree;
+* per-core temperature readings (1 °C granularity) and load control for the
+  covert-channel experiments.
+
+Everything else (tile coordinates, CHA placement, the slice hash) stays
+hidden inside the underlying :class:`~repro.platform.instance.CpuInstance`.
+"""
+
+from repro.sim.workload import NoiseConfig
+from repro.sim.threads import ContendedWrite, EvictionSweep, ProducerConsumer
+from repro.sim.machine import SimulatedMachine
+from repro.sim.factory import build_machine, build_machine_for_sku
+
+__all__ = [
+    "NoiseConfig",
+    "ContendedWrite",
+    "EvictionSweep",
+    "ProducerConsumer",
+    "SimulatedMachine",
+    "build_machine",
+    "build_machine_for_sku",
+]

@@ -1,0 +1,56 @@
+"""Convenience assembly of a fully equipped simulated machine."""
+
+from __future__ import annotations
+
+from repro.platform.instance import CpuInstance
+from repro.platform.skus import SkuSpec
+from repro.sim.machine import SimulatedMachine
+from repro.sim.workload import NoiseConfig
+from repro.thermal.power import PowerModel
+from repro.thermal.rc_model import ThermalParams, ThermalSimulator
+from repro.thermal.sensors import SensorModel
+from repro.util.rng import derive_rng
+
+
+def build_machine(
+    instance: CpuInstance,
+    seed: int = 0,
+    noise: NoiseConfig | None = None,
+    thermal_params: ThermalParams | None = None,
+    power_model: PowerModel | None = None,
+    sensor: SensorModel | None = None,
+    msr_backend: str = "memory",
+    msr_root: str | None = None,
+    with_thermal: bool = True,
+) -> SimulatedMachine:
+    """Build a :class:`SimulatedMachine` with thermal simulation attached.
+
+    ``sensor`` overrides the temperature-sensor model — used by the §IV
+    defense ablation (coarser quantisation / slower update rate).
+    """
+    machine = SimulatedMachine(
+        instance,
+        noise=noise,
+        msr_backend=msr_backend,
+        msr_root=msr_root,
+        seed=seed,
+    )
+    if with_thermal:
+        thermal = ThermalSimulator(
+            instance.sku.die.grid,
+            instance.kind_grid(),
+            params=thermal_params,
+            power_model=power_model,
+            power_noise_sigma=machine.noise.thermal_power_sigma,
+            sensor=sensor,
+            rng=derive_rng(seed, "thermal", instance.ppin),
+        )
+        machine.attach_thermal(thermal)
+    return machine
+
+
+def build_machine_for_sku(
+    sku: SkuSpec, instance_seed: int, machine_seed: int = 0, **kwargs
+) -> SimulatedMachine:
+    """Generate an instance of ``sku`` and wrap it in a machine."""
+    return build_machine(CpuInstance.generate(sku, instance_seed), machine_seed, **kwargs)

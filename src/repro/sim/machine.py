@@ -1,0 +1,176 @@
+"""The simulated bare-metal machine.
+
+This is the boundary between the attacker's tool and the hidden hardware:
+the mapping pipeline (:mod:`repro.core`) and the covert channel
+(:mod:`repro.covert`) receive a :class:`SimulatedMachine` and may only call
+its public methods — none of which leak tile coordinates.
+
+Thermal behaviour is attached lazily (``attach_thermal``) because the
+mapping experiments do not need it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import TYPE_CHECKING
+
+from repro.cache.eviction import addresses_in_l2_set
+from repro.cache.address import random_line_addresses
+from repro.msr.constants import (
+    IA32_THERM_STATUS,
+    MSR_PPIN,
+    MSR_TEMPERATURE_TARGET,
+    decode_temperature_target,
+    encode_therm_status,
+)
+from repro.msr.device import MsrDevice
+from repro.msr.simfs import FileBackedMsrDevice, MsrFileTree
+from repro.platform.instance import CpuInstance
+from repro.sim.threads import ContendedWrite, EvictionSweep, ProducerConsumer, Workload
+from repro.sim.workload import NoiseConfig
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.thermal.rc_model import ThermalSimulator
+
+
+class SimulatedMachine:
+    """A bare-metal instance as the attacker's tool sees it."""
+
+    def __init__(
+        self,
+        instance: CpuInstance,
+        noise: NoiseConfig | None = None,
+        msr_backend: str = "memory",
+        msr_root: str | None = None,
+        seed: int = 0,
+    ):
+        self.instance = instance
+        self.noise = noise if noise is not None else NoiseConfig()
+        self._rng = derive_rng(seed, "machine", instance.ppin)
+        self._thermal: "ThermalSimulator | None" = None
+
+        if msr_backend == "memory":
+            self._msr: MsrDevice = instance.registers
+        elif msr_backend == "file":
+            root = msr_root or tempfile.mkdtemp(prefix="repro-msr-")
+            tree = MsrFileTree(root, instance.registers, instance.tracked_msr_addrs())
+            self._msr = FileBackedMsrDevice(tree)
+        else:
+            raise ValueError(f"unknown msr backend {msr_backend!r}")
+
+    # -- attacker-visible basics ----------------------------------------------
+    @property
+    def msr(self) -> MsrDevice:
+        """Root MSR access (the only privileged interface the tool needs)."""
+        return self._msr
+
+    @property
+    def n_os_cores(self) -> int:
+        return self.instance.n_os_cores
+
+    def os_cores(self) -> list[int]:
+        return list(range(self.n_os_cores))
+
+    @property
+    def n_chas(self) -> int:
+        """CHA count — discoverable on real hardware from CAPID registers."""
+        return self.instance.n_chas
+
+    def read_ppin(self) -> int:
+        return self._msr.read(0, MSR_PPIN)
+
+    # -- memory services (what mmap/hugepages give the attacker) ----------------
+    def sample_line_addresses(self, count: int) -> list[int]:
+        """Line addresses of a freshly allocated buffer (random placement)."""
+        return random_line_addresses(self._rng, count)
+
+    def sample_lines_in_l2_set(self, l2_set: int, count: int) -> list[int]:
+        """Same-L2-set line addresses (hugepage-backed allocation makes the
+        physical set bits attacker-controllable on real hardware)."""
+        return addresses_in_l2_set(self.instance.l2, l2_set, self._rng, count)
+
+    @property
+    def l2_geometry(self):
+        """Public L2 geometry (documented per CPU model)."""
+        return self.instance.l2
+
+    # -- pinned workloads ----------------------------------------------------------
+    def execute(self, workload: Workload) -> None:
+        """Run one pinned workload to completion (with co-tenant noise)."""
+        self._inject_noise()
+        if isinstance(workload, EvictionSweep):
+            core = self._coord_of(workload.os_core)
+            self.instance.cache.sweep_evictions(core, list(workload.addresses), workload.sweeps)
+        elif isinstance(workload, ContendedWrite):
+            a = self._coord_of(workload.os_core_a)
+            b = self._coord_of(workload.os_core_b)
+            self.instance.cache.contended_write(a, b, workload.address, workload.rounds)
+        elif isinstance(workload, ProducerConsumer):
+            src = self._coord_of(workload.source)
+            sink = self._coord_of(workload.sink)
+            self.instance.cache.producer_consumer(src, sink, workload.address, workload.rounds)
+        else:
+            raise TypeError(f"unknown workload type {type(workload).__name__}")
+        self._inject_noise()
+
+    def idle_window(self) -> None:
+        """Let a measurement window pass with no attacker workload.
+
+        Co-tenant traffic still flows; the tool uses such windows to
+        calibrate its noise floor before thresholding probe readings.
+        """
+        self._inject_noise()
+        self._inject_noise()
+
+    def _coord_of(self, os_core: int):
+        if not 0 <= os_core < self.n_os_cores:
+            raise ValueError(f"cannot pin a thread to non-existent core {os_core}")
+        return self.instance.coord_of_os_core(os_core)
+
+    def _inject_noise(self) -> None:
+        if self.noise.mesh_flows_per_op:
+            self.instance.mesh.inject_background(
+                self._rng, self.noise.mesh_flows_per_op, self.noise.mesh_lines_per_flow
+            )
+
+    # -- thermal interface ---------------------------------------------------------
+    def attach_thermal(self, thermal: "ThermalSimulator") -> None:
+        """Wire a thermal simulator into the machine (and its MSR space)."""
+        self._thermal = thermal
+        self.instance.registers.install_read_hook(IA32_THERM_STATUS, self._therm_status_hook)
+
+    @property
+    def thermal(self) -> "ThermalSimulator":
+        if self._thermal is None:
+            raise RuntimeError("no thermal simulator attached (call attach_thermal)")
+        return self._thermal
+
+    def set_core_load(self, os_core: int, utilization: float) -> None:
+        """Set a core's activity level (0 = idle, 1 = full stress)."""
+        self.thermal.set_load(self._coord_of(os_core), utilization)
+
+    def advance_time(self, seconds: float) -> None:
+        """Let wall-clock time pass (thermal state evolves)."""
+        self.thermal.advance(seconds)
+
+    def read_core_temp_c(self, os_core: int) -> int:
+        """Temperature of ``os_core`` in whole degrees C, via the MSR path.
+
+        Models the 1 °C-granular sensor of §IV: TjMax minus the
+        IA32_THERM_STATUS digital readout.
+        """
+        status = self._msr.read(os_core, IA32_THERM_STATUS)
+        readout = (status >> 16) & 0x7F
+        tjmax = decode_temperature_target(self._msr.read(os_core, MSR_TEMPERATURE_TARGET))
+        return tjmax - readout
+
+    def _therm_status_hook(self, os_cpu: int, addr: int) -> int:
+        temp = self.thermal.sensor_temp_c(
+            self._coord_of(os_cpu),
+            noise_sigma=self.noise.sensor_noise_sigma,
+            rng=self._rng,
+        )
+        tjmax = self.instance.sku.tjmax
+        readout = max(0, min(127, tjmax - temp))
+        return encode_therm_status(readout)

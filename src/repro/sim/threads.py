@@ -1,0 +1,73 @@
+"""Pinned worker-thread workload descriptions.
+
+The paper's probes are pairs of user-level threads pinned to OS cores that
+hammer memory in specific patterns (§II-A, §II-B). Each dataclass describes
+one such workload; :meth:`repro.sim.machine.SimulatedMachine.execute`
+realises it as mesh/cache traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EvictionSweep:
+    """A thread on ``os_core`` repeatedly walking a slice eviction set.
+
+    With more lines than the L2 associativity, every sweep forces evictions
+    to (and refills from) the targeted LLC slice — the step-1 probe.
+    """
+
+    os_core: int
+    addresses: tuple[int, ...]
+    sweeps: int = 200
+
+    def __post_init__(self) -> None:
+        if self.sweeps <= 0:
+            raise ValueError("sweeps must be positive")
+        if not self.addresses:
+            raise ValueError("an eviction sweep needs at least one address")
+
+
+@dataclass(frozen=True)
+class ContendedWrite:
+    """Two pinned threads simultaneously writing one cache line.
+
+    The home CHA of the line arbitrates every ownership change, so its
+    LLC_LOOKUP count stands out — the §II-A home-slice discovery probe.
+    """
+
+    os_core_a: int
+    os_core_b: int
+    address: int
+    rounds: int = 500
+
+    def __post_init__(self) -> None:
+        if self.os_core_a == self.os_core_b:
+            raise ValueError("contended writes need two distinct cores")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+
+
+@dataclass(frozen=True)
+class ProducerConsumer:
+    """Writer pinned to ``source``, reader pinned to ``sink``, one line.
+
+    The modified line travels source tile → sink tile across the mesh on
+    every round — the §II-B step-2 traffic generator.
+    """
+
+    source: int
+    sink: int
+    address: int
+    rounds: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.source == self.sink:
+            raise ValueError("producer and consumer must be distinct cores")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+
+
+Workload = EvictionSweep | ContendedWrite | ProducerConsumer

@@ -1,0 +1,36 @@
+"""Background-tenant noise configuration.
+
+The paper's measurements run on a commercial cloud, so every probe competes
+with other tenants' traffic. ``NoiseConfig`` controls how much random
+core↔IMC traffic is injected around each attacker workload and how noisy
+the thermal environment is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Knobs for simulated co-tenant interference."""
+
+    #: Random mesh flows injected per attacker probe operation.
+    mesh_flows_per_op: int = 8
+    #: Mean cache lines per background flow.
+    mesh_lines_per_flow: int = 6
+    #: Std-dev of ambient per-tile power fluctuation (watts).
+    thermal_power_sigma: float = 0.4
+    #: Std-dev of additive sensor noise (degrees C, before quantisation).
+    sensor_noise_sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.mesh_flows_per_op < 0 or self.mesh_lines_per_flow < 0:
+            raise ValueError("mesh noise parameters must be non-negative")
+        if self.thermal_power_sigma < 0 or self.sensor_noise_sigma < 0:
+            raise ValueError("thermal noise parameters must be non-negative")
+
+    @classmethod
+    def quiet(cls) -> "NoiseConfig":
+        """A noise-free machine (used by unit tests and calibration)."""
+        return cls(0, 0, 0.0, 0.0)

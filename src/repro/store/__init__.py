@@ -1,0 +1,33 @@
+"""Persistence of mapping results.
+
+The mapping requires root once, but "the identified core locations are
+permanent on a CPU instance" (§IV) — the paper keys each recovered map by
+the CPU's PPIN so a later, unprivileged attack phase can simply look it up.
+This package provides that artefact layer:
+
+* :mod:`repro.store.serialization` — versioned JSON encoding of core maps,
+  CHA mappings, and observations (record/replay of reconstructions);
+* :mod:`repro.store.database` — a PPIN-keyed JSON map store.
+"""
+
+from repro.store.serialization import (
+    FORMAT_VERSION,
+    core_map_to_dict,
+    core_map_from_dict,
+    observations_to_list,
+    observations_from_list,
+    mapping_record,
+    record_core_map,
+)
+from repro.store.database import MapDatabase
+
+__all__ = [
+    "FORMAT_VERSION",
+    "core_map_to_dict",
+    "core_map_from_dict",
+    "observations_to_list",
+    "observations_from_list",
+    "mapping_record",
+    "record_core_map",
+    "MapDatabase",
+]

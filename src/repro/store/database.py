@@ -1,0 +1,79 @@
+"""PPIN-keyed store of recovered core maps.
+
+A JSON file mapping ``ppin`` (hex) → mapping record. The intended flow is
+the paper's: a privileged phase maps each CPU instance once and stores the
+result; the later, unprivileged attack phase reads the PPIN (or is told
+it), looks the map up, and places its threads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.coremap import CoreMap
+from repro.store.serialization import (
+    FORMAT_VERSION,
+    mapping_record,
+    record_core_map,
+)
+
+
+class MapDatabase:
+    """A file-backed collection of mapping records keyed by PPIN."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._records: dict[str, dict[str, Any]] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        data = json.loads(self.path.read_text())
+        version = data.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported map-database version {version!r}")
+        self._records = data["maps"]
+
+    def save(self) -> None:
+        payload = {"version": FORMAT_VERSION, "maps": self._records}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(self.path)
+
+    # -- access ------------------------------------------------------------------
+    @staticmethod
+    def _key(ppin: int) -> str:
+        if ppin <= 0:
+            raise ValueError("PPIN must be a positive integer")
+        return f"{ppin:#018x}"
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, ppin: int) -> bool:
+        return self._key(ppin) in self._records
+
+    def ppins(self) -> Iterator[int]:
+        for key in sorted(self._records):
+            yield int(key, 16)
+
+    def store(self, result, overwrite: bool = True) -> None:
+        """Store one :class:`~repro.core.pipeline.MappingResult`."""
+        key = self._key(result.ppin)
+        if not overwrite and key in self._records:
+            raise KeyError(f"map for PPIN {key} already stored")
+        self._records[key] = mapping_record(result)
+
+    def record(self, ppin: int) -> dict[str, Any]:
+        key = self._key(ppin)
+        if key not in self._records:
+            raise KeyError(f"no map stored for PPIN {key}")
+        return self._records[key]
+
+    def lookup(self, ppin: int) -> CoreMap:
+        """The recovered core map of one CPU instance."""
+        return record_core_map(self.record(ppin))

@@ -1,0 +1,103 @@
+"""Versioned JSON encoding of mapping artefacts.
+
+Everything is plain JSON types so records survive any transport; CHA IDs
+are encoded as string keys (JSON objects), coordinates as ``[row, col]``
+pairs, PPINs as hex strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.coremap import CoreMap
+from repro.core.observations import PathObservation
+from repro.mesh.geometry import GridSpec, TileCoord
+
+FORMAT_VERSION = 1
+
+
+def core_map_to_dict(core_map: CoreMap) -> dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "grid": [core_map.grid.n_rows, core_map.grid.n_cols],
+        "cha_positions": {
+            str(cha): [pos.row, pos.col] for cha, pos in sorted(core_map.cha_positions.items())
+        },
+        "os_to_cha": {str(os): cha for os, cha in sorted(core_map.os_to_cha.items())},
+        "llc_only_chas": sorted(core_map.llc_only_chas),
+        "imc_coords": sorted([c.row, c.col] for c in core_map.imc_coords),
+    }
+
+
+def core_map_from_dict(data: dict[str, Any]) -> CoreMap:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported core-map record version {version!r}")
+    rows, cols = data["grid"]
+    return CoreMap(
+        grid=GridSpec(rows, cols),
+        cha_positions={
+            int(cha): TileCoord(*pos) for cha, pos in data["cha_positions"].items()
+        },
+        os_to_cha={int(os): int(cha) for os, cha in data["os_to_cha"].items()},
+        llc_only_chas=frozenset(int(c) for c in data["llc_only_chas"]),
+        imc_coords=frozenset(TileCoord(*c) for c in data.get("imc_coords", [])),
+    )
+
+
+def observations_to_list(observations: list[PathObservation]) -> list[dict[str, Any]]:
+    """Encode raw step-2 observations (for offline re-reconstruction)."""
+    return [
+        {
+            "source": obs.source_cha,
+            "sink": obs.sink_cha,
+            "up": sorted(obs.up),
+            "down": sorted(obs.down),
+            "horizontal": sorted(obs.horizontal),
+        }
+        for obs in observations
+    ]
+
+
+def observations_from_list(data: list[dict[str, Any]]) -> list[PathObservation]:
+    return [
+        PathObservation(
+            source_cha=item["source"],
+            sink_cha=item["sink"],
+            up=frozenset(item["up"]),
+            down=frozenset(item["down"]),
+            horizontal=frozenset(item["horizontal"]),
+        )
+        for item in data
+    ]
+
+
+def mapping_record(result, include_observations: bool = False) -> dict[str, Any]:
+    """Full record of a :class:`~repro.core.pipeline.MappingResult`."""
+    record = {
+        "version": FORMAT_VERSION,
+        "ppin": f"{result.ppin:#018x}",
+        "core_map": core_map_to_dict(result.core_map),
+        "cha_mapping": {
+            "os_to_cha": {
+                str(os): cha for os, cha in sorted(result.cha_mapping.os_to_cha.items())
+            },
+            "llc_only_chas": sorted(result.cha_mapping.llc_only_chas),
+        },
+        "diagnostics": {
+            "consistent": result.reconstruction.consistent,
+            "refinement_cuts": result.reconstruction.refinement_cuts,
+            "unlocated_chas": sorted(result.reconstruction.unlocated_chas),
+            "elapsed_seconds": round(result.elapsed_seconds, 3),
+        },
+    }
+    return record
+
+
+def record_core_map(record: dict[str, Any]) -> CoreMap:
+    """Extract the :class:`CoreMap` from a mapping record."""
+    return core_map_from_dict(record["core_map"])
+
+
+def record_ppin(record: dict[str, Any]) -> int:
+    return int(record["ppin"], 16)

@@ -1,0 +1,30 @@
+"""Thermal substrate for the covert-channel experiments (§IV/§V).
+
+The paper measures heat propagation between physical neighbours on a real
+die; we substitute a lumped-RC thermal network over the tile grid:
+
+* every tile is an RC node coupled to its four neighbours and to the heat
+  sink; vertical coupling is stronger than horizontal because a Xeon core
+  tile is a horizontally long rectangle (§V-A);
+* core power follows the workload (idle vs branch-miss stress), other tiles
+  draw static power, and co-tenant activity appears as an
+  Ornstein-Uhlenbeck power disturbance per tile;
+* the state is advanced with the *exact* discretisation of the LTI system
+  (matrix exponential per step), so accuracy does not depend on the step;
+* sensors quantise to 1 °C, add Gaussian noise, and hold their value
+  between hardware update instants — the interface the receiver gets.
+"""
+
+from repro.thermal.power import PowerModel
+from repro.thermal.ambient import OrnsteinUhlenbeckNoise
+from repro.thermal.sensors import SensorModel, quantize_temp
+from repro.thermal.rc_model import ThermalParams, ThermalSimulator
+
+__all__ = [
+    "PowerModel",
+    "OrnsteinUhlenbeckNoise",
+    "SensorModel",
+    "quantize_temp",
+    "ThermalParams",
+    "ThermalSimulator",
+]

@@ -1,0 +1,50 @@
+"""Ornstein-Uhlenbeck power disturbance — the co-tenant thermal noise.
+
+On a cloud machine, other tenants' load makes every tile's power fluctuate
+with temporal correlation. An OU process per tile captures that: zero-mean,
+stationary variance ``sigma²``, correlation time ``tau``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class OrnsteinUhlenbeckNoise:
+    """Vector OU process advanced in exact discrete steps."""
+
+    def __init__(
+        self,
+        n: int,
+        sigma: float,
+        tau: float,
+        rng: np.random.Generator,
+    ):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if sigma < 0 or tau <= 0:
+            raise ValueError("sigma must be >= 0 and tau > 0")
+        self.n = n
+        self.sigma = sigma
+        self.tau = tau
+        self._rng = rng
+        self._state = (
+            rng.normal(0.0, sigma, size=n) if sigma > 0 else np.zeros(n)
+        )
+
+    @property
+    def value(self) -> np.ndarray:
+        return self._state
+
+    def step(self, dt: float) -> np.ndarray:
+        """Advance by ``dt`` seconds and return the new value."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if self.sigma == 0 or dt == 0:
+            return self._state
+        decay = math.exp(-dt / self.tau)
+        diffusion = self.sigma * math.sqrt(1.0 - decay * decay)
+        self._state = decay * self._state + diffusion * self._rng.normal(size=self.n)
+        return self._state

@@ -1,0 +1,49 @@
+"""Per-tile power model.
+
+The sender controls heat by toggling CPU load (the paper uses the
+``stress-ng`` branch-miss stressor, the hottest one it found). Power scales
+affinely between idle and full stress; non-core tiles draw a small static
+power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mesh.tile import TileKind
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Affine load→power mapping per tile kind (watts)."""
+
+    core_idle: float = 1.5
+    #: Full branch-miss stress on both hyperthreads of one core — calibrated
+    #: so a lone stressed core swings ~14 °C (Fig. 6's 34→48 °C source trace).
+    core_stress: float = 23.0
+    llc_only: float = 0.8
+    disabled: float = 0.2
+    imc: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.core_stress < self.core_idle:
+            raise ValueError("stress power must be at least idle power")
+        for value in (self.core_idle, self.llc_only, self.disabled, self.imc):
+            if value < 0:
+                raise ValueError("power values must be non-negative")
+
+    def static_power(self, kind: TileKind) -> float:
+        """Load-independent power draw of a tile."""
+        if kind is TileKind.CORE:
+            return self.core_idle
+        if kind is TileKind.LLC_ONLY:
+            return self.llc_only
+        if kind is TileKind.IMC:
+            return self.imc
+        return self.disabled
+
+    def core_power(self, load: float) -> float:
+        """Power of an active core at ``load`` ∈ [0, 1]."""
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must lie in [0, 1], got {load}")
+        return self.core_idle + load * (self.core_stress - self.core_idle)

@@ -1,0 +1,190 @@
+"""Lumped-RC thermal network over the tile grid.
+
+Each tile is one thermal node with heat capacity ``C``; node ``i`` couples
+to its grid neighbours through conductances (``g_vertical`` between
+vertically adjacent tiles, ``g_horizontal`` between horizontally adjacent
+ones — vertical is stronger because a Xeon core tile is a wide, flat
+rectangle, §V-A) and to the heat sink through ``g_sink``. With ``x`` the
+temperature rise over ambient and ``P`` the per-tile power:
+
+    C · dx/dt = −L·x + P        L = conduction Laplacian + g_sink·I
+
+This is LTI, so between power changes the state is advanced *exactly*:
+
+    x(t+Δ) = x_ss + E·(x − x_ss),   E = exp(−C⁻¹L·Δ),  x_ss = L⁻¹·P
+
+The simulator steps at a fixed ``dt`` (E precomputed once per dt); power is
+piecewise constant over steps, which matches how the covert channel drives
+it (half-bit aligned load changes plus per-step OU disturbance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.tile import TileKind
+from repro.thermal.ambient import OrnsteinUhlenbeckNoise
+from repro.thermal.power import PowerModel
+from repro.thermal.sensors import SensorModel
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Physical constants of the RC network (calibration in DESIGN.md §5)."""
+
+    #: Conductance between vertically adjacent tiles (W/K).
+    g_vertical: float = 0.50
+    #: Conductance between horizontally adjacent tiles (W/K).
+    g_horizontal: float = 0.17
+    #: Conductance from each tile to the heat sink (W/K).
+    g_sink: float = 0.55
+    #: Heat capacity per tile (J/K).
+    heat_capacity: float = 0.11
+    #: Ambient (heat-sink) temperature, °C.
+    ambient_c: float = 32.0
+    #: Correlation time of the co-tenant power disturbance (s).
+    noise_tau: float = 0.5
+
+    def __post_init__(self) -> None:
+        if min(self.g_vertical, self.g_horizontal, self.g_sink) <= 0:
+            raise ValueError("conductances must be positive")
+        if self.heat_capacity <= 0:
+            raise ValueError("heat capacity must be positive")
+        if self.noise_tau <= 0:
+            raise ValueError("noise_tau must be positive")
+
+
+class ThermalSimulator:
+    """Exact-discretisation thermal simulation of one die."""
+
+    def __init__(
+        self,
+        grid: GridSpec,
+        tile_kinds: dict[TileCoord, TileKind],
+        params: ThermalParams | None = None,
+        power_model: PowerModel | None = None,
+        power_noise_sigma: float = 0.0,
+        sensor: SensorModel | None = None,
+        rng: np.random.Generator | None = None,
+        dt: float = 0.02,
+    ):
+        self.grid = grid
+        self.params = params or ThermalParams()
+        self.power_model = power_model or PowerModel()
+        self.sensor = sensor or SensorModel()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+        self._coords = list(grid.coords())
+        self._index = {coord: i for i, coord in enumerate(self._coords)}
+        self._kinds = [tile_kinds[c] for c in self._coords]
+        n = len(self._coords)
+
+        self._laplacian = self._build_laplacian()
+        self._lap_inv = np.linalg.inv(self._laplacian)
+
+        self._loads = np.zeros(n)
+        self._static = np.array(
+            [self.power_model.static_power(k) for k in self._kinds]
+        )
+        self._core_span = self.power_model.core_stress - self.power_model.core_idle
+        self._is_core = np.array([k is TileKind.CORE for k in self._kinds])
+
+        self._noise = OrnsteinUhlenbeckNoise(
+            n, power_noise_sigma, self.params.noise_tau, self._rng
+        )
+
+        self._dt = 0.0
+        self._propagator = np.eye(n)
+        self.set_timestep(dt)
+
+        self.time = 0.0
+        self._residual = 0.0
+        # Start in the idle steady state.
+        self._x = self._lap_inv @ self._power_vector()
+
+    # -- construction ------------------------------------------------------------
+    def _build_laplacian(self) -> np.ndarray:
+        n = len(self._coords)
+        lap = np.zeros((n, n))
+        p = self.params
+        for coord, i in self._index.items():
+            lap[i, i] += p.g_sink
+            for d_row, d_col, g in ((1, 0, p.g_vertical), (0, 1, p.g_horizontal)):
+                nb = coord.step(d_row, d_col)
+                if self.grid.contains(nb):
+                    j = self._index[nb]
+                    lap[i, i] += g
+                    lap[j, j] += g
+                    lap[i, j] -= g
+                    lap[j, i] -= g
+        return lap
+
+    def set_timestep(self, dt: float) -> None:
+        """Fix the integration step (propagator recomputed exactly)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if dt == self._dt:
+            return
+        self._dt = dt
+        a = -self._laplacian / self.params.heat_capacity
+        self._propagator = expm(a * dt)
+
+    @property
+    def dt(self) -> float:
+        return self._dt
+
+    # -- driving ------------------------------------------------------------------
+    def set_load(self, coord: TileCoord, load: float) -> None:
+        """Set a core tile's activity level (0 = idle, 1 = full stress)."""
+        i = self._index[coord]
+        if not self._is_core[i]:
+            raise ValueError(f"{coord} has no active core to load")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must lie in [0, 1], got {load}")
+        self._loads[i] = load
+
+    def _power_vector(self) -> np.ndarray:
+        power = self._static + self._core_span * self._loads * self._is_core
+        return np.maximum(power + self._noise.value, 0.0)
+
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time; sub-``dt`` remainders carry over."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        total = self._residual + seconds
+        steps = int(total / self._dt + 1e-9)
+        self._residual = total - steps * self._dt
+        for _ in range(steps):
+            self._noise.step(self._dt)
+            x_ss = self._lap_inv @ self._power_vector()
+            self._x = x_ss + self._propagator @ (self._x - x_ss)
+            self.time += self._dt
+
+    # -- observation -----------------------------------------------------------------
+    def true_temp_c(self, coord: TileCoord) -> float:
+        """Exact tile temperature (not available to the attacker)."""
+        return self.params.ambient_c + float(self._x[self._index[coord]])
+
+    def sensor_temp_c(
+        self,
+        coord: TileCoord,
+        noise_sigma: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        """Sensor reading: noisy, quantised, update-rate limited."""
+        true = self.true_temp_c(coord)
+        if noise_sigma > 0:
+            gen = rng if rng is not None else self._rng
+            true += gen.normal(0.0, noise_sigma)
+        return self.sensor.read(coord, true, self.time)
+
+    def steady_state_temp_c(self, coord: TileCoord) -> float:
+        """Steady-state temperature under the current load (diagnostics)."""
+        x_ss = self._lap_inv @ (
+            self._static + self._core_span * self._loads * self._is_core
+        )
+        return self.params.ambient_c + float(x_ss[self._index[coord]])

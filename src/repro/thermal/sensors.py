@@ -1,0 +1,44 @@
+"""Temperature sensor model.
+
+The paper's receiver reads its own core's sensor, which reports whole
+degrees Celsius (§IV) and refreshes at a finite rate. ``SensorModel``
+captures both properties plus additive measurement noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def quantize_temp(temp_c: float, quantum: float = 1.0) -> int:
+    """Quantise a temperature to the sensor's granularity (default 1 °C)."""
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    return int(math.floor(temp_c / quantum) * quantum)
+
+
+@dataclass
+class SensorModel:
+    """Per-tile sensor with a hardware update period and 1 °C granularity."""
+
+    #: Seconds between hardware refreshes of the reading (0 = every read).
+    update_period: float = 0.0
+    quantum: float = 1.0
+    _last_update: dict[object, float] = field(default_factory=dict)
+    _held_value: dict[object, int] = field(default_factory=dict)
+
+    def read(self, key: object, true_temp_c: float, now: float) -> int:
+        """Read the sensor for ``key`` at simulation time ``now``."""
+        if self.update_period > 0:
+            last = self._last_update.get(key)
+            if last is not None and now - last < self.update_period:
+                return self._held_value[key]
+        value = quantize_temp(true_temp_c, self.quantum)
+        self._last_update[key] = now
+        self._held_value[key] = value
+        return value
+
+    def reset(self) -> None:
+        self._last_update.clear()
+        self._held_value.clear()

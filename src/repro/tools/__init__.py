@@ -1,0 +1,6 @@
+"""Command-line tools built on the library.
+
+* ``repro-map`` (:mod:`repro.tools.map_cli`) — run the locating pipeline
+  against a machine and maintain a PPIN-keyed map database; the workflow a
+  real deployment of the paper's tool would use.
+"""

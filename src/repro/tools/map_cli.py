@@ -1,0 +1,119 @@
+"""``repro-map``: map CPUs and maintain a PPIN-keyed map database.
+
+Subcommands:
+
+* ``map``   — run the full §II pipeline against a (simulated) machine and
+  store the result: ``repro-map map --sku 8259CL --instance-seed 7 --db maps.json``
+* ``show``  — render a stored map: ``repro-map show --db maps.json --ppin 0x…``
+* ``list``  — enumerate stored PPINs with summary info.
+
+The simulated machine stands in for a bare-metal instance; on real
+hardware the same flow would run against the hardware MSR backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.pipeline import map_cpu
+from repro.platform.instance import CpuInstance
+from repro.platform.skus import SKU_CATALOG
+from repro.sim.factory import build_machine
+from repro.store.database import MapDatabase
+from repro.util.tables import format_table
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    sku = SKU_CATALOG.get(args.sku)
+    if sku is None:
+        print(f"unknown SKU {args.sku!r}; choose from {sorted(SKU_CATALOG)}", file=sys.stderr)
+        return 2
+    instance = CpuInstance.generate(sku, args.instance_seed)
+    machine = build_machine(
+        instance,
+        seed=args.machine_seed,
+        msr_backend=args.msr_backend,
+        with_thermal=False,
+    )
+    print(f"mapping Xeon {sku.name} instance (seed {args.instance_seed})...")
+    result = map_cpu(machine)
+    db = MapDatabase(args.db)
+    db.store(result)
+    db.save()
+    print(f"PPIN {result.ppin:#018x} stored in {args.db} "
+          f"({result.elapsed_seconds:.1f}s, "
+          f"{result.reconstruction.refinement_cuts} refinement rounds)")
+    print(result.core_map.render())
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    db = MapDatabase(args.db)
+    ppin = int(args.ppin, 0)
+    try:
+        record = db.record(ppin)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    core_map = db.lookup(ppin)
+    diag = record["diagnostics"]
+    print(f"PPIN {args.ppin}: {len(core_map.os_to_cha)} cores, "
+          f"{len(core_map.llc_only_chas)} LLC-only CHAs, "
+          f"consistent={diag['consistent']}")
+    print(core_map.render())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    db = MapDatabase(args.db)
+    rows = []
+    for ppin in db.ppins():
+        record = db.record(ppin)
+        core_map = db.lookup(ppin)
+        rows.append(
+            [
+                f"{ppin:#018x}",
+                len(core_map.os_to_cha),
+                len(core_map.llc_only_chas),
+                record["diagnostics"]["refinement_cuts"],
+                "yes" if record["diagnostics"]["consistent"] else "NO",
+            ]
+        )
+    if not rows:
+        print(f"{args.db}: empty database")
+        return 0
+    print(format_table(["PPIN", "cores", "LLC-only", "refinements", "consistent"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-map", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="map one CPU instance and store the result")
+    p_map.add_argument("--sku", default="8259CL", help="CPU model (catalogue name)")
+    p_map.add_argument("--instance-seed", type=int, default=0, help="which simulated instance")
+    p_map.add_argument("--machine-seed", type=int, default=0)
+    p_map.add_argument("--msr-backend", choices=("memory", "file"), default="memory")
+    p_map.add_argument("--db", required=True, help="map database JSON path")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_show = sub.add_parser("show", help="render one stored map")
+    p_show.add_argument("--db", required=True)
+    p_show.add_argument("--ppin", required=True, help="PPIN (hex or decimal)")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_list = sub.add_parser("list", help="list stored maps")
+    p_list.add_argument("--db", required=True)
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Uncore performance-monitoring (PMON) layer.
+
+Models the Xeon Scalable CHA PMON blocks the paper's tool programs [5]:
+per-CHA counter control/readout MSRs, the ``LLC_LOOKUP`` event used for the
+OS-core↔CHA mapping step, and the ``VERT/HORZ_RING_BL_IN_USE`` ring
+occupancy events used for the traffic-probing step.
+
+* :mod:`repro.uncore.events` — event/umask encodings and the ctl-register
+  bit layout;
+* :mod:`repro.uncore.pmon` — the *simulator-side* model: installs MSR hooks
+  so counter reads reflect live mesh state, honouring freeze/reset
+  semantics and the invisibility of disabled tiles;
+* :mod:`repro.uncore.session` — the *attacker-side* session: programs and
+  reads counters purely through an :class:`~repro.msr.device.MsrDevice`.
+"""
+
+from repro.uncore.events import (
+    EventCode,
+    LLC_LOOKUP_ANY,
+    UMASK_UP,
+    UMASK_DOWN,
+    UMASK_LEFT,
+    UMASK_RIGHT,
+    RING_UMASKS,
+    encode_ctl,
+    decode_ctl,
+    channels_for,
+)
+from repro.uncore.pmon import ChaPmonModel
+from repro.uncore.session import UncorePmonSession, ChannelReading
+
+__all__ = [
+    "EventCode",
+    "LLC_LOOKUP_ANY",
+    "UMASK_UP",
+    "UMASK_DOWN",
+    "UMASK_LEFT",
+    "UMASK_RIGHT",
+    "RING_UMASKS",
+    "encode_ctl",
+    "decode_ctl",
+    "channels_for",
+    "ChaPmonModel",
+    "UncorePmonSession",
+    "ChannelReading",
+]

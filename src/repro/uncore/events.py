@@ -1,0 +1,115 @@
+"""Uncore PMON event encodings.
+
+Event codes follow the Skylake-SP uncore manual; umasks select ring
+direction sub-events. On real silicon each direction splits into even/odd
+ring flavours — we keep that split in the umask encoding (two bits per
+direction) so programmed values look like real ones, and the model ORs the
+two flavours together.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.mesh.routing import Channel, RingClass
+from repro.util.bitops import bitfield, bits
+
+
+class EventCode(enum.IntEnum):
+    """CHA PMON event select codes used by the pipeline.
+
+    Each ring message class has its own pair of occupancy events; the
+    locating probes use the **BL** (data) pair — requests flow the opposite
+    direction on AD, which would invert the recovered map.
+    """
+
+    LLC_LOOKUP = 0x34
+    VERT_RING_AD_IN_USE = 0xA6
+    HORZ_RING_AD_IN_USE = 0xA7
+    VERT_RING_AK_IN_USE = 0xA8
+    HORZ_RING_AK_IN_USE = 0xA9
+    VERT_RING_BL_IN_USE = 0xAA
+    HORZ_RING_BL_IN_USE = 0xAB
+
+
+#: LLC_LOOKUP umask matching any lookup type.
+LLC_LOOKUP_ANY = 0x1F
+
+# Ring-occupancy umasks: (even | odd) flavour bits per direction.
+UMASK_UP = 0x03
+UMASK_DOWN = 0x0C
+UMASK_LEFT = 0x03
+UMASK_RIGHT = 0x0C
+
+#: The four (event, umask) pairs the step-2 probe programs, with the mesh
+#: channel each one observes.
+RING_UMASKS: dict[Channel, tuple[EventCode, int]] = {
+    Channel.UP: (EventCode.VERT_RING_BL_IN_USE, UMASK_UP),
+    Channel.DOWN: (EventCode.VERT_RING_BL_IN_USE, UMASK_DOWN),
+    Channel.LEFT: (EventCode.HORZ_RING_BL_IN_USE, UMASK_LEFT),
+    Channel.RIGHT: (EventCode.HORZ_RING_BL_IN_USE, UMASK_RIGHT),
+}
+
+_VERT_EVENTS = (
+    EventCode.VERT_RING_AD_IN_USE,
+    EventCode.VERT_RING_AK_IN_USE,
+    EventCode.VERT_RING_BL_IN_USE,
+)
+_HORZ_EVENTS = (
+    EventCode.HORZ_RING_AD_IN_USE,
+    EventCode.HORZ_RING_AK_IN_USE,
+    EventCode.HORZ_RING_BL_IN_USE,
+)
+
+_RING_OF_EVENT = {
+    EventCode.VERT_RING_AD_IN_USE: RingClass.AD,
+    EventCode.HORZ_RING_AD_IN_USE: RingClass.AD,
+    EventCode.VERT_RING_AK_IN_USE: RingClass.AK,
+    EventCode.HORZ_RING_AK_IN_USE: RingClass.AK,
+    EventCode.VERT_RING_BL_IN_USE: RingClass.BL,
+    EventCode.HORZ_RING_BL_IN_USE: RingClass.BL,
+}
+
+
+def ring_class_for(event: int) -> RingClass | None:
+    """Which physical ring a PMON event observes (None for non-ring events)."""
+    try:
+        return _RING_OF_EVENT[EventCode(event)]
+    except (ValueError, KeyError):
+        return None
+
+
+_CTL_ENABLE_BIT = 22
+
+
+def encode_ctl(event: int, umask: int, enable: bool = True) -> int:
+    """Pack a counter-control register value (event[7:0], umask[15:8], en[22])."""
+    value = bitfield(0, 0, 7, int(event))
+    value = bitfield(value, 8, 15, umask)
+    if enable:
+        value |= 1 << _CTL_ENABLE_BIT
+    return value
+
+
+def decode_ctl(value: int) -> tuple[int, int, bool]:
+    """Unpack (event, umask, enabled) from a counter-control value."""
+    return bits(value, 0, 7), bits(value, 8, 15), bool(bits(value, _CTL_ENABLE_BIT, _CTL_ENABLE_BIT))
+
+
+def channels_for(event: int, umask: int) -> list[Channel]:
+    """Mesh channels selected by an (event, umask) programming."""
+    if event in _VERT_EVENTS:
+        out = []
+        if umask & UMASK_UP:
+            out.append(Channel.UP)
+        if umask & UMASK_DOWN:
+            out.append(Channel.DOWN)
+        return out
+    if event in _HORZ_EVENTS:
+        out = []
+        if umask & UMASK_LEFT:
+            out.append(Channel.LEFT)
+        if umask & UMASK_RIGHT:
+            out.append(Channel.RIGHT)
+        return out
+    return []

@@ -1,0 +1,159 @@
+"""Simulator-side CHA PMON model.
+
+Installs read/write hooks on an :class:`~repro.msr.device.MsrRegisterFile`
+for every CHA PMON block of a die, so that the attacker-side session (which
+only performs MSR reads/writes) sees live counters with real freeze/reset
+semantics:
+
+* programming a CTLn register selects the (event, umask) the matching CTRn
+  reports;
+* UNIT_CTL bit 1 resets the box's counters to zero;
+* UNIT_CTL bit 8 freezes the box (counters latch); clearing it resumes
+  counting from the latched value;
+* CHAs on disabled tiles do not exist — their MSR space reads as zero, which
+  is exactly the partial observability of §II-B.
+
+Counters derive their values from the mesh's monotonic ground-truth
+counters, so any traffic injected between a reset and a read is observed.
+The decoded event selection and the tile-visibility flag are cached per
+counter: the mapping pipeline performs hundreds of thousands of PMON
+operations per instance, and this is its hottest path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mesh.geometry import TileCoord
+from repro.mesh.noc import Mesh
+from repro.mesh.routing import Channel, RingClass
+from repro.msr.constants import (
+    CHA_NUM_COUNTERS,
+    ChaBlockOffset,
+    UNIT_CTL_FRZ,
+    UNIT_CTL_RST_CTRS,
+    cha_msr,
+)
+from repro.msr.device import MsrRegisterFile
+from repro.uncore.events import EventCode, channels_for, decode_ctl, ring_class_for
+
+_CTL_OFFSETS = [ChaBlockOffset.CTL0, ChaBlockOffset.CTL1, ChaBlockOffset.CTL2, ChaBlockOffset.CTL3]
+_CTR_OFFSETS = [ChaBlockOffset.CTR0, ChaBlockOffset.CTR1, ChaBlockOffset.CTR2, ChaBlockOffset.CTR3]
+
+
+@dataclass
+class _CounterState:
+    ctl: int = 0
+    base: int = 0  # ground-truth count at last reset/reprogram
+    latched: int = 0  # value shown while frozen
+    # Decoded-at-write-time programming (cached for the read hot path).
+    enabled: bool = False
+    is_llc_lookup: bool = False
+    channels: tuple[Channel, ...] = ()
+    ring: "RingClass | None" = None
+
+
+@dataclass
+class _BoxState:
+    frozen: bool = False
+    counters: list[_CounterState] = field(
+        default_factory=lambda: [_CounterState() for _ in range(CHA_NUM_COUNTERS)]
+    )
+
+
+class ChaPmonModel:
+    """Wires a die's CHA PMON register space into an MSR register file."""
+
+    def __init__(self, mesh: Mesh, cha_coords: list[TileCoord], registers: MsrRegisterFile):
+        self.mesh = mesh
+        self.cha_coords = list(cha_coords)
+        self.registers = registers
+        self._boxes = [_BoxState() for _ in self.cha_coords]
+        self._visible = [mesh.tile(coord).pmon_visible for coord in self.cha_coords]
+        # Direct references to the ground-truth counter stores (hot path).
+        self._ring_counts = mesh.counters._counts
+        self._llc_counts = mesh.counters._llc_lookups
+        self._install_hooks()
+
+    # -- MSR wiring --------------------------------------------------------------
+    def tracked_addrs(self) -> list[int]:
+        """All MSR addresses this model backs (for the simulated file tree)."""
+        addrs = []
+        for cha_id in range(len(self.cha_coords)):
+            for offset in ChaBlockOffset:
+                addrs.append(cha_msr(cha_id, offset))
+        return addrs
+
+    def _install_hooks(self) -> None:
+        for cha_id in range(len(self.cha_coords)):
+            unit_addr = cha_msr(cha_id, ChaBlockOffset.UNIT_CTL)
+            self.registers.install_write_hook(unit_addr, self._make_unit_ctl_hook(cha_id))
+            for counter, (ctl_off, ctr_off) in enumerate(zip(_CTL_OFFSETS, _CTR_OFFSETS)):
+                self.registers.install_write_hook(
+                    cha_msr(cha_id, ctl_off), self._make_ctl_hook(cha_id, counter)
+                )
+                self.registers.install_read_hook(
+                    cha_msr(cha_id, ctr_off), self._make_ctr_hook(cha_id, counter)
+                )
+
+    def _make_unit_ctl_hook(self, cha_id: int):
+        def hook(os_cpu: int, addr: int, value: int) -> None:
+            box = self._boxes[cha_id]
+            if value & UNIT_CTL_RST_CTRS:
+                for state in box.counters:
+                    state.base = self._ground_truth(cha_id, state)
+                    state.latched = 0
+            freeze = bool(value & UNIT_CTL_FRZ)
+            if freeze and not box.frozen:
+                for state in box.counters:
+                    state.latched = self._ground_truth(cha_id, state) - state.base
+                box.frozen = True
+            elif not freeze and box.frozen:
+                for state in box.counters:
+                    # Resume counting from the latched value.
+                    state.base = self._ground_truth(cha_id, state) - state.latched
+                box.frozen = False
+
+        return hook
+
+    def _make_ctl_hook(self, cha_id: int, counter: int):
+        def hook(os_cpu: int, addr: int, value: int) -> None:
+            state = self._boxes[cha_id].counters[counter]
+            state.ctl = value
+            event, umask, enabled = decode_ctl(value)
+            state.enabled = enabled
+            state.is_llc_lookup = event == EventCode.LLC_LOOKUP
+            state.channels = tuple(channels_for(event, umask))
+            state.ring = ring_class_for(event)
+            state.base = self._ground_truth(cha_id, state)
+            state.latched = 0
+
+        return hook
+
+    def _make_ctr_hook(self, cha_id: int, counter: int):
+        def hook(os_cpu: int, addr: int) -> int:
+            box = self._boxes[cha_id]
+            state = box.counters[counter]
+            if box.frozen:
+                return state.latched
+            if not state.enabled:
+                return 0
+            return self._ground_truth(cha_id, state) - state.base
+
+        return hook
+
+    # -- counter mechanics ---------------------------------------------------------
+    def _ground_truth(self, cha_id: int, state: _CounterState) -> int:
+        """Monotonic ground-truth count for the programmed event."""
+        if not state.enabled or not self._visible[cha_id]:
+            return 0
+        coord = self.cha_coords[cha_id]
+        if state.is_llc_lookup:
+            return self._llc_counts[coord]
+        if state.ring is None:
+            return 0
+        counts = self._ring_counts
+        total = 0
+        for channel in state.channels:
+            total += counts[(coord, channel, state.ring)]
+        return total

@@ -1,0 +1,142 @@
+"""Attacker-side uncore monitoring session.
+
+Drives CHA PMON blocks purely through :class:`~repro.msr.device.MsrDevice`
+reads/writes — the only privilege the paper's tool assumes (root MSR
+access). A measurement follows the manual's recommended sequence:
+
+1. program counter controls,
+2. reset + unfreeze,
+3. run the traffic-generating workload,
+4. freeze,
+5. read counters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.mesh.routing import Channel
+from repro.msr.constants import (
+    ChaBlockOffset,
+    UNIT_CTL_FRZ,
+    UNIT_CTL_RST_CTRS,
+    cha_msr,
+)
+from repro.msr.device import MsrDevice
+from repro.uncore.events import (
+    EventCode,
+    LLC_LOOKUP_ANY,
+    RING_UMASKS,
+    encode_ctl,
+)
+
+_CTL_OFFSETS = [ChaBlockOffset.CTL0, ChaBlockOffset.CTL1, ChaBlockOffset.CTL2, ChaBlockOffset.CTL3]
+_CTR_OFFSETS = [ChaBlockOffset.CTR0, ChaBlockOffset.CTR1, ChaBlockOffset.CTR2, ChaBlockOffset.CTR3]
+
+#: Counter slot assigned to each ring direction during step-2 probes.
+RING_COUNTER_SLOTS: dict[Channel, int] = {
+    Channel.UP: 0,
+    Channel.DOWN: 1,
+    Channel.LEFT: 2,
+    Channel.RIGHT: 3,
+}
+
+
+@dataclass(frozen=True)
+class ChannelReading:
+    """Per-direction ingress-occupancy cycles observed at one CHA."""
+
+    cha_id: int
+    cycles: dict[Channel, int]
+
+    def total(self) -> int:
+        return sum(self.cycles.values())
+
+    def vertical(self) -> int:
+        return self.cycles.get(Channel.UP, 0) + self.cycles.get(Channel.DOWN, 0)
+
+    def horizontal(self) -> int:
+        return self.cycles.get(Channel.LEFT, 0) + self.cycles.get(Channel.RIGHT, 0)
+
+
+class UncorePmonSession:
+    """Program/measure the CHA PMON blocks of one CPU package."""
+
+    def __init__(self, msr: MsrDevice, n_chas: int, control_cpu: int = 0):
+        if n_chas <= 0:
+            raise ValueError("n_chas must be positive")
+        self.msr = msr
+        self.n_chas = n_chas
+        self.control_cpu = control_cpu
+
+    # -- low-level programming -------------------------------------------------
+    def program_counter(self, cha_id: int, counter: int, event: int, umask: int) -> None:
+        self._check(cha_id, counter)
+        ctl = encode_ctl(event, umask, enable=True)
+        self.msr.write(self.control_cpu, cha_msr(cha_id, _CTL_OFFSETS[counter]), ctl)
+
+    def read_counter(self, cha_id: int, counter: int) -> int:
+        self._check(cha_id, counter)
+        return self.msr.read(self.control_cpu, cha_msr(cha_id, _CTR_OFFSETS[counter]))
+
+    def reset_box(self, cha_id: int) -> None:
+        self._check(cha_id, 0)
+        self.msr.write(self.control_cpu, cha_msr(cha_id, ChaBlockOffset.UNIT_CTL), UNIT_CTL_RST_CTRS)
+
+    def freeze_box(self, cha_id: int) -> None:
+        self._check(cha_id, 0)
+        self.msr.write(self.control_cpu, cha_msr(cha_id, ChaBlockOffset.UNIT_CTL), UNIT_CTL_FRZ)
+
+    def unfreeze_box(self, cha_id: int) -> None:
+        self._check(cha_id, 0)
+        self.msr.write(self.control_cpu, cha_msr(cha_id, ChaBlockOffset.UNIT_CTL), 0)
+
+    def _check(self, cha_id: int, counter: int) -> None:
+        if not 0 <= cha_id < self.n_chas:
+            raise ValueError(f"cha_id {cha_id} out of range [0, {self.n_chas})")
+        if not 0 <= counter < len(_CTL_OFFSETS):
+            raise ValueError(f"counter {counter} out of range")
+
+    # -- whole-package sequences -----------------------------------------------
+    def program_ring_monitors(self) -> None:
+        """Program all four ring-direction events on every CHA (step 2 setup)."""
+        for cha_id in range(self.n_chas):
+            for channel, slot in RING_COUNTER_SLOTS.items():
+                event, umask = RING_UMASKS[channel]
+                self.program_counter(cha_id, slot, event, umask)
+
+    def program_llc_lookup(self, counter: int = 0) -> None:
+        """Program LLC_LOOKUP on every CHA (step 1 setup)."""
+        for cha_id in range(self.n_chas):
+            self.program_counter(cha_id, counter, EventCode.LLC_LOOKUP, LLC_LOOKUP_ANY)
+
+    def reset_all(self) -> None:
+        for cha_id in range(self.n_chas):
+            self.reset_box(cha_id)
+            self.unfreeze_box(cha_id)
+
+    def freeze_all(self) -> None:
+        for cha_id in range(self.n_chas):
+            self.freeze_box(cha_id)
+
+    def measure_rings(self, workload: Callable[[], None]) -> list[ChannelReading]:
+        """Reset → run ``workload`` → freeze → read all ring counters."""
+        self.reset_all()
+        workload()
+        self.freeze_all()
+        readings = []
+        for cha_id in range(self.n_chas):
+            cycles = {
+                channel: self.read_counter(cha_id, slot)
+                for channel, slot in RING_COUNTER_SLOTS.items()
+            }
+            readings.append(ChannelReading(cha_id, cycles))
+        return readings
+
+    def measure_llc_lookups(self, workload: Callable[[], None], counter: int = 0) -> list[int]:
+        """Reset → run ``workload`` → freeze → read LLC_LOOKUP on every CHA."""
+        self.reset_all()
+        workload()
+        self.freeze_all()
+        return [self.read_counter(cha_id, counter) for cha_id in range(self.n_chas)]

@@ -1,0 +1,41 @@
+"""Shared utilities: bit manipulation, table rendering, RNG discipline, stats.
+
+These helpers are deliberately dependency-light; everything heavier lives in
+the dedicated substrate subpackages.
+"""
+
+from repro.util.bitops import (
+    bit,
+    bits,
+    bitfield,
+    parity,
+    xor_reduce_mask,
+    pack_bits,
+    unpack_bits,
+)
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.stats import (
+    bit_error_rate,
+    hamming_distance,
+    wilson_interval,
+    bsc_capacity,
+)
+from repro.util.tables import format_table, format_grid
+
+__all__ = [
+    "bit",
+    "bits",
+    "bitfield",
+    "parity",
+    "xor_reduce_mask",
+    "pack_bits",
+    "unpack_bits",
+    "derive_rng",
+    "derive_seed",
+    "bit_error_rate",
+    "hamming_distance",
+    "wilson_interval",
+    "bsc_capacity",
+    "format_table",
+    "format_grid",
+]

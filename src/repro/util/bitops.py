@@ -1,0 +1,81 @@
+"""Bit-level helpers used by the cache slice hash and the MSR register file.
+
+All functions operate on plain Python integers (arbitrary precision), which is
+what both the 64-bit MSR values and 46-bit physical addresses are carried as
+throughout the code base.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (0 = LSB) of ``value`` as 0 or 1."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def bits(value: int, lo: int, hi: int) -> int:
+    """Return the bit slice ``value[hi:lo]`` (inclusive bounds, 0 = LSB).
+
+    Mirrors the ``[hi:lo]`` field notation used in Intel manuals, so
+    ``bits(x, 6, 16)`` extracts an 11-bit field.
+    """
+    if lo < 0 or hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    width = hi - lo + 1
+    return (value >> lo) & ((1 << width) - 1)
+
+
+def bitfield(value: int, lo: int, hi: int, field: int) -> int:
+    """Return ``value`` with the inclusive bit range ``[hi:lo]`` set to ``field``."""
+    if lo < 0 or hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    width = hi - lo + 1
+    if field < 0 or field >= (1 << width):
+        raise ValueError(f"field {field:#x} does not fit in [{hi}:{lo}]")
+    mask = ((1 << width) - 1) << lo
+    return (value & ~mask) | (field << lo)
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of ``value`` (0 or 1)."""
+    if value < 0:
+        raise ValueError("parity of a negative value is undefined here")
+    return value.bit_count() & 1
+
+
+def xor_reduce_mask(value: int, mask: int) -> int:
+    """Return the parity of ``value & mask``.
+
+    This is the primitive behind XOR-matrix hash functions such as the LLC
+    slice hash: each output bit is the parity of the address ANDed with a
+    per-bit mask.
+    """
+    return parity(value & mask)
+
+
+def pack_bits(bit_seq: Iterable[int]) -> int:
+    """Pack an iterable of bits (first bit = LSB) into an integer."""
+    value = 0
+    for i, b in enumerate(bit_seq):
+        if b not in (0, 1):
+            raise ValueError(f"bit sequence may contain only 0/1, got {b!r}")
+        value |= b << i
+    return value
+
+
+def unpack_bits(value: int, width: int) -> list[int]:
+    """Unpack ``value`` into ``width`` bits, LSB first."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def hamming_weight_table(masks: Sequence[int]) -> list[int]:
+    """Return the popcount of each mask (used in hash-matrix diagnostics)."""
+    return [m.bit_count() for m in masks]

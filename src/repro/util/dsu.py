@@ -1,0 +1,59 @@
+"""Disjoint-set union (union-find) with path compression and union by size.
+
+Used by the reconstruction to collapse the §II-C alignment equalities
+(``C_i = C_s`` for vertical receivers, ``R_j = R_e`` for horizontal
+receivers) into per-class variables before the ILP is built.
+"""
+
+from __future__ import annotations
+
+
+class DisjointSets:
+    """Union-find over the integers ``0..n-1``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:  # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; return the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def same(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> dict[int, list[int]]:
+        """Map each root to the sorted members of its class."""
+        out: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out
+
+    def class_index(self) -> dict[int, int]:
+        """Map each element to a dense class id (0-based, by smallest member)."""
+        classes = sorted(self.classes().values(), key=lambda ms: ms[0])
+        index: dict[int, int] = {}
+        for i, members in enumerate(classes):
+            for m in members:
+                index[m] = i
+        return index

@@ -1,0 +1,55 @@
+"""Small statistics helpers for the covert-channel evaluation."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Number of differing positions between two equal-length bit sequences."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Fraction of bit positions that differ.
+
+    If the receiver produced fewer bits than were sent (lost synchronisation),
+    the missing bits count as errors — the paper's BER likewise penalises any
+    undecodable portion of the 10 kbit stream.
+    """
+    if not sent:
+        raise ValueError("cannot compute BER of an empty transmission")
+    n = min(len(sent), len(received))
+    errors = hamming_distance(sent[:n], received[:n]) + (len(sent) - n)
+    return errors / len(sent)
+
+
+def wilson_interval(errors: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score confidence interval for an error probability."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= errors <= trials:
+        raise ValueError("errors must lie in [0, trials]")
+    p = errors / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def bsc_capacity(ber: float) -> float:
+    """Shannon capacity (bits per channel use) of a binary symmetric channel.
+
+    An extension metric: the paper reports raw BER; the BSC capacity gives the
+    error-corrected ceiling for the same measured channel.
+    """
+    if not 0.0 <= ber <= 1.0:
+        raise ValueError(f"BER must lie in [0, 1], got {ber}")
+    p = min(ber, 1.0 - ber)
+    if p in (0.0, 1.0):
+        return 1.0
+    h = -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+    return 1.0 - h

@@ -1,0 +1,61 @@
+"""ASCII rendering for experiment tables and tile-grid maps.
+
+The experiment harness regenerates the paper's tables/figures as text; these
+functions produce the aligned output that ``python -m repro.experiments``
+and the benchmark suite print.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[j]) for j, c in enumerate(cells)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * max(len(title), len(sep)))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_grid(
+    cells: dict[tuple[int, int], str],
+    n_rows: int,
+    n_cols: int,
+    empty: str = ".",
+) -> str:
+    """Render a tile grid as aligned cells keyed by ``(row, col)``.
+
+    Used for Fig. 4/5-style core-map printouts, e.g. cells like ``"0/0"``
+    (OS core ID / CHA ID), ``"IMC"``, ``"LLC"`` or ``"--"`` for disabled
+    tiles.
+    """
+    if n_rows <= 0 or n_cols <= 0:
+        raise ValueError("grid dimensions must be positive")
+    width = max([len(empty)] + [len(v) for v in cells.values()])
+    lines = []
+    for r in range(n_rows):
+        row_cells = [cells.get((r, c), empty).center(width) for c in range(n_cols)]
+        lines.append("[ " + " | ".join(row_cells) + " ]")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.address import (
+    LINE_BYTES,
+    LINE_OFFSET_BITS,
+    line_address,
+    line_index,
+    random_line_addresses,
+)
+
+
+class TestLineIndexing:
+    def test_line_bytes_consistent(self):
+        assert LINE_BYTES == 1 << LINE_OFFSET_BITS
+
+    def test_same_line_same_index(self):
+        assert line_index(0x1000) == line_index(0x103F)
+        assert line_index(0x1040) == line_index(0x1000) + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            line_index(-1)
+        with pytest.raises(ValueError):
+            line_address(-1)
+
+    @given(st.integers(0, 2**40))
+    def test_roundtrip(self, index):
+        assert line_index(line_address(index)) == index
+
+
+class TestRandomLineAddresses:
+    def test_count_and_alignment(self):
+        rng = np.random.default_rng(0)
+        addrs = random_line_addresses(rng, 100)
+        assert len(addrs) == 100
+        assert all(a % LINE_BYTES == 0 for a in addrs)
+
+    def test_distinct(self):
+        rng = np.random.default_rng(1)
+        addrs = random_line_addresses(rng, 500)
+        assert len(set(addrs)) == 500
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_line_addresses(np.random.default_rng(0), -1)

@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+
+from repro.cache.coherence import CacheSystem
+from repro.cache.l2 import L2Config
+from repro.cache.slice_hash import SliceHash
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.noc import Mesh
+from repro.mesh.tile import TileKind
+
+
+@pytest.fixture
+def system():
+    grid = GridSpec(2, 2)
+    kinds = {c: TileKind.CORE for c in grid.coords()}
+    mesh = Mesh(grid, kinds)
+    slice_hash = SliceHash.generate(4, np.random.default_rng(0))
+    return CacheSystem(mesh, slice_hash, L2Config())
+
+
+def addr_homed_at(system: CacheSystem, cha: int) -> int:
+    addr = 0
+    while system.home_cha(addr) != cha:
+        addr += 64
+    return addr
+
+
+class TestResolution:
+    def test_home_coord_follows_cha_order(self, system):
+        addr = addr_homed_at(system, 2)
+        assert system.home_coord(addr) == system.cha_coords[2]
+
+    def test_mismatched_slice_count_rejected(self):
+        grid = GridSpec(2, 2)
+        mesh = Mesh(grid, {c: TileKind.CORE for c in grid.coords()})
+        bad_hash = SliceHash.generate(3, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            CacheSystem(mesh, bad_hash, L2Config())
+
+
+class TestProbes:
+    def test_sweep_evictions_touch_home_tiles(self, system):
+        core = system.cha_coords[0]
+        addr = addr_homed_at(system, 3)
+        system.sweep_evictions(core, [addr], sweeps=10)
+        home = system.cha_coords[3]
+        assert system.mesh.counters.read_llc_lookup(home) == 10
+        assert sum(system.mesh.counters.snapshot().values()) > 0
+
+    def test_same_tile_sweep_silent_on_mesh(self, system):
+        core = system.cha_coords[1]
+        addr = addr_homed_at(system, 1)
+        system.sweep_evictions(core, [addr], sweeps=10)
+        assert system.mesh.counters.snapshot() == {}
+        assert system.mesh.counters.read_llc_lookup(core) == 10
+
+    def test_contended_write_lookups_dominate_at_home(self, system):
+        a, b = system.cha_coords[0], system.cha_coords[3]
+        addr = addr_homed_at(system, 2)
+        system.contended_write(a, b, addr, rounds=25)
+        home = system.cha_coords[2]
+        assert system.mesh.counters.read_llc_lookup(home) == 50
+        for other in range(4):
+            if system.cha_coords[other] != home:
+                assert system.mesh.counters.read_llc_lookup(system.cha_coords[other]) == 0
+
+    def test_producer_consumer_direct_when_homed_at_sink(self, system):
+        sink_cha = 3
+        addr = addr_homed_at(system, sink_cha)
+        src = system.cha_coords[0]
+        sink = system.cha_coords[sink_cha]
+        system.producer_consumer(src, sink, addr, rounds=7)
+        from repro.mesh.routing import RingClass, ingress_events
+
+        # BL (data) traffic: exactly the source->sink path, 2 cycles/round.
+        expected_bl = {}
+        for tile, ch in ingress_events(src, sink):
+            key = (tile, ch, RingClass.BL)
+            expected_bl[key] = expected_bl.get(key, 0) + 14
+        snapshot = system.mesh.counters.snapshot()
+        bl_only = {k: v for k, v in snapshot.items() if k[2] is RingClass.BL}
+        assert bl_only == expected_bl
+
+    def test_producer_consumer_requests_flow_on_ad_ring(self, system):
+        """Read requests travel sink->home on AD — invisible to the BL
+        events the probes monitor, and directionally opposite."""
+        from repro.mesh.routing import RingClass, ingress_events
+
+        sink_cha = 3
+        addr = addr_homed_at(system, sink_cha)
+        src, sink = system.cha_coords[0], system.cha_coords[sink_cha]
+        system.producer_consumer(src, sink, addr, rounds=7)
+        snapshot = system.mesh.counters.snapshot()
+        ad_traffic = {k: v for k, v in snapshot.items() if k[2] is RingClass.AD}
+        assert ad_traffic  # requests exist...
+        # ...and flow along the reverse (sink->home==sink? home==sink here,
+        # so the request leg is sink->home only when distinct; the snoop
+        # home->source always exists).
+        snoop_tiles = {tile for tile, _ in ingress_events(sink, src)}
+        assert any(key[0] in snoop_tiles for key in ad_traffic)
+
+    def test_producer_consumer_via_home_otherwise(self, system):
+        # Pick an address homed at neither source nor sink.
+        src, sink = system.cha_coords[0], system.cha_coords[1]
+        home_cha = 2
+        addr = addr_homed_at(system, home_cha)
+        system.producer_consumer(src, sink, addr, rounds=3)
+        assert system.mesh.counters.read_llc_lookup(system.cha_coords[home_cha]) == 3
+        assert sum(system.mesh.counters.snapshot().values()) > 0
+
+    def test_negative_rounds_rejected(self, system):
+        a, b = system.cha_coords[0], system.cha_coords[1]
+        with pytest.raises(ValueError):
+            system.contended_write(a, b, 0, rounds=-1)
+        with pytest.raises(ValueError):
+            system.producer_consumer(a, b, 0, rounds=-1)
+        with pytest.raises(ValueError):
+            system.sweep_evictions(a, [0], sweeps=-1)

@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.cache.eviction import SliceEvictionSet, addresses_in_l2_set, oracle_eviction_set
+from repro.cache.l2 import L2Config
+from repro.cache.slice_hash import SliceHash
+
+
+class TestSliceEvictionSet:
+    def test_usability_threshold(self):
+        l2 = L2Config()
+        ev = SliceEvictionSet(cha_index=0, l2_set=0, addresses=list(range(0, 17 * 64, 64)))
+        assert ev.is_usable(l2)
+        ev_small = SliceEvictionSet(cha_index=0, l2_set=0, addresses=[0])
+        assert not ev_small.is_usable(l2)
+
+    def test_duplicate_rejected(self):
+        ev = SliceEvictionSet(cha_index=0, l2_set=0)
+        ev.add(0x40)
+        with pytest.raises(ValueError):
+            ev.add(0x40)
+
+
+class TestAddressesInL2Set:
+    def test_all_in_requested_set(self):
+        l2 = L2Config()
+        rng = np.random.default_rng(0)
+        for addr in addresses_in_l2_set(l2, 123, rng, 50):
+            assert l2.set_index(addr) == 123
+
+    def test_distinct(self):
+        l2 = L2Config()
+        addrs = addresses_in_l2_set(l2, 5, np.random.default_rng(1), 200)
+        assert len(set(addrs)) == 200
+
+    def test_bad_set_rejected(self):
+        with pytest.raises(ValueError):
+            addresses_in_l2_set(L2Config(), 1024, np.random.default_rng(0), 1)
+
+
+class TestOracleEvictionSet:
+    def test_builds_valid_set(self):
+        l2 = L2Config()
+        h = SliceHash.generate(26, np.random.default_rng(2))
+        ev = oracle_eviction_set(h, l2, cha_index=7, rng=np.random.default_rng(3))
+        assert ev.is_usable(l2)
+        assert len(set(ev.addresses)) == len(ev.addresses)
+        for addr in ev.addresses:
+            assert h.slice_of(addr) == 7
+            assert l2.set_index(addr) == ev.l2_set
+
+    def test_explicit_l2_set_honoured(self):
+        l2 = L2Config()
+        h = SliceHash.generate(8, np.random.default_rng(4))
+        ev = oracle_eviction_set(h, l2, 0, np.random.default_rng(5), l2_set=99)
+        assert ev.l2_set == 99
+
+    def test_bad_cha_rejected(self):
+        h = SliceHash.generate(8, np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            oracle_eviction_set(h, L2Config(), 8, np.random.default_rng(7))
+
+    def test_gives_up_gracefully(self):
+        h = SliceHash.generate(26, np.random.default_rng(8))
+        with pytest.raises(RuntimeError):
+            oracle_eviction_set(h, L2Config(), 0, np.random.default_rng(9), max_probe=5)

@@ -1,0 +1,42 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.l2 import L2Config
+
+
+class TestL2Config:
+    def test_skylake_defaults(self):
+        l2 = L2Config()
+        assert l2.n_sets == 1024
+        assert l2.associativity == 16
+        assert l2.size_bytes == 1024 * 1024  # 1 MiB
+        assert l2.set_index_bits == 10
+
+    def test_set_index_uses_bits_15_to_6(self):
+        l2 = L2Config()
+        assert l2.set_index(0) == 0
+        assert l2.set_index(1 << 6) == 1
+        assert l2.set_index(1023 << 6) == 1023
+        assert l2.set_index(1 << 16) == 0  # above the set field
+
+    def test_same_line_same_set(self):
+        l2 = L2Config()
+        assert l2.set_index(0x1000) == l2.set_index(0x103F)
+
+    def test_eviction_set_size_exceeds_ways(self):
+        l2 = L2Config()
+        assert l2.eviction_set_size() == 17
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            L2Config(n_sets=1000)
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(ValueError):
+            L2Config().set_index(-64)
+
+    @given(st.integers(0, 2**46 - 1))
+    def test_set_in_range(self, addr):
+        l2 = L2Config()
+        assert 0 <= l2.set_index(addr) < 1024

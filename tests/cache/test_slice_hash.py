@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.address import random_line_addresses
+from repro.cache.slice_hash import SliceHash, _masks_independent
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("n_slices", [1, 2, 8, 18, 24, 26, 44])
+    def test_slice_range(self, n_slices):
+        h = SliceHash.generate(n_slices, np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        for addr in random_line_addresses(rng, 200):
+            assert 0 <= h.slice_of(addr) < n_slices
+
+    def test_deterministic_per_seed(self):
+        a = SliceHash.generate(26, np.random.default_rng(42))
+        b = SliceHash.generate(26, np.random.default_rng(42))
+        assert a.masks == b.masks
+
+    def test_instances_differ(self):
+        a = SliceHash.generate(26, np.random.default_rng(1))
+        b = SliceHash.generate(26, np.random.default_rng(2))
+        assert a.masks != b.masks
+
+    def test_all_slices_reachable(self):
+        h = SliceHash.generate(26, np.random.default_rng(3))
+        rng = np.random.default_rng(4)
+        seen = {h.slice_of(a) for a in random_line_addresses(rng, 4000)}
+        assert seen == set(range(26))
+
+    def test_near_uniform_distribution(self):
+        h = SliceHash.generate(26, np.random.default_rng(5))
+        rng = np.random.default_rng(6)
+        counts = np.zeros(26)
+        n = 26 * 400
+        for addr in random_line_addresses(rng, n):
+            counts[h.slice_of(addr)] += 1
+        expected = n / 26
+        assert counts.min() > 0.6 * expected
+        assert counts.max() < 1.5 * expected
+
+    def test_offset_bits_ignored(self):
+        # All bytes of one line map to one slice.
+        h = SliceHash.generate(8, np.random.default_rng(7))
+        assert h.slice_of(0x12340) == h.slice_of(0x12340 + 63)
+
+    def test_single_slice(self):
+        h = SliceHash.generate(1, np.random.default_rng(0))
+        assert h.slice_of(0xABC0) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SliceHash.generate(0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            SliceHash(n_slices=8, masks=(1,))  # 1 bit can't address 8 slices
+
+
+class TestMaskIndependence:
+    def test_dependent_masks_detected(self):
+        assert not _masks_independent([0b11, 0b01, 0b10], 8)
+
+    def test_independent_masks_accepted(self):
+        assert _masks_independent([0b001, 0b010, 0b100], 8)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20)
+    def test_generated_masks_always_independent(self, seed):
+        h = SliceHash.generate(26, np.random.default_rng(seed))
+        assert _masks_independent(list(h.masks), 46)

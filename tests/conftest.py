@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform import XEON_6354, XEON_8124M, XEON_8175M, XEON_8259CL, CpuInstance
+from repro.sim import NoiseConfig, build_machine
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def clx_instance() -> CpuInstance:
+    """A Cascade Lake 8259CL instance (24 cores, 2 LLC-only tiles)."""
+    return CpuInstance.generate(XEON_8259CL, seed=7)
+
+
+@pytest.fixture
+def skx_instance() -> CpuInstance:
+    """A Skylake 8124M instance (18 cores, 10 disabled tiles)."""
+    return CpuInstance.generate(XEON_8124M, seed=1)
+
+
+@pytest.fixture
+def icx_instance() -> CpuInstance:
+    """An Ice Lake 6354 instance (18 cores, 8 LLC-only tiles)."""
+    return CpuInstance.generate(XEON_6354, seed=3)
+
+
+@pytest.fixture
+def quiet_machine(clx_instance):
+    """A noise-free machine (deterministic counters and sensors)."""
+    return build_machine(clx_instance, seed=5, noise=NoiseConfig.quiet())
+
+
+@pytest.fixture
+def noisy_machine(clx_instance):
+    """A machine with default cloud-like co-tenant noise."""
+    return build_machine(clx_instance, seed=5)
+
+
+ALL_SKUS = [XEON_8124M, XEON_8175M, XEON_8259CL, XEON_6354]

@@ -1,0 +1,108 @@
+import networkx as nx
+import pytest
+
+from repro.core.analysis import (
+    adjacency_graph,
+    channel_interference_graph,
+    core_adjacency_graph,
+    isolation_report,
+    thermal_neighbor_ranking,
+    tile_distance,
+)
+from repro.core.coremap import CoreMap
+from repro.covert.multi import pick_vertical_pairs
+from tests.core.test_coremap import tiny_map
+
+
+@pytest.fixture
+def clx_map(clx_instance):
+    return CoreMap.from_instance(clx_instance)
+
+
+class TestAdjacencyGraph:
+    def test_nodes_cover_all_chas(self, clx_map):
+        graph = adjacency_graph(clx_map)
+        assert set(graph.nodes) == set(clx_map.cha_positions)
+
+    def test_edges_are_physical_adjacencies(self, clx_map):
+        graph = adjacency_graph(clx_map)
+        for a, b in graph.edges:
+            pa, pb = clx_map.position_of_cha(a), clx_map.position_of_cha(b)
+            assert pa.manhattan(pb) == 1
+
+    def test_orientation_attribute(self):
+        graph = adjacency_graph(tiny_map())
+        assert graph.edges[0, 2]["orientation"] == "vertical"
+        assert graph.edges[1, 3]["orientation"] == "vertical"
+        assert not graph.has_edge(0, 1)  # 2 columns apart
+
+    def test_llc_only_flagged(self, clx_map):
+        graph = adjacency_graph(clx_map)
+        flagged = {n for n, d in graph.nodes(data=True) if d["llc_only"]}
+        assert flagged == set(clx_map.llc_only_chas)
+
+
+class TestCoreAdjacencyGraph:
+    def test_relabelled_by_os_core(self, clx_map):
+        graph = core_adjacency_graph(clx_map)
+        assert set(graph.nodes) == set(clx_map.os_to_cha)
+
+    def test_llc_only_excluded(self, clx_map):
+        graph = core_adjacency_graph(clx_map)
+        assert len(graph.nodes) == 24
+
+
+class TestDistancesAndRanking:
+    def test_tile_distance_symmetric(self, clx_map):
+        assert tile_distance(clx_map, 0, 5) == tile_distance(clx_map, 5, 0)
+        assert tile_distance(clx_map, 3, 3) == 0
+
+    def test_ranking_prefers_vertical(self, clx_map):
+        for os_core in list(clx_map.os_to_cha)[:6]:
+            ranking = thermal_neighbor_ranking(clx_map, os_core)
+            if len(ranking) >= 2:
+                assert ranking[0][1] >= ranking[-1][1]
+            pos = clx_map.position_of_os_core(os_core)
+            for nbr, coupling in ranking:
+                n_pos = clx_map.position_of_os_core(nbr)
+                expected = 1.0 if n_pos.col == pos.col else 0.4
+                assert coupling == expected
+
+    def test_unknown_core_rejected(self, clx_map):
+        with pytest.raises(ValueError):
+            thermal_neighbor_ranking(clx_map, 99)
+
+
+class TestIsolationReport:
+    def test_clx_die_is_mostly_connected(self, clx_map):
+        report = isolation_report(clx_map)
+        assert report["n_components"] >= 1
+        assert sum(len(c) for c in report["components"]) == 24
+        assert report["mean_degree"] > 1.0
+
+    def test_isolated_core_detected(self):
+        from repro.mesh.geometry import GridSpec, TileCoord
+
+        sparse = CoreMap(
+            grid=GridSpec(3, 3),
+            cha_positions={0: TileCoord(0, 0), 1: TileCoord(2, 2)},
+            os_to_cha={0: 0, 1: 1},
+        )
+        report = isolation_report(sparse)
+        assert report["isolated_cores"] == [0, 1]
+        assert report["n_components"] == 2
+
+
+class TestInterferenceGraph:
+    def test_good_placement_has_little_interference(self, clx_map):
+        pairs = pick_vertical_pairs(clx_map, 4)
+        graph = channel_interference_graph(clx_map, pairs)
+        # The greedy placement avoids receiver-to-foreign-sender adjacency
+        # entirely for 4 channels on this die.
+        assert graph.number_of_edges() == 0
+
+    def test_bad_placement_flagged(self, clx_map):
+        pairs = clx_map.vertical_neighbor_pairs()[:4]  # naive: first four
+        graph = channel_interference_graph(clx_map, pairs)
+        good = channel_interference_graph(clx_map, pick_vertical_pairs(clx_map, 4))
+        assert graph.number_of_edges() >= good.number_of_edges()

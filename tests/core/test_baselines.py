@@ -1,0 +1,93 @@
+import pytest
+
+from repro.core.baselines import (
+    RuleGeneralizationBaseline,
+    capid_fuse_mask,
+    latency_locate,
+    measure_imc_distances,
+)
+from repro.core.coremap import CoreMap
+from repro.platform import XEON_6354, XEON_8124M, XEON_8259CL, CpuInstance
+from repro.platform.fleet import instance_seed
+from repro.sim import build_machine
+
+
+def trained_baseline(sku, n_train=5, seed=4242):
+    baseline = RuleGeneralizationBaseline(die=sku.die)
+    for i in range(n_train):
+        inst = CpuInstance.generate(sku, instance_seed(seed, sku, i))
+        baseline.train(capid_fuse_mask(inst), CoreMap.from_instance(inst))
+    return baseline
+
+
+class TestCapidFuseMask:
+    def test_popcount_matches_cha_count(self, clx_instance):
+        mask = capid_fuse_mask(clx_instance)
+        assert mask.bit_count() == clx_instance.n_chas
+
+    def test_deterministic(self, clx_instance):
+        assert capid_fuse_mask(clx_instance) == capid_fuse_mask(clx_instance)
+
+
+class TestRuleGeneralization:
+    def test_learns_column_major_on_skx(self):
+        baseline = trained_baseline(XEON_8259CL)
+        assert baseline.rule_identified
+        assert baseline.learned_order == "column_major"
+
+    def test_learns_row_major_on_icx(self):
+        baseline = trained_baseline(XEON_6354)
+        assert baseline.learned_order == "row_major"
+
+    def test_predicts_unseen_same_generation_instances(self):
+        baseline = trained_baseline(XEON_8259CL)
+        inst = CpuInstance.generate(XEON_8259CL, seed=999_001)
+        truth = CoreMap.from_instance(inst)
+        predicted = baseline.predict(
+            capid_fuse_mask(inst), dict(inst.os_to_cha), truth.llc_only_chas
+        )
+        assert predicted is not None
+        # Fuse-based prediction recovers the *absolute* map exactly.
+        assert predicted.cha_positions == truth.cha_positions
+
+    def test_cross_generation_prediction_fails(self):
+        """§VI: the rule learned on Skylake-era dies is wrong for Ice Lake."""
+        skx = trained_baseline(XEON_8259CL)
+        inst = CpuInstance.generate(XEON_6354, seed=999_002)
+        truth = CoreMap.from_instance(inst)
+        predicted = skx.predict(
+            capid_fuse_mask(inst), dict(inst.os_to_cha), truth.llc_only_chas
+        )
+        # Wrong die geometry entirely — prediction is absent or wrong.
+        assert predicted is None or predicted.cha_positions != truth.cha_positions
+
+    def test_unlearned_baseline_predicts_nothing(self):
+        baseline = RuleGeneralizationBaseline(die=XEON_8124M.die)
+        assert baseline.predict(0xFFFF, {}, frozenset()) is None
+
+
+class TestLatencyBaseline:
+    def test_fingerprints_match_geometry(self, clx_instance):
+        machine = build_machine(clx_instance, with_thermal=False)
+        for os_core in (0, 5, 11):
+            fingerprint = measure_imc_distances(machine, os_core)
+            assert len(fingerprint) == 2  # two IMCs on SKX/CLX
+            assert all(d >= 1 for d in fingerprint)
+
+    def test_candidates_always_contain_truth(self, clx_instance):
+        machine = build_machine(clx_instance, with_thermal=False)
+        report = latency_locate(machine)
+        for os_core, candidates in report.candidates.items():
+            assert clx_instance.coord_of_os_core(os_core) in candidates
+
+    def test_two_imcs_leave_cores_ambiguous(self, clx_instance):
+        """The §VI claim: latency to two memory controllers cannot resolve
+        the Xeon tile grid."""
+        machine = build_machine(clx_instance, with_thermal=False)
+        report = latency_locate(machine)
+        # Both IMCs sit in one tile row, so tiles mirrored about that row
+        # share a fingerprint: at best half the cores resolve uniquely.
+        assert report.resolution_rate <= 0.5
+        assert report.mean_candidates() >= 1.5
+        assert len(report.ambiguous_cores) >= len(report.resolved_cores)
+        assert report.ambiguous_cores  # the failure §VI describes exists

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.core.cha_mapping import build_eviction_sets, discover_home_cha, map_os_to_cha
+from repro.core.errors import MappingError
+from repro.uncore.session import UncorePmonSession
+
+
+@pytest.fixture
+def session(quiet_machine):
+    return UncorePmonSession(quiet_machine.msr, quiet_machine.n_chas)
+
+
+class TestDiscoverHomeCha:
+    def test_matches_oracle(self, quiet_machine, session):
+        session.program_llc_lookup()
+        for addr in quiet_machine.sample_line_addresses(5):
+            home = discover_home_cha(quiet_machine, session, addr)
+            assert home == quiet_machine.instance.cache.home_cha(addr)
+
+    def test_works_under_noise(self, noisy_machine):
+        session = UncorePmonSession(noisy_machine.msr, noisy_machine.n_chas)
+        session.program_llc_lookup()
+        addr = noisy_machine.sample_line_addresses(1)[0]
+        home = discover_home_cha(noisy_machine, session, addr)
+        assert home == noisy_machine.instance.cache.home_cha(addr)
+
+
+class TestBuildEvictionSets:
+    def test_sets_cover_every_cha(self, quiet_machine, session):
+        sets = build_eviction_sets(quiet_machine, session, set_size=3)
+        assert set(sets) == set(range(quiet_machine.n_chas))
+        for cha, ev in sets.items():
+            assert len(ev.addresses) == 3
+            for addr in ev.addresses:
+                assert quiet_machine.instance.cache.home_cha(addr) == cha
+                assert quiet_machine.l2_geometry.set_index(addr) == ev.l2_set
+
+    def test_gives_up_when_starved(self, quiet_machine, session):
+        with pytest.raises(MappingError):
+            build_eviction_sets(quiet_machine, session, max_lines=3)
+
+
+class TestMapOsToCha:
+    def test_recovers_hidden_mapping(self, quiet_machine, session):
+        sets = build_eviction_sets(quiet_machine, session)
+        result = map_os_to_cha(quiet_machine, session, sets)
+        assert result.os_to_cha == quiet_machine.instance.os_to_cha
+        truth_llc = {
+            cha
+            for cha, coord in enumerate(quiet_machine.instance.cha_coords)
+            if coord in quiet_machine.instance.pattern.llc_only_slots
+        }
+        assert result.llc_only_chas == truth_llc
+
+    def test_result_helpers(self, quiet_machine, session):
+        sets = build_eviction_sets(quiet_machine, session)
+        result = map_os_to_cha(quiet_machine, session, sets)
+        assert result.cha_to_os[result.os_to_cha[0]] == 0
+        assert result.core_chas() == frozenset(result.os_to_cha.values())
+        assert len(result.core_chas() | result.llc_only_chas) == quiet_machine.n_chas

@@ -1,0 +1,140 @@
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.mesh.geometry import GridSpec, TileCoord
+
+
+def tiny_map() -> CoreMap:
+    """3 cores + 1 LLC-only CHA on a 2x3 grid."""
+    return CoreMap(
+        grid=GridSpec(2, 3),
+        cha_positions={
+            0: TileCoord(0, 0),
+            1: TileCoord(0, 2),
+            2: TileCoord(1, 0),
+            3: TileCoord(1, 2),
+        },
+        os_to_cha={0: 0, 1: 1, 2: 2},
+        llc_only_chas=frozenset({3}),
+    )
+
+
+class TestValidation:
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValueError):
+            CoreMap(
+                GridSpec(2, 2),
+                {0: TileCoord(0, 0), 1: TileCoord(0, 0)},
+                {0: 0, 1: 1},
+            )
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(ValueError):
+            CoreMap(GridSpec(1, 1), {0: TileCoord(3, 3)}, {0: 0})
+
+    def test_os_core_on_llc_only_rejected(self):
+        with pytest.raises(ValueError):
+            CoreMap(
+                GridSpec(1, 2),
+                {0: TileCoord(0, 0), 1: TileCoord(0, 1)},
+                {0: 0, 1: 1},
+                llc_only_chas=frozenset({1}),
+            )
+
+    def test_unknown_cha_reference_rejected(self):
+        with pytest.raises(ValueError):
+            CoreMap(GridSpec(1, 1), {0: TileCoord(0, 0)}, {0: 7})
+
+
+class TestLookups:
+    def test_positions(self):
+        m = tiny_map()
+        assert m.position_of_os_core(1) == TileCoord(0, 2)
+        assert m.position_of_cha(3) == TileCoord(1, 2)
+        assert m.os_core_at(TileCoord(1, 0)) == 2
+        assert m.os_core_at(TileCoord(1, 2)) is None  # LLC-only
+        assert m.os_core_at(TileCoord(0, 1)) is None  # empty
+
+    def test_neighbors(self):
+        m = tiny_map()
+        assert m.neighbor_os_cores(0) == {"down": 2}
+        assert m.neighbor_os_cores(2) == {"up": 0}
+
+    def test_vertical_pairs(self):
+        m = tiny_map()
+        assert m.vertical_neighbor_pairs() == [(0, 2)]
+
+
+class TestCanonicalisation:
+    def test_mirror_is_equivalent(self):
+        m = tiny_map()
+        assert m.equivalent(m.mirrored())
+
+    def test_double_mirror_identity(self):
+        m = tiny_map()
+        assert m.mirrored().mirrored()._placement_key() == m._placement_key()
+
+    def test_translation_by_vacant_line_is_equivalent(self):
+        """§II-D: vacant rows/columns cannot be observed; compaction makes
+        shifted maps compare equal."""
+        m = tiny_map()
+        shifted = CoreMap(
+            grid=GridSpec(3, 3),
+            cha_positions={c: TileCoord(p.row + 1, p.col) for c, p in m.cha_positions.items()},
+            os_to_cha=dict(m.os_to_cha),
+            llc_only_chas=m.llc_only_chas,
+        )
+        assert m.equivalent(shifted)
+
+    def test_different_id_assignment_not_equivalent(self):
+        m = tiny_map()
+        different = CoreMap(
+            grid=m.grid,
+            cha_positions=dict(m.cha_positions),
+            os_to_cha={0: 1, 1: 0, 2: 2},  # swapped
+            llc_only_chas=m.llc_only_chas,
+        )
+        assert not m.equivalent(different)
+
+    def test_genuinely_different_layout_not_equivalent(self):
+        m = tiny_map()
+        moved = CoreMap(
+            grid=m.grid,
+            cha_positions={**m.cha_positions, 1: TileCoord(1, 1)},
+            os_to_cha=dict(m.os_to_cha),
+            llc_only_chas=m.llc_only_chas,
+        )
+        assert not m.equivalent(moved)
+
+
+class TestRestrictedTo:
+    def test_keeps_only_requested_chas(self):
+        m = tiny_map()
+        sub = m.restricted_to({0, 2})
+        assert set(sub.cha_positions) == {0, 2}
+        assert sub.os_to_cha == {0: 0, 2: 2}
+        assert not sub.llc_only_chas
+
+    def test_restriction_preserves_equivalence(self):
+        m = tiny_map()
+        assert m.restricted_to(set(m.cha_positions)).equivalent(m)
+
+
+class TestFromInstance:
+    def test_roundtrip_structure(self, clx_instance):
+        m = CoreMap.from_instance(clx_instance)
+        assert m.n_chas == clx_instance.n_chas
+        assert m.os_to_cha == clx_instance.os_to_cha
+        assert len(m.llc_only_chas) == 2
+        assert m.imc_coords == clx_instance.sku.die.imc_coords
+        for cha, coord in m.cha_positions.items():
+            assert clx_instance.cha_coords[cha] == coord
+
+
+class TestRender:
+    def test_render_mentions_all_parts(self, clx_instance):
+        text = CoreMap.from_instance(clx_instance).render()
+        assert "IMC" in text
+        assert "LLC/" in text
+        assert "0/0" in text
+        assert len(text.splitlines()) == 5

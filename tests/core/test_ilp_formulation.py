@@ -1,0 +1,101 @@
+import pytest
+
+from repro.core.ilp_formulation import build_layout_model
+from repro.core.observations import PathObservation
+from repro.core.reconstruct import predict_observation
+from repro.ilp import ScipyMilpSolver
+from repro.mesh.geometry import GridSpec, TileCoord
+
+
+def all_pairs_observations(positions, core_chas):
+    """Synthesize the step-2 observation set for a known layout."""
+    return [
+        predict_observation(positions, s, e)
+        for s in sorted(core_chas)
+        for e in sorted(core_chas)
+        if s != e
+    ]
+
+
+LAYOUT_2X2 = {0: TileCoord(0, 0), 1: TileCoord(0, 1), 2: TileCoord(1, 0), 3: TileCoord(1, 1)}
+
+
+class TestModelStructure:
+    def test_observed_set(self):
+        obs = all_pairs_observations(LAYOUT_2X2, {0, 1, 2, 3})
+        layout = build_layout_model(obs, 4, GridSpec(2, 2))
+        assert layout.observed == {0, 1, 2, 3}
+        assert not layout.unobserved
+
+    def test_unobserved_cha_detected(self):
+        obs = all_pairs_observations(LAYOUT_2X2, {0, 1, 2, 3})
+        layout = build_layout_model(obs, 5, GridSpec(2, 3))
+        assert layout.unobserved == {4}
+
+    def test_reduced_model_is_smaller(self):
+        obs = all_pairs_observations(LAYOUT_2X2, {0, 1, 2, 3})
+        reduced = build_layout_model(obs, 4, GridSpec(2, 2), reduce=True)
+        full = build_layout_model(obs, 4, GridSpec(2, 2), reduce=False)
+        assert len(reduced.model.variables) < len(full.model.variables)
+        assert len(reduced.model.constraints) < len(full.model.constraints)
+
+    def test_alignment_classes(self):
+        obs = all_pairs_observations(LAYOUT_2X2, {0, 1, 2, 3})
+        layout = build_layout_model(obs, 4, GridSpec(2, 2))
+        # Same-column CHAs must share a column class.
+        assert layout.col_class_of[0] == layout.col_class_of[2]
+        assert layout.col_class_of[1] == layout.col_class_of[3]
+        assert layout.col_class_of[0] != layout.col_class_of[1]
+
+    def test_direction_guards_created_for_horizontal_paths(self):
+        obs = all_pairs_observations(LAYOUT_2X2, {0, 1, 2, 3})
+        layout = build_layout_model(obs, 4, GridSpec(2, 2))
+        assert layout.n_direction_guards >= 1
+
+    def test_invalid_cha_reference_rejected(self):
+        obs = [PathObservation(0, 9)]
+        with pytest.raises(ValueError):
+            build_layout_model(obs, 4, GridSpec(2, 2))
+
+
+@pytest.mark.parametrize("reduce", [True, False])
+class TestSolvability:
+    def test_reconstructs_2x2(self, reduce):
+        obs = all_pairs_observations(LAYOUT_2X2, {0, 1, 2, 3})
+        layout = build_layout_model(obs, 4, GridSpec(2, 2), reduce=reduce)
+        solution = ScipyMilpSolver().solve(layout.model)
+        assert solution.status.ok
+        positions = {
+            cha: (
+                solution.int_value_of(layout.row_vars[layout.row_class_of[cha]]),
+                solution.int_value_of(layout.col_vars[layout.col_class_of[cha]]),
+            )
+            for cha in layout.observed
+        }
+        # All distinct, rows consistent with the vertical observations.
+        assert len(set(positions.values())) == 4
+        assert positions[0][0] != positions[2][0]  # 0 above/below 2
+
+    def test_llc_only_distinctness(self, reduce):
+        """An LLC-only CHA between two cores in a column must not collide."""
+        positions = {
+            0: TileCoord(0, 0),
+            1: TileCoord(1, 0),  # LLC-only
+            2: TileCoord(2, 0),
+            3: TileCoord(0, 1),
+        }
+        cores = {0, 2, 3}
+        obs = all_pairs_observations(positions, cores)
+        layout = build_layout_model(
+            obs, 4, GridSpec(3, 2), endpoint_chas=frozenset(cores), reduce=reduce
+        )
+        solution = ScipyMilpSolver().solve(layout.model)
+        assert solution.status.ok
+        solved = {
+            cha: (
+                solution.int_value_of(layout.row_vars[layout.row_class_of[cha]]),
+                solution.int_value_of(layout.col_vars[layout.col_class_of[cha]]),
+            )
+            for cha in layout.observed
+        }
+        assert len(set(solved.values())) == 4

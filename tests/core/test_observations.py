@@ -1,0 +1,61 @@
+import pytest
+
+from repro.core.observations import PathObservation, observation_from_readings
+from repro.mesh.routing import Channel
+from repro.uncore.session import ChannelReading
+
+
+def reading(cha, up=0, down=0, left=0, right=0):
+    return ChannelReading(
+        cha,
+        {Channel.UP: up, Channel.DOWN: down, Channel.LEFT: left, Channel.RIGHT: right},
+    )
+
+
+class TestPathObservation:
+    def test_sink_reached_vertically(self):
+        obs = PathObservation(0, 5, up=frozenset({3, 5}))
+        assert obs.sink_reached_vertically
+        obs2 = PathObservation(0, 5, up=frozenset({3}), horizontal=frozenset({5}))
+        assert not obs2.sink_reached_vertically
+
+    def test_observers_union(self):
+        obs = PathObservation(0, 5, up=frozenset({1}), down=frozenset({2}), horizontal=frozenset({5}))
+        assert obs.observers == {1, 2, 5}
+        assert obs.vertical_observers == {1, 2}
+
+    def test_source_cannot_observe(self):
+        with pytest.raises(ValueError):
+            PathObservation(0, 5, up=frozenset({0}))
+
+    def test_self_path_rejected(self):
+        with pytest.raises(ValueError):
+            PathObservation(3, 3)
+
+
+class TestThresholding:
+    def test_signal_above_threshold_kept(self):
+        readings = [reading(0), reading(1, down=500), reading(2, left=300, right=300)]
+        obs = observation_from_readings(0, 2, readings, threshold=400)
+        assert obs.down == {1}
+        assert obs.horizontal == {2}
+        assert obs.up == frozenset()
+
+    def test_noise_below_threshold_dropped(self):
+        readings = [reading(0), reading(1, up=10), reading(2, left=399)]
+        obs = observation_from_readings(0, 2, readings, threshold=400)
+        assert not obs.observers
+
+    def test_source_reading_ignored_as_noise(self):
+        readings = [reading(0, down=10_000), reading(1, down=500), reading(2, down=500)]
+        obs = observation_from_readings(0, 2, readings, threshold=400)
+        assert 0 not in obs.observers
+
+    def test_left_right_pooled(self):
+        readings = [reading(0), reading(1, left=250, right=250), reading(2)]
+        obs = observation_from_readings(0, 2, readings, threshold=400)
+        assert obs.horizontal == {1}
+
+    def test_threshold_positive(self):
+        with pytest.raises(ValueError):
+            observation_from_readings(0, 1, [], threshold=0)

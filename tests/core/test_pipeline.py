@@ -1,0 +1,31 @@
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.core.pipeline import MappingConfig, map_cpu
+
+
+class TestMapCpu:
+    def test_full_pipeline_quiet(self, quiet_machine):
+        result = map_cpu(quiet_machine)
+        truth = CoreMap.from_instance(quiet_machine.instance)
+        assert result.ppin == quiet_machine.instance.ppin
+        assert result.cha_mapping.os_to_cha == quiet_machine.instance.os_to_cha
+        assert result.core_map.equivalent(truth)
+        assert result.reconstruction.consistent
+        assert result.elapsed_seconds > 0
+
+    def test_full_pipeline_with_cloud_noise(self, noisy_machine):
+        result = map_cpu(noisy_machine)
+        truth = CoreMap.from_instance(noisy_machine.instance)
+        assert result.core_map.equivalent(truth)
+
+    def test_unreduced_ilp_agrees(self, quiet_machine):
+        reduced = map_cpu(quiet_machine, config=MappingConfig(reduce_ilp=True))
+        full = map_cpu(quiet_machine, config=MappingConfig(reduce_ilp=False))
+        assert reduced.core_map.equivalent(full.core_map)
+
+    def test_llc_only_tiles_located(self, quiet_machine):
+        result = map_cpu(quiet_machine)
+        assert len(result.core_map.llc_only_chas) == 2
+        truth = CoreMap.from_instance(quiet_machine.instance)
+        assert result.core_map.llc_only_chas == truth.llc_only_chas

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.core.cha_mapping import build_eviction_sets, map_os_to_cha
+from repro.core.probes import collect_observations, default_probe_pairs
+from repro.core.reconstruct import predict_observation
+from repro.mesh.geometry import TileCoord
+from repro.uncore.session import UncorePmonSession
+
+
+@pytest.fixture
+def mapped(quiet_machine):
+    session = UncorePmonSession(quiet_machine.msr, quiet_machine.n_chas)
+    sets = build_eviction_sets(quiet_machine, session)
+    return session, map_os_to_cha(quiet_machine, session, sets)
+
+
+class TestDefaultPairs:
+    def test_all_ordered_pairs(self):
+        pairs = default_probe_pairs([0, 1, 2])
+        assert len(pairs) == 6
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert (1, 1) not in pairs
+
+
+class TestCollectObservations:
+    def test_observations_match_physical_routes(self, quiet_machine, mapped):
+        """On a quiet machine the thresholded observations must equal the
+        ground-truth prediction: live CHAs on the Y-first route, with
+        truthful vertical labels."""
+        session, cha_mapping = mapped
+        pairs = default_probe_pairs(quiet_machine.os_cores())[:40]
+        observations = collect_observations(
+            quiet_machine, session, cha_mapping, pairs=pairs
+        )
+        truth_positions = {
+            cha: coord for cha, coord in enumerate(quiet_machine.instance.cha_coords)
+        }
+        for obs in observations:
+            expected = predict_observation(truth_positions, obs.source_cha, obs.sink_cha)
+            assert obs.up == expected.up
+            assert obs.down == expected.down
+            assert obs.horizontal == expected.horizontal
+
+    def test_sink_always_observed_on_quiet_machine(self, quiet_machine, mapped):
+        session, cha_mapping = mapped
+        pairs = default_probe_pairs(quiet_machine.os_cores())[:30]
+        for obs in collect_observations(quiet_machine, session, cha_mapping, pairs=pairs):
+            assert obs.sink_cha in obs.observers
+
+    def test_unmapped_core_rejected(self, quiet_machine, mapped):
+        session, cha_mapping = mapped
+        with pytest.raises(Exception):
+            collect_observations(
+                quiet_machine, session, cha_mapping, pairs=[(0, 99)]
+            )

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.core.cha_mapping import ChaMappingResult
+from repro.core.coremap import CoreMap
+from repro.core.errors import MappingError
+from repro.core.reconstruct import predict_observation, reconstruct_map
+from repro.ilp.branch_bound import BranchBoundSolver
+from repro.mesh.geometry import GridSpec, TileCoord
+from tests.core.test_ilp_formulation import all_pairs_observations
+
+
+def make_mapping(core_chas, llc_only=()):
+    return ChaMappingResult(
+        os_to_cha={i: cha for i, cha in enumerate(sorted(core_chas))},
+        llc_only_chas=frozenset(llc_only),
+        eviction_sets={},
+    )
+
+
+def truth_map(positions, core_chas, grid, llc_only=()):
+    return CoreMap(
+        grid=grid,
+        cha_positions=dict(positions),
+        os_to_cha={i: cha for i, cha in enumerate(sorted(core_chas))},
+        llc_only_chas=frozenset(llc_only),
+    )
+
+
+class TestPredictObservation:
+    def test_pure_vertical(self):
+        positions = {0: TileCoord(0, 0), 1: TileCoord(2, 0)}
+        obs = predict_observation(positions, 0, 1)
+        assert obs.down == {1}  # tile (1,0) carries no CHA
+        assert not obs.horizontal
+
+    def test_l_shaped(self):
+        positions = {0: TileCoord(0, 0), 1: TileCoord(1, 0), 2: TileCoord(1, 2)}
+        obs = predict_observation(positions, 0, 2)
+        assert obs.down == {1}  # turn tile
+        assert obs.horizontal == {2}
+
+
+class TestReconstruction:
+    def test_exact_on_small_layout(self):
+        positions = {
+            0: TileCoord(0, 0), 1: TileCoord(0, 1), 2: TileCoord(1, 0),
+            3: TileCoord(1, 1), 4: TileCoord(2, 0), 5: TileCoord(2, 1),
+        }
+        cores = set(positions)
+        grid = GridSpec(3, 2)
+        obs = all_pairs_observations(positions, cores)
+        result = reconstruct_map(obs, make_mapping(cores), grid)
+        assert result.consistent
+        assert result.core_map.equivalent(truth_map(positions, cores, grid))
+
+    def test_works_with_branch_bound_backend(self):
+        positions = {0: TileCoord(0, 0), 1: TileCoord(0, 1), 2: TileCoord(1, 0), 3: TileCoord(1, 1)}
+        cores = set(positions)
+        grid = GridSpec(2, 2)
+        obs = all_pairs_observations(positions, cores)
+        result = reconstruct_map(
+            obs, make_mapping(cores), grid, solver=BranchBoundSolver(max_nodes=50_000)
+        )
+        assert result.core_map.equivalent(truth_map(positions, cores, grid))
+
+    def test_gap_over_non_cha_tiles_recovered(self):
+        """Cores separated by a disabled tile: the refinement loop must keep
+        them apart even though positive constraints alone allow merging."""
+        positions = {
+            0: TileCoord(0, 0), 1: TileCoord(0, 1),
+            2: TileCoord(2, 0), 3: TileCoord(2, 1),  # row 1 entirely silent
+        }
+        cores = set(positions)
+        grid = GridSpec(3, 2)
+        obs = all_pairs_observations(positions, cores)
+        result = reconstruct_map(obs, make_mapping(cores), grid)
+        # Row 1 is a fully vacant CHA row: §II-D says relative placement is
+        # still correct but the gap size is unobservable -> equivalence
+        # under compaction must hold.
+        assert result.core_map.equivalent(truth_map(positions, cores, grid))
+        assert result.may_have_vacant_lines()
+
+    def test_vacant_column_compacts(self):
+        positions = {0: TileCoord(0, 0), 1: TileCoord(0, 2), 2: TileCoord(1, 0), 3: TileCoord(1, 2)}
+        cores = set(positions)
+        grid = GridSpec(2, 3)
+        obs = all_pairs_observations(positions, cores)
+        result = reconstruct_map(obs, make_mapping(cores), grid)
+        assert result.core_map.equivalent(truth_map(positions, cores, grid))
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(MappingError):
+            reconstruct_map([], make_mapping({0, 1}), GridSpec(2, 2))
+
+    def test_llc_only_located(self):
+        positions = {
+            0: TileCoord(0, 0), 1: TileCoord(1, 0), 2: TileCoord(2, 0),
+            3: TileCoord(0, 1), 4: TileCoord(1, 1), 5: TileCoord(2, 1),
+        }
+        llc_only = {4}
+        cores = set(positions) - llc_only
+        grid = GridSpec(3, 2)
+        obs = all_pairs_observations(positions, cores)
+        result = reconstruct_map(obs, make_mapping(cores, llc_only), grid)
+        expected = truth_map(positions, cores, grid, llc_only)
+        assert result.core_map.equivalent(expected)
+
+    def test_unobserved_cha_excluded_from_map(self):
+        positions = {0: TileCoord(0, 0), 1: TileCoord(1, 0)}
+        cores = {0, 1}
+        obs = all_pairs_observations(positions, cores)
+        # CHA 2 (LLC-only) never observed anything.
+        result = reconstruct_map(obs, make_mapping(cores, llc_only={2}), GridSpec(2, 2))
+        assert result.unlocated_chas == {2}
+        assert 2 not in result.core_map.cha_positions
+
+    def test_refinement_counts_reported(self):
+        positions = {
+            0: TileCoord(0, 0), 1: TileCoord(0, 1),
+            2: TileCoord(2, 0), 3: TileCoord(2, 1),
+        }
+        cores = set(positions)
+        obs = all_pairs_observations(positions, cores)
+        result = reconstruct_map(obs, make_mapping(cores), GridSpec(3, 2))
+        assert result.refinement_cuts >= 0
+        assert result.consistent

@@ -1,0 +1,96 @@
+"""Property-based validation of the reconstruction.
+
+Two regimes:
+
+* **dense layouts** (CHAs on ≥ 75 % of tiles — the regime of every real
+  SKU, e.g. 26 CHAs on 28 slots): synthesising ideal step-2 observations
+  and reconstructing must return the original layout up to the provable
+  ambiguities (horizontal mirror, vacant-line compaction, unlocatable
+  CHAs, and — iff no vertical ingress was ever observed — vertical flip).
+* **sparse layouts**: several physically different layouts can induce
+  identical observations, so the guarantee weakens to *observation
+  equivalence*: the accepted layout reproduces every measurement exactly
+  (``consistent``), with all probe endpoints located.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.coremap import CoreMap
+from repro.core.reconstruct import reconstruct_map
+from repro.mesh.geometry import GridSpec, TileCoord
+from tests.core.test_ilp_formulation import all_pairs_observations
+from tests.core.test_reconstruct import make_mapping
+
+
+@st.composite
+def random_layout(draw, dense: bool):
+    n_rows = draw(st.integers(2, 4))
+    n_cols = draw(st.integers(2, 4))
+    coords = [TileCoord(r, c) for r in range(n_rows) for c in range(n_cols)]
+    if dense:
+        lo = max(4, int(np.ceil(0.75 * len(coords))))
+        n_chas = draw(st.integers(lo, len(coords)))
+    else:
+        n_chas = draw(st.integers(4, min(8, len(coords))))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    picked = rng.choice(len(coords), size=n_chas, replace=False)
+    positions = {cha: coords[int(i)] for cha, i in enumerate(sorted(picked))}
+    # Up to one LLC-only CHA (keeps at least 3 probe endpoints).
+    n_llc = draw(st.integers(0, 1))
+    llc_only = {int(i) for i in rng.choice(n_chas, size=n_llc, replace=False)}
+    return GridSpec(n_rows, n_cols), positions, frozenset(llc_only)
+
+
+def _flipped_vertically(core_map: CoreMap) -> CoreMap:
+    h = core_map.grid.n_rows - 1
+    return CoreMap(
+        grid=core_map.grid,
+        cha_positions={
+            cha: TileCoord(h - p.row, p.col) for cha, p in core_map.cha_positions.items()
+        },
+        os_to_cha=dict(core_map.os_to_cha),
+        llc_only_chas=core_map.llc_only_chas,
+    )
+
+
+def _run(layout):
+    grid, positions, llc_only = layout
+    cores = set(positions) - llc_only
+    observations = all_pairs_observations(positions, cores)
+    result = reconstruct_map(observations, make_mapping(cores, llc_only), grid)
+    truth = CoreMap(
+        grid=grid,
+        cha_positions=positions,
+        os_to_cha={i: cha for i, cha in enumerate(sorted(cores))},
+        llc_only_chas=llc_only,
+    )
+    return observations, result, truth, cores
+
+
+@given(random_layout(dense=True))
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_dense_layouts_reconstruct_exactly(layout):
+    observations, result, truth, cores = _run(layout)
+    assert result.consistent
+    located = frozenset(result.core_map.cha_positions)
+    assert located >= cores
+    restricted = truth.restricted_to(located)
+    candidates = [restricted]
+    if not any(obs.up or obs.down for obs in observations):
+        candidates.append(_flipped_vertically(restricted))
+    assert any(result.core_map.equivalent(c) for c in candidates), (
+        f"\n{truth.render()}\n--- vs ---\n{result.core_map.render()}"
+    )
+
+
+@given(random_layout(dense=False))
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_sparse_layouts_reconstruct_observation_equivalently(layout):
+    observations, result, truth, cores = _run(layout)
+    # Sparse observations may not pin the physical truth, but the accepted
+    # layout must explain every one of them, with all endpoints placed.
+    assert result.consistent
+    assert frozenset(result.core_map.cha_positions) >= cores

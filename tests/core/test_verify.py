@@ -1,0 +1,50 @@
+from repro.core.coremap import CoreMap
+from repro.core.verify import thermal_verify_map
+from repro.util.rng import derive_rng
+
+
+class TestThermalVerifyMap:
+    def test_neighbours_confirmed_on_true_map(self, quiet_machine):
+        """§V-D on ground truth: with a quiet machine, the best sender for
+        every checked receiver must be a map neighbour."""
+        core_map = CoreMap.from_instance(quiet_machine.instance)
+        receivers = sorted(core_map.os_to_cha)[:4]
+        report = thermal_verify_map(
+            quiet_machine,
+            core_map,
+            derive_rng(0, "verify"),
+            n_bits=32,
+            receivers=receivers,
+        )
+        assert not report.exceptions
+        assert report.confirmation_rate == 1.0
+
+    def test_receivers_without_vertical_neighbour_skipped(self, quiet_machine):
+        core_map = CoreMap.from_instance(quiet_machine.instance)
+        lonely = [
+            os
+            for os in core_map.os_to_cha
+            if not any(
+                d in ("up", "down") for d in core_map.neighbor_os_cores(os)
+            )
+        ]
+        if lonely:
+            report = thermal_verify_map(
+                quiet_machine,
+                core_map,
+                derive_rng(1, "verify"),
+                n_bits=24,
+                receivers=lonely[:1],
+            )
+            assert report.skipped == lonely[:1]
+            assert report.confirmation_rate == 1.0  # nothing checked
+
+    def test_ber_matrix_complete(self, quiet_machine):
+        core_map = CoreMap.from_instance(quiet_machine.instance)
+        receivers = sorted(core_map.os_to_cha)[:2]
+        report = thermal_verify_map(
+            quiet_machine, core_map, derive_rng(2, "verify"), n_bits=24, receivers=receivers
+        )
+        n_cores = len(core_map.os_to_cha)
+        assert len(report.ber) == 2 * (n_cores - 1)
+        assert all(0.0 <= b <= 1.0 for b in report.ber.values())

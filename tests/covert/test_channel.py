@@ -1,0 +1,109 @@
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.covert.channel import ChannelConfig, ChannelSpec, run_concurrent, run_transmission
+from repro.covert.encoding import random_payload
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def vertical_pair(quiet_machine):
+    cmap = CoreMap.from_instance(quiet_machine.instance)
+    return cmap.vertical_neighbor_pairs()[0]
+
+
+class TestChannelConfig:
+    def test_sample_dt(self):
+        config = ChannelConfig(bit_rate=2.0, samples_per_bit=10)
+        assert config.sample_dt == pytest.approx(0.05)
+
+    def test_warmup_alternates(self):
+        assert ChannelConfig(warmup_bits=4).warmup == [0, 1, 0, 1]
+
+    def test_odd_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(samples_per_bit=9)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(bit_rate=0)
+
+
+class TestChannelSpec:
+    def test_receiver_cannot_send(self):
+        with pytest.raises(ValueError):
+            ChannelSpec((1,), 1, (1, 0))
+
+    def test_needs_payload(self):
+        with pytest.raises(ValueError):
+            ChannelSpec((1,), 2, ())
+
+
+class TestSingleChannel:
+    def test_quiet_vertical_1hop_is_error_free(self, quiet_machine, vertical_pair):
+        sender, receiver = vertical_pair
+        payload = random_payload(60, derive_rng(0, "p"))
+        result = run_transmission(
+            quiet_machine, [sender], receiver, payload, ChannelConfig(bit_rate=2.0)
+        )
+        assert result.ber == 0.0
+        assert result.decoded == payload
+        assert result.duration_seconds == pytest.approx((4 + 16 + 60) / 2.0)
+
+    def test_higher_rate_is_worse_or_equal(self, clx_instance, vertical_pair):
+        from repro.sim import build_machine
+
+        sender, receiver = vertical_pair
+        payload = random_payload(120, derive_rng(1, "p"))
+        bers = []
+        for rate in (2.0, 16.0):
+            machine = build_machine(clx_instance, seed=9)
+            result = run_transmission(
+                machine, [sender], receiver, payload, ChannelConfig(bit_rate=rate)
+            )
+            bers.append(result.ber)
+        assert bers[1] >= bers[0]
+        assert bers[1] > 0.05  # 16 bps is beyond the channel's bandwidth
+
+    def test_result_bookkeeping(self, quiet_machine, vertical_pair):
+        sender, receiver = vertical_pair
+        payload = random_payload(30, derive_rng(2, "p"))
+        result = run_transmission(
+            quiet_machine, [sender], receiver, payload, ChannelConfig(bit_rate=4.0)
+        )
+        assert result.errors == round(result.ber * len(payload))
+        assert len(result.samples) > 30 * 10
+
+
+class TestConcurrent:
+    def test_disjoint_cores_enforced(self, quiet_machine):
+        spec_a = ChannelSpec((0,), 1, (1, 0))
+        spec_b = ChannelSpec((1,), 2, (1, 0))  # core 1 reused
+        with pytest.raises(ValueError):
+            run_concurrent(quiet_machine, [spec_a, spec_b], ChannelConfig())
+
+    def test_equal_payload_lengths_enforced(self, quiet_machine):
+        spec_a = ChannelSpec((0,), 1, (1, 0))
+        spec_b = ChannelSpec((2,), 3, (1, 0, 1))
+        with pytest.raises(ValueError):
+            run_concurrent(quiet_machine, [spec_a, spec_b], ChannelConfig())
+
+    def test_empty_rejected(self, quiet_machine):
+        with pytest.raises(ValueError):
+            run_concurrent(quiet_machine, [], ChannelConfig())
+
+    def test_two_distant_channels_both_decode(self, quiet_machine):
+        cmap = CoreMap.from_instance(quiet_machine.instance)
+        pairs = cmap.vertical_neighbor_pairs()
+        # Choose two pairs with disjoint cores.
+        (s1, r1) = pairs[0]
+        s2, r2 = next(
+            (s, r) for s, r in pairs[1:] if len({s, r, s1, r1}) == 4
+        )
+        rng = derive_rng(3, "p")
+        specs = [
+            ChannelSpec((s1,), r1, tuple(random_payload(40, rng))),
+            ChannelSpec((s2,), r2, tuple(random_payload(40, rng))),
+        ]
+        results = run_concurrent(quiet_machine, specs, ChannelConfig(bit_rate=1.0))
+        assert all(r.ber <= 0.1 for r in results)

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.covert.encoding import (
+    SIGNATURE,
+    manchester_decode_levels,
+    manchester_encode,
+    random_payload,
+)
+
+
+class TestManchester:
+    def test_bit_conventions(self):
+        assert manchester_encode([1]) == [1, 0]  # stress then idle
+        assert manchester_encode([0]) == [0, 1]
+
+    def test_dc_balance(self):
+        """Every bit spends exactly one half stressed: no thermal drift."""
+        levels = manchester_encode([1, 1, 1, 1, 0, 0, 0, 0])
+        assert sum(levels) == len(levels) // 2
+
+    def test_transition_every_bit(self):
+        levels = manchester_encode([1, 1, 0, 0])
+        for i in range(0, len(levels), 2):
+            assert levels[i] != levels[i + 1]
+
+    @given(st.lists(st.integers(0, 1), max_size=128))
+    def test_roundtrip(self, bits):
+        assert manchester_decode_levels(manchester_encode(bits)) == bits
+
+    def test_decode_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            manchester_decode_levels([1])
+
+    def test_decode_rejects_invalid_pair(self):
+        with pytest.raises(ValueError):
+            manchester_decode_levels([1, 1])
+
+    def test_encode_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            manchester_encode([2])
+
+
+class TestSignature:
+    def test_length_and_content(self):
+        assert len(SIGNATURE) == 16
+        assert set(SIGNATURE) <= {0, 1}
+
+    def test_not_trivially_periodic(self):
+        # A shifted copy should disagree with itself in several positions —
+        # the property that makes offset search unambiguous.
+        for shift in range(1, 8):
+            disagreements = sum(
+                1
+                for i in range(len(SIGNATURE) - shift)
+                if SIGNATURE[i] != SIGNATURE[i + shift]
+            )
+            assert disagreements >= 2
+
+
+class TestRandomPayload:
+    def test_length_and_alphabet(self):
+        bits = random_payload(100, np.random.default_rng(0))
+        assert len(bits) == 100
+        assert set(bits) <= {0, 1}
+
+    def test_balanced_ish(self):
+        bits = random_payload(2000, np.random.default_rng(1))
+        assert 0.4 < sum(bits) / len(bits) < 0.6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_payload(-1, np.random.default_rng(0))

@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.covert.channel import ChannelConfig, run_transmission
+from repro.covert.encoding import random_payload
+from repro.covert.external import ExternalProbe, run_external_transmission
+from repro.sim import build_machine
+from repro.thermal.sensors import SensorModel
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def setup(clx_instance):
+    machine = build_machine(clx_instance, seed=80)
+    cmap = CoreMap.from_instance(clx_instance)
+    sender, receiver = cmap.vertical_neighbor_pairs()[0]
+    return machine, cmap, sender, receiver
+
+
+class TestExternalProbe:
+    def test_zero_radius_reads_target_tile(self, setup):
+        machine, cmap, sender, _ = setup
+        target = machine.instance.coord_of_os_core(sender)
+        probe = ExternalProbe(target, spot_radius=0, noise_sigma=0.0)
+        rng = np.random.default_rng(0)
+        assert probe.read(machine, rng) == pytest.approx(
+            machine.thermal.true_temp_c(target)
+        )
+
+    def test_spot_averages_neighbourhood(self, setup):
+        machine, cmap, sender, _ = setup
+        target = machine.instance.coord_of_os_core(sender)
+        machine.set_core_load(sender, 1.0)
+        machine.advance_time(3.0)
+        rng = np.random.default_rng(0)
+        sharp = ExternalProbe(target, spot_radius=0, noise_sigma=0.0).read(machine, rng)
+        blurred = ExternalProbe(target, spot_radius=1, noise_sigma=0.0).read(machine, rng)
+        # The hot tile dominates, but neighbours pull the average down.
+        assert blurred < sharp
+
+    def test_validation(self, setup):
+        _, _, sender, _ = setup
+        from repro.mesh.geometry import TileCoord
+
+        with pytest.raises(ValueError):
+            ExternalProbe(TileCoord(0, 0), spot_radius=-1)
+        with pytest.raises(ValueError):
+            ExternalProbe(TileCoord(0, 0), noise_sigma=-0.1)
+
+
+class TestExternalChannel:
+    def test_external_channel_decodes(self, setup):
+        machine, cmap, sender, receiver = setup
+        target = machine.instance.coord_of_os_core(receiver)
+        payload = random_payload(80, derive_rng(0, "ext"))
+        result = run_external_transmission(
+            machine,
+            sender,
+            ExternalProbe(target, spot_radius=0),
+            payload,
+            ChannelConfig(bit_rate=8.0),
+            derive_rng(1, "probe"),
+        )
+        assert result.ber < 0.05
+
+    def test_external_beats_internal_at_speed(self, clx_instance):
+        """No 1 C quantisation -> the external channel carries higher rates."""
+        cmap = CoreMap.from_instance(clx_instance)
+        sender, receiver = cmap.vertical_neighbor_pairs()[0]
+        payload = random_payload(120, derive_rng(2, "ext"))
+        rate = 12.0
+
+        machine = build_machine(clx_instance, seed=81)
+        internal = run_transmission(
+            machine, [sender], receiver, payload, ChannelConfig(bit_rate=rate)
+        )
+        machine2 = build_machine(clx_instance, seed=81)
+        target = machine2.instance.coord_of_os_core(receiver)
+        external = run_external_transmission(
+            machine2, sender, ExternalProbe(target), payload,
+            ChannelConfig(bit_rate=rate), derive_rng(3, "probe"),
+        )
+        assert external.ber <= internal.ber
+
+    def test_external_channel_bypasses_sensor_defence(self, clx_instance):
+        """§IV: degrading the internal sensor does not touch the external
+        channel — the motivation for the paper's external-attack remark."""
+        cmap = CoreMap.from_instance(clx_instance)
+        sender, receiver = cmap.vertical_neighbor_pairs()[0]
+        payload = random_payload(100, derive_rng(4, "ext"))
+        crippled = SensorModel(quantum=8.0, update_period=1.0)
+
+        machine = build_machine(clx_instance, seed=82, sensor=crippled)
+        internal = run_transmission(
+            machine, [sender], receiver, payload, ChannelConfig(bit_rate=4.0)
+        )
+        machine2 = build_machine(clx_instance, seed=82, sensor=crippled)
+        target = machine2.instance.coord_of_os_core(receiver)
+        external = run_external_transmission(
+            machine2, sender, ExternalProbe(target), payload,
+            ChannelConfig(bit_rate=4.0), derive_rng(5, "probe"),
+        )
+        assert internal.ber > 0.2  # defence works against the MSR path
+        assert external.ber < 0.02  # and is irrelevant to physical access

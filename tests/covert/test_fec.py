@@ -1,0 +1,44 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.covert.fec import hamming74_decode, hamming74_encode
+
+
+class TestHamming74:
+    def test_roundtrip_clean(self):
+        data = [1, 0, 1, 1, 0, 0, 1, 0]
+        code = hamming74_encode(data)
+        decoded, corrected = hamming74_decode(code)
+        assert decoded == data
+        assert corrected == 0
+
+    def test_padding_to_nibble(self):
+        code = hamming74_encode([1, 0, 1])
+        decoded, _ = hamming74_decode(code)
+        assert decoded[:3] == [1, 0, 1]
+        assert decoded[3] == 0
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=4), st.integers(0, 6))
+    def test_corrects_any_single_bit_error(self, nibble, flip_pos):
+        code = hamming74_encode(nibble)
+        corrupted = list(code)
+        corrupted[flip_pos] ^= 1
+        decoded, corrected = hamming74_decode(corrupted)
+        assert decoded == nibble
+        assert corrected == 1
+
+    def test_block_independence(self):
+        data = [1, 1, 1, 1, 0, 0, 0, 0]
+        code = hamming74_encode(data)
+        corrupted = list(code)
+        corrupted[2] ^= 1  # error in first block only
+        decoded, corrected = hamming74_decode(corrupted)
+        assert decoded == data
+        assert corrected == 1
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            hamming74_decode([0] * 6)
+        with pytest.raises(ValueError):
+            hamming74_encode([2])

@@ -1,0 +1,35 @@
+import pytest
+
+from repro.covert.metrics import MeasurementPoint
+
+
+class TestMeasurementPoint:
+    def test_ber(self):
+        p = MeasurementPoint("x", 4.0, 1000, 25)
+        assert p.ber == 0.025
+
+    def test_interval_brackets_ber(self):
+        p = MeasurementPoint("x", 4.0, 1000, 25)
+        lo, hi = p.ber_interval
+        assert lo < p.ber < hi
+
+    def test_capacity_uses_aggregate_rate(self):
+        p = MeasurementPoint("x", 2.0, 100, 0, aggregate_rate=16.0)
+        assert p.capacity_bps == pytest.approx(16.0)
+
+    def test_capacity_degrades_with_errors(self):
+        clean = MeasurementPoint("x", 4.0, 1000, 0)
+        dirty = MeasurementPoint("x", 4.0, 1000, 100)
+        assert dirty.capacity_bps < clean.capacity_bps
+
+    def test_row_formatting(self):
+        row = MeasurementPoint("label", 4.0, 200, 3).row()
+        assert row[0] == "label"
+        assert row[2] == "1.50%"
+        assert row[4] == "3/200"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementPoint("x", 1.0, 0, 0)
+        with pytest.raises(ValueError):
+            MeasurementPoint("x", 1.0, 10, 11)

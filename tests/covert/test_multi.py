@@ -1,0 +1,102 @@
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.covert.multi import (
+    best_surrounded_receiver,
+    multi_channel_measurement,
+    multi_sender_measurement,
+    pick_vertical_pairs,
+    surrounding_senders,
+)
+from repro.mesh.geometry import TileCoord
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def cmap(clx_instance):
+    return CoreMap.from_instance(clx_instance)
+
+
+class TestSurroundingSenders:
+    def test_senders_are_adjacent_tiles(self, cmap):
+        receiver = best_surrounded_receiver(cmap)
+        pos = cmap.position_of_os_core(receiver)
+        for sender in surrounding_senders(cmap, receiver, 8):
+            s_pos = cmap.position_of_os_core(sender)
+            assert max(abs(s_pos.row - pos.row), abs(s_pos.col - pos.col)) == 1
+
+    def test_vertical_neighbours_preferred(self, cmap):
+        receiver = best_surrounded_receiver(cmap)
+        first = surrounding_senders(cmap, receiver, 1)[0]
+        pos = cmap.position_of_os_core(receiver)
+        f_pos = cmap.position_of_os_core(first)
+        assert f_pos.col == pos.col and abs(f_pos.row - pos.row) == 1
+
+    def test_at_most_eight(self, cmap):
+        with pytest.raises(ValueError):
+            surrounding_senders(cmap, 0, 9)
+
+    def test_best_receiver_is_well_surrounded(self, cmap):
+        receiver = best_surrounded_receiver(cmap)
+        assert len(surrounding_senders(cmap, receiver, 8)) >= 4
+
+
+class TestPickVerticalPairs:
+    def test_pairs_are_vertical_neighbours(self, cmap):
+        for sender, receiver in pick_vertical_pairs(cmap, 4):
+            s = cmap.position_of_os_core(sender)
+            r = cmap.position_of_os_core(receiver)
+            assert s.col == r.col and abs(s.row - r.row) == 1
+
+    def test_pairs_disjoint(self, cmap):
+        pairs = pick_vertical_pairs(cmap, 8)
+        cores = [c for pair in pairs for c in pair]
+        assert len(cores) == len(set(cores)) == 16
+
+    def test_receivers_isolated_from_foreign_senders(self, cmap):
+        """The greedy must avoid receiver-to-foreign-sender adjacency when
+        the die allows it (it does for 4 pairs on a 28-tile grid)."""
+        pairs = pick_vertical_pairs(cmap, 4)
+        for s, r in pairs:
+            r_pos = cmap.position_of_os_core(r)
+            for other_s, _ in pairs:
+                if other_s == s:
+                    continue
+                o_pos = cmap.position_of_os_core(other_s)
+                assert abs(o_pos.row - r_pos.row) + abs(o_pos.col - r_pos.col) > 1
+
+    def test_too_many_pairs_rejected(self, cmap):
+        with pytest.raises(ValueError):
+            pick_vertical_pairs(cmap, 13)
+
+    def test_positive_count_required(self, cmap):
+        with pytest.raises(ValueError):
+            pick_vertical_pairs(cmap, 0)
+
+
+class TestMeasurements:
+    def test_multi_sender_reduces_errors_at_speed(self, clx_instance, cmap):
+        from repro.sim import build_machine
+
+        rng = derive_rng(0, "payload")
+        bers = []
+        for n_senders in (1, 4):
+            machine = build_machine(clx_instance, seed=11)
+            point = multi_sender_measurement(
+                machine, cmap, n_senders, bit_rate=8.0, n_bits=150, rng=rng
+            )
+            bers.append(point.ber)
+        assert bers[1] <= bers[0]
+        assert bers[0] > 0.02  # one sender at 8 bps does make errors
+
+    def test_multi_channel_aggregate_rate(self, clx_instance, cmap):
+        from repro.sim import build_machine
+
+        machine = build_machine(clx_instance, seed=12)
+        point = multi_channel_measurement(
+            machine, cmap, n_channels=4, per_channel_rate=2.0, n_bits=50,
+            rng=derive_rng(1, "payload"),
+        )
+        assert point.aggregate_rate == pytest.approx(8.0)
+        assert point.n_bits == 200
+        assert point.ber <= 0.05

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.covert.encoding import manchester_encode
+from repro.covert.receiver import DetectorKind, bit_scores, detect_bits
+
+
+def synth_samples(bits, samples_per_bit, amplitude=3.0, offset=0, noise=0.0, rng=None):
+    """Triangular thermal response of a Manchester stream: rises during
+    stress halves, falls during idle halves."""
+    levels = manchester_encode(bits)
+    half = samples_per_bit // 2
+    samples = [0.0] * offset
+    value = 0.0
+    for level in levels:
+        for _ in range(half):
+            value += (amplitude if level else -amplitude) / half
+            samples.append(value)
+    samples.extend([value] * (samples_per_bit + 1))
+    out = np.array(samples)
+    if noise and rng is not None:
+        out = out + rng.normal(0, noise, size=len(out))
+    return out
+
+
+class TestSlopeDetector:
+    def test_clean_signal(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        samples = synth_samples(bits, 10)
+        assert detect_bits(samples, 10, len(bits)) == bits
+
+    def test_offset_respected(self):
+        bits = [1, 0, 0, 1]
+        samples = synth_samples(bits, 10, offset=7)
+        assert detect_bits(samples, 10, len(bits), offset=7) == bits
+
+    def test_immune_to_linear_drift(self):
+        bits = [1, 0, 1, 0, 1, 1, 0]
+        samples = synth_samples(bits, 10)
+        drift = np.linspace(0, 0.5, len(samples))  # slow ambient warm-up
+        assert detect_bits(samples + drift, 10, len(bits)) == bits
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(0)
+        bits = [1, 0, 1, 1, 0, 1, 0, 0] * 4
+        samples = synth_samples(bits, 10, amplitude=3.0, noise=0.4, rng=rng)
+        decoded = detect_bits(samples, 10, len(bits))
+        errors = sum(1 for a, b in zip(bits, decoded) if a != b)
+        assert errors <= 2
+
+
+class TestLevelDetector:
+    def test_scores_produced(self):
+        bits = [1, 0, 1]
+        samples = synth_samples(bits, 10)
+        scores = bit_scores(samples, 10, len(bits), detector=DetectorKind.LEVEL)
+        assert scores.shape == (3,)
+
+
+class TestValidation:
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            detect_bits(np.zeros(5), 10, 1)
+
+    def test_min_samples_per_bit(self):
+        with pytest.raises(ValueError):
+            detect_bits(np.zeros(100), 1, 3)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            detect_bits(np.zeros(100), 10, 3, offset=-1)

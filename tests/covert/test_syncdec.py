@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.covert.encoding import SIGNATURE
+from repro.covert.syncdec import synchronize
+from tests.covert.test_receiver import synth_samples
+
+
+class TestSynchronize:
+    def test_finds_true_offset(self):
+        # The slope detector tolerates a couple of samples of skew, so any
+        # offset in that tolerance band is a correct lock — what matters is
+        # that the signature (and hence the payload) decodes cleanly there.
+        from repro.covert.receiver import detect_bits
+
+        payload = [1, 0, 1, 1]
+        for true_offset in (0, 3, 9, 14):
+            samples = synth_samples(list(SIGNATURE) + payload, 10, offset=true_offset)
+            sync = synchronize(samples, 10, SIGNATURE, max_offset=20)
+            assert abs(sync.offset - true_offset) <= 2
+            assert sync.signature_errors == 0
+            decoded = detect_bits(
+                samples, 10, len(payload), sync.offset + len(SIGNATURE) * 10
+            )
+            assert decoded == payload
+
+    def test_prefers_fewest_signature_errors(self):
+        samples = synth_samples(list(SIGNATURE), 10, offset=5)
+        sync = synchronize(samples, 10, SIGNATURE, max_offset=12)
+        competing = synchronize(samples, 10, SIGNATURE, max_offset=5)
+        assert sync.signature_errors <= competing.signature_errors
+
+    def test_with_noise(self):
+        rng = np.random.default_rng(0)
+        samples = synth_samples(
+            list(SIGNATURE) + [0, 1], 10, offset=8, noise=0.3, rng=rng
+        )
+        sync = synchronize(samples, 10, SIGNATURE, max_offset=20)
+        assert abs(sync.offset - 8) <= 1
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(ValueError):
+            synchronize(np.zeros(10), 10, SIGNATURE)
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(ValueError):
+            synchronize(np.zeros(1000), 10, ())
+
+    def test_default_search_window(self):
+        samples = synth_samples(list(SIGNATURE), 10, offset=0)
+        sync = synchronize(samples, 10, SIGNATURE)
+        assert sync.offset == 0

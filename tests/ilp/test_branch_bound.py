@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.ilp.branch_bound import BranchBoundSolver
+from repro.ilp.model import Model, lin_sum
+from repro.ilp.solution import SolveStatus
+
+
+def knapsack_model(values, weights, capacity):
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(len(values))]
+    m.add_constraint(lin_sum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.minimize(lin_sum(-v * x for v, x in zip(values, xs)))
+    return m, xs
+
+
+class TestBranchBound:
+    @pytest.mark.parametrize("relaxation", ["highs", "simplex"])
+    def test_knapsack(self, relaxation):
+        values = [10, 13, 7, 8]
+        weights = [3, 4, 2, 3]
+        m, xs = knapsack_model(values, weights, 7)
+        sol = BranchBoundSolver(relaxation=relaxation).solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        # Best subset: items 0 and 1 (weight 7, value 23).
+        assert sol.objective == pytest.approx(-23.0)
+        assert sol.int_value_of(xs[0]) == 1
+        assert sol.int_value_of(xs[1]) == 1
+
+    def test_integer_rounding_matters(self):
+        # LP relaxation optimum is fractional; MILP must move off it.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add_constraint(2 * x + 3 * y <= 12)
+        m.minimize(-3 * x - 4 * y)
+        sol = BranchBoundSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        x_val, y_val = sol.int_value_of(x), sol.int_value_of(y)
+        assert 2 * x_val + 3 * y_val <= 12
+        assert -3 * x_val - 4 * y_val == pytest.approx(sol.objective)
+        assert sol.objective == pytest.approx(-18.0)  # x=6, y=0
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_integer("x", 0, 5)
+        m.add_constraint(x >= 3)
+        m.add_constraint(x <= 2)
+        m.minimize(x)
+        assert BranchBoundSolver().solve(m).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_integer("x", 0, float("inf"))
+        m.minimize(-x)
+        assert BranchBoundSolver().solve(m).status is SolveStatus.UNBOUNDED
+
+    def test_pure_lp_passthrough(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 4)
+        m.minimize(-x)
+        sol = BranchBoundSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.values[0] == pytest.approx(4.0)
+
+    def test_node_limit_reported(self):
+        # A tiny node budget on a problem needing branching.
+        values = list(range(1, 11))
+        weights = [v + 1 for v in values]
+        m, _ = knapsack_model(values, weights, 17)
+        sol = BranchBoundSolver(max_nodes=1).solve(m)
+        assert sol.status in (SolveStatus.NODE_LIMIT, SolveStatus.OPTIMAL)
+
+    def test_solution_is_feasible_for_model(self):
+        values = [4, 5, 6, 7, 9]
+        weights = [2, 3, 4, 5, 6]
+        m, _ = knapsack_model(values, weights, 10)
+        sol = BranchBoundSolver().solve(m)
+        assert m.is_feasible(sol.values)

@@ -1,0 +1,128 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.ilp.model import LinearExpr, Model, Sense, VarType, lin_sum
+
+
+class TestVariableCreation:
+    def test_kinds(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 5)
+        y = m.add_integer("y", 0, 3)
+        z = m.add_binary("z")
+        assert x.var_type is VarType.CONTINUOUS
+        assert y.var_type is VarType.INTEGER
+        assert z.var_type is VarType.BINARY
+        assert (z.lo, z.hi) == (0.0, 1.0)
+
+    def test_indices_sequential(self):
+        m = Model()
+        assert m.add_binary("a").index == 0
+        assert m.add_binary("b").index == 1
+
+    def test_invalid_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_continuous("x", 5, 1)
+
+
+class TestExpressions:
+    def test_addition_and_scaling(self):
+        m = Model()
+        x, y = m.add_continuous("x"), m.add_continuous("y")
+        expr = 2 * x + y - 3
+        assert expr.coeffs == {0: 2.0, 1: 1.0}
+        assert expr.constant == -3.0
+
+    def test_subtraction_cancels(self):
+        m = Model()
+        x = m.add_continuous("x")
+        expr = (x + 1) - (x + 1)
+        assert expr.coeffs.get(0, 0.0) == 0.0
+        assert expr.constant == 0.0
+
+    def test_negation(self):
+        m = Model()
+        x = m.add_continuous("x")
+        assert (-x).coeffs == {0: -1.0}
+
+    def test_rsub(self):
+        m = Model()
+        x = m.add_continuous("x")
+        expr = 5 - x
+        assert expr.coeffs == {0: -1.0}
+        assert expr.constant == 5.0
+
+    def test_lin_sum(self):
+        m = Model()
+        xs = [m.add_binary(f"b{i}") for i in range(3)]
+        total = lin_sum(xs)
+        assert total.coeffs == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_nonlinear_rejected(self):
+        m = Model()
+        x = m.add_continuous("x")
+        with pytest.raises(TypeError):
+            x * x  # noqa: B018
+
+    def test_evaluate(self):
+        m = Model()
+        x, y = m.add_continuous("x"), m.add_continuous("y")
+        expr = 2 * x - y + 1
+        assert expr.evaluate(np.array([3.0, 4.0])) == pytest.approx(3.0)
+
+
+class TestConstraints:
+    def test_senses(self):
+        m = Model()
+        x = m.add_continuous("x")
+        assert (x <= 5).sense is Sense.LE
+        assert (x >= 2).sense is Sense.GE
+        assert x.eq(3).sense is Sense.EQ
+
+    def test_violation(self):
+        m = Model()
+        x = m.add_continuous("x")
+        con = x <= 5
+        assert con.violation(np.array([7.0])) == pytest.approx(2.0)
+        assert con.violation(np.array([4.0])) == 0.0
+
+    def test_add_constraint_rejects_non_constraint(self):
+        m = Model()
+        with pytest.raises(TypeError):
+            m.add_constraint(True)  # e.g. accidental `x == y` on Variables
+
+
+class TestToArrays:
+    def test_normalisation(self):
+        m = Model()
+        x = m.add_integer("x", 0, 4)
+        y = m.add_continuous("y", 0, math.inf)
+        m.add_constraint(x + y <= 7)
+        m.add_constraint(x - y >= 1)
+        m.add_constraint((x + 2 * y).make_eq(5))
+        m.minimize(x - y)
+        arrays = m.to_arrays()
+        assert arrays.a_ub.shape == (2, 2)
+        assert arrays.a_eq.shape == (1, 2)
+        # GE rows are negated into <=.
+        assert arrays.a_ub[1].tolist() == [-1.0, 1.0]
+        assert arrays.b_ub[1] == -1.0
+        assert arrays.integrality.tolist() == [1, 0]
+
+    def test_is_feasible_checks_everything(self):
+        m = Model()
+        x = m.add_integer("x", 0, 4)
+        m.add_constraint(x <= 2)
+        assert m.is_feasible(np.array([2.0]))
+        assert not m.is_feasible(np.array([3.0]))  # constraint
+        assert not m.is_feasible(np.array([1.5]))  # integrality
+        assert not m.is_feasible(np.array([-1.0]))  # bound
+
+    def test_objective_value(self):
+        m = Model()
+        x = m.add_continuous("x")
+        m.minimize(3 * x + 2)
+        assert m.objective_value(np.array([4.0])) == pytest.approx(14.0)

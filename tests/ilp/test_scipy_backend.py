@@ -1,0 +1,85 @@
+import pytest
+
+from repro.ilp.model import Model, lin_sum
+from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.ilp.solution import SolveStatus
+
+
+class TestScipyMilpSolver:
+    def test_simple_milp(self):
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add_constraint(2 * x + 3 * y <= 12)
+        m.minimize(-3 * x - 4 * y)
+        sol = ScipyMilpSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-18.0)
+
+    def test_equality_and_binary(self):
+        m = Model()
+        bs = [m.add_binary(f"b{i}") for i in range(5)]
+        m.add_constraint(lin_sum(bs).make_eq(2))
+        m.minimize(lin_sum((i + 1) * b for i, b in enumerate(bs)))
+        sol = ScipyMilpSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)  # picks b0 and b1
+        assert sol.int_value_of(bs[0]) == 1
+        assert sol.int_value_of(bs[1]) == 1
+
+    def test_objective_constant_included(self):
+        m = Model()
+        x = m.add_integer("x", 0, 3)
+        m.minimize(x + 100)
+        sol = ScipyMilpSolver().solve(m)
+        assert sol.objective == pytest.approx(100.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x >= 2)
+        m.minimize(x)
+        assert ScipyMilpSolver().solve(m).status is SolveStatus.INFEASIBLE
+
+    def test_values_snapped_to_integers(self):
+        m = Model()
+        x = m.add_integer("x", 0, 7)
+        m.add_constraint(x >= 3)
+        m.minimize(x)
+        sol = ScipyMilpSolver().solve(m)
+        assert sol.values[0] == 3.0
+        assert float(sol.values[0]).is_integer()
+
+    def test_value_of_requires_success(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x >= 2)
+        m.minimize(x)
+        sol = ScipyMilpSolver().solve(m)
+        with pytest.raises(RuntimeError):
+            sol.value_of(x)
+
+
+class TestBackendCrossValidation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_backends_agree_on_random_knapsacks(self, seed):
+        import numpy as np
+
+        from repro.ilp.branch_bound import BranchBoundSolver
+
+        rng = np.random.default_rng(seed)
+        n = 8
+        values = rng.integers(1, 20, size=n)
+        weights = rng.integers(1, 10, size=n)
+        capacity = int(weights.sum() // 2)
+
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(n)]
+        m.add_constraint(lin_sum(int(w) * x for w, x in zip(weights, xs)) <= capacity)
+        m.minimize(lin_sum(-int(v) * x for v, x in zip(values, xs)))
+
+        highs = ScipyMilpSolver().solve(m)
+        ours = BranchBoundSolver(relaxation="highs").solve(m)
+        assert highs.status is SolveStatus.OPTIMAL
+        assert ours.status is SolveStatus.OPTIMAL
+        assert ours.objective == pytest.approx(highs.objective, abs=1e-6)

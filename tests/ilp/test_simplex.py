@@ -1,0 +1,108 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.ilp.model import Model
+from repro.ilp.simplex import LpStatus, SimplexSolver
+
+
+def solve(model: Model):
+    return SimplexSolver().solve_model(model)
+
+
+class TestBasicLps:
+    def test_simple_maximisation(self):
+        # max x + y s.t. x + 2y <= 4, 3x + y <= 6 → encoded as min of negative.
+        m = Model()
+        x, y = m.add_continuous("x"), m.add_continuous("y")
+        m.add_constraint(x + 2 * y <= 4)
+        m.add_constraint(3 * x + y <= 6)
+        m.minimize(-x - y)
+        res = solve(m)
+        assert res.status is LpStatus.OPTIMAL
+        assert res.objective == pytest.approx(-2.8)
+        assert res.x[0] == pytest.approx(1.6)
+        assert res.x[1] == pytest.approx(1.2)
+
+    def test_equality_constraints(self):
+        m = Model()
+        x, y = m.add_continuous("x"), m.add_continuous("y")
+        m.add_constraint((x + y).make_eq(10))
+        m.minimize(2 * x + y)
+        res = solve(m)
+        assert res.status is LpStatus.OPTIMAL
+        assert res.objective == pytest.approx(10.0)
+        assert res.x[1] == pytest.approx(10.0)
+
+    def test_upper_bounds_respected(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 3)
+        m.minimize(-x)
+        res = solve(m)
+        assert res.status is LpStatus.OPTIMAL
+        assert res.x[0] == pytest.approx(3.0)
+
+    def test_shifted_lower_bounds(self):
+        m = Model()
+        x = m.add_continuous("x", 2, 9)
+        m.minimize(x)
+        res = solve(m)
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_negative_rhs_needs_artificials(self):
+        # x - y <= -2 has negative rhs after slack insertion.
+        m = Model()
+        x, y = m.add_continuous("x", 0, 10), m.add_continuous("y", 0, 10)
+        m.add_constraint(x - y <= -2)
+        m.minimize(y)
+        res = solve(m)
+        assert res.status is LpStatus.OPTIMAL
+        assert res.x[1] - res.x[0] >= 2 - 1e-8
+        assert res.objective == pytest.approx(2.0)
+
+
+class TestStatuses:
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 1)
+        m.add_constraint(x >= 2)
+        m.minimize(x)
+        assert solve(m).status is LpStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_continuous("x")
+        m.minimize(-x)
+        assert solve(m).status is LpStatus.UNBOUNDED
+
+    def test_conflicting_bounds_infeasible(self):
+        m = Model()
+        m.add_continuous("x", 0, 10)
+        arrays = m.to_arrays()
+        res = SimplexSolver().solve_arrays(arrays, np.array([5.0]), np.array([4.0]))
+        assert res.status is LpStatus.INFEASIBLE
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_lps_match_highs(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        n, m_rows = 5, 4
+        c = rng.normal(size=n)
+        a = rng.normal(size=(m_rows, n))
+        b = rng.uniform(1, 5, size=m_rows)
+        model = Model()
+        xs = [model.add_continuous(f"x{i}", 0, 10) for i in range(n)]
+        for i in range(m_rows):
+            expr = sum((a[i, j] * xs[j] for j in range(n)), start=0 * xs[0])
+            model.add_constraint(expr <= b[i])
+        model.minimize(sum((c[j] * xs[j] for j in range(n)), start=0 * xs[0]))
+
+        ours = solve(model)
+        ref = linprog(c, A_ub=a, b_ub=b, bounds=[(0, 10)] * n, method="highs")
+        assert ours.status is LpStatus.OPTIMAL
+        assert ref.status == 0
+        assert ours.objective == pytest.approx(float(ref.fun), abs=1e-6)

@@ -1,0 +1,49 @@
+"""Every shipped example must run to completion as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "7")
+    assert "matches hidden ground truth (up to mirror/compaction): True" in out
+
+
+def test_icelake_mapping():
+    out = run_example("icelake_mapping.py")
+    assert "matches hidden ground truth: True" in out
+    assert "Ice Lake" in out
+
+
+def test_covert_channel():
+    out = run_example("covert_channel.py")
+    assert "physical neighbours" in out
+    assert "parallel channels" in out
+
+
+def test_persistent_attack():
+    out = run_example("persistent_attack.py")
+    assert "phase 2" in out
+    assert "exfiltrated" in out
+
+
+def test_cloud_survey_small():
+    out = run_example("cloud_survey.py", "2")
+    assert "Cloud survey" in out
+    assert "recon == truth" in out

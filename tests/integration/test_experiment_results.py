@@ -1,0 +1,68 @@
+"""Unit tests of the experiment result objects (no fleets needed)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.table1 import PAPER_TABLE1, Table1Result
+from repro.covert.metrics import MeasurementPoint
+from repro.mesh.geometry import GridSpec, TileCoord
+
+
+class TestTable1Result:
+    def _result(self):
+        row_8124 = PAPER_TABLE1["8124M"][0][1]
+        row_8175 = PAPER_TABLE1["8175M"][0][1]
+        fake = tuple(range(24))
+        return Table1Result(
+            fleet_size=5,
+            mappings={
+                "8124M": Counter({row_8124: 5}),
+                "8175M": Counter({row_8175: 4, fake: 1}),
+                "8259CL": Counter({PAPER_TABLE1["8259CL"][0][1]: 5}),
+            },
+        )
+
+    def test_top_and_match(self):
+        result = self._result()
+        assert result.matches_paper_top("8124M")
+        assert result.matches_paper_top("8175M")
+        assert result.n_variants("8175M") == 2
+
+    def test_render_flags_unknown_rows(self):
+        text = self._result().render()
+        assert "no" in text  # the fake 8175M row is not a paper row
+        assert "yes" in text
+
+
+class TestFig7Result:
+    def test_missing_pairs_render_as_na(self):
+        points = {
+            ("vertical", 1, 1.0): MeasurementPoint("v1", 1.0, 100, 0),
+        }
+        result = Fig7Result(n_bits=100, points=points)
+        text = result.render()
+        assert "n/a" in text
+        assert result.ber("vertical", 1, 1.0) == 0.0
+        with pytest.raises(KeyError):
+            result.ber("horizontal", 3, 8.0)
+
+
+class TestFig8Result:
+    def test_best_aggregate_under(self):
+        multi_channel = {
+            (4, 2.0): MeasurementPoint("x4", 2.0, 400, 0, aggregate_rate=8.0),
+            (8, 2.0): MeasurementPoint("x8", 2.0, 800, 40, aggregate_rate=16.0),
+        }
+        result = Fig8Result(n_bits=100, multi_sender={}, multi_channel=multi_channel)
+        # x8 has 5% BER -> only the clean x4 qualifies under 1%.
+        assert result.best_aggregate_under(0.01) == 8.0
+        assert result.best_aggregate_under(0.10) == 16.0
+
+    def test_empty_channels(self):
+        result = Fig8Result(n_bits=10, multi_sender={}, multi_channel={})
+        assert result.best_aggregate_under() == 0.0

@@ -1,0 +1,87 @@
+"""Smoke tests for every experiment module at miniature scale."""
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7, fig8, table1, table2, verify_map
+
+
+class TestTable1:
+    def test_small_fleet(self):
+        result = table1.run(fleet_size=3, seed=99)
+        assert result.fleet_size == 3
+        for sku in ("8124M", "8175M", "8259CL"):
+            assert sum(result.mappings[sku].values()) == 3
+        # The dominant mappings must match the paper even in tiny fleets.
+        assert result.matches_paper_top("8124M")
+        assert result.matches_paper_top("8175M")
+        assert "CHA IDs" in result.render()
+
+
+class TestTable2:
+    def test_small_fleet(self):
+        result = table2.run(fleet_size=3, seed=99)
+        for sku in ("8124M", "8175M", "8259CL"):
+            assert result.accuracy[sku] == 1.0
+            assert 1 <= result.n_unique(sku) <= 3
+        assert "recon == truth" in result.render()
+
+
+class TestFig4:
+    def test_top_patterns_rendered(self):
+        result = fig4.run(fleet_size=3, seed=99, top_k=2)
+        assert len(result.top_patterns) <= 2
+        assert result.accuracy == 1.0
+        assert "Pattern #1" in result.render()
+
+
+class TestFig5:
+    def test_icelake_mapping(self):
+        result = fig5.run(fleet_size=2, seed=99)
+        assert result.matches_paper_mapping()
+        assert result.accuracy == 1.0
+        assert "Ice Lake" in result.render()
+
+
+class TestFig6:
+    def test_trace_and_decode(self):
+        result = fig6.run(seed=99)
+        assert result.traces, "no hop traces produced"
+        one_hop = result.traces[0]
+        assert one_hop.errors <= 1
+        assert "sent data" in result.render()
+
+    def test_attenuation_with_hops(self):
+        result = fig6.run(seed=99)
+        swings = [t.samples.max() - t.samples.min() for t in result.traces]
+        assert all(a >= b for a, b in zip(swings, swings[1:]))
+        assert result.source_temps.max() - result.source_temps.min() > swings[0]
+
+
+class TestFig7:
+    def test_shape_holds(self):
+        result = fig7.run(seed=99, n_bits=120)
+        # 1-hop vertical works at 1 bps; degrades with rate.
+        assert result.ber("vertical", 1, 1.0) <= 0.05
+        assert result.ber("vertical", 1, 8.0) >= result.ber("vertical", 1, 1.0)
+        # Vertical beats horizontal at 4 bps (the paper's headline contrast).
+        assert result.ber("vertical", 1, 4.0) <= result.ber("horizontal", 1, 4.0)
+        # 3 hops is not a usable channel at speed.
+        assert result.ber("vertical", 3, 4.0) > 0.2
+        assert "(b) vertical pairs" in result.render()
+
+
+class TestFig8:
+    def test_shape_holds(self):
+        result = fig8.run(seed=99, n_bits=120)
+        # More senders never hurt at 8 bps.
+        assert result.multi_sender[(4, 8.0)].ber <= result.multi_sender[(1, 8.0)].ber
+        # Aggregate under 1% BER reaches the paper's 15 bps headline.
+        assert result.best_aggregate_under(0.01) >= 15.0
+        assert "aggregate" in result.render()
+
+
+class TestVerifyMap:
+    def test_neighbours_confirmed(self):
+        result = verify_map.run(seed=99, n_bits=24, receivers=[0, 1, 2])
+        assert result.report.confirmation_rate >= 0.66
+        assert "confirmation rate" in result.render()

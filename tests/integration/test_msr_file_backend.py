@@ -1,0 +1,35 @@
+"""The pipeline must work identically through the simulated
+``/dev/cpu/N/msr`` file tree — the code path a real deployment uses."""
+
+from repro.core.coremap import CoreMap
+from repro.core.pipeline import map_cpu
+from repro.platform import XEON_8124M, CpuInstance
+from repro.sim import build_machine
+
+
+def test_pipeline_over_msr_files(tmp_path):
+    instance = CpuInstance.generate(XEON_8124M, seed=50)
+    machine = build_machine(
+        instance,
+        seed=50,
+        msr_backend="file",
+        msr_root=str(tmp_path / "dev-cpu"),
+        with_thermal=False,
+    )
+    assert (tmp_path / "dev-cpu" / "cpu0" / "msr").exists()
+    result = map_cpu(machine)
+    assert result.core_map.equivalent(CoreMap.from_instance(instance))
+
+
+def test_file_and_memory_backends_agree(tmp_path):
+    instance_a = CpuInstance.generate(XEON_8124M, seed=51)
+    instance_b = CpuInstance.generate(XEON_8124M, seed=51)
+    mem = build_machine(instance_a, seed=51, with_thermal=False)
+    fil = build_machine(
+        instance_b, seed=51, msr_backend="file",
+        msr_root=str(tmp_path / "msr"), with_thermal=False,
+    )
+    result_mem = map_cpu(mem)
+    result_fil = map_cpu(fil)
+    assert result_mem.cha_mapping.os_to_cha == result_fil.cha_mapping.os_to_cha
+    assert result_mem.core_map.equivalent(result_fil.core_map)

@@ -1,0 +1,64 @@
+"""Failure injection: how the pipeline behaves as co-tenant noise grows."""
+
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.core.errors import MappingError
+from repro.core.pipeline import MappingConfig, map_cpu
+from repro.platform import XEON_8124M, CpuInstance
+from repro.sim import NoiseConfig, build_machine
+
+
+def test_pipeline_survives_heavy_mesh_noise():
+    """10× the default co-tenant traffic: thresholds must still separate
+    probe signal from noise (the probes are orders of magnitude stronger)."""
+    instance = CpuInstance.generate(XEON_8124M, seed=70)
+    machine = build_machine(
+        instance,
+        seed=70,
+        noise=NoiseConfig(mesh_flows_per_op=80, mesh_lines_per_flow=6),
+        with_thermal=False,
+    )
+    result = map_cpu(machine)
+    truth = CoreMap.from_instance(instance)
+    located = frozenset(result.core_map.cha_positions)
+    assert result.core_map.equivalent(truth.restricted_to(located))
+
+
+def test_weak_probes_in_heavy_noise_fail_loudly():
+    """With probe intensity far below the noise floor, the co-location test
+    must refuse to produce a mapping rather than silently hallucinate."""
+    instance = CpuInstance.generate(XEON_8124M, seed=71)
+    machine = build_machine(
+        instance,
+        seed=71,
+        noise=NoiseConfig(mesh_flows_per_op=600, mesh_lines_per_flow=40),
+        with_thermal=False,
+    )
+    feeble = MappingConfig(colocation_sweeps=1, probe_rounds=10)
+    with pytest.raises(MappingError):
+        map_cpu(machine, config=feeble)
+
+
+def test_sensor_noise_degrades_channel_gracefully():
+    from repro.covert import ChannelConfig, run_transmission
+    from repro.covert.encoding import random_payload
+    from repro.util.rng import derive_rng
+
+    instance = CpuInstance.generate(XEON_8124M, seed=72)
+    cmap = CoreMap.from_instance(instance)
+    sender, receiver = cmap.vertical_neighbor_pairs()[0]
+    payload = random_payload(150, derive_rng(0, "noise"))
+    bers = []
+    for sigma in (0.0, 1.0):
+        machine = build_machine(
+            instance,
+            seed=72,
+            noise=NoiseConfig(0, 0, thermal_power_sigma=0.0, sensor_noise_sigma=sigma),
+        )
+        result = run_transmission(
+            machine, [sender], receiver, payload, ChannelConfig(bit_rate=4.0)
+        )
+        bers.append(result.ber)
+    assert bers[0] <= bers[1]
+    assert bers[1] < 0.5  # degraded, not destroyed

@@ -1,0 +1,66 @@
+"""Experiment-runner CLI and common-plumbing tests."""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_runs_one_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BITS", "60")
+        assert main(["fig6", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "finished in" in out
+
+
+class TestCommonPlumbing:
+    def test_env_int_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TESTKNOB", raising=False)
+        assert common.env_int("REPRO_TESTKNOB", 7) == 7
+
+    def test_env_int_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TESTKNOB", "12")
+        assert common.env_int("REPRO_TESTKNOB", 7) == 12
+
+    def test_env_int_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TESTKNOB", "banana")
+        with pytest.raises(ValueError):
+            common.env_int("REPRO_TESTKNOB", 7)
+        monkeypatch.setenv("REPRO_TESTKNOB", "0")
+        with pytest.raises(ValueError):
+            common.env_int("REPRO_TESTKNOB", 7)
+
+    def test_find_hop_pair(self, clx_instance):
+        from repro.core.coremap import CoreMap
+
+        cmap = CoreMap.from_instance(clx_instance)
+        pair = common.find_hop_pair(cmap, 1, 0)
+        assert pair is not None
+        a, b = pair
+        pa, pb = cmap.position_of_os_core(a), cmap.position_of_os_core(b)
+        assert pb.row - pa.row == 1 and pa.col == pb.col
+        assert common.find_hop_pair(cmap, 9, 9) is None
+
+    def test_mapped_instance_bookkeeping(self):
+        from repro.platform.skus import SKU_CATALOG
+
+        mapped = common.map_whole_fleet(SKU_CATALOG["8124M"], 1, seed=77)[0]
+        assert mapped.correct
+        assert mapped.n_unlocated == 0
+        assert mapped.recovered_map.os_to_cha == mapped.instance.os_to_cha

@@ -1,0 +1,122 @@
+"""Map store, serialization roundtrips, and the repro-map CLI."""
+
+import json
+
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.core.observations import PathObservation
+from repro.core.pipeline import map_cpu
+from repro.store import (
+    MapDatabase,
+    core_map_from_dict,
+    core_map_to_dict,
+    observations_from_list,
+    observations_to_list,
+)
+from repro.tools.map_cli import main as cli_main
+
+
+class TestSerialization:
+    def test_core_map_roundtrip(self, clx_instance):
+        original = CoreMap.from_instance(clx_instance)
+        restored = core_map_from_dict(core_map_to_dict(original))
+        assert restored.cha_positions == original.cha_positions
+        assert restored.os_to_cha == original.os_to_cha
+        assert restored.llc_only_chas == original.llc_only_chas
+        assert restored.imc_coords == original.imc_coords
+        assert restored.equivalent(original)
+
+    def test_json_clean(self, clx_instance):
+        encoded = json.dumps(core_map_to_dict(CoreMap.from_instance(clx_instance)))
+        assert "TileCoord" not in encoded
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            core_map_from_dict({"version": 999})
+
+    def test_observation_roundtrip(self):
+        obs = [
+            PathObservation(0, 5, up=frozenset({2}), horizontal=frozenset({5})),
+            PathObservation(3, 1, down=frozenset({1})),
+        ]
+        assert observations_from_list(observations_to_list(obs)) == obs
+
+    def test_observation_replay_reconstructs(self, quiet_machine):
+        """Record raw observations, replay the reconstruction offline."""
+        from repro.core.cha_mapping import build_eviction_sets, map_os_to_cha
+        from repro.core.probes import collect_observations
+        from repro.core.reconstruct import reconstruct_map
+        from repro.uncore.session import UncorePmonSession
+
+        session = UncorePmonSession(quiet_machine.msr, quiet_machine.n_chas)
+        sets = build_eviction_sets(quiet_machine, session)
+        cha_mapping = map_os_to_cha(quiet_machine, session, sets)
+        observations = collect_observations(quiet_machine, session, cha_mapping)
+        replayed = observations_from_list(
+            json.loads(json.dumps(observations_to_list(observations)))
+        )
+        result = reconstruct_map(
+            replayed, cha_mapping, quiet_machine.instance.sku.die.grid
+        )
+        truth = CoreMap.from_instance(quiet_machine.instance)
+        located = frozenset(result.core_map.cha_positions)
+        assert result.core_map.equivalent(truth.restricted_to(located))
+
+
+class TestMapDatabase:
+    @pytest.fixture
+    def result(self, quiet_machine):
+        return map_cpu(quiet_machine)
+
+    def test_store_and_lookup(self, tmp_path, result):
+        db = MapDatabase(tmp_path / "maps.json")
+        db.store(result)
+        db.save()
+        reloaded = MapDatabase(tmp_path / "maps.json")
+        assert len(reloaded) == 1
+        assert result.ppin in reloaded
+        assert reloaded.lookup(result.ppin).equivalent(result.core_map)
+
+    def test_overwrite_control(self, tmp_path, result):
+        db = MapDatabase(tmp_path / "maps.json")
+        db.store(result)
+        with pytest.raises(KeyError):
+            db.store(result, overwrite=False)
+        db.store(result)  # overwrite allowed by default
+
+    def test_missing_ppin(self, tmp_path):
+        db = MapDatabase(tmp_path / "maps.json")
+        with pytest.raises(KeyError):
+            db.lookup(0x1234)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "maps.json"
+        path.write_text(json.dumps({"version": 42, "maps": {}}))
+        with pytest.raises(ValueError):
+            MapDatabase(path)
+
+
+class TestCli:
+    def test_map_show_list_flow(self, tmp_path, capsys):
+        db = str(tmp_path / "maps.json")
+        assert cli_main(["map", "--sku", "8124M", "--instance-seed", "3", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "PPIN" in out and "stored" in out
+        ppin_hex = next(tok for tok in out.split() if tok.startswith("0x"))
+
+        assert cli_main(["show", "--db", db, "--ppin", ppin_hex]) == 0
+        out = capsys.readouterr().out
+        assert "18 cores" in out
+
+        assert cli_main(["list", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert ppin_hex in out
+
+    def test_unknown_sku(self, tmp_path, capsys):
+        assert cli_main(["map", "--sku", "9999X", "--db", str(tmp_path / "m.json")]) == 2
+
+    def test_show_missing(self, tmp_path, capsys):
+        db = str(tmp_path / "maps.json")
+        assert cli_main(["list", "--db", db]) == 0
+        assert cli_main(["show", "--db", db, "--ppin", "0x1"]) == 1

@@ -1,0 +1,53 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.geometry import GridSpec, TileCoord
+
+
+class TestTileCoord:
+    def test_step(self):
+        assert TileCoord(1, 2).step(-1, 3) == TileCoord(0, 5)
+
+    def test_manhattan(self):
+        assert TileCoord(0, 0).manhattan(TileCoord(2, 3)) == 5
+
+    def test_neighbor_predicates(self):
+        a = TileCoord(2, 2)
+        assert a.is_vertical_neighbor(TileCoord(3, 2))
+        assert not a.is_vertical_neighbor(TileCoord(3, 3))
+        assert a.is_horizontal_neighbor(TileCoord(2, 1))
+        assert not a.is_horizontal_neighbor(a)
+
+
+class TestGridSpec:
+    def test_contains(self):
+        g = GridSpec(5, 6)
+        assert g.contains(TileCoord(4, 5))
+        assert not g.contains(TileCoord(5, 0))
+        assert not g.contains(TileCoord(-1, 0))
+
+    def test_counts(self):
+        assert GridSpec(5, 6).n_tiles == 30
+
+    def test_row_major_order(self):
+        coords = list(GridSpec(2, 2).coords())
+        assert coords == [TileCoord(0, 0), TileCoord(0, 1), TileCoord(1, 0), TileCoord(1, 1)]
+
+    def test_column_major_order(self):
+        coords = list(GridSpec(2, 2).coords_column_major())
+        assert coords == [TileCoord(0, 0), TileCoord(1, 0), TileCoord(0, 1), TileCoord(1, 1)]
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError):
+            GridSpec(2, 2).require(TileCoord(2, 0))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(0, 3)
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    def test_orders_cover_same_coords(self, rows, cols):
+        g = GridSpec(rows, cols)
+        assert set(g.coords()) == set(g.coords_column_major())
+        assert len(list(g.coords())) == g.n_tiles

@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.noc import DATA_CYCLES_PER_LINE, Mesh
+from repro.mesh.routing import Channel
+from repro.mesh.tile import TileKind
+
+
+def small_mesh() -> Mesh:
+    """3x3 grid: IMC at (1,0), disabled at (1,1), LLC-only at (0,2)."""
+    grid = GridSpec(3, 3)
+    kinds = {c: TileKind.CORE for c in grid.coords()}
+    kinds[TileCoord(1, 0)] = TileKind.IMC
+    kinds[TileCoord(1, 1)] = TileKind.DISABLED
+    kinds[TileCoord(0, 2)] = TileKind.LLC_ONLY
+    return Mesh(grid, kinds)
+
+
+class TestMeshStructure:
+    def test_missing_tile_kinds_rejected(self):
+        grid = GridSpec(2, 2)
+        with pytest.raises(ValueError):
+            Mesh(grid, {TileCoord(0, 0): TileKind.CORE})
+
+    def test_out_of_grid_kind_rejected(self):
+        grid = GridSpec(2, 2)
+        kinds = {c: TileKind.CORE for c in grid.coords()}
+        kinds[TileCoord(5, 5)] = TileKind.CORE
+        with pytest.raises(ValueError):
+            Mesh(grid, kinds)
+
+    def test_cha_coords_column_major_skips_non_cha(self):
+        mesh = small_mesh()
+        # Column-major over CHA-bearing tiles: col 0 rows 0,2; col 1 rows 0,2;
+        # col 2 rows 0,1,2 (IMC and disabled skipped).
+        assert mesh.cha_coords() == [
+            TileCoord(0, 0),
+            TileCoord(2, 0),
+            TileCoord(0, 1),
+            TileCoord(2, 1),
+            TileCoord(0, 2),
+            TileCoord(1, 2),
+            TileCoord(2, 2),
+        ]
+
+    def test_core_coords_exclude_llc_only(self):
+        mesh = small_mesh()
+        assert TileCoord(0, 2) not in mesh.core_coords()
+        assert TileCoord(0, 0) in mesh.core_coords()
+
+
+class TestTrafficInjection:
+    def test_transfer_deposits_along_path(self):
+        mesh = small_mesh()
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 1), lines=5)
+        expected = 5 * DATA_CYCLES_PER_LINE
+        # Y-first: (1,0) then (2,0) get DOWN; (2,1) gets horizontal.
+        assert mesh.counters.read(TileCoord(1, 0), Channel.DOWN) == expected
+        assert mesh.counters.read(TileCoord(2, 0), Channel.DOWN) == expected
+        horiz = mesh.counters.read(TileCoord(2, 1), Channel.LEFT) + mesh.counters.read(
+            TileCoord(2, 1), Channel.RIGHT
+        )
+        assert horiz == expected
+
+    def test_same_tile_transfer_is_silent(self):
+        mesh = small_mesh()
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(0, 0), lines=100)
+        assert mesh.counters.snapshot() == {}
+
+    def test_zero_lines_silent(self):
+        mesh = small_mesh()
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 2), lines=0)
+        assert mesh.counters.snapshot() == {}
+
+    def test_negative_lines_rejected(self):
+        mesh = small_mesh()
+        with pytest.raises(ValueError):
+            mesh.inject_transfer(TileCoord(0, 0), TileCoord(1, 1), lines=-1)
+
+    def test_llc_access_counts_lookup_at_home(self):
+        mesh = small_mesh()
+        mesh.inject_llc_access(TileCoord(0, 0), TileCoord(0, 2), accesses=9)
+        assert mesh.counters.read_llc_lookup(TileCoord(0, 2)) == 9
+
+    def test_llc_access_requires_cha_home(self):
+        mesh = small_mesh()
+        with pytest.raises(ValueError):
+            mesh.inject_llc_access(TileCoord(0, 0), TileCoord(1, 1), accesses=1)
+
+    def test_same_tile_llc_access_no_mesh_traffic(self):
+        # The property step 1 exploits: co-located core and slice are silent.
+        mesh = small_mesh()
+        mesh.inject_llc_access(TileCoord(2, 2), TileCoord(2, 2), accesses=50)
+        assert mesh.counters.snapshot() == {}
+        assert mesh.counters.read_llc_lookup(TileCoord(2, 2)) == 50
+
+
+class TestVisibility:
+    def test_disabled_tile_reads_zero_despite_traffic(self):
+        mesh = small_mesh()
+        # Path (0,1) -> (2,1) passes through the disabled (1,1).
+        mesh.inject_transfer(TileCoord(0, 1), TileCoord(2, 1), lines=3)
+        assert mesh.counters.read(TileCoord(1, 1), Channel.DOWN) > 0  # ground truth
+        assert mesh.visible_read(TileCoord(1, 1), Channel.DOWN) == 0  # PMON view
+
+    def test_llc_only_tile_is_visible(self):
+        mesh = small_mesh()
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(0, 2), lines=2)
+        assert mesh.visible_read(TileCoord(0, 2), Channel.LEFT) + mesh.visible_read(
+            TileCoord(0, 2), Channel.RIGHT
+        ) == 2 * DATA_CYCLES_PER_LINE
+
+    def test_imc_tile_not_visible(self):
+        mesh = small_mesh()
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), lines=2)
+        assert mesh.visible_read(TileCoord(1, 0), Channel.DOWN) == 0
+
+
+class TestBackground:
+    def test_background_traffic_lands_somewhere(self):
+        mesh = small_mesh()
+        mesh.inject_background(np.random.default_rng(0), flows=20, lines_per_flow=4)
+        assert sum(mesh.counters.snapshot().values()) > 0
+
+    def test_background_deterministic_given_rng(self):
+        a, b = small_mesh(), small_mesh()
+        a.inject_background(np.random.default_rng(7), 10, 3)
+        b.inject_background(np.random.default_rng(7), 10, 3)
+        assert a.counters.snapshot() == b.counters.snapshot()

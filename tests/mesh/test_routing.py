@@ -1,0 +1,138 @@
+"""Routing and observability-model tests.
+
+These pin down the mesh properties the whole paper rests on: Y-first
+dimension-order routing, ingress-only accounting, truthful vertical labels,
+and direction-blind (parity-alternating) horizontal labels.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.geometry import TileCoord
+from repro.mesh.routing import Channel, horizontal_label, ingress_events, route_path
+
+coords = st.tuples(st.integers(0, 7), st.integers(0, 7)).map(lambda t: TileCoord(*t))
+
+
+class TestRoutePath:
+    def test_same_tile(self):
+        assert route_path(TileCoord(1, 1), TileCoord(1, 1)) == [TileCoord(1, 1)]
+
+    def test_vertical_first(self):
+        path = route_path(TileCoord(0, 0), TileCoord(2, 2))
+        assert path == [
+            TileCoord(0, 0),
+            TileCoord(1, 0),
+            TileCoord(2, 0),
+            TileCoord(2, 1),
+            TileCoord(2, 2),
+        ]
+
+    @given(coords, coords)
+    def test_path_properties(self, src, dst):
+        path = route_path(src, dst)
+        assert path[0] == src
+        assert path[-1] == dst
+        assert len(path) == src.manhattan(dst) + 1
+        # Single-step hops only.
+        for a, b in zip(path, path[1:]):
+            assert a.manhattan(b) == 1
+        # Once horizontal movement starts, no vertical hop follows (Y-first).
+        seen_horizontal = False
+        for a, b in zip(path, path[1:]):
+            if a.row != b.row:
+                assert not seen_horizontal
+            else:
+                seen_horizontal = True
+
+
+class TestIngressEvents:
+    def test_same_tile_silent(self):
+        assert ingress_events(TileCoord(3, 3), TileCoord(3, 3)) == []
+
+    def test_source_never_appears(self):
+        for dst in (TileCoord(0, 3), TileCoord(3, 0), TileCoord(3, 3)):
+            events = ingress_events(TileCoord(0, 0), dst)
+            assert all(tile != TileCoord(0, 0) for tile, _ in events)
+
+    def test_vertical_labels_truthful(self):
+        # Moving up (row decreases) → UP events; down → DOWN.
+        up = ingress_events(TileCoord(3, 1), TileCoord(0, 1))
+        assert all(ch is Channel.UP for _, ch in up)
+        down = ingress_events(TileCoord(0, 1), TileCoord(3, 1))
+        assert all(ch is Channel.DOWN for _, ch in down)
+
+    def test_horizontal_labels_alternate(self):
+        events = ingress_events(TileCoord(0, 0), TileCoord(0, 4))
+        labels = [ch for _, ch in events]
+        assert all(not ch.is_vertical for ch in labels)
+        for a, b in zip(labels, labels[1:]):
+            assert a != b  # the §II-C-4 alternation
+
+    def test_turn_tile_receives_vertical(self):
+        events = ingress_events(TileCoord(0, 0), TileCoord(2, 3))
+        by_tile = dict(events)
+        assert by_tile[TileCoord(2, 0)].is_vertical  # the turn tile
+        assert not by_tile[TileCoord(2, 3)].is_vertical  # the sink
+
+    @given(coords, coords)
+    def test_events_match_path(self, src, dst):
+        events = ingress_events(src, dst)
+        path = route_path(src, dst)
+        assert [tile for tile, _ in events] == path[1:]
+
+    @given(coords, coords, st.integers(1, 4))
+    def test_horizontal_labels_are_mirror_invariant_on_even_grids(
+        self, src, dst, half_width
+    ):
+        """The fundamental ambiguity: on an even-width grid (both real Xeon
+        dies are 6 or 8 columns wide) a horizontal mirror flips the travel
+        direction AND the column parity, so every label is unchanged and
+        observations cannot reveal the die's orientation."""
+        width = 2 * max(half_width, (src.col + 2) // 2, (dst.col + 2) // 2)
+        mirror = lambda c: TileCoord(c.row, width - 1 - c.col)  # noqa: E731
+        original = ingress_events(src, dst)
+        mirrored = ingress_events(mirror(src), mirror(dst))
+        assert len(original) == len(mirrored)
+        # Same multiset of (tile, label) after mirroring coordinates.
+        remapped = sorted((mirror(t), ch.value) for t, ch in original)
+        assert remapped == sorted((t, ch.value) for t, ch in mirrored)
+
+    @given(coords, coords, st.integers(2, 9))
+    def test_pooled_horizontal_observation_mirror_invariant_any_width(
+        self, src, dst, width
+    ):
+        """Even on odd-width grids, once LEFT/RIGHT are pooled (as the ILP
+        does) the observation is mirror-invariant."""
+        width = max(width, src.col + 1, dst.col + 1)
+        mirror = lambda c: TileCoord(c.row, width - 1 - c.col)  # noqa: E731
+
+        def pooled(events):
+            return sorted(
+                (t, ch.value if ch.is_vertical else "horizontal") for t, ch in events
+            )
+
+        original = [(mirror(t), ch) for t, ch in ingress_events(src, dst)]
+        mirrored = ingress_events(mirror(src), mirror(dst))
+        assert pooled(original) == pooled(mirrored)
+
+
+class TestHorizontalLabel:
+    def test_parity_flip(self):
+        assert horizontal_label(0, eastbound=True) is Channel.RIGHT
+        assert horizontal_label(1, eastbound=True) is Channel.LEFT
+        assert horizontal_label(0, eastbound=False) is Channel.LEFT
+        assert horizontal_label(1, eastbound=False) is Channel.RIGHT
+
+    def test_label_alone_cannot_reveal_direction(self):
+        # For either label there exist both east- and westbound explanations.
+        for label in (Channel.LEFT, Channel.RIGHT):
+            east_cols = [c for c in range(4) if horizontal_label(c, True) is label]
+            west_cols = [c for c in range(4) if horizontal_label(c, False) is label]
+            assert east_cols and west_cols
+
+
+class TestChannel:
+    def test_classification(self):
+        assert Channel.UP.is_vertical and Channel.DOWN.is_vertical
+        assert Channel.LEFT.is_horizontal and Channel.RIGHT.is_horizontal

@@ -1,0 +1,28 @@
+from repro.mesh.geometry import TileCoord
+from repro.mesh.tile import Tile, TileKind
+
+
+class TestTileKind:
+    def test_cha_presence(self):
+        assert TileKind.CORE.has_cha
+        assert TileKind.LLC_ONLY.has_cha
+        assert not TileKind.DISABLED.has_cha
+        assert not TileKind.IMC.has_cha
+
+    def test_only_core_hosts_threads(self):
+        assert TileKind.CORE.has_active_core
+        assert not TileKind.LLC_ONLY.has_active_core
+        assert not TileKind.DISABLED.has_active_core
+        assert not TileKind.IMC.has_active_core
+
+    def test_pmon_visibility_follows_cha(self):
+        # §II-B: disabled tiles route traffic but report nothing; LLC-only
+        # tiles report but host no threads.
+        for kind in TileKind:
+            assert kind.pmon_visible == kind.has_cha
+
+
+class TestTile:
+    def test_properties_delegate(self):
+        tile = Tile(TileCoord(0, 0), TileKind.LLC_ONLY)
+        assert tile.has_cha and tile.pmon_visible and not tile.has_active_core

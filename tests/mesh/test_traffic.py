@@ -1,0 +1,66 @@
+import pytest
+
+from repro.mesh.geometry import TileCoord
+from repro.mesh.routing import Channel
+from repro.mesh.traffic import ChannelCounters, IngressEvent
+
+
+class TestChannelCounters:
+    def test_accumulation(self):
+        c = ChannelCounters()
+        tile = TileCoord(0, 0)
+        c.add(tile, Channel.UP, 3)
+        c.add(tile, Channel.UP, 2)
+        assert c.read(tile, Channel.UP) == 5
+        assert c.read(tile, Channel.DOWN) == 0
+
+    def test_add_events(self):
+        c = ChannelCounters()
+        c.add_events([IngressEvent(TileCoord(1, 1), Channel.LEFT, 4)])
+        assert c.read(TileCoord(1, 1), Channel.LEFT) == 4
+
+    def test_negative_rejected(self):
+        c = ChannelCounters()
+        with pytest.raises(ValueError):
+            c.add(TileCoord(0, 0), Channel.UP, -1)
+        with pytest.raises(ValueError):
+            c.add_llc_lookup(TileCoord(0, 0), -2)
+
+    def test_llc_lookups_separate_from_rings(self):
+        c = ChannelCounters()
+        tile = TileCoord(2, 3)
+        c.add_llc_lookup(tile, 7)
+        assert c.read_llc_lookup(tile) == 7
+        assert c.read(tile, Channel.UP) == 0
+
+    def test_snapshot_diff(self):
+        from repro.mesh.routing import RingClass
+
+        c = ChannelCounters()
+        tile = TileCoord(0, 1)
+        c.add(tile, Channel.DOWN, 1)
+        before = c.snapshot()
+        c.add(tile, Channel.DOWN, 4)
+        c.add(tile, Channel.UP, 2)
+        diff = ChannelCounters.diff(c.snapshot(), before)
+        assert diff == {
+            (tile, Channel.DOWN, RingClass.BL): 4,
+            (tile, Channel.UP, RingClass.BL): 2,
+        }
+
+    def test_ring_classes_kept_separate(self):
+        from repro.mesh.routing import RingClass
+
+        c = ChannelCounters()
+        tile = TileCoord(1, 1)
+        c.add(tile, Channel.UP, 5, RingClass.BL)
+        c.add(tile, Channel.UP, 3, RingClass.AD)
+        assert c.read(tile, Channel.UP, RingClass.BL) == 5
+        assert c.read(tile, Channel.UP, RingClass.AD) == 3
+        assert c.read(tile, Channel.UP, RingClass.AK) == 0
+
+    def test_diff_drops_zero_deltas(self):
+        c = ChannelCounters()
+        c.add(TileCoord(0, 0), Channel.UP, 1)
+        snap = c.snapshot()
+        assert ChannelCounters.diff(snap, snap) == {}

@@ -1,0 +1,61 @@
+import pytest
+
+from repro.msr.constants import (
+    CHA_MSR_BASE,
+    CHA_MSR_STRIDE,
+    ChaBlockOffset,
+    cha_msr,
+    cha_of_msr,
+    decode_temperature_target,
+    decode_therm_status,
+    encode_temperature_target,
+    encode_therm_status,
+)
+
+
+class TestChaMsrLayout:
+    def test_base_block(self):
+        assert cha_msr(0, ChaBlockOffset.UNIT_CTL) == CHA_MSR_BASE
+        assert cha_msr(0, ChaBlockOffset.CTR0) == CHA_MSR_BASE + 0x8
+
+    def test_stride(self):
+        assert (
+            cha_msr(3, ChaBlockOffset.CTL0) - cha_msr(2, ChaBlockOffset.CTL0)
+            == CHA_MSR_STRIDE
+        )
+
+    def test_inverse(self):
+        for cha in (0, 5, 27):
+            for off in ChaBlockOffset:
+                assert cha_of_msr(cha_msr(cha, off)) == (cha, off)
+
+    def test_inverse_rejects_foreign_addresses(self):
+        assert cha_of_msr(0x19C) is None
+        assert cha_of_msr(CHA_MSR_BASE + 0xF) is None  # hole in the block
+
+    def test_out_of_range_cha_rejected(self):
+        with pytest.raises(ValueError):
+            cha_msr(64, ChaBlockOffset.CTR0)
+
+
+class TestThermalPacking:
+    def test_therm_status_roundtrip(self):
+        value = encode_therm_status(37)
+        readout, valid = decode_therm_status(value)
+        assert readout == 37
+        assert valid
+
+    def test_therm_status_invalid_flag(self):
+        _, valid = decode_therm_status(encode_therm_status(10, valid=False))
+        assert not valid
+
+    def test_therm_status_range(self):
+        with pytest.raises(ValueError):
+            encode_therm_status(128)
+
+    def test_temperature_target_roundtrip(self):
+        assert decode_temperature_target(encode_temperature_target(100)) == 100
+
+    def test_temperature_target_range(self):
+        with pytest.raises(ValueError):
+            encode_temperature_target(300)

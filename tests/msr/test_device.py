@@ -1,0 +1,59 @@
+import pytest
+
+from repro.msr.device import MsrAccessError, MsrRegisterFile
+
+
+class TestMsrRegisterFile:
+    def test_default_zero(self):
+        regs = MsrRegisterFile(2)
+        assert regs.read(0, 0x10) == 0
+
+    def test_write_read_roundtrip(self):
+        regs = MsrRegisterFile(2)
+        regs.write(1, 0x10, 0xDEADBEEF)
+        assert regs.read(1, 0x10) == 0xDEADBEEF
+        assert regs.read(0, 0x10) == 0  # per-CPU isolation
+
+    def test_set_all_cpus(self):
+        regs = MsrRegisterFile(3)
+        regs.set_all_cpus(0x4F, 42)
+        assert all(regs.read(cpu, 0x4F) == 42 for cpu in range(3))
+
+    def test_bad_cpu_rejected(self):
+        regs = MsrRegisterFile(2)
+        with pytest.raises(MsrAccessError):
+            regs.read(2, 0x10)
+        with pytest.raises(MsrAccessError):
+            regs.write(-1, 0x10, 0)
+
+    def test_oversized_value_rejected(self):
+        regs = MsrRegisterFile(1)
+        with pytest.raises(MsrAccessError):
+            regs.write(0, 0x10, 1 << 64)
+
+    def test_read_hook_overrides_storage(self):
+        regs = MsrRegisterFile(1)
+        regs.write(0, 0x20, 5)
+        regs.install_read_hook(0x20, lambda cpu, addr: 99)
+        assert regs.read(0, 0x20) == 99
+
+    def test_read_hook_receives_cpu(self):
+        regs = MsrRegisterFile(4)
+        regs.install_read_hook(0x30, lambda cpu, addr: cpu * 10)
+        assert regs.read(3, 0x30) == 30
+
+    def test_write_hook_called(self):
+        regs = MsrRegisterFile(1)
+        calls = []
+        regs.install_write_hook(0x40, lambda cpu, addr, value: calls.append((cpu, addr, value)))
+        regs.write(0, 0x40, 7)
+        assert calls == [(0, 0x40, 7)]
+
+    def test_hook_result_masked_to_64_bits(self):
+        regs = MsrRegisterFile(1)
+        regs.install_read_hook(0x50, lambda cpu, addr: 1 << 70)
+        assert regs.read(0, 0x50) == 0
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            MsrRegisterFile(0)

@@ -1,0 +1,46 @@
+"""The hardware backend is exercised against a fabricated /dev/cpu-style
+tree — the file access pattern is identical to real msr device nodes."""
+
+import struct
+
+import pytest
+
+from repro.msr.device import MsrAccessError
+from repro.msr.hwfs import HardwareMsrDevice
+
+
+@pytest.fixture
+def fake_dev_cpu(tmp_path):
+    for cpu in range(2):
+        node = tmp_path / str(cpu)
+        node.mkdir()
+        data = bytearray(0x200)
+        data[0x4F : 0x4F + 8] = struct.pack("<Q", 0xC0FFEE00 + cpu)
+        (node / "msr").write_bytes(bytes(data))
+    return tmp_path
+
+
+class TestHardwareMsrDevice:
+    def test_availability(self, fake_dev_cpu, tmp_path):
+        assert HardwareMsrDevice(fake_dev_cpu).available()
+        assert not HardwareMsrDevice(tmp_path / "nope").available()
+
+    def test_read(self, fake_dev_cpu):
+        dev = HardwareMsrDevice(fake_dev_cpu)
+        assert dev.read(0, 0x4F) == 0xC0FFEE00
+        assert dev.read(1, 0x4F) == 0xC0FFEE01
+
+    def test_write_roundtrip(self, fake_dev_cpu):
+        dev = HardwareMsrDevice(fake_dev_cpu)
+        dev.write(0, 0x10, 0xABCD)
+        assert dev.read(0, 0x10) == 0xABCD
+
+    def test_missing_node_raises(self, fake_dev_cpu):
+        dev = HardwareMsrDevice(fake_dev_cpu)
+        with pytest.raises(MsrAccessError):
+            dev.read(9, 0x4F)
+
+    def test_short_read_raises(self, fake_dev_cpu):
+        dev = HardwareMsrDevice(fake_dev_cpu)
+        with pytest.raises(MsrAccessError):
+            dev.read(0, 0x1FF)  # only 1 byte left in the fake file

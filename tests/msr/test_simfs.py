@@ -1,0 +1,71 @@
+import pytest
+
+from repro.msr.device import MsrAccessError, MsrRegisterFile
+from repro.msr.simfs import FileBackedMsrDevice, MsrFileTree
+
+
+@pytest.fixture
+def tree(tmp_path):
+    regs = MsrRegisterFile(2)
+    regs.write(0, 0x4F, 0x1234_5678_9ABC_DEF0)
+    regs.write(1, 0x4F, 0x1111_2222_3333_4444)
+    return MsrFileTree(tmp_path / "msr", regs, tracked_addrs=[0x4F, 0x19C])
+
+
+class TestMsrFileTree:
+    def test_files_created_per_cpu(self, tree):
+        assert tree.msr_path(0).exists()
+        assert tree.msr_path(1).exists()
+
+    def test_sync_writes_little_endian_records(self, tree):
+        tree.sync()
+        raw = tree.msr_path(0).read_bytes()
+        offset = 0x4F * 8  # record-indexed layout: one 8-byte slot per MSR
+        assert raw[offset : offset + 8] == (0x1234_5678_9ABC_DEF0).to_bytes(8, "little")
+
+    def test_adjacent_msr_addresses_do_not_alias(self, tmp_path):
+        # Consecutive MSR addresses (e.g. a CHA block's CTL0/CTL1) must be
+        # independently addressable despite 8-byte records.
+        regs = MsrRegisterFile(1)
+        tree = MsrFileTree(tmp_path / "m", regs, tracked_addrs=[0xE01, 0xE02])
+        dev = FileBackedMsrDevice(tree)
+        dev.write(0, 0xE01, 0xAAAA_BBBB_CCCC_DDDD)
+        dev.write(0, 0xE02, 0x1111_2222_3333_4444)
+        assert dev.read(0, 0xE01) == 0xAAAA_BBBB_CCCC_DDDD
+        assert dev.read(0, 0xE02) == 0x1111_2222_3333_4444
+
+    def test_empty_tracked_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            MsrFileTree(tmp_path, MsrRegisterFile(1), tracked_addrs=[])
+
+
+class TestFileBackedMsrDevice:
+    def test_read_matches_register_file(self, tree):
+        dev = FileBackedMsrDevice(tree)
+        assert dev.read(0, 0x4F) == 0x1234_5678_9ABC_DEF0
+        assert dev.read(1, 0x4F) == 0x1111_2222_3333_4444
+
+    def test_read_reflects_dynamic_hooks(self, tree):
+        # A hook behind the register file must be visible through the files.
+        counter = iter(range(100, 200))
+        tree.registers.install_read_hook(0x19C, lambda cpu, addr: next(counter))
+        dev = FileBackedMsrDevice(tree)
+        first = dev.read(0, 0x19C)
+        second = dev.read(0, 0x19C)
+        assert second > first >= 100
+
+    def test_write_propagates_to_register_file(self, tree):
+        dev = FileBackedMsrDevice(tree)
+        dev.write(1, 0x19C, 0xAA55)
+        assert tree.registers.read(1, 0x19C) == 0xAA55
+
+    def test_write_triggers_register_hooks(self, tree):
+        seen = []
+        tree.registers.install_write_hook(0x19C, lambda cpu, addr, v: seen.append(v))
+        FileBackedMsrDevice(tree).write(0, 0x19C, 7)
+        assert 7 in seen
+
+    def test_missing_cpu_rejected(self, tree):
+        dev = FileBackedMsrDevice(tree)
+        with pytest.raises(Exception):
+            dev.read(5, 0x4F)

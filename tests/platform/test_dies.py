@@ -1,0 +1,46 @@
+import pytest
+
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.platform.dies import DIE_CATALOG, ICX_XCC, SKX_XCC, DieConfig
+
+
+class TestSkxXcc:
+    def test_shape_matches_fig1(self):
+        # Fig. 1: 5 rows x 6 columns, IMC tiles in row 1 at both edges.
+        assert SKX_XCC.grid == GridSpec(5, 6)
+        assert SKX_XCC.imc_coords == {TileCoord(1, 0), TileCoord(1, 5)}
+        assert SKX_XCC.n_core_slots == 28  # the paper's "28 core tiles"
+
+    def test_cha_order_column_major(self):
+        slots = SKX_XCC.core_slots
+        assert slots[0] == TileCoord(0, 0)
+        # (1,0) is IMC and must be skipped.
+        assert slots[1] == TileCoord(2, 0)
+
+    def test_core_slots_exclude_imcs(self):
+        assert not set(SKX_XCC.core_slots) & SKX_XCC.imc_coords
+
+
+class TestIcxXcc:
+    def test_larger_grid(self):
+        assert ICX_XCC.grid.n_tiles > SKX_XCC.grid.n_tiles
+        assert ICX_XCC.n_core_slots == 44
+
+    def test_row_major_cha_order(self):
+        slots = ICX_XCC.core_slots
+        assert slots[0] == TileCoord(0, 0)
+        assert slots[1] == TileCoord(0, 1)  # row-major: walk the row first
+
+
+class TestValidation:
+    def test_imc_outside_grid_rejected(self):
+        with pytest.raises(ValueError):
+            DieConfig("bad", GridSpec(2, 2), frozenset({TileCoord(5, 5)}))
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            DieConfig("bad", GridSpec(2, 2), frozenset(), cha_order="diagonal")
+
+    def test_catalogue(self):
+        assert DIE_CATALOG["SKX_XCC"] is SKX_XCC
+        assert DIE_CATALOG["ICX_XCC"] is ICX_XCC

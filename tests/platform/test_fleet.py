@@ -1,0 +1,55 @@
+from collections import Counter
+
+import pytest
+
+from repro.platform import XEON_8124M, XEON_8259CL, generate_fleet
+from repro.platform.fleet import instance_seed, iter_fleet
+
+
+class TestFleet:
+    def test_size(self):
+        assert len(generate_fleet(XEON_8124M, 5, root_seed=1)) == 5
+
+    def test_deterministic(self):
+        a = generate_fleet(XEON_8259CL, 4, root_seed=9)
+        b = generate_fleet(XEON_8259CL, 4, root_seed=9)
+        assert [i.ppin for i in a] == [i.ppin for i in b]
+
+    def test_instances_independent(self):
+        fleet = generate_fleet(XEON_8259CL, 10, root_seed=2)
+        assert len({i.ppin for i in fleet}) == 10
+
+    def test_lazy_iteration_matches(self):
+        eager = [i.ppin for i in generate_fleet(XEON_8124M, 3, root_seed=3)]
+        lazy = [i.ppin for i in iter_fleet(XEON_8124M, 3, root_seed=3)]
+        assert eager == lazy
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fleet(XEON_8124M, -1)
+
+    def test_instance_seed_distinct_per_index(self):
+        seeds = {instance_seed(0, XEON_8124M, i) for i in range(50)}
+        assert len(seeds) == 50
+
+
+class TestFleetStatistics:
+    def test_8124m_shares_one_os_cha_mapping(self):
+        """§III-A: all 8124M instances share the same OS<->CHA mapping."""
+        fleet = generate_fleet(XEON_8124M, 20, root_seed=4)
+        mappings = {tuple(sorted(i.os_to_cha.items())) for i in fleet}
+        assert len(mappings) == 1
+
+    def test_8259cl_has_multiple_mappings(self):
+        """§III-A: 8259CL mappings vary because of the LLC-only tiles."""
+        fleet = generate_fleet(XEON_8259CL, 40, root_seed=4)
+        mappings = {tuple(sorted(i.os_to_cha.items())) for i in fleet}
+        assert len(mappings) > 1
+
+    def test_location_patterns_diverse_but_skewed(self):
+        """Table II regime: one dominant pattern plus a long tail."""
+        fleet = generate_fleet(XEON_8124M, 60, root_seed=5)
+        counts = Counter(i.location_pattern_key() for i in fleet)
+        top = counts.most_common(1)[0][1]
+        assert top >= 0.3 * len(fleet)  # dominant pattern
+        assert len(counts) >= 5  # diversity

@@ -1,0 +1,78 @@
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.platform.fusing import FusedPattern, PatternMixture, pattern_pool, sample_pattern
+from repro.platform.skus import XEON_6354, XEON_8124M, XEON_8259CL
+from repro.util.rng import derive_rng
+
+
+class TestPatternMixture:
+    def test_valid(self):
+        PatternMixture((0.5, 0.2), 10)
+
+    def test_overweight_rejected(self):
+        with pytest.raises(ValueError):
+            PatternMixture((0.9, 0.2), 10)
+
+    def test_missing_tail_rejected(self):
+        with pytest.raises(ValueError):
+            PatternMixture((0.5,), 0)
+
+    def test_full_head_needs_no_tail(self):
+        PatternMixture((0.6, 0.4), 0)
+
+
+class TestFusedPattern:
+    def test_overlap_rejected(self):
+        from repro.mesh.geometry import TileCoord
+
+        with pytest.raises(ValueError):
+            FusedPattern(
+                frozenset({TileCoord(0, 0)}), frozenset({TileCoord(0, 0)})
+            )
+
+
+class TestPatternPool:
+    def test_deterministic(self):
+        assert pattern_pool(XEON_8124M) == pattern_pool(XEON_8124M)
+
+    def test_size_and_uniqueness(self):
+        pool = pattern_pool(XEON_8124M)
+        assert len(pool) == XEON_8124M.mixture.pool_size
+        assert len(set(pool)) == len(pool)
+
+    def test_disabled_count_matches_sku(self):
+        for pattern in pattern_pool(XEON_8259CL)[:10]:
+            assert len(pattern.disabled_slots) == XEON_8259CL.n_disabled
+            assert len(pattern.llc_only_slots) == XEON_8259CL.n_llc_only
+
+    def test_head_llc_only_pinned(self):
+        from repro.platform.enumeration import assign_cha_ids
+
+        pool = pattern_pool(XEON_8259CL)
+        for i, expected in enumerate(XEON_8259CL.head_llc_only_chas):
+            pattern = pool[i]
+            cha_by_coord = assign_cha_ids(XEON_8259CL.die, pattern.disabled_slots)
+            llc_chas = sorted(cha_by_coord[c] for c in pattern.llc_only_slots)
+            assert tuple(llc_chas) == tuple(sorted(expected))
+
+    def test_icx_pool_has_eight_llc_only(self):
+        for pattern in pattern_pool(XEON_6354)[:5]:
+            assert len(pattern.llc_only_slots) == 8
+
+
+class TestSamplePattern:
+    def test_head_dominates(self):
+        rng = derive_rng(0, "sampling")
+        counts = Counter(sample_pattern(XEON_8124M, rng) for _ in range(400))
+        pool = pattern_pool(XEON_8124M)
+        # Head pattern 0 has probability 0.53.
+        assert counts[pool[0]] / 400 == pytest.approx(0.53, abs=0.08)
+
+    def test_samples_are_pool_members(self):
+        rng = derive_rng(1, "sampling")
+        pool = set(pattern_pool(XEON_8259CL))
+        for _ in range(50):
+            assert sample_pattern(XEON_8259CL, rng) in pool

@@ -1,0 +1,72 @@
+import pytest
+
+from repro.mesh.tile import TileKind
+from repro.msr.constants import MSR_PPIN, MSR_TEMPERATURE_TARGET, decode_temperature_target
+from repro.platform import XEON_8124M, XEON_8259CL, CpuInstance
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = CpuInstance.generate(XEON_8259CL, seed=10)
+        b = CpuInstance.generate(XEON_8259CL, seed=10)
+        assert a.ppin == b.ppin
+        assert a.cha_coords == b.cha_coords
+        assert a.os_to_cha == b.os_to_cha
+        assert a.slice_hash.masks == b.slice_hash.masks
+
+    def test_seed_changes_everything(self):
+        a = CpuInstance.generate(XEON_8259CL, seed=10)
+        b = CpuInstance.generate(XEON_8259CL, seed=11)
+        assert a.ppin != b.ppin
+
+    def test_counts(self, clx_instance):
+        assert clx_instance.n_os_cores == 24
+        assert clx_instance.n_chas == 26
+        assert len(clx_instance.cha_coords) == 26
+
+    def test_tile_kind_composition(self, clx_instance):
+        kinds = list(clx_instance.kind_grid().values())
+        assert kinds.count(TileKind.CORE) == 24
+        assert kinds.count(TileKind.LLC_ONLY) == 2
+        assert kinds.count(TileKind.DISABLED) == 2
+        assert kinds.count(TileKind.IMC) == 2
+
+    def test_cha_coords_are_cha_bearing(self, clx_instance):
+        for coord in clx_instance.cha_coords:
+            assert clx_instance.mesh.tile(coord).has_cha
+
+    def test_os_cores_sit_on_core_tiles(self, clx_instance):
+        for os_core in range(clx_instance.n_os_cores):
+            coord = clx_instance.coord_of_os_core(os_core)
+            assert clx_instance.mesh.tile(coord).kind is TileKind.CORE
+
+    def test_unknown_os_core_rejected(self, clx_instance):
+        with pytest.raises(ValueError):
+            clx_instance.coord_of_os_core(99)
+
+
+class TestMsrContents:
+    def test_ppin_readable_on_every_cpu(self, clx_instance):
+        for cpu in range(clx_instance.n_os_cores):
+            assert clx_instance.registers.read(cpu, MSR_PPIN) == clx_instance.ppin
+
+    def test_tjmax_programmed(self, clx_instance):
+        raw = clx_instance.registers.read(0, MSR_TEMPERATURE_TARGET)
+        assert decode_temperature_target(raw) == clx_instance.sku.tjmax
+
+    def test_tracked_addrs_include_everything(self, clx_instance):
+        addrs = clx_instance.tracked_msr_addrs()
+        assert MSR_PPIN in addrs
+        assert MSR_TEMPERATURE_TARGET in addrs
+        assert len(addrs) == len(set(addrs))
+
+
+class TestPatternKey:
+    def test_same_instance_same_key(self):
+        a = CpuInstance.generate(XEON_8124M, seed=5)
+        b = CpuInstance.generate(XEON_8124M, seed=5)
+        assert a.location_pattern_key() == b.location_pattern_key()
+
+    def test_key_covers_all_tiles(self, skx_instance):
+        key = skx_instance.location_pattern_key()
+        assert len(key) == skx_instance.sku.die.grid.n_tiles

@@ -1,0 +1,77 @@
+import pytest
+
+from repro.platform.dies import SKX_XCC
+from repro.platform.enumeration import EnumerationRule
+from repro.platform.fusing import PatternMixture
+from repro.platform.skus import (
+    SKU_CATALOG,
+    SkuSpec,
+    XEON_6354,
+    XEON_8124M,
+    XEON_8175M,
+    XEON_8259CL,
+)
+
+
+class TestCatalogue:
+    def test_paper_core_counts(self):
+        assert XEON_8124M.n_cores == 18
+        assert XEON_8175M.n_cores == 24
+        assert XEON_8259CL.n_cores == 24
+        assert XEON_6354.n_cores == 18
+
+    def test_cha_counts(self):
+        # 8259CL: 24 cores + 2 LLC-only = 26 CHAs (Table I's IDs run to 25).
+        assert XEON_8259CL.n_chas == 26
+        # 6354: Fig. 5 shows CHA IDs up to 25 for 18 cores -> 8 LLC-only.
+        assert XEON_6354.n_chas == 26
+
+    def test_disabled_counts(self):
+        assert XEON_8124M.n_disabled == 10
+        assert XEON_8175M.n_disabled == 4
+        assert XEON_8259CL.n_disabled == 2
+        assert XEON_6354.n_disabled == 18
+
+    def test_enumeration_rules_per_generation(self):
+        assert XEON_8124M.enumeration is EnumerationRule.STRIDE4
+        assert XEON_6354.enumeration is EnumerationRule.ASCENDING
+
+    def test_catalogue_keys(self):
+        assert set(SKU_CATALOG) == {"8124M", "8175M", "8259CL", "6354"}
+
+
+class TestValidation:
+    def test_too_many_chas_rejected(self):
+        with pytest.raises(ValueError):
+            SkuSpec(
+                name="bogus",
+                die=SKX_XCC,
+                n_cores=29,
+                n_llc_only=0,
+                enumeration=EnumerationRule.STRIDE4,
+                mixture=PatternMixture((1.0,), 0),
+            )
+
+    def test_llc_distribution_arity_checked(self):
+        with pytest.raises(ValueError):
+            SkuSpec(
+                name="bogus",
+                die=SKX_XCC,
+                n_cores=24,
+                n_llc_only=2,
+                enumeration=EnumerationRule.STRIDE4,
+                mixture=PatternMixture((1.0,), 0),
+                llc_only_cha_distribution=(((3,), 1.0),),  # arity 1, need 2
+            )
+
+    def test_llc_distribution_range_checked(self):
+        with pytest.raises(ValueError):
+            SkuSpec(
+                name="bogus",
+                die=SKX_XCC,
+                n_cores=24,
+                n_llc_only=2,
+                enumeration=EnumerationRule.STRIDE4,
+                mixture=PatternMixture((1.0,), 0),
+                llc_only_cha_distribution=(((3, 99), 1.0),),
+            )

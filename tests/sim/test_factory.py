@@ -1,0 +1,33 @@
+from repro.platform import XEON_8124M
+from repro.sim.factory import build_machine, build_machine_for_sku
+
+
+class TestBuildMachine:
+    def test_thermal_attached_by_default(self, clx_instance):
+        machine = build_machine(clx_instance)
+        machine.advance_time(0.1)  # would raise without thermal
+
+    def test_without_thermal(self, clx_instance):
+        machine = build_machine(clx_instance, with_thermal=False)
+        assert machine.n_os_cores == 24
+
+    def test_file_backend(self, clx_instance, tmp_path):
+        machine = build_machine(
+            clx_instance, msr_backend="file", msr_root=str(tmp_path / "msr")
+        )
+        assert machine.read_ppin() == clx_instance.ppin
+        assert (tmp_path / "msr" / "cpu0" / "msr").exists()
+
+    def test_for_sku(self):
+        machine = build_machine_for_sku(XEON_8124M, instance_seed=3)
+        assert machine.n_os_cores == 18
+
+    def test_noise_sigma_flows_into_thermal(self, clx_instance):
+        from repro.sim.workload import NoiseConfig
+
+        machine = build_machine(clx_instance, noise=NoiseConfig.quiet())
+        t0 = machine.thermal.true_temp_c(clx_instance.cha_coords[0])
+        machine.advance_time(2.0)
+        t1 = machine.thermal.true_temp_c(clx_instance.cha_coords[0])
+        # No noise, no load changes: the idle steady state holds exactly.
+        assert abs(t1 - t0) < 1e-6

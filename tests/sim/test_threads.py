@@ -1,0 +1,37 @@
+import pytest
+
+from repro.sim.threads import ContendedWrite, EvictionSweep, ProducerConsumer
+
+
+class TestEvictionSweep:
+    def test_valid(self):
+        EvictionSweep(0, (0x40, 0x80), sweeps=10)
+
+    def test_empty_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            EvictionSweep(0, (), sweeps=10)
+
+    def test_zero_sweeps_rejected(self):
+        with pytest.raises(ValueError):
+            EvictionSweep(0, (0x40,), sweeps=0)
+
+
+class TestContendedWrite:
+    def test_same_core_rejected(self):
+        with pytest.raises(ValueError):
+            ContendedWrite(1, 1, 0x40)
+
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            ContendedWrite(0, 1, 0x40, rounds=0)
+
+
+class TestProducerConsumer:
+    def test_same_core_rejected(self):
+        with pytest.raises(ValueError):
+            ProducerConsumer(2, 2, 0x40)
+
+    def test_frozen(self):
+        w = ProducerConsumer(0, 1, 0x40)
+        with pytest.raises(AttributeError):
+            w.rounds = 5

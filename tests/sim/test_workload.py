@@ -1,0 +1,22 @@
+import pytest
+
+from repro.sim.workload import NoiseConfig
+
+
+class TestNoiseConfig:
+    def test_quiet_is_all_zero(self):
+        q = NoiseConfig.quiet()
+        assert q.mesh_flows_per_op == 0
+        assert q.thermal_power_sigma == 0.0
+        assert q.sensor_noise_sigma == 0.0
+
+    def test_defaults_are_noisy(self):
+        n = NoiseConfig()
+        assert n.mesh_flows_per_op > 0
+        assert n.thermal_power_sigma > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(mesh_flows_per_op=-1)
+        with pytest.raises(ValueError):
+            NoiseConfig(sensor_noise_sigma=-0.1)

@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.thermal.ambient import OrnsteinUhlenbeckNoise
+
+
+class TestOrnsteinUhlenbeck:
+    def test_zero_sigma_stays_zero(self):
+        ou = OrnsteinUhlenbeckNoise(4, 0.0, 1.0, np.random.default_rng(0))
+        ou.step(0.1)
+        assert np.all(ou.value == 0.0)
+
+    def test_stationary_variance(self):
+        rng = np.random.default_rng(1)
+        ou = OrnsteinUhlenbeckNoise(2000, sigma=0.5, tau=0.3, rng=rng)
+        for _ in range(50):
+            ou.step(0.05)
+        assert np.std(ou.value) == pytest.approx(0.5, rel=0.15)
+
+    def test_temporal_correlation(self):
+        rng = np.random.default_rng(2)
+        ou = OrnsteinUhlenbeckNoise(5000, sigma=1.0, tau=1.0, rng=rng)
+        for _ in range(20):
+            ou.step(0.2)
+        before = ou.value.copy()
+        ou.step(0.05)  # much shorter than tau
+        corr = np.corrcoef(before, ou.value)[0, 1]
+        assert corr > 0.9
+
+    def test_decorrelates_over_long_steps(self):
+        rng = np.random.default_rng(3)
+        ou = OrnsteinUhlenbeckNoise(5000, sigma=1.0, tau=0.1, rng=rng)
+        ou.step(0.1)
+        before = ou.value.copy()
+        ou.step(5.0)  # 50 tau
+        corr = np.corrcoef(before, ou.value)[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_zero_dt_is_identity(self):
+        ou = OrnsteinUhlenbeckNoise(3, 1.0, 1.0, np.random.default_rng(4))
+        before = ou.value.copy()
+        ou.step(0.0)
+        assert np.array_equal(before, ou.value)
+
+    def test_invalid_params_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckNoise(0, 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckNoise(1, -1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckNoise(1, 1.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckNoise(1, 1.0, 1.0, rng).step(-0.1)

@@ -1,0 +1,36 @@
+import pytest
+
+from repro.mesh.tile import TileKind
+from repro.thermal.power import PowerModel
+
+
+class TestPowerModel:
+    def test_load_interpolation(self):
+        pm = PowerModel(core_idle=2.0, core_stress=10.0)
+        assert pm.core_power(0.0) == 2.0
+        assert pm.core_power(1.0) == 10.0
+        assert pm.core_power(0.5) == 6.0
+
+    def test_static_power_per_kind(self):
+        pm = PowerModel()
+        assert pm.static_power(TileKind.CORE) == pm.core_idle
+        assert pm.static_power(TileKind.IMC) == pm.imc
+        assert pm.static_power(TileKind.DISABLED) == pm.disabled
+        assert pm.static_power(TileKind.LLC_ONLY) == pm.llc_only
+
+    def test_stress_exceeds_idle_by_a_lot(self):
+        # The covert channel needs a strong swing (Fig. 6: ~14 C).
+        pm = PowerModel()
+        assert pm.core_stress > 3 * pm.core_idle
+
+    def test_load_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel().core_power(1.5)
+
+    def test_inverted_powers_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(core_idle=5.0, core_stress=1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(imc=-1.0)

@@ -1,0 +1,153 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.tile import TileKind
+from repro.thermal.rc_model import ThermalParams, ThermalSimulator
+
+
+def make_sim(noise=0.0, dt=0.02, params=None, rows=3, cols=3):
+    grid = GridSpec(rows, cols)
+    kinds = {c: TileKind.CORE for c in grid.coords()}
+    return ThermalSimulator(
+        grid, kinds, params=params, power_noise_sigma=noise,
+        rng=np.random.default_rng(0), dt=dt,
+    )
+
+
+class TestSteadyState:
+    def test_starts_in_idle_steady_state(self):
+        sim = make_sim()
+        t0 = sim.true_temp_c(TileCoord(1, 1))
+        sim.advance(5.0)
+        assert sim.true_temp_c(TileCoord(1, 1)) == pytest.approx(t0, abs=1e-6)
+
+    def test_idle_above_ambient(self):
+        sim = make_sim()
+        assert sim.true_temp_c(TileCoord(0, 0)) > sim.params.ambient_c
+
+    def test_load_converges_to_steady_state_prediction(self):
+        sim = make_sim()
+        center = TileCoord(1, 1)
+        sim.set_load(center, 1.0)
+        predicted = sim.steady_state_temp_c(center)
+        sim.advance(30.0)  # many time constants
+        assert sim.true_temp_c(center) == pytest.approx(predicted, abs=0.01)
+
+    def test_vertical_coupling_stronger_than_horizontal(self):
+        """§V-A: vertical neighbours heat up more than horizontal ones."""
+        sim = make_sim()
+        center = TileCoord(1, 1)
+        idle_v = sim.steady_state_temp_c(TileCoord(0, 1))
+        idle_h = sim.steady_state_temp_c(TileCoord(1, 0))
+        sim.set_load(center, 1.0)
+        rise_v = sim.steady_state_temp_c(TileCoord(0, 1)) - idle_v
+        rise_h = sim.steady_state_temp_c(TileCoord(1, 0)) - idle_h
+        assert rise_v > 1.5 * rise_h > 0
+
+    def test_attenuation_grows_with_hops(self):
+        sim = make_sim(rows=5, cols=1)
+        src = TileCoord(0, 0)
+        idle = [sim.steady_state_temp_c(TileCoord(r, 0)) for r in range(5)]
+        sim.set_load(src, 1.0)
+        rises = [sim.steady_state_temp_c(TileCoord(r, 0)) - idle[r] for r in range(5)]
+        assert rises[0] > rises[1] > rises[2] > rises[3] > rises[4] > 0
+
+
+class TestDynamics:
+    def test_exact_discretisation_independent_of_dt(self):
+        """The matrix-exponential update must give identical trajectories
+        for different step sizes (power is constant here)."""
+        coarse = make_sim(dt=0.1)
+        fine = make_sim(dt=0.01)
+        target = TileCoord(0, 0)
+        for sim in (coarse, fine):
+            sim.set_load(target, 1.0)
+            sim.advance(1.0)
+        assert coarse.true_temp_c(target) == pytest.approx(
+            fine.true_temp_c(target), abs=1e-9
+        )
+
+    def test_monotone_rise_under_step_load(self):
+        sim = make_sim()
+        target = TileCoord(2, 2)
+        sim.set_load(target, 1.0)
+        temps = []
+        for _ in range(20):
+            sim.advance(0.05)
+            temps.append(sim.true_temp_c(target))
+        assert all(a <= b + 1e-12 for a, b in zip(temps, temps[1:]))
+
+    def test_residual_time_carried(self):
+        sim = make_sim(dt=0.02)
+        sim.set_load(TileCoord(0, 0), 1.0)
+        # 7 ms steps don't divide the 20 ms dt; total time must still add up.
+        for _ in range(10):
+            sim.advance(0.007)
+        ref = make_sim(dt=0.02)
+        ref.set_load(TileCoord(0, 0), 1.0)
+        ref.advance(0.07)
+        assert sim.true_temp_c(TileCoord(0, 0)) == pytest.approx(
+            ref.true_temp_c(TileCoord(0, 0)), abs=1e-9
+        )
+
+    def test_time_moves_forward_only(self):
+        sim = make_sim()
+        with pytest.raises(ValueError):
+            sim.advance(-1.0)
+
+
+class TestLoadsAndSensors:
+    def test_load_requires_core_tile(self):
+        grid = GridSpec(2, 1)
+        kinds = {TileCoord(0, 0): TileKind.CORE, TileCoord(1, 0): TileKind.IMC}
+        sim = ThermalSimulator(grid, kinds, rng=np.random.default_rng(0))
+        sim.set_load(TileCoord(0, 0), 0.5)
+        with pytest.raises(ValueError):
+            sim.set_load(TileCoord(1, 0), 0.5)
+
+    def test_load_bounds(self):
+        sim = make_sim()
+        with pytest.raises(ValueError):
+            sim.set_load(TileCoord(0, 0), 1.0001)
+
+    def test_sensor_quantised(self):
+        sim = make_sim()
+        reading = sim.sensor_temp_c(TileCoord(0, 0))
+        assert isinstance(reading, int)
+        assert abs(reading - sim.true_temp_c(TileCoord(0, 0))) <= 1.0
+
+    def test_sensor_noise_applied(self):
+        sim = make_sim()
+        rng = np.random.default_rng(1)
+        readings = {
+            sim.sensor_temp_c(TileCoord(0, 0), noise_sigma=2.0, rng=rng)
+            for _ in range(50)
+        }
+        assert len(readings) > 1  # noise makes reads vary
+
+    def test_power_noise_perturbs_trajectory(self):
+        quiet = make_sim(noise=0.0)
+        noisy = make_sim(noise=1.0)
+        quiet.advance(2.0)
+        noisy.advance(2.0)
+        assert quiet.true_temp_c(TileCoord(1, 1)) != pytest.approx(
+            noisy.true_temp_c(TileCoord(1, 1)), abs=1e-6
+        )
+
+
+class TestParams:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalParams(g_vertical=0.0)
+        with pytest.raises(ValueError):
+            ThermalParams(heat_capacity=-1.0)
+        with pytest.raises(ValueError):
+            ThermalParams(noise_tau=0.0)
+
+    def test_timestep_must_be_positive(self):
+        sim = make_sim()
+        with pytest.raises(ValueError):
+            sim.set_timestep(0.0)

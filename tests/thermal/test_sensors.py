@@ -1,0 +1,41 @@
+import pytest
+
+from repro.thermal.sensors import SensorModel, quantize_temp
+
+
+class TestQuantize:
+    def test_floor_behaviour(self):
+        assert quantize_temp(37.9) == 37
+        assert quantize_temp(37.0) == 37
+
+    def test_custom_quantum(self):
+        assert quantize_temp(37.9, quantum=2.0) == 36
+
+    def test_bad_quantum(self):
+        with pytest.raises(ValueError):
+            quantize_temp(30.0, quantum=0)
+
+
+class TestSensorModel:
+    def test_fresh_read_when_no_period(self):
+        s = SensorModel(update_period=0.0)
+        assert s.read("a", 40.2, now=0.0) == 40
+        assert s.read("a", 41.7, now=0.001) == 41
+
+    def test_holds_value_within_period(self):
+        s = SensorModel(update_period=0.1)
+        assert s.read("a", 40.0, now=0.0) == 40
+        # Temperature changed, but the sensor hasn't refreshed yet.
+        assert s.read("a", 45.0, now=0.05) == 40
+        assert s.read("a", 45.0, now=0.11) == 45
+
+    def test_keys_independent(self):
+        s = SensorModel(update_period=1.0)
+        assert s.read("a", 40.0, now=0.0) == 40
+        assert s.read("b", 50.0, now=0.0) == 50
+
+    def test_reset(self):
+        s = SensorModel(update_period=10.0)
+        s.read("a", 40.0, now=0.0)
+        s.reset()
+        assert s.read("a", 45.0, now=0.1) == 45

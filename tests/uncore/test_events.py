@@ -1,0 +1,54 @@
+from repro.mesh.routing import Channel
+from repro.uncore.events import (
+    EventCode,
+    LLC_LOOKUP_ANY,
+    RING_UMASKS,
+    UMASK_DOWN,
+    UMASK_LEFT,
+    UMASK_RIGHT,
+    UMASK_UP,
+    channels_for,
+    decode_ctl,
+    encode_ctl,
+)
+
+
+class TestCtlEncoding:
+    def test_roundtrip(self):
+        value = encode_ctl(EventCode.LLC_LOOKUP, LLC_LOOKUP_ANY)
+        event, umask, enabled = decode_ctl(value)
+        assert event == EventCode.LLC_LOOKUP
+        assert umask == LLC_LOOKUP_ANY
+        assert enabled
+
+    def test_disable_flag(self):
+        _, _, enabled = decode_ctl(encode_ctl(0xAA, 0x3, enable=False))
+        assert not enabled
+
+    def test_field_layout(self):
+        value = encode_ctl(0xAB, 0x0C)
+        assert value & 0xFF == 0xAB
+        assert (value >> 8) & 0xFF == 0x0C
+        assert (value >> 22) & 1 == 1
+
+
+class TestChannelsFor:
+    def test_vertical_umasks(self):
+        assert channels_for(EventCode.VERT_RING_BL_IN_USE, UMASK_UP) == [Channel.UP]
+        assert channels_for(EventCode.VERT_RING_BL_IN_USE, UMASK_DOWN) == [Channel.DOWN]
+        assert channels_for(EventCode.VERT_RING_BL_IN_USE, UMASK_UP | UMASK_DOWN) == [
+            Channel.UP,
+            Channel.DOWN,
+        ]
+
+    def test_horizontal_umasks(self):
+        assert channels_for(EventCode.HORZ_RING_BL_IN_USE, UMASK_LEFT) == [Channel.LEFT]
+        assert channels_for(EventCode.HORZ_RING_BL_IN_USE, UMASK_RIGHT) == [Channel.RIGHT]
+
+    def test_non_ring_event_selects_nothing(self):
+        assert channels_for(EventCode.LLC_LOOKUP, 0xFF) == []
+
+    def test_ring_umask_table_covers_all_channels(self):
+        assert set(RING_UMASKS) == set(Channel)
+        for channel, (event, umask) in RING_UMASKS.items():
+            assert channels_for(event, umask) == [channel]

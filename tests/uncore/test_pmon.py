@@ -1,0 +1,99 @@
+import pytest
+
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.noc import Mesh
+from repro.mesh.routing import Channel
+from repro.mesh.tile import TileKind
+from repro.msr.constants import (
+    ChaBlockOffset,
+    UNIT_CTL_FRZ,
+    UNIT_CTL_RST_CTRS,
+    cha_msr,
+)
+from repro.msr.device import MsrRegisterFile
+from repro.uncore.events import EventCode, LLC_LOOKUP_ANY, UMASK_DOWN, encode_ctl
+from repro.uncore.pmon import ChaPmonModel
+
+
+@pytest.fixture
+def setup():
+    grid = GridSpec(3, 1)
+    kinds = {
+        TileCoord(0, 0): TileKind.CORE,
+        TileCoord(1, 0): TileKind.CORE,
+        TileCoord(2, 0): TileKind.LLC_ONLY,
+    }
+    mesh = Mesh(grid, kinds)
+    regs = MsrRegisterFile(2)
+    pmon = ChaPmonModel(mesh, mesh.cha_coords(), regs)
+    return mesh, regs, pmon
+
+
+def program(regs, cha, counter, event, umask):
+    regs.write(0, cha_msr(cha, ChaBlockOffset(ChaBlockOffset.CTL0 + counter)), encode_ctl(event, umask))
+
+
+def read_ctr(regs, cha, counter):
+    return regs.read(0, cha_msr(cha, ChaBlockOffset(ChaBlockOffset.CTR0 + counter)))
+
+
+class TestCounterBasics:
+    def test_unprogrammed_counter_reads_zero(self, setup):
+        mesh, regs, _ = setup
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), 5)
+        assert read_ctr(regs, 2, 0) == 0
+
+    def test_programmed_counter_counts_matching_event(self, setup):
+        mesh, regs, _ = setup
+        program(regs, 2, 0, EventCode.VERT_RING_BL_IN_USE, UMASK_DOWN)
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), 5)
+        assert read_ctr(regs, 2, 0) == 10  # 5 lines * 2 cycles
+
+    def test_programming_resets_to_zero(self, setup):
+        mesh, regs, _ = setup
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), 5)
+        program(regs, 2, 0, EventCode.VERT_RING_BL_IN_USE, UMASK_DOWN)
+        assert read_ctr(regs, 2, 0) == 0  # past traffic invisible
+
+    def test_llc_lookup_event(self, setup):
+        mesh, regs, _ = setup
+        program(regs, 1, 1, EventCode.LLC_LOOKUP, LLC_LOOKUP_ANY)
+        mesh.inject_llc_access(TileCoord(0, 0), TileCoord(1, 0), accesses=4)
+        assert read_ctr(regs, 1, 1) == 4
+
+
+class TestFreezeResetSemantics:
+    def test_reset_bit(self, setup):
+        mesh, regs, _ = setup
+        program(regs, 2, 0, EventCode.VERT_RING_BL_IN_USE, UMASK_DOWN)
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), 3)
+        regs.write(0, cha_msr(2, ChaBlockOffset.UNIT_CTL), UNIT_CTL_RST_CTRS)
+        assert read_ctr(regs, 2, 0) == 0
+
+    def test_freeze_latches(self, setup):
+        mesh, regs, _ = setup
+        program(regs, 2, 0, EventCode.VERT_RING_BL_IN_USE, UMASK_DOWN)
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), 3)
+        regs.write(0, cha_msr(2, ChaBlockOffset.UNIT_CTL), UNIT_CTL_FRZ)
+        frozen = read_ctr(regs, 2, 0)
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), 10)
+        assert read_ctr(regs, 2, 0) == frozen
+
+    def test_unfreeze_resumes_from_latched_value(self, setup):
+        mesh, regs, _ = setup
+        program(regs, 2, 0, EventCode.VERT_RING_BL_IN_USE, UMASK_DOWN)
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), 3)  # 6 cycles
+        regs.write(0, cha_msr(2, ChaBlockOffset.UNIT_CTL), UNIT_CTL_FRZ)
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), 100)  # unseen
+        regs.write(0, cha_msr(2, ChaBlockOffset.UNIT_CTL), 0)  # unfreeze
+        mesh.inject_transfer(TileCoord(0, 0), TileCoord(2, 0), 2)  # 4 cycles
+        assert read_ctr(regs, 2, 0) == 10
+
+
+class TestTrackedAddrs:
+    def test_covers_all_blocks(self, setup):
+        _, _, pmon = setup
+        addrs = pmon.tracked_addrs()
+        assert cha_msr(0, ChaBlockOffset.UNIT_CTL) in addrs
+        assert cha_msr(2, ChaBlockOffset.CTR3) in addrs
+        assert len(addrs) == 3 * len(ChaBlockOffset)

@@ -1,0 +1,97 @@
+"""Property-based validation of the PMON freeze/reset state machine.
+
+A random sequence of box operations (inject traffic, reset, freeze,
+unfreeze, read) must always agree with a trivially correct reference model
+that tracks the same semantics with plain integers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.noc import Mesh
+from repro.mesh.tile import TileKind
+from repro.msr.constants import ChaBlockOffset, UNIT_CTL_FRZ, UNIT_CTL_RST_CTRS, cha_msr
+from repro.msr.device import MsrRegisterFile
+from repro.uncore.events import EventCode, UMASK_DOWN, encode_ctl
+from repro.uncore.pmon import ChaPmonModel
+
+
+class _ReferenceCounter:
+    """Straight-line reference implementation of one counter's semantics."""
+
+    def __init__(self):
+        self.total = 0  # monotonic ground truth
+        self.base = 0
+        self.frozen = False
+        self.latched = 0
+
+    def inject(self, cycles: int) -> None:
+        self.total += cycles
+
+    def reset(self) -> None:
+        self.base = self.total
+        self.latched = 0
+
+    def freeze(self) -> None:
+        if not self.frozen:
+            self.latched = self.total - self.base
+            self.frozen = True
+
+    def unfreeze(self) -> None:
+        if self.frozen:
+            self.base = self.total - self.latched
+            self.frozen = False
+
+    def read(self) -> int:
+        return self.latched if self.frozen else self.total - self.base
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("inject"), st.integers(1, 50)),
+        st.just(("reset", 0)),
+        st.just(("freeze", 0)),
+        st.just(("unfreeze", 0)),
+        st.just(("read", 0)),
+    ),
+    max_size=40,
+)
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_counter_state_machine_matches_reference(ops):
+    grid = GridSpec(2, 1)
+    kinds = {TileCoord(0, 0): TileKind.CORE, TileCoord(1, 0): TileKind.CORE}
+    mesh = Mesh(grid, kinds)
+    regs = MsrRegisterFile(1)
+    ChaPmonModel(mesh, mesh.cha_coords(), regs)
+
+    cha = 1  # sink of all injected traffic
+    regs.write(0, cha_msr(cha, ChaBlockOffset.CTL0), encode_ctl(EventCode.VERT_RING_BL_IN_USE, UMASK_DOWN))
+    reference = _ReferenceCounter()
+
+    def read_model() -> int:
+        return regs.read(0, cha_msr(cha, ChaBlockOffset.CTR0))
+
+    for op, arg in ops:
+        if op == "inject":
+            # arg lines -> 2*arg DOWN cycles at the sink tile.
+            mesh.inject_transfer(TileCoord(0, 0), TileCoord(1, 0), arg)
+            reference.inject(2 * arg)
+        elif op == "reset":
+            # The write clears the FRZ bit too — UNIT_CTL is one register,
+            # so a reset write also unfreezes (true of real hardware).
+            regs.write(0, cha_msr(cha, ChaBlockOffset.UNIT_CTL), UNIT_CTL_RST_CTRS)
+            reference.reset()
+            reference.frozen = False
+        elif op == "freeze":
+            regs.write(0, cha_msr(cha, ChaBlockOffset.UNIT_CTL), UNIT_CTL_FRZ)
+            reference.freeze()
+        elif op == "unfreeze":
+            regs.write(0, cha_msr(cha, ChaBlockOffset.UNIT_CTL), 0)
+            reference.unfreeze()
+        else:
+            assert read_model() == reference.read()
+    assert read_model() == reference.read()

@@ -1,0 +1,102 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit,
+    bitfield,
+    bits,
+    pack_bits,
+    parity,
+    unpack_bits,
+    xor_reduce_mask,
+)
+
+
+class TestBit:
+    def test_extracts_lsb(self):
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 1) == 1
+
+    def test_high_index_is_zero(self):
+        assert bit(1, 63) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bit(1, -1)
+
+
+class TestBits:
+    def test_intel_style_field(self):
+        # bits [22:16] of a THERM_STATUS-style value
+        value = 0x5A << 16
+        assert bits(value, 16, 22) == 0x5A
+
+    def test_single_bit_range(self):
+        assert bits(0b100, 2, 2) == 1
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits(0, 5, 3)
+
+
+class TestBitfield:
+    def test_roundtrip_with_bits(self):
+        value = bitfield(0, 8, 15, 0xAB)
+        assert bits(value, 8, 15) == 0xAB
+
+    def test_preserves_other_bits(self):
+        value = bitfield(0xFFFF_FFFF, 8, 15, 0)
+        assert bits(value, 0, 7) == 0xFF
+        assert bits(value, 16, 31) == 0xFFFF
+
+    def test_overflowing_field_rejected(self):
+        with pytest.raises(ValueError):
+            bitfield(0, 0, 3, 16)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 255))
+    def test_roundtrip_property(self, base, field):
+        assert bits(bitfield(base, 8, 15, field), 8, 15) == field
+
+
+class TestParity:
+    def test_known_values(self):
+        assert parity(0) == 0
+        assert parity(0b111) == 1
+        assert parity(0b1111) == 0
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_parity_is_linear_over_xor(self, a, b):
+        # parity(a ^ b) == parity(a) ^ parity(b): the property that makes
+        # XOR-matrix hashes linear over GF(2).
+        assert parity(a ^ b) == parity(a) ^ parity(b)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parity(-1)
+
+
+class TestXorReduceMask:
+    def test_selects_masked_bits_only(self):
+        assert xor_reduce_mask(0b1111, 0b0001) == 1
+        assert xor_reduce_mask(0b1111, 0b0011) == 0
+
+
+class TestPackUnpack:
+    def test_pack_lsb_first(self):
+        assert pack_bits([1, 0, 1]) == 0b101
+
+    def test_unpack_width(self):
+        assert unpack_bits(0b101, 4) == [1, 0, 1, 0]
+
+    def test_pack_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            pack_bits([2])
+
+    def test_unpack_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            unpack_bits(8, 3)
+
+    @given(st.lists(st.integers(0, 1), max_size=64))
+    def test_roundtrip(self, bit_list):
+        assert unpack_bits(pack_bits(bit_list), len(bit_list)) == bit_list

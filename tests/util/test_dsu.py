@@ -1,0 +1,55 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.dsu import DisjointSets
+
+
+class TestDisjointSets:
+    def test_initially_disjoint(self):
+        dsu = DisjointSets(3)
+        assert not dsu.same(0, 1)
+
+    def test_union_merges(self):
+        dsu = DisjointSets(4)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        assert dsu.same(0, 2)
+        assert not dsu.same(0, 3)
+
+    def test_classes_partition(self):
+        dsu = DisjointSets(5)
+        dsu.union(0, 4)
+        dsu.union(1, 2)
+        classes = dsu.classes()
+        members = sorted(m for group in classes.values() for m in group)
+        assert members == [0, 1, 2, 3, 4]
+
+    def test_class_index_dense_and_ordered(self):
+        dsu = DisjointSets(4)
+        dsu.union(2, 3)
+        index = dsu.class_index()
+        assert set(index.values()) == {0, 1, 2}
+        assert index[2] == index[3]
+        # Classes are numbered by smallest member: {0} -> 0, {1} -> 1, {2,3} -> 2.
+        assert index[0] == 0 and index[1] == 1 and index[2] == 2
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40))
+    def test_union_is_transitive_closure(self, pairs):
+        dsu = DisjointSets(20)
+        for a, b in pairs:
+            dsu.union(a, b)
+        # Build the expected closure with a simple BFS over the union graph.
+        adjacency = {i: set() for i in range(20)}
+        for a, b in pairs:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        for start in range(20):
+            seen, frontier = {start}, [start]
+            while frontier:
+                node = frontier.pop()
+                for nxt in adjacency[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            for other in range(20):
+                assert dsu.same(start, other) == (other in seen)

@@ -1,0 +1,83 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import bit_error_rate, bsc_capacity, hamming_distance, wilson_interval
+
+
+class TestHammingDistance:
+    def test_basic(self):
+        assert hamming_distance([1, 0, 1], [1, 1, 1]) == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_distance([1], [1, 0])
+
+
+class TestBitErrorRate:
+    def test_perfect(self):
+        assert bit_error_rate([1, 0, 1, 1], [1, 0, 1, 1]) == 0.0
+
+    def test_all_wrong(self):
+        assert bit_error_rate([1, 1], [0, 0]) == 1.0
+
+    def test_missing_bits_count_as_errors(self):
+        # Receiver lost sync and produced only half the bits.
+        assert bit_error_rate([1, 0, 1, 0], [1, 0]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bit_error_rate([], [])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    def test_bounds(self, sent):
+        received = [1 - b for b in sent]
+        assert bit_error_rate(sent, received) == 1.0
+        assert bit_error_rate(sent, sent) == 0.0
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(5, 100)
+        assert lo < 0.05 < hi
+
+    def test_zero_errors_lower_bound_is_zero(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    def test_interval_ordering_property(self, errors, trials):
+        errors = min(errors, trials)
+        lo, hi = wilson_interval(errors, trials)
+        eps = 1e-12  # float roundoff at the p=0/p=1 edges
+        assert 0.0 <= lo <= errors / trials + eps
+        assert errors / trials - eps <= hi <= 1.0
+
+
+class TestBscCapacity:
+    def test_noiseless_channel(self):
+        assert bsc_capacity(0.0) == 1.0
+        assert bsc_capacity(1.0) == 1.0  # deterministic flip is also lossless
+
+    def test_useless_channel(self):
+        assert bsc_capacity(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self):
+        assert bsc_capacity(0.1) == pytest.approx(bsc_capacity(0.9))
+
+    def test_monotone_on_half_interval(self):
+        values = [bsc_capacity(p / 20) for p in range(11)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bsc_capacity(1.5)

@@ -1,0 +1,44 @@
+import pytest
+
+from repro.util.tables import format_grid, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long"], [["xx", 1], ["y", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title(self):
+        out = format_table(["h"], [["v"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells_stringified(self):
+        out = format_table(["n"], [[42]])
+        assert "42" in out
+
+
+class TestFormatGrid:
+    def test_shape(self):
+        out = format_grid({(0, 0): "A"}, 2, 3)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("|") == 2
+
+    def test_empty_cell_marker(self):
+        out = format_grid({}, 1, 1, empty="--")
+        assert "--" in out
+
+    def test_cells_centered_consistent_width(self):
+        out = format_grid({(0, 0): "ab", (1, 1): "xyzw"}, 2, 2)
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            format_grid({}, 0, 3)
