@@ -1,0 +1,108 @@
+"""Survey-engine throughput vs the original serial pipeline (not a figure).
+
+Maps the same 8-instance 8259CL fleet three ways:
+
+* the **seed serial path** — one instance at a time through the original
+  per-probe PMON sequence (``MappingConfig(batched=False)``);
+* the **survey engine, serial** — :class:`~repro.survey.SurveyRunner` with
+  ``workers=1``, isolating the batched delta-measurement speedup per stage;
+* the **survey engine, pooled** — the same with a 4-worker process pool,
+  the configuration a fleet survey would actually run.
+
+Reports instances/minute for each and the per-§II-stage speedup of the
+batched path, and asserts the pooled engine is at least 3× faster end to
+end. All runs use the same fleet seeds, so the recovered maps are checked
+identical as well.
+"""
+
+import time
+
+from repro.core.pipeline import MappingConfig, map_cpu
+from repro.platform import XEON_8259CL, CpuInstance
+from repro.platform.fleet import instance_seed
+from repro.sim import build_machine
+from repro.survey import SurveyRunner, aggregate_timings
+from repro.util.tables import format_table
+
+FLEET_SIZE = 8
+ROOT_SEED = 2022
+
+
+def _serial_seed_path():
+    """The pre-survey-engine flow: a plain loop over per-probe pipelines."""
+    config = MappingConfig(batched=False)
+    results = []
+    started = time.perf_counter()
+    for index in range(FLEET_SIZE):
+        seed = instance_seed(ROOT_SEED, XEON_8259CL, index)
+        instance = CpuInstance.generate(XEON_8259CL, seed)
+        machine = build_machine(instance, seed=index, with_thermal=False)
+        results.append(map_cpu(machine, config=config))
+    return results, time.perf_counter() - started
+
+
+def test_survey_throughput(once):
+    def run():
+        serial_results, serial_seconds = _serial_seed_path()
+        serial_report = SurveyRunner(workers=1, root_seed=ROOT_SEED).survey(
+            XEON_8259CL, FLEET_SIZE
+        )
+        pooled_report = SurveyRunner(workers=4, root_seed=ROOT_SEED).survey(
+            XEON_8259CL, FLEET_SIZE
+        )
+        return serial_results, serial_seconds, serial_report, pooled_report
+
+    serial_results, serial_seconds, serial_report, pooled_report = once(run)
+
+    serial_ipm = FLEET_SIZE * 60.0 / serial_seconds
+    speedup = serial_seconds / pooled_report.wall_seconds
+    rows = [
+        ["seed serial path (per-probe PMON)", f"{serial_seconds:.1f}s", f"{serial_ipm:.1f}"],
+        [
+            "survey engine (batched, serial)",
+            f"{serial_report.wall_seconds:.1f}s",
+            f"{serial_report.instances_per_minute:.1f}",
+        ],
+        [
+            "survey engine (batched, 4 workers)",
+            f"{pooled_report.wall_seconds:.1f}s",
+            f"{pooled_report.instances_per_minute:.1f}",
+        ],
+        ["end-to-end speedup (pooled vs seed)", f"{speedup:.1f}x", ""],
+    ]
+
+    seed_stages = aggregate_timings(r.timings for r in serial_results)
+    survey_stages = serial_report.stage_aggregates()
+    stage_rows = [
+        [
+            stage,
+            f"{seed_stages[stage].total_seconds:.2f}s",
+            f"{survey_stages[stage].total_seconds:.2f}s",
+            f"{seed_stages[stage].total_seconds / survey_stages[stage].total_seconds:.1f}x",
+        ]
+        for stage in seed_stages
+    ]
+
+    print()
+    print(
+        format_table(
+            ["path", "wall clock", "instances/min"],
+            rows,
+            title=f"Survey throughput ({FLEET_SIZE}x 8259CL)",
+        )
+    )
+    print(
+        format_table(
+            ["stage", "per-probe", "batched", "speedup"],
+            stage_rows,
+            title="Per-stage wall clock (serial runs)",
+        )
+    )
+
+    # Same fleet seeds => identical recovered maps on every path.
+    for result, serial_out, pooled_out in zip(
+        serial_results, serial_report.outcomes, pooled_report.outcomes
+    ):
+        assert result.core_map == serial_out.core_map == pooled_out.core_map
+    assert pooled_report.n_matching_truth == FLEET_SIZE
+    assert speedup >= 3.0, f"survey engine only {speedup:.2f}x faster than the seed path"

@@ -1,24 +1,21 @@
 #!/usr/bin/env python3
 """Cloud survey: map a fleet of CPU instances and study pattern diversity.
 
-The §III experiment in miniature: generate a fleet of simulated cloud
-instances per SKU, run the full locating pipeline on each, and tabulate
+The §III experiment in miniature: survey a fleet of simulated cloud
+instances per SKU through the :class:`~repro.survey.SurveyRunner` and
+tabulate
 
 * the distinct OS core ID <-> CHA ID mappings (Table I),
 * the distinct physical location patterns and their frequencies (Table II),
 * how often the reconstruction matches hidden ground truth.
 
-Run:  python examples/cloud_survey.py [instances_per_sku]   (default 12)
+Run:  python examples/cloud_survey.py [instances_per_sku] [workers]
+(default 12 instances, serial)
 """
 
 import sys
-from collections import Counter
 
-from repro.core.coremap import CoreMap
-from repro.core.pipeline import map_cpu
-from repro.platform import SKU_CATALOG, CpuInstance
-from repro.platform.fleet import instance_seed
-from repro.sim import build_machine
+from repro.survey import SurveyRunner
 from repro.util.tables import format_table
 
 SURVEY_SKUS = ("8124M", "8175M", "8259CL")
@@ -27,35 +24,26 @@ ROOT_SEED = 2022
 
 def main() -> None:
     n_instances = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    runner = SurveyRunner(workers=workers, root_seed=ROOT_SEED)
     rows = []
     for sku_name in SURVEY_SKUS:
-        sku = SKU_CATALOG[sku_name]
-        id_mappings: Counter = Counter()
-        patterns: Counter = Counter()
-        correct = 0
-        for index in range(n_instances):
-            instance = CpuInstance.generate(sku, instance_seed(ROOT_SEED, sku, index))
-            machine = build_machine(instance, seed=index, with_thermal=False)
-            result = map_cpu(machine)
-            id_mappings[
-                tuple(result.cha_mapping.os_to_cha[i] for i in sorted(result.cha_mapping.os_to_cha))
-            ] += 1
-            patterns[result.core_map.canonical_key()] += 1
-            truth = CoreMap.from_instance(instance)
-            located = frozenset(result.core_map.cha_positions)
-            correct += result.core_map.equivalent(truth.restricted_to(located))
-        top = patterns.most_common(1)[0][1]
+        report = runner.survey(sku_name, n_instances)
+        top = report.patterns.most_common(1)[0][1]
         rows.append(
             [
                 sku_name,
                 n_instances,
-                len(id_mappings),
-                len(patterns),
+                len(report.id_mappings),
+                len(report.patterns),
                 f"{top}/{n_instances}",
-                f"{correct}/{n_instances}",
+                f"{report.n_matching_truth}/{n_instances}",
             ]
         )
-        print(f"{sku_name}: surveyed {n_instances} instances")
+        print(
+            f"{sku_name}: surveyed {n_instances} instances in "
+            f"{report.wall_seconds:.1f}s ({report.instances_per_minute:.1f}/min)"
+        )
     print()
     print(
         format_table(

@@ -43,11 +43,18 @@ class CacheSystem:
                 f"slice hash addresses {slice_hash.n_slices} slices but the die "
                 f"has {len(self.cha_coords)} CHAs"
             )
+        # The slice hash is fixed per instance, and the probes hammer the
+        # same few hundred line addresses millions of times.
+        self._home_cache: dict[int, int] = {}
 
     # -- address resolution ------------------------------------------------------
     def home_cha(self, addr: int) -> int:
         """CHA index homing the line containing ``addr``."""
-        return self.slice_hash.slice_of(addr)
+        home = self._home_cache.get(addr)
+        if home is None:
+            home = self.slice_hash.slice_of(addr)
+            self._home_cache[addr] = home
+        return home
 
     def home_coord(self, addr: int) -> TileCoord:
         """Tile coordinate homing the line containing ``addr``."""
@@ -65,12 +72,18 @@ class CacheSystem:
         """
         if sweeps < 0:
             raise ValueError("sweeps must be non-negative")
+        # Group by home tile: k same-home lines cause k× the traffic of one,
+        # so the whole set deposits in one injection per distinct home.
+        home_lines: dict[TileCoord, int] = {}
         for addr in addrs:
             home = self.home_coord(addr)
-            self.mesh.counters.add_llc_lookup(home, sweeps)
-            self.mesh.inject_messages(core, home, sweeps, RingClass.AD)  # refill reqs
-            self.mesh.inject_transfer(core, home, sweeps)  # writeback data
-            self.mesh.inject_transfer(home, core, sweeps)  # refill data
+            home_lines[home] = home_lines.get(home, 0) + 1
+        for home, n_lines in home_lines.items():
+            total = n_lines * sweeps
+            self.mesh.counters.add_llc_lookup(home, total)
+            self.mesh.inject_messages(core, home, total, RingClass.AD)  # refill reqs
+            self.mesh.inject_transfer(core, home, total)  # writeback data
+            self.mesh.inject_transfer(home, core, total)  # refill data
 
     def contended_write(self, core_a: TileCoord, core_b: TileCoord, addr: int, rounds: int) -> None:
         """Two cores repeatedly write the same line (home-slice discovery).

@@ -55,14 +55,17 @@ def addresses_in_l2_set(
         raise ValueError(f"l2_set {l2_set} out of range")
     tag_shift = LINE_OFFSET_BITS + l2.set_index_bits
     n_tags = 1 << (PHYS_ADDR_BITS - tag_shift)
+    set_bits = l2_set << LINE_OFFSET_BITS
     seen: set[int] = set()
     out: list[int] = []
+    # Tags are drawn in batches; the tag space is vast, so collisions are
+    # rare and the first batch almost always suffices.
     while len(out) < count:
-        tag = int(rng.integers(n_tags))
-        if tag in seen:
-            continue
-        seen.add(tag)
-        out.append((tag << tag_shift) | (l2_set << LINE_OFFSET_BITS))
+        for tag in rng.integers(n_tags, size=count - len(out)).tolist():
+            if tag in seen:
+                continue
+            seen.add(tag)
+            out.append((tag << tag_shift) | set_bits)
     return out
 
 

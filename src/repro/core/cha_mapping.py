@@ -13,12 +13,15 @@ ID (if any) lives on the same tile:
    per core is the mapping. CHAs claimed by no core are LLC-only tiles.
 
 Everything here talks to the machine only through pinned workloads and the
-PMON session — no ground truth.
+PMON session — no ground truth. Both probes default to the batched delta
+streams (one reset/freeze pair for the whole phase); ``batched=False``
+restores the per-measurement sequence, which reads identical values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.cache.eviction import SliceEvictionSet
 from repro.core.errors import MappingError
@@ -35,12 +38,41 @@ class ChaMappingResult:
     llc_only_chas: frozenset[int]
     eviction_sets: dict[int, SliceEvictionSet]
 
-    @property
+    @cached_property
     def cha_to_os(self) -> dict[int, int]:
+        # Cached: probe loops consult this per pair, and the mapping never
+        # changes after step 1 completes.
         return {cha: os_id for os_id, cha in self.os_to_cha.items()}
 
     def core_chas(self) -> frozenset[int]:
         return frozenset(self.os_to_cha.values())
+
+
+def _rank_home(lookups, address: int, rounds: int, margin: float) -> int:
+    """Pick the home CHA from per-CHA lookup counts (top-2 scan).
+
+    A single pass finds the best and runner-up counts — the probe runs once
+    per sampled line (up to tens of thousands), so no full sort.
+    """
+    best = second = -1
+    best_count = second_count = -1
+    for cha, count in enumerate(lookups):
+        if count > best_count:
+            second, second_count = best, best_count
+            best, best_count = cha, count
+        elif count > second_count:
+            second, second_count = cha, count
+    if best_count < rounds:
+        raise MappingError(
+            f"no CHA saw enough lookups for line {address:#x} "
+            f"(max {best_count} < {rounds})"
+        )
+    if second >= 0 and second_count > 0 and best_count < margin * second_count:
+        raise MappingError(
+            f"ambiguous home for line {address:#x}: "
+            f"CHA {best}={best_count} vs CHA {second}={second_count}"
+        )
+    return best
 
 
 def discover_home_cha(
@@ -60,19 +92,7 @@ def discover_home_cha(
         raise MappingError("home discovery needs at least two cores")
     workload = ContendedWrite(contenders[0], contenders[1], address, rounds)
     lookups = session.measure_llc_lookups(lambda: machine.execute(workload))
-    ranked = sorted(range(len(lookups)), key=lambda cha: lookups[cha], reverse=True)
-    best, second = ranked[0], ranked[1]
-    if lookups[best] < rounds:
-        raise MappingError(
-            f"no CHA saw enough lookups for line {address:#x} "
-            f"(max {lookups[best]} < {rounds})"
-        )
-    if lookups[second] > 0 and lookups[best] < margin * lookups[second]:
-        raise MappingError(
-            f"ambiguous home for line {address:#x}: "
-            f"CHA {best}={lookups[best]} vs CHA {second}={lookups[second]}"
-        )
-    return best
+    return _rank_home(lookups, address, rounds, margin)
 
 
 def build_eviction_sets(
@@ -82,6 +102,8 @@ def build_eviction_sets(
     set_size: int | None = None,
     max_lines: int = 20_000,
     rounds: int = 400,
+    margin: float = 4.0,
+    batched: bool = True,
 ) -> dict[int, SliceEvictionSet]:
     """Assemble one slice eviction set per CHA (§II-A).
 
@@ -95,14 +117,28 @@ def build_eviction_sets(
         cha: SliceEvictionSet(cha_index=cha, l2_set=l2_set) for cha in range(session.n_chas)
     }
     pending = {cha for cha in sets}
-    for address in machine.sample_lines_in_l2_set(l2_set, max_lines):
-        if not pending:
-            break
-        home = discover_home_cha(machine, session, address, rounds)
-        if home in pending:
-            sets[home].add(address)
-            if len(sets[home]) >= target:
-                pending.discard(home)
+    contenders = machine.os_cores()[:2]
+    if len(contenders) < 2:
+        raise MappingError("home discovery needs at least two cores")
+
+    batch = session.lookup_batch() if batched else None
+    try:
+        for address in machine.sample_lines_in_l2_set(l2_set, max_lines):
+            if not pending:
+                break
+            if batch is not None:
+                workload = ContendedWrite(contenders[0], contenders[1], address, rounds)
+                lookups = batch.measure(lambda: machine.execute(workload)).tolist()
+                home = _rank_home(lookups, address, rounds, margin)
+            else:
+                home = discover_home_cha(machine, session, address, rounds, margin)
+            if home in pending:
+                sets[home].add(address)
+                if len(sets[home]) >= target:
+                    pending.discard(home)
+    finally:
+        if batch is not None:
+            batch.close()
     if pending:
         raise MappingError(
             f"could not fill eviction sets for CHAs {sorted(pending)} "
@@ -134,6 +170,7 @@ def map_os_to_cha(
     eviction_sets: dict[int, SliceEvictionSet],
     sweeps: int = 100,
     quiet_threshold: int | None = None,
+    batched: bool = True,
 ) -> ChaMappingResult:
     """Run the co-location test for every (OS core, CHA) combination.
 
@@ -154,28 +191,39 @@ def map_os_to_cha(
         sweeps = max(sweeps, min_sweeps)
         quiet_threshold = floor + 2 * set_len * sweeps
 
-    os_to_cha: dict[int, int] = {}
-    claimed: set[int] = set()
-    for os_core in machine.os_cores():
-        quiet: list[tuple[int, int]] = []
-        for cha, ev_set in sorted(eviction_sets.items()):
-            if cha in claimed:
-                continue
-            workload = EvictionSweep(os_core, tuple(ev_set.addresses), sweeps)
-            readings = session.measure_rings(lambda: machine.execute(workload))
-            total = sum(r.total() for r in readings)
-            if total < quiet_threshold:
-                quiet.append((total, cha))
-        if not quiet:
-            raise MappingError(f"OS core {os_core} co-locates with no CHA")
-        if len(quiet) > 1:
-            raise MappingError(
-                f"OS core {os_core} appears co-located with CHAs "
-                f"{[cha for _, cha in quiet]}; raise the probe intensity"
-            )
-        cha = quiet[0][1]
-        os_to_cha[os_core] = cha
-        claimed.add(cha)
+    batch = session.ring_batch() if batched else None
+
+    def sweep_total(workload: EvictionSweep) -> int:
+        if batch is not None:
+            return int(batch.measure(lambda: machine.execute(workload)).sum())
+        readings = session.measure_rings(lambda: machine.execute(workload))
+        return sum(r.total() for r in readings)
+
+    try:
+        os_to_cha: dict[int, int] = {}
+        claimed: set[int] = set()
+        for os_core in machine.os_cores():
+            quiet: list[tuple[int, int]] = []
+            for cha, ev_set in sorted(eviction_sets.items()):
+                if cha in claimed:
+                    continue
+                workload = EvictionSweep(os_core, tuple(ev_set.addresses), sweeps)
+                total = sweep_total(workload)
+                if total < quiet_threshold:
+                    quiet.append((total, cha))
+            if not quiet:
+                raise MappingError(f"OS core {os_core} co-locates with no CHA")
+            if len(quiet) > 1:
+                raise MappingError(
+                    f"OS core {os_core} appears co-located with CHAs "
+                    f"{[cha for _, cha in quiet]}; raise the probe intensity"
+                )
+            cha = quiet[0][1]
+            os_to_cha[os_core] = cha
+            claimed.add(cha)
+    finally:
+        if batch is not None:
+            batch.close()
 
     llc_only = frozenset(range(session.n_chas)) - frozenset(claimed)
     return ChaMappingResult(

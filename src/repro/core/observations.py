@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.mesh.routing import Channel
-from repro.uncore.session import ChannelReading
+from repro.uncore.session import RING_COUNTER_SLOTS, ChannelReading
 
 
 @dataclass(frozen=True)
@@ -89,4 +91,36 @@ def observation_from_readings(
         up=frozenset(up),
         down=frozenset(down),
         horizontal=frozenset(horizontal),
+    )
+
+
+def observation_from_matrix(
+    source_cha: int,
+    sink_cha: int,
+    matrix: np.ndarray,
+    threshold: int,
+) -> PathObservation:
+    """Vectorized :func:`observation_from_readings` over a batched readback.
+
+    ``matrix`` is the ``(n_chas, 4)`` delta a
+    :meth:`~repro.uncore.session.UncorePmonSession.measure_rings_batch`
+    probe produced (columns in counter-slot order). Thresholding happens in
+    numpy; the resulting observation is identical to running the per-CHA
+    ``ChannelReading`` path.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    up_col = RING_COUNTER_SLOTS[Channel.UP]
+    down_col = RING_COUNTER_SLOTS[Channel.DOWN]
+    left_col = RING_COUNTER_SLOTS[Channel.LEFT]
+    right_col = RING_COUNTER_SLOTS[Channel.RIGHT]
+    up = np.flatnonzero(matrix[:, up_col] >= threshold)
+    down = np.flatnonzero(matrix[:, down_col] >= threshold)
+    horizontal = np.flatnonzero(matrix[:, left_col] + matrix[:, right_col] >= threshold)
+    return PathObservation(
+        source_cha=source_cha,
+        sink_cha=sink_cha,
+        up=frozenset(int(c) for c in up if c != source_cha),
+        down=frozenset(int(c) for c in down if c != source_cha),
+        horizontal=frozenset(int(c) for c in horizontal if c != source_cha),
     )

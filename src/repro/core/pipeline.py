@@ -37,6 +37,38 @@ class MappingConfig:
     reduce_ilp: bool = True
     #: Optional MILP backend override (defaults to HiGHS via SciPy).
     solver: object | None = None
+    #: Use the batched delta-measurement path (bit-identical readings, one
+    #: reset/freeze pair per phase instead of per probe). ``False`` restores
+    #: the original per-probe PMON sequence.
+    batched: bool = True
+
+
+@dataclass(frozen=True)
+class StageTimings:
+    """Wall-clock seconds spent in each §II stage of one mapping run."""
+
+    cha_mapping_seconds: float
+    probe_seconds: float
+    solve_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cha_mapping_seconds + self.probe_seconds + self.solve_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "cha_mapping_seconds": self.cha_mapping_seconds,
+            "probe_seconds": self.probe_seconds,
+            "solve_seconds": self.solve_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "StageTimings":
+        return cls(
+            cha_mapping_seconds=float(data["cha_mapping_seconds"]),
+            probe_seconds=float(data["probe_seconds"]),
+            solve_seconds=float(data["solve_seconds"]),
+        )
 
 
 @dataclass
@@ -47,6 +79,10 @@ class MappingResult:
     cha_mapping: ChaMappingResult
     reconstruction: ReconstructionResult
     elapsed_seconds: float
+    #: Per-stage wall clock (None for results deserialized from old records).
+    timings: StageTimings | None = None
+    #: Step-2 traffic probes executed.
+    probe_count: int = 0
 
     @property
     def core_map(self) -> CoreMap:
@@ -72,16 +108,30 @@ def map_cpu(
 
     # Step 1: OS core ID ↔ CHA ID.
     eviction_sets = build_eviction_sets(
-        machine, session, l2_set=config.l2_set, rounds=config.home_discovery_rounds
+        machine,
+        session,
+        l2_set=config.l2_set,
+        rounds=config.home_discovery_rounds,
+        batched=config.batched,
     )
     cha_mapping = map_os_to_cha(
-        machine, session, eviction_sets, sweeps=config.colocation_sweeps
+        machine,
+        session,
+        eviction_sets,
+        sweeps=config.colocation_sweeps,
+        batched=config.batched,
     )
+    t_step1 = time.perf_counter()
 
     # Step 2: pairwise traffic probes.
     observations = collect_observations(
-        machine, session, cha_mapping, rounds=config.probe_rounds
+        machine,
+        session,
+        cha_mapping,
+        rounds=config.probe_rounds,
+        batched=config.batched,
     )
+    t_step2 = time.perf_counter()
 
     # Step 3: ILP reconstruction.
     reconstruction = reconstruct_map(
@@ -91,10 +141,17 @@ def map_cpu(
         solver=config.solver,
         reduce=config.reduce_ilp,
     )
+    t_step3 = time.perf_counter()
 
     return MappingResult(
         ppin=machine.read_ppin(),
         cha_mapping=cha_mapping,
         reconstruction=reconstruction,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=t_step3 - started,
+        timings=StageTimings(
+            cha_mapping_seconds=t_step1 - started,
+            probe_seconds=t_step2 - t_step1,
+            solve_seconds=t_step3 - t_step2,
+        ),
+        probe_count=len(observations),
     )

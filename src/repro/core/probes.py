@@ -4,6 +4,13 @@ For every ordered pair of cores, bounce a cache line homed at the sink
 tile's LLC slice between a writer on the source and a reader on the sink,
 and record which CHAs observed ring ingress. Each probe yields one
 :class:`~repro.core.observations.PathObservation`.
+
+By default the probes run through the batched measurement path: the ring
+monitors are programmed and reset once, and every probe's reading is a
+whole-package counter delta (see
+:meth:`~repro.uncore.session.UncorePmonSession.measure_rings_batch`). Pass
+``batched=False`` for the original per-probe reset/freeze/read sequence —
+the two paths yield bit-identical observations.
 """
 
 from __future__ import annotations
@@ -12,7 +19,11 @@ from collections.abc import Iterable
 
 from repro.core.cha_mapping import ChaMappingResult
 from repro.core.errors import MappingError
-from repro.core.observations import PathObservation, observation_from_readings
+from repro.core.observations import (
+    PathObservation,
+    observation_from_matrix,
+    observation_from_readings,
+)
 from repro.sim.machine import SimulatedMachine
 from repro.sim.threads import ProducerConsumer
 from repro.uncore.session import UncorePmonSession
@@ -23,6 +34,25 @@ def default_probe_pairs(os_cores: list[int]) -> list[tuple[int, int]]:
     return [(a, b) for a in os_cores for b in os_cores if a != b]
 
 
+def _probe_workload(
+    machine: SimulatedMachine,
+    cha_mapping: ChaMappingResult,
+    source_os: int,
+    sink_os: int,
+    rounds: int,
+) -> tuple[int, int, ProducerConsumer]:
+    """Resolve one probe pair to (source CHA, sink CHA, pinned workload)."""
+    source_cha = cha_mapping.os_to_cha.get(source_os)
+    sink_cha = cha_mapping.os_to_cha.get(sink_os)
+    if source_cha is None or sink_cha is None:
+        raise MappingError(f"pair ({source_os}, {sink_os}) has unmapped cores")
+    sink_set = cha_mapping.eviction_sets[sink_cha]
+    if not sink_set.addresses:
+        raise MappingError(f"no known line homed at CHA {sink_cha}")
+    address = sink_set.addresses[0]
+    return source_cha, sink_cha, ProducerConsumer(source_os, sink_os, address, rounds)
+
+
 def collect_observations(
     machine: SimulatedMachine,
     session: UncorePmonSession,
@@ -30,6 +60,7 @@ def collect_observations(
     rounds: int = 2000,
     threshold: int | None = None,
     pairs: Iterable[tuple[int, int]] | None = None,
+    batched: bool = True,
 ) -> list[PathObservation]:
     """Probe core pairs and threshold the counter readings into observations.
 
@@ -43,16 +74,22 @@ def collect_observations(
     probe_pairs = list(pairs) if pairs is not None else default_probe_pairs(machine.os_cores())
 
     observations: list[PathObservation] = []
+    if batched:
+        with session.ring_batch() as batch:
+            for source_os, sink_os in probe_pairs:
+                source_cha, sink_cha, workload = _probe_workload(
+                    machine, cha_mapping, source_os, sink_os, rounds
+                )
+                matrix = batch.measure(lambda: machine.execute(workload))
+                observations.append(
+                    observation_from_matrix(source_cha, sink_cha, matrix, threshold)
+                )
+        return observations
+
     for source_os, sink_os in probe_pairs:
-        source_cha = cha_mapping.os_to_cha.get(source_os)
-        sink_cha = cha_mapping.os_to_cha.get(sink_os)
-        if source_cha is None or sink_cha is None:
-            raise MappingError(f"pair ({source_os}, {sink_os}) has unmapped cores")
-        sink_set = cha_mapping.eviction_sets[sink_cha]
-        if not sink_set.addresses:
-            raise MappingError(f"no known line homed at CHA {sink_cha}")
-        address = sink_set.addresses[0]
-        workload = ProducerConsumer(source_os, sink_os, address, rounds)
+        source_cha, sink_cha, workload = _probe_workload(
+            machine, cha_mapping, source_os, sink_os, rounds
+        )
         readings = session.measure_rings(lambda: machine.execute(workload))
         observations.append(
             observation_from_readings(source_cha, sink_cha, readings, threshold)

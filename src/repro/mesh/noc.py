@@ -10,6 +10,12 @@ primitives used by the cache-coherence and machine layers:
   LLC lookup at the home tile, plus data movement if requester and home
   differ);
 * ``inject_background`` — random core↔IMC flows modelling other tenants.
+
+Routes are resolved to (tile-row, channel-column) index arrays once per
+(src, dst) pair and cached; every later injection on that pair is a single
+``np.add.at`` scatter into the dense counter array. The mapping pipeline
+replays the same few hundred pairs hundreds of thousands of times, so this
+cache carries the bulk of the simulation's hot path.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ import numpy as np
 from repro.mesh.geometry import GridSpec, TileCoord
 from repro.mesh.routing import Channel, RingClass, ingress_events
 from repro.mesh.tile import Tile, TileKind
-from repro.mesh.traffic import ChannelCounters
+from repro.mesh.traffic import CHANNEL_INDEX, ChannelCounters
 
 #: BL (data) ring occupancy cycles per 64-byte cache line; the Skylake-SP BL
 #: ring moves 32 bytes per cycle, so a line occupies a channel for 2 cycles.
@@ -42,7 +48,12 @@ class Mesh:
         if extra:
             raise ValueError(f"tile kinds given outside grid, e.g. {extra[0]}")
         self._tiles = {c: Tile(c, tile_kinds[c]) for c in grid.coords()}
-        self.counters = ChannelCounters()
+        self.counters = ChannelCounters(tiles=grid.coords())
+        #: (src, dst) → (tile-index array, channel-index array) route cache.
+        self._route_cache: dict[tuple[TileCoord, TileCoord], tuple[np.ndarray, np.ndarray]] = {}
+        self._background_endpoints: tuple[list[TileCoord], list[TileCoord]] | None = None
+        #: Ragged route table over every (src pick, dst pick, swapped) key.
+        self._background_table: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # -- structure -------------------------------------------------------------
     def tile(self, coord: TileCoord) -> Tile:
@@ -64,6 +75,17 @@ class Mesh:
         return self.tile(coord).kind
 
     # -- traffic injection -------------------------------------------------------
+    def _route_indices(self, src: TileCoord, dst: TileCoord) -> tuple[np.ndarray, np.ndarray]:
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            events = ingress_events(src, dst)
+            tiles = np.array([self.counters.index_of(t) for t, _ in events], dtype=np.intp)
+            channels = np.array([CHANNEL_INDEX[ch] for _, ch in events], dtype=np.intp)
+            cached = (tiles, channels)
+            self._route_cache[key] = cached
+        return cached
+
     def inject_transfer(
         self,
         src: TileCoord,
@@ -79,9 +101,8 @@ class Mesh:
             raise ValueError("lines must be non-negative")
         if lines == 0 or src == dst:
             return
-        cycles = lines * cycles_per_line
-        for tile, channel in ingress_events(src, dst):
-            self.counters.add(tile, channel, cycles, ring)
+        tiles, channels = self._route_indices(src, dst)
+        self.counters.add_route(tiles, channels, lines * cycles_per_line, ring)
 
     def inject_messages(
         self, src: TileCoord, dst: TileCoord, messages: int, ring: RingClass = RingClass.AD
@@ -111,20 +132,71 @@ class Mesh:
         self, rng: np.random.Generator, flows: int, lines_per_flow: int
     ) -> None:
         """Inject random tenant traffic between cores and IMC tiles."""
-        cores = self.core_coords()
-        imcs = [c for c in self.grid.coords() if self._tiles[c].kind is TileKind.IMC]
-        endpoints = imcs if imcs else cores
-        if not cores:
+        if self._background_endpoints is None:
+            cores = self.core_coords()
+            imcs = [c for c in self.grid.coords() if self._tiles[c].kind is TileKind.IMC]
+            self._background_endpoints = (cores, imcs if imcs else cores)
+        cores, endpoints = self._background_endpoints
+        if not cores or flows <= 0:
             return
-        for _ in range(flows):
-            src = cores[rng.integers(len(cores))]
-            dst = endpoints[rng.integers(len(endpoints))]
-            if src == dst:
-                continue
-            jitter = max(1, int(rng.poisson(lines_per_flow)))
-            if rng.random() < 0.5:
-                src, dst = dst, src
-            self.inject_transfer(src, dst, jitter)
+        # One vectorized draw per kind keeps the per-flow cost to a cached
+        # route scatter.
+        src_picks = rng.integers(len(cores), size=flows)
+        dst_picks = rng.integers(len(endpoints), size=flows)
+        jitters = rng.poisson(lines_per_flow, size=flows)
+        swaps = rng.random(size=flows) < 0.5
+        # Look every flow up in the ragged route table and deposit the whole
+        # batch with one weighted scatter — no per-flow Python work.
+        all_tiles, all_chans, starts, lens = self._route_table(cores, endpoints)
+        keys = (src_picks * len(endpoints) + dst_picks) * 2 + swaps
+        hop_counts = lens[keys]
+        total = int(hop_counts.sum())
+        if total == 0:
+            return
+        cycles = np.maximum(jitters, 1) * DATA_CYCLES_PER_LINE
+        ends = np.cumsum(hop_counts)
+        gather = np.repeat(starts[keys] - (ends - hop_counts), hop_counts) + np.arange(total)
+        self.counters.add_routes(
+            all_tiles[gather],
+            all_chans[gather],
+            np.repeat(cycles, hop_counts),
+            RingClass.BL,
+        )
+
+    def _route_table(
+        self, cores: list[TileCoord], endpoints: list[TileCoord]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated routes over every (src, dst, swapped) pick triple.
+
+        Returns ``(tiles, channels, starts, lens)``: routes live back to back
+        in the ``tiles``/``channels`` arrays, and key
+        ``(src*len(endpoints) + dst)*2 + swapped`` occupies the slice
+        ``starts[key] : starts[key]+lens[key]``. Self-pairs have length 0.
+        """
+        if self._background_table is None:
+            tile_parts: list[np.ndarray] = []
+            chan_parts: list[np.ndarray] = []
+            lens: list[int] = []
+            for src in cores:
+                for dst in endpoints:
+                    for swapped in (False, True):
+                        if src == dst:
+                            lens.append(0)
+                            continue
+                        pair = (dst, src) if swapped else (src, dst)
+                        tiles, channels = self._route_indices(*pair)
+                        tile_parts.append(tiles)
+                        chan_parts.append(channels)
+                        lens.append(len(tiles))
+            len_arr = np.array(lens, dtype=np.intp)
+            starts = np.concatenate([[0], np.cumsum(len_arr)[:-1]])
+            self._background_table = (
+                np.concatenate(tile_parts) if tile_parts else np.empty(0, dtype=np.intp),
+                np.concatenate(chan_parts) if chan_parts else np.empty(0, dtype=np.intp),
+                starts,
+                len_arr,
+            )
+        return self._background_table
 
     # -- observability helpers ------------------------------------------------
     def visible_read(

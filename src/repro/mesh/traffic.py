@@ -3,18 +3,47 @@
 Counters are kept per (tile, channel, ring class): the mesh carries
 separate AD (request), BL (data) and AK (acknowledgement) rings, and the
 uncore PMON events select one class — the paper's probes monitor BL only.
+
+Storage is a dense numpy array indexed ``[tile, channel, ring]`` so the
+mesh can deposit a whole route's ingress events with one ``np.add.at``
+call and the PMON layer can read every CHA's counters as one vectorized
+gather. The dict-shaped API (``add``/``read``/``snapshot``/``diff``) is
+unchanged; tiles are mapped to array rows on first use (or eagerly when a
+tile set is supplied at construction).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections import Counter
 from collections.abc import Iterable
+
+import numpy as np
 
 from repro.mesh.geometry import TileCoord
 from repro.mesh.routing import Channel, RingClass
 
 CounterKey = tuple[TileCoord, Channel, RingClass]
+
+#: Fixed array index of each ingress channel (matches the step-2 counter
+#: slot assignment in :mod:`repro.uncore.session`).
+CHANNEL_INDEX: dict[Channel, int] = {
+    Channel.UP: 0,
+    Channel.DOWN: 1,
+    Channel.LEFT: 2,
+    Channel.RIGHT: 3,
+}
+CHANNEL_BY_INDEX: tuple[Channel, ...] = tuple(CHANNEL_INDEX)
+
+#: Fixed array index of each ring class.
+RING_INDEX: dict[RingClass, int] = {
+    RingClass.AD: 0,
+    RingClass.BL: 1,
+    RingClass.AK: 2,
+}
+RING_BY_INDEX: tuple[RingClass, ...] = tuple(RING_INDEX)
+
+N_CHANNELS = len(CHANNEL_INDEX)
+N_RINGS = len(RING_INDEX)
 
 
 @dataclass(frozen=True)
@@ -35,9 +64,44 @@ class ChannelCounters:
     the programmed events).
     """
 
-    def __init__(self) -> None:
-        self._counts: Counter[CounterKey] = Counter()
-        self._llc_lookups: Counter[TileCoord] = Counter()
+    def __init__(self, tiles: Iterable[TileCoord] | None = None) -> None:
+        self._tile_index: dict[TileCoord, int] = {}
+        self._tiles: list[TileCoord] = []
+        capacity = 8
+        if tiles is not None:
+            tile_list = list(tiles)
+            capacity = max(capacity, len(tile_list))
+        self._ring = np.zeros((capacity, N_CHANNELS, N_RINGS), dtype=np.int64)
+        self._llc = np.zeros(capacity, dtype=np.int64)
+        if tiles is not None:
+            for tile in tile_list:
+                self.index_of(tile)
+
+    # -- tile indexing -----------------------------------------------------------
+    def index_of(self, tile: TileCoord) -> int:
+        """Array row of ``tile``, registering it on first use."""
+        idx = self._tile_index.get(tile)
+        if idx is None:
+            idx = len(self._tiles)
+            if idx >= self._ring.shape[0]:
+                grow = max(8, self._ring.shape[0])
+                self._ring = np.concatenate(
+                    [self._ring, np.zeros((grow, N_CHANNELS, N_RINGS), dtype=np.int64)]
+                )
+                self._llc = np.concatenate([self._llc, np.zeros(grow, dtype=np.int64)])
+            self._tile_index[tile] = idx
+            self._tiles.append(tile)
+        return idx
+
+    @property
+    def ring_array(self) -> np.ndarray:
+        """Dense ``[tile, channel, ring]`` cycle counts (ground truth)."""
+        return self._ring
+
+    @property
+    def llc_array(self) -> np.ndarray:
+        """Dense per-tile LLC_LOOKUP counts (ground truth)."""
+        return self._llc
 
     # -- ring occupancy --------------------------------------------------------
     def add(
@@ -49,32 +113,79 @@ class ChannelCounters:
     ) -> None:
         if cycles < 0:
             raise ValueError("cycle counts only ever increase")
-        self._counts[(tile, channel, ring)] += cycles
+        self._ring[self.index_of(tile), CHANNEL_INDEX[channel], RING_INDEX[ring]] += cycles
 
     def add_events(self, events: Iterable[IngressEvent]) -> None:
         for ev in events:
             self.add(ev.tile, ev.channel, ev.cycles, ev.ring)
 
+    def add_route(
+        self,
+        tile_indices: np.ndarray,
+        channel_indices: np.ndarray,
+        cycles: int,
+        ring: RingClass = RingClass.BL,
+    ) -> None:
+        """Deposit ``cycles`` at every hop of a precomputed route.
+
+        ``tile_indices``/``channel_indices`` are parallel arrays produced by
+        :meth:`index_of`/:data:`CHANNEL_INDEX` (the mesh caches them per
+        (src, dst) pair); the whole route lands in one scatter-add.
+        """
+        if cycles < 0:
+            raise ValueError("cycle counts only ever increase")
+        np.add.at(self._ring, (tile_indices, channel_indices, RING_INDEX[ring]), cycles)
+
+    def add_routes(
+        self,
+        tile_indices: np.ndarray,
+        channel_indices: np.ndarray,
+        cycles: np.ndarray,
+        ring: RingClass = RingClass.BL,
+    ) -> None:
+        """Deposit many routes at once: ``cycles[i]`` lands at hop ``i``.
+
+        The arrays are the concatenation of several routes' hop indices with
+        a per-hop weight — the whole batch is one scatter-add, so injecting
+        N background flows costs the same as injecting one.
+        """
+        np.add.at(self._ring, (tile_indices, channel_indices, RING_INDEX[ring]), cycles)
+
     def read(
         self, tile: TileCoord, channel: Channel, ring: RingClass = RingClass.BL
     ) -> int:
-        return self._counts[(tile, channel, ring)]
+        idx = self._tile_index.get(tile)
+        if idx is None:
+            return 0
+        return int(self._ring[idx, CHANNEL_INDEX[channel], RING_INDEX[ring]])
 
     # -- LLC lookups -----------------------------------------------------------
     def add_llc_lookup(self, tile: TileCoord, count: int = 1) -> None:
         if count < 0:
             raise ValueError("lookup counts only ever increase")
-        self._llc_lookups[tile] += count
+        self._llc[self.index_of(tile)] += count
 
     def read_llc_lookup(self, tile: TileCoord) -> int:
-        return self._llc_lookups[tile]
+        idx = self._tile_index.get(tile)
+        if idx is None:
+            return 0
+        return int(self._llc[idx])
 
     # -- snapshots ---------------------------------------------------------------
     def snapshot(self) -> dict[CounterKey, int]:
-        return dict(self._counts)
+        n = len(self._tiles)
+        rows, chans, rings = np.nonzero(self._ring[:n])
+        return {
+            (self._tiles[t], CHANNEL_BY_INDEX[c], RING_BY_INDEX[r]): int(
+                self._ring[t, c, r]
+            )
+            for t, c, r in zip(rows.tolist(), chans.tolist(), rings.tolist())
+        }
 
     def snapshot_llc(self) -> dict[TileCoord, int]:
-        return dict(self._llc_lookups)
+        n = len(self._tiles)
+        (rows,) = np.nonzero(self._llc[:n])
+        return {self._tiles[t]: int(self._llc[t]) for t in rows.tolist()}
 
     @staticmethod
     def diff(after: dict[CounterKey, int], before: dict[CounterKey, int]) -> dict[CounterKey, int]:

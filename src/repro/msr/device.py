@@ -12,13 +12,18 @@ PPIN fetch) talks to a :class:`MsrDevice`: 64-bit reads/writes addressed by
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from typing import Protocol, runtime_checkable
+
+import numpy as np
 
 _U64_MASK = (1 << 64) - 1
 
 ReadHook = Callable[[int, int], int]  # (os_cpu, msr_addr) -> value
 WriteHook = Callable[[int, int, int], None]  # (os_cpu, msr_addr, value)
+#: (os_cpu, addr array) -> value array, or None if the provider does not
+#: cover those addresses.
+BlockReadProvider = Callable[[int, np.ndarray], "np.ndarray | None"]
 
 
 class MsrAccessError(RuntimeError):
@@ -52,6 +57,7 @@ class MsrRegisterFile:
         self._values: dict[tuple[int, int], int] = {}
         self._read_hooks: dict[int, ReadHook] = {}
         self._write_hooks: dict[int, WriteHook] = {}
+        self._block_providers: list[BlockReadProvider] = []
 
     def _check_cpu(self, os_cpu: int) -> None:
         if not 0 <= os_cpu < self.n_cpus:
@@ -63,6 +69,30 @@ class MsrRegisterFile:
 
     def install_write_hook(self, addr: int, hook: WriteHook) -> None:
         self._write_hooks[addr] = hook
+
+    def install_block_read_provider(self, provider: BlockReadProvider) -> None:
+        """Register a vectorized bulk-read fast path for a set of addresses.
+
+        ``read_many`` offers each provider the whole address array; the first
+        one returning a value array answers the read. Providers must return
+        exactly what per-address ``read`` calls would.
+        """
+        self._block_providers.append(provider)
+
+    def read_many(self, os_cpu: int, addrs: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Read a batch of MSRs at once (int64 array, same order as ``addrs``).
+
+        The PMON model registers a vectorized provider covering its counter
+        registers, turning a whole-package counter readback into one numpy
+        gather; unknown addresses fall back to the scalar path.
+        """
+        self._check_cpu(os_cpu)
+        addr_arr = np.asarray(addrs, dtype=np.int64)
+        for provider in self._block_providers:
+            values = provider(os_cpu, addr_arr)
+            if values is not None:
+                return values
+        return np.array([self.read(os_cpu, int(a)) for a in addr_arr], dtype=np.int64)
 
     # -- MsrDevice interface -------------------------------------------------------
     def read(self, os_cpu: int, addr: int) -> int:

@@ -92,7 +92,7 @@ class CpuInstance:
         registers = MsrRegisterFile(n_cpus=sku.n_cores)
         pmon = ChaPmonModel(mesh, cha_coords, registers)
 
-        ppin = int(derive_rng(seed, "ppin", sku.name).integers(1, 1 << 63))
+        ppin = cls.ppin_for(sku, seed)
         registers.set_all_cpus(MSR_PPIN_CTL, 0b10)  # PPIN enabled
         registers.set_all_cpus(MSR_PPIN, ppin)
         registers.set_all_cpus(MSR_TEMPERATURE_TARGET, encode_temperature_target(sku.tjmax))
@@ -111,6 +111,15 @@ class CpuInstance:
             registers=registers,
             pmon=pmon,
         )
+
+    @staticmethod
+    def ppin_for(sku: SkuSpec, seed: int) -> int:
+        """PPIN a ``generate(sku, seed)`` call would burn into the part.
+
+        Derivable without building the instance — the survey engine uses it
+        to probe its PPIN-keyed cache before paying for generation/mapping.
+        """
+        return int(derive_rng(seed, "ppin", sku.name).integers(1, 1 << 63))
 
     # -- hidden ground truth -------------------------------------------------------
     @property

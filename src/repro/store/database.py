@@ -63,10 +63,14 @@ class MapDatabase:
 
     def store(self, result, overwrite: bool = True) -> None:
         """Store one :class:`~repro.core.pipeline.MappingResult`."""
-        key = self._key(result.ppin)
+        self.store_record(result.ppin, mapping_record(result), overwrite=overwrite)
+
+    def store_record(self, ppin: int, record: dict[str, Any], overwrite: bool = True) -> None:
+        """Store an already-serialized mapping record (e.g. from a worker)."""
+        key = self._key(ppin)
         if not overwrite and key in self._records:
             raise KeyError(f"map for PPIN {key} already stored")
-        self._records[key] = mapping_record(result)
+        self._records[key] = record
 
     def record(self, ppin: int) -> dict[str, Any]:
         key = self._key(ppin)

@@ -91,6 +91,12 @@ def mapping_record(result, include_observations: bool = False) -> dict[str, Any]
             "elapsed_seconds": round(result.elapsed_seconds, 3),
         },
     }
+    timings = getattr(result, "timings", None)
+    if timings is not None:
+        record["diagnostics"]["stage_seconds"] = {
+            key: round(value, 4) for key, value in timings.as_dict().items()
+        }
+    record["diagnostics"]["probe_count"] = getattr(result, "probe_count", 0)
     return record
 
 

@@ -1,0 +1,17 @@
+"""Fleet-scale survey engine (§III at cloud scale).
+
+Runs the full locating pipeline across a seeded fleet of simulated
+instances — optionally fanned over a process pool — with PPIN-keyed result
+caching and per-stage timing aggregation.
+"""
+
+from repro.survey.runner import InstanceOutcome, SurveyReport, SurveyRunner
+from repro.survey.timing import StageAggregate, aggregate_timings
+
+__all__ = [
+    "InstanceOutcome",
+    "StageAggregate",
+    "SurveyReport",
+    "SurveyRunner",
+    "aggregate_timings",
+]

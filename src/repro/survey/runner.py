@@ -1,0 +1,278 @@
+"""The fleet survey runner.
+
+:class:`SurveyRunner` drives the §III experiment at fleet scale: it walks a
+deterministically seeded fleet (same seeds as
+:func:`repro.platform.fleet.iter_fleet`), maps every instance with the full
+three-step pipeline, and tabulates pattern diversity and reconstruction
+accuracy.
+
+Three properties make it a *survey engine* rather than a loop:
+
+* **PPIN-keyed caching** — before paying for generation and mapping, the
+  runner derives the PPIN each fleet slot *would* carry
+  (:meth:`~repro.platform.instance.CpuInstance.ppin_for`) and skips slots
+  whose map is already in the :class:`~repro.store.database.MapDatabase`.
+  Re-running a finished survey touches no counters at all.
+* **Worker-pool fan-out** — with ``workers > 1`` uncached slots are mapped
+  in a :class:`~concurrent.futures.ProcessPoolExecutor`. Workers rebuild
+  their instance from ``(sku, seed)`` — simulated machines hold MSR hook
+  closures and never cross process boundaries — and return plain-dict
+  records, so results are identical to a serial run.
+* **Stage timing aggregation** — every mapped instance's
+  :class:`~repro.core.pipeline.StageTimings` is folded into per-stage
+  aggregates on the report.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.coremap import CoreMap
+from repro.core.pipeline import MappingConfig, StageTimings, map_cpu
+from repro.platform.fleet import instance_seed
+from repro.platform.instance import CpuInstance
+from repro.platform.skus import SKU_CATALOG, SkuSpec
+from repro.sim.factory import build_machine
+from repro.store.database import MapDatabase
+from repro.store.serialization import mapping_record, record_core_map
+from repro.survey.timing import StageAggregate, aggregate_timings
+
+#: MappingConfig fields a worker job carries (``solver`` objects may hold
+#: unpicklable state, so the pool path only supports the default solver).
+_CONFIG_FIELDS = (
+    "home_discovery_rounds",
+    "colocation_sweeps",
+    "probe_rounds",
+    "l2_set",
+    "reduce_ilp",
+    "batched",
+)
+
+
+def _config_kwargs(config: MappingConfig) -> dict[str, Any]:
+    return {name: getattr(config, name) for name in _CONFIG_FIELDS}
+
+
+def _id_mapping(os_to_cha: dict[int, int]) -> tuple[int, ...]:
+    """The Table-I identity of one instance: CHA IDs in OS-core order."""
+    return tuple(os_to_cha[os] for os in sorted(os_to_cha))
+
+
+def _map_one(job: tuple) -> dict[str, Any]:
+    """Map one fleet slot. Module-level so the process pool can pickle it.
+
+    Returns only plain data — the mapping record, timings, and ground-truth
+    verdict — never live machine objects.
+    """
+    sku_name, index, inst_seed, machine_seed, config_kwargs = job
+    sku = SKU_CATALOG[sku_name]
+    instance = CpuInstance.generate(sku, inst_seed)
+    machine = build_machine(instance, seed=machine_seed, with_thermal=False)
+    result = map_cpu(machine, config=MappingConfig(**config_kwargs))
+
+    truth = CoreMap.from_instance(instance)
+    located = frozenset(result.core_map.cha_positions)
+    return {
+        "index": index,
+        "ppin": result.ppin,
+        "record": mapping_record(result),
+        "timings": result.timings.as_dict(),
+        "probe_count": result.probe_count,
+        "matches_truth": bool(result.core_map.equivalent(truth.restricted_to(located))),
+        "id_mapping": _id_mapping(result.cha_mapping.os_to_cha),
+    }
+
+
+@dataclass(frozen=True)
+class InstanceOutcome:
+    """One fleet slot's survey result."""
+
+    sku: str
+    index: int
+    ppin: int
+    #: True when the map came from the PPIN database, not a pipeline run.
+    cached: bool
+    core_map: CoreMap
+    id_mapping: tuple[int, ...]
+    #: Reconstruction vs hidden ground truth (None when not verified).
+    matches_truth: bool | None
+    #: Per-stage wall clock of the pipeline run (None for cache hits).
+    timings: StageTimings | None
+    #: Step-2 traffic probes executed (0 for cache hits).
+    probe_count: int
+
+
+@dataclass
+class SurveyReport:
+    """Aggregated outcome of surveying one SKU's fleet."""
+
+    sku: str
+    outcomes: list[InstanceOutcome]
+    wall_seconds: float
+    id_mappings: Counter = field(default_factory=Counter)
+    patterns: Counter = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        if not self.id_mappings and not self.patterns:
+            for outcome in self.outcomes:
+                self.id_mappings[outcome.id_mapping] += 1
+                self.patterns[outcome.core_map.canonical_key()] += 1
+
+    # -- aggregates ---------------------------------------------------------------
+    @property
+    def n_instances(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def n_mapped(self) -> int:
+        return self.n_instances - self.n_cached
+
+    @property
+    def n_matching_truth(self) -> int:
+        return sum(1 for o in self.outcomes if o.matches_truth)
+
+    @property
+    def total_probes(self) -> int:
+        return sum(o.probe_count for o in self.outcomes)
+
+    @property
+    def instances_per_minute(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_instances * 60.0 / self.wall_seconds
+
+    def stage_aggregates(self) -> dict[str, StageAggregate]:
+        """Per-§II-stage timing over the instances actually mapped."""
+        return aggregate_timings(o.timings for o in self.outcomes if o.timings is not None)
+
+
+class SurveyRunner:
+    """Maps a seeded fleet, reusing cached maps and fanning out workers."""
+
+    def __init__(
+        self,
+        db: MapDatabase | None = None,
+        workers: int = 1,
+        root_seed: int = 0,
+        config: MappingConfig | None = None,
+        verify_truth: bool = True,
+        clamp_to_cpus: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.db = db
+        self.workers = workers
+        self.root_seed = root_seed
+        self.config = config or MappingConfig()
+        if workers > 1 and self.config.solver is not None:
+            raise ValueError("custom solver objects cannot cross the worker pool")
+        self.verify_truth = verify_truth
+        #: Cap the pool at the CPUs actually available — extra CPU-bound
+        #: workers on an oversubscribed host only add fork/IPC overhead.
+        #: Disable to force the pool path regardless (used by tests).
+        self.clamp_to_cpus = clamp_to_cpus
+
+    def _pool_size(self, n_jobs: int) -> int:
+        size = min(self.workers, n_jobs)
+        if self.clamp_to_cpus:
+            try:
+                available = len(os.sched_getaffinity(0))
+            except AttributeError:  # non-Linux
+                available = os.cpu_count() or 1
+            size = min(size, available)
+        return size
+
+    # -- fleet walking -----------------------------------------------------------
+    def _resolve_sku(self, sku: SkuSpec | str) -> SkuSpec:
+        if isinstance(sku, str):
+            spec = SKU_CATALOG.get(sku)
+            if spec is None:
+                raise KeyError(f"unknown SKU {sku!r}; choose from {sorted(SKU_CATALOG)}")
+            return spec
+        return sku
+
+    def _cached_outcome(self, sku: SkuSpec, index: int, inst_seed: int, ppin: int) -> InstanceOutcome:
+        record = self.db.record(ppin)
+        core_map = record_core_map(record)
+        os_to_cha = {int(os): int(cha) for os, cha in record["cha_mapping"]["os_to_cha"].items()}
+        matches: bool | None = None
+        if self.verify_truth:
+            # Regenerating the instance replays no probes — ground truth is
+            # fixed by the seed, so cache hits stay verifiable for free.
+            truth = CoreMap.from_instance(CpuInstance.generate(sku, inst_seed))
+            located = frozenset(core_map.cha_positions)
+            matches = bool(core_map.equivalent(truth.restricted_to(located)))
+        return InstanceOutcome(
+            sku=sku.name,
+            index=index,
+            ppin=ppin,
+            cached=True,
+            core_map=core_map,
+            id_mapping=_id_mapping(os_to_cha),
+            matches_truth=matches,
+            timings=None,
+            probe_count=0,
+        )
+
+    def survey(self, sku: SkuSpec | str, n_instances: int) -> SurveyReport:
+        """Map ``n_instances`` fleet slots of ``sku`` and aggregate."""
+        sku = self._resolve_sku(sku)
+        if n_instances < 0:
+            raise ValueError("n_instances must be non-negative")
+        started = time.perf_counter()
+
+        cached: list[InstanceOutcome] = []
+        jobs: list[tuple] = []
+        config_kwargs = _config_kwargs(self.config)
+        for index in range(n_instances):
+            inst_seed = instance_seed(self.root_seed, sku, index)
+            ppin = CpuInstance.ppin_for(sku, inst_seed)
+            if self.db is not None and ppin in self.db:
+                cached.append(self._cached_outcome(sku, index, inst_seed, ppin))
+            else:
+                # Machine seed = fleet index, matching the serial survey
+                # example, so cached and fresh runs agree bit for bit.
+                jobs.append((sku.name, index, inst_seed, index, config_kwargs))
+
+        pool_size = self._pool_size(len(jobs))
+        if pool_size > 1:
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                raw_results = list(pool.map(_map_one, jobs))
+        else:
+            raw_results = [_map_one(job) for job in jobs]
+
+        fresh: list[InstanceOutcome] = []
+        for raw in raw_results:
+            fresh.append(
+                InstanceOutcome(
+                    sku=sku.name,
+                    index=raw["index"],
+                    ppin=raw["ppin"],
+                    cached=False,
+                    core_map=record_core_map(raw["record"]),
+                    id_mapping=tuple(raw["id_mapping"]),
+                    matches_truth=raw["matches_truth"] if self.verify_truth else None,
+                    timings=StageTimings.from_dict(raw["timings"]),
+                    probe_count=raw["probe_count"],
+                )
+            )
+            if self.db is not None:
+                self.db.store_record(raw["ppin"], raw["record"])
+        if self.db is not None and fresh:
+            self.db.save()
+
+        outcomes = sorted(cached + fresh, key=lambda o: o.index)
+        return SurveyReport(
+            sku=sku.name,
+            outcomes=outcomes,
+            wall_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,57 @@
+"""Aggregation of per-stage pipeline timings across a fleet.
+
+Each mapped instance carries a :class:`~repro.core.pipeline.StageTimings`;
+the survey engine folds them into one :class:`StageAggregate` per §II stage
+so a fleet run reports where its wall clock went.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.pipeline import StageTimings
+
+#: Stage label → StageTimings field, in pipeline order.
+STAGE_FIELDS: tuple[tuple[str, str], ...] = (
+    ("cha_mapping", "cha_mapping_seconds"),
+    ("probe", "probe_seconds"),
+    ("solve", "solve_seconds"),
+)
+
+
+@dataclass(frozen=True)
+class StageAggregate:
+    """Distribution of one stage's wall clock across mapped instances."""
+
+    stage: str
+    count: int
+    total_seconds: float
+    min_seconds: float
+    max_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+def aggregate_timings(timings: Iterable[StageTimings]) -> dict[str, StageAggregate]:
+    """Fold per-instance stage timings into one aggregate per stage.
+
+    Returns an empty dict when no timings are supplied (e.g. a survey that
+    was served entirely from the PPIN cache).
+    """
+    samples = list(timings)
+    if not samples:
+        return {}
+    out: dict[str, StageAggregate] = {}
+    for stage, field in STAGE_FIELDS:
+        values = [getattr(t, field) for t in samples]
+        out[stage] = StageAggregate(
+            stage=stage,
+            count=len(values),
+            total_seconds=sum(values),
+            min_seconds=min(values),
+            max_seconds=max(values),
+        )
+    return out

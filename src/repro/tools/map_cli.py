@@ -6,6 +6,9 @@ Subcommands:
   store the result: ``repro-map map --sku 8259CL --instance-seed 7 --db maps.json``
 * ``show``  — render a stored map: ``repro-map show --db maps.json --ppin 0x…``
 * ``list``  — enumerate stored PPINs with summary info.
+* ``survey`` — map a whole seeded fleet through the survey engine:
+  ``repro-map survey --sku 8259CL -n 8 --workers 4 --db maps.json``
+  (slots whose PPIN is already in the database are served from cache).
 
 The simulated machine stands in for a bare-metal instance; on real
 hardware the same flow would run against the hardware MSR backend.
@@ -21,6 +24,7 @@ from repro.platform.instance import CpuInstance
 from repro.platform.skus import SKU_CATALOG
 from repro.sim.factory import build_machine
 from repro.store.database import MapDatabase
+from repro.survey import SurveyRunner
 from repro.util.tables import format_table
 
 
@@ -87,6 +91,52 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_survey(args: argparse.Namespace) -> int:
+    if args.sku not in SKU_CATALOG:
+        print(f"unknown SKU {args.sku!r}; choose from {sorted(SKU_CATALOG)}", file=sys.stderr)
+        return 2
+    if args.workers < 1 or args.instances < 0:
+        print("--workers must be >= 1 and --instances >= 0", file=sys.stderr)
+        return 2
+    db = MapDatabase(args.db) if args.db else None
+    runner = SurveyRunner(db=db, workers=args.workers, root_seed=args.root_seed)
+    report = runner.survey(args.sku, args.instances)
+
+    print(
+        f"{report.sku}: {report.n_instances} instances in {report.wall_seconds:.1f}s "
+        f"({report.instances_per_minute:.1f}/min) — "
+        f"{report.n_mapped} mapped, {report.n_cached} from cache, "
+        f"{report.n_matching_truth}/{report.n_instances} match ground truth"
+    )
+    rows = [
+        [
+            report.sku,
+            report.n_instances,
+            len(report.id_mappings),
+            len(report.patterns),
+            f"{report.patterns.most_common(1)[0][1]}/{report.n_instances}"
+            if report.patterns
+            else "-",
+        ]
+    ]
+    print(
+        format_table(
+            ["CPU model", "instances", "unique OS<->CHA maps", "unique patterns", "top pattern"],
+            rows,
+        )
+    )
+    aggregates = report.stage_aggregates()
+    if aggregates:
+        stage_rows = [
+            [agg.stage, f"{agg.total_seconds:.2f}s", f"{agg.mean_seconds:.2f}s"]
+            for agg in aggregates.values()
+        ]
+        print(format_table(["stage", "total", "mean/instance"], stage_rows))
+    if db is not None:
+        print(f"{len(db)} maps stored in {args.db}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-map", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -107,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list stored maps")
     p_list.add_argument("--db", required=True)
     p_list.set_defaults(func=_cmd_list)
+
+    p_survey = sub.add_parser("survey", help="map a seeded fleet through the survey engine")
+    p_survey.add_argument("--sku", default="8259CL", help="CPU model (catalogue name)")
+    p_survey.add_argument("-n", "--instances", type=int, default=8, help="fleet size")
+    p_survey.add_argument("--workers", type=int, default=1, help="worker processes")
+    p_survey.add_argument("--root-seed", type=int, default=0, help="fleet root seed")
+    p_survey.add_argument("--db", help="optional PPIN-keyed map database (enables caching)")
+    p_survey.set_defaults(func=_cmd_survey)
     return parser
 
 

@@ -15,18 +15,22 @@ semantics:
 
 Counters derive their values from the mesh's monotonic ground-truth
 counters, so any traffic injected between a reset and a read is observed.
-The decoded event selection and the tile-visibility flag are cached per
-counter: the mapping pipeline performs hundreds of thousands of PMON
-operations per instance, and this is its hottest path.
+
+All per-counter state (programming, base, latch, freeze) lives in dense
+numpy arrays indexed ``[cha, counter]``. Scalar MSR reads index into them
+directly, and the model registers a *block-read provider* on the register
+file: a batched readback of every counter register collapses into one
+vectorized gather over the mesh's ground-truth arrays — the fast path behind
+:meth:`repro.uncore.session.UncorePmonSession.measure_rings_batch`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import numpy as np
 
 from repro.mesh.geometry import TileCoord
 from repro.mesh.noc import Mesh
-from repro.mesh.routing import Channel, RingClass
+from repro.mesh.traffic import CHANNEL_INDEX, N_CHANNELS, RING_INDEX
 from repro.msr.constants import (
     CHA_NUM_COUNTERS,
     ChaBlockOffset,
@@ -41,26 +45,6 @@ _CTL_OFFSETS = [ChaBlockOffset.CTL0, ChaBlockOffset.CTL1, ChaBlockOffset.CTL2, C
 _CTR_OFFSETS = [ChaBlockOffset.CTR0, ChaBlockOffset.CTR1, ChaBlockOffset.CTR2, ChaBlockOffset.CTR3]
 
 
-@dataclass
-class _CounterState:
-    ctl: int = 0
-    base: int = 0  # ground-truth count at last reset/reprogram
-    latched: int = 0  # value shown while frozen
-    # Decoded-at-write-time programming (cached for the read hot path).
-    enabled: bool = False
-    is_llc_lookup: bool = False
-    channels: tuple[Channel, ...] = ()
-    ring: "RingClass | None" = None
-
-
-@dataclass
-class _BoxState:
-    frozen: bool = False
-    counters: list[_CounterState] = field(
-        default_factory=lambda: [_CounterState() for _ in range(CHA_NUM_COUNTERS)]
-    )
-
-
 class ChaPmonModel:
     """Wires a die's CHA PMON register space into an MSR register file."""
 
@@ -68,11 +52,35 @@ class ChaPmonModel:
         self.mesh = mesh
         self.cha_coords = list(cha_coords)
         self.registers = registers
-        self._boxes = [_BoxState() for _ in self.cha_coords]
-        self._visible = [mesh.tile(coord).pmon_visible for coord in self.cha_coords]
-        # Direct references to the ground-truth counter stores (hot path).
-        self._ring_counts = mesh.counters._counts
-        self._llc_counts = mesh.counters._llc_lookups
+        n = len(self.cha_coords)
+        counters = mesh.counters
+        self._counters = counters
+        self._visible = np.array(
+            [mesh.tile(coord).pmon_visible for coord in self.cha_coords], dtype=bool
+        )
+        self._tile_idx = np.array(
+            [counters.index_of(coord) for coord in self.cha_coords], dtype=np.intp
+        )
+        # Per-(cha, counter) programming, decoded at CTL-write time.
+        self._enabled = np.zeros((n, CHA_NUM_COUNTERS), dtype=bool)
+        self._is_llc = np.zeros((n, CHA_NUM_COUNTERS), dtype=bool)
+        self._ring_idx = np.zeros((n, CHA_NUM_COUNTERS), dtype=np.intp)
+        self._chan_mask = np.zeros((n, CHA_NUM_COUNTERS, N_CHANNELS), dtype=bool)
+        # Scalar-read twin of _chan_mask: plain int tuples per counter.
+        self._chan_idx: list[list[tuple[int, ...]]] = [
+            [() for _ in range(CHA_NUM_COUNTERS)] for _ in range(n)
+        ]
+        # Per-(cha, counter) counting state.
+        self._base = np.zeros((n, CHA_NUM_COUNTERS), dtype=np.int64)
+        self._latched = np.zeros((n, CHA_NUM_COUNTERS), dtype=np.int64)
+        self._frozen = np.zeros(n, dtype=bool)
+        # addr-array-bytes → (cha index array, counter index array), for the
+        # block-read fast path.
+        self._block_sel_cache: dict[bytes, tuple[np.ndarray, np.ndarray] | None] = {}
+        self._addr_to_counter: dict[int, tuple[int, int]] = {}
+        for cha_id in range(n):
+            for counter, ctr_off in enumerate(_CTR_OFFSETS):
+                self._addr_to_counter[cha_msr(cha_id, ctr_off)] = (cha_id, counter)
         self._install_hooks()
 
     # -- MSR wiring --------------------------------------------------------------
@@ -95,65 +103,110 @@ class ChaPmonModel:
                 self.registers.install_read_hook(
                     cha_msr(cha_id, ctr_off), self._make_ctr_hook(cha_id, counter)
                 )
+        self.registers.install_block_read_provider(self._block_read)
 
     def _make_unit_ctl_hook(self, cha_id: int):
         def hook(os_cpu: int, addr: int, value: int) -> None:
-            box = self._boxes[cha_id]
             if value & UNIT_CTL_RST_CTRS:
-                for state in box.counters:
-                    state.base = self._ground_truth(cha_id, state)
-                    state.latched = 0
+                self._base[cha_id] = self._ground_truth_row(cha_id)
+                self._latched[cha_id] = 0
             freeze = bool(value & UNIT_CTL_FRZ)
-            if freeze and not box.frozen:
-                for state in box.counters:
-                    state.latched = self._ground_truth(cha_id, state) - state.base
-                box.frozen = True
-            elif not freeze and box.frozen:
-                for state in box.counters:
-                    # Resume counting from the latched value.
-                    state.base = self._ground_truth(cha_id, state) - state.latched
-                box.frozen = False
+            if freeze and not self._frozen[cha_id]:
+                self._latched[cha_id] = self._ground_truth_row(cha_id) - self._base[cha_id]
+                self._frozen[cha_id] = True
+            elif not freeze and self._frozen[cha_id]:
+                # Resume counting from the latched value.
+                self._base[cha_id] = self._ground_truth_row(cha_id) - self._latched[cha_id]
+                self._frozen[cha_id] = False
 
         return hook
 
     def _make_ctl_hook(self, cha_id: int, counter: int):
         def hook(os_cpu: int, addr: int, value: int) -> None:
-            state = self._boxes[cha_id].counters[counter]
-            state.ctl = value
             event, umask, enabled = decode_ctl(value)
-            state.enabled = enabled
-            state.is_llc_lookup = event == EventCode.LLC_LOOKUP
-            state.channels = tuple(channels_for(event, umask))
-            state.ring = ring_class_for(event)
-            state.base = self._ground_truth(cha_id, state)
-            state.latched = 0
+            self._enabled[cha_id, counter] = enabled
+            self._is_llc[cha_id, counter] = event == EventCode.LLC_LOOKUP
+            mask = self._chan_mask[cha_id, counter]
+            mask[:] = False
+            for channel in channels_for(event, umask):
+                mask[CHANNEL_INDEX[channel]] = True
+            ring = ring_class_for(event)
+            self._ring_idx[cha_id, counter] = 0 if ring is None else RING_INDEX[ring]
+            if ring is None:
+                mask[:] = False
+            self._chan_idx[cha_id][counter] = tuple(np.flatnonzero(mask).tolist())
+            self._base[cha_id, counter] = self._ground_truth(cha_id, counter)
+            self._latched[cha_id, counter] = 0
 
         return hook
 
     def _make_ctr_hook(self, cha_id: int, counter: int):
         def hook(os_cpu: int, addr: int) -> int:
-            box = self._boxes[cha_id]
-            state = box.counters[counter]
-            if box.frozen:
-                return state.latched
-            if not state.enabled:
+            if self._frozen[cha_id]:
+                return int(self._latched[cha_id, counter])
+            if not self._enabled[cha_id, counter]:
                 return 0
-            return self._ground_truth(cha_id, state) - state.base
+            return self._ground_truth(cha_id, counter) - int(self._base[cha_id, counter])
 
         return hook
 
     # -- counter mechanics ---------------------------------------------------------
-    def _ground_truth(self, cha_id: int, state: _CounterState) -> int:
+    def _ground_truth(self, cha_id: int, counter: int) -> int:
         """Monotonic ground-truth count for the programmed event."""
-        if not state.enabled or not self._visible[cha_id]:
+        if not self._enabled[cha_id, counter] or not self._visible[cha_id]:
             return 0
-        coord = self.cha_coords[cha_id]
-        if state.is_llc_lookup:
-            return self._llc_counts[coord]
-        if state.ring is None:
-            return 0
-        counts = self._ring_counts
+        tile = self._tile_idx[cha_id]
+        if self._is_llc[cha_id, counter]:
+            return int(self._counters.llc_array[tile])
+        ring_array = self._counters.ring_array
+        ring = self._ring_idx[cha_id, counter]
         total = 0
-        for channel in state.channels:
-            total += counts[(coord, channel, state.ring)]
-        return total
+        for chan in self._chan_idx[cha_id][counter]:
+            total += ring_array[tile, chan, ring]
+        return int(total)
+
+    def _ground_truth_row(self, cha_id: int) -> np.ndarray:
+        """Ground-truth counts of all of one box's counters."""
+        return np.array(
+            [self._ground_truth(cha_id, c) for c in range(CHA_NUM_COUNTERS)],
+            dtype=np.int64,
+        )
+
+    def _ground_truth_matrix(self) -> np.ndarray:
+        """Vectorized ground truth of every (cha, counter) at once."""
+        ring = self._counters.ring_array[self._tile_idx]  # (n, channels, rings)
+        per_ring = ring.transpose(0, 2, 1)  # (n, rings, channels)
+        n = len(self.cha_coords)
+        gathered = per_ring[np.arange(n)[:, None], self._ring_idx, :]  # (n, ctr, channels)
+        gt = (gathered * self._chan_mask).sum(axis=2)
+        llc = self._counters.llc_array[self._tile_idx]
+        gt = np.where(self._is_llc, llc[:, None], gt)
+        return np.where(self._enabled & self._visible[:, None], gt, 0)
+
+    def counter_value_matrix(self) -> np.ndarray:
+        """Live value of every (cha, counter) exactly as MSR reads see them."""
+        gt = self._ground_truth_matrix()
+        live = np.where(self._enabled, gt - self._base, 0)
+        return np.where(self._frozen[:, None], self._latched, live)
+
+    # -- block-read fast path --------------------------------------------------
+    def _block_read(self, os_cpu: int, addrs: np.ndarray) -> np.ndarray | None:
+        key = addrs.tobytes()
+        sel = self._block_sel_cache.get(key, False)
+        if sel is False:
+            sel = self._decode_block(addrs)
+            self._block_sel_cache[key] = sel
+        if sel is None:
+            return None
+        cha_sel, ctr_sel = sel
+        return self.counter_value_matrix()[cha_sel, ctr_sel]
+
+    def _decode_block(self, addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+        chas, ctrs = [], []
+        for addr in addrs.tolist():
+            pair = self._addr_to_counter.get(addr)
+            if pair is None:
+                return None  # not purely counter registers — scalar path
+            chas.append(pair[0])
+            ctrs.append(pair[1])
+        return np.array(chas, dtype=np.intp), np.array(ctrs, dtype=np.intp)

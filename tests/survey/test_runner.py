@@ -1,0 +1,121 @@
+"""Survey-engine determinism and PPIN-cache semantics.
+
+The engine's contract: fanning a fleet across a worker pool changes
+nothing about the recovered maps, and a finished survey re-runs as a pure
+cache lookup — no instance generation beyond ground-truth verification,
+and zero probes executed.
+"""
+
+import pytest
+
+import repro.survey.runner as runner_mod
+from repro.core.pipeline import StageTimings
+from repro.platform import XEON_8259CL, CpuInstance
+from repro.platform.fleet import instance_seed
+from repro.store.database import MapDatabase
+from repro.survey import SurveyRunner, aggregate_timings
+
+FLEET = 6
+ROOT_SEED = 11
+
+
+@pytest.fixture(scope="module")
+def serial_report(tmp_path_factory):
+    db = MapDatabase(tmp_path_factory.mktemp("survey") / "serial.json")
+    report = SurveyRunner(db=db, workers=1, root_seed=ROOT_SEED).survey(XEON_8259CL, FLEET)
+    return db, report
+
+
+class TestParallelDeterminism:
+    def test_pool_matches_serial_per_ppin(self, serial_report, tmp_path):
+        """workers=4 through a real process pool == serial, map for map."""
+        _, serial = serial_report
+        db = MapDatabase(tmp_path / "parallel.json")
+        parallel = SurveyRunner(
+            db=db, workers=4, root_seed=ROOT_SEED, clamp_to_cpus=False
+        ).survey(XEON_8259CL, FLEET)
+
+        assert parallel.n_cached == 0
+        serial_maps = {o.ppin: o.core_map for o in serial.outcomes}
+        parallel_maps = {o.ppin: o.core_map for o in parallel.outcomes}
+        assert parallel_maps == serial_maps
+        assert [o.index for o in parallel.outcomes] == list(range(FLEET))
+        assert all(o.matches_truth for o in parallel.outcomes)
+
+    def test_ppins_match_fleet_derivation(self, serial_report):
+        _, report = serial_report
+        for outcome in report.outcomes:
+            seed = instance_seed(ROOT_SEED, XEON_8259CL, outcome.index)
+            assert outcome.ppin == CpuInstance.ppin_for(XEON_8259CL, seed)
+
+    def test_stage_timings_aggregated(self, serial_report):
+        _, report = serial_report
+        aggregates = report.stage_aggregates()
+        assert set(aggregates) == {"cha_mapping", "probe", "solve"}
+        for agg in aggregates.values():
+            assert agg.count == FLEET
+            assert agg.total_seconds > 0
+            assert agg.min_seconds <= agg.mean_seconds <= agg.max_seconds
+
+
+class TestPpinCache:
+    def test_rerun_is_pure_cache_hit(self, serial_report, monkeypatch):
+        """Same fleet + same db: no pipeline runs, zero probes, same maps."""
+        db, first = serial_report
+
+        def boom(job):
+            raise AssertionError(f"pipeline ran for cached slot: {job!r}")
+
+        monkeypatch.setattr(runner_mod, "_map_one", boom)
+        rerun = SurveyRunner(db=db, workers=4, root_seed=ROOT_SEED).survey(
+            XEON_8259CL, FLEET
+        )
+
+        assert rerun.n_cached == FLEET and rerun.n_mapped == 0
+        assert rerun.total_probes == 0
+        assert rerun.stage_aggregates() == {}
+        assert {o.ppin: o.core_map for o in rerun.outcomes} == {
+            o.ppin: o.core_map for o in first.outcomes
+        }
+        assert all(o.matches_truth for o in rerun.outcomes)
+
+    def test_cache_extends_to_larger_fleet(self, serial_report, monkeypatch):
+        """Growing the fleet only maps the new slots."""
+        db, _ = serial_report
+        calls = []
+        real = runner_mod._map_one
+
+        def counting(job):
+            calls.append(job)
+            return real(job)
+
+        monkeypatch.setattr(runner_mod, "_map_one", counting)
+        report = SurveyRunner(db=db, workers=1, root_seed=ROOT_SEED).survey(
+            XEON_8259CL, FLEET + 1
+        )
+        assert len(calls) == 1
+        assert report.n_cached == FLEET and report.n_mapped == 1
+        assert len(db) == FLEET + 1
+
+    def test_different_root_seed_misses_cache(self, serial_report):
+        db, _ = serial_report
+        report = SurveyRunner(db=db, workers=1, root_seed=ROOT_SEED + 1).survey(
+            XEON_8259CL, 1
+        )
+        assert report.n_cached == 0
+
+
+class TestTimingAggregation:
+    def test_aggregate_timings_folds_stages(self):
+        samples = [
+            StageTimings(cha_mapping_seconds=1.0, probe_seconds=2.0, solve_seconds=0.5),
+            StageTimings(cha_mapping_seconds=3.0, probe_seconds=4.0, solve_seconds=1.5),
+        ]
+        aggregates = aggregate_timings(samples)
+        assert aggregates["cha_mapping"].total_seconds == 4.0
+        assert aggregates["probe"].mean_seconds == 3.0
+        assert aggregates["solve"].min_seconds == 0.5
+        assert aggregates["solve"].max_seconds == 1.5
+
+    def test_empty_timings(self):
+        assert aggregate_timings([]) == {}

@@ -1,0 +1,95 @@
+"""Bit-identity of the batched measurement path (the perf refactor's contract).
+
+The batched API replaces per-probe reset/freeze/read sequences with one
+delta stream; because the counters are monotonic and nothing runs between
+probes, every reading must come out *bit-identical* to the per-probe path.
+Each comparison drives two identically seeded machines so both paths see
+the same noise stream.
+"""
+
+import pytest
+
+from repro.core.cha_mapping import build_eviction_sets, map_os_to_cha
+from repro.core.probes import collect_observations, default_probe_pairs
+from repro.mesh.geometry import GridSpec
+from repro.mesh.noc import Mesh
+from repro.mesh.tile import TileKind
+from repro.msr.device import MsrRegisterFile
+from repro.platform import XEON_8259CL, CpuInstance
+from repro.sim import build_machine
+from repro.uncore.session import UncorePmonSession, readings_from_matrix
+
+
+def _rig():
+    grid = GridSpec(3, 2)
+    kinds = {c: TileKind.CORE for c in grid.coords()}
+    mesh = Mesh(grid, kinds)
+    regs = MsrRegisterFile(2)
+    from repro.uncore.pmon import ChaPmonModel
+
+    ChaPmonModel(mesh, mesh.cha_coords(), regs)
+    return mesh, UncorePmonSession(regs, n_chas=6)
+
+
+def _clx_machine():
+    instance = CpuInstance.generate(XEON_8259CL, seed=7)
+    return build_machine(instance, seed=5, with_thermal=False)
+
+
+class TestMeasureRingsBatch:
+    def test_bit_identical_to_per_probe_measurement(self):
+        """Twin rigs, same workloads: batch deltas == per-probe readings."""
+        mesh_a, session_a = _rig()
+        mesh_b, session_b = _rig()
+        session_a.program_ring_monitors()
+        session_b.program_ring_monitors()
+        coords = mesh_a.cha_coords()
+
+        def workloads(mesh):
+            return [
+                lambda: mesh.inject_transfer(coords[0], coords[2], 5),
+                lambda: mesh.inject_transfer(coords[2], coords[0], 3),
+                lambda: None,
+                lambda: mesh.inject_transfer(coords[1], coords[5], 7),
+            ]
+
+        serial = [session_a.measure_rings(w) for w in workloads(mesh_a)]
+        batched = session_b.measure_rings_batch(workloads(mesh_b))
+        assert [readings_from_matrix(m) for m in batched] == serial
+
+    def test_batch_leaves_counters_frozen(self):
+        mesh, session = _rig()
+        session.program_ring_monitors()
+        coords = mesh.cha_coords()
+        matrices = session.measure_rings_batch(
+            [lambda: mesh.inject_transfer(coords[0], coords[2], 4)]
+        )
+        mesh.inject_transfer(coords[0], coords[2], 99)
+        frozen = readings_from_matrix(matrices[0])
+        live = session.measure_rings(lambda: None)
+        assert all(r.total() == 0 for r in live)
+        assert frozen[2].vertical() == 8
+
+
+class TestBatchedObservations:
+    @pytest.fixture(scope="class")
+    def twin_observations(self):
+        """Step 2 on twin 8259CL machines: one batched, one per-probe."""
+        results = {}
+        for label, batched in (("batched", True), ("legacy", False)):
+            machine = _clx_machine()
+            session = UncorePmonSession(machine.msr, machine.n_chas)
+            sets = build_eviction_sets(machine, session)
+            cha_mapping = map_os_to_cha(machine, session, sets)
+            pairs = default_probe_pairs(machine.os_cores())[:60]
+            results[label] = collect_observations(
+                machine, session, cha_mapping, pairs=pairs, batched=batched
+            )
+        return results
+
+    def test_observation_lists_bit_identical(self, twin_observations):
+        assert twin_observations["batched"] == twin_observations["legacy"]
+
+    def test_observations_nonempty(self, twin_observations):
+        assert len(twin_observations["batched"]) == 60
+        assert any(obs.observers for obs in twin_observations["batched"])
