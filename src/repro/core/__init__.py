@@ -16,25 +16,52 @@ thermal cross-check of a reconstructed map.
 """
 
 from repro.core.coremap import CoreMap
+from repro.core.errors import (
+    AmbiguousColocation,
+    CounterOverflow,
+    HomeDiscoveryError,
+    MappingError,
+    MeasurementError,
+    ReconstructionInfeasible,
+    SlotTimeoutError,
+    WorkerCrashError,
+    is_transient,
+)
 from repro.core.observations import PathObservation
 from repro.core.cha_mapping import ChaMappingResult, build_eviction_sets, map_os_to_cha
-from repro.core.probes import collect_observations
+from repro.core.probes import collect_observations, collect_observations_voted
 from repro.core.ilp_formulation import IlpLayout, build_layout_model
-from repro.core.reconstruct import ReconstructionResult, reconstruct_map
-from repro.core.pipeline import MappingConfig, MappingResult, map_cpu
+from repro.core.reconstruct import (
+    ReconstructionResult,
+    reconstruct_map,
+    reconstruct_with_degradation,
+)
+from repro.core.pipeline import MappingConfig, MappingResult, RetryPolicy, map_cpu
 
 __all__ = [
+    "AmbiguousColocation",
     "CoreMap",
+    "CounterOverflow",
+    "HomeDiscoveryError",
+    "MappingError",
+    "MeasurementError",
     "PathObservation",
+    "ReconstructionInfeasible",
+    "SlotTimeoutError",
+    "WorkerCrashError",
     "ChaMappingResult",
     "build_eviction_sets",
     "map_os_to_cha",
     "collect_observations",
+    "collect_observations_voted",
     "IlpLayout",
     "build_layout_model",
     "ReconstructionResult",
     "reconstruct_map",
+    "reconstruct_with_degradation",
     "MappingConfig",
     "MappingResult",
+    "RetryPolicy",
+    "is_transient",
     "map_cpu",
 ]

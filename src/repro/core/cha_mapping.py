@@ -24,7 +24,12 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro.cache.eviction import SliceEvictionSet
-from repro.core.errors import MappingError
+from repro.core.errors import (
+    AmbiguousColocation,
+    HomeDiscoveryError,
+    MappingError,
+    MeasurementError,
+)
 from repro.sim.machine import SimulatedMachine
 from repro.sim.threads import ContendedWrite, EvictionSweep
 from repro.uncore.session import UncorePmonSession
@@ -63,12 +68,12 @@ def _rank_home(lookups, address: int, rounds: int, margin: float) -> int:
         elif count > second_count:
             second, second_count = cha, count
     if best_count < rounds:
-        raise MappingError(
+        raise HomeDiscoveryError(
             f"no CHA saw enough lookups for line {address:#x} "
             f"(max {best_count} < {rounds})"
         )
     if second >= 0 and second_count > 0 and best_count < margin * second_count:
-        raise MappingError(
+        raise HomeDiscoveryError(
             f"ambiguous home for line {address:#x}: "
             f"CHA {best}={best_count} vs CHA {second}={second_count}"
         )
@@ -140,7 +145,8 @@ def build_eviction_sets(
         if batch is not None:
             batch.close()
     if pending:
-        raise MappingError(
+        # Transient: more probed lines / higher rounds usually fill the gap.
+        raise HomeDiscoveryError(
             f"could not fill eviction sets for CHAs {sorted(pending)} "
             f"within {max_lines} probed lines"
         )
@@ -212,9 +218,9 @@ def map_os_to_cha(
                 if total < quiet_threshold:
                     quiet.append((total, cha))
             if not quiet:
-                raise MappingError(f"OS core {os_core} co-locates with no CHA")
+                raise MeasurementError(f"OS core {os_core} co-locates with no CHA")
             if len(quiet) > 1:
-                raise MappingError(
+                raise AmbiguousColocation(
                     f"OS core {os_core} appears co-located with CHAs "
                     f"{[cha for _, cha in quiet]}; raise the probe intensity"
                 )

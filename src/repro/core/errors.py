@@ -1,9 +1,60 @@
-"""Exceptions raised by the mapping pipeline."""
+"""Typed exceptions of the mapping pipeline and survey engine.
+
+The taxonomy mirrors how a production survey reacts to each failure:
+
+* :class:`MeasurementError` and its subclasses are **transient** — caused
+  by co-tenant interference, preemption, or flaky MSR access. Repeating
+  the measurement (usually with escalated rounds/sweeps) is expected to
+  succeed; the :class:`~repro.core.pipeline.RetryPolicy` does exactly that.
+* :class:`ReconstructionInfeasible` means the observation *set* is
+  inconsistent. Observations are partial by design, so the pipeline can
+  drop the lowest-confidence ones and re-solve before re-measuring.
+* Everything raised as a plain :class:`MappingError` is **permanent** for
+  the current machine/configuration — retrying cannot help (e.g. fewer
+  than two cores, zero observations).
+"""
+
+from __future__ import annotations
 
 
 class MappingError(RuntimeError):
     """A measurement or reconstruction step could not produce a sound result."""
 
 
+class MeasurementError(MappingError):
+    """A transient measurement failure — repeating the probe may succeed."""
+
+
+class HomeDiscoveryError(MeasurementError):
+    """Home-slice discovery saw no clear winner (lost or drowned signal)."""
+
+
+class AmbiguousColocation(MeasurementError):
+    """The co-location test could not isolate a unique (core, CHA) pair."""
+
+
+class CounterOverflow(MeasurementError):
+    """A PMON counter wrapped (or was dropped) between two readbacks."""
+
+
+class WorkerCrashError(MappingError):
+    """A mapping worker process died before returning a result."""
+
+
+class SlotTimeoutError(MappingError):
+    """A survey slot exceeded its per-slot wall-clock budget."""
+
+
 class ReconstructionInfeasible(MappingError):
     """The ILP found the observation set unsatisfiable (noise/corruption)."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether retrying the same measurement can plausibly clear ``exc``.
+
+    MSR access faults count as transient: on real hardware ``/dev/cpu``
+    reads fail sporadically under interrupt storms and CPU hotplug events.
+    """
+    from repro.msr.device import MsrAccessError
+
+    return isinstance(exc, (MeasurementError, MsrAccessError))

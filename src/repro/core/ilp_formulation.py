@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.errors import MappingError
+from repro.core.errors import ReconstructionInfeasible
 from repro.core.observations import PathObservation
 from repro.ilp.model import Model, Variable, lin_sum
 from repro.mesh.geometry import GridSpec
@@ -208,7 +208,10 @@ def build_layout_model(
         for k in obs.horizontal:
             a, bcls = col_class_of[k], col_class_of[obs.source_cha]
             if a == bcls:
-                raise MappingError(
+                # The observation set contradicts itself before the solver
+                # even runs — same failure family as an UNSAT model, so the
+                # degradation path can drop observations and rebuild.
+                raise ReconstructionInfeasible(
                     f"CHA {k} observed horizontal ingress but shares a column "
                     f"class with source {obs.source_cha}; inconsistent input"
                 )

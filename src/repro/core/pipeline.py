@@ -5,6 +5,14 @@ the reconstructed :class:`~repro.core.coremap.CoreMap` keyed by the CPU's
 PPIN — exactly the artefact the paper stores per cloud instance ("once we
 map the core locations of a CPU instance, we can associate the core map
 with the PPIN").
+
+With ``MappingConfig.retry`` set to a :class:`RetryPolicy`, the pipeline
+becomes resilient: each §II stage retries transient measurement failures
+with escalated rounds/sweeps, step-2 retries majority-vote disagreeing
+probes, and step-3 sheds low-confidence observations before re-measuring.
+When nothing fails, the resilient path performs exactly the same
+measurements in the same order as the plain path — results are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -12,13 +20,62 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.cache.l2 import L2Config
 from repro.core.cha_mapping import ChaMappingResult, build_eviction_sets, map_os_to_cha
 from repro.core.coremap import CoreMap
-from repro.core.probes import collect_observations
-from repro.core.reconstruct import ReconstructionResult, reconstruct_map
+from repro.core.errors import MeasurementError, ReconstructionInfeasible
+from repro.core.probes import (
+    collect_observations,
+    collect_observations_voted,
+    collect_observations_with_confidence,
+)
+from repro.core.reconstruct import (
+    ReconstructionResult,
+    reconstruct_map,
+    reconstruct_with_degradation,
+)
 from repro.mesh.geometry import GridSpec
+from repro.msr.device import MsrAccessError
 from repro.sim.machine import SimulatedMachine
 from repro.uncore.session import UncorePmonSession
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the resilient pipeline reacts to transient failures.
+
+    All fields are plain numbers so a policy crosses process-pool
+    boundaries unchanged.
+    """
+
+    #: Attempts per §II stage (1 = no retries).
+    max_attempts: int = 3
+    #: Rounds/sweeps multiplier applied on each retry (attempt ``k`` runs
+    #: ``base * escalation**k`` rounds) — the calibration a human operator
+    #: performs when a probe drowns in co-tenant noise.
+    escalation: float = 2.0
+    #: Repeated measurements per probe on step-2 retries (majority vote).
+    votes: int = 3
+    #: Fraction of observations shed per ILP degradation round.
+    drop_fraction: float = 0.15
+    #: Degradation rounds before step 3 gives up and re-measures.
+    max_degradations: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.escalation < 1.0:
+            raise ValueError("escalation must be >= 1.0")
+        if self.votes < 1:
+            raise ValueError("votes must be >= 1")
+        if not 0.0 < self.drop_fraction <= 1.0:
+            raise ValueError("drop_fraction must be in (0, 1]")
+        if self.max_degradations < 0:
+            raise ValueError("max_degradations must be non-negative")
+
+    def scaled(self, base: int, attempt: int) -> int:
+        """``base`` escalated for the given zero-indexed attempt."""
+        return max(1, int(round(base * self.escalation**attempt)))
 
 
 @dataclass(frozen=True)
@@ -41,6 +98,22 @@ class MappingConfig:
     #: reset/freeze pair per phase instead of per probe). ``False`` restores
     #: the original per-probe PMON sequence.
     batched: bool = True
+    #: Retry/degradation policy; ``None`` keeps the fail-fast pipeline.
+    retry: RetryPolicy | None = None
+
+    def __post_init__(self) -> None:
+        # Mirror NoiseConfig: reject bad tunables here instead of failing
+        # thousands of MSR operations deep inside a measurement phase.
+        if self.home_discovery_rounds <= 0:
+            raise ValueError("home_discovery_rounds must be positive")
+        if self.colocation_sweeps <= 0:
+            raise ValueError("colocation_sweeps must be positive")
+        if self.probe_rounds <= 0:
+            raise ValueError("probe_rounds must be positive")
+        if not 0 <= self.l2_set < L2Config().n_sets:
+            raise ValueError(
+                f"l2_set {self.l2_set} out of range [0, {L2Config().n_sets})"
+            )
 
 
 @dataclass(frozen=True)
@@ -83,6 +156,10 @@ class MappingResult:
     timings: StageTimings | None = None
     #: Step-2 traffic probes executed.
     probe_count: int = 0
+    #: Stage retries the resilient pipeline spent (0 = first try everywhere).
+    retry_attempts: int = 0
+    #: Observations shed by ILP degradation (0 = full set solved).
+    dropped_observations: int = 0
 
     @property
     def core_map(self) -> CoreMap:
@@ -102,6 +179,15 @@ def map_cpu(
     """
     config = config or MappingConfig()
     grid = grid or machine.instance.sku.die.grid
+    if config.retry is not None:
+        return _map_cpu_resilient(machine, grid, config, config.retry)
+    return _map_cpu_once(machine, grid, config)
+
+
+def _map_cpu_once(
+    machine: SimulatedMachine, grid: GridSpec, config: MappingConfig
+) -> MappingResult:
+    """The fail-fast pipeline: any error aborts the run."""
     started = time.perf_counter()
 
     session = UncorePmonSession(machine.msr, machine.n_chas)
@@ -154,4 +240,133 @@ def map_cpu(
             solve_seconds=t_step3 - t_step2,
         ),
         probe_count=len(observations),
+    )
+
+
+def _map_cpu_resilient(
+    machine: SimulatedMachine,
+    grid: GridSpec,
+    config: MappingConfig,
+    policy: RetryPolicy,
+) -> MappingResult:
+    """Stage-wise retry wrapper around the three §II steps.
+
+    Attempt 0 of every stage runs the exact measurement sequence of
+    :func:`_map_cpu_once`, so a run that never hits a fault produces a
+    bit-identical result.
+    """
+    started = time.perf_counter()
+    session = UncorePmonSession(machine.msr, machine.n_chas)
+    retries = 0
+
+    # -- step 1 with escalation --------------------------------------------------
+    last_error: Exception | None = None
+    cha_mapping: ChaMappingResult | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            eviction_sets = build_eviction_sets(
+                machine,
+                session,
+                l2_set=config.l2_set,
+                rounds=policy.scaled(config.home_discovery_rounds, attempt),
+                batched=config.batched,
+            )
+            cha_mapping = map_os_to_cha(
+                machine,
+                session,
+                eviction_sets,
+                sweeps=policy.scaled(config.colocation_sweeps, attempt),
+                batched=config.batched,
+            )
+            break
+        except (MeasurementError, MsrAccessError) as exc:
+            if attempt == policy.max_attempts - 1:
+                raise
+            last_error = exc
+            retries += 1
+    if cha_mapping is None:  # pragma: no cover - loop always breaks or raises
+        raise MeasurementError("step 1 exhausted retries") from last_error
+    t_step1 = time.perf_counter()
+
+    # -- steps 2+3 with voting and degradation -----------------------------------
+    probe_seconds = 0.0
+    solve_seconds = 0.0
+    probe_count = 0
+    dropped = 0
+    reconstruction: ReconstructionResult | None = None
+    for attempt in range(policy.max_attempts):
+        t_probe = time.perf_counter()
+        rounds = policy.scaled(config.probe_rounds, attempt)
+        try:
+            if attempt == 0:
+                observations, confidences = collect_observations_with_confidence(
+                    machine, session, cha_mapping, rounds=rounds, batched=config.batched
+                )
+            else:
+                # A previous attempt failed: pay for repeated measurements
+                # and take the majority per probe.
+                observations, confidences = collect_observations_voted(
+                    machine,
+                    session,
+                    cha_mapping,
+                    rounds=rounds,
+                    batched=config.batched,
+                    votes=policy.votes,
+                )
+        except (MeasurementError, MsrAccessError):
+            probe_seconds += time.perf_counter() - t_probe
+            if attempt == policy.max_attempts - 1:
+                raise
+            retries += 1
+            continue
+        t_solve = time.perf_counter()
+        probe_seconds += t_solve - t_probe
+        probe_count += len(observations)
+        try:
+            reconstruction, dropped = reconstruct_with_degradation(
+                observations,
+                confidences,
+                cha_mapping,
+                grid,
+                solver=config.solver,
+                reduce=config.reduce_ilp,
+                drop_fraction=policy.drop_fraction,
+                max_degradations=policy.max_degradations,
+            )
+        except ReconstructionInfeasible:
+            solve_seconds += time.perf_counter() - t_solve
+            if attempt == policy.max_attempts - 1:
+                raise
+            retries += 1
+            continue
+        solve_seconds += time.perf_counter() - t_solve
+        if not reconstruction.consistent:
+            # A layout that cannot explain the measurements means the
+            # observations themselves are corrupt — re-measure.
+            if attempt == policy.max_attempts - 1:
+                raise MeasurementError(
+                    "no layout explains the measured observations even after "
+                    f"{reconstruction.refinement_cuts} refinement cuts"
+                )
+            reconstruction = None
+            retries += 1
+            continue
+        break
+    if reconstruction is None:  # pragma: no cover - loop always breaks or raises
+        raise MeasurementError("steps 2/3 exhausted retries")
+    finished = time.perf_counter()
+
+    return MappingResult(
+        ppin=machine.read_ppin(),
+        cha_mapping=cha_mapping,
+        reconstruction=reconstruction,
+        elapsed_seconds=finished - started,
+        timings=StageTimings(
+            cha_mapping_seconds=t_step1 - started,
+            probe_seconds=probe_seconds,
+            solve_seconds=solve_seconds,
+        ),
+        probe_count=probe_count,
+        retry_attempts=retries,
+        dropped_observations=dropped,
     )

@@ -11,22 +11,32 @@ whole-package counter delta (see
 :meth:`~repro.uncore.session.UncorePmonSession.measure_rings_batch`). Pass
 ``batched=False`` for the original per-probe reset/freeze/read sequence —
 the two paths yield bit-identical observations.
+
+For the resilient pipeline two refinements exist on top of the plain
+collection:
+
+* :func:`collect_observations_with_confidence` also scores each probe by
+  how far its counter readings sit from the threshold — readings hovering
+  at the decision boundary are the ones co-tenant noise or preemption can
+  flip, and the ILP degradation path drops them first;
+* :func:`collect_observations_voted` measures each pair repeatedly and
+  majority-votes the resulting observations, rejecting probes whose
+  repeated measurements never agree.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.core.cha_mapping import ChaMappingResult
-from repro.core.errors import MappingError
-from repro.core.observations import (
-    PathObservation,
-    observation_from_matrix,
-    observation_from_readings,
-)
+from repro.core.errors import MappingError, MeasurementError
+from repro.core.observations import PathObservation, observation_from_matrix
 from repro.sim.machine import SimulatedMachine
 from repro.sim.threads import ProducerConsumer
-from repro.uncore.session import UncorePmonSession
+from repro.uncore.session import RING_SLOT_CHANNELS, UncorePmonSession
 
 
 def default_probe_pairs(os_cores: list[int]) -> list[tuple[int, int]]:
@@ -53,6 +63,28 @@ def _probe_workload(
     return source_cha, sink_cha, ProducerConsumer(source_os, sink_os, address, rounds)
 
 
+def _measure_matrix(machine, session, batch, workload) -> np.ndarray:
+    """One probe's ``(n_chas, 4)`` ring-counter reading, batched or not."""
+    if batch is not None:
+        return batch.measure(lambda: machine.execute(workload))
+    readings = session.measure_rings(lambda: machine.execute(workload))
+    return np.array(
+        [[r.cycles[channel] for channel in RING_SLOT_CHANNELS] for r in readings],
+        dtype=np.int64,
+    )
+
+
+def observation_confidence(matrix: np.ndarray, threshold: int) -> float:
+    """How decisively a reading clears (or stays clear of) the threshold.
+
+    The score is the smallest distance of any counter cell from the
+    threshold, normalised by the threshold: a clean probe scores ~1.0
+    (cells are either ~0 or ~2× threshold), while a preempted or
+    noise-flooded probe has cells at the boundary and scores near 0.
+    """
+    return float(np.abs(matrix.astype(np.float64) - threshold).min() / threshold)
+
+
 def collect_observations(
     machine: SimulatedMachine,
     session: UncorePmonSession,
@@ -68,30 +100,107 @@ def collect_observations(
     ~2 cycles × rounds on every tile of the path, so half of that cleanly
     separates signal from co-tenant noise.
     """
+    observations, _ = collect_observations_with_confidence(
+        machine, session, cha_mapping, rounds, threshold, pairs, batched
+    )
+    return observations
+
+
+def collect_observations_with_confidence(
+    machine: SimulatedMachine,
+    session: UncorePmonSession,
+    cha_mapping: ChaMappingResult,
+    rounds: int = 2000,
+    threshold: int | None = None,
+    pairs: Iterable[tuple[int, int]] | None = None,
+    batched: bool = True,
+) -> tuple[list[PathObservation], list[float]]:
+    """:func:`collect_observations` plus a per-probe confidence score.
+
+    The measurement sequence is identical to the plain collection — the
+    confidence is computed from the same readbacks — so the observations
+    are bit-identical to what :func:`collect_observations` returns.
+    """
     if threshold is None:
         threshold = rounds
     session.program_ring_monitors()
     probe_pairs = list(pairs) if pairs is not None else default_probe_pairs(machine.os_cores())
 
     observations: list[PathObservation] = []
-    if batched:
-        with session.ring_batch() as batch:
-            for source_os, sink_os in probe_pairs:
-                source_cha, sink_cha, workload = _probe_workload(
-                    machine, cha_mapping, source_os, sink_os, rounds
-                )
-                matrix = batch.measure(lambda: machine.execute(workload))
-                observations.append(
-                    observation_from_matrix(source_cha, sink_cha, matrix, threshold)
-                )
-        return observations
+    confidences: list[float] = []
+    batch = session.ring_batch() if batched else None
+    try:
+        for source_os, sink_os in probe_pairs:
+            source_cha, sink_cha, workload = _probe_workload(
+                machine, cha_mapping, source_os, sink_os, rounds
+            )
+            matrix = _measure_matrix(machine, session, batch, workload)
+            observations.append(
+                observation_from_matrix(source_cha, sink_cha, matrix, threshold)
+            )
+            confidences.append(observation_confidence(matrix, threshold))
+    finally:
+        if batch is not None:
+            batch.close()
+    return observations, confidences
 
-    for source_os, sink_os in probe_pairs:
-        source_cha, sink_cha, workload = _probe_workload(
-            machine, cha_mapping, source_os, sink_os, rounds
-        )
-        readings = session.measure_rings(lambda: machine.execute(workload))
-        observations.append(
-            observation_from_readings(source_cha, sink_cha, readings, threshold)
-        )
-    return observations
+
+def collect_observations_voted(
+    machine: SimulatedMachine,
+    session: UncorePmonSession,
+    cha_mapping: ChaMappingResult,
+    rounds: int = 2000,
+    threshold: int | None = None,
+    pairs: Iterable[tuple[int, int]] | None = None,
+    batched: bool = True,
+    votes: int = 3,
+) -> tuple[list[PathObservation], list[float]]:
+    """Measure each pair repeatedly and majority-vote the observations.
+
+    Two agreeing measurements accept the probe immediately; otherwise the
+    remaining votes are spent and the modal observation wins. A pair whose
+    measurements never repeat an outcome is raised as
+    :class:`~repro.core.errors.MeasurementError` — its readings are too
+    unstable to trust at this probe intensity.
+    """
+    if votes < 1:
+        raise ValueError("votes must be >= 1")
+    if threshold is None:
+        threshold = rounds
+    session.program_ring_monitors()
+    probe_pairs = list(pairs) if pairs is not None else default_probe_pairs(machine.os_cores())
+
+    observations: list[PathObservation] = []
+    confidences: list[float] = []
+    batch = session.ring_batch() if batched else None
+    try:
+        for source_os, sink_os in probe_pairs:
+            source_cha, sink_cha, workload = _probe_workload(
+                machine, cha_mapping, source_os, sink_os, rounds
+            )
+            ballots: list[tuple[PathObservation, float]] = []
+            for vote in range(max(1, votes)):
+                matrix = _measure_matrix(machine, session, batch, workload)
+                ballots.append(
+                    (
+                        observation_from_matrix(source_cha, sink_cha, matrix, threshold),
+                        observation_confidence(matrix, threshold),
+                    )
+                )
+                if vote == 1 and ballots[0][0] == ballots[1][0]:
+                    break  # early consensus — no need to spend more votes
+            tally = Counter(obs for obs, _ in ballots)
+            winner, count = tally.most_common(1)[0]
+            if len(ballots) > 1 and count < 2:
+                raise MeasurementError(
+                    f"probe ({source_os}->{sink_os}) disagrees across "
+                    f"{len(ballots)} measurements; raise the probe intensity"
+                )
+            observations.append(winner)
+            confidences.append(
+                max(conf for obs, conf in ballots if obs == winner)
+            )
+    finally:
+        if batch is not None:
+            batch.close()
+    return observations, confidences

@@ -185,6 +185,56 @@ def reconstruct_map(
     )
 
 
+def reconstruct_with_degradation(
+    observations: list[PathObservation],
+    confidences: list[float],
+    cha_mapping: ChaMappingResult,
+    grid: GridSpec,
+    solver=None,
+    reduce: bool = True,
+    refine: bool = True,
+    drop_fraction: float = 0.15,
+    max_degradations: int = 3,
+) -> tuple[ReconstructionResult, int]:
+    """Solve the layout ILP, shedding low-confidence observations on UNSAT.
+
+    Observations are partial by design — disabled tiles and ingress-only
+    monitoring already leave most of each route unseen — so a corrupted
+    observation set usually becomes satisfiable again once the few readings
+    that sat near the decision threshold are removed. Each degradation
+    round drops the next ``drop_fraction`` (at least one) of the remaining
+    observations in ascending-confidence order and re-solves; after
+    ``max_degradations`` rounds the last
+    :class:`~repro.core.errors.ReconstructionInfeasible` propagates.
+
+    Returns ``(result, n_dropped)``. With a consistent observation set the
+    first solve succeeds and the call is exactly :func:`reconstruct_map`.
+    """
+    if len(confidences) != len(observations):
+        raise ValueError("confidences must parallel observations")
+    if not 0.0 < drop_fraction <= 1.0:
+        raise ValueError("drop_fraction must be in (0, 1]")
+    if max_degradations < 0:
+        raise ValueError("max_degradations must be non-negative")
+
+    # Ascending confidence; stable so equal-confidence ties keep probe order.
+    order = sorted(range(len(observations)), key=lambda i: (confidences[i], i))
+    chunk = max(1, int(round(drop_fraction * len(observations))))
+    dropped = 0
+    while True:
+        keep = sorted(set(range(len(observations))) - set(order[:dropped]))
+        subset = [observations[i] for i in keep]
+        try:
+            result = reconstruct_map(
+                subset, cha_mapping, grid, solver=solver, reduce=reduce, refine=refine
+            )
+            return result, dropped
+        except ReconstructionInfeasible:
+            if dropped >= chunk * max_degradations or len(subset) <= chunk:
+                raise
+            dropped += chunk
+
+
 def _extract_positions(layout: IlpLayout, solution: Solution) -> dict[int, TileCoord]:
     positions: dict[int, TileCoord] = {}
     for cha in sorted(layout.observed):

@@ -1,0 +1,33 @@
+"""Seeded fault injection for the mapping pipeline and survey engine.
+
+Real uncore measurement is messy: MSR reads fail sporadically, PMON
+readbacks get dropped or wrap, pinned probe threads are preempted, and
+co-tenant traffic arrives in bursts. This package injects exactly those
+failures — deterministically, from a seed — so the retry/degradation
+machinery in :mod:`repro.core.pipeline` and the failure isolation in
+:mod:`repro.survey.runner` can be exercised and regression-tested.
+
+* :class:`FaultSpec` — a picklable description of which faults fire and
+  how often (plus an optional total budget, for transient-only faults);
+* :class:`FaultyMsrDevice` — wraps any MSR device: transient read errors,
+  zeroed counter readbacks, counter wrap/saturation;
+* :class:`FaultyMachine` — wraps a simulated machine: probe preemption,
+  co-tenant noise bursts, stalls, worker crashes;
+* :func:`inject_faults` — arm a machine with a spec (pass-through when the
+  spec is ``None`` or inactive for the attempt);
+* :func:`chaos_plan` — a deterministic per-slot fault assignment for chaos
+  drills over a survey fleet.
+"""
+
+from repro.faults.machine import FaultyMachine, inject_faults
+from repro.faults.msr import FaultyMsrDevice
+from repro.faults.plan import FaultBudget, FaultSpec, chaos_plan
+
+__all__ = [
+    "FaultBudget",
+    "FaultSpec",
+    "FaultyMachine",
+    "FaultyMsrDevice",
+    "chaos_plan",
+    "inject_faults",
+]

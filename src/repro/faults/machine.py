@@ -1,0 +1,115 @@
+"""Machine-level fault injection: preemption, noise bursts, stalls, crashes."""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+
+import numpy as np
+
+from repro.core.errors import WorkerCrashError
+from repro.faults.msr import FaultyMsrDevice
+from repro.faults.plan import FaultBudget, FaultSpec
+from repro.sim.machine import SimulatedMachine
+from repro.sim.threads import ContendedWrite, EvictionSweep, ProducerConsumer, Workload
+from repro.util.rng import derive_rng
+
+
+def _truncated(workload: Workload, fraction: float) -> Workload:
+    """The workload after losing ``fraction`` of its rounds to preemption."""
+    if isinstance(workload, EvictionSweep):
+        return dataclasses.replace(
+            workload, sweeps=max(1, int(workload.sweeps * (1.0 - fraction)))
+        )
+    if isinstance(workload, (ContendedWrite, ProducerConsumer)):
+        return dataclasses.replace(
+            workload, rounds=max(1, int(workload.rounds * (1.0 - fraction)))
+        )
+    return workload
+
+
+class FaultyMachine:
+    """A :class:`~repro.sim.machine.SimulatedMachine` under injected faults.
+
+    Delegates everything to the wrapped machine; only the MSR device and
+    workload execution are perturbed. The injector draws from its own
+    seeded stream, so the machine's noise/sampling RNG advances exactly as
+    it would on a healthy run.
+    """
+
+    def __init__(self, inner: SimulatedMachine, spec: FaultSpec, attempt: int = 1):
+        self._inner = inner
+        self._spec = spec
+        self._attempt = attempt
+        self._active = spec.active_on(attempt)
+        self._budget = FaultBudget(spec.max_faults)
+        self._exec_rng: np.random.Generator = derive_rng(spec.seed, "faults-exec", attempt)
+        self._stalled = False
+        if self._active and (
+            spec.msr_read_error_rate > 0
+            or spec.msr_zero_read_rate > 0
+            or spec.counter_wrap_bits is not None
+        ):
+            self._msr = FaultyMsrDevice(
+                inner.msr, spec, derive_rng(spec.seed, "faults-msr", attempt), self._budget
+            )
+        else:
+            self._msr = inner.msr
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    @property
+    def msr(self):
+        return self._msr
+
+    @property
+    def faults_fired(self) -> int:
+        return self._budget.fired
+
+    def _fire(self, rate: float) -> bool:
+        return (
+            self._active
+            and rate > 0.0
+            and self._exec_rng.random() < rate
+            and self._budget.spend()
+        )
+
+    def maybe_crash(self) -> None:
+        """Kill the mapping worker if this attempt is marked to crash.
+
+        Inside a pool worker the process genuinely dies (the parent sees a
+        ``BrokenProcessPool``); in the main process the crash surfaces as a
+        :class:`~repro.core.errors.WorkerCrashError` instead.
+        """
+        if self._attempt <= self._spec.worker_crash_attempts:
+            if multiprocessing.parent_process() is not None:
+                os._exit(3)  # noqa: SLF001 - simulating an abrupt worker death
+            raise WorkerCrashError(
+                f"injected worker crash on attempt {self._attempt}"
+            )
+
+    def execute(self, workload: Workload) -> None:
+        if self._active and not self._stalled and self._attempt <= self._spec.stall_attempts:
+            self._stalled = True
+            time.sleep(self._spec.stall_seconds)
+        if self._fire(self._spec.noise_burst_rate):
+            # A co-tenant burst: a transient NoiseConfig spike realised as
+            # extra background flows around this one probe.
+            self._inner.instance.mesh.inject_background(
+                self._exec_rng, self._spec.noise_burst_flows, self._spec.noise_burst_lines
+            )
+        if self._fire(self._spec.preempt_rate):
+            workload = _truncated(workload, self._spec.preempt_fraction)
+        self._inner.execute(workload)
+
+
+def inject_faults(
+    machine: SimulatedMachine, spec: FaultSpec | None, attempt: int = 1
+) -> SimulatedMachine:
+    """Arm ``machine`` with ``spec``; pass-through when nothing can fire."""
+    if spec is None:
+        return machine
+    return FaultyMachine(machine, spec, attempt=attempt)

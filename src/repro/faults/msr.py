@@ -1,0 +1,100 @@
+"""MSR-level fault injection: flaky reads, dropped readbacks, wraps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.plan import FaultBudget, FaultSpec
+from repro.msr.constants import ChaBlockOffset, cha_of_msr
+from repro.msr.device import MsrDevice, TransientMsrError
+
+_CTR_OFFSETS = frozenset(
+    (ChaBlockOffset.CTR0, ChaBlockOffset.CTR1, ChaBlockOffset.CTR2, ChaBlockOffset.CTR3)
+)
+
+
+def is_counter_addr(addr: int) -> bool:
+    """Whether ``addr`` is a CHA PMON counter register (CTR0..CTR3)."""
+    decoded = cha_of_msr(addr)
+    return decoded is not None and decoded[1] in _CTR_OFFSETS
+
+
+class FaultyMsrDevice:
+    """An :class:`~repro.msr.device.MsrDevice` with injected access faults.
+
+    Wraps any device (the in-memory register file, the file-backed tree,
+    real hardware) and perturbs only what real failures perturb:
+
+    * any read may raise :class:`~repro.msr.device.TransientMsrError`
+      (driver contention / interrupt storms);
+    * counter reads may come back zeroed (a dropped readback) or wrapped
+      modulo ``2**counter_wrap_bits`` (narrow/saturating counters);
+    * control reads, writes, and non-counter registers pass through
+      untouched, so the PMON programming sequence itself stays sound.
+
+    All randomness comes from the injector's own seeded stream — the
+    wrapped machine's RNG never sees a different draw order, which keeps
+    fault-free components bit-identical to an uninjected run.
+    """
+
+    def __init__(
+        self,
+        inner: MsrDevice,
+        spec: FaultSpec,
+        rng: np.random.Generator,
+        budget: FaultBudget | None = None,
+    ):
+        self._inner = inner
+        self._spec = spec
+        self._rng = rng
+        self._budget = budget if budget is not None else FaultBudget(spec.max_faults)
+
+    @property
+    def faults_fired(self) -> int:
+        return self._budget.fired
+
+    def _fire(self, rate: float) -> bool:
+        # Draw first so the injector's stream position does not depend on
+        # the remaining budget — same spec + seed ⇒ same fault schedule.
+        return rate > 0.0 and self._rng.random() < rate and self._budget.spend()
+
+    # -- MsrDevice interface -----------------------------------------------------
+    def read(self, os_cpu: int, addr: int) -> int:
+        if self._fire(self._spec.msr_read_error_rate):
+            raise TransientMsrError(
+                f"injected transient read fault at CPU {os_cpu} MSR {addr:#x}"
+            )
+        value = self._inner.read(os_cpu, addr)
+        if is_counter_addr(addr):
+            if self._fire(self._spec.msr_zero_read_rate):
+                return 0
+            if self._spec.counter_wrap_bits is not None:
+                value &= (1 << self._spec.counter_wrap_bits) - 1
+        return value
+
+    def write(self, os_cpu: int, addr: int, value: int) -> None:
+        self._inner.write(os_cpu, addr, value)
+
+    def read_many(self, os_cpu: int, addrs) -> np.ndarray:
+        """Batched counterpart: faults hit the whole readback at once."""
+        if self._fire(self._spec.msr_read_error_rate):
+            raise TransientMsrError(
+                f"injected transient block-read fault at CPU {os_cpu}"
+            )
+        read_many = getattr(self._inner, "read_many", None)
+        if read_many is not None:
+            values = np.array(read_many(os_cpu, addrs), dtype=np.int64)
+        else:
+            values = np.array(
+                [self._inner.read(os_cpu, int(a)) for a in np.asarray(addrs)],
+                dtype=np.int64,
+            )
+        counter_mask = np.array([is_counter_addr(int(a)) for a in np.asarray(addrs)])
+        if counter_mask.any():
+            if self._fire(self._spec.msr_zero_read_rate):
+                values = values.copy()
+                values[counter_mask] = 0  # one dropped whole-package readback
+            if self._spec.counter_wrap_bits is not None:
+                values = values.copy()
+                values[counter_mask] &= (1 << self._spec.counter_wrap_bits) - 1
+        return values

@@ -1,0 +1,145 @@
+"""Fault specifications and deterministic fleet chaos plans."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Which faults to inject and how hard, as plain picklable data.
+
+    Rates are per fault opportunity (one MSR read, one readback batch, one
+    workload execution). Two knobs make faults *transient*:
+
+    * ``max_faults`` — a total budget; once spent, the injector goes quiet
+      and the run behaves like a healthy machine (recovery happens inside
+      one pipeline run, via :class:`~repro.core.pipeline.RetryPolicy`);
+    * ``only_attempts`` — faults fire only on the first ``k`` slot-level
+      dispatch attempts (recovery happens across survey retries).
+    """
+
+    #: Seed of the injector's own RNG stream (independent of the machine's).
+    seed: int = 0
+    #: Probability an MSR read / readback batch raises a transient error.
+    msr_read_error_rate: float = 0.0
+    #: Probability a counter readback comes back zeroed (dropped).
+    msr_zero_read_rate: float = 0.0
+    #: Wrap counter reads modulo ``2**bits`` (models narrow/saturating
+    #: counters; surfaces as negative deltas → ``CounterOverflow``).
+    counter_wrap_bits: int | None = None
+    #: Probability a pinned workload is preempted mid-probe.
+    preempt_rate: float = 0.0
+    #: Fraction of the workload's rounds lost when preempted.
+    preempt_fraction: float = 0.5
+    #: Probability a co-tenant noise burst lands around a workload.
+    noise_burst_rate: float = 0.0
+    #: Burst intensity (mesh flows / lines per flow, a NoiseConfig spike).
+    noise_burst_flows: int = 64
+    noise_burst_lines: int = 8
+    #: Stall the first workload of affected attempts (per-slot timeouts).
+    stall_seconds: float = 0.0
+    stall_attempts: int = 0
+    #: Kill the mapping worker outright on attempts 1..k.
+    worker_crash_attempts: int = 0
+    #: Total injection budget (None = unlimited).
+    max_faults: int | None = None
+    #: Faults fire only on slot attempts 1..k (0 = every attempt).
+    only_attempts: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("msr_read_error_rate", "msr_zero_read_rate", "preempt_rate", "noise_burst_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if not 0.0 <= self.preempt_fraction < 1.0:
+            raise ValueError("preempt_fraction must be in [0, 1)")
+        if self.counter_wrap_bits is not None and not 1 <= self.counter_wrap_bits < 64:
+            raise ValueError("counter_wrap_bits must be in [1, 64)")
+        if self.noise_burst_flows < 0 or self.noise_burst_lines < 0:
+            raise ValueError("noise burst intensity must be non-negative")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be non-negative")
+        if min(self.stall_attempts, self.worker_crash_attempts, self.only_attempts) < 0:
+            raise ValueError("attempt gates must be non-negative")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+
+    def active_on(self, attempt: int) -> bool:
+        """Whether any fault may fire on slot-dispatch ``attempt`` (1-based)."""
+        return self.only_attempts == 0 or attempt <= self.only_attempts
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(**data)
+
+    # -- presets used by chaos plans and the CLI drill ---------------------------
+    @classmethod
+    def hard_msr(cls, seed: int) -> "FaultSpec":
+        """Every MSR access fails — the slot can never map."""
+        return cls(seed=seed, msr_read_error_rate=1.0)
+
+    @classmethod
+    def flaky_first_attempt(cls, seed: int) -> "FaultSpec":
+        """Heavy corruption on the first dispatch only — recoverable."""
+        return cls(
+            seed=seed,
+            msr_zero_read_rate=0.3,
+            preempt_rate=0.3,
+            noise_burst_rate=0.2,
+            only_attempts=1,
+        )
+
+    @classmethod
+    def crash_once(cls, seed: int) -> "FaultSpec":
+        """The first mapping worker dies — recoverable via re-dispatch."""
+        return cls(seed=seed, worker_crash_attempts=1)
+
+
+class FaultBudget:
+    """Mutable spend-tracker shared by all injectors of one machine."""
+
+    def __init__(self, limit: int | None):
+        self.limit = limit
+        self.fired = 0
+
+    def spend(self) -> bool:
+        """Consume one fault if the budget allows; True when it fired."""
+        if self.limit is not None and self.fired >= self.limit:
+            return False
+        self.fired += 1
+        return True
+
+
+#: Preset rotation used by :func:`chaos_plan` — one permanent failure mode
+#: followed by two distinct recoverable ones.
+_CHAOS_PRESETS = (
+    FaultSpec.hard_msr,
+    FaultSpec.crash_once,
+    FaultSpec.flaky_first_attempt,
+)
+
+
+def chaos_plan(
+    n_slots: int, n_faulty: int, seed: int = 0
+) -> dict[int, FaultSpec]:
+    """Deterministically assign fault specs to ``n_faulty`` fleet slots.
+
+    The same ``(n_slots, n_faulty, seed)`` always yields the same plan, so
+    chaos drills are reproducible in CI. Specs rotate through the preset
+    failure modes (permanent MSR failure, worker crash, first-attempt
+    corruption).
+    """
+    if not 0 <= n_faulty <= n_slots:
+        raise ValueError("need 0 <= n_faulty <= n_slots")
+    rng = derive_rng(seed, "chaos-plan", n_slots, n_faulty)
+    slots = sorted(rng.choice(n_slots, size=n_faulty, replace=False).tolist())
+    return {
+        int(slot): _CHAOS_PRESETS[i % len(_CHAOS_PRESETS)](seed=seed + i)
+        for i, slot in enumerate(slots)
+    }

@@ -30,6 +30,15 @@ class MsrAccessError(RuntimeError):
     """Raised when an MSR cannot be read or written."""
 
 
+class TransientMsrError(MsrAccessError):
+    """An MSR access that failed momentarily and is worth retrying.
+
+    Real ``/dev/cpu/N/msr`` reads fail sporadically (interrupt storms, CPU
+    hotplug, driver contention); the fault injector raises this class so
+    retry layers can distinguish flaky access from a missing CPU.
+    """
+
+
 @runtime_checkable
 class MsrDevice(Protocol):
     """64-bit register access keyed by (OS CPU number, MSR address)."""

@@ -19,9 +19,10 @@ from repro.store.serialization import (
     mapping_record,
     record_core_map,
 )
-from repro.store.database import MapDatabase
+from repro.store.database import MapDatabase, MapDatabaseError
 
 __all__ = [
+    "MapDatabaseError",
     "FORMAT_VERSION",
     "core_map_to_dict",
     "core_map_from_dict",

@@ -21,21 +21,55 @@ from repro.store.serialization import (
 )
 
 
-class MapDatabase:
-    """A file-backed collection of mapping records keyed by PPIN."""
+class MapDatabaseError(RuntimeError):
+    """The on-disk map database is corrupt, truncated, or unreadable."""
 
-    def __init__(self, path: str | os.PathLike):
+
+class MapDatabase:
+    """A file-backed collection of mapping records keyed by PPIN.
+
+    A file that fails to parse (truncated write, bit rot, wrong schema) is
+    quarantined to ``<path>.corrupt`` and reported as
+    :class:`MapDatabaseError` — the survey decides whether to start over,
+    never silently clobbering the evidence. With ``autoflush_every`` set,
+    every N-th stored record triggers a :meth:`save`, bounding how much a
+    crash can lose.
+    """
+
+    def __init__(self, path: str | os.PathLike, autoflush_every: int | None = None):
+        if autoflush_every is not None and autoflush_every < 1:
+            raise ValueError("autoflush_every must be >= 1")
         self.path = Path(path)
+        self.autoflush_every = autoflush_every
+        self._dirty = 0
         self._records: dict[str, dict[str, Any]] = {}
         if self.path.exists():
             self._load()
 
+    def _quarantine(self, reason: str) -> MapDatabaseError:
+        quarantined = self.path.with_suffix(self.path.suffix + ".corrupt")
+        self.path.replace(quarantined)
+        return MapDatabaseError(
+            f"map database {self.path} is unreadable ({reason}); "
+            f"moved aside to {quarantined}"
+        )
+
     def _load(self) -> None:
-        data = json.loads(self.path.read_text())
+        try:
+            data = json.loads(self.path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise self._quarantine(f"invalid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise self._quarantine("top level is not an object")
         version = data.get("version")
         if version != FORMAT_VERSION:
             raise ValueError(f"unsupported map-database version {version!r}")
-        self._records = data["maps"]
+        records = data.get("maps")
+        if not isinstance(records, dict) or not all(
+            isinstance(rec, dict) for rec in records.values()
+        ):
+            raise self._quarantine("'maps' is missing or malformed")
+        self._records = records
 
     def save(self) -> None:
         payload = {"version": FORMAT_VERSION, "maps": self._records}
@@ -43,6 +77,7 @@ class MapDatabase:
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         tmp.replace(self.path)
+        self._dirty = 0
 
     # -- access ------------------------------------------------------------------
     @staticmethod
@@ -71,6 +106,9 @@ class MapDatabase:
         if not overwrite and key in self._records:
             raise KeyError(f"map for PPIN {key} already stored")
         self._records[key] = record
+        self._dirty += 1
+        if self.autoflush_every is not None and self._dirty >= self.autoflush_every:
+            self.save()
 
     def record(self, ppin: int) -> dict[str, Any]:
         key = self._key(ppin)

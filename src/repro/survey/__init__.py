@@ -2,7 +2,8 @@
 
 Runs the full locating pipeline across a seeded fleet of simulated
 instances — optionally fanned over a process pool — with PPIN-keyed result
-caching and per-stage timing aggregation.
+caching, per-stage timing aggregation, and per-slot failure isolation
+(retry budgets, timeouts, dead-pool recovery, ``failed`` outcomes).
 """
 
 from repro.survey.runner import InstanceOutcome, SurveyReport, SurveyRunner

@@ -6,21 +6,29 @@ deterministically seeded fleet (same seeds as
 three-step pipeline, and tabulates pattern diversity and reconstruction
 accuracy.
 
-Three properties make it a *survey engine* rather than a loop:
+Four properties make it a *survey engine* rather than a loop:
 
 * **PPIN-keyed caching** — before paying for generation and mapping, the
   runner derives the PPIN each fleet slot *would* carry
   (:meth:`~repro.platform.instance.CpuInstance.ppin_for`) and skips slots
   whose map is already in the :class:`~repro.store.database.MapDatabase`.
-  Re-running a finished survey touches no counters at all.
+  Re-running a finished survey touches no counters at all. Fresh maps are
+  flushed to disk every ``flush_every`` records, so a crash mid-survey
+  loses at most one flush window of work.
 * **Worker-pool fan-out** — with ``workers > 1`` uncached slots are mapped
   in a :class:`~concurrent.futures.ProcessPoolExecutor`. Workers rebuild
   their instance from ``(sku, seed)`` — simulated machines hold MSR hook
   closures and never cross process boundaries — and return plain-dict
   records, so results are identical to a serial run.
+* **Failure isolation** — with ``keep_going=True`` a slot that keeps
+  failing becomes a ``failed`` :class:`InstanceOutcome` carrying its error
+  class and attempt count instead of aborting the fleet. Every slot gets a
+  bounded retry budget with exponential backoff, an optional per-slot
+  timeout (pool mode), and a dead worker (``BrokenProcessPool``) only
+  costs a serial re-dispatch of the affected shard.
 * **Stage timing aggregation** — every mapped instance's
   :class:`~repro.core.pipeline.StageTimings` is folded into per-stage
-  aggregates on the report.
+  aggregates on the report, alongside retry/failure statistics.
 """
 
 from __future__ import annotations
@@ -29,15 +37,21 @@ import os
 import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.coremap import CoreMap
+from repro.core.errors import MappingError, SlotTimeoutError
 from repro.core.pipeline import MappingConfig, StageTimings, map_cpu
+from repro.faults.machine import inject_faults
+from repro.faults.plan import FaultSpec
 from repro.platform.fleet import instance_seed
 from repro.platform.instance import CpuInstance
 from repro.platform.skus import SKU_CATALOG, SkuSpec
 from repro.sim.factory import build_machine
+from repro.sim.workload import NoiseConfig
 from repro.store.database import MapDatabase
 from repro.store.serialization import mapping_record, record_core_map
 from repro.survey.timing import StageAggregate, aggregate_timings
@@ -51,6 +65,7 @@ _CONFIG_FIELDS = (
     "l2_set",
     "reduce_ilp",
     "batched",
+    "retry",
 )
 
 
@@ -63,28 +78,62 @@ def _id_mapping(os_to_cha: dict[int, int]) -> tuple[int, ...]:
     return tuple(os_to_cha[os] for os in sorted(os_to_cha))
 
 
-def _map_one(job: tuple) -> dict[str, Any]:
+@dataclass(frozen=True)
+class _SlotJob:
+    """One uncached fleet slot, as plain picklable data."""
+
+    sku_name: str
+    index: int
+    inst_seed: int
+    machine_seed: int
+    ppin: int
+    config_kwargs: dict[str, Any]
+    noise_kwargs: dict[str, Any] | None = None
+    fault_kwargs: dict[str, Any] | None = None
+    attempt: int = 1
+
+    def on_attempt(self, attempt: int) -> "_SlotJob":
+        return _SlotJob(
+            self.sku_name,
+            self.index,
+            self.inst_seed,
+            self.machine_seed,
+            self.ppin,
+            self.config_kwargs,
+            self.noise_kwargs,
+            self.fault_kwargs,
+            attempt,
+        )
+
+
+def _map_one(job: _SlotJob) -> dict[str, Any]:
     """Map one fleet slot. Module-level so the process pool can pickle it.
 
     Returns only plain data — the mapping record, timings, and ground-truth
     verdict — never live machine objects.
     """
-    sku_name, index, inst_seed, machine_seed, config_kwargs = job
-    sku = SKU_CATALOG[sku_name]
-    instance = CpuInstance.generate(sku, inst_seed)
-    machine = build_machine(instance, seed=machine_seed, with_thermal=False)
-    result = map_cpu(machine, config=MappingConfig(**config_kwargs))
+    sku = SKU_CATALOG[job.sku_name]
+    instance = CpuInstance.generate(sku, job.inst_seed)
+    noise = NoiseConfig(**job.noise_kwargs) if job.noise_kwargs is not None else None
+    machine = build_machine(instance, seed=job.machine_seed, noise=noise, with_thermal=False)
+    if job.fault_kwargs is not None:
+        machine = inject_faults(machine, FaultSpec.from_dict(job.fault_kwargs), job.attempt)
+        machine.maybe_crash()
+    result = map_cpu(machine, config=MappingConfig(**job.config_kwargs))
 
     truth = CoreMap.from_instance(instance)
     located = frozenset(result.core_map.cha_positions)
     return {
-        "index": index,
+        "index": job.index,
         "ppin": result.ppin,
         "record": mapping_record(result),
         "timings": result.timings.as_dict(),
         "probe_count": result.probe_count,
         "matches_truth": bool(result.core_map.equivalent(truth.restricted_to(located))),
         "id_mapping": _id_mapping(result.cha_mapping.os_to_cha),
+        "attempts": job.attempt,
+        "pipeline_retries": result.retry_attempts,
+        "dropped_observations": result.dropped_observations,
     }
 
 
@@ -97,7 +146,8 @@ class InstanceOutcome:
     ppin: int
     #: True when the map came from the PPIN database, not a pipeline run.
     cached: bool
-    core_map: CoreMap
+    #: The recovered map (None when the slot failed).
+    core_map: CoreMap | None
     id_mapping: tuple[int, ...]
     #: Reconstruction vs hidden ground truth (None when not verified).
     matches_truth: bool | None
@@ -105,6 +155,22 @@ class InstanceOutcome:
     timings: StageTimings | None
     #: Step-2 traffic probes executed (0 for cache hits).
     probe_count: int
+    #: True when every dispatch attempt for this slot failed.
+    failed: bool = False
+    #: Exception class name of the final failure (None on success).
+    error: str | None = None
+    error_message: str | None = None
+    #: Slot-level dispatch attempts consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: Stage retries the pipeline's RetryPolicy spent inside the run.
+    pipeline_retries: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        """Succeeded, but only after a retry somewhere in the stack."""
+        return not self.failed and not self.cached and (
+            self.attempts > 1 or self.pipeline_retries > 0
+        )
 
 
 @dataclass
@@ -120,6 +186,8 @@ class SurveyReport:
     def __post_init__(self) -> None:
         if not self.id_mappings and not self.patterns:
             for outcome in self.outcomes:
+                if outcome.failed:
+                    continue
                 self.id_mappings[outcome.id_mapping] += 1
                 self.patterns[outcome.core_map.canonical_key()] += 1
 
@@ -133,8 +201,20 @@ class SurveyReport:
         return sum(1 for o in self.outcomes if o.cached)
 
     @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.failed)
+
+    @property
     def n_mapped(self) -> int:
-        return self.n_instances - self.n_cached
+        return self.n_instances - self.n_cached - self.n_failed
+
+    @property
+    def n_recovered(self) -> int:
+        return sum(1 for o in self.outcomes if o.recovered)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(o.attempts for o in self.outcomes)
 
     @property
     def n_matching_truth(self) -> int:
@@ -149,6 +229,13 @@ class SurveyReport:
         if self.wall_seconds <= 0:
             return 0.0
         return self.n_instances * 60.0 / self.wall_seconds
+
+    def failed_outcomes(self) -> list[InstanceOutcome]:
+        return [o for o in self.outcomes if o.failed]
+
+    def failure_classes(self) -> Counter:
+        """Error class → count over the failed slots."""
+        return Counter(o.error for o in self.outcomes if o.failed)
 
     def stage_aggregates(self) -> dict[str, StageAggregate]:
         """Per-§II-stage timing over the instances actually mapped."""
@@ -166,9 +253,27 @@ class SurveyRunner:
         config: MappingConfig | None = None,
         verify_truth: bool = True,
         clamp_to_cpus: bool = True,
+        noise: NoiseConfig | None = None,
+        faults: dict[int, FaultSpec] | None = None,
+        keep_going: bool = False,
+        max_failures: int | None = None,
+        slot_attempts: int = 2,
+        backoff_seconds: float = 0.0,
+        slot_timeout: float | None = None,
+        flush_every: int = 8,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if slot_attempts < 1:
+            raise ValueError("slot_attempts must be >= 1")
+        if backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if slot_timeout is not None and slot_timeout <= 0:
+            raise ValueError("slot_timeout must be positive")
+        if max_failures is not None and max_failures < 0:
+            raise ValueError("max_failures must be non-negative")
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.db = db
         self.workers = workers
         self.root_seed = root_seed
@@ -180,6 +285,22 @@ class SurveyRunner:
         #: workers on an oversubscribed host only add fork/IPC overhead.
         #: Disable to force the pool path regardless (used by tests).
         self.clamp_to_cpus = clamp_to_cpus
+        #: Simulated co-tenant noise level of every surveyed machine.
+        self.noise = noise
+        #: Optional fault plan: fleet slot index → spec (chaos drills).
+        self.faults = faults or {}
+        #: Produce ``failed`` outcomes instead of raising.
+        self.keep_going = keep_going
+        #: Abort (raise) once this many slots have failed for good.
+        self.max_failures = max_failures
+        #: Bounded retry budget per slot (first dispatch included).
+        self.slot_attempts = slot_attempts
+        #: Base of the exponential backoff between a slot's attempts.
+        self.backoff_seconds = backoff_seconds
+        #: Per-slot wall-clock budget (enforced on the pool path).
+        self.slot_timeout = slot_timeout
+        #: Persist the database after every N fresh maps.
+        self.flush_every = flush_every
 
     def _pool_size(self, n_jobs: int) -> int:
         size = min(self.workers, n_jobs)
@@ -223,6 +344,85 @@ class SurveyRunner:
             probe_count=0,
         )
 
+    # -- slot execution with isolation -------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        """Sleep before (1-based) dispatch ``attempt`` — exponential, no jitter."""
+        if self.backoff_seconds > 0 and attempt > 1:
+            time.sleep(self.backoff_seconds * 2 ** (attempt - 2))
+
+    def _failure_raw(self, job: _SlotJob, exc: BaseException, attempts: int) -> dict[str, Any]:
+        return {
+            "index": job.index,
+            "ppin": job.ppin,
+            "failed": True,
+            "error": type(exc).__name__,
+            "error_message": str(exc),
+            "attempts": attempts,
+            "exception": exc,
+        }
+
+    def _retry_serially(
+        self, job: _SlotJob, first_error: BaseException, next_attempt: int
+    ) -> dict[str, Any]:
+        """Burn the remaining attempt budget of one slot in-process."""
+        last: BaseException = first_error
+        for attempt in range(next_attempt, self.slot_attempts + 1):
+            self._backoff(attempt)
+            try:
+                return _map_one(job.on_attempt(attempt))
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                last = exc
+        return self._failure_raw(job, last, max(next_attempt - 1, self.slot_attempts))
+
+    def _run_slot_serial(self, job: _SlotJob) -> dict[str, Any]:
+        try:
+            return _map_one(job)
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            return self._retry_serially(job, exc, next_attempt=2)
+
+    def _run_jobs(self, jobs: list[_SlotJob]) -> list[dict[str, Any]]:
+        """Execute every slot, isolating failures into failure records."""
+        pool_size = self._pool_size(len(jobs))
+        if pool_size <= 1:
+            return [self._run_slot_serial(job) for job in jobs]
+
+        raws: list[dict[str, Any]] = []
+        retry_queue: list[tuple[_SlotJob, BaseException]] = []
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = [(job, pool.submit(_map_one, job)) for job in jobs]
+            pool_broken = False
+            for job, future in futures:
+                if pool_broken:
+                    # The pool died; whatever did not finish re-runs serially.
+                    if future.done() and future.exception() is None:
+                        raws.append(future.result())
+                    else:
+                        retry_queue.append(
+                            (job, BrokenProcessPool("worker pool died mid-survey"))
+                        )
+                    continue
+                try:
+                    raws.append(future.result(timeout=self.slot_timeout))
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    retry_queue.append((job, exc))
+                except FutureTimeoutError:
+                    future.cancel()
+                    retry_queue.append(
+                        (
+                            job,
+                            SlotTimeoutError(
+                                f"slot {job.index} exceeded {self.slot_timeout}s"
+                            ),
+                        )
+                    )
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    retry_queue.append((job, exc))
+        for job, first_error in retry_queue:
+            raws.append(self._retry_serially(job, first_error, next_attempt=2))
+        return raws
+
+    # -- survey -------------------------------------------------------------------
     def survey(self, sku: SkuSpec | str, n_instances: int) -> SurveyReport:
         """Map ``n_instances`` fleet slots of ``sku`` and aggregate."""
         sku = self._resolve_sku(sku)
@@ -231,8 +431,9 @@ class SurveyRunner:
         started = time.perf_counter()
 
         cached: list[InstanceOutcome] = []
-        jobs: list[tuple] = []
+        jobs: list[_SlotJob] = []
         config_kwargs = _config_kwargs(self.config)
+        noise_kwargs = self.noise.__dict__.copy() if self.noise is not None else None
         for index in range(n_instances):
             inst_seed = instance_seed(self.root_seed, sku, index)
             ppin = CpuInstance.ppin_for(sku, inst_seed)
@@ -241,17 +442,55 @@ class SurveyRunner:
             else:
                 # Machine seed = fleet index, matching the serial survey
                 # example, so cached and fresh runs agree bit for bit.
-                jobs.append((sku.name, index, inst_seed, index, config_kwargs))
+                spec = self.faults.get(index)
+                jobs.append(
+                    _SlotJob(
+                        sku_name=sku.name,
+                        index=index,
+                        inst_seed=inst_seed,
+                        machine_seed=index,
+                        ppin=ppin,
+                        config_kwargs=config_kwargs,
+                        noise_kwargs=noise_kwargs,
+                        fault_kwargs=spec.as_dict() if spec is not None else None,
+                    )
+                )
 
-        pool_size = self._pool_size(len(jobs))
-        if pool_size > 1:
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                raw_results = list(pool.map(_map_one, jobs))
-        else:
-            raw_results = [_map_one(job) for job in jobs]
+        raw_results = self._run_jobs(jobs)
 
         fresh: list[InstanceOutcome] = []
+        n_failed = 0
+        pending_flush = 0
+        stored_any = False
         for raw in raw_results:
+            if raw.get("failed"):
+                n_failed += 1
+                if not self.keep_going:
+                    raise raw["exception"]
+                if self.max_failures is not None and n_failed > self.max_failures:
+                    raise MappingError(
+                        f"survey aborted: {n_failed} failed slots exceed "
+                        f"max_failures={self.max_failures} "
+                        f"(last: {raw['error']}: {raw['error_message']})"
+                    )
+                fresh.append(
+                    InstanceOutcome(
+                        sku=sku.name,
+                        index=raw["index"],
+                        ppin=raw["ppin"],
+                        cached=False,
+                        core_map=None,
+                        id_mapping=(),
+                        matches_truth=None,
+                        timings=None,
+                        probe_count=0,
+                        failed=True,
+                        error=raw["error"],
+                        error_message=raw["error_message"],
+                        attempts=raw["attempts"],
+                    )
+                )
+                continue
             fresh.append(
                 InstanceOutcome(
                     sku=sku.name,
@@ -263,11 +502,20 @@ class SurveyRunner:
                     matches_truth=raw["matches_truth"] if self.verify_truth else None,
                     timings=StageTimings.from_dict(raw["timings"]),
                     probe_count=raw["probe_count"],
+                    attempts=raw.get("attempts", 1),
+                    pipeline_retries=raw.get("pipeline_retries", 0),
                 )
             )
             if self.db is not None:
                 self.db.store_record(raw["ppin"], raw["record"])
-        if self.db is not None and fresh:
+                stored_any = True
+                pending_flush += 1
+                if pending_flush >= self.flush_every:
+                    # Incremental persistence: a crash from here on loses at
+                    # most flush_every maps, not the whole run.
+                    self.db.save()
+                    pending_flush = 0
+        if self.db is not None and stored_any and pending_flush:
             self.db.save()
 
         outcomes = sorted(cached + fresh, key=lambda o: o.index)

@@ -9,6 +9,10 @@ Subcommands:
 * ``survey`` — map a whole seeded fleet through the survey engine:
   ``repro-map survey --sku 8259CL -n 8 --workers 4 --db maps.json``
   (slots whose PPIN is already in the database are served from cache).
+  ``--keep-going`` isolates failing slots into failure records instead of
+  aborting; ``--chaos K`` injects a deterministic fault plan into K slots
+  (a resilience drill):
+  ``repro-map survey -n 8 --chaos 3 --keep-going --resilient --db maps.json``
 
 The simulated machine stands in for a bare-metal instance; on real
 hardware the same flow would run against the hardware MSR backend.
@@ -19,7 +23,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.pipeline import map_cpu
+from repro.core.pipeline import MappingConfig, RetryPolicy, map_cpu
+from repro.faults.plan import chaos_plan
 from repro.platform.instance import CpuInstance
 from repro.platform.skus import SKU_CATALOG
 from repro.sim.factory import build_machine
@@ -99,15 +104,34 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         print("--workers must be >= 1 and --instances >= 0", file=sys.stderr)
         return 2
     db = MapDatabase(args.db) if args.db else None
-    runner = SurveyRunner(db=db, workers=args.workers, root_seed=args.root_seed)
+    faults = chaos_plan(args.instances, args.chaos, seed=args.chaos_seed) if args.chaos else None
+    runner = SurveyRunner(
+        db=db,
+        workers=args.workers,
+        root_seed=args.root_seed,
+        config=MappingConfig(retry=RetryPolicy()) if args.resilient else None,
+        faults=faults,
+        keep_going=args.keep_going,
+        max_failures=args.max_failures,
+        slot_attempts=args.retries,
+        slot_timeout=args.timeout,
+        flush_every=args.flush_every,
+    )
     report = runner.survey(args.sku, args.instances)
 
     print(
         f"{report.sku}: {report.n_instances} instances in {report.wall_seconds:.1f}s "
         f"({report.instances_per_minute:.1f}/min) — "
         f"{report.n_mapped} mapped, {report.n_cached} from cache, "
+        f"{report.n_failed} failed, {report.n_recovered} recovered, "
         f"{report.n_matching_truth}/{report.n_instances} match ground truth"
     )
+    if report.n_failed:
+        fail_rows = [
+            [o.index, o.error, o.attempts, (o.error_message or "")[:60]]
+            for o in report.failed_outcomes()
+        ]
+        print(format_table(["slot", "error", "attempts", "detail"], fail_rows))
     rows = [
         [
             report.sku,
@@ -164,6 +188,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_survey.add_argument("--workers", type=int, default=1, help="worker processes")
     p_survey.add_argument("--root-seed", type=int, default=0, help="fleet root seed")
     p_survey.add_argument("--db", help="optional PPIN-keyed map database (enables caching)")
+    p_survey.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="record failing slots as failures instead of aborting the survey",
+    )
+    p_survey.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        help="abort once this many slots have failed for good (with --keep-going)",
+    )
+    p_survey.add_argument(
+        "--resilient",
+        action="store_true",
+        help="enable in-pipeline retries, vote-based re-measurement and ILP degradation",
+    )
+    p_survey.add_argument(
+        "--retries", type=int, default=2, help="dispatch attempts per slot (first included)"
+    )
+    p_survey.add_argument(
+        "--timeout", type=float, default=None, help="per-slot wall-clock budget in seconds (pool mode)"
+    )
+    p_survey.add_argument(
+        "--flush-every", type=int, default=8, help="persist the database every N fresh maps"
+    )
+    p_survey.add_argument(
+        "--chaos",
+        type=int,
+        default=0,
+        metavar="K",
+        help="inject a deterministic fault plan into K fleet slots (resilience drill)",
+    )
+    p_survey.add_argument("--chaos-seed", type=int, default=0, help="seed of the chaos plan")
     p_survey.set_defaults(func=_cmd_survey)
     return parser
 

@@ -105,12 +105,27 @@ class _DeltaBatch:
         self.measurements = 0
 
     def measure(self, workload: Callable[[], None]) -> np.ndarray:
-        """Run ``workload`` and return the per-counter delta it caused."""
+        """Run ``workload`` and return the per-counter delta it caused.
+
+        A negative delta is impossible for a healthy monotonic counter
+        between two readbacks — it means the counter wrapped (saturation /
+        overflow) or a readback was dropped, so the measurement is raised
+        as :class:`~repro.core.errors.CounterOverflow` rather than returned
+        as a silently corrupt reading. ``_prev`` is resynchronised first,
+        so a caller that retries the batch keeps getting sane deltas.
+        """
         workload()
         current = self._session.read_counter_block(self._addrs).reshape(self._shape)
         delta = current - self._prev
         self._prev = current
         self.measurements += 1
+        if (delta < 0).any():
+            from repro.core.errors import CounterOverflow
+
+            raise CounterOverflow(
+                f"negative counter delta (min {int(delta.min())}) — "
+                "wrapped or dropped PMON readback"
+            )
         return delta
 
     def close(self) -> None:

@@ -1,0 +1,152 @@
+"""Error taxonomy and degradation paths of the mapping pipeline.
+
+Exercises the failure modes the resilient pipeline is built around: an
+infeasible ILP from corrupted observations, recovery by shedding the
+low-confidence ones, ambiguous co-location, and config validation.
+"""
+
+import pytest
+
+from repro.core.cha_mapping import build_eviction_sets, map_os_to_cha
+from repro.core.errors import (
+    AmbiguousColocation,
+    MappingError,
+    MeasurementError,
+    ReconstructionInfeasible,
+)
+from repro.core.observations import PathObservation
+from repro.core.pipeline import MappingConfig, RetryPolicy
+from repro.core.reconstruct import (
+    predict_observation,
+    reconstruct_map,
+    reconstruct_with_degradation,
+)
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.uncore.session import UncorePmonSession
+from tests.core.test_ilp_formulation import all_pairs_observations
+from tests.core.test_reconstruct import make_mapping, truth_map
+
+POSITIONS = {
+    0: TileCoord(0, 0), 1: TileCoord(0, 1), 2: TileCoord(1, 0),
+    3: TileCoord(1, 1), 4: TileCoord(2, 0), 5: TileCoord(2, 1),
+}
+CORES = set(POSITIONS)
+GRID = GridSpec(3, 2)
+
+#: Claims CHA 4 sits *above* CHA 0 — every other observation places it two
+#: rows below, so no layout can satisfy the full set.
+CONTRADICTION = PathObservation(source_cha=0, sink_cha=4, up=frozenset({2, 4}))
+
+
+class TestReconstructionInfeasible:
+    def test_contradictory_observations_raise(self):
+        obs = all_pairs_observations(POSITIONS, CORES) + [CONTRADICTION]
+        with pytest.raises(ReconstructionInfeasible):
+            reconstruct_map(obs, make_mapping(CORES), GRID)
+
+    def test_infeasible_is_a_mapping_error(self):
+        # Callers that catch the old blanket MappingError keep working.
+        assert issubclass(ReconstructionInfeasible, MappingError)
+
+
+class TestDegradation:
+    def test_clean_observations_drop_nothing(self):
+        obs = all_pairs_observations(POSITIONS, CORES)
+        result, dropped = reconstruct_with_degradation(
+            obs, [1.0] * len(obs), make_mapping(CORES), GRID
+        )
+        assert dropped == 0
+        assert result.core_map.equivalent(truth_map(POSITIONS, CORES, GRID))
+
+    def test_low_confidence_contradiction_is_shed(self):
+        obs = all_pairs_observations(POSITIONS, CORES) + [CONTRADICTION]
+        confidences = [1.0] * (len(obs) - 1) + [0.01]
+        result, dropped = reconstruct_with_degradation(
+            obs,
+            confidences,
+            make_mapping(CORES),
+            GRID,
+            drop_fraction=1.0 / len(obs),
+        )
+        assert dropped == 1
+        assert result.core_map.equivalent(truth_map(POSITIONS, CORES, GRID))
+
+    def test_gives_up_when_contradiction_looks_confident(self):
+        """If the corrupt observation outranks the honest ones, shedding the
+        budgeted chunks never helps and the infeasibility must surface."""
+        obs = all_pairs_observations(POSITIONS, CORES) + [CONTRADICTION]
+        confidences = [0.5] * (len(obs) - 1) + [1.0]
+        with pytest.raises(ReconstructionInfeasible):
+            reconstruct_with_degradation(
+                obs,
+                confidences,
+                make_mapping(CORES),
+                GRID,
+                drop_fraction=1.0 / len(obs),
+                max_degradations=2,
+            )
+
+
+class TestColocationErrors:
+    @pytest.fixture
+    def machine_and_sets(self, quiet_machine):
+        session = UncorePmonSession(quiet_machine.msr, quiet_machine.n_chas)
+        return quiet_machine, session, build_eviction_sets(quiet_machine, session)
+
+    def test_everything_quiet_is_ambiguous(self, machine_and_sets):
+        machine, session, sets = machine_and_sets
+        with pytest.raises(AmbiguousColocation):
+            map_os_to_cha(machine, session, sets, quiet_threshold=10**12)
+
+    def test_nothing_quiet_is_a_measurement_error(self, machine_and_sets):
+        machine, session, sets = machine_and_sets
+        with pytest.raises(MeasurementError, match="co-locates with no CHA"):
+            map_os_to_cha(machine, session, sets, quiet_threshold=0)
+
+    def test_both_are_transient_mapping_errors(self):
+        assert issubclass(AmbiguousColocation, MeasurementError)
+        assert issubclass(MeasurementError, MappingError)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"home_discovery_rounds": 0},
+            {"colocation_sweeps": -5},
+            {"probe_rounds": 0},
+            {"l2_set": -1},
+            {"l2_set": 10_000},
+        ],
+    )
+    def test_bad_mapping_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MappingConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"escalation": 0.5},
+            {"votes": 0},
+            {"drop_fraction": 0.0},
+            {"drop_fraction": 1.5},
+            {"max_degradations": -1},
+        ],
+    )
+    def test_bad_retry_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_defaults_are_valid(self):
+        MappingConfig()
+        RetryPolicy()
+        assert RetryPolicy().scaled(100, 0) == 100
+        assert RetryPolicy(escalation=2.0).scaled(100, 2) == 400
+
+
+class TestPredictedContradictionIsRealContradiction:
+    def test_truthful_observation_differs(self):
+        honest = predict_observation(POSITIONS, 0, 4)
+        assert honest.down == {2, 4}
+        assert CONTRADICTION.up == {2, 4}

@@ -1,0 +1,236 @@
+"""Unit tests for the seeded fault-injection subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CounterOverflow, WorkerCrashError
+from repro.faults import FaultBudget, FaultSpec, FaultyMachine, FaultyMsrDevice, chaos_plan
+from repro.faults.msr import is_counter_addr
+from repro.msr.constants import ChaBlockOffset, cha_msr
+from repro.msr.device import MsrAccessError, TransientMsrError
+from repro.sim.threads import ContendedWrite, EvictionSweep
+from repro.uncore.session import UncorePmonSession
+from repro.util.rng import derive_rng
+
+CTR_ADDR = cha_msr(0, ChaBlockOffset.CTR0)
+CTL_ADDR = cha_msr(0, ChaBlockOffset.CTL0)
+
+
+class _ConstDevice:
+    """A fake inner MSR device returning a fixed value, recording writes."""
+
+    def __init__(self, value: int = 1000):
+        self.value = value
+        self.writes = []
+
+    def read(self, os_cpu, addr):
+        return self.value
+
+    def write(self, os_cpu, addr, value):
+        self.writes.append((os_cpu, addr, value))
+
+    def read_many(self, os_cpu, addrs):
+        return np.full(len(addrs), self.value, dtype=np.int64)
+
+
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(msr_read_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(preempt_fraction=1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(counter_wrap_bits=64)
+        with pytest.raises(ValueError):
+            FaultSpec(max_faults=-1)
+
+    def test_dict_roundtrip(self):
+        spec = FaultSpec(seed=9, msr_zero_read_rate=0.2, counter_wrap_bits=16, only_attempts=1)
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_attempt_gating(self):
+        always = FaultSpec()
+        first_only = FaultSpec(only_attempts=1)
+        assert always.active_on(1) and always.active_on(5)
+        assert first_only.active_on(1) and not first_only.active_on(2)
+
+
+class TestChaosPlan:
+    def test_deterministic(self):
+        assert chaos_plan(16, 5, seed=3) == chaos_plan(16, 5, seed=3)
+
+    def test_distinct_slots_in_range(self):
+        plan = chaos_plan(16, 5, seed=3)
+        assert len(plan) == 5
+        assert all(0 <= slot < 16 for slot in plan)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            chaos_plan(4, 5)
+
+
+class TestFaultBudget:
+    def test_unlimited(self):
+        budget = FaultBudget(None)
+        assert all(budget.spend() for _ in range(100))
+        assert budget.fired == 100
+
+    def test_exhausts(self):
+        budget = FaultBudget(2)
+        assert budget.spend() and budget.spend()
+        assert not budget.spend()
+        assert budget.fired == 2
+
+
+class TestFaultyMsrDevice:
+    def _device(self, spec, inner=None):
+        return FaultyMsrDevice(inner or _ConstDevice(), spec, derive_rng(0, "t"))
+
+    def test_certain_read_error(self):
+        dev = self._device(FaultSpec(msr_read_error_rate=1.0))
+        with pytest.raises(TransientMsrError):
+            dev.read(0, CTR_ADDR)
+        # Transient faults must be retryable access errors.
+        assert issubclass(TransientMsrError, MsrAccessError)
+
+    def test_zeroed_counter_read(self):
+        dev = self._device(FaultSpec(msr_zero_read_rate=1.0))
+        assert dev.read(0, CTR_ADDR) == 0
+        # Control registers are never zeroed — programming stays sound.
+        assert dev.read(0, CTL_ADDR) == 1000
+
+    def test_counter_wrap(self):
+        dev = self._device(FaultSpec(counter_wrap_bits=8), inner=_ConstDevice(0x1FF))
+        assert dev.read(0, CTR_ADDR) == 0xFF
+        assert dev.read(0, CTL_ADDR) == 0x1FF
+
+    def test_writes_pass_through(self):
+        inner = _ConstDevice()
+        dev = FaultyMsrDevice(inner, FaultSpec(msr_read_error_rate=1.0), derive_rng(0, "t"))
+        dev.write(2, CTL_ADDR, 7)
+        assert inner.writes == [(2, CTL_ADDR, 7)]
+
+    def test_read_many_zeroes_only_counters(self):
+        dev = self._device(FaultSpec(msr_zero_read_rate=1.0))
+        values = dev.read_many(0, np.array([CTR_ADDR, CTL_ADDR], dtype=np.int64))
+        assert list(values) == [0, 1000]
+
+    def test_budget_limits_total_faults(self):
+        spec = FaultSpec(msr_read_error_rate=1.0, max_faults=3)
+        dev = self._device(spec)
+        errors = 0
+        for _ in range(10):
+            try:
+                dev.read(0, CTR_ADDR)
+            except TransientMsrError:
+                errors += 1
+        assert errors == 3
+        assert dev.faults_fired == 3
+
+    def test_fault_free_spec_is_identity(self):
+        dev = self._device(FaultSpec())
+        assert dev.read(0, CTR_ADDR) == 1000
+        assert list(dev.read_many(0, np.array([CTR_ADDR]))) == [1000]
+
+    def test_is_counter_addr(self):
+        assert is_counter_addr(CTR_ADDR)
+        assert not is_counter_addr(CTL_ADDR)
+        assert not is_counter_addr(0x10)
+
+
+class _StubMachine:
+    """The slice of SimulatedMachine that FaultyMachine touches."""
+
+    class _Mesh:
+        def __init__(self):
+            self.bursts = []
+
+        def inject_background(self, rng, flows, lines):
+            self.bursts.append((flows, lines))
+
+    class _Instance:
+        def __init__(self):
+            self.mesh = _StubMachine._Mesh()
+
+    def __init__(self):
+        self.msr = _ConstDevice()
+        self.instance = _StubMachine._Instance()
+        self.executed = []
+        self.n_chas = 28
+
+    def execute(self, workload):
+        self.executed.append(workload)
+
+
+class TestFaultyMachine:
+    def test_delegates_untouched_attributes(self):
+        inner = _StubMachine()
+        faulty = FaultyMachine(inner, FaultSpec())
+        assert faulty.n_chas == 28
+        assert faulty.instance is inner.instance
+
+    def test_preemption_truncates_workloads(self):
+        inner = _StubMachine()
+        faulty = FaultyMachine(inner, FaultSpec(preempt_rate=1.0, preempt_fraction=0.5))
+        faulty.execute(EvictionSweep(os_core=0, addresses=(1, 2, 3), sweeps=100))
+        faulty.execute(ContendedWrite(os_core_a=0, os_core_b=1, address=64, rounds=400))
+        sweep, write = inner.executed
+        assert sweep.sweeps == 50
+        assert write.rounds == 200
+
+    def test_noise_burst_hits_mesh(self):
+        inner = _StubMachine()
+        faulty = FaultyMachine(
+            inner, FaultSpec(noise_burst_rate=1.0, noise_burst_flows=32, noise_burst_lines=4)
+        )
+        faulty.execute(EvictionSweep(os_core=0, addresses=(1,), sweeps=10))
+        assert inner.instance.mesh.bursts == [(32, 4)]
+
+    def test_msr_wrapped_only_when_msr_faults_configured(self):
+        inner = _StubMachine()
+        assert FaultyMachine(inner, FaultSpec(preempt_rate=0.5)).msr is inner.msr
+        assert isinstance(
+            FaultyMachine(inner, FaultSpec(msr_zero_read_rate=0.1)).msr, FaultyMsrDevice
+        )
+
+    def test_only_attempts_deactivates_later_attempts(self):
+        inner = _StubMachine()
+        spec = FaultSpec(preempt_rate=1.0, msr_read_error_rate=1.0, only_attempts=1)
+        healthy = FaultyMachine(inner, spec, attempt=2)
+        assert healthy.msr is inner.msr
+        workload = EvictionSweep(os_core=0, addresses=(1,), sweeps=100)
+        healthy.execute(workload)
+        assert inner.executed[-1].sweeps == 100
+
+    def test_crash_in_main_process_raises(self):
+        faulty = FaultyMachine(_StubMachine(), FaultSpec(worker_crash_attempts=1))
+        with pytest.raises(WorkerCrashError):
+            faulty.maybe_crash()
+        # Attempt 2 survives.
+        FaultyMachine(_StubMachine(), FaultSpec(worker_crash_attempts=1), attempt=2).maybe_crash()
+
+    def test_same_seed_same_fault_schedule(self):
+        spec = FaultSpec(seed=5, preempt_rate=0.4)
+        runs = []
+        for _ in range(2):
+            inner = _StubMachine()
+            faulty = FaultyMachine(inner, spec)
+            for _ in range(20):
+                faulty.execute(EvictionSweep(os_core=0, addresses=(1,), sweeps=100))
+            runs.append([w.sweeps for w in inner.executed])
+        assert runs[0] == runs[1]
+        assert 50 in runs[0] and 100 in runs[0]
+
+
+class TestCounterOverflowSurface:
+    def test_wrapped_counters_raise_counter_overflow(self, quiet_machine):
+        """Narrow counters wrap between readbacks → CounterOverflow from the
+        batched delta measurement, the signal the retry layer keys on."""
+        faulty = FaultyMachine(quiet_machine, FaultSpec(counter_wrap_bits=6))
+        session = UncorePmonSession(faulty.msr, faulty.n_chas)
+        session.program_ring_monitors()
+        batch = session.ring_batch()
+        workload = EvictionSweep(os_core=0, addresses=tuple(range(0, 64 * 40, 64)), sweeps=50)
+        with pytest.raises(CounterOverflow):
+            for _ in range(6):
+                batch.measure(lambda: faulty.execute(workload))

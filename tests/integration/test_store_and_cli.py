@@ -9,6 +9,7 @@ from repro.core.observations import PathObservation
 from repro.core.pipeline import map_cpu
 from repro.store import (
     MapDatabase,
+    MapDatabaseError,
     core_map_from_dict,
     core_map_to_dict,
     observations_from_list,
@@ -95,6 +96,50 @@ class TestMapDatabase:
         path.write_text(json.dumps({"version": 42, "maps": {}}))
         with pytest.raises(ValueError):
             MapDatabase(path)
+
+
+class TestDatabaseCorruption:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            '{"version": 1, "maps": {',  # truncated mid-write
+            "not json at all",
+            "[]",  # wrong top-level type
+            json.dumps({"version": 1}),  # missing maps
+            json.dumps({"version": 1, "maps": {"0x1": 7}}),  # malformed record
+        ],
+        ids=["truncated", "garbage", "wrong-type", "missing-maps", "bad-record"],
+    )
+    def test_corrupt_file_quarantined(self, tmp_path, payload):
+        from repro.store.serialization import FORMAT_VERSION
+
+        path = tmp_path / "maps.json"
+        payload = payload.replace('"version": 1', f'"version": {FORMAT_VERSION}')
+        path.write_text(payload)
+        with pytest.raises(MapDatabaseError):
+            MapDatabase(path)
+        # The evidence moves aside instead of being clobbered...
+        quarantined = tmp_path / "maps.json.corrupt"
+        assert not path.exists()
+        assert quarantined.read_text() == payload
+        # ...and a fresh database can start at the original path.
+        db = MapDatabase(path)
+        assert len(db) == 0
+
+    def test_autoflush_persists_every_n_records(self, tmp_path):
+        db = MapDatabase(tmp_path / "maps.json", autoflush_every=2)
+        db.store_record(1, {"stub": 1})
+        assert not (tmp_path / "maps.json").exists()  # dirty=1 < 2
+        db.store_record(2, {"stub": 2})
+        assert (tmp_path / "maps.json").exists()  # flushed at dirty=2
+        db.store_record(3, {"stub": 3})
+        assert len(MapDatabase(tmp_path / "maps.json")) == 2  # 3rd not flushed yet
+        db.save()
+        assert len(MapDatabase(tmp_path / "maps.json")) == 3
+
+    def test_autoflush_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            MapDatabase(tmp_path / "maps.json", autoflush_every=0)
 
 
 class TestCli:

@@ -1,0 +1,238 @@
+"""Failure isolation and recovery semantics of the survey engine.
+
+The ISSUE-level acceptance scenarios live here: a chaos drill over a
+seeded fleet completes with exactly the faulted slots failed-or-recovered,
+transient faults converge to the fault-free maps, zero-fault surveys are
+bit-identical to the plain pipeline, and a dead worker pool only costs a
+serial re-dispatch.
+"""
+
+import pytest
+
+import repro.survey.runner as runner_mod
+from repro.core.errors import MappingError
+from repro.core.pipeline import MappingConfig, RetryPolicy
+from repro.faults import FaultSpec, chaos_plan
+from repro.msr.device import MsrAccessError
+from repro.platform import XEON_8259CL
+from repro.sim.workload import NoiseConfig
+from repro.store.database import MapDatabase
+from repro.survey import SurveyRunner
+
+ROOT_SEED = 11
+RESILIENT = MappingConfig(retry=RetryPolicy())
+
+
+class TestChaosDrill:
+    FLEET = 8
+
+    @pytest.fixture(scope="class")
+    def drill(self, tmp_path_factory):
+        db = MapDatabase(tmp_path_factory.mktemp("chaos") / "maps.json")
+        plan = chaos_plan(self.FLEET, 3, seed=1)
+        runner = SurveyRunner(
+            db=db, root_seed=ROOT_SEED, config=RESILIENT, faults=plan, keep_going=True
+        )
+        return plan, db, runner.survey(XEON_8259CL, self.FLEET)
+
+    def test_completes_without_raising(self, drill):
+        _, _, report = drill
+        assert report.n_instances == self.FLEET
+
+    def test_exactly_faulted_slots_failed_or_recovered(self, drill):
+        plan, _, report = drill
+        disturbed = {o.index for o in report.outcomes if o.failed or o.recovered}
+        assert disturbed == set(plan)
+        for outcome in report.outcomes:
+            if outcome.index not in plan:
+                assert not outcome.failed and outcome.attempts == 1
+
+    def test_failures_carry_error_class_and_attempts(self, drill):
+        plan, _, report = drill
+        for outcome in report.failed_outcomes():
+            assert outcome.error is not None and outcome.error_message
+            assert outcome.attempts == 2  # the full slot retry budget
+            assert outcome.core_map is None and outcome.id_mapping == ()
+        assert set(report.failure_classes()) == {"TransientMsrError"}
+
+    def test_recovered_slots_report_extra_attempts(self, drill):
+        plan, _, report = drill
+        recovered = [o for o in report.outcomes if o.recovered]
+        assert recovered, "the chaos plan must include recoverable specs"
+        assert all(o.attempts > 1 or o.pipeline_retries > 0 for o in recovered)
+        assert all(o.matches_truth for o in recovered)
+
+    def test_successful_maps_cached(self, drill):
+        _, db, report = drill
+        reloaded = MapDatabase(db.path)
+        assert len(reloaded) == self.FLEET - report.n_failed
+        for outcome in report.outcomes:
+            if not outcome.failed:
+                assert outcome.ppin in reloaded
+
+    def test_report_statistics(self, drill):
+        _, _, report = drill
+        assert report.n_failed == 1
+        assert report.n_recovered == 2
+        assert report.n_mapped == self.FLEET - 1
+        assert report.total_attempts == self.FLEET + 3  # 3 slots spent a 2nd attempt
+
+
+class TestTransientRecoveryConvergence:
+    FLEET = 4
+    NOISE = NoiseConfig(mesh_flows_per_op=16)
+
+    def _survey(self, faults=None):
+        runner = SurveyRunner(
+            root_seed=ROOT_SEED,
+            config=RESILIENT,
+            noise=self.NOISE,
+            faults=faults,
+            keep_going=True,
+        )
+        return runner.survey(XEON_8259CL, self.FLEET)
+
+    def test_transient_faults_converge_to_fault_free_maps(self):
+        """Budgeted fault bursts + elevated co-tenant noise: every slot must
+        still converge to the exact map a fault-free run recovers."""
+        baseline = self._survey()
+        faulted = self._survey(
+            faults={
+                # 2 budgeted faults < the 3 per-stage pipeline attempts, so
+                # the RetryPolicy always recovers inside one dispatch.
+                1: FaultSpec(seed=41, msr_zero_read_rate=0.2, max_faults=2),
+                2: FaultSpec.flaky_first_attempt(seed=42),
+            }
+        )
+        assert baseline.n_failed == 0 and faulted.n_failed == 0
+        for base, fault in zip(baseline.outcomes, faulted.outcomes):
+            assert fault.id_mapping == base.id_mapping
+            assert fault.core_map == base.core_map
+        disturbed = {o.index for o in faulted.outcomes if o.recovered}
+        assert disturbed == {1, 2}
+
+
+class TestZeroFaultBitIdentity:
+    FLEET = 3
+
+    def test_resilient_config_matches_plain_pipeline(self):
+        plain = SurveyRunner(root_seed=ROOT_SEED).survey(XEON_8259CL, self.FLEET)
+        resilient = SurveyRunner(root_seed=ROOT_SEED, config=RESILIENT, keep_going=True).survey(
+            XEON_8259CL, self.FLEET
+        )
+        for p, r in zip(plain.outcomes, resilient.outcomes):
+            assert r.ppin == p.ppin
+            assert r.core_map == p.core_map
+            assert r.id_mapping == p.id_mapping
+            assert r.probe_count == p.probe_count
+            assert r.attempts == 1 and r.pipeline_retries == 0
+
+
+class TestWorkerPoolRecovery:
+    FLEET = 4
+
+    def test_broken_pool_redispatches_serially(self):
+        """A worker that dies mid-job breaks the pool; the engine finishes
+        the shard serially and the crashed slot recovers on attempt 2."""
+        report = SurveyRunner(
+            root_seed=ROOT_SEED,
+            workers=4,
+            clamp_to_cpus=False,
+            faults={1: FaultSpec.crash_once(seed=7)},
+            keep_going=True,
+        ).survey(XEON_8259CL, self.FLEET)
+        assert report.n_failed == 0
+        crashed = next(o for o in report.outcomes if o.index == 1)
+        assert crashed.attempts == 2
+        assert all(o.matches_truth for o in report.outcomes)
+
+    def test_pool_results_match_serial_under_faults(self):
+        serial = SurveyRunner(
+            root_seed=ROOT_SEED, faults={1: FaultSpec.crash_once(seed=7)}, keep_going=True
+        ).survey(XEON_8259CL, self.FLEET)
+        pooled = SurveyRunner(
+            root_seed=ROOT_SEED,
+            workers=4,
+            clamp_to_cpus=False,
+            faults={1: FaultSpec.crash_once(seed=7)},
+            keep_going=True,
+        ).survey(XEON_8259CL, self.FLEET)
+        assert {o.ppin: o.core_map for o in pooled.outcomes} == {
+            o.ppin: o.core_map for o in serial.outcomes
+        }
+
+
+class TestSlotTimeout:
+    def test_stalled_slot_times_out_and_recovers(self):
+        """A slot stalled past the per-slot budget is timed out in pool mode
+        and re-dispatched serially, where the stall no longer fires."""
+        report = SurveyRunner(
+            root_seed=ROOT_SEED,
+            workers=2,
+            clamp_to_cpus=False,
+            faults={0: FaultSpec(seed=3, stall_seconds=20.0, stall_attempts=1)},
+            keep_going=True,
+            slot_timeout=2.0,
+        ).survey(XEON_8259CL, 2)
+        assert report.n_failed == 0
+        stalled = next(o for o in report.outcomes if o.index == 0)
+        assert stalled.attempts == 2
+
+
+class TestFailurePolicy:
+    def test_fail_fast_without_keep_going(self):
+        runner = SurveyRunner(
+            root_seed=ROOT_SEED, faults={0: FaultSpec.hard_msr(seed=5)}, keep_going=False
+        )
+        with pytest.raises(MsrAccessError):
+            runner.survey(XEON_8259CL, 1)
+
+    def test_max_failures_aborts(self):
+        runner = SurveyRunner(
+            root_seed=ROOT_SEED,
+            faults={0: FaultSpec.hard_msr(seed=5)},
+            keep_going=True,
+            max_failures=0,
+        )
+        with pytest.raises(MappingError, match="max_failures"):
+            runner.survey(XEON_8259CL, 2)
+
+    def test_single_attempt_budget_fails_recoverable_slot(self):
+        report = SurveyRunner(
+            root_seed=ROOT_SEED,
+            faults={0: FaultSpec.crash_once(seed=5)},
+            keep_going=True,
+            slot_attempts=1,
+        ).survey(XEON_8259CL, 1)
+        assert report.n_failed == 1
+        assert report.failed_outcomes()[0].error == "WorkerCrashError"
+
+    def test_runner_parameter_validation(self):
+        for kwargs in (
+            {"slot_attempts": 0},
+            {"backoff_seconds": -1.0},
+            {"slot_timeout": 0.0},
+            {"max_failures": -1},
+            {"flush_every": 0},
+        ):
+            with pytest.raises(ValueError):
+                SurveyRunner(**kwargs)
+
+
+class TestIncrementalPersistence:
+    FLEET = 5
+
+    def test_database_flushed_every_n_records(self, tmp_path, monkeypatch):
+        db = MapDatabase(tmp_path / "maps.json")
+        saves = []
+        original = MapDatabase.save
+
+        def counting_save(self):
+            saves.append(len(self._records))
+            original(self)
+
+        monkeypatch.setattr(MapDatabase, "save", counting_save)
+        SurveyRunner(db=db, root_seed=ROOT_SEED, flush_every=2).survey(XEON_8259CL, self.FLEET)
+        # 5 fresh maps with flush_every=2: flushes at 2 and 4, final at 5.
+        assert saves == [2, 4, 5]
+        assert len(MapDatabase(tmp_path / "maps.json")) == self.FLEET
