@@ -22,6 +22,7 @@ from repro.platform import XEON_8259CL, CpuInstance
 from repro.platform.fleet import instance_seed
 from repro.sim import build_machine
 from repro.survey import SurveyRunner, aggregate_timings
+from repro.telemetry import Tracer
 from repro.util.tables import format_table
 
 FLEET_SIZE = 8
@@ -106,3 +107,65 @@ def test_survey_throughput(once):
         assert result.core_map == serial_out.core_map == pooled_out.core_map
     assert pooled_report.n_matching_truth == FLEET_SIZE
     assert speedup >= 3.0, f"survey engine only {speedup:.2f}x faster than the seed path"
+
+
+def test_telemetry_overhead(once):
+    """Tracing the survey costs <2% wall clock and changes no results.
+
+    Runs the serial survey untraced (the default ``NULL_TRACER`` path) and
+    traced (a live :class:`~repro.telemetry.Tracer` collecting every span
+    and counter), interleaved best-of-3 to absorb scheduler noise, and
+    checks the recovered maps are bit-identical either way.
+    """
+
+    def run():
+        untraced_best = traced_best = float("inf")
+        untraced_report = traced_report = None
+        for _ in range(3):
+            started = time.perf_counter()
+            report = SurveyRunner(workers=1, root_seed=ROOT_SEED).survey(
+                XEON_8259CL, FLEET_SIZE
+            )
+            elapsed = time.perf_counter() - started
+            if elapsed < untraced_best:
+                untraced_best, untraced_report = elapsed, report
+
+            started = time.perf_counter()
+            report = SurveyRunner(
+                workers=1, root_seed=ROOT_SEED, tracer=Tracer()
+            ).survey(XEON_8259CL, FLEET_SIZE)
+            elapsed = time.perf_counter() - started
+            if elapsed < traced_best:
+                traced_best, traced_report = elapsed, report
+        return untraced_best, untraced_report, traced_best, traced_report
+
+    untraced_best, untraced_report, traced_best, traced_report = once(run)
+
+    overhead = traced_best / untraced_best - 1.0
+    print()
+    print(
+        format_table(
+            ["path", "best wall clock", "overhead"],
+            [
+                ["untraced (NULL_TRACER)", f"{untraced_best:.2f}s", "-"],
+                ["traced (live Tracer)", f"{traced_best:.2f}s", f"{overhead * 100:+.2f}%"],
+            ],
+            title=f"Telemetry overhead ({FLEET_SIZE}x 8259CL, serial)",
+        )
+    )
+
+    # Telemetry never perturbs the measurements: identical maps either way.
+    for untraced_out, traced_out in zip(untraced_report.outcomes, traced_report.outcomes):
+        assert untraced_out.core_map == traced_out.core_map
+    assert untraced_report.telemetry is None
+    assert traced_report.telemetry is not None
+    stages = {s["name"] for s in traced_report.telemetry.spans}
+    assert {"cha_mapping", "probe", "solve"} <= stages
+
+    # <2% relative, with a small absolute floor so timer noise on a fast
+    # fleet cannot flake the build.
+    budget = max(0.02 * untraced_best, 0.1)
+    assert traced_best - untraced_best <= budget, (
+        f"telemetry overhead {overhead * 100:.2f}% "
+        f"({traced_best - untraced_best:.3f}s over {untraced_best:.3f}s)"
+    )

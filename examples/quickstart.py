@@ -7,16 +7,19 @@ This reproduces the paper's core workflow end-to-end:
    physical layout is hidden behind OS-level interfaces);
 2. run the three-step locating pipeline (§II): eviction-set construction +
    LLC_LOOKUP monitoring, all-pairs traffic probes over the ring counters,
-   and the ILP reconstruction;
-3. print the recovered core map, keyed by the CPU's PPIN.
+   and the ILP reconstruction — traced through the telemetry subsystem
+   (``map_cpu(machine, config, *, policy=None, tracer=None)``);
+3. print the recovered core map, keyed by the CPU's PPIN, plus where the
+   pipeline's wall clock went.
 
 Run:  python examples/quickstart.py [instance_seed]
 """
 
 import sys
 
-from repro import XEON_8259CL, build_machine_for_sku, map_cpu
+from repro import Tracer, XEON_8259CL, build_machine_for_sku, map_cpu
 from repro.core.coremap import CoreMap
+from repro.telemetry.aggregate import aggregate_spans
 
 
 def main() -> None:
@@ -28,7 +31,8 @@ def main() -> None:
     print(f"machine: Xeon Platinum {machine.instance.sku.name}, "
           f"{machine.n_os_cores} cores, {machine.n_chas} CHAs")
 
-    result = map_cpu(machine)
+    tracer = Tracer()
+    result = map_cpu(machine, tracer=tracer)
     print(f"\nPPIN {result.ppin:#018x} mapped in {result.elapsed_seconds:.1f}s "
           f"({result.reconstruction.refinement_cuts} refinement rounds)")
 
@@ -49,6 +53,13 @@ def main() -> None:
     if result.reconstruction.unlocated_chas:
         print(f"unlocatable CHAs (no probe route touches them): "
               f"{sorted(result.reconstruction.unlocated_chas)}")
+
+    snap = tracer.snapshot()
+    print(f"\ntelemetry ({snap.counter_value('probes_total')} traffic probes, "
+          f"{snap.counter_value('pmon_reads_total')} PMON reads):")
+    for name in ("cha_mapping", "probe", "solve"):
+        agg = aggregate_spans(snap.spans)[name]
+        print(f"   {name:<12} {agg.total_seconds:6.2f}s")
 
 
 if __name__ == "__main__":

@@ -22,7 +22,7 @@ Package layout:
   (``python -m repro.experiments --list``).
 """
 
-from repro.core import MappingConfig, MappingResult, map_cpu
+from repro.core import MappingConfig, MappingResult, RetryPolicy, map_cpu
 from repro.core.coremap import CoreMap
 from repro.platform import (
     SKU_CATALOG,
@@ -34,13 +34,18 @@ from repro.platform import (
     generate_fleet,
 )
 from repro.sim import NoiseConfig, SimulatedMachine, build_machine, build_machine_for_sku
+from repro.survey import SurveyRunner
+from repro.telemetry import Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "MappingConfig",
     "MappingResult",
+    "RetryPolicy",
     "map_cpu",
+    "SurveyRunner",
+    "Tracer",
     "CoreMap",
     "SKU_CATALOG",
     "XEON_6354",

@@ -125,18 +125,22 @@ def build_eviction_sets(
     contenders = machine.os_cores()[:2]
     if len(contenders) < 2:
         raise MappingError("home discovery needs at least two cores")
+    c_lines = session.tracer.counter("eviction_lines_probed_total")
+    c_homes = session.tracer.counter("home_discoveries_total")
 
     batch = session.lookup_batch() if batched else None
     try:
         for address in machine.sample_lines_in_l2_set(l2_set, max_lines):
             if not pending:
                 break
+            c_lines.inc()
             if batch is not None:
                 workload = ContendedWrite(contenders[0], contenders[1], address, rounds)
                 lookups = batch.measure(lambda: machine.execute(workload)).tolist()
                 home = _rank_home(lookups, address, rounds, margin)
             else:
                 home = discover_home_cha(machine, session, address, rounds, margin)
+            c_homes.inc()
             if home in pending:
                 sets[home].add(address)
                 if len(sets[home]) >= target:
@@ -198,8 +202,10 @@ def map_os_to_cha(
         quiet_threshold = floor + 2 * set_len * sweeps
 
     batch = session.ring_batch() if batched else None
+    c_sweeps = session.tracer.counter("colocation_tests_total")
 
     def sweep_total(workload: EvictionSweep) -> int:
+        c_sweeps.inc()
         if batch is not None:
             return int(batch.measure(lambda: machine.execute(workload)).sum())
         readings = session.measure_rings(lambda: machine.execute(workload))

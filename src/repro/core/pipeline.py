@@ -6,18 +6,30 @@ PPIN — exactly the artefact the paper stores per cloud instance ("once we
 map the core locations of a CPU instance, we can associate the core map
 with the PPIN").
 
-With ``MappingConfig.retry`` set to a :class:`RetryPolicy`, the pipeline
-becomes resilient: each §II stage retries transient measurement failures
-with escalated rounds/sweeps, step-2 retries majority-vote disagreeing
-probes, and step-3 sheds low-confidence observations before re-measuring.
-When nothing fails, the resilient path performs exactly the same
-measurements in the same order as the plain path — results are
-bit-identical.
+One entry point, three orthogonal knobs:
+
+* ``config=MappingConfig(...)`` — measurement tunables (rounds, sweeps,
+  batching, solver);
+* ``policy=RetryPolicy(...)`` — resilience: each §II stage retries
+  transient measurement failures with escalated rounds/sweeps, step 2
+  retries majority-vote disagreeing probes, and step 3 sheds
+  low-confidence observations before re-measuring. When nothing fails,
+  attempt 0 performs exactly the same measurements in the same order as
+  the policy-free path — results are bit-identical;
+* ``tracer=Tracer()`` — telemetry: per-stage spans (including retry
+  attempts) and counters for every measurement primitive. The default
+  :data:`~repro.telemetry.tracer.NULL_TRACER` is a shared no-op, so the
+  untraced path also stays bit-identical.
+
+The pre-redesign call shapes — ``map_cpu(machine, grid, config)`` with the
+grid as second positional argument, and the ``resilient=`` keyword — keep
+working behind :class:`DeprecationWarning` shims.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 from repro.cache.l2 import L2Config
@@ -25,7 +37,6 @@ from repro.core.cha_mapping import ChaMappingResult, build_eviction_sets, map_os
 from repro.core.coremap import CoreMap
 from repro.core.errors import MeasurementError, ReconstructionInfeasible
 from repro.core.probes import (
-    collect_observations,
     collect_observations_voted,
     collect_observations_with_confidence,
 )
@@ -37,7 +48,16 @@ from repro.core.reconstruct import (
 from repro.mesh.geometry import GridSpec
 from repro.msr.device import MsrAccessError
 from repro.sim.machine import SimulatedMachine
+from repro.telemetry.tracer import NULL_TRACER
 from repro.uncore.session import UncorePmonSession
+
+__all__ = [
+    "MappingConfig",
+    "MappingResult",
+    "RetryPolicy",
+    "StageTimings",
+    "map_cpu",
+]
 
 
 @dataclass(frozen=True)
@@ -96,9 +116,10 @@ class MappingConfig:
     solver: object | None = None
     #: Use the batched delta-measurement path (bit-identical readings, one
     #: reset/freeze pair per phase instead of per probe). ``False`` restores
-    #: the original per-probe PMON sequence.
+    #: the original per-probe path.
     batched: bool = True
     #: Retry/degradation policy; ``None`` keeps the fail-fast pipeline.
+    #: ``map_cpu(policy=...)`` overrides this per call.
     retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
@@ -124,24 +145,41 @@ class StageTimings:
     probe_seconds: float
     solve_seconds: float
 
+    # Canonical key set of the serialized form (order = pipeline order).
+    FIELD_NAMES = ("cha_mapping_seconds", "probe_seconds", "solve_seconds")
+
     @property
     def total_seconds(self) -> float:
         return self.cha_mapping_seconds + self.probe_seconds + self.solve_seconds
 
     def as_dict(self) -> dict[str, float]:
-        return {
-            "cha_mapping_seconds": self.cha_mapping_seconds,
-            "probe_seconds": self.probe_seconds,
-            "solve_seconds": self.solve_seconds,
-        }
+        return {name: getattr(self, name) for name in self.FIELD_NAMES}
 
     @classmethod
     def from_dict(cls, data: dict[str, float]) -> "StageTimings":
-        return cls(
-            cha_mapping_seconds=float(data["cha_mapping_seconds"]),
-            probe_seconds=float(data["probe_seconds"]),
-            solve_seconds=float(data["solve_seconds"]),
-        )
+        """Strict inverse of :meth:`as_dict`.
+
+        Stored timings feed fleet-level aggregation, so a record that lost
+        or grew keys (format drift, truncated storage) must fail loudly
+        here instead of silently skewing every downstream aggregate.
+        """
+        missing = [name for name in cls.FIELD_NAMES if name not in data]
+        unknown = [key for key in data if key not in cls.FIELD_NAMES]
+        if missing or unknown:
+            raise ValueError(
+                "malformed stage timings: "
+                f"missing keys {missing!r}, unknown keys {unknown!r} "
+                f"(expected exactly {list(cls.FIELD_NAMES)!r})"
+            )
+        values = {}
+        for name in cls.FIELD_NAMES:
+            try:
+                values[name] = float(data[name])
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"malformed stage timings: {name}={data[name]!r} is not a number"
+                ) from exc
+        return cls(**values)
 
 
 @dataclass
@@ -168,196 +206,215 @@ class MappingResult:
 
 def map_cpu(
     machine: SimulatedMachine,
-    grid: GridSpec | None = None,
     config: MappingConfig | None = None,
+    grid: GridSpec | None = None,
+    *,
+    policy: RetryPolicy | None = None,
+    tracer=None,
+    resilient: bool | None = None,
 ) -> MappingResult:
     """Run the full three-step pipeline against ``machine``.
 
-    ``grid`` is the die's tile grid, known from the CPU model's public
-    floorplan; it defaults to the machine's SKU grid (the same information,
-    fetched from the catalogue).
+    ``config`` carries the measurement tunables; ``grid`` is the die's tile
+    grid, known from the CPU model's public floorplan (defaults to the
+    machine's SKU grid — the same information, fetched from the catalogue).
+    ``policy`` enables stage-wise retries/degradation and overrides
+    ``config.retry``; ``tracer`` receives per-stage spans and measurement
+    counters (default: the no-op :data:`~repro.telemetry.tracer.NULL_TRACER`).
     """
+    if isinstance(config, GridSpec):
+        # Legacy call shape map_cpu(machine, grid[, config]).
+        warnings.warn(
+            "map_cpu(machine, grid, config) is deprecated; call "
+            "map_cpu(machine, config, grid=grid) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        legacy_grid = config
+        config = grid if isinstance(grid, MappingConfig) else None
+        grid = legacy_grid
+    if resilient is not None:
+        warnings.warn(
+            "map_cpu(resilient=...) is deprecated; pass policy=RetryPolicy() "
+            "(or MappingConfig(retry=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if resilient and policy is None:
+            policy = RetryPolicy()
     config = config or MappingConfig()
+    if policy is None:
+        policy = config.retry
     grid = grid or machine.instance.sku.die.grid
-    if config.retry is not None:
-        return _map_cpu_resilient(machine, grid, config, config.retry)
-    return _map_cpu_once(machine, grid, config)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    return _run_pipeline(machine, grid, config, policy, tracer)
 
 
-def _map_cpu_once(
-    machine: SimulatedMachine, grid: GridSpec, config: MappingConfig
-) -> MappingResult:
-    """The fail-fast pipeline: any error aborts the run."""
-    started = time.perf_counter()
-
-    session = UncorePmonSession(machine.msr, machine.n_chas)
-
-    # Step 1: OS core ID ↔ CHA ID.
-    eviction_sets = build_eviction_sets(
-        machine,
-        session,
-        l2_set=config.l2_set,
-        rounds=config.home_discovery_rounds,
-        batched=config.batched,
-    )
-    cha_mapping = map_os_to_cha(
-        machine,
-        session,
-        eviction_sets,
-        sweeps=config.colocation_sweeps,
-        batched=config.batched,
-    )
-    t_step1 = time.perf_counter()
-
-    # Step 2: pairwise traffic probes.
-    observations = collect_observations(
-        machine,
-        session,
-        cha_mapping,
-        rounds=config.probe_rounds,
-        batched=config.batched,
-    )
-    t_step2 = time.perf_counter()
-
-    # Step 3: ILP reconstruction.
-    reconstruction = reconstruct_map(
-        observations,
-        cha_mapping,
-        grid,
-        solver=config.solver,
-        reduce=config.reduce_ilp,
-    )
-    t_step3 = time.perf_counter()
-
-    return MappingResult(
-        ppin=machine.read_ppin(),
-        cha_mapping=cha_mapping,
-        reconstruction=reconstruction,
-        elapsed_seconds=t_step3 - started,
-        timings=StageTimings(
-            cha_mapping_seconds=t_step1 - started,
-            probe_seconds=t_step2 - t_step1,
-            solve_seconds=t_step3 - t_step2,
-        ),
-        probe_count=len(observations),
-    )
+def _scaled(policy: RetryPolicy | None, base: int, attempt: int) -> int:
+    return base if policy is None else policy.scaled(base, attempt)
 
 
-def _map_cpu_resilient(
+def _run_pipeline(
     machine: SimulatedMachine,
     grid: GridSpec,
     config: MappingConfig,
-    policy: RetryPolicy,
+    policy: RetryPolicy | None,
+    tracer,
 ) -> MappingResult:
-    """Stage-wise retry wrapper around the three §II steps.
+    """The one pipeline implementation behind :func:`map_cpu`.
 
-    Attempt 0 of every stage runs the exact measurement sequence of
-    :func:`_map_cpu_once`, so a run that never hits a fault produces a
-    bit-identical result.
+    ``policy=None`` is the fail-fast pipeline (one attempt per stage, any
+    error aborts, an inconsistent reconstruction is returned as-is); with a
+    policy, stages retry with escalation, voting, and ILP degradation.
+    Attempt 0 of every stage performs the identical measurement sequence in
+    both modes, so a run that never hits a fault is bit-identical either
+    way.
     """
     started = time.perf_counter()
-    session = UncorePmonSession(machine.msr, machine.n_chas)
+    session = UncorePmonSession(machine.msr, machine.n_chas, tracer=tracer)
+    max_attempts = 1 if policy is None else policy.max_attempts
+    c_retries = tracer.counter
     retries = 0
 
-    # -- step 1 with escalation --------------------------------------------------
-    last_error: Exception | None = None
-    cha_mapping: ChaMappingResult | None = None
-    for attempt in range(policy.max_attempts):
-        try:
-            eviction_sets = build_eviction_sets(
-                machine,
-                session,
-                l2_set=config.l2_set,
-                rounds=policy.scaled(config.home_discovery_rounds, attempt),
-                batched=config.batched,
-            )
-            cha_mapping = map_os_to_cha(
-                machine,
-                session,
-                eviction_sets,
-                sweeps=policy.scaled(config.colocation_sweeps, attempt),
-                batched=config.batched,
-            )
-            break
-        except (MeasurementError, MsrAccessError) as exc:
-            if attempt == policy.max_attempts - 1:
-                raise
-            last_error = exc
-            retries += 1
-    if cha_mapping is None:  # pragma: no cover - loop always breaks or raises
-        raise MeasurementError("step 1 exhausted retries") from last_error
-    t_step1 = time.perf_counter()
+    with tracer.span(
+        "map_cpu",
+        sku=machine.instance.sku.name,
+        n_cores=len(machine.os_cores()),
+        resilient=policy is not None,
+    ) as root:
+        # -- step 1: OS core ID <-> CHA ID, with escalation -----------------------
+        with tracer.span("cha_mapping"):
+            cha_mapping: ChaMappingResult | None = None
+            for attempt in range(max_attempts):
+                try:
+                    with tracer.span("home_discovery", attempt=attempt):
+                        eviction_sets = build_eviction_sets(
+                            machine,
+                            session,
+                            l2_set=config.l2_set,
+                            rounds=_scaled(policy, config.home_discovery_rounds, attempt),
+                            batched=config.batched,
+                        )
+                    with tracer.span("colocation", attempt=attempt):
+                        cha_mapping = map_os_to_cha(
+                            machine,
+                            session,
+                            eviction_sets,
+                            sweeps=_scaled(policy, config.colocation_sweeps, attempt),
+                            batched=config.batched,
+                        )
+                    break
+                except (MeasurementError, MsrAccessError) as exc:
+                    if attempt == max_attempts - 1:
+                        raise
+                    retries += 1
+                    c_retries(
+                        "retries_total", stage="cha_mapping", error=type(exc).__name__
+                    ).inc()
+        assert cha_mapping is not None  # loop always breaks or raises
+        t_step1 = time.perf_counter()
 
-    # -- steps 2+3 with voting and degradation -----------------------------------
-    probe_seconds = 0.0
-    solve_seconds = 0.0
-    probe_count = 0
-    dropped = 0
-    reconstruction: ReconstructionResult | None = None
-    for attempt in range(policy.max_attempts):
-        t_probe = time.perf_counter()
-        rounds = policy.scaled(config.probe_rounds, attempt)
-        try:
-            if attempt == 0:
-                observations, confidences = collect_observations_with_confidence(
-                    machine, session, cha_mapping, rounds=rounds, batched=config.batched
-                )
-            else:
-                # A previous attempt failed: pay for repeated measurements
-                # and take the majority per probe.
-                observations, confidences = collect_observations_voted(
-                    machine,
-                    session,
-                    cha_mapping,
-                    rounds=rounds,
-                    batched=config.batched,
-                    votes=policy.votes,
-                )
-        except (MeasurementError, MsrAccessError):
-            probe_seconds += time.perf_counter() - t_probe
-            if attempt == policy.max_attempts - 1:
-                raise
-            retries += 1
-            continue
-        t_solve = time.perf_counter()
-        probe_seconds += t_solve - t_probe
-        probe_count += len(observations)
-        try:
-            reconstruction, dropped = reconstruct_with_degradation(
-                observations,
-                confidences,
-                cha_mapping,
-                grid,
-                solver=config.solver,
-                reduce=config.reduce_ilp,
-                drop_fraction=policy.drop_fraction,
-                max_degradations=policy.max_degradations,
-            )
-        except ReconstructionInfeasible:
+        # -- steps 2+3: probing and reconstruction, with voting/degradation -------
+        probe_seconds = 0.0
+        solve_seconds = 0.0
+        probe_count = 0
+        dropped = 0
+        reconstruction: ReconstructionResult | None = None
+        for attempt in range(max_attempts):
+            t_probe = time.perf_counter()
+            rounds = _scaled(policy, config.probe_rounds, attempt)
+            try:
+                with tracer.span("probe", attempt=attempt, rounds=rounds) as probe_span:
+                    if policy is None or attempt == 0:
+                        observations, confidences = collect_observations_with_confidence(
+                            machine,
+                            session,
+                            cha_mapping,
+                            rounds=rounds,
+                            batched=config.batched,
+                        )
+                    else:
+                        # A previous attempt failed: pay for repeated
+                        # measurements and take the majority per probe.
+                        observations, confidences = collect_observations_voted(
+                            machine,
+                            session,
+                            cha_mapping,
+                            rounds=rounds,
+                            batched=config.batched,
+                            votes=policy.votes,
+                        )
+                    probe_span.set_attr(observations=len(observations))
+            except (MeasurementError, MsrAccessError) as exc:
+                probe_seconds += time.perf_counter() - t_probe
+                if attempt == max_attempts - 1:
+                    raise
+                retries += 1
+                c_retries("retries_total", stage="probe", error=type(exc).__name__).inc()
+                continue
+            t_solve = time.perf_counter()
+            probe_seconds += t_solve - t_probe
+            probe_count += len(observations)
+            try:
+                with tracer.span("solve", attempt=attempt) as solve_span:
+                    if policy is None:
+                        reconstruction = reconstruct_map(
+                            observations,
+                            cha_mapping,
+                            grid,
+                            solver=config.solver,
+                            reduce=config.reduce_ilp,
+                            tracer=tracer,
+                        )
+                    else:
+                        reconstruction, dropped = reconstruct_with_degradation(
+                            observations,
+                            confidences,
+                            cha_mapping,
+                            grid,
+                            solver=config.solver,
+                            reduce=config.reduce_ilp,
+                            drop_fraction=policy.drop_fraction,
+                            max_degradations=policy.max_degradations,
+                            tracer=tracer,
+                        )
+                    solve_span.set_attr(
+                        refinement_cuts=reconstruction.refinement_cuts,
+                        consistent=reconstruction.consistent,
+                        dropped_observations=dropped,
+                    )
+            except ReconstructionInfeasible as exc:
+                solve_seconds += time.perf_counter() - t_solve
+                if attempt == max_attempts - 1:
+                    raise
+                retries += 1
+                c_retries("retries_total", stage="solve", error=type(exc).__name__).inc()
+                continue
             solve_seconds += time.perf_counter() - t_solve
-            if attempt == policy.max_attempts - 1:
-                raise
-            retries += 1
-            continue
-        solve_seconds += time.perf_counter() - t_solve
-        if not reconstruction.consistent:
-            # A layout that cannot explain the measurements means the
-            # observations themselves are corrupt — re-measure.
-            if attempt == policy.max_attempts - 1:
-                raise MeasurementError(
-                    "no layout explains the measured observations even after "
-                    f"{reconstruction.refinement_cuts} refinement cuts"
-                )
-            reconstruction = None
-            retries += 1
-            continue
-        break
-    if reconstruction is None:  # pragma: no cover - loop always breaks or raises
-        raise MeasurementError("steps 2/3 exhausted retries")
-    finished = time.perf_counter()
+            if policy is not None and not reconstruction.consistent:
+                # A layout that cannot explain the measurements means the
+                # observations themselves are corrupt — re-measure. (The
+                # fail-fast pipeline returns the inconsistent result as-is.)
+                if attempt == max_attempts - 1:
+                    raise MeasurementError(
+                        "no layout explains the measured observations even after "
+                        f"{reconstruction.refinement_cuts} refinement cuts"
+                    )
+                reconstruction = None
+                retries += 1
+                c_retries(
+                    "retries_total", stage="solve", error="InconsistentReconstruction"
+                ).inc()
+                continue
+            break
+        assert reconstruction is not None  # loop always breaks or raises
+        finished = time.perf_counter()
+
+        ppin = machine.read_ppin()
+        root.set_attr(ppin=f"{ppin:#018x}", retries=retries, probe_count=probe_count)
 
     return MappingResult(
-        ppin=machine.read_ppin(),
+        ppin=ppin,
         cha_mapping=cha_mapping,
         reconstruction=reconstruction,
         elapsed_seconds=finished - started,

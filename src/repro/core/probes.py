@@ -125,6 +125,7 @@ def collect_observations_with_confidence(
         threshold = rounds
     session.program_ring_monitors()
     probe_pairs = list(pairs) if pairs is not None else default_probe_pairs(machine.os_cores())
+    c_probes = session.tracer.counter("probes_total")
 
     observations: list[PathObservation] = []
     confidences: list[float] = []
@@ -134,6 +135,7 @@ def collect_observations_with_confidence(
             source_cha, sink_cha, workload = _probe_workload(
                 machine, cha_mapping, source_os, sink_os, rounds
             )
+            c_probes.inc()
             matrix = _measure_matrix(machine, session, batch, workload)
             observations.append(
                 observation_from_matrix(source_cha, sink_cha, matrix, threshold)
@@ -169,6 +171,8 @@ def collect_observations_voted(
         threshold = rounds
     session.program_ring_monitors()
     probe_pairs = list(pairs) if pairs is not None else default_probe_pairs(machine.os_cores())
+    c_probes = session.tracer.counter("probes_total")
+    c_votes = session.tracer.counter("probe_votes_total")
 
     observations: list[PathObservation] = []
     confidences: list[float] = []
@@ -178,8 +182,10 @@ def collect_observations_voted(
             source_cha, sink_cha, workload = _probe_workload(
                 machine, cha_mapping, source_os, sink_os, rounds
             )
+            c_probes.inc()
             ballots: list[tuple[PathObservation, float]] = []
             for vote in range(max(1, votes)):
+                c_votes.inc()
                 matrix = _measure_matrix(machine, session, batch, workload)
                 ballots.append(
                     (

@@ -33,6 +33,7 @@ from repro.ilp.model import lin_sum
 from repro.ilp.solution import Solution
 from repro.mesh.geometry import GridSpec, TileCoord
 from repro.mesh.routing import Channel, ingress_events
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass
@@ -124,10 +125,12 @@ def reconstruct_map(
     reduce: bool = True,
     refine: bool = True,
     max_refinements: int = 80,
+    tracer=None,
 ) -> ReconstructionResult:
     """Build and solve the §II-C ILP; return the placed core map."""
     if not observations:
         raise MappingError("cannot reconstruct a map from zero observations")
+    tracer = tracer if tracer is not None else NULL_TRACER
     n_chas = len(cha_mapping.os_to_cha) + len(cha_mapping.llc_only_chas)
     layout = build_layout_model(
         observations,
@@ -137,10 +140,19 @@ def reconstruct_map(
         reduce=reduce,
     )
     solver = solver or default_solver()
+    c_solves = tracer.counter("ilp_solves_total")
+    c_nodes = tracer.counter("ilp_nodes_total")
+    c_cuts = tracer.counter("ilp_refinement_cuts_total")
 
     cuts = 0
     while True:
-        solution = solver.solve(layout.model)
+        with tracer.span("ilp_solve", refinement_round=cuts) as solve_span:
+            solution = solver.solve(layout.model)
+            solve_span.set_attr(
+                status=solution.status.value, nodes=solution.nodes_explored
+            )
+        c_solves.inc()
+        c_nodes.add(solution.nodes_explored)
         if not solution.status.ok:
             raise ReconstructionInfeasible(
                 f"layout ILP ended with status {solution.status.value} after "
@@ -168,6 +180,7 @@ def reconstruct_map(
         if not added_any:
             _add_no_good_cut(layout, solution, cuts)
         cuts += 1
+        c_cuts.inc()
 
     core_map = CoreMap(
         grid=grid,
@@ -195,6 +208,7 @@ def reconstruct_with_degradation(
     refine: bool = True,
     drop_fraction: float = 0.15,
     max_degradations: int = 3,
+    tracer=None,
 ) -> tuple[ReconstructionResult, int]:
     """Solve the layout ILP, shedding low-confidence observations on UNSAT.
 
@@ -217,22 +231,26 @@ def reconstruct_with_degradation(
     if max_degradations < 0:
         raise ValueError("max_degradations must be non-negative")
 
+    tracer = tracer if tracer is not None else NULL_TRACER
     # Ascending confidence; stable so equal-confidence ties keep probe order.
     order = sorted(range(len(observations)), key=lambda i: (confidences[i], i))
     chunk = max(1, int(round(drop_fraction * len(observations))))
+    c_shed = tracer.counter("observations_shed_total")
     dropped = 0
     while True:
         keep = sorted(set(range(len(observations))) - set(order[:dropped]))
         subset = [observations[i] for i in keep]
         try:
             result = reconstruct_map(
-                subset, cha_mapping, grid, solver=solver, reduce=reduce, refine=refine
+                subset, cha_mapping, grid, solver=solver, reduce=reduce, refine=refine,
+                tracer=tracer,
             )
             return result, dropped
         except ReconstructionInfeasible:
             if dropped >= chunk * max_degradations or len(subset) <= chunk:
                 raise
             dropped += chunk
+            c_shed.add(chunk)
 
 
 def _extract_positions(layout: IlpLayout, solution: Solution) -> dict[int, TileCoord]:

@@ -14,6 +14,7 @@ from repro.faults.msr import FaultyMsrDevice
 from repro.faults.plan import FaultBudget, FaultSpec
 from repro.sim.machine import SimulatedMachine
 from repro.sim.threads import ContendedWrite, EvictionSweep, ProducerConsumer, Workload
+from repro.telemetry.tracer import NULL_TRACER
 from repro.util.rng import derive_rng
 
 
@@ -39,7 +40,13 @@ class FaultyMachine:
     it would on a healthy run.
     """
 
-    def __init__(self, inner: SimulatedMachine, spec: FaultSpec, attempt: int = 1):
+    def __init__(
+        self,
+        inner: SimulatedMachine,
+        spec: FaultSpec,
+        attempt: int = 1,
+        tracer=None,
+    ):
         self._inner = inner
         self._spec = spec
         self._attempt = attempt
@@ -47,13 +54,19 @@ class FaultyMachine:
         self._budget = FaultBudget(spec.max_faults)
         self._exec_rng: np.random.Generator = derive_rng(spec.seed, "faults-exec", attempt)
         self._stalled = False
+        tracer = tracer if tracer is not None else NULL_TRACER
+        self._c_fault = lambda kind: tracer.counter("faults_injected_total", kind=kind)
         if self._active and (
             spec.msr_read_error_rate > 0
             or spec.msr_zero_read_rate > 0
             or spec.counter_wrap_bits is not None
         ):
             self._msr = FaultyMsrDevice(
-                inner.msr, spec, derive_rng(spec.seed, "faults-msr", attempt), self._budget
+                inner.msr,
+                spec,
+                derive_rng(spec.seed, "faults-msr", attempt),
+                self._budget,
+                tracer=tracer,
             )
         else:
             self._msr = inner.msr
@@ -85,6 +98,7 @@ class FaultyMachine:
         :class:`~repro.core.errors.WorkerCrashError` instead.
         """
         if self._attempt <= self._spec.worker_crash_attempts:
+            self._c_fault("worker_crash").inc()
             if multiprocessing.parent_process() is not None:
                 os._exit(3)  # noqa: SLF001 - simulating an abrupt worker death
             raise WorkerCrashError(
@@ -94,22 +108,28 @@ class FaultyMachine:
     def execute(self, workload: Workload) -> None:
         if self._active and not self._stalled and self._attempt <= self._spec.stall_attempts:
             self._stalled = True
+            self._c_fault("stall").inc()
             time.sleep(self._spec.stall_seconds)
         if self._fire(self._spec.noise_burst_rate):
             # A co-tenant burst: a transient NoiseConfig spike realised as
             # extra background flows around this one probe.
+            self._c_fault("noise_burst").inc()
             self._inner.instance.mesh.inject_background(
                 self._exec_rng, self._spec.noise_burst_flows, self._spec.noise_burst_lines
             )
         if self._fire(self._spec.preempt_rate):
+            self._c_fault("preempt").inc()
             workload = _truncated(workload, self._spec.preempt_fraction)
         self._inner.execute(workload)
 
 
 def inject_faults(
-    machine: SimulatedMachine, spec: FaultSpec | None, attempt: int = 1
+    machine: SimulatedMachine,
+    spec: FaultSpec | None,
+    attempt: int = 1,
+    tracer=None,
 ) -> SimulatedMachine:
     """Arm ``machine`` with ``spec``; pass-through when nothing can fire."""
     if spec is None:
         return machine
-    return FaultyMachine(machine, spec, attempt=attempt)
+    return FaultyMachine(machine, spec, attempt=attempt, tracer=tracer)

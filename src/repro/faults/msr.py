@@ -43,11 +43,18 @@ class FaultyMsrDevice:
         spec: FaultSpec,
         rng: np.random.Generator,
         budget: FaultBudget | None = None,
+        tracer=None,
     ):
+        if tracer is None:
+            from repro.telemetry.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
         self._inner = inner
         self._spec = spec
         self._rng = rng
         self._budget = budget if budget is not None else FaultBudget(spec.max_faults)
+        self._c_read_error = tracer.counter("faults_injected_total", kind="msr_read_error")
+        self._c_zero_read = tracer.counter("faults_injected_total", kind="msr_zero_read")
 
     @property
     def faults_fired(self) -> int:
@@ -61,12 +68,14 @@ class FaultyMsrDevice:
     # -- MsrDevice interface -----------------------------------------------------
     def read(self, os_cpu: int, addr: int) -> int:
         if self._fire(self._spec.msr_read_error_rate):
+            self._c_read_error.inc()
             raise TransientMsrError(
                 f"injected transient read fault at CPU {os_cpu} MSR {addr:#x}"
             )
         value = self._inner.read(os_cpu, addr)
         if is_counter_addr(addr):
             if self._fire(self._spec.msr_zero_read_rate):
+                self._c_zero_read.inc()
                 return 0
             if self._spec.counter_wrap_bits is not None:
                 value &= (1 << self._spec.counter_wrap_bits) - 1
@@ -78,6 +87,7 @@ class FaultyMsrDevice:
     def read_many(self, os_cpu: int, addrs) -> np.ndarray:
         """Batched counterpart: faults hit the whole readback at once."""
         if self._fire(self._spec.msr_read_error_rate):
+            self._c_read_error.inc()
             raise TransientMsrError(
                 f"injected transient block-read fault at CPU {os_cpu}"
             )
@@ -92,6 +102,7 @@ class FaultyMsrDevice:
         counter_mask = np.array([is_counter_addr(int(a)) for a in np.asarray(addrs)])
         if counter_mask.any():
             if self._fire(self._spec.msr_zero_read_rate):
+                self._c_zero_read.inc()
                 values = values.copy()
                 values[counter_mask] = 0  # one dropped whole-package readback
             if self._spec.counter_wrap_bits is not None:

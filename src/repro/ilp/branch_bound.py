@@ -44,6 +44,7 @@ class BranchBoundSolver:
         relaxation: str = "highs",
         max_nodes: int = 20_000,
         gap_tolerance: float = 1e-9,
+        tracer=None,
     ):
         if relaxation not in ("highs", "simplex"):
             raise ValueError(f"unknown relaxation solver {relaxation!r}")
@@ -51,12 +52,21 @@ class BranchBoundSolver:
         self.max_nodes = max_nodes
         self.gap_tolerance = gap_tolerance
         self._simplex = SimplexSolver()
+        if tracer is None:
+            from repro.telemetry.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        self._c_relaxations = tracer.counter("ilp_bb_relaxations_total")
+        self._c_nodes = tracer.counter("ilp_bb_nodes_total")
+        self._c_incumbents = tracer.counter("ilp_bb_incumbents_total")
 
     # -- relaxation dispatch ----------------------------------------------------
     def _solve_relaxation(
         self, arrays: ModelArrays, lo: np.ndarray, hi: np.ndarray
     ) -> tuple[str, np.ndarray | None, float]:
         """Return (status, x, objective) of the LP relaxation with given bounds."""
+        self._c_relaxations.inc()
         if self.relaxation == "simplex":
             res = self._simplex.solve_arrays(arrays, lo, hi)
             if res.status is LpStatus.OPTIMAL:
@@ -104,6 +114,7 @@ class BranchBoundSolver:
                 continue  # pruned by bound
             status, x, bound = self._solve_relaxation(arrays, node.lo, node.hi)
             nodes += 1
+            self._c_nodes.inc()
             if status != "optimal" or x is None:
                 continue
             if bound >= incumbent_obj - self.gap_tolerance:
@@ -118,6 +129,7 @@ class BranchBoundSolver:
                 if obj < incumbent_obj:
                     incumbent_obj = obj
                     incumbent = rounded
+                    self._c_incumbents.inc()
                 continue
 
             value = x[frac_idx]

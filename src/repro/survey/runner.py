@@ -54,6 +54,8 @@ from repro.sim.factory import build_machine
 from repro.sim.workload import NoiseConfig
 from repro.store.database import MapDatabase
 from repro.store.serialization import mapping_record, record_core_map
+from repro.telemetry.aggregate import SpanAggregate, aggregate_spans
+from repro.telemetry.tracer import NULL_TRACER, TelemetrySnapshot, Tracer
 from repro.survey.timing import StageAggregate, aggregate_timings
 
 #: MappingConfig fields a worker job carries (``solver`` objects may hold
@@ -91,6 +93,8 @@ class _SlotJob:
     noise_kwargs: dict[str, Any] | None = None
     fault_kwargs: dict[str, Any] | None = None
     attempt: int = 1
+    #: Collect a per-slot telemetry snapshot and ship it back to the parent.
+    trace: bool = False
 
     def on_attempt(self, attempt: int) -> "_SlotJob":
         return _SlotJob(
@@ -103,6 +107,7 @@ class _SlotJob:
             self.noise_kwargs,
             self.fault_kwargs,
             attempt,
+            self.trace,
         )
 
 
@@ -116,10 +121,16 @@ def _map_one(job: _SlotJob) -> dict[str, Any]:
     instance = CpuInstance.generate(sku, job.inst_seed)
     noise = NoiseConfig(**job.noise_kwargs) if job.noise_kwargs is not None else None
     machine = build_machine(instance, seed=job.machine_seed, noise=noise, with_thermal=False)
-    if job.fault_kwargs is not None:
-        machine = inject_faults(machine, FaultSpec.from_dict(job.fault_kwargs), job.attempt)
-        machine.maybe_crash()
-    result = map_cpu(machine, config=MappingConfig(**job.config_kwargs))
+    # Telemetry is process-local; the snapshot crosses the pool boundary as
+    # plain dicts and is merged into the parent tracer per slot.
+    tracer = Tracer() if job.trace else NULL_TRACER
+    with tracer.span("survey_slot", slot=job.index, attempt=job.attempt):
+        if job.fault_kwargs is not None:
+            machine = inject_faults(
+                machine, FaultSpec.from_dict(job.fault_kwargs), job.attempt, tracer=tracer
+            )
+            machine.maybe_crash()
+        result = map_cpu(machine, config=MappingConfig(**job.config_kwargs), tracer=tracer)
 
     truth = CoreMap.from_instance(instance)
     located = frozenset(result.core_map.cha_positions)
@@ -134,6 +145,7 @@ def _map_one(job: _SlotJob) -> dict[str, Any]:
         "attempts": job.attempt,
         "pipeline_retries": result.retry_attempts,
         "dropped_observations": result.dropped_observations,
+        "telemetry": tracer.snapshot().as_dict() if job.trace else None,
     }
 
 
@@ -182,6 +194,8 @@ class SurveyReport:
     wall_seconds: float
     id_mappings: Counter = field(default_factory=Counter)
     patterns: Counter = field(default_factory=Counter)
+    #: Merged fleet telemetry (None when the survey ran untraced).
+    telemetry: TelemetrySnapshot | None = None
 
     def __post_init__(self) -> None:
         if not self.id_mappings and not self.patterns:
@@ -241,6 +255,17 @@ class SurveyReport:
         """Per-§II-stage timing over the instances actually mapped."""
         return aggregate_timings(o.timings for o in self.outcomes if o.timings is not None)
 
+    def span_aggregates(self) -> dict[str, SpanAggregate]:
+        """Fleet-wide per-span-name rollup of the merged telemetry.
+
+        Finer-grained than :meth:`stage_aggregates`: every traced span name
+        (``home_discovery``, ``ilp_solve``, …) appears, not just the three
+        top-level stages. Empty when the survey ran untraced.
+        """
+        if self.telemetry is None:
+            return {}
+        return aggregate_spans(self.telemetry.spans)
+
 
 class SurveyRunner:
     """Maps a seeded fleet, reusing cached maps and fanning out workers."""
@@ -261,6 +286,7 @@ class SurveyRunner:
         backoff_seconds: float = 0.0,
         slot_timeout: float | None = None,
         flush_every: int = 8,
+        tracer: Tracer | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -301,6 +327,10 @@ class SurveyRunner:
         self.slot_timeout = slot_timeout
         #: Persist the database after every N fresh maps.
         self.flush_every = flush_every
+        #: Fleet-level tracer; slots collect local snapshots that are merged
+        #: here (re-keyed span IDs, ``slot=`` attribute stamped on roots).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = bool(getattr(self.tracer, "enabled", False))
 
     def _pool_size(self, n_jobs: int) -> int:
         size = min(self.workers, n_jobs)
@@ -429,98 +459,115 @@ class SurveyRunner:
         if n_instances < 0:
             raise ValueError("n_instances must be non-negative")
         started = time.perf_counter()
+        c_cache_hits = self.tracer.counter("survey_cache_hits_total")
+        slot_counter = lambda outcome: self.tracer.counter(  # noqa: E731
+            "survey_slots_total", outcome=outcome
+        )
 
-        cached: list[InstanceOutcome] = []
-        jobs: list[_SlotJob] = []
-        config_kwargs = _config_kwargs(self.config)
-        noise_kwargs = self.noise.__dict__.copy() if self.noise is not None else None
-        for index in range(n_instances):
-            inst_seed = instance_seed(self.root_seed, sku, index)
-            ppin = CpuInstance.ppin_for(sku, inst_seed)
-            if self.db is not None and ppin in self.db:
-                cached.append(self._cached_outcome(sku, index, inst_seed, ppin))
-            else:
-                # Machine seed = fleet index, matching the serial survey
-                # example, so cached and fresh runs agree bit for bit.
-                spec = self.faults.get(index)
-                jobs.append(
-                    _SlotJob(
-                        sku_name=sku.name,
-                        index=index,
-                        inst_seed=inst_seed,
-                        machine_seed=index,
-                        ppin=ppin,
-                        config_kwargs=config_kwargs,
-                        noise_kwargs=noise_kwargs,
-                        fault_kwargs=spec.as_dict() if spec is not None else None,
+        with self.tracer.span("survey", sku=sku.name, n_instances=n_instances):
+            cached: list[InstanceOutcome] = []
+            jobs: list[_SlotJob] = []
+            config_kwargs = _config_kwargs(self.config)
+            noise_kwargs = self.noise.__dict__.copy() if self.noise is not None else None
+            for index in range(n_instances):
+                inst_seed = instance_seed(self.root_seed, sku, index)
+                ppin = CpuInstance.ppin_for(sku, inst_seed)
+                if self.db is not None and ppin in self.db:
+                    cached.append(self._cached_outcome(sku, index, inst_seed, ppin))
+                    c_cache_hits.inc()
+                    slot_counter("cached").inc()
+                else:
+                    # Machine seed = fleet index, matching the serial survey
+                    # example, so cached and fresh runs agree bit for bit.
+                    spec = self.faults.get(index)
+                    jobs.append(
+                        _SlotJob(
+                            sku_name=sku.name,
+                            index=index,
+                            inst_seed=inst_seed,
+                            machine_seed=index,
+                            ppin=ppin,
+                            config_kwargs=config_kwargs,
+                            noise_kwargs=noise_kwargs,
+                            fault_kwargs=spec.as_dict() if spec is not None else None,
+                            trace=self._tracing,
+                        )
                     )
-                )
 
-        raw_results = self._run_jobs(jobs)
+            raw_results = self._run_jobs(jobs)
 
-        fresh: list[InstanceOutcome] = []
-        n_failed = 0
-        pending_flush = 0
-        stored_any = False
-        for raw in raw_results:
-            if raw.get("failed"):
-                n_failed += 1
-                if not self.keep_going:
-                    raise raw["exception"]
-                if self.max_failures is not None and n_failed > self.max_failures:
-                    raise MappingError(
-                        f"survey aborted: {n_failed} failed slots exceed "
-                        f"max_failures={self.max_failures} "
-                        f"(last: {raw['error']}: {raw['error_message']})"
+            fresh: list[InstanceOutcome] = []
+            n_failed = 0
+            pending_flush = 0
+            stored_any = False
+            for raw in raw_results:
+                if self._tracing and raw.get("telemetry") is not None:
+                    # Slot snapshots merge under the open survey span, each
+                    # root stamped with the fleet slot it came from.
+                    self.tracer.merge(
+                        TelemetrySnapshot.from_dict(raw["telemetry"]), slot=raw["index"]
                     )
+                if raw.get("failed"):
+                    n_failed += 1
+                    slot_counter("failed").inc()
+                    if not self.keep_going:
+                        raise raw["exception"]
+                    if self.max_failures is not None and n_failed > self.max_failures:
+                        raise MappingError(
+                            f"survey aborted: {n_failed} failed slots exceed "
+                            f"max_failures={self.max_failures} "
+                            f"(last: {raw['error']}: {raw['error_message']})"
+                        )
+                    fresh.append(
+                        InstanceOutcome(
+                            sku=sku.name,
+                            index=raw["index"],
+                            ppin=raw["ppin"],
+                            cached=False,
+                            core_map=None,
+                            id_mapping=(),
+                            matches_truth=None,
+                            timings=None,
+                            probe_count=0,
+                            failed=True,
+                            error=raw["error"],
+                            error_message=raw["error_message"],
+                            attempts=raw["attempts"],
+                        )
+                    )
+                    continue
+                slot_counter("mapped").inc()
                 fresh.append(
                     InstanceOutcome(
                         sku=sku.name,
                         index=raw["index"],
                         ppin=raw["ppin"],
                         cached=False,
-                        core_map=None,
-                        id_mapping=(),
-                        matches_truth=None,
-                        timings=None,
-                        probe_count=0,
-                        failed=True,
-                        error=raw["error"],
-                        error_message=raw["error_message"],
-                        attempts=raw["attempts"],
+                        core_map=record_core_map(raw["record"]),
+                        id_mapping=tuple(raw["id_mapping"]),
+                        matches_truth=raw["matches_truth"] if self.verify_truth else None,
+                        timings=StageTimings.from_dict(raw["timings"]),
+                        probe_count=raw["probe_count"],
+                        attempts=raw.get("attempts", 1),
+                        pipeline_retries=raw.get("pipeline_retries", 0),
                     )
                 )
-                continue
-            fresh.append(
-                InstanceOutcome(
-                    sku=sku.name,
-                    index=raw["index"],
-                    ppin=raw["ppin"],
-                    cached=False,
-                    core_map=record_core_map(raw["record"]),
-                    id_mapping=tuple(raw["id_mapping"]),
-                    matches_truth=raw["matches_truth"] if self.verify_truth else None,
-                    timings=StageTimings.from_dict(raw["timings"]),
-                    probe_count=raw["probe_count"],
-                    attempts=raw.get("attempts", 1),
-                    pipeline_retries=raw.get("pipeline_retries", 0),
-                )
-            )
-            if self.db is not None:
-                self.db.store_record(raw["ppin"], raw["record"])
-                stored_any = True
-                pending_flush += 1
-                if pending_flush >= self.flush_every:
-                    # Incremental persistence: a crash from here on loses at
-                    # most flush_every maps, not the whole run.
-                    self.db.save()
-                    pending_flush = 0
-        if self.db is not None and stored_any and pending_flush:
-            self.db.save()
+                if self.db is not None:
+                    self.db.store_record(raw["ppin"], raw["record"])
+                    stored_any = True
+                    pending_flush += 1
+                    if pending_flush >= self.flush_every:
+                        # Incremental persistence: a crash from here on loses
+                        # at most flush_every maps, not the whole run.
+                        self.db.save()
+                        pending_flush = 0
+            if self.db is not None and stored_any and pending_flush:
+                self.db.save()
 
         outcomes = sorted(cached + fresh, key=lambda o: o.index)
         return SurveyReport(
             sku=sku.name,
             outcomes=outcomes,
             wall_seconds=time.perf_counter() - started,
+            telemetry=self.tracer.snapshot() if self._tracing else None,
         )

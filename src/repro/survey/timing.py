@@ -1,16 +1,23 @@
-"""Aggregation of per-stage pipeline timings across a fleet.
+"""Compatibility layer over :mod:`repro.telemetry.aggregate`.
 
-Each mapped instance carries a :class:`~repro.core.pipeline.StageTimings`;
-the survey engine folds them into one :class:`StageAggregate` per §II stage
-so a fleet run reports where its wall clock went.
+.. deprecated::
+    The survey-specific aggregation grew into the general span aggregator
+    in :mod:`repro.telemetry.aggregate`. ``StageAggregate`` is now an alias
+    of :class:`~repro.telemetry.aggregate.SpanAggregate` (whose ``stage``
+    property preserves the old field) and :func:`aggregate_timings` folds
+    through a :class:`~repro.telemetry.aggregate.SpanAggregator`. Existing
+    imports keep working; new code should import from ``repro.telemetry``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass
 
 from repro.core.pipeline import StageTimings
+from repro.telemetry.aggregate import SpanAggregate, SpanAggregator
+
+#: Alias kept for pre-telemetry callers; ``.stage`` mirrors ``.name``.
+StageAggregate = SpanAggregate
 
 #: Stage label → StageTimings field, in pipeline order.
 STAGE_FIELDS: tuple[tuple[str, str], ...] = (
@@ -20,38 +27,14 @@ STAGE_FIELDS: tuple[tuple[str, str], ...] = (
 )
 
 
-@dataclass(frozen=True)
-class StageAggregate:
-    """Distribution of one stage's wall clock across mapped instances."""
-
-    stage: str
-    count: int
-    total_seconds: float
-    min_seconds: float
-    max_seconds: float
-
-    @property
-    def mean_seconds(self) -> float:
-        return self.total_seconds / self.count if self.count else 0.0
-
-
 def aggregate_timings(timings: Iterable[StageTimings]) -> dict[str, StageAggregate]:
     """Fold per-instance stage timings into one aggregate per stage.
 
     Returns an empty dict when no timings are supplied (e.g. a survey that
     was served entirely from the PPIN cache).
     """
-    samples = list(timings)
-    if not samples:
-        return {}
-    out: dict[str, StageAggregate] = {}
-    for stage, field in STAGE_FIELDS:
-        values = [getattr(t, field) for t in samples]
-        out[stage] = StageAggregate(
-            stage=stage,
-            count=len(values),
-            total_seconds=sum(values),
-            min_seconds=min(values),
-            max_seconds=max(values),
-        )
-    return out
+    aggregator = SpanAggregator()
+    for t in timings:
+        for stage, field in STAGE_FIELDS:
+            aggregator.add(stage, getattr(t, field))
+    return aggregator.stats()

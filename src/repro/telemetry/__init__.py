@@ -1,0 +1,66 @@
+"""Telemetry subsystem: structured tracing, counters, and exporters.
+
+The observability layer of the mapping pipeline, modelled on the
+per-unit instrumentation the uncore-measurement literature uses to open
+up otherwise opaque measurement chains:
+
+* :mod:`repro.telemetry.tracer` — :class:`Tracer` (nested spans with
+  monotonic timing and structured attributes) and the no-op
+  :class:`NullTracer` default that keeps the telemetry-off path
+  bit-identical;
+* :mod:`repro.telemetry.metrics` — typed :class:`Counter`/:class:`Gauge`
+  instruments with Prometheus-style names and labels;
+* :mod:`repro.telemetry.aggregate` — in-memory span aggregation
+  (subsumes the old ``survey.timing.StageAggregate``);
+* :mod:`repro.telemetry.exporters` — JSONL trace export, Prometheus
+  text exposition, and their schema validators.
+
+Everything here is stdlib-only and picklable-at-the-edges: tracers are
+process-local, and :class:`TelemetrySnapshot` is the plain-data transport
+survey workers use to ship telemetry across the pool boundary.
+"""
+
+from repro.telemetry.aggregate import SpanAggregate, SpanAggregator, aggregate_spans
+from repro.telemetry.exporters import (
+    METRIC_PREFIX,
+    TelemetrySchemaError,
+    prometheus_text,
+    trace_jsonl_lines,
+    validate_prometheus_text,
+    validate_trace_jsonl,
+    write_metrics_text,
+    write_trace_jsonl,
+)
+from repro.telemetry.metrics import Counter, Gauge, MetricRegistry, NullInstrument
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    Span,
+    TelemetrySnapshot,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "METRIC_PREFIX",
+    "MetricRegistry",
+    "NULL_TRACER",
+    "NullInstrument",
+    "NullTracer",
+    "Span",
+    "SpanAggregate",
+    "SpanAggregator",
+    "TRACE_SCHEMA_VERSION",
+    "TelemetrySchemaError",
+    "TelemetrySnapshot",
+    "Tracer",
+    "aggregate_spans",
+    "prometheus_text",
+    "trace_jsonl_lines",
+    "validate_prometheus_text",
+    "validate_trace_jsonl",
+    "write_metrics_text",
+    "write_trace_jsonl",
+]

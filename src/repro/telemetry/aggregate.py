@@ -1,0 +1,79 @@
+"""In-memory span aggregation: name → count / total / min / max / mean.
+
+This is the fleet-report side of telemetry: exported span records (or live
+``(name, seconds)`` samples) fold into one :class:`SpanAggregate` per span
+name, the structure survey reports use to say where a run's wall clock
+went. It subsumes the old ``repro.survey.timing.StageAggregate`` — that
+module is now a thin compatibility layer over this one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpanAggregate:
+    """Distribution of one span name's wall clock across its occurrences."""
+
+    name: str
+    count: int
+    total_seconds: float
+    min_seconds: float
+    max_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    @property
+    def stage(self) -> str:
+        """Alias kept for the pre-telemetry ``StageAggregate`` API."""
+        return self.name
+
+
+class SpanAggregator:
+    """Folds duration samples into per-name aggregates, insertion-ordered."""
+
+    def __init__(self) -> None:
+        self._acc: dict[str, list[float]] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one duration sample for ``name``."""
+        acc = self._acc.get(name)
+        if acc is None:
+            self._acc[name] = [1, seconds, seconds, seconds]
+        else:
+            acc[0] += 1
+            acc[1] += seconds
+            if seconds < acc[2]:
+                acc[2] = seconds
+            if seconds > acc[3]:
+                acc[3] = seconds
+
+    def add_span(self, record: dict) -> None:
+        """Record one exported span record (see ``tracer.Span``)."""
+        self.add(record["name"], record["duration_seconds"])
+
+    def extend_spans(self, records: Iterable[dict]) -> "SpanAggregator":
+        for record in records:
+            self.add_span(record)
+        return self
+
+    def stats(self) -> dict[str, SpanAggregate]:
+        return {
+            name: SpanAggregate(
+                name=name,
+                count=acc[0],
+                total_seconds=acc[1],
+                min_seconds=acc[2],
+                max_seconds=acc[3],
+            )
+            for name, acc in self._acc.items()
+        }
+
+
+def aggregate_spans(records: Iterable[dict]) -> dict[str, SpanAggregate]:
+    """One-shot aggregation of exported span records."""
+    return SpanAggregator().extend_spans(records).stats()

@@ -1,0 +1,249 @@
+"""Pluggable telemetry exporters and their schema validators.
+
+Two wire formats, both derived from a :class:`~repro.telemetry.tracer
+.TelemetrySnapshot`:
+
+* **JSONL traces** — one JSON object per finished span, schema-versioned
+  (``{"v": 1, "kind": "span", "name": …, "span_id": …, "parent_id": …,
+  "ts": …, "duration_seconds": …, "attrs": {…}}``), consumable by ``jq``
+  or any trace tooling;
+* **Prometheus-style text exposition** — counters and gauges with
+  ``# TYPE`` headers and sorted, escaped labels, ready for a node
+  exporter's textfile collector.
+
+The validators (:func:`validate_trace_jsonl`,
+:func:`validate_prometheus_text`) are the schema of record: the test
+suite, the CI telemetry-smoke job, and ``repro-map stats`` all go through
+them, so an export that drifts from the documented shape fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+from repro.telemetry.tracer import TRACE_SCHEMA_VERSION, TelemetrySnapshot
+
+#: Default prefix of every exposed metric family.
+METRIC_PREFIX = "repro_"
+
+_FAMILY_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+
+
+class TelemetrySchemaError(ValueError):
+    """An exported trace or metrics document violates the schema."""
+
+
+# -- JSONL traces ----------------------------------------------------------------
+def trace_jsonl_lines(snapshot: TelemetrySnapshot) -> list[str]:
+    """Serialize every span as one compact JSON line."""
+    return [json.dumps(span, sort_keys=True, separators=(",", ":")) for span in snapshot.spans]
+
+
+def write_trace_jsonl(snapshot: TelemetrySnapshot, path: str | Path) -> int:
+    """Write the JSONL trace export; returns the number of spans written."""
+    lines = trace_jsonl_lines(snapshot)
+    Path(path).write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    return len(lines)
+
+
+def _require(condition: bool, line_no: int, message: str) -> None:
+    if not condition:
+        raise TelemetrySchemaError(f"trace line {line_no}: {message}")
+
+
+def validate_trace_line(obj: object, line_no: int = 0) -> None:
+    """Check one parsed JSONL record against the span schema."""
+    _require(isinstance(obj, dict), line_no, "record is not a JSON object")
+    _require(obj.get("v") == TRACE_SCHEMA_VERSION, line_no,
+             f"schema version {obj.get('v')!r} != {TRACE_SCHEMA_VERSION}")
+    _require(obj.get("kind") == "span", line_no, f"unknown kind {obj.get('kind')!r}")
+    name = obj.get("name")
+    _require(isinstance(name, str) and bool(name), line_no, "missing span name")
+    span_id = obj.get("span_id")
+    _require(isinstance(span_id, int) and span_id >= 0, line_no, "bad span_id")
+    parent_id = obj.get("parent_id")
+    _require(parent_id is None or (isinstance(parent_id, int) and parent_id >= 0),
+             line_no, "bad parent_id")
+    _require(parent_id != span_id, line_no, "span is its own parent")
+    ts = obj.get("ts")
+    _require(isinstance(ts, (int, float)) and math.isfinite(ts) and ts >= 0, line_no, "bad ts")
+    duration = obj.get("duration_seconds")
+    _require(
+        isinstance(duration, (int, float)) and math.isfinite(duration) and duration >= 0,
+        line_no, "bad duration_seconds",
+    )
+    attrs = obj.get("attrs")
+    _require(isinstance(attrs, dict), line_no, "missing attrs object")
+    for key, value in attrs.items():
+        _require(isinstance(key, str), line_no, f"non-string attr key {key!r}")
+        _require(
+            value is None or isinstance(value, (str, int, float, bool)),
+            line_no, f"non-scalar attr {key}={value!r}",
+        )
+
+
+def validate_trace_jsonl(text: str) -> int:
+    """Validate a whole JSONL trace document; returns the span count.
+
+    Beyond per-line shape, checks referential integrity: every
+    ``parent_id`` must name a ``span_id`` present in the document.
+    """
+    span_ids: set[int] = set()
+    parents: list[tuple[int, int]] = []
+    count = 0
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetrySchemaError(f"trace line {line_no}: not JSON ({exc})") from exc
+        validate_trace_line(obj, line_no)
+        _require(obj["span_id"] not in span_ids, line_no, f"duplicate span_id {obj['span_id']}")
+        span_ids.add(obj["span_id"])
+        if obj["parent_id"] is not None:
+            parents.append((line_no, obj["parent_id"]))
+        count += 1
+    for line_no, parent_id in parents:
+        _require(parent_id in span_ids, line_no, f"dangling parent_id {parent_id}")
+    return count
+
+
+# -- Prometheus text exposition ---------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _family_lines(records: list[dict], kind: str, prefix: str) -> list[str]:
+    lines: list[str] = []
+    seen_families: set[str] = set()
+    for rec in records:
+        family = prefix + rec["name"]
+        if family not in seen_families:
+            seen_families.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+        labels = "".join(
+            f'{key}="{_escape_label_value(str(value))}",'
+            for key, value in sorted(rec["labels"].items())
+        ).rstrip(",")
+        sample = f"{family}{{{labels}}}" if labels else family
+        lines.append(f"{sample} {_format_value(rec['value'])}")
+    return lines
+
+
+def prometheus_text(snapshot: TelemetrySnapshot, prefix: str = METRIC_PREFIX) -> str:
+    """Render all counters and gauges as a Prometheus text exposition."""
+    lines = _family_lines(snapshot.counters, "counter", prefix)
+    lines += _family_lines(snapshot.gauges, "gauge", prefix)
+    return "".join(line + "\n" for line in lines)
+
+
+def write_metrics_text(
+    snapshot: TelemetrySnapshot, path: str | Path, prefix: str = METRIC_PREFIX
+) -> int:
+    """Write the metrics exposition; returns the number of samples written."""
+    text = prometheus_text(snapshot, prefix)
+    Path(path).write_text(text, encoding="utf-8")
+    return sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Validate a metrics exposition; returns the number of samples.
+
+    Checks: every sample's family has a preceding ``# TYPE`` header, label
+    pairs are well-formed, values parse as finite numbers, and counter
+    samples are non-negative.
+    """
+    families: dict[str, str] = {}
+    count = 0
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge"):
+                    raise TelemetrySchemaError(f"metrics line {line_no}: bad TYPE header")
+                if not _FAMILY_RE.match(parts[2]):
+                    raise TelemetrySchemaError(
+                        f"metrics line {line_no}: bad family name {parts[2]!r}"
+                    )
+                families[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise TelemetrySchemaError(f"metrics line {line_no}: unparsable sample {line!r}")
+        family = match.group("name")
+        if family not in families:
+            raise TelemetrySchemaError(
+                f"metrics line {line_no}: sample for undeclared family {family!r}"
+            )
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in _split_label_pairs(raw_labels, line_no):
+                if not _LABEL_PAIR_RE.match(pair):
+                    raise TelemetrySchemaError(
+                        f"metrics line {line_no}: bad label pair {pair!r}"
+                    )
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise TelemetrySchemaError(
+                f"metrics line {line_no}: non-numeric value {match.group('value')!r}"
+            ) from exc
+        if not math.isfinite(value):
+            raise TelemetrySchemaError(f"metrics line {line_no}: non-finite value")
+        if families[family] == "counter" and value < 0:
+            raise TelemetrySchemaError(
+                f"metrics line {line_no}: negative counter sample {value}"
+            )
+        count += 1
+    return count
+
+
+def _split_label_pairs(raw: str, line_no: int) -> list[str]:
+    """Split ``k="v",k2="v2"`` respecting escaped quotes inside values."""
+    pairs: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in raw:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if in_quotes:
+        raise TelemetrySchemaError(f"metrics line {line_no}: unterminated label value")
+    if current:
+        pairs.append("".join(current))
+    return pairs

@@ -1,0 +1,159 @@
+"""Typed counters and gauges with Prometheus-style names and labels.
+
+Instruments are cheap by construction: a :class:`Counter` or :class:`Gauge`
+is looked up (and validated) once through the :class:`MetricRegistry`, and
+every subsequent ``add``/``inc``/``set`` is one attribute access plus an
+arithmetic op — cheap enough to sit inside the per-probe measurement loop.
+
+Metric names follow the Prometheus data model (``[a-zA-Z_:][a-zA-Z0-9_:]*``,
+counters end in ``_total``); label values are coerced to strings at
+registration so exports are stable regardless of what the call site passed.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Registry key: (metric name, sorted (label, value) pairs).
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def metric_key(name: str, labels: dict[str, object]) -> MetricKey:
+    """Validate and normalise one instrument identity."""
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    pairs = []
+    for label, value in sorted(labels.items()):
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label name {label!r} on metric {name!r}")
+        pairs.append((label, str(value)))
+    return name, tuple(pairs)
+
+
+class Counter:
+    """A monotonically increasing count (PMON reads, retries, probes…)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self) -> None:
+        self.value += 1
+
+    def add(self, amount: int | float) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (add {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (batch size, queue depth…); may move both ways."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def add(self, amount: int | float) -> None:
+        self.value += amount
+
+
+class NullInstrument:
+    """No-op stand-in handed out by the ``NullTracer`` — every mutator is a
+    pass, so instrumented hot loops cost one no-op call when telemetry is
+    off."""
+
+    __slots__ = ()
+    name = "null"
+    labels: tuple[tuple[str, str], ...] = ()
+    value = 0
+
+    def inc(self) -> None:
+        pass
+
+    def add(self, amount: int | float) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+
+#: Shared no-op instrument (stateless, so one instance serves every site).
+NULL_INSTRUMENT = NullInstrument()
+
+
+class MetricRegistry:
+    """Holds every instrument of one tracer; the merge/export surface."""
+
+    def __init__(self) -> None:
+        self._counters: dict[MetricKey, Counter] = {}
+        self._gauges: dict[MetricKey, Gauge] = {}
+
+    # -- instrument lookup -------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = metric_key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            if key in self._gauges:
+                raise ValueError(f"metric {name!r} already registered as a gauge")
+            inst = self._counters[key] = Counter(*key)
+        return inst
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = metric_key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            if key in self._counters:
+                raise ValueError(f"metric {name!r} already registered as a counter")
+            inst = self._gauges[key] = Gauge(*key)
+        return inst
+
+    # -- reading -----------------------------------------------------------------
+    def counter_value(self, name: str, **labels: object) -> int | float:
+        inst = self._counters.get(metric_key(name, labels))
+        return inst.value if inst is not None else 0
+
+    def gauge_value(self, name: str, **labels: object) -> int | float:
+        inst = self._gauges.get(metric_key(name, labels))
+        return inst.value if inst is not None else 0
+
+    def iter_counters(self) -> Iterator[Counter]:
+        return iter(sorted(self._counters.values(), key=lambda c: (c.name, c.labels)))
+
+    def iter_gauges(self) -> Iterator[Gauge]:
+        return iter(sorted(self._gauges.values(), key=lambda g: (g.name, g.labels)))
+
+    # -- transport ---------------------------------------------------------------
+    def counters_as_dicts(self) -> list[dict]:
+        return [
+            {"name": c.name, "labels": dict(c.labels), "value": c.value}
+            for c in self.iter_counters()
+        ]
+
+    def gauges_as_dicts(self) -> list[dict]:
+        return [
+            {"name": g.name, "labels": dict(g.labels), "value": g.value}
+            for g in self.iter_gauges()
+        ]
+
+    def merge_counters(self, records: list[dict]) -> None:
+        """Fold serialized counters in (values add — counts are extensive)."""
+        for rec in records:
+            self.counter(rec["name"], **rec["labels"]).add(rec["value"])
+
+    def merge_gauges(self, records: list[dict]) -> None:
+        """Fold serialized gauges in (last write wins — values are samples)."""
+        for rec in records:
+            self.gauge(rec["name"], **rec["labels"]).set(rec["value"])

@@ -1,0 +1,245 @@
+"""Span-based tracing with structured attributes and typed metrics.
+
+A :class:`Tracer` is the single telemetry handle threaded through the
+mapping pipeline: ``tracer.span("probe", attempt=0)`` opens a nested,
+monotonic-clocked span; ``tracer.counter("pmon_reads_total")`` returns a
+typed counter. The default everywhere is the :data:`NULL_TRACER`, whose
+spans and instruments are shared no-op objects — the telemetry-off path
+costs one no-op call per site and perturbs nothing (no RNG draws, no
+allocation in hot loops), so untraced runs stay bit-identical.
+
+Tracers are process-local. Survey workers build their own tracer, ship a
+:class:`TelemetrySnapshot` (plain dicts) back over the pool boundary, and
+the parent folds it in with :meth:`Tracer.merge`, which re-keys span IDs
+and stamps the slot attributes on — fleet-wide rollups come out of one
+registry.
+
+Single-threaded by design, like the measurement pipeline itself: spans
+nest via a plain stack, and instruments are unsynchronised.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.telemetry.metrics import (
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    MetricRegistry,
+    NullInstrument,
+)
+
+#: Schema version stamped on every exported span record.
+TRACE_SCHEMA_VERSION = 1
+
+#: Attribute values allowed on spans (must survive JSON round-trips).
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+@dataclass
+class TelemetrySnapshot:
+    """One tracer's finished telemetry as plain, picklable, JSON-able data."""
+
+    spans: list[dict] = field(default_factory=list)
+    counters: list[dict] = field(default_factory=list)
+    gauges: list[dict] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"spans": self.spans, "counters": self.counters, "gauges": self.gauges}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetrySnapshot":
+        return cls(
+            spans=list(data.get("spans", ())),
+            counters=list(data.get("counters", ())),
+            gauges=list(data.get("gauges", ())),
+        )
+
+    # -- conveniences for tests / reports ---------------------------------------
+    def span_names(self) -> set[str]:
+        return {span["name"] for span in self.spans}
+
+    def counter_value(self, name: str, **labels: object) -> int | float:
+        wanted = {str(k): str(v) for k, v in labels.items()}
+        return sum(
+            rec["value"]
+            for rec in self.counters
+            if rec["name"] == name and wanted.items() <= rec["labels"].items()
+        )
+
+
+class Span:
+    """One timed, attributed region; a context manager handed out by
+    :meth:`Tracer.span`. Closing records the span on the owning tracer."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "ts", "_t0", "attrs")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self.ts = 0.0
+        self._t0 = 0.0
+
+    def set_attr(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+        tracer._stack.append(self.span_id)
+        self.ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._t0
+        tracer = self._tracer
+        tracer._stack.pop()
+        attrs = {}
+        for key, value in self.attrs.items():
+            attrs[str(key)] = value if isinstance(value, _SCALAR_TYPES) else repr(value)
+        if exc_type is not None:
+            attrs["error"] = exc_type.__name__
+        tracer._spans.append(
+            {
+                "v": TRACE_SCHEMA_VERSION,
+                "kind": "span",
+                "name": self.name,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "ts": self.ts,
+                "duration_seconds": duration,
+                "attrs": attrs,
+            }
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span for the :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = "null"
+    span_id = -1
+    parent_id = None
+    attrs: dict[str, Any] = {}
+
+    def set_attr(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans and metrics for one mapping/survey run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: list[dict] = []
+        self._stack: list[int] = []
+        self._next_id = 0
+        self.metrics = MetricRegistry()
+
+    # -- spans -------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, attrs)
+
+    @property
+    def spans(self) -> list[dict]:
+        """Finished span records, in completion order."""
+        return list(self._spans)
+
+    # -- metrics -----------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter | NullInstrument:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge | NullInstrument:
+        return self.metrics.gauge(name, **labels)
+
+    # -- transport ---------------------------------------------------------------
+    def snapshot(self) -> TelemetrySnapshot:
+        """Everything recorded so far (open spans are not included)."""
+        return TelemetrySnapshot(
+            spans=[dict(span) for span in self._spans],
+            counters=self.metrics.counters_as_dicts(),
+            gauges=self.metrics.gauges_as_dicts(),
+        )
+
+    def merge(self, snapshot: TelemetrySnapshot | dict, **attrs: Any) -> None:
+        """Fold another tracer's snapshot in (e.g. one survey worker's).
+
+        Span IDs are re-keyed into this tracer's ID space so merged traces
+        stay unambiguous; ``attrs`` (e.g. ``slot=12``) are stamped onto
+        every merged span. Counters add; gauges take the merged value.
+        """
+        if isinstance(snapshot, dict):
+            snapshot = TelemetrySnapshot.from_dict(snapshot)
+        offset = self._next_id
+        highest = -1
+        parent = self._stack[-1] if self._stack else None
+        extra = {str(k): v if isinstance(v, _SCALAR_TYPES) else repr(v) for k, v in attrs.items()}
+        for record in snapshot.spans:
+            merged = dict(record)
+            highest = max(highest, merged["span_id"])
+            merged["span_id"] = merged["span_id"] + offset
+            if merged.get("parent_id") is None:
+                # Roots of the merged trace hang off the currently open span
+                # (the survey span), keeping one connected trace per run.
+                merged["parent_id"] = parent
+            else:
+                merged["parent_id"] = merged["parent_id"] + offset
+            merged["attrs"] = {**merged.get("attrs", {}), **extra}
+            self._spans.append(merged)
+        self._next_id = offset + highest + 1
+        self.metrics.merge_counters(snapshot.counters)
+        self.metrics.merge_gauges(snapshot.gauges)
+
+
+class NullTracer:
+    """The telemetry-off tracer: every operation is a shared no-op.
+
+    Using it costs one attribute access and call per site, keeps untraced
+    runs bit-identical to pre-telemetry builds, and needs no branches at
+    the call sites.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def spans(self) -> list[dict]:
+        return []
+
+    def counter(self, name: str, **labels: object) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot()
+
+    def merge(self, snapshot: TelemetrySnapshot | dict, **attrs: Any) -> None:
+        pass
+
+
+#: Shared default tracer — the stateless telemetry-off singleton.
+NULL_TRACER = NullTracer()

@@ -13,6 +13,10 @@ Subcommands:
   aborting; ``--chaos K`` injects a deterministic fault plan into K slots
   (a resilience drill):
   ``repro-map survey -n 8 --chaos 3 --keep-going --resilient --db maps.json``
+  ``--trace-out spans.jsonl`` / ``--metrics-out metrics.prom`` export the
+  run's telemetry (JSONL spans / Prometheus text exposition).
+* ``stats`` — validate exported telemetry and summarise it:
+  ``repro-map stats --trace spans.jsonl --metrics metrics.prom``
 
 The simulated machine stands in for a bare-metal instance; on real
 hardware the same flow would run against the hardware MSR backend.
@@ -21,7 +25,9 @@ hardware the same flow would run against the hardware MSR backend.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.core.pipeline import MappingConfig, RetryPolicy, map_cpu
 from repro.faults.plan import chaos_plan
@@ -30,6 +36,15 @@ from repro.platform.skus import SKU_CATALOG
 from repro.sim.factory import build_machine
 from repro.store.database import MapDatabase
 from repro.survey import SurveyRunner
+from repro.telemetry import Tracer
+from repro.telemetry.aggregate import aggregate_spans
+from repro.telemetry.exporters import (
+    TelemetrySchemaError,
+    validate_prometheus_text,
+    validate_trace_jsonl,
+    write_metrics_text,
+    write_trace_jsonl,
+)
 from repro.util.tables import format_table
 
 
@@ -105,6 +120,7 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         return 2
     db = MapDatabase(args.db) if args.db else None
     faults = chaos_plan(args.instances, args.chaos, seed=args.chaos_seed) if args.chaos else None
+    tracer = Tracer() if (args.trace_out or args.metrics_out) else None
     runner = SurveyRunner(
         db=db,
         workers=args.workers,
@@ -116,6 +132,7 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         slot_attempts=args.retries,
         slot_timeout=args.timeout,
         flush_every=args.flush_every,
+        tracer=tracer,
     )
     report = runner.survey(args.sku, args.instances)
 
@@ -156,8 +173,51 @@ def _cmd_survey(args: argparse.Namespace) -> int:
             for agg in aggregates.values()
         ]
         print(format_table(["stage", "total", "mean/instance"], stage_rows))
+    if report.telemetry is not None:
+        if args.trace_out:
+            n_spans = write_trace_jsonl(report.telemetry, args.trace_out)
+            print(f"{n_spans} spans written to {args.trace_out}")
+        if args.metrics_out:
+            n_samples = write_metrics_text(report.telemetry, args.metrics_out)
+            print(f"{n_samples} metric samples written to {args.metrics_out}")
     if db is not None:
         print(f"{len(db)} maps stored in {args.db}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if not args.trace and not args.metrics:
+        print("provide --trace and/or --metrics", file=sys.stderr)
+        return 2
+    if args.trace:
+        text = Path(args.trace).read_text(encoding="utf-8")
+        try:
+            n_spans = validate_trace_jsonl(text)
+        except TelemetrySchemaError as exc:
+            print(f"{args.trace}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        records = [json.loads(line) for line in text.splitlines() if line.strip()]
+        print(f"{args.trace}: {n_spans} spans, schema valid")
+        rows = [
+            [
+                agg.name,
+                agg.count,
+                f"{agg.total_seconds:.3f}s",
+                f"{agg.mean_seconds * 1e3:.2f}ms",
+                f"{agg.min_seconds * 1e3:.2f}ms",
+                f"{agg.max_seconds * 1e3:.2f}ms",
+            ]
+            for agg in aggregate_spans(records).values()
+        ]
+        print(format_table(["span", "count", "total", "mean", "min", "max"], rows))
+    if args.metrics:
+        text = Path(args.metrics).read_text(encoding="utf-8")
+        try:
+            n_samples = validate_prometheus_text(text)
+        except TelemetrySchemaError as exc:
+            print(f"{args.metrics}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.metrics}: {n_samples} samples, exposition valid")
     return 0
 
 
@@ -221,7 +281,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a deterministic fault plan into K fleet slots (resilience drill)",
     )
     p_survey.add_argument("--chaos-seed", type=int, default=0, help="seed of the chaos plan")
+    p_survey.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="export the survey's telemetry spans as JSONL (enables tracing)",
+    )
+    p_survey.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="export the survey's counters/gauges as a Prometheus text exposition",
+    )
     p_survey.set_defaults(func=_cmd_survey)
+
+    p_stats = sub.add_parser("stats", help="validate and summarise exported telemetry")
+    p_stats.add_argument("--trace", metavar="PATH", help="JSONL trace export to summarise")
+    p_stats.add_argument("--metrics", metavar="PATH", help="Prometheus exposition to validate")
+    p_stats.set_defaults(func=_cmd_stats)
     return parser
 
 

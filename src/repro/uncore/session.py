@@ -35,6 +35,7 @@ from repro.msr.constants import (
     cha_msr,
 )
 from repro.msr.device import MsrDevice
+from repro.telemetry.tracer import NULL_TRACER
 from repro.uncore.events import (
     EventCode,
     LLC_LOOKUP_ANY,
@@ -119,6 +120,7 @@ class _DeltaBatch:
         delta = current - self._prev
         self._prev = current
         self.measurements += 1
+        self._session._c_batch_measurements.inc()
         if (delta < 0).any():
             from repro.core.errors import CounterOverflow
 
@@ -156,34 +158,47 @@ class LookupBatch(_DeltaBatch):
 class UncorePmonSession:
     """Program/measure the CHA PMON blocks of one CPU package."""
 
-    def __init__(self, msr: MsrDevice, n_chas: int, control_cpu: int = 0):
+    def __init__(self, msr: MsrDevice, n_chas: int, control_cpu: int = 0, tracer=None):
         if n_chas <= 0:
             raise ValueError("n_chas must be positive")
         self.msr = msr
         self.n_chas = n_chas
         self.control_cpu = control_cpu
         self._addr_cache: dict[tuple[int, ...], np.ndarray] = {}
+        # Measurement-traffic instruments, resolved once so the per-probe
+        # paths pay one no-op (NullTracer) or one int-add (Tracer) per event.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._c_pmon_reads = self.tracer.counter("pmon_reads_total")
+        self._c_pmon_read_batches = self.tracer.counter("pmon_read_batches_total")
+        self._c_msr_writes = self.tracer.counter("msr_writes_total")
+        self._c_batch_measurements = self.tracer.counter("batch_measurements_total")
+        self._g_batch_size = self.tracer.gauge("msr_batch_size")
 
     # -- low-level programming -------------------------------------------------
     def program_counter(self, cha_id: int, counter: int, event: int, umask: int) -> None:
         self._check(cha_id, counter)
         ctl = encode_ctl(event, umask, enable=True)
+        self._c_msr_writes.inc()
         self.msr.write(self.control_cpu, cha_msr(cha_id, _CTL_OFFSETS[counter]), ctl)
 
     def read_counter(self, cha_id: int, counter: int) -> int:
         self._check(cha_id, counter)
+        self._c_pmon_reads.inc()
         return self.msr.read(self.control_cpu, cha_msr(cha_id, _CTR_OFFSETS[counter]))
 
     def reset_box(self, cha_id: int) -> None:
         self._check(cha_id, 0)
+        self._c_msr_writes.inc()
         self.msr.write(self.control_cpu, cha_msr(cha_id, ChaBlockOffset.UNIT_CTL), UNIT_CTL_RST_CTRS)
 
     def freeze_box(self, cha_id: int) -> None:
         self._check(cha_id, 0)
+        self._c_msr_writes.inc()
         self.msr.write(self.control_cpu, cha_msr(cha_id, ChaBlockOffset.UNIT_CTL), UNIT_CTL_FRZ)
 
     def unfreeze_box(self, cha_id: int) -> None:
         self._check(cha_id, 0)
+        self._c_msr_writes.inc()
         self.msr.write(self.control_cpu, cha_msr(cha_id, ChaBlockOffset.UNIT_CTL), 0)
 
     def _check(self, cha_id: int, counter: int) -> None:
@@ -256,6 +271,9 @@ class UncorePmonSession:
 
     def read_counter_block(self, addrs: np.ndarray) -> np.ndarray:
         """Read a batch of counter registers (vectorized when backed)."""
+        self._c_pmon_reads.add(len(addrs))
+        self._c_pmon_read_batches.inc()
+        self._g_batch_size.set(len(addrs))
         read_many = getattr(self.msr, "read_many", None)
         if read_many is not None:
             return np.asarray(read_many(self.control_cpu, addrs), dtype=np.int64)

@@ -1,0 +1,152 @@
+"""Exporter wire formats: JSONL trace schema and Prometheus exposition."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Tracer
+from repro.telemetry.exporters import (
+    METRIC_PREFIX,
+    TelemetrySchemaError,
+    prometheus_text,
+    trace_jsonl_lines,
+    validate_prometheus_text,
+    validate_trace_jsonl,
+    validate_trace_line,
+    write_metrics_text,
+    write_trace_jsonl,
+)
+
+
+@pytest.fixture
+def traced():
+    tracer = Tracer()
+    with tracer.span("map_cpu", sku="8259CL"):
+        with tracer.span("probe", attempt=0):
+            pass
+    tracer.counter("probes_total").add(552)
+    tracer.counter("retries_total", stage="probe", error="MeasurementError").inc()
+    tracer.gauge("msr_batch_size").set(48)
+    return tracer.snapshot()
+
+
+class TestTraceJsonl:
+    def test_export_validates(self, traced):
+        text = "\n".join(trace_jsonl_lines(traced))
+        assert validate_trace_jsonl(text) == 2
+
+    def test_lines_are_compact_sorted_json(self, traced):
+        line = trace_jsonl_lines(traced)[0]
+        obj = json.loads(line)
+        assert list(obj) == sorted(obj)
+        assert ": " not in line
+
+    def test_write_returns_span_count(self, traced, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        assert write_trace_jsonl(traced, path) == 2
+        assert validate_trace_jsonl(path.read_text()) == 2
+
+    def test_blank_lines_are_ignored(self, traced):
+        text = "\n\n".join(trace_jsonl_lines(traced)) + "\n\n"
+        assert validate_trace_jsonl(text) == 2
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            (lambda o: o.update(v=99), "schema version"),
+            (lambda o: o.update(kind="event"), "unknown kind"),
+            (lambda o: o.update(name=""), "missing span name"),
+            (lambda o: o.update(span_id=-1), "bad span_id"),
+            (lambda o: o.update(parent_id="x"), "bad parent_id"),
+            (lambda o: o.update(ts=float("nan")), "bad ts"),
+            (lambda o: o.update(duration_seconds=-0.5), "bad duration_seconds"),
+            (lambda o: o.pop("attrs"), "missing attrs"),
+            (lambda o: o.update(attrs={"k": [1]}), "non-scalar attr"),
+        ],
+    )
+    def test_invalid_records_rejected(self, traced, mutation, message):
+        record = json.loads(trace_jsonl_lines(traced)[0])
+        mutation(record)
+        with pytest.raises(TelemetrySchemaError, match=message):
+            validate_trace_line(record, line_no=1)
+
+    def test_self_parent_rejected(self, traced):
+        record = json.loads(trace_jsonl_lines(traced)[0])
+        record["parent_id"] = record["span_id"]
+        with pytest.raises(TelemetrySchemaError, match="own parent"):
+            validate_trace_line(record)
+
+    def test_duplicate_span_ids_rejected(self, traced):
+        line = trace_jsonl_lines(traced)[0]
+        with pytest.raises(TelemetrySchemaError, match="duplicate span_id"):
+            validate_trace_jsonl(line + "\n" + line)
+
+    def test_dangling_parent_rejected(self, traced):
+        # Drop the root: the child's parent_id no longer resolves.
+        child_only = trace_jsonl_lines(traced)[0]
+        assert json.loads(child_only)["parent_id"] is not None
+        with pytest.raises(TelemetrySchemaError, match="dangling parent_id"):
+            validate_trace_jsonl(child_only)
+
+    def test_non_json_line_rejected(self):
+        with pytest.raises(TelemetrySchemaError, match="not JSON"):
+            validate_trace_jsonl("{broken")
+
+
+class TestPrometheusText:
+    def test_export_validates(self, traced):
+        text = prometheus_text(traced)
+        assert validate_prometheus_text(text) == 3
+
+    def test_families_are_prefixed_and_typed(self, traced):
+        text = prometheus_text(traced)
+        assert f"# TYPE {METRIC_PREFIX}probes_total counter" in text
+        assert f"# TYPE {METRIC_PREFIX}msr_batch_size gauge" in text
+
+    def test_labels_are_sorted_and_quoted(self, traced):
+        text = prometheus_text(traced)
+        assert (
+            f'{METRIC_PREFIX}retries_total{{error="MeasurementError",stage="probe"}} 1'
+            in text
+        )
+
+    def test_label_values_are_escaped(self):
+        tracer = Tracer()
+        tracer.counter("odd_total", detail='say "hi"\\now').inc()
+        text = prometheus_text(tracer.snapshot())
+        assert validate_prometheus_text(text) == 1
+        assert r"\"hi\"" in text
+
+    def test_write_returns_sample_count(self, traced, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert write_metrics_text(traced, path) == 3
+        assert validate_prometheus_text(path.read_text()) == 3
+
+    def test_custom_prefix(self, traced):
+        text = prometheus_text(traced, prefix="acme_")
+        assert "# TYPE acme_probes_total counter" in text
+        assert validate_prometheus_text(text) == 3
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ("repro_x_total 1\n", "undeclared family"),
+            ("# TYPE repro_x_total histogram\n", "bad TYPE header"),
+            ("# TYPE 9bad counter\n", "bad family name"),
+            ("# TYPE repro_x_total counter\nrepro_x_total one\n", "non-numeric value"),
+            ("# TYPE repro_x_total counter\nrepro_x_total nan\n", "non-finite value"),
+            ("# TYPE repro_x_total counter\nrepro_x_total -2\n", "negative counter"),
+            (
+                '# TYPE repro_x_total counter\nrepro_x_total{9k="v"} 1\n',
+                "bad label pair",
+            ),
+        ],
+    )
+    def test_invalid_documents_rejected(self, text, message):
+        with pytest.raises(TelemetrySchemaError, match=message):
+            validate_prometheus_text(text)
+
+    def test_integral_floats_render_without_point(self):
+        tracer = Tracer()
+        tracer.gauge("size").set(4.0)
+        assert f"{METRIC_PREFIX}size 4\n" in prometheus_text(tracer.snapshot())

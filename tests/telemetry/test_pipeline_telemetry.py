@@ -1,0 +1,150 @@
+"""Telemetry across the pipeline: instrumentation coverage, bit-identity of
+the telemetry-off path, the redesigned ``map_cpu`` entry point's deprecation
+shims, and the strict ``StageTimings`` round-trip."""
+
+import warnings
+
+import pytest
+
+from repro.core.pipeline import MappingConfig, RetryPolicy, StageTimings, map_cpu
+from repro.telemetry import Tracer
+from repro.telemetry.exporters import (
+    prometheus_text,
+    trace_jsonl_lines,
+    validate_prometheus_text,
+    validate_trace_jsonl,
+)
+
+
+@pytest.fixture
+def traced_result(quiet_machine):
+    tracer = Tracer()
+    result = map_cpu(quiet_machine, policy=RetryPolicy(), tracer=tracer)
+    return result, tracer.snapshot()
+
+
+class TestInstrumentationCoverage:
+    def test_all_three_stages_have_spans(self, traced_result):
+        _, snap = traced_result
+        assert {"map_cpu", "cha_mapping", "probe", "solve"} <= snap.span_names()
+        assert {"home_discovery", "colocation", "ilp_solve"} <= snap.span_names()
+
+    def test_stage_spans_nest_under_map_cpu(self, traced_result):
+        _, snap = traced_result
+        by_id = {s["span_id"]: s for s in snap.spans}
+        root = next(s for s in snap.spans if s["name"] == "map_cpu")
+        for name in ("cha_mapping", "probe", "solve"):
+            span = next(s for s in snap.spans if s["name"] == name)
+            assert span["parent_id"] == root["span_id"]
+        home = next(s for s in snap.spans if s["name"] == "home_discovery")
+        assert by_id[home["parent_id"]]["name"] == "cha_mapping"
+
+    def test_measurement_counters_populate(self, traced_result):
+        result, snap = traced_result
+        assert snap.counter_value("probes_total") == result.probe_count
+        assert snap.counter_value("pmon_reads_total") > 0
+        assert snap.counter_value("msr_writes_total") > 0
+        assert snap.counter_value("home_discoveries_total") > 0
+        assert snap.counter_value("colocation_tests_total") > 0
+        assert snap.counter_value("ilp_solves_total") >= 1
+
+    def test_root_span_attrs(self, traced_result, quiet_machine):
+        result, snap = traced_result
+        root = next(s for s in snap.spans if s["name"] == "map_cpu")
+        assert root["attrs"]["sku"] == quiet_machine.instance.sku.name
+        assert root["attrs"]["resilient"] is True
+        assert root["attrs"]["ppin"] == f"{result.ppin:#018x}"
+        assert root["attrs"]["retries"] == result.retry_attempts
+
+    def test_exports_validate(self, traced_result):
+        _, snap = traced_result
+        assert validate_trace_jsonl("\n".join(trace_jsonl_lines(snap))) == len(snap.spans)
+        assert validate_prometheus_text(prometheus_text(snap)) > 0
+
+
+class TestBitIdentity:
+    def test_traced_run_matches_untraced(self, clx_instance):
+        from repro.sim import NoiseConfig, build_machine
+
+        plain = map_cpu(build_machine(clx_instance, seed=5, noise=NoiseConfig.quiet()))
+        traced = map_cpu(
+            build_machine(clx_instance, seed=5, noise=NoiseConfig.quiet()),
+            tracer=Tracer(),
+        )
+        assert plain.core_map.cha_positions == traced.core_map.cha_positions
+        assert plain.cha_mapping.os_to_cha == traced.cha_mapping.os_to_cha
+        assert plain.probe_count == traced.probe_count
+
+    def test_policy_run_matches_plain_when_fault_free(self, clx_instance):
+        from repro.sim import NoiseConfig, build_machine
+
+        plain = map_cpu(build_machine(clx_instance, seed=5, noise=NoiseConfig.quiet()))
+        resilient = map_cpu(
+            build_machine(clx_instance, seed=5, noise=NoiseConfig.quiet()),
+            policy=RetryPolicy(),
+        )
+        assert plain.core_map.cha_positions == resilient.core_map.cha_positions
+
+
+class TestMapCpuRedesign:
+    def test_legacy_grid_positional_shape_warns_and_works(self, quiet_machine):
+        grid = quiet_machine.instance.sku.die.grid
+        with pytest.warns(DeprecationWarning, match="map_cpu\\(machine, grid"):
+            result = map_cpu(quiet_machine, grid, MappingConfig())
+        assert result.reconstruction.consistent
+
+    def test_legacy_grid_without_config_warns(self, quiet_machine):
+        grid = quiet_machine.instance.sku.die.grid
+        with pytest.warns(DeprecationWarning):
+            result = map_cpu(quiet_machine, grid)
+        assert result.reconstruction.consistent
+
+    def test_resilient_kwarg_warns_and_maps_to_policy(self, quiet_machine):
+        with pytest.warns(DeprecationWarning, match="resilient"):
+            result = map_cpu(quiet_machine, resilient=True)
+        assert result.reconstruction.consistent
+
+    def test_resilient_false_warns_but_stays_plain(self, quiet_machine):
+        with pytest.warns(DeprecationWarning, match="resilient"):
+            result = map_cpu(quiet_machine, resilient=False)
+        assert result.reconstruction.consistent
+
+    def test_new_shape_does_not_warn(self, quiet_machine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            map_cpu(quiet_machine, MappingConfig(), policy=None, tracer=None)
+
+    def test_policy_overrides_config_retry(self, quiet_machine):
+        # policy= wins over config.retry; just check both call shapes run.
+        config = MappingConfig(retry=RetryPolicy(max_attempts=1))
+        result = map_cpu(quiet_machine, config, policy=RetryPolicy(max_attempts=2))
+        assert result.reconstruction.consistent
+
+    def test_curated_top_level_exports(self):
+        import repro
+
+        for name in ("map_cpu", "MappingConfig", "RetryPolicy", "SurveyRunner", "Tracer"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+
+class TestStrictStageTimings:
+    def test_round_trip(self):
+        timings = StageTimings(1.0, 2.0, 3.0)
+        assert StageTimings.from_dict(timings.as_dict()) == timings
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ValueError, match="missing keys \\['solve_seconds'\\]"):
+            StageTimings.from_dict({"cha_mapping_seconds": 1.0, "probe_seconds": 2.0})
+
+    def test_unknown_key_raises(self):
+        data = StageTimings(1.0, 2.0, 3.0).as_dict()
+        data["extra_seconds"] = 4.0
+        with pytest.raises(ValueError, match="unknown keys \\['extra_seconds'\\]"):
+            StageTimings.from_dict(data)
+
+    def test_non_numeric_value_raises(self):
+        data = StageTimings(1.0, 2.0, 3.0).as_dict()
+        data["probe_seconds"] = "fast"
+        with pytest.raises(ValueError, match="probe_seconds='fast' is not a number"):
+            StageTimings.from_dict(data)

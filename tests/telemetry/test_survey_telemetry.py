@@ -1,0 +1,148 @@
+"""Fleet-level telemetry: traced surveys, exports via the CLI, and the
+``survey.timing`` compatibility layer."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import StageTimings
+from repro.platform import XEON_8259CL
+from repro.survey import SurveyRunner, aggregate_timings
+from repro.survey.timing import StageAggregate
+from repro.telemetry import Tracer
+from repro.telemetry.aggregate import SpanAggregate
+from repro.telemetry.exporters import (
+    prometheus_text,
+    trace_jsonl_lines,
+    validate_prometheus_text,
+    validate_trace_jsonl,
+)
+from repro.tools.map_cli import main
+
+FLEET = 8
+
+
+@pytest.fixture(scope="module")
+def traced_report():
+    tracer = Tracer()
+    runner = SurveyRunner(workers=1, root_seed=2022, tracer=tracer)
+    return runner.survey(XEON_8259CL, FLEET)
+
+
+class TestTracedSurvey:
+    def test_report_carries_merged_telemetry(self, traced_report):
+        snap = traced_report.telemetry
+        assert snap is not None
+        assert {"survey", "survey_slot", "map_cpu", "cha_mapping", "probe", "solve"} <= (
+            snap.span_names()
+        )
+        slots = {
+            s["attrs"]["slot"] for s in snap.spans if s["name"] == "survey_slot"
+        }
+        assert slots == set(range(FLEET))
+
+    def test_every_slot_stamped_on_merged_spans(self, traced_report):
+        snap = traced_report.telemetry
+        for name in ("cha_mapping", "probe", "solve"):
+            stamped = {
+                s["attrs"]["slot"] for s in snap.spans if s["name"] == name
+            }
+            assert stamped == set(range(FLEET))
+
+    def test_exports_are_schema_valid(self, traced_report):
+        snap = traced_report.telemetry
+        assert validate_trace_jsonl("\n".join(trace_jsonl_lines(snap))) == len(snap.spans)
+        assert validate_prometheus_text(prometheus_text(snap)) > 0
+
+    def test_slot_outcome_counters(self, traced_report):
+        snap = traced_report.telemetry
+        assert snap.counter_value("survey_slots_total", outcome="mapped") == FLEET
+        assert snap.counter_value("survey_slots_total", outcome="failed") == 0
+
+    def test_span_aggregates_cover_all_span_names(self, traced_report):
+        aggs = traced_report.span_aggregates()
+        assert isinstance(next(iter(aggs.values())), SpanAggregate)
+        assert aggs["probe"].count == FLEET
+        assert aggs["survey"].count == 1
+
+    def test_untraced_report_has_no_telemetry(self):
+        report = SurveyRunner(workers=1, root_seed=2022).survey(XEON_8259CL, 1)
+        assert report.telemetry is None
+        assert report.span_aggregates() == {}
+
+
+class TestCacheHitCounter:
+    def test_cache_hits_counted(self, tmp_path):
+        from repro.store.database import MapDatabase
+
+        db_path = tmp_path / "maps.json"
+        SurveyRunner(db=MapDatabase(db_path), root_seed=2022).survey(XEON_8259CL, 2)
+        tracer = Tracer()
+        report = SurveyRunner(
+            db=MapDatabase(db_path), root_seed=2022, tracer=tracer
+        ).survey(XEON_8259CL, 2)
+        assert report.n_cached == 2
+        snap = report.telemetry
+        assert snap.counter_value("survey_cache_hits_total") == 2
+        assert snap.counter_value("survey_slots_total", outcome="cached") == 2
+
+
+class TestCliTelemetryExport:
+    def test_survey_trace_and_metrics_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "spans.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        rc = main(
+            [
+                "survey",
+                "--sku",
+                "8259CL",
+                "-n",
+                "2",
+                "--root-seed",
+                "2022",
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert rc == 0
+        trace_text = trace_path.read_text()
+        n_spans = validate_trace_jsonl(trace_text)
+        assert n_spans > 0
+        names = {json.loads(line)["name"] for line in trace_text.splitlines()}
+        assert {"cha_mapping", "probe", "solve"} <= names
+        assert validate_prometheus_text(metrics_path.read_text()) > 0
+
+        rc = main(["stats", "--trace", str(trace_path), "--metrics", str(metrics_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "schema valid" in out and "exposition valid" in out
+
+    def test_stats_rejects_invalid_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 99}\n')
+        assert main(["stats", "--trace", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_stats_requires_an_input(self, capsys):
+        assert main(["stats"]) == 2
+
+
+class TestTimingCompatLayer:
+    def test_stage_aggregate_is_span_aggregate(self):
+        assert StageAggregate is SpanAggregate
+
+    def test_aggregate_timings_matches_old_shape(self):
+        timings = [StageTimings(1.0, 2.0, 3.0), StageTimings(2.0, 1.0, 5.0)]
+        aggs = aggregate_timings(timings)
+        assert list(aggs) == ["cha_mapping", "probe", "solve"]
+        assert aggs["cha_mapping"].stage == "cha_mapping"
+        assert aggs["cha_mapping"].count == 2
+        assert aggs["solve"].total_seconds == pytest.approx(8.0)
+        assert aggs["solve"].min_seconds == pytest.approx(3.0)
+        assert aggs["solve"].max_seconds == pytest.approx(5.0)
+        assert aggs["probe"].mean_seconds == pytest.approx(1.5)
+
+    def test_empty_input_gives_empty_dict(self):
+        assert aggregate_timings([]) == {}

@@ -1,0 +1,215 @@
+"""Tracer core: span nesting/timing, counters, gauges, snapshots, merging."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    TelemetrySnapshot,
+    Tracer,
+)
+from repro.telemetry.aggregate import SpanAggregate, SpanAggregator, aggregate_spans
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        records = {r["name"]: r for r in tracer.spans}
+        assert records["outer"]["parent_id"] is None
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+        assert records["sibling"]["parent_id"] == records["outer"]["span_id"]
+        assert records["inner"]["span_id"] != records["sibling"]["span_id"]
+
+    def test_span_timing_is_monotonic_and_positive(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            time.sleep(0.01)
+        (record,) = tracer.spans
+        assert record["duration_seconds"] >= 0.01
+        assert record["ts"] > 0
+
+    def test_outer_span_covers_inner(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.005)
+        records = {r["name"]: r for r in tracer.spans}
+        assert records["outer"]["duration_seconds"] >= records["inner"]["duration_seconds"]
+
+    def test_spans_complete_in_close_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r["name"] for r in tracer.spans] == ["inner", "outer"]
+
+    def test_attrs_and_set_attr(self):
+        tracer = Tracer()
+        with tracer.span("probe", slot=3, mode="voted") as span:
+            span.set_attr(observations=42)
+        (record,) = tracer.spans
+        assert record["attrs"] == {"slot": 3, "mode": "voted", "observations": 42}
+
+    def test_non_scalar_attrs_are_reprd(self):
+        tracer = Tracer()
+        with tracer.span("s", payload=[1, 2]):
+            pass
+        (record,) = tracer.spans
+        assert record["attrs"]["payload"] == "[1, 2]"
+
+    def test_exception_closes_span_with_error_attr(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (record,) = tracer.spans
+        assert record["attrs"]["error"] == "ValueError"
+        # The stack unwound: the next span is a root again.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1]["parent_id"] is None
+
+    def test_records_carry_schema_version(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        assert tracer.spans[0]["v"] == TRACE_SCHEMA_VERSION
+        assert tracer.spans[0]["kind"] == "span"
+
+
+class TestMetrics:
+    def test_counter_arithmetic(self):
+        tracer = Tracer()
+        c = tracer.counter("pmon_reads_total")
+        c.inc()
+        c.inc()
+        c.add(5)
+        assert tracer.metrics.counter_value("pmon_reads_total") == 7
+
+    def test_counter_rejects_negative_add(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.counter("c_total").add(-1)
+
+    def test_labeled_counters_are_distinct(self):
+        tracer = Tracer()
+        tracer.counter("retries_total", stage="probe").inc()
+        tracer.counter("retries_total", stage="solve").add(2)
+        assert tracer.metrics.counter_value("retries_total", stage="probe") == 1
+        assert tracer.metrics.counter_value("retries_total", stage="solve") == 2
+
+    def test_counter_handles_are_cached(self):
+        tracer = Tracer()
+        assert tracer.counter("x_total", a=1) is tracer.counter("x_total", a=1)
+
+    def test_gauge_set_and_add(self):
+        tracer = Tracer()
+        g = tracer.gauge("msr_batch_size")
+        g.set(48)
+        g.add(2)
+        assert tracer.metrics.gauge_value("msr_batch_size") == 50
+
+    def test_counter_gauge_name_collision_rejected(self):
+        tracer = Tracer()
+        tracer.counter("thing_total")
+        with pytest.raises(ValueError):
+            tracer.gauge("thing_total")
+
+
+class TestSnapshotAndMerge:
+    def _worker_snapshot(self) -> TelemetrySnapshot:
+        worker = Tracer()
+        with worker.span("map_cpu"):
+            with worker.span("probe"):
+                pass
+        worker.counter("probes_total").add(10)
+        worker.gauge("msr_batch_size").set(48)
+        return worker.snapshot()
+
+    def test_snapshot_round_trips_through_pickle_and_dict(self):
+        snap = self._worker_snapshot()
+        assert TelemetrySnapshot.from_dict(snap.as_dict()).spans == snap.spans
+        assert pickle.loads(pickle.dumps(snap)).counters == snap.counters
+
+    def test_merge_rekeys_span_ids_and_stamps_attrs(self):
+        parent = Tracer()
+        with parent.span("survey"):
+            parent.merge(self._worker_snapshot(), slot=0)
+            parent.merge(self._worker_snapshot(), slot=1)
+        ids = [r["span_id"] for r in parent.spans]
+        assert len(ids) == len(set(ids)), "merged span IDs collide"
+        roots = [r for r in parent.spans if r["name"] == "map_cpu"]
+        survey = next(r for r in parent.spans if r["name"] == "survey")
+        assert {r["attrs"]["slot"] for r in roots} == {0, 1}
+        # Merged roots hang off the span that was open during the merge.
+        assert all(r["parent_id"] == survey["span_id"] for r in roots)
+
+    def test_merge_adds_counters_and_overwrites_gauges(self):
+        parent = Tracer()
+        parent.merge(self._worker_snapshot())
+        parent.merge(self._worker_snapshot())
+        assert parent.metrics.counter_value("probes_total") == 20
+        assert parent.metrics.gauge_value("msr_batch_size") == 48
+
+    def test_snapshot_counter_value_sums_label_matches(self):
+        tracer = Tracer()
+        tracer.counter("retries_total", stage="probe", error="A").inc()
+        tracer.counter("retries_total", stage="probe", error="B").inc()
+        snap = tracer.snapshot()
+        assert snap.counter_value("retries_total", stage="probe") == 2
+        assert snap.counter_value("retries_total", stage="probe", error="A") == 1
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("probe", slot=1) as span:
+            span.set_attr(ignored=True)
+        NULL_TRACER.counter("probes_total").inc()
+        NULL_TRACER.gauge("g").set(5)
+        NULL_TRACER.merge(TelemetrySnapshot(), slot=0)
+        snap = NULL_TRACER.snapshot()
+        assert snap.spans == [] and snap.counters == [] and snap.gauges == []
+        assert NULL_TRACER.spans == []
+
+    def test_null_tracer_shares_singletons(self):
+        # One shared span and instrument — no allocation in hot loops.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert NULL_TRACER.counter("a") is NULL_TRACER.counter("b", x=1)
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NullTracer().enabled is False
+
+
+class TestAggregation:
+    def test_aggregate_spans_rolls_up_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("probe"):
+                pass
+        with tracer.span("solve"):
+            pass
+        aggs = aggregate_spans(tracer.spans)
+        assert aggs["probe"].count == 3
+        assert aggs["solve"].count == 1
+        assert aggs["probe"].total_seconds >= aggs["probe"].max_seconds
+
+    def test_span_aggregate_stats(self):
+        agg = SpanAggregator()
+        for seconds in (1.0, 3.0, 2.0):
+            agg.add("stage", seconds)
+        (stat,) = agg.stats().values()
+        assert stat == SpanAggregate(
+            name="stage", count=3, total_seconds=6.0, min_seconds=1.0, max_seconds=3.0
+        )
+        assert stat.mean_seconds == pytest.approx(2.0)
+        assert stat.stage == "stage"  # pre-telemetry StageAggregate alias
