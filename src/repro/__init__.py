@@ -34,7 +34,7 @@ from repro.platform import (
     generate_fleet,
 )
 from repro.sim import NoiseConfig, SimulatedMachine, build_machine, build_machine_for_sku
-from repro.survey import SurveyRunner
+from repro.survey import FailureBudget, ShardSpec, SurveyRunner, SurveyService
 from repro.telemetry import Tracer
 
 __version__ = "1.0.0"
@@ -44,7 +44,10 @@ __all__ = [
     "MappingResult",
     "RetryPolicy",
     "map_cpu",
+    "FailureBudget",
+    "ShardSpec",
     "SurveyRunner",
+    "SurveyService",
     "Tracer",
     "CoreMap",
     "SKU_CATALOG",

@@ -45,6 +45,17 @@ class SlotTimeoutError(MappingError):
     """A survey slot exceeded its per-slot wall-clock budget."""
 
 
+class SurveyAbortedError(MappingError):
+    """A survey shard tripped its failure budget and stopped cleanly.
+
+    Raised by :class:`~repro.survey.runner.SurveyRunner` when a
+    :class:`~repro.survey.budget.FailureBudget` trips; the sharded service
+    records the shard as ``aborted`` in its manifest before re-raising, so
+    a tripped shard is a first-class terminal state, never a silent
+    partial success.
+    """
+
+
 class ReconstructionInfeasible(MappingError):
     """The ILP found the observation set unsatisfiable (noise/corruption)."""
 

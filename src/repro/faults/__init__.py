@@ -16,9 +16,12 @@ machinery in :mod:`repro.core.pipeline` and the failure isolation in
 * :func:`inject_faults` — arm a machine with a spec (pass-through when the
   spec is ``None`` or inactive for the attempt);
 * :func:`chaos_plan` — a deterministic per-slot fault assignment for chaos
-  drills over a survey fleet.
+  drills over a survey fleet;
+* :class:`WriteCrashPoint` — SIGKILL at the N-th durable store write
+  (kill-resume drills against the sharded survey service).
 """
 
+from repro.faults.crashpoints import WriteCrashPoint
 from repro.faults.machine import FaultyMachine, inject_faults
 from repro.faults.msr import FaultyMsrDevice
 from repro.faults.plan import FaultBudget, FaultSpec, chaos_plan
@@ -28,6 +31,7 @@ __all__ = [
     "FaultSpec",
     "FaultyMachine",
     "FaultyMsrDevice",
+    "WriteCrashPoint",
     "chaos_plan",
     "inject_faults",
 ]

@@ -1,0 +1,37 @@
+"""Crash-at-write fault points for durability drills.
+
+The fault machinery of this package perturbs *measurement*; this module
+perturbs *persistence*. A :class:`WriteCrashPoint` is armed as the
+``on_write`` hook of a :class:`~repro.store.segments.JsonlLog` (via the
+survey service) and SIGKILLs the process at the N-th durable write — no
+``atexit``, no ``finally``, no flush, exactly like a power-cut or OOM-kill
+landing between a record append and its journal entry. The kill-resume
+chaos drill uses it to prove that ``--resume`` after an arbitrary write
+crash converges to a bit-identical database.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+
+class WriteCrashPoint:
+    """SIGKILL the current process at the ``at_write``-th durable write.
+
+    Counts calls to :meth:`__call__`; the hook is invoked *after* the
+    record hit the disk (write + fsync) but *before* any dependent state
+    (journal entry, manifest update) — the worst-ordered crash a survey
+    writer can suffer.
+    """
+
+    def __init__(self, at_write: int):
+        if at_write < 1:
+            raise ValueError("at_write must be >= 1")
+        self.at_write = at_write
+        self.writes = 0
+
+    def __call__(self) -> None:
+        self.writes += 1
+        if self.writes >= self.at_write:
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - kills the test process

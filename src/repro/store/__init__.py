@@ -7,11 +7,19 @@ This package provides that artefact layer:
 
 * :mod:`repro.store.serialization` — versioned JSON encoding of core maps,
   CHA mappings, and observations (record/replay of reconstructions);
-* :mod:`repro.store.database` — a PPIN-keyed JSON map store.
+* :mod:`repro.store.database` — a PPIN-keyed JSON map store (one file,
+  rewritten whole on save — right for single-host runs);
+* :mod:`repro.store.segments` — the durable fleet-scale alternative:
+  append-only, checksummed, fsync'd JSONL segments with advisory locking,
+  torn-tail repair, quarantine, and compaction back into the canonical
+  database format;
+* :mod:`repro.store.durable` — the fsync/atomic-replace primitives both
+  stores build on.
 """
 
 from repro.store.serialization import (
     FORMAT_VERSION,
+    canonical_record,
     core_map_to_dict,
     core_map_from_dict,
     observations_to_list,
@@ -20,10 +28,18 @@ from repro.store.serialization import (
     record_core_map,
 )
 from repro.store.database import MapDatabase, MapDatabaseError
+from repro.store.segments import (
+    JsonlLog,
+    SegmentCorruptError,
+    SegmentStore,
+    SegmentStoreError,
+    SegmentStoreLocked,
+)
 
 __all__ = [
     "MapDatabaseError",
     "FORMAT_VERSION",
+    "canonical_record",
     "core_map_to_dict",
     "core_map_from_dict",
     "observations_to_list",
@@ -31,4 +47,9 @@ __all__ = [
     "mapping_record",
     "record_core_map",
     "MapDatabase",
+    "JsonlLog",
+    "SegmentCorruptError",
+    "SegmentStore",
+    "SegmentStoreError",
+    "SegmentStoreLocked",
 ]

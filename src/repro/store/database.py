@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.core.coremap import CoreMap
+from repro.store.durable import atomic_write_text
 from repro.store.serialization import (
     FORMAT_VERSION,
     mapping_record,
@@ -74,9 +75,11 @@ class MapDatabase:
     def save(self) -> None:
         payload = {"version": FORMAT_VERSION, "maps": self._records}
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(self.path)
+        # Durable replace: fsync the data before the rename and the
+        # directory after it, so a power cut cannot lose an "already
+        # saved" database (rename-only atomicity survives crashes, not
+        # reordered writes on the way to the platter).
+        atomic_write_text(self.path, json.dumps(payload, indent=2, sort_keys=True))
         self._dirty = 0
 
     # -- access ------------------------------------------------------------------

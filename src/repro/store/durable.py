@@ -1,0 +1,49 @@
+"""Durable filesystem primitives shared by the store layer.
+
+Every persistence path in :mod:`repro.store` funnels through these two
+helpers so the crash-safety contract lives in one place: a write is only
+considered durable once the data *and* the directory entry pointing at it
+are fsync'd. ``os.replace`` alone survives a process crash but not a power
+cut — the rename can be reordered before the data blocks reach the platter.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """fsync a directory so a just-created/renamed entry survives power loss.
+
+    Best-effort: some filesystems (and non-POSIX platforms) refuse to open
+    directories for fsync; losing the directory sync there only weakens the
+    power-cut guarantee, never correctness after a plain process crash.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Atomically and durably replace ``path`` with ``text``.
+
+    Write to a sibling temp file, fsync it, rename over the target, then
+    fsync the parent directory. Readers see either the old or the new
+    content, never a torn mix — even across a power cut.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_dir(path.parent)

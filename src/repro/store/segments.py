@@ -1,0 +1,402 @@
+"""Append-only JSONL segment store for sharded fleet surveys.
+
+The monolithic :class:`~repro.store.database.MapDatabase` rewrites the whole
+JSON file on every save — fine for hundreds of maps, fatal for the paper's
+"survey millions" end-game and unusable with two concurrent shard writers.
+This module is the durable alternative:
+
+* **Segments** — each store is a directory of append-only JSONL segment
+  files. One record per line, each line carrying a CRC32 of its payload, and
+  every append is fsync'd before it is reported written. A crash can tear at
+  most the trailing record of the segment being appended; torn tails are
+  truncated on the next open. A segment corrupted *mid-file* (bit rot,
+  overwritten blocks) is quarantined aside — evidence preserved, store still
+  opens — and flagged in the manifest.
+* **Manifest** — ``manifest.json`` names the live segments, the shard's
+  lifecycle state (``open`` → ``running`` → ``completed``/``aborted``), the
+  fleet identity the shard was cut from, and any quarantined segments. It is
+  replaced atomically (fsync'd temp + rename + directory fsync).
+* **Locking** — an advisory ``flock`` on ``.lock`` makes writers exclusive
+  per store directory; readers take a shared lock. Two shards therefore
+  write *adjacent* stores and can never interleave or corrupt each other's
+  records; two writers on the *same* store fail fast with
+  :class:`SegmentStoreLocked`.
+* **Compaction** — :meth:`SegmentStore.compact` folds all segments into the
+  canonical :class:`MapDatabase` format (``maps.json`` inside the store),
+  deletes the folded segments, and records the fold in the manifest.
+  Re-opening layers any newer segments over the compacted base.
+
+Records are keyed (PPIN); later appends of the same key win, which makes
+crash/resume idempotent: re-mapping a slot whose record was written but not
+journaled simply rewrites an identical record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.store.database import MapDatabase
+from repro.store.durable import atomic_write_text, fsync_dir
+from repro.store.serialization import FORMAT_VERSION
+
+try:  # pragma: no cover - platform gate
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: locking degrades to none
+    fcntl = None  # type: ignore[assignment]
+
+#: Schema version stamped on every segment line and the manifest.
+SEGMENT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+COMPACTED_NAME = "maps.json"
+LOCK_NAME = ".lock"
+
+
+class SegmentStoreError(RuntimeError):
+    """A segment store is corrupt, mis-versioned, or mis-used."""
+
+
+class SegmentStoreLocked(SegmentStoreError):
+    """Another process holds the store's advisory write lock."""
+
+
+class SegmentCorruptError(SegmentStoreError):
+    """A segment has undecodable content before its trailing record."""
+
+
+def _checksum(body: str) -> str:
+    return f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def _encode_line(payload: dict[str, Any]) -> str:
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return f'{{"v":{SEGMENT_VERSION},"crc":"{_checksum(body)}","data":{body}}}'
+
+
+def _decode_line(line: str) -> dict[str, Any] | None:
+    """The payload of one segment line, or ``None`` when torn/corrupt."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or record.get("v") != SEGMENT_VERSION:
+        return None
+    payload = record.get("data")
+    if not isinstance(payload, dict):
+        return None
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if record.get("crc") != _checksum(body):
+        return None
+    return payload
+
+
+class JsonlLog:
+    """One append-only, checksummed, fsync-per-append JSONL file.
+
+    The unit of durability under the segment store *and* the survey
+    checkpoint journal. ``on_write`` is a post-append hook — the seam where
+    chaos drills arm a :class:`~repro.faults.crashpoints.WriteCrashPoint`.
+    """
+
+    def __init__(self, path: str | os.PathLike, on_write: Callable[[], None] | None = None):
+        self.path = Path(path)
+        self.on_write = on_write
+        self._fh = None
+
+    # -- writing -----------------------------------------------------------------
+    def append(self, payload: dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            existed = self.path.exists()
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if not existed:
+                fsync_dir(self.path.parent)
+        self._fh.write(_encode_line(payload) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        if self.on_write is not None:
+            self.on_write()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------------
+    @staticmethod
+    def read_records(path: str | os.PathLike, repair: bool = True) -> list[dict[str, Any]]:
+        """Every intact payload of ``path``, in append order.
+
+        A torn *trailing* record (crash mid-append) is truncated away when
+        ``repair`` is true, or silently skipped when false (read-only
+        callers must not mutate a store another process may own). Anything
+        undecodable *before* the tail raises :class:`SegmentCorruptError` —
+        that is damage, not a crash artefact.
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        raw = path.read_bytes()
+        records: list[dict[str, Any]] = []
+        offset = 0
+        for line in raw.split(b"\n"):
+            end = offset + len(line) + 1
+            text = line.decode("utf-8", errors="replace").strip()
+            if text:
+                payload = _decode_line(text)
+                if payload is None:
+                    trailing = not raw[min(end, len(raw)):].strip()
+                    if not trailing:
+                        raise SegmentCorruptError(
+                            f"{path}: undecodable record at byte {offset} "
+                            "with intact records after it"
+                        )
+                    if repair:
+                        with open(path, "r+b") as fh:
+                            fh.truncate(offset)
+                            fh.flush()
+                            os.fsync(fh.fileno())
+                    break
+                records.append(payload)
+            offset = end
+        return records
+
+
+class _StoreLock:
+    """Advisory flock on the store directory; exclusive for writers."""
+
+    def __init__(self, root: Path, exclusive: bool):
+        self.path = root / LOCK_NAME
+        self._fh = open(self.path, "a+")
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return
+        flags = (fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH) | fcntl.LOCK_NB
+        try:
+            fcntl.flock(self._fh.fileno(), flags)
+        except OSError:
+            self._fh.close()
+            mode = "exclusively" if exclusive else "for shared reading"
+            raise SegmentStoreLocked(
+                f"segment store {root} is already locked (wanted {mode}); "
+                "is another shard writing here?"
+            ) from None
+
+    def release(self) -> None:
+        if self._fh is not None:
+            if fcntl is not None:  # pragma: no cover - non-POSIX
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            self._fh.close()
+            self._fh = None
+
+
+class SegmentStore:
+    """A durable, lock-protected, PPIN-keyed map store made of segments.
+
+    ``mode="write"`` (default) takes the exclusive lock, repairs torn
+    segment tails, and opens a fresh segment on first append. ``mode="read"``
+    takes a shared lock and never mutates the directory — the merge path
+    uses it to harvest completed shards without racing a writer.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        mode: str = "write",
+        on_write: Callable[[], None] | None = None,
+    ):
+        if mode not in ("write", "read"):
+            raise ValueError("mode must be 'write' or 'read'")
+        self.root = Path(root)
+        self.mode = mode
+        self.on_write = on_write
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = _StoreLock(self.root, exclusive=mode == "write")
+        self._segment: JsonlLog | None = None
+        self._records: dict[str, dict[str, Any]] = {}
+        try:
+            self.manifest = self._load_manifest()
+            self._load_records()
+        except Exception:
+            self._lock.release()
+            raise
+
+    # -- manifest ----------------------------------------------------------------
+    def _load_manifest(self) -> dict[str, Any]:
+        path = self.root / MANIFEST_NAME
+        if not path.exists():
+            return {
+                "version": SEGMENT_VERSION,
+                "state": "open",
+                "reason": None,
+                "segments": [],
+                "compacted": None,
+                "quarantined": [],
+                "fleet": None,
+            }
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise SegmentStoreError(f"{path}: unreadable manifest: {exc}") from exc
+        if not isinstance(manifest, dict) or manifest.get("version") != SEGMENT_VERSION:
+            raise SegmentStoreError(f"{path}: unsupported manifest version")
+        return manifest
+
+    def _save_manifest(self) -> None:
+        if self.mode == "read":
+            raise SegmentStoreError("read-only store cannot write its manifest")
+        atomic_write_text(
+            self.root / MANIFEST_NAME,
+            json.dumps(self.manifest, indent=2, sort_keys=True),
+        )
+
+    @property
+    def state(self) -> str:
+        return self.manifest["state"]
+
+    def set_state(self, state: str, reason: str | None = None) -> None:
+        """Record a lifecycle transition durably in the manifest."""
+        if state not in ("open", "running", "completed", "aborted"):
+            raise ValueError(f"unknown store state {state!r}")
+        self.manifest["state"] = state
+        self.manifest["reason"] = reason
+        self._save_manifest()
+
+    def set_fleet(self, fleet: dict[str, Any]) -> None:
+        """Stamp (or verify) the fleet identity this store was cut from."""
+        prior = self.manifest.get("fleet")
+        if prior is not None and prior != fleet:
+            raise SegmentStoreError(
+                f"store {self.root} belongs to fleet {prior}, not {fleet}; "
+                "refusing to mix surveys in one store"
+            )
+        self.manifest["fleet"] = fleet
+        self._save_manifest()
+
+    # -- records -----------------------------------------------------------------
+    def _load_records(self) -> None:
+        compacted = self.manifest.get("compacted")
+        if compacted is not None:
+            base = MapDatabase(self.root / compacted)
+            for ppin in base.ppins():
+                self._records[f"{ppin:#018x}"] = base.record(ppin)
+        survivors: list[str] = []
+        for name in self.manifest["segments"]:
+            path = self.root / name
+            try:
+                payloads = JsonlLog.read_records(path, repair=self.mode == "write")
+            except SegmentCorruptError as exc:
+                if self.mode == "read":
+                    raise
+                quarantined = path.with_suffix(path.suffix + ".quarantined")
+                path.replace(quarantined)
+                self.manifest["quarantined"].append(
+                    {"segment": name, "reason": str(exc)}
+                )
+                continue
+            survivors.append(name)
+            for payload in payloads:
+                if payload.get("kind") == "map":
+                    self._records[payload["key"]] = payload["record"]
+        if self.mode == "write" and survivors != self.manifest["segments"]:
+            self.manifest["segments"] = survivors
+            self._save_manifest()
+
+    @staticmethod
+    def _key(ppin: int) -> str:
+        if ppin <= 0:
+            raise ValueError("PPIN must be a positive integer")
+        return f"{ppin:#018x}"
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, ppin: int) -> bool:
+        return self._key(ppin) in self._records
+
+    def keys(self) -> Iterator[str]:
+        yield from sorted(self._records)
+
+    def records(self) -> dict[str, dict[str, Any]]:
+        """Key → record view of the fully-layered store (copy)."""
+        return dict(self._records)
+
+    def record(self, ppin: int) -> dict[str, Any]:
+        key = self._key(ppin)
+        if key not in self._records:
+            raise KeyError(f"no map stored for PPIN {key}")
+        return self._records[key]
+
+    # -- appending ---------------------------------------------------------------
+    def _open_segment(self) -> JsonlLog:
+        if self._segment is None:
+            if self.mode == "read":
+                raise SegmentStoreError("read-only store cannot append")
+            existing = {Path(name).name for name in self.manifest["segments"]}
+            index = 1
+            while f"seg-{index:06d}.jsonl" in existing:
+                index += 1
+            name = f"seg-{index:06d}.jsonl"
+            self.manifest["segments"].append(name)
+            self._save_manifest()
+            self._segment = JsonlLog(self.root / name, on_write=self.on_write)
+        return self._segment
+
+    def append_map(self, ppin: int, record: dict[str, Any]) -> None:
+        """Durably append one mapping record (fsync'd before returning)."""
+        key = self._key(ppin)
+        self._open_segment().append({"kind": "map", "key": key, "record": record})
+        self._records[key] = record
+
+    # -- compaction --------------------------------------------------------------
+    def compact(self) -> Path:
+        """Fold every segment into the canonical ``MapDatabase`` file.
+
+        After compaction the store holds one ``maps.json`` in exactly the
+        monolithic database format (so ``repro-map show/list`` work on it
+        directly) and zero segments; the fold is recorded in the manifest.
+        Appending after a compact opens a fresh segment layered on top.
+        """
+        if self.mode == "read":
+            raise SegmentStoreError("read-only store cannot compact")
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+        target = self.root / COMPACTED_NAME
+        atomic_write_text(target, as_map_database_payload(self._records))
+        folded = list(self.manifest["segments"])
+        self.manifest["segments"] = []
+        self.manifest["compacted"] = COMPACTED_NAME
+        self._save_manifest()
+        for name in folded:
+            (self.root / name).unlink(missing_ok=True)
+        fsync_dir(self.root)
+        return target
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+        self._lock.release()
+
+    def __enter__(self) -> "SegmentStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def as_map_database_payload(records: dict[str, dict[str, Any]]) -> str:
+    """Serialize ``records`` exactly as :meth:`MapDatabase.save` would."""
+    payload = {"version": FORMAT_VERSION, "maps": dict(sorted(records.items()))}
+    return json.dumps(payload, indent=2, sort_keys=True)

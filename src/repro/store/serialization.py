@@ -100,6 +100,26 @@ def mapping_record(result, include_observations: bool = False) -> dict[str, Any]
     return record
 
 
+#: Diagnostics that vary run-to-run even for identical seeds (wall clock).
+VOLATILE_DIAGNOSTICS = ("elapsed_seconds", "stage_seconds")
+
+
+def canonical_record(record: dict[str, Any]) -> dict[str, Any]:
+    """``record`` with volatile wall-clock diagnostics removed.
+
+    Two runs over the same seeds then produce byte-identical canonical
+    records, which is what lets the durable segment store promise
+    bit-identical databases across crash/resume and shard merges. Timing
+    belongs to telemetry, not the durable map.
+    """
+    rec = dict(record)
+    diagnostics = dict(rec.get("diagnostics", {}))
+    for key in VOLATILE_DIAGNOSTICS:
+        diagnostics.pop(key, None)
+    rec["diagnostics"] = diagnostics
+    return rec
+
+
 def record_core_map(record: dict[str, Any]) -> CoreMap:
     """Extract the :class:`CoreMap` from a mapping record."""
     return core_map_from_dict(record["core_map"])

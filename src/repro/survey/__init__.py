@@ -4,15 +4,35 @@ Runs the full locating pipeline across a seeded fleet of simulated
 instances — optionally fanned over a process pool — with PPIN-keyed result
 caching, per-stage timing aggregation, and per-slot failure isolation
 (retry budgets, timeouts, dead-pool recovery, ``failed`` outcomes).
+
+On top of the runner sits the crash-safe sharded service
+(:mod:`repro.survey.service`): deterministic fleet sharding
+(:class:`ShardSpec`), durable per-slot persistence into an append-only
+segment store, checkpoint/resume after SIGKILL, per-shard failure budgets
+(:class:`FailureBudget`), and shard-store merging.
 """
 
+from repro.survey.budget import FailureBudget
 from repro.survey.runner import InstanceOutcome, SurveyReport, SurveyRunner
+from repro.survey.service import (
+    MergeReport,
+    ShardSpec,
+    ShardSurveyReport,
+    SurveyService,
+    merge_shard_stores,
+)
 from repro.survey.timing import StageAggregate, aggregate_timings
 
 __all__ = [
+    "FailureBudget",
     "InstanceOutcome",
+    "MergeReport",
+    "ShardSpec",
+    "ShardSurveyReport",
     "StageAggregate",
     "SurveyReport",
     "SurveyRunner",
+    "SurveyService",
     "aggregate_timings",
+    "merge_shard_stores",
 ]

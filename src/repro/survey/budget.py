@@ -1,0 +1,105 @@
+"""Failure budgets for survey shards.
+
+PR 3's ``max_failures`` was a single absolute counter. A fleet shard needs
+more nuance: a million-slot shard should tolerate thousands of scattered
+transient failures but abort fast when 10% of its slots are failing (the
+machine image is broken) or when one error class dominates (every
+``MsrAccessError`` probably means the MSR module is missing). A
+:class:`FailureBudget` expresses all three limits; the survey engine
+checks it after every terminal slot failure and raises
+:class:`~repro.core.errors.SurveyAbortedError` the moment any limit trips.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class FailureBudget:
+    """How many terminally-failed slots a survey (shard) may absorb.
+
+    All limits are optional and independent; the first to trip aborts.
+
+    * ``max_failures`` — absolute cap on failed slots.
+    * ``max_failure_fraction`` — cap on ``failed / planned`` slots, checked
+      only once ``min_sample`` slots have been dispatched so a 1-slot shard
+      cannot trip a 10% budget on its first failure.
+    * ``per_class`` — error-class name → absolute cap (e.g.
+      ``{"MsrAccessError": 5}``).
+    """
+
+    max_failures: int | None = None
+    max_failure_fraction: float | None = None
+    per_class: Mapping[str, int] = field(default_factory=dict)
+    min_sample: int = 10
+
+    def __post_init__(self) -> None:
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ValueError("max_failures must be non-negative")
+        if self.max_failure_fraction is not None and not 0.0 <= self.max_failure_fraction <= 1.0:
+            raise ValueError("max_failure_fraction must be in [0, 1]")
+        if any(cap < 0 for cap in self.per_class.values()):
+            raise ValueError("per-class caps must be non-negative")
+        if self.min_sample < 1:
+            raise ValueError("min_sample must be >= 1")
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.max_failures is None
+            and self.max_failure_fraction is None
+            and not self.per_class
+        )
+
+    def tripped(
+        self, n_failed: int, n_dispatched: int, n_planned: int, classes: Counter
+    ) -> str | None:
+        """The trip reason, or ``None`` while the budget still holds.
+
+        ``n_dispatched`` is how many slots have finished (success or
+        failure) so far; ``n_planned`` is the shard's full slot count —
+        the fractional limit is taken against the plan, so a shard that is
+        10% failed *of its whole workload* aborts even early.
+        """
+        if self.max_failures is not None and n_failed > self.max_failures:
+            return (
+                f"{n_failed} failed slots exceed max_failures={self.max_failures}"
+            )
+        if (
+            self.max_failure_fraction is not None
+            and n_planned > 0
+            and n_dispatched >= self.min_sample
+            and n_failed / n_planned > self.max_failure_fraction
+        ):
+            return (
+                f"{n_failed}/{n_planned} failed slots exceed "
+                f"max_failure_fraction={self.max_failure_fraction:g}"
+            )
+        for cls_name, cap in self.per_class.items():
+            if classes.get(cls_name, 0) > cap:
+                return (
+                    f"{classes[cls_name]} {cls_name} failures exceed the "
+                    f"per-class cap of {cap}"
+                )
+        return None
+
+    # -- transport (manifests, CLI) ----------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "max_failures": self.max_failures,
+            "max_failure_fraction": self.max_failure_fraction,
+            "per_class": dict(self.per_class),
+            "min_sample": self.min_sample,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FailureBudget":
+        return cls(
+            max_failures=data.get("max_failures"),
+            max_failure_fraction=data.get("max_failure_fraction"),
+            per_class=dict(data.get("per_class", {})),
+            min_sample=data.get("min_sample", 10),
+        )

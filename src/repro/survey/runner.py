@@ -23,9 +23,11 @@ Four properties make it a *survey engine* rather than a loop:
 * **Failure isolation** — with ``keep_going=True`` a slot that keeps
   failing becomes a ``failed`` :class:`InstanceOutcome` carrying its error
   class and attempt count instead of aborting the fleet. Every slot gets a
-  bounded retry budget with exponential backoff, an optional per-slot
-  timeout (pool mode), and a dead worker (``BrokenProcessPool``) only
-  costs a serial re-dispatch of the affected shard.
+  bounded retry budget with jittered exponential backoff, an optional
+  per-slot timeout (pool mode), and a dead worker (``BrokenProcessPool``)
+  only costs a serial re-dispatch of the affected shard. A
+  :class:`~repro.survey.budget.FailureBudget` bounds how many terminal
+  failures a survey absorbs before aborting cleanly.
 * **Stage timing aggregation** — every mapped instance's
   :class:`~repro.core.pipeline.StageTimings` is folded into per-stage
   aggregates on the report, alongside retry/failure statistics.
@@ -43,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.coremap import CoreMap
-from repro.core.errors import MappingError, SlotTimeoutError
+from repro.core.errors import SlotTimeoutError, SurveyAbortedError
 from repro.core.pipeline import MappingConfig, StageTimings, map_cpu
 from repro.faults.machine import inject_faults
 from repro.faults.plan import FaultSpec
@@ -56,7 +58,9 @@ from repro.store.database import MapDatabase
 from repro.store.serialization import mapping_record, record_core_map
 from repro.telemetry.aggregate import SpanAggregate, aggregate_spans
 from repro.telemetry.tracer import NULL_TRACER, TelemetrySnapshot, Tracer
+from repro.survey.budget import FailureBudget
 from repro.survey.timing import StageAggregate, aggregate_timings
+from repro.util.rng import derive_rng
 
 #: MappingConfig fields a worker job carries (``solver`` objects may hold
 #: unpicklable state, so the pool path only supports the default solver).
@@ -282,8 +286,10 @@ class SurveyRunner:
         faults: dict[int, FaultSpec] | None = None,
         keep_going: bool = False,
         max_failures: int | None = None,
+        failure_budget: FailureBudget | None = None,
         slot_attempts: int = 2,
         backoff_seconds: float = 0.0,
+        backoff_max_seconds: float = 30.0,
         slot_timeout: float | None = None,
         flush_every: int = 8,
         tracer: Tracer | None = None,
@@ -294,10 +300,14 @@ class SurveyRunner:
             raise ValueError("slot_attempts must be >= 1")
         if backoff_seconds < 0:
             raise ValueError("backoff_seconds must be non-negative")
+        if backoff_max_seconds <= 0:
+            raise ValueError("backoff_max_seconds must be positive")
         if slot_timeout is not None and slot_timeout <= 0:
             raise ValueError("slot_timeout must be positive")
         if max_failures is not None and max_failures < 0:
             raise ValueError("max_failures must be non-negative")
+        if max_failures is not None and failure_budget is not None:
+            raise ValueError("pass either max_failures or failure_budget, not both")
         if flush_every < 1:
             raise ValueError("flush_every must be >= 1")
         self.db = db
@@ -317,12 +327,20 @@ class SurveyRunner:
         self.faults = faults or {}
         #: Produce ``failed`` outcomes instead of raising.
         self.keep_going = keep_going
-        #: Abort (raise) once this many slots have failed for good.
-        self.max_failures = max_failures
+        #: Failure budget of one survey/shard; ``max_failures`` is the
+        #: legacy absolute-only spelling and builds the same budget.
+        if failure_budget is None:
+            failure_budget = FailureBudget(max_failures=max_failures)
+        self.failure_budget = failure_budget
         #: Bounded retry budget per slot (first dispatch included).
         self.slot_attempts = slot_attempts
-        #: Base of the exponential backoff between a slot's attempts.
+        #: Base of the jittered exponential backoff between attempts.
         self.backoff_seconds = backoff_seconds
+        #: Hard ceiling on any single backoff sleep.
+        self.backoff_max_seconds = backoff_max_seconds
+        #: Full-jitter draws come from a seeded stream so retry schedules
+        #: are reproducible for a given root seed.
+        self._backoff_rng = derive_rng(root_seed, "survey-backoff")
         #: Per-slot wall-clock budget (enforced on the pool path).
         self.slot_timeout = slot_timeout
         #: Persist the database after every N fresh maps.
@@ -376,9 +394,20 @@ class SurveyRunner:
 
     # -- slot execution with isolation -------------------------------------------
     def _backoff(self, attempt: int) -> None:
-        """Sleep before (1-based) dispatch ``attempt`` — exponential, no jitter."""
+        """Sleep before (1-based) dispatch ``attempt`` — bounded full jitter.
+
+        The sleep is drawn uniformly from ``[0, min(base * 2^(attempt-2),
+        backoff_max_seconds)]`` (AWS-style full jitter). After a pool crash
+        every affected slot retries serially; without jitter they would all
+        re-dispatch in lockstep and hammer whatever shared resource killed
+        the pool. The draw comes from a root-seeded stream, so the schedule
+        is reproducible in tests.
+        """
         if self.backoff_seconds > 0 and attempt > 1:
-            time.sleep(self.backoff_seconds * 2 ** (attempt - 2))
+            ceiling = min(
+                self.backoff_seconds * 2 ** (attempt - 2), self.backoff_max_seconds
+            )
+            time.sleep(ceiling * float(self._backoff_rng.random()))
 
     def _failure_raw(self, job: _SlotJob, exc: BaseException, attempts: int) -> dict[str, Any]:
         return {
@@ -410,34 +439,57 @@ class SurveyRunner:
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             return self._retry_serially(job, exc, next_attempt=2)
 
-    def _run_jobs(self, jobs: list[_SlotJob]) -> list[dict[str, Any]]:
-        """Execute every slot, isolating failures into failure records."""
+    def _iter_jobs(self, jobs: list[_SlotJob]):
+        """Yield each slot's raw result as it completes, isolating failures.
+
+        Timeout semantics on the pool path: ``future.cancel()`` can only
+        stop a slot still *queued*; a slot already running on a worker
+        cannot be interrupted — the timed-out job is abandoned and the
+        worker keeps burning its pool slot until the stuck workload
+        returns (a *leaked* slot, counted in the
+        ``survey_slots_leaked_total`` telemetry counter). Once the leaked
+        slots would consume every worker the pool is effectively dead, so
+        it is recycled: done results are harvested, the rest of the shard
+        is resubmitted to a fresh pool, and the stuck pool is shut down
+        without waiting for its zombies.
+        """
         pool_size = self._pool_size(len(jobs))
         if pool_size <= 1:
-            return [self._run_slot_serial(job) for job in jobs]
+            for job in jobs:
+                yield self._run_slot_serial(job)
+            return
 
-        raws: list[dict[str, Any]] = []
+        c_leaked = self.tracer.counter("survey_slots_leaked_total")
         retry_queue: list[tuple[_SlotJob, BaseException]] = []
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = [(job, pool.submit(_map_one, job)) for job in jobs]
+        pending = list(jobs)
+        while pending:
+            pool = ProcessPoolExecutor(max_workers=pool_size)
+            futures = [(job, pool.submit(_map_one, job)) for job in pending]
+            pending = []
+            leaked = 0
             pool_broken = False
-            for job, future in futures:
+            recycle_from: int | None = None
+            for pos, (job, future) in enumerate(futures):
                 if pool_broken:
                     # The pool died; whatever did not finish re-runs serially.
                     if future.done() and future.exception() is None:
-                        raws.append(future.result())
+                        yield future.result()
                     else:
                         retry_queue.append(
                             (job, BrokenProcessPool("worker pool died mid-survey"))
                         )
                     continue
                 try:
-                    raws.append(future.result(timeout=self.slot_timeout))
+                    yield future.result(timeout=self.slot_timeout)
                 except BrokenProcessPool as exc:
                     pool_broken = True
                     retry_queue.append((job, exc))
                 except FutureTimeoutError:
-                    future.cancel()
+                    if not future.cancel():
+                        # Already running: the worker is unreclaimable until
+                        # the stuck workload returns — a leaked pool slot.
+                        leaked += 1
+                        c_leaked.inc()
                     retry_queue.append(
                         (
                             job,
@@ -446,30 +498,74 @@ class SurveyRunner:
                             ),
                         )
                     )
+                    if leaked >= pool_size:
+                        recycle_from = pos + 1
+                        break
                 except Exception as exc:  # noqa: BLE001 - isolation boundary
                     retry_queue.append((job, exc))
+            if recycle_from is not None:
+                for job, future in futures[recycle_from:]:
+                    if future.done() and future.exception() is None:
+                        yield future.result()
+                    else:
+                        future.cancel()
+                        pending.append(job)
+            # Don't block on leaked workers — their results are abandoned
+            # and their processes exit on their own once the stall clears.
+            pool.shutdown(wait=leaked == 0, cancel_futures=True)
         for job, first_error in retry_queue:
-            raws.append(self._retry_serially(job, first_error, next_attempt=2))
-        return raws
+            yield self._retry_serially(job, first_error, next_attempt=2)
 
     # -- survey -------------------------------------------------------------------
     def survey(self, sku: SkuSpec | str, n_instances: int) -> SurveyReport:
         """Map ``n_instances`` fleet slots of ``sku`` and aggregate."""
-        sku = self._resolve_sku(sku)
         if n_instances < 0:
             raise ValueError("n_instances must be non-negative")
+        return self.survey_slots(sku, range(n_instances))
+
+    def survey_slots(
+        self,
+        sku: SkuSpec | str,
+        slot_indices,
+        *,
+        raw_sink=None,
+        prior_failures: Counter | None = None,
+        planned_total: int | None = None,
+    ) -> SurveyReport:
+        """Map an explicit set of global fleet slots (a shard's work range).
+
+        ``slot_indices`` are *global* fleet indices: each slot's instance
+        and machine seeds derive from its global index, so any partition of
+        the fleet — ``range(n)``, a shard's stripe, a resume's leftovers —
+        maps every slot bit-identically to an unsharded run.
+
+        ``raw_sink`` is called with each slot's raw result dict the moment
+        it is processed (successes *and* terminal failures); the sharded
+        survey service uses it to journal and persist durably per slot.
+        ``prior_failures``/``planned_total`` seed the failure-budget
+        accounting on resumed shards so the budget covers the shard's whole
+        lifetime, not just the current process.
+        """
+        sku = self._resolve_sku(sku)
+        slots = [int(index) for index in slot_indices]
+        if any(index < 0 for index in slots):
+            raise ValueError("slot indices must be non-negative")
         started = time.perf_counter()
         c_cache_hits = self.tracer.counter("survey_cache_hits_total")
         slot_counter = lambda outcome: self.tracer.counter(  # noqa: E731
             "survey_slots_total", outcome=outcome
         )
+        failure_classes: Counter = Counter(prior_failures or ())
+        n_failed = sum(failure_classes.values())
+        n_dispatched = n_failed
+        n_planned = planned_total if planned_total is not None else len(slots) + n_failed
 
-        with self.tracer.span("survey", sku=sku.name, n_instances=n_instances):
+        with self.tracer.span("survey", sku=sku.name, n_instances=len(slots)):
             cached: list[InstanceOutcome] = []
             jobs: list[_SlotJob] = []
             config_kwargs = _config_kwargs(self.config)
             noise_kwargs = self.noise.__dict__.copy() if self.noise is not None else None
-            for index in range(n_instances):
+            for index in slots:
                 inst_seed = instance_seed(self.root_seed, sku, index)
                 ppin = CpuInstance.ppin_for(sku, inst_seed)
                 if self.db is not None and ppin in self.db:
@@ -494,13 +590,11 @@ class SurveyRunner:
                         )
                     )
 
-            raw_results = self._run_jobs(jobs)
-
             fresh: list[InstanceOutcome] = []
-            n_failed = 0
             pending_flush = 0
             stored_any = False
-            for raw in raw_results:
+            for raw in self._iter_jobs(jobs):
+                n_dispatched += 1
                 if self._tracing and raw.get("telemetry") is not None:
                     # Slot snapshots merge under the open survey span, each
                     # root stamped with the fleet slot it came from.
@@ -509,15 +603,20 @@ class SurveyRunner:
                     )
                 if raw.get("failed"):
                     n_failed += 1
+                    failure_classes[raw["error"]] += 1
                     slot_counter("failed").inc()
                     if not self.keep_going:
                         raise raw["exception"]
-                    if self.max_failures is not None and n_failed > self.max_failures:
-                        raise MappingError(
-                            f"survey aborted: {n_failed} failed slots exceed "
-                            f"max_failures={self.max_failures} "
+                    reason = self.failure_budget.tripped(
+                        n_failed, n_dispatched, n_planned, failure_classes
+                    )
+                    if reason is not None:
+                        raise SurveyAbortedError(
+                            f"survey aborted: {reason} "
                             f"(last: {raw['error']}: {raw['error_message']})"
                         )
+                    if raw_sink is not None:
+                        raw_sink(raw)
                     fresh.append(
                         InstanceOutcome(
                             sku=sku.name,
@@ -552,6 +651,8 @@ class SurveyRunner:
                         pipeline_retries=raw.get("pipeline_retries", 0),
                     )
                 )
+                if raw_sink is not None:
+                    raw_sink(raw)
                 if self.db is not None:
                     self.db.store_record(raw["ppin"], raw["record"])
                     stored_any = True

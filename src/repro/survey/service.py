@@ -1,0 +1,407 @@
+"""Crash-safe sharded survey service — the "survey millions" layer.
+
+:class:`SurveyRunner` maps one fleet on one host in one process tree. This
+module wraps it in the machinery a months-long, failure-prone campaign
+needs (interruption is the *normal* case at fleet scale):
+
+* :class:`ShardSpec` — a deterministic partition of the fleet's global
+  slot indices. Slot ``i`` belongs to shard ``i % count``; because every
+  slot's instance/machine seeds derive from its *global* index, the union
+  of any ``i/N`` sharding is bit-identical to the unsharded fleet, for any
+  ``N``.
+* :class:`SurveyService` — runs one shard against a durable
+  :class:`~repro.store.segments.SegmentStore`: every completed slot is
+  fsync'd into an append-only segment, then journaled, then (periodically)
+  the telemetry snapshot is checkpointed. A SIGKILL at any point loses at
+  most the slot in flight; ``resume=True`` re-dispatches only unfinished
+  slots and converges to a database bit-identical to an uninterrupted run.
+* :func:`merge_shard_stores` — combines shard stores into one canonical
+  :class:`~repro.store.database.MapDatabase`, cross-checking fleet
+  identity and flagging gaps (missing shards, unfinished or aborted
+  shards, missing slots) instead of silently shipping a partial fleet.
+
+Write ordering per slot: segment record → journal entry → (periodic)
+telemetry checkpoint. A crash between record and journal re-runs the slot
+on resume and rewrites an identical canonical record — idempotent by
+construction, which is what makes the bit-identity guarantee hold at
+*every* crash point.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.errors import SurveyAbortedError
+from repro.platform.skus import SkuSpec
+from repro.store.database import MapDatabase
+from repro.store.durable import atomic_write_text
+from repro.store.segments import (
+    MANIFEST_NAME,
+    JsonlLog,
+    SegmentStore,
+    SegmentStoreError,
+    as_map_database_payload,
+)
+from repro.store.serialization import canonical_record
+from repro.survey.runner import SurveyReport, SurveyRunner
+from repro.telemetry.tracer import TelemetrySnapshot
+
+JOURNAL_NAME = "journal.jsonl"
+TELEMETRY_NAME = "telemetry.json"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a deterministically partitioned fleet: ``index/count``.
+
+    The stripe partition (``slot % count == index``) keeps shards balanced
+    for any fleet size and — because seeds derive from global slot indices
+    — keeps every slot's PPIN/instance assignment independent of how many
+    shards the fleet is cut into.
+    """
+
+    index: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= self.index < self.count:
+            raise ValueError(f"shard index must be in [0, {self.count})")
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI spelling ``"i/N"`` (e.g. ``--shard 0/4``)."""
+        try:
+            index_text, count_text = text.split("/", 1)
+            return cls(index=int(index_text), count=int(count_text))
+        except ValueError as exc:
+            raise ValueError(
+                f"invalid shard spec {text!r}; expected 'i/N' with 0 <= i < N"
+            ) from exc
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    def owns(self, slot: int) -> bool:
+        return slot % self.count == self.index
+
+    def slots(self, n_instances: int) -> list[int]:
+        """This shard's global fleet slot indices, ascending."""
+        if n_instances < 0:
+            raise ValueError("n_instances must be non-negative")
+        return list(range(self.index, n_instances, self.count))
+
+    def dirname(self) -> str:
+        return f"shard-{self.index:04d}-of-{self.count:04d}"
+
+    def as_dict(self) -> dict[str, int]:
+        return {"index": self.index, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSpec":
+        return cls(index=data["index"], count=data["count"])
+
+
+@dataclass
+class ShardSurveyReport:
+    """Outcome of one (possibly resumed) shard run."""
+
+    shard: ShardSpec
+    #: The runner's report over the slots dispatched *this* run.
+    report: SurveyReport
+    store_path: Path
+    #: Slots already finished by earlier runs (skipped via the journal).
+    n_prior_done: int = 0
+    n_prior_failed: int = 0
+    state: str = "completed"
+
+    @property
+    def n_total_finished(self) -> int:
+        return self.n_prior_done + self.n_prior_failed + self.report.n_instances
+
+
+class SurveyService:
+    """Runs one shard of a fleet survey durably, with checkpoint/resume.
+
+    ``runner`` must not own a :class:`MapDatabase` — the service is the
+    persistence layer (segment store + journal), and two writers to one
+    file is exactly the corruption this module exists to prevent.
+    ``on_write`` is threaded to every durable append; chaos drills pass a
+    :class:`~repro.faults.crashpoints.WriteCrashPoint` here.
+    """
+
+    def __init__(
+        self,
+        store_root: str | Path,
+        shard: ShardSpec | None = None,
+        runner: SurveyRunner | None = None,
+        checkpoint_every: int = 8,
+        on_write: Callable[[], None] | None = None,
+    ):
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.store_root = Path(store_root)
+        self.shard = shard if shard is not None else ShardSpec()
+        if runner is None:
+            runner = SurveyRunner(keep_going=True)
+        if runner.db is not None:
+            raise ValueError(
+                "the service owns persistence; build the SurveyRunner with db=None"
+            )
+        self.runner = runner
+        self.checkpoint_every = checkpoint_every
+        self.on_write = on_write
+
+    # -- internals ---------------------------------------------------------------
+    @property
+    def shard_dir(self) -> Path:
+        return self.store_root / self.shard.dirname()
+
+    def _fleet_identity(self, sku: SkuSpec, n_instances: int) -> dict[str, Any]:
+        return {
+            "sku": sku.name,
+            "n_instances": n_instances,
+            "root_seed": self.runner.root_seed,
+            "shard": self.shard.as_dict(),
+        }
+
+    def _save_telemetry(self) -> None:
+        if getattr(self.runner.tracer, "enabled", False):
+            self.runner.tracer.snapshot().save(self.shard_dir / TELEMETRY_NAME)
+
+    # -- the shard run -----------------------------------------------------------
+    def run(self, sku: SkuSpec | str, n_instances: int, resume: bool = False) -> ShardSurveyReport:
+        """Survey this shard's slice of an ``n_instances`` fleet durably.
+
+        With ``resume=False`` the shard directory must not already hold a
+        survey (guards against double-dispatching a shard); with
+        ``resume=True`` finished slots are read from the journal and only
+        the remainder is dispatched. A shard whose failure budget trips is
+        left in a durable ``aborted`` manifest state and the
+        :class:`SurveyAbortedError` propagates.
+        """
+        sku = self.runner._resolve_sku(sku)
+        started_before = (self.shard_dir / MANIFEST_NAME).exists()
+        if started_before and not resume:
+            raise SegmentStoreError(
+                f"shard store {self.shard_dir} already exists; pass resume=True "
+                "to continue it (or point --store somewhere fresh)"
+            )
+        with SegmentStore(self.shard_dir, on_write=self.on_write) as store:
+            identity = self._fleet_identity(sku, n_instances)
+            store.set_fleet(identity)
+
+            journal_path = self.shard_dir / JOURNAL_NAME
+            finished: dict[int, dict[str, Any]] = {}
+            for entry in JsonlLog.read_records(journal_path):
+                if entry.get("kind") == "slot":
+                    finished[int(entry["slot"])] = entry
+            prior_failures: Counter = Counter(
+                entry["error"] for entry in finished.values() if entry["status"] == "failed"
+            )
+            n_prior_done = sum(
+                1 for entry in finished.values() if entry["status"] == "done"
+            )
+
+            # A resumed run continues the interrupted run's telemetry
+            # instead of dropping it; the checkpoint file is replaced
+            # wholesale below, so repeated resumes never double-count.
+            telemetry_path = self.shard_dir / TELEMETRY_NAME
+            if getattr(self.runner.tracer, "enabled", False) and telemetry_path.exists():
+                self.runner.tracer.merge(
+                    TelemetrySnapshot.load(telemetry_path), resumed=True
+                )
+
+            slots = self.shard.slots(n_instances)
+            pending = [slot for slot in slots if slot not in finished]
+            store.set_state("running")
+
+            journal = JsonlLog(journal_path, on_write=self.on_write)
+            sunk = 0
+
+            def sink(raw: dict[str, Any]) -> None:
+                nonlocal sunk
+                if raw.get("failed"):
+                    journal.append(
+                        {
+                            "kind": "slot",
+                            "slot": raw["index"],
+                            "status": "failed",
+                            "error": raw["error"],
+                            "error_message": raw["error_message"],
+                            "attempts": raw["attempts"],
+                        }
+                    )
+                else:
+                    # Record first, journal second: a crash in between
+                    # re-runs the slot, which rewrites the same canonical
+                    # record — never a journaled-but-missing map.
+                    store.append_map(raw["ppin"], canonical_record(raw["record"]))
+                    journal.append(
+                        {
+                            "kind": "slot",
+                            "slot": raw["index"],
+                            "status": "done",
+                            "ppin": f"{raw['ppin']:#018x}",
+                        }
+                    )
+                sunk += 1
+                if sunk % self.checkpoint_every == 0:
+                    self._save_telemetry()
+
+            try:
+                report = self.runner.survey_slots(
+                    sku,
+                    pending,
+                    raw_sink=sink,
+                    prior_failures=prior_failures,
+                    planned_total=len(slots),
+                )
+            except SurveyAbortedError as exc:
+                journal.close()
+                self._save_telemetry()
+                store.set_state("aborted", reason=str(exc))
+                raise
+            except BaseException:
+                # Unclean death (including KeyboardInterrupt): leave the
+                # manifest in "running" so resume knows work remains.
+                journal.close()
+                raise
+            journal.close()
+            self._save_telemetry()
+            # Fold the finished shard into one canonical file so readers
+            # (merge, repro-map show/list) need no segment replay.
+            store.compact()
+            store.set_state("completed")
+            return ShardSurveyReport(
+                shard=self.shard,
+                report=report,
+                store_path=self.shard_dir,
+                n_prior_done=n_prior_done,
+                n_prior_failed=sum(prior_failures.values()),
+                state="completed",
+            )
+
+
+# -- merging shard stores ----------------------------------------------------------
+@dataclass
+class MergeReport:
+    """What :func:`merge_shard_stores` combined and what is missing."""
+
+    out_path: Path
+    n_records: int = 0
+    n_shards: int = 0
+    #: Shard "i/N" strings expected by the manifests but absent on disk.
+    missing_shards: list[str] = field(default_factory=list)
+    #: Shards whose manifests are not in the ``completed`` state.
+    unfinished_shards: dict[str, str] = field(default_factory=dict)
+    #: Global slot indices no shard's journal marks finished.
+    missing_slots: list[int] = field(default_factory=list)
+    #: Slots journaled as terminally failed (no map exists for them).
+    failed_slots: list[int] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Every expected shard present, finished, and every slot accounted."""
+        return not (self.missing_shards or self.unfinished_shards or self.missing_slots)
+
+    def gaps(self) -> str:
+        parts = []
+        if self.missing_shards:
+            parts.append(f"missing shards: {', '.join(self.missing_shards)}")
+        if self.unfinished_shards:
+            parts.append(
+                "unfinished shards: "
+                + ", ".join(f"{k} ({v})" for k, v in sorted(self.unfinished_shards.items()))
+            )
+        if self.missing_slots:
+            shown = ", ".join(map(str, self.missing_slots[:10]))
+            more = "" if len(self.missing_slots) <= 10 else ", …"
+            parts.append(f"{len(self.missing_slots)} missing slots: {shown}{more}")
+        return "; ".join(parts) if parts else "none"
+
+
+def merge_shard_stores(store_root: str | Path, out_path: str | Path) -> MergeReport:
+    """Combine every shard store under ``store_root`` into one database.
+
+    Opens each ``shard-*-of-*`` directory read-only (shared lock — a shard
+    still writing holds the exclusive lock and fails the merge loudly
+    rather than being half-read), verifies all shards describe the same
+    fleet, unions their records, and writes the canonical
+    :class:`MapDatabase` payload to ``out_path``. Gaps are *reported*, not
+    hidden: the caller decides whether a partial fleet is shippable.
+    """
+    store_root = Path(store_root)
+    out_path = Path(out_path)
+    shard_dirs = sorted(
+        child for child in store_root.glob("shard-*-of-*") if (child / MANIFEST_NAME).exists()
+    )
+    if not shard_dirs:
+        raise SegmentStoreError(f"no shard stores found under {store_root}")
+
+    report = MergeReport(out_path=out_path)
+    merged: dict[str, dict[str, Any]] = {}
+    finished_slots: set[int] = set()
+    fleets: dict[str, Any] = {}
+    seen_shards: set[tuple[int, int]] = set()
+    count = 1
+    n_instances = 0
+
+    for shard_dir in shard_dirs:
+        with SegmentStore(shard_dir, mode="read") as store:
+            fleet = store.manifest.get("fleet") or {}
+            shard = ShardSpec.from_dict(fleet.get("shard", {"index": 0, "count": 1}))
+            seen_shards.add((shard.index, shard.count))
+            identity = {k: v for k, v in fleet.items() if k != "shard"}
+            if fleets and identity != fleets:
+                raise SegmentStoreError(
+                    f"shard {shard_dir.name} surveyed fleet {identity}, "
+                    f"other shards surveyed {fleets}; refusing to merge"
+                )
+            fleets = identity
+            count = max(count, shard.count)
+            n_instances = max(n_instances, int(fleet.get("n_instances", 0)))
+            if store.state != "completed":
+                report.unfinished_shards[str(shard)] = (
+                    f"{store.state}: {store.manifest.get('reason')}"
+                    if store.manifest.get("reason")
+                    else store.state
+                )
+            merged.update(store.records())
+            report.n_shards += 1
+        for entry in JsonlLog.read_records(shard_dir / JOURNAL_NAME, repair=False):
+            if entry.get("kind") != "slot":
+                continue
+            finished_slots.add(int(entry["slot"]))
+            if entry["status"] == "failed":
+                report.failed_slots.append(int(entry["slot"]))
+
+    report.missing_shards = [
+        f"{index}/{count}"
+        for index in range(count)
+        if (index, count) not in seen_shards
+    ]
+    report.missing_slots = [
+        slot for slot in range(n_instances) if slot not in finished_slots
+    ]
+    report.failed_slots.sort()
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(out_path, as_map_database_payload(merged))
+    report.n_records = len(merged)
+    return report
+
+
+def load_merged_database(path: str | Path) -> MapDatabase:
+    """Open a merged output as a regular :class:`MapDatabase`."""
+    return MapDatabase(path)
+
+
+def read_shard_manifest(shard_dir: str | Path) -> dict[str, Any]:
+    """The raw manifest of one shard store (no lock taken; diagnostics)."""
+    return json.loads((Path(shard_dir) / MANIFEST_NAME).read_text(encoding="utf-8"))

@@ -20,6 +20,7 @@ nest via a plain stack, and instruments are unsynchronised.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -57,6 +58,23 @@ class TelemetrySnapshot:
             counters=list(data.get("counters", ())),
             gauges=list(data.get("gauges", ())),
         )
+
+    # -- persistence (survey checkpoints) ---------------------------------------
+    def save(self, path) -> None:
+        """Durably persist the snapshot as JSON (atomic replace).
+
+        The sharded survey service checkpoints its tracer here so a
+        resumed run can merge the interrupted run's telemetry instead of
+        dropping it.
+        """
+        from repro.store.durable import atomic_write_text
+
+        atomic_write_text(path, json.dumps(self.as_dict(), sort_keys=True))
+
+    @classmethod
+    def load(cls, path) -> "TelemetrySnapshot":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
 
     # -- conveniences for tests / reports ---------------------------------------
     def span_names(self) -> set[str]:

@@ -15,6 +15,15 @@ Subcommands:
   ``repro-map survey -n 8 --chaos 3 --keep-going --resilient --db maps.json``
   ``--trace-out spans.jsonl`` / ``--metrics-out metrics.prom`` export the
   run's telemetry (JSONL spans / Prometheus text exposition).
+
+  With ``--store DIR`` the survey runs through the crash-safe sharded
+  service instead of a monolithic ``--db``: ``--shard i/N`` picks this
+  process's deterministic slice of the fleet, every finished slot is
+  fsync'd into an append-only segment store and journaled, and
+  ``--resume`` continues a killed run from its journal:
+  ``repro-map survey -n 1000 --store fleet/ --shard 0/4 --resume``
+* ``merge`` — combine shard stores into one canonical database and flag
+  gaps: ``repro-map merge --store fleet/ --out maps.json``
 * ``stats`` — validate exported telemetry and summarise it:
   ``repro-map stats --trace spans.jsonl --metrics metrics.prom``
 
@@ -29,13 +38,22 @@ import json
 import sys
 from pathlib import Path
 
+from repro.core.errors import SurveyAbortedError
 from repro.core.pipeline import MappingConfig, RetryPolicy, map_cpu
+from repro.faults.crashpoints import WriteCrashPoint
 from repro.faults.plan import chaos_plan
 from repro.platform.instance import CpuInstance
 from repro.platform.skus import SKU_CATALOG
 from repro.sim.factory import build_machine
 from repro.store.database import MapDatabase
-from repro.survey import SurveyRunner
+from repro.store.segments import SegmentStoreError
+from repro.survey import (
+    FailureBudget,
+    ShardSpec,
+    SurveyRunner,
+    SurveyService,
+    merge_shard_stores,
+)
 from repro.telemetry import Tracer
 from repro.telemetry.aggregate import aggregate_spans
 from repro.telemetry.exporters import (
@@ -118,6 +136,21 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     if args.workers < 1 or args.instances < 0:
         print("--workers must be >= 1 and --instances >= 0", file=sys.stderr)
         return 2
+    if args.store and args.db:
+        print("--store (sharded service) and --db (monolithic) are exclusive", file=sys.stderr)
+        return 2
+    if not args.store and (args.resume or args.shard != "0/1" or args.crash_at_write):
+        print("--shard/--resume/--crash-at-write require --store", file=sys.stderr)
+        return 2
+    try:
+        shard = ShardSpec.parse(args.shard)
+        budget = FailureBudget(
+            max_failures=args.max_failures,
+            max_failure_fraction=args.max_failure_ratio,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     db = MapDatabase(args.db) if args.db else None
     faults = chaos_plan(args.instances, args.chaos, seed=args.chaos_seed) if args.chaos else None
     tracer = Tracer() if (args.trace_out or args.metrics_out) else None
@@ -127,14 +160,40 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         root_seed=args.root_seed,
         config=MappingConfig(retry=RetryPolicy()) if args.resilient else None,
         faults=faults,
-        keep_going=args.keep_going,
-        max_failures=args.max_failures,
+        # The sharded service treats slot failure as survivable by
+        # default — the failure budget is what bounds it.
+        keep_going=args.keep_going or bool(args.store),
+        failure_budget=budget,
         slot_attempts=args.retries,
         slot_timeout=args.timeout,
         flush_every=args.flush_every,
         tracer=tracer,
     )
-    report = runner.survey(args.sku, args.instances)
+    if args.store:
+        service = SurveyService(
+            args.store,
+            shard=shard,
+            runner=runner,
+            on_write=WriteCrashPoint(args.crash_at_write) if args.crash_at_write else None,
+        )
+        try:
+            shard_report = service.run(args.sku, args.instances, resume=args.resume)
+        except SurveyAbortedError as exc:
+            print(f"shard {shard} ABORTED: {exc}", file=sys.stderr)
+            print(f"(recorded in {service.shard_dir}/manifest.json)", file=sys.stderr)
+            return 1
+        except SegmentStoreError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        report = shard_report.report
+        print(
+            f"shard {shard}: {shard_report.n_prior_done + shard_report.n_prior_failed} "
+            f"slots already journaled ({shard_report.n_prior_failed} failed), "
+            f"{report.n_instances} dispatched this run -> {shard_report.state}; "
+            f"store: {shard_report.store_path}"
+        )
+    else:
+        report = runner.survey(args.sku, args.instances)
 
     print(
         f"{report.sku}: {report.n_instances} instances in {report.wall_seconds:.1f}s "
@@ -182,6 +241,28 @@ def _cmd_survey(args: argparse.Namespace) -> int:
             print(f"{n_samples} metric samples written to {args.metrics_out}")
     if db is not None:
         print(f"{len(db)} maps stored in {args.db}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    try:
+        report = merge_shard_stores(args.store, args.out)
+    except SegmentStoreError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(
+        f"merged {report.n_shards} shard stores -> {report.out_path} "
+        f"({report.n_records} maps)"
+    )
+    if report.failed_slots:
+        print(f"{len(report.failed_slots)} slots failed terminally: "
+              f"{', '.join(map(str, report.failed_slots[:10]))}"
+              f"{', …' if len(report.failed_slots) > 10 else ''}")
+    if not report.complete:
+        print(f"INCOMPLETE — {report.gaps()}", file=sys.stderr)
+        if not args.allow_gaps:
+            print("(pass --allow-gaps to accept a partial fleet)", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -260,6 +341,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort once this many slots have failed for good (with --keep-going)",
     )
     p_survey.add_argument(
+        "--max-failure-ratio",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="abort once this fraction of the planned slots has failed",
+    )
+    p_survey.add_argument(
+        "--store",
+        metavar="DIR",
+        help="run through the crash-safe sharded service against this store root",
+    )
+    p_survey.add_argument(
+        "--shard",
+        default="0/1",
+        metavar="i/N",
+        help="this process's deterministic fleet slice (with --store)",
+    )
+    p_survey.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a killed/aborted shard from its journal (with --store)",
+    )
+    p_survey.add_argument(
+        "--crash-at-write",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos drill: SIGKILL this process at the Nth durable store write",
+    )
+    p_survey.add_argument(
         "--resilient",
         action="store_true",
         help="enable in-pipeline retries, vote-based re-measurement and ILP degradation",
@@ -292,6 +403,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the survey's counters/gauges as a Prometheus text exposition",
     )
     p_survey.set_defaults(func=_cmd_survey)
+
+    p_merge = sub.add_parser("merge", help="combine shard stores into one database")
+    p_merge.add_argument("--store", required=True, metavar="DIR", help="shard store root")
+    p_merge.add_argument("--out", required=True, metavar="PATH", help="merged database path")
+    p_merge.add_argument(
+        "--allow-gaps",
+        action="store_true",
+        help="exit 0 even when shards or slots are missing",
+    )
+    p_merge.set_defaults(func=_cmd_merge)
 
     p_stats = sub.add_parser("stats", help="validate and summarise exported telemetry")
     p_stats.add_argument("--trace", metavar="PATH", help="JSONL trace export to summarise")

@@ -1,0 +1,215 @@
+"""Durability semantics of the append-only segment store.
+
+What survives which failure (per DESIGN): a torn trailing record (crash
+mid-append) is truncated on the next open; a segment corrupted before its
+tail is quarantined aside with the rest of the store intact; two writers
+on one store are impossible (advisory lock); compaction folds segments
+into the canonical MapDatabase format byte-for-byte.
+"""
+
+import json
+
+import pytest
+
+from repro.store import MapDatabase
+from repro.store.segments import (
+    JsonlLog,
+    SegmentCorruptError,
+    SegmentStore,
+    SegmentStoreError,
+    SegmentStoreLocked,
+    _encode_line,
+)
+
+
+def _record(tag: int) -> dict:
+    return {"version": 1, "core_map": {"tag": tag}, "diagnostics": {"consistent": True}}
+
+
+class TestJsonlLog:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlLog(path) as log:
+            for i in range(3):
+                log.append({"kind": "map", "key": str(i), "record": _record(i)})
+        assert [r["key"] for r in JsonlLog.read_records(path)] == ["0", "1", "2"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert JsonlLog.read_records(tmp_path / "absent.jsonl") == []
+
+    def test_torn_tail_truncated_on_repair(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlLog(path) as log:
+            log.append({"key": "a"})
+            log.append({"key": "b"})
+        intact = path.stat().st_size
+        with open(path, "a") as fh:
+            fh.write('{"v":1,"crc":"00000000","data":{"key":')  # torn mid-write
+        assert [r["key"] for r in JsonlLog.read_records(path, repair=True)] == ["a", "b"]
+        assert path.stat().st_size == intact  # the torn tail is gone
+        with JsonlLog(path) as log:  # and appends continue cleanly
+            log.append({"key": "c"})
+        assert [r["key"] for r in JsonlLog.read_records(path)] == ["a", "b", "c"]
+
+    def test_torn_tail_skipped_read_only(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlLog(path) as log:
+            log.append({"key": "a"})
+        size_before = None
+        with open(path, "a") as fh:
+            fh.write("garbage")
+        size_before = path.stat().st_size
+        assert [r["key"] for r in JsonlLog.read_records(path, repair=False)] == ["a"]
+        assert path.stat().st_size == size_before  # read-only never mutates
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        good = _encode_line({"key": "a"})
+        lines = [good, "this is not a record", _encode_line({"key": "b"})]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SegmentCorruptError, match="undecodable record"):
+            JsonlLog.read_records(path)
+
+    def test_checksum_detects_bit_flip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        line = _encode_line({"key": "a", "n": 12345})
+        flipped = line.replace("12345", "12845")
+        path.write_text(flipped + "\n" + _encode_line({"key": "b"}) + "\n")
+        # The flipped record no longer matches its CRC and has records
+        # after it, so this is damage, not a torn tail.
+        with pytest.raises(SegmentCorruptError):
+            JsonlLog.read_records(path)
+
+
+class TestSegmentStore:
+    def test_append_and_reload(self, tmp_path):
+        with SegmentStore(tmp_path / "s") as store:
+            store.append_map(0x10, _record(1))
+            store.append_map(0x20, _record(2))
+        with SegmentStore(tmp_path / "s") as store:
+            assert len(store) == 2
+            assert 0x10 in store and 0x20 in store
+            assert store.record(0x20) == _record(2)
+
+    def test_latest_append_wins(self, tmp_path):
+        with SegmentStore(tmp_path / "s") as store:
+            store.append_map(0x10, _record(1))
+            store.append_map(0x10, _record(9))
+        with SegmentStore(tmp_path / "s") as store:
+            assert store.record(0x10) == _record(9)
+
+    def test_writer_lock_is_exclusive(self, tmp_path):
+        with SegmentStore(tmp_path / "s"):
+            with pytest.raises(SegmentStoreLocked):
+                SegmentStore(tmp_path / "s")
+            with pytest.raises(SegmentStoreLocked):
+                SegmentStore(tmp_path / "s", mode="read")
+
+    def test_readers_share(self, tmp_path):
+        with SegmentStore(tmp_path / "s") as store:
+            store.append_map(0x10, _record(1))
+        with SegmentStore(tmp_path / "s", mode="read") as r1:
+            with SegmentStore(tmp_path / "s", mode="read") as r2:
+                assert len(r1) == len(r2) == 1
+
+    def test_read_mode_cannot_mutate(self, tmp_path):
+        SegmentStore(tmp_path / "s").close()
+        with SegmentStore(tmp_path / "s", mode="read") as store:
+            with pytest.raises(SegmentStoreError):
+                store.append_map(0x10, _record(1))
+            with pytest.raises(SegmentStoreError):
+                store.compact()
+
+    def test_torn_tail_repaired_on_open(self, tmp_path):
+        with SegmentStore(tmp_path / "s") as store:
+            store.append_map(0x10, _record(1))
+            segment = store.root / store.manifest["segments"][0]
+        with open(segment, "a") as fh:
+            fh.write('{"v":1,"crc":"dead')
+        with SegmentStore(tmp_path / "s") as store:
+            assert len(store) == 1
+            store.append_map(0x20, _record(2))
+        with SegmentStore(tmp_path / "s", mode="read") as store:
+            assert len(store) == 2
+
+    def test_unreadable_segment_quarantined(self, tmp_path):
+        with SegmentStore(tmp_path / "s") as store:
+            store.append_map(0x10, _record(1))
+            first = store.manifest["segments"][0]
+        # Second segment: corrupt a record *before* the tail.
+        with SegmentStore(tmp_path / "s") as store:
+            store.append_map(0x20, _record(2))
+            store.append_map(0x30, _record(3))
+            second = store.manifest["segments"][1]
+            path = store.root / second
+        lines = path.read_text().splitlines()
+        lines[0] = "rotted bits"
+        path.write_text("\n".join(lines) + "\n")
+        with SegmentStore(tmp_path / "s") as store:
+            # The first segment's record survives; the rotted segment is
+            # moved aside and flagged, never silently dropped.
+            assert len(store) == 1 and 0x10 in store
+            assert store.manifest["segments"] == [first]
+            assert store.manifest["quarantined"][0]["segment"] == second
+        assert path.with_suffix(path.suffix + ".quarantined").exists()
+
+    def test_compact_produces_canonical_database(self, tmp_path):
+        with SegmentStore(tmp_path / "s") as store:
+            store.append_map(0x10, _record(1))
+            store.append_map(0x20, _record(2))
+            target = store.compact()
+            assert store.manifest["segments"] == []
+            assert not list(store.root.glob("seg-*.jsonl"))
+        db = MapDatabase(target)
+        assert len(db) == 2 and db.record(0x10) == _record(1)
+
+    def test_appends_after_compact_layer_on_top(self, tmp_path):
+        with SegmentStore(tmp_path / "s") as store:
+            store.append_map(0x10, _record(1))
+            store.compact()
+            store.append_map(0x10, _record(7))
+            store.append_map(0x30, _record(3))
+        with SegmentStore(tmp_path / "s", mode="read") as store:
+            assert len(store) == 2
+            assert store.record(0x10) == _record(7)  # segment beats base
+
+    def test_lifecycle_states(self, tmp_path):
+        with SegmentStore(tmp_path / "s") as store:
+            assert store.state == "open"
+            store.set_state("running")
+            store.set_state("aborted", reason="budget tripped")
+        manifest = json.loads((tmp_path / "s" / "manifest.json").read_text())
+        assert manifest["state"] == "aborted"
+        assert manifest["reason"] == "budget tripped"
+        with pytest.raises(ValueError):
+            SegmentStore(tmp_path / "s2").set_state("exploded")
+
+    def test_fleet_identity_guard(self, tmp_path):
+        with SegmentStore(tmp_path / "s") as store:
+            store.set_fleet({"sku": "8259CL", "n_instances": 8})
+        with SegmentStore(tmp_path / "s") as store:
+            store.set_fleet({"sku": "8259CL", "n_instances": 8})  # idempotent
+            with pytest.raises(SegmentStoreError, match="refusing to mix"):
+                store.set_fleet({"sku": "8175M", "n_instances": 8})
+
+
+class TestDatabaseDurability:
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        db = MapDatabase(tmp_path / "maps.json")
+        db.store_record(1, {"stub": 1})
+        db.save()
+        assert not (tmp_path / "maps.json.tmp").exists()
+        assert len(MapDatabase(tmp_path / "maps.json")) == 1
+
+    def test_save_fsyncs_data_and_directory(self, tmp_path, monkeypatch):
+        """save() must fsync the temp file before the rename (power-cut
+        safety); we assert the fsync actually happens on the data fd."""
+        import os
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+        db = MapDatabase(tmp_path / "maps.json")
+        db.store_record(1, {"stub": 1})
+        db.save()
+        assert len(synced) >= 2  # data file + parent directory

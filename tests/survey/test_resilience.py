@@ -18,6 +18,7 @@ from repro.platform import XEON_8259CL
 from repro.sim.workload import NoiseConfig
 from repro.store.database import MapDatabase
 from repro.survey import SurveyRunner
+from repro.telemetry import Tracer
 
 ROOT_SEED = 11
 RESILIENT = MappingConfig(retry=RetryPolicy())
@@ -236,3 +237,74 @@ class TestIncrementalPersistence:
         # 5 fresh maps with flush_every=2: flushes at 2 and 4, final at 5.
         assert saves == [2, 4, 5]
         assert len(MapDatabase(tmp_path / "maps.json")) == self.FLEET
+
+
+class TestBackoffJitter:
+    """Retry backoff is bounded full jitter from a seeded stream."""
+
+    def _sleeps(self, monkeypatch, seed, attempts, **kwargs):
+        sleeps = []
+        monkeypatch.setattr(runner_mod.time, "sleep", sleeps.append)
+        runner = SurveyRunner(root_seed=seed, backoff_seconds=1.0, **kwargs)
+        for attempt in attempts:
+            runner._backoff(attempt)
+        return sleeps
+
+    def test_sleeps_bounded_by_exponential_ceiling_and_cap(self, monkeypatch):
+        sleeps = self._sleeps(
+            monkeypatch, ROOT_SEED, range(2, 7), backoff_max_seconds=2.0
+        )
+        # Ceilings double from the base (1, 2, 4, ...) but clip at the cap.
+        ceilings = [1.0, 2.0, 2.0, 2.0, 2.0]
+        assert len(sleeps) == len(ceilings)
+        assert all(0.0 <= s <= c for s, c in zip(sleeps, ceilings))
+        assert len(set(sleeps)) > 1  # jittered, not a fixed schedule
+
+    def test_first_attempt_and_zero_base_never_sleep(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(runner_mod.time, "sleep", sleeps.append)
+        SurveyRunner(root_seed=ROOT_SEED, backoff_seconds=1.0)._backoff(1)
+        SurveyRunner(root_seed=ROOT_SEED)._backoff(3)  # base defaults to 0
+        assert sleeps == []
+
+    def test_schedule_reproducible_per_root_seed(self, monkeypatch):
+        first = self._sleeps(monkeypatch, 7, range(2, 8))
+        again = self._sleeps(monkeypatch, 7, range(2, 8))
+        other = self._sleeps(monkeypatch, 8, range(2, 8))
+        assert first == again
+        assert first != other
+
+    def test_backoff_cap_validated(self):
+        with pytest.raises(ValueError):
+            SurveyRunner(backoff_max_seconds=0.0)
+
+
+class TestLeakedSlots:
+    def test_leaked_slots_counted_and_pool_recycled(self):
+        """Two stalled slots leak both workers (cancel cannot stop a
+        running worker); the engine counts the leaks, recycles the dead
+        pool, and the rest of the shard still completes."""
+        tracer = Tracer()
+        # The stall must comfortably outlast both timeout windows (slot 1's
+        # wait starts only after slot 0's expires) and the timeout must be
+        # generous enough that the workers have certainly *started* the
+        # stalled jobs — a job cancelled before pickup is not a leak.
+        faults = {
+            0: FaultSpec(seed=3, stall_seconds=12.0, stall_attempts=1),
+            1: FaultSpec(seed=4, stall_seconds=12.0, stall_attempts=1),
+        }
+        report = SurveyRunner(
+            root_seed=ROOT_SEED,
+            workers=2,
+            clamp_to_cpus=False,
+            faults=faults,
+            keep_going=True,
+            slot_timeout=3.0,
+            tracer=tracer,
+        ).survey(XEON_8259CL, 4)
+        assert report.n_failed == 0
+        for index in (0, 1):  # timed out once, recovered serially
+            assert next(o for o in report.outcomes if o.index == index).attempts == 2
+        for index in (2, 3):  # resubmitted to the fresh pool, clean first try
+            assert not next(o for o in report.outcomes if o.index == index).failed
+        assert tracer.snapshot().counter_value("survey_slots_leaked_total") == 2

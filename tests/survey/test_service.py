@@ -1,0 +1,226 @@
+"""Sharding, failure budgets, and merge semantics of the survey service.
+
+The determinism contract under test: because every slot's seeds derive
+from its *global* fleet index, the union of shard stores over ``i/N`` is
+bit-identical to the unsharded survey — for any ``N`` — and a resumed
+shard converges to the same bytes as an uninterrupted one.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import SurveyAbortedError
+from repro.core.pipeline import MappingConfig, RetryPolicy
+from repro.faults import FaultSpec
+from repro.platform import XEON_8259CL
+from repro.store import MapDatabase
+from repro.store.segments import SegmentStoreError
+from repro.store.serialization import canonical_record
+from repro.survey import (
+    FailureBudget,
+    ShardSpec,
+    SurveyRunner,
+    SurveyService,
+    merge_shard_stores,
+)
+from repro.survey.service import read_shard_manifest
+from repro.telemetry import Tracer
+
+ROOT_SEED = 11
+RESILIENT = MappingConfig(retry=RetryPolicy())
+
+
+def _runner(**kwargs):
+    kwargs.setdefault("root_seed", ROOT_SEED)
+    kwargs.setdefault("config", RESILIENT)
+    kwargs.setdefault("keep_going", True)
+    return SurveyRunner(**kwargs)
+
+
+class TestShardSpec:
+    def test_parse(self):
+        assert ShardSpec.parse("2/4") == ShardSpec(index=2, count=4)
+        assert str(ShardSpec.parse("0/1")) == "0/1"
+
+    @pytest.mark.parametrize("text", ["", "3", "4/4", "-1/4", "1/0", "a/b", "1/2/3"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            ShardSpec.parse(text)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 7])
+    @pytest.mark.parametrize("n", [0, 1, 5, 12])
+    def test_shards_partition_the_fleet(self, count, n):
+        """Property: for any N, shard slot lists are disjoint and their
+        union is exactly the unsharded instance set."""
+        shards = [ShardSpec(i, count).slots(n) for i in range(count)]
+        union = [slot for slots in shards for slot in slots]
+        assert sorted(union) == list(range(n))
+        assert len(union) == len(set(union))
+        for i, slots in enumerate(shards):
+            assert all(ShardSpec(i, count).owns(s) for s in slots)
+
+    def test_roundtrip_and_dirname(self):
+        spec = ShardSpec(3, 16)
+        assert ShardSpec.from_dict(spec.as_dict()) == spec
+        assert spec.dirname() == "shard-0003-of-0016"
+
+
+class TestFailureBudget:
+    def test_absolute_cap(self):
+        budget = FailureBudget(max_failures=2)
+        assert budget.tripped(2, 5, 10, {"X": 2}) is None
+        assert "max_failures=2" in budget.tripped(3, 5, 10, {"X": 3})
+
+    def test_fraction_waits_for_min_sample(self):
+        budget = FailureBudget(max_failure_fraction=0.2, min_sample=10)
+        assert budget.tripped(4, 5, 100, {"X": 4}) is None  # only 5 dispatched
+        assert budget.tripped(21, 50, 100, {"X": 21}) is not None
+
+    def test_per_class_cap(self):
+        budget = FailureBudget(per_class={"SlotTimeoutError": 1})
+        assert budget.tripped(5, 9, 10, {"OtherError": 5}) is None
+        reason = budget.tripped(2, 9, 10, {"SlotTimeoutError": 2})
+        assert "SlotTimeoutError" in reason
+
+    def test_unlimited_and_roundtrip(self):
+        assert FailureBudget().unlimited
+        budget = FailureBudget(max_failures=3, max_failure_fraction=0.5, per_class={"X": 1})
+        assert not budget.unlimited
+        assert FailureBudget.from_dict(budget.as_dict()) == budget
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureBudget(max_failures=-1)
+        with pytest.raises(ValueError):
+            FailureBudget(max_failure_fraction=1.5)
+        with pytest.raises(ValueError):
+            FailureBudget(per_class={"X": -1})
+
+
+class TestSurveyService:
+    FLEET = 4
+
+    def test_rejects_runner_with_db(self, tmp_path):
+        db = MapDatabase(tmp_path / "maps.json")
+        with pytest.raises(ValueError, match="db=None"):
+            SurveyService(tmp_path / "store", runner=_runner(db=db))
+
+    def test_single_shard_matches_runner(self, tmp_path):
+        """The service stores the same maps as a plain runner survey —
+        modulo the volatile wall-clock diagnostics it strips for
+        bit-identity (elapsed_seconds / stage_seconds)."""
+        db = MapDatabase(tmp_path / "ref.json")
+        _runner(db=db).survey(XEON_8259CL, self.FLEET)
+        db.save()
+
+        service = SurveyService(tmp_path / "store", runner=_runner())
+        result = service.run(XEON_8259CL, self.FLEET)
+        assert result.state == "completed"
+        assert result.report.n_instances == self.FLEET
+        merged = merge_shard_stores(tmp_path / "store", tmp_path / "merged.json")
+        assert merged.complete and merged.n_records == self.FLEET
+        merged_db = MapDatabase(tmp_path / "merged.json")
+        ref = MapDatabase(tmp_path / "ref.json")
+        assert set(merged_db.ppins()) == set(ref.ppins())
+        for ppin in ref.ppins():
+            assert merged_db.record(ppin) == canonical_record(ref.record(ppin))
+
+    def test_shard_union_bit_identical_to_unsharded(self, tmp_path):
+        """The tentpole determinism property, end to end: survey the same
+        fleet unsharded and as 0/2 + 1/2; the merged bytes must match."""
+        SurveyService(tmp_path / "whole", runner=_runner()).run(XEON_8259CL, self.FLEET)
+        merge_shard_stores(tmp_path / "whole", tmp_path / "whole.json")
+
+        for i in range(2):
+            SurveyService(
+                tmp_path / "split", shard=ShardSpec(i, 2), runner=_runner()
+            ).run(XEON_8259CL, self.FLEET)
+        report = merge_shard_stores(tmp_path / "split", tmp_path / "split.json")
+        assert report.complete and report.n_shards == 2
+        assert (tmp_path / "split.json").read_bytes() == (tmp_path / "whole.json").read_bytes()
+
+    def test_refuses_existing_store_without_resume(self, tmp_path):
+        SurveyService(tmp_path / "store", runner=_runner()).run(XEON_8259CL, 2)
+        with pytest.raises(SegmentStoreError, match="resume"):
+            SurveyService(tmp_path / "store", runner=_runner()).run(XEON_8259CL, 2)
+
+    def test_resume_completed_shard_is_noop(self, tmp_path):
+        SurveyService(tmp_path / "store", runner=_runner()).run(XEON_8259CL, 2)
+        result = SurveyService(tmp_path / "store", runner=_runner()).run(
+            XEON_8259CL, 2, resume=True
+        )
+        assert result.report.n_instances == 0  # nothing re-dispatched
+        assert result.n_prior_done == 2
+        assert read_shard_manifest(tmp_path / "store" / "shard-0000-of-0001")["state"] == "completed"
+
+    def test_budget_trip_leaves_aborted_manifest(self, tmp_path):
+        faults = {
+            slot: FaultSpec(msr_read_error_rate=1.0, seed=slot) for slot in range(2)
+        }
+        runner = _runner(faults=faults, failure_budget=FailureBudget(max_failures=0))
+        service = SurveyService(tmp_path / "store", runner=runner)
+        with pytest.raises(SurveyAbortedError, match="max_failures=0"):
+            service.run(XEON_8259CL, 4)
+        manifest = read_shard_manifest(tmp_path / "store" / "shard-0000-of-0001")
+        assert manifest["state"] == "aborted"
+        assert "max_failures=0" in manifest["reason"]
+
+    def test_merge_flags_missing_shard_and_slots(self, tmp_path):
+        SurveyService(
+            tmp_path / "store", shard=ShardSpec(0, 2), runner=_runner()
+        ).run(XEON_8259CL, self.FLEET)
+        report = merge_shard_stores(tmp_path / "store", tmp_path / "merged.json")
+        assert not report.complete
+        assert report.missing_shards == ["1/2"]
+        assert report.missing_slots == [1, 3]  # shard 1's stripe
+        assert "missing shards: 1/2" in report.gaps()
+        # The partial merge is still a loadable database of shard 0's slots.
+        assert len(MapDatabase(tmp_path / "merged.json")) == 2
+
+    def test_merge_refuses_mixed_fleets(self, tmp_path):
+        SurveyService(
+            tmp_path / "store", shard=ShardSpec(0, 2), runner=_runner()
+        ).run(XEON_8259CL, 4)
+        SurveyService(
+            tmp_path / "store", shard=ShardSpec(1, 2), runner=_runner(root_seed=99)
+        ).run(XEON_8259CL, 4)
+        with pytest.raises(SegmentStoreError, match="refusing to merge"):
+            merge_shard_stores(tmp_path / "store", tmp_path / "merged.json")
+
+    def test_failed_slots_survive_resume_and_merge(self, tmp_path):
+        faults = {1: FaultSpec(msr_read_error_rate=1.0, seed=1)}
+        service = SurveyService(tmp_path / "store", runner=_runner(faults=faults))
+        result = service.run(XEON_8259CL, 3)
+        assert result.report.n_failed == 1
+        # Resume must not retry the journaled terminal failure...
+        resumed = SurveyService(tmp_path / "store", runner=_runner(faults=faults)).run(
+            XEON_8259CL, 3, resume=True
+        )
+        assert resumed.report.n_instances == 0
+        assert resumed.n_prior_failed == 1
+        # ...and the merge reports it as a known gap, not a missing slot.
+        report = merge_shard_stores(tmp_path / "store", tmp_path / "merged.json")
+        assert report.failed_slots == [1]
+        assert report.missing_slots == []
+        assert report.n_records == 2
+
+    def test_telemetry_checkpoint_survives_resume(self, tmp_path):
+        tracer = Tracer()
+        service = SurveyService(
+            tmp_path / "store", runner=_runner(tracer=tracer), checkpoint_every=1
+        )
+        service.run(XEON_8259CL, 2)
+        telemetry = tmp_path / "store" / "shard-0000-of-0001" / "telemetry.json"
+        assert telemetry.exists()
+        snapshot = json.loads(telemetry.read_text())
+        first_spans = len(snapshot["spans"])
+        assert first_spans > 0
+
+        # A resume with a *fresh* tracer merges the checkpoint back in, so
+        # the campaign's telemetry is cumulative across interruptions.
+        resumed_tracer = Tracer()
+        SurveyService(
+            tmp_path / "store", runner=_runner(tracer=resumed_tracer), checkpoint_every=1
+        ).run(XEON_8259CL, 2, resume=True)
+        assert len(resumed_tracer.snapshot().spans) >= first_spans
