@@ -1,0 +1,23 @@
+"""Benchmark harness for the survey hot path (``repro-map bench``)."""
+
+from repro.bench.survey import (
+    BENCH_SCHEMA_VERSION,
+    BenchRegressionError,
+    BenchSchemaError,
+    append_record,
+    check_regression,
+    latest_record,
+    run_bench,
+    validate_record,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchRegressionError",
+    "BenchSchemaError",
+    "append_record",
+    "check_regression",
+    "latest_record",
+    "run_bench",
+    "validate_record",
+]

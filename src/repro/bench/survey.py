@@ -1,0 +1,279 @@
+"""Survey hot-path benchmark: legacy vs optimized, bit-identity asserted.
+
+One :func:`run_bench` call produces one schema-validated record for
+``BENCH_survey.json``:
+
+* **Bit identity** — before any timing, one instance is mapped three ways
+  (legacy flags + cold caches, optimized + cold caches, optimized + warm
+  caches) and the three canonical records must be byte-identical. A speedup
+  that changes a single output byte is a bug, so the bench refuses to
+  measure it.
+* **Survey throughput** — the same seeded fleet is surveyed on the legacy
+  paths (:func:`repro.perf.legacy_flags`), on the optimized paths with cold
+  caches, and again with warm caches (the re-survey / crash-recovery
+  scenario the eviction-set and pattern caches target). Reported as
+  instances/minute plus the two speedup *ratios*; the ratios are what CI
+  compares, so the check is machine-independent.
+* **Pipeline span costs** — a traced optimized run rolls per-span p50/p95
+  (``cha_mapping``, ``home_discovery``, ``colocation``, ``probe``,
+  ``solve``, ``ilp_solve``) into the record, the span names DESIGN.md's
+  "Hot paths" section maps to each optimization.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.pipeline import map_cpu
+from repro.perf import FLAGS, clear_caches, legacy_flags, use_flags
+from repro.platform.skus import SKU_CATALOG
+from repro.sim.snapshot import machine_from_snapshot
+from repro.store.serialization import canonical_record, mapping_record
+from repro.survey.runner import SurveyRunner
+from repro.telemetry.tracer import Tracer
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Span names whose p50/p95 every bench record carries.
+TRACKED_SPANS = (
+    "map_cpu",
+    "cha_mapping",
+    "home_discovery",
+    "colocation",
+    "probe",
+    "solve",
+    "ilp_solve",
+)
+
+_REQUIRED_FIELDS: dict[str, type] = {
+    "schema_version": int,
+    "timestamp": str,
+    "commit": str,
+    "sku": str,
+    "fleet_size": int,
+    "bit_identical": bool,
+    "legacy_instances_per_minute": float,
+    "optimized_cold_instances_per_minute": float,
+    "optimized_warm_instances_per_minute": float,
+    "speedup_cold": float,
+    "speedup_warm": float,
+    "evset_cache_hits": int,
+    "pattern_cache_hits": int,
+    "spans": dict,
+}
+
+
+class BenchSchemaError(ValueError):
+    """A bench record does not match the published schema."""
+
+
+class BenchRegressionError(RuntimeError):
+    """The measured speedup ratio regressed past the allowed bound."""
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:  # noqa: BLE001 - commit is advisory metadata
+        return "unknown"
+
+
+def _canonical(sku_name: str, seed: int) -> str:
+    machine = machine_from_snapshot(sku_name, seed, seed)
+    record = mapping_record(map_cpu(machine), include_observations=True)
+    return json.dumps(canonical_record(record), sort_keys=True, default=str)
+
+
+def _assert_bit_identity(sku_name: str, seed: int) -> bool:
+    with use_flags(**legacy_flags()):
+        clear_caches()
+        reference = _canonical(sku_name, seed)
+    clear_caches()
+    cold = _canonical(sku_name, seed)
+    warm = _canonical(sku_name, seed)  # caches populated by the cold run
+    if cold != reference or warm != reference:
+        raise AssertionError(
+            "optimized paths changed the canonical record — refusing to bench"
+        )
+    return True
+
+
+def _survey_wall(fleet_size: int, sku_name: str, root_seed: int) -> float:
+    started = time.perf_counter()
+    SurveyRunner(workers=1, root_seed=root_seed).survey(sku_name, fleet_size)
+    return time.perf_counter() - started
+
+
+def _span_quantiles(sku_name: str, seed: int) -> dict[str, dict[str, float]]:
+    tracer = Tracer()
+    clear_caches()
+    map_cpu(machine_from_snapshot(sku_name, seed, seed), tracer=tracer)
+    samples: dict[str, list[float]] = {}
+    for span in tracer.spans:
+        samples.setdefault(span["name"], []).append(float(span["duration_seconds"]))
+    out: dict[str, dict[str, float]] = {}
+    for name in TRACKED_SPANS:
+        values = samples.get(name)
+        if not values:
+            continue
+        out[name] = {
+            "count": len(values),
+            "p50_seconds": float(np.percentile(values, 50)),
+            "p95_seconds": float(np.percentile(values, 95)),
+        }
+    return out
+
+
+def run_bench(
+    sku: str = "8259CL",
+    fleet_size: int = 6,
+    root_seed: int = 2022,
+    identity_seed: int = 7,
+) -> dict[str, Any]:
+    """Measure the hot-path speedups and return one bench record."""
+    if sku not in SKU_CATALOG:
+        raise KeyError(f"unknown SKU {sku!r}; choose from {sorted(SKU_CATALOG)}")
+    if fleet_size < 1:
+        raise ValueError("fleet_size must be >= 1")
+    if not all(FLAGS.as_dict().values()):
+        raise RuntimeError("run the bench with every perf flag enabled")
+
+    bit_identical = _assert_bit_identity(sku, identity_seed)
+
+    # Steady-state process warmup (imports, first-call numpy dispatch).
+    clear_caches()
+    _survey_wall(min(fleet_size, 2), sku, root_seed)
+
+    with use_flags(**legacy_flags()):
+        clear_caches()
+        legacy_wall = _survey_wall(fleet_size, sku, root_seed)
+    clear_caches()
+    cold_wall = _survey_wall(fleet_size, sku, root_seed)
+    # Caches stay warm from the cold run: this is the re-survey scenario.
+    from repro.cache.eviction import EVSET_CACHE
+    from repro.ilp.warmstart import PATTERN_CACHE
+
+    warm_wall = _survey_wall(fleet_size, sku, root_seed)
+    evset_hits = EVSET_CACHE.hits
+    pattern_hits = PATTERN_CACHE.hits
+
+    spans = _span_quantiles(sku, identity_seed)
+    ipm = lambda wall: fleet_size * 60.0 / wall  # noqa: E731
+
+    record: dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "commit": _git_commit(),
+        "sku": sku,
+        "fleet_size": fleet_size,
+        "bit_identical": bit_identical,
+        "legacy_instances_per_minute": round(ipm(legacy_wall), 2),
+        "optimized_cold_instances_per_minute": round(ipm(cold_wall), 2),
+        "optimized_warm_instances_per_minute": round(ipm(warm_wall), 2),
+        "speedup_cold": round(legacy_wall / cold_wall, 3),
+        "speedup_warm": round(legacy_wall / warm_wall, 3),
+        "evset_cache_hits": int(evset_hits),
+        "pattern_cache_hits": int(pattern_hits),
+        "spans": spans,
+    }
+    validate_record(record)
+    return record
+
+
+# -- schema / persistence ----------------------------------------------------------
+def validate_record(record: dict[str, Any]) -> None:
+    """Raise :class:`BenchSchemaError` unless ``record`` matches the schema."""
+    if not isinstance(record, dict):
+        raise BenchSchemaError("bench record must be an object")
+    for name, kind in _REQUIRED_FIELDS.items():
+        if name not in record:
+            raise BenchSchemaError(f"bench record missing field {name!r}")
+        value = record[name]
+        if kind is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif kind is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, kind)
+        if not ok:
+            raise BenchSchemaError(
+                f"bench field {name!r} must be {kind.__name__}, got {type(value).__name__}"
+            )
+    if record["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"unsupported schema_version {record['schema_version']}"
+        )
+    for span_name, stats in record["spans"].items():
+        for field in ("count", "p50_seconds", "p95_seconds"):
+            if field not in stats:
+                raise BenchSchemaError(f"span {span_name!r} missing {field!r}")
+    for ratio in ("speedup_cold", "speedup_warm"):
+        if record[ratio] <= 0:
+            raise BenchSchemaError(f"{ratio} must be positive")
+
+
+def _load(path: Path) -> dict[str, Any]:
+    if not path.exists():
+        return {"schema_version": BENCH_SCHEMA_VERSION, "records": []}
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or "records" not in data:
+        raise BenchSchemaError(f"{path}: not a bench file")
+    return data
+
+
+def latest_record(path: Path | str) -> dict[str, Any] | None:
+    """The most recent committed record, or ``None`` for a fresh file."""
+    records = _load(Path(path))["records"]
+    return records[-1] if records else None
+
+
+def append_record(path: Path | str, record: dict[str, Any]) -> None:
+    """Validate ``record`` and append it to the bench file atomically."""
+    validate_record(record)
+    path = Path(path)
+    data = _load(path)
+    for existing in data["records"]:
+        validate_record(existing)
+    data["records"].append(record)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+
+
+def check_regression(
+    record: dict[str, Any],
+    baseline: dict[str, Any] | None,
+    max_regression: float = 0.2,
+) -> None:
+    """Fail when the measured speedup *ratio* fell too far below baseline.
+
+    Ratios (legacy wall / optimized wall on the same machine, same process)
+    cancel out host speed, so the committed baseline transfers across CI
+    runners where absolute instances/minute would not.
+    """
+    if baseline is None:
+        return
+    if not 0.0 < max_regression < 1.0:
+        raise ValueError("max_regression must be in (0, 1)")
+    for ratio in ("speedup_cold", "speedup_warm"):
+        floor = baseline[ratio] * (1.0 - max_regression)
+        if record[ratio] < floor:
+            raise BenchRegressionError(
+                f"{ratio} regressed: measured {record[ratio]:.2f}x vs committed "
+                f"{baseline[ratio]:.2f}x (floor {floor:.2f}x at "
+                f"{max_regression:.0%} allowance)"
+            )

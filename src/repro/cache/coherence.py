@@ -16,11 +16,14 @@ probes the paper uses:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cache.l2 import L2Config
 from repro.cache.slice_hash import SliceHash
 from repro.mesh.geometry import TileCoord
-from repro.mesh.noc import Mesh
+from repro.mesh.noc import DATA_CYCLES_PER_LINE, MESSAGE_CYCLES, Mesh
 from repro.mesh.routing import RingClass
+from repro.perf import FLAGS
 
 
 class CacheSystem:
@@ -46,6 +49,18 @@ class CacheSystem:
         # The slice hash is fixed per instance, and the probes hammer the
         # same few hundred line addresses millions of times.
         self._home_cache: dict[int, int] = {}
+        # Fused per-operation deposit plans: every probe operation's route
+        # legs concatenated into one flat-index array with per-hop unit
+        # weights, so a whole contended_write / producer_consumer /
+        # sweep_evictions lands in a single bincount accumulate instead of
+        # four to six scatters. Keyed by (op, endpoints...): the leg set is a
+        # pure function of the endpoint tiles, so entries never go stale.
+        self._fused_plans: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        # Second-level cache: (op key..., scale) → (idx, units*scale). The
+        # probes replay the same endpoint/round combinations thousands of
+        # times; caching the pre-multiplied weights turns a repeat operation
+        # into one dict hit plus one deposit.
+        self._scaled_plans: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
 
     # -- address resolution ------------------------------------------------------
     def home_cha(self, addr: int) -> int:
@@ -59,6 +74,31 @@ class CacheSystem:
     def home_coord(self, addr: int) -> TileCoord:
         """Tile coordinate homing the line containing ``addr``."""
         return self.cha_coords[self.home_cha(addr)]
+
+    def _fused_plan(
+        self, key: tuple, legs: list[tuple[TileCoord, TileCoord, RingClass, int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated flat hop indices + per-hop unit weights for ``legs``.
+
+        ``legs`` is the exact injection sequence of the legacy path as
+        (src, dst, ring, cycles-per-unit) tuples; self-legs contribute no
+        hops, matching ``inject_transfer``'s early return.
+        """
+        plan = self._fused_plans.get(key)
+        if plan is None:
+            idx_parts: list[np.ndarray] = []
+            unit_parts: list[np.ndarray] = []
+            for src, dst, ring, unit in legs:
+                flat = self.mesh.flat_route(src, dst, ring)
+                if flat.size:
+                    idx_parts.append(flat)
+                    unit_parts.append(np.full(flat.size, unit, dtype=np.int64))
+            if idx_parts:
+                plan = (np.concatenate(idx_parts), np.concatenate(unit_parts))
+            else:
+                plan = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.int64))
+            self._fused_plans[key] = plan
+        return plan
 
     # -- probe operations -----------------------------------------------------------
     def sweep_evictions(self, core: TileCoord, addrs: list[int], sweeps: int) -> None:
@@ -81,6 +121,26 @@ class CacheSystem:
         for home, n_lines in home_lines.items():
             total = n_lines * sweeps
             self.mesh.counters.add_llc_lookup(home, total)
+            if FLAGS.fused_deposit:
+                # Sweep endpoint pairs are essentially never replayed (each
+                # colocation test uses a fresh (core, home) combination), so
+                # a concatenated per-op plan would be built once and used
+                # once. Depositing per leg on the cached flat routes with a
+                # scalar weight is the cheaper shape here.
+                mesh, counters = self.mesh, self.mesh.counters
+                counters.deposit_flat(
+                    mesh.flat_route(core, home, RingClass.AD),
+                    total * MESSAGE_CYCLES,  # refill reqs
+                )
+                counters.deposit_flat(
+                    mesh.flat_route(core, home, RingClass.BL),
+                    total * DATA_CYCLES_PER_LINE,  # writebacks
+                )
+                counters.deposit_flat(
+                    mesh.flat_route(home, core, RingClass.BL),
+                    total * DATA_CYCLES_PER_LINE,  # refills
+                )
+                continue
             self.mesh.inject_messages(core, home, total, RingClass.AD)  # refill reqs
             self.mesh.inject_transfer(core, home, total)  # writeback data
             self.mesh.inject_transfer(home, core, total)  # refill data
@@ -97,6 +157,24 @@ class CacheSystem:
             raise ValueError("rounds must be non-negative")
         home = self.home_coord(addr)
         self.mesh.counters.add_llc_lookup(home, 2 * rounds)
+        if FLAGS.fused_deposit:
+            plan = self._scaled_plans.get(("cw", core_a, core_b, home, rounds))
+            if plan is None:
+                idx, units = self._fused_plan(
+                    ("cw", core_a, core_b, home),
+                    [
+                        (core_a, home, RingClass.AD, MESSAGE_CYCLES),
+                        (core_b, home, RingClass.AD, MESSAGE_CYCLES),
+                        (core_a, home, RingClass.BL, DATA_CYCLES_PER_LINE),
+                        (home, core_b, RingClass.BL, DATA_CYCLES_PER_LINE),
+                        (core_b, home, RingClass.BL, DATA_CYCLES_PER_LINE),
+                        (home, core_a, RingClass.BL, DATA_CYCLES_PER_LINE),
+                    ],
+                )
+                plan = (idx, units * rounds)
+                self._scaled_plans[("cw", core_a, core_b, home, rounds)] = plan
+            self.mesh.counters.deposit_flat(*plan)
+            return
         self.mesh.inject_messages(core_a, home, rounds, RingClass.AD)
         self.mesh.inject_messages(core_b, home, rounds, RingClass.AD)
         self.mesh.inject_transfer(core_a, home, rounds)
@@ -121,6 +199,24 @@ class CacheSystem:
             raise ValueError("rounds must be non-negative")
         home = self.home_coord(addr)
         self.mesh.counters.add_llc_lookup(home, rounds)
+        if FLAGS.fused_deposit:
+            # Probe endpoint pairs are visited once each, so per-leg deposits
+            # on the cached flat routes beat building a one-shot fused plan.
+            # Request/snoop messages on AD, completion acks on AK, and the
+            # data leg(s) on BL — direct when the sink homes the line, via
+            # the home CHA's directory otherwise.
+            mesh, counters = self.mesh, self.mesh.counters
+            msg = rounds * MESSAGE_CYCLES
+            data = rounds * DATA_CYCLES_PER_LINE
+            counters.deposit_flat(mesh.flat_route(sink, home, RingClass.AD), msg)
+            counters.deposit_flat(mesh.flat_route(home, source, RingClass.AD), msg)
+            counters.deposit_flat(mesh.flat_route(sink, home, RingClass.AK), msg)
+            if home == sink:
+                counters.deposit_flat(mesh.flat_route(source, sink, RingClass.BL), data)
+            else:
+                counters.deposit_flat(mesh.flat_route(source, home, RingClass.BL), data)
+                counters.deposit_flat(mesh.flat_route(home, sink, RingClass.BL), data)
+            return
         # Read request to the home CHA, snoop forwarded to the owner.
         self.mesh.inject_messages(sink, home, rounds, RingClass.AD)
         self.mesh.inject_messages(home, source, rounds, RingClass.AD)

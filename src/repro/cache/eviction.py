@@ -8,17 +8,28 @@ forces targeted evictions toward that one slice.
 hand) — used by tests and by the simulator's internals. The attacker-side
 construction, which only sees PMON counters, is
 :func:`repro.core.cha_mapping.build_eviction_sets`.
+
+Both constructions are memoised in :data:`EVSET_CACHE`. **Invalidation
+rule:** every key embeds the exact bit-generator state of the sampling RNG
+at call time (:func:`rng_state_token`) together with every construction
+parameter and the instance identity (PPIN or slice-hash masks). Equal keys
+therefore imply the cold computation would replay byte-for-byte — entries
+can never go stale and are only ever dropped by FIFO bound or an explicit
+:func:`repro.perf.clear_caches`. A hit restores the RNG to the recorded
+*final* state so downstream draws continue exactly as after a cold run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from repro.cache.address import LINE_OFFSET_BITS, PHYS_ADDR_BITS
 from repro.cache.l2 import L2Config
 from repro.cache.slice_hash import SliceHash
+from repro.perf import FLAGS
 
 
 @dataclass
@@ -56,17 +67,112 @@ def addresses_in_l2_set(
     tag_shift = LINE_OFFSET_BITS + l2.set_index_bits
     n_tags = 1 << (PHYS_ADDR_BITS - tag_shift)
     set_bits = l2_set << LINE_OFFSET_BITS
-    seen: set[int] = set()
     out: list[int] = []
+    seen = np.empty(0, dtype=np.int64)
     # Tags are drawn in batches; the tag space is vast, so collisions are
-    # rare and the first batch almost always suffices.
+    # rare and the first batch almost always suffices. The dedupe keeps the
+    # first occurrence of each tag in draw order, so the address sequence is
+    # identical to a scalar skip-if-seen loop over the same draws.
     while len(out) < count:
-        for tag in rng.integers(n_tags, size=count - len(out)).tolist():
-            if tag in seen:
-                continue
-            seen.add(tag)
-            out.append((tag << tag_shift) | set_bits)
+        tags = rng.integers(n_tags, size=count - len(out))
+        uniq, first = np.unique(tags, return_index=True)
+        if seen.size:
+            keep = ~np.isin(uniq, seen)
+            uniq, first = uniq[keep], first[keep]
+        seen = np.concatenate((seen, uniq))
+        fresh = tags[np.sort(first)]
+        out.extend(((fresh << tag_shift) | set_bits).tolist())
     return out
+
+
+def rng_state_token(rng: np.random.Generator) -> tuple:
+    """Hashable digest of a generator's exact bit-generator state.
+
+    Two generators with equal tokens produce identical draw sequences, so a
+    token plus the (deterministic) construction parameters fully identifies
+    an eviction-set construction's output.
+    """
+
+    def freeze(value: Any):
+        if isinstance(value, dict):
+            return tuple((k, freeze(v)) for k, v in sorted(value.items()))
+        if isinstance(value, np.ndarray):
+            return (value.dtype.str, value.tobytes())
+        return value
+
+    return freeze(rng.bit_generator.state)
+
+
+@dataclass(frozen=True)
+class OracleSetEntry:
+    """Cached :func:`oracle_eviction_set` product."""
+
+    cha_index: int
+    l2_set: int
+    addresses: tuple[int, ...]
+    final_rng_state: dict
+
+
+@dataclass(frozen=True)
+class BuiltSetsEntry:
+    """Cached :func:`repro.core.cha_mapping.build_eviction_sets` product.
+
+    ``n_probes`` is the number of contended-write probes the cold run
+    executed — the replay must advance the machine's noise stream by exactly
+    that many operations so later phases see the same co-tenant draws.
+    """
+
+    sets: dict[int, "SliceEvictionSet"]
+    final_rng_state: dict
+    n_probes: int
+
+    def copy_sets(self) -> dict[int, "SliceEvictionSet"]:
+        return {
+            cha: SliceEvictionSet(
+                cha_index=ev.cha_index, l2_set=ev.l2_set, addresses=list(ev.addresses)
+            )
+            for cha, ev in self.sets.items()
+        }
+
+
+@dataclass
+class EvictionSetCache:
+    """Bounded FIFO memo for eviction-set constructions.
+
+    Keys embed :func:`rng_state_token` of the sampling RNG — see the module
+    docstring for why that makes entries permanently valid.
+    """
+
+    max_entries: int = 512
+    hits: int = 0
+    misses: int = 0
+    _entries: dict[tuple, Any] = field(default_factory=dict)
+
+    def get(self, key: tuple) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: Any) -> None:
+        if key in self._entries:
+            return
+        if len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-global eviction-set cache (cleared by ``repro.perf.clear_caches``).
+EVSET_CACHE = EvictionSetCache()
 
 
 def oracle_eviction_set(
@@ -86,6 +192,28 @@ def oracle_eviction_set(
     if not 0 <= cha_index < slice_hash.n_slices:
         raise ValueError(f"cha_index {cha_index} out of range")
     target_size = l2.eviction_set_size() if size is None else size
+    key = None
+    if FLAGS.evset_cache:
+        key = (
+            "oracle",
+            slice_hash.n_slices,
+            slice_hash.masks,
+            l2.n_sets,
+            l2.associativity,
+            cha_index,
+            target_size,
+            l2_set,
+            max_probe,
+            rng_state_token(rng),
+        )
+        entry = EVSET_CACHE.get(key)
+        if entry is not None:
+            rng.bit_generator.state = entry.final_rng_state
+            return SliceEvictionSet(
+                cha_index=entry.cha_index,
+                l2_set=entry.l2_set,
+                addresses=list(entry.addresses),
+            )
     chosen_set = int(rng.integers(l2.n_sets)) if l2_set is None else l2_set
     ev = SliceEvictionSet(cha_index=cha_index, l2_set=chosen_set)
     for addr in addresses_in_l2_set(l2, chosen_set, rng, max_probe):
@@ -93,6 +221,16 @@ def oracle_eviction_set(
             continue
         ev.add(addr)
         if len(ev) >= target_size:
+            if key is not None:
+                EVSET_CACHE.put(
+                    key,
+                    OracleSetEntry(
+                        cha_index=cha_index,
+                        l2_set=chosen_set,
+                        addresses=tuple(ev.addresses),
+                        final_rng_state=rng.bit_generator.state,
+                    ),
+                )
             return ev
     raise RuntimeError(
         f"could not assemble {target_size} lines for CHA {cha_index} "

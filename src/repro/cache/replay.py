@@ -1,0 +1,81 @@
+"""Measurement-phase replay cache (co-location sweeps and path probes).
+
+The co-location and probe phases read *ring* counters, so unlike eviction-set
+construction their measured values include co-tenant noise deposits. They are
+still pure functions of their inputs: the noise a phase observes is exactly
+the slice of the machine's noise stream it consumes, and that stream's output
+is fixed by its origin state plus its current position. Every cache key
+therefore embeds :meth:`repro.sim.machine.SimulatedMachine.noise_token`
+(origin digest + injections served + flow geometry) together with the phase's
+full parameter set and a digest of its measurement inputs (eviction sets for
+co-location, the CHA mapping for probes).
+
+**Invalidation rule** — same as :mod:`repro.cache.eviction`: equal keys imply
+a byte-identical cold replay, so entries can never go stale. They are only
+dropped by the FIFO bound or an explicit :func:`repro.perf.clear_caches`.
+A hit hands back the recorded results and advances the noise stream by the
+injections the cold run consumed, leaving every later draw bit-identical to a
+cold execution. Fault-injected machines never hit this cache
+(``cacheable_measurements`` is False there): a replayed phase would skip the
+very probes the faults target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ColocationEntry:
+    """Recorded outcome of one ``map_os_to_cha`` phase."""
+
+    os_to_cha: tuple[tuple[int, int], ...]
+    llc_only_chas: frozenset[int]
+    n_injections: int
+
+
+@dataclass(frozen=True)
+class ProbeEntry:
+    """Recorded outcome of one ``collect_observations_with_confidence`` phase."""
+
+    observations: tuple  # of frozen PathObservation
+    confidences: tuple[float, ...]
+    n_injections: int
+
+
+@dataclass
+class ReplayCache:
+    """Bounded FIFO keyed on exact machine-state tokens (never stale)."""
+
+    max_entries: int = 512
+    hits: int = 0
+    misses: int = 0
+    _entries: dict[tuple, Any] = field(default_factory=dict)
+
+    def get(self, key: tuple) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: Any) -> None:
+        if key in self._entries:
+            return
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide phase-replay cache (guarded by ``FLAGS.phase_cache``).
+PHASE_CACHE = ReplayCache()

@@ -23,13 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import cached_property
 
-from repro.cache.eviction import SliceEvictionSet
+from repro.cache.eviction import EVSET_CACHE, BuiltSetsEntry, SliceEvictionSet
+from repro.cache.replay import PHASE_CACHE, ColocationEntry
 from repro.core.errors import (
     AmbiguousColocation,
     HomeDiscoveryError,
     MappingError,
     MeasurementError,
 )
+from repro.perf import FLAGS
 from repro.sim.machine import SimulatedMachine
 from repro.sim.threads import ContendedWrite, EvictionSweep
 from repro.uncore.session import UncorePmonSession
@@ -118,6 +120,37 @@ def build_eviction_sets(
     """
     session.program_llc_lookup()
     target = set_size if set_size is not None else machine.l2_geometry.eviction_set_size()
+
+    # The whole phase is a pure function of the sampling-RNG state plus the
+    # construction parameters (the PMON is reset around it, and noise never
+    # touches LLC_LOOKUP counters) — so a key embedding the exact RNG state
+    # can replay it: restore the recorded final RNG state, advance the noise
+    # stream by the probes the cold run executed, and hand back copies of
+    # the sets. Hits arise when an identical construction repeats — most
+    # notably a crash-recovered slot re-mapping the same instance/seed.
+    key = None
+    if FLAGS.evset_cache and machine.cacheable_measurements:
+        key = (
+            "build",
+            machine.instance.ppin,
+            machine.sampling_token(),
+            l2_set,
+            target,
+            max_lines,
+            rounds,
+            margin,
+            session.n_chas,
+            batched,
+            machine.noise.mesh_flows_per_op,
+        )
+        entry = EVSET_CACHE.get(key)
+        if entry is not None:
+            session.tracer.counter("evset_cache_hits_total").inc()
+            machine.restore_sampling_state(entry.final_rng_state)
+            machine.skip_noise_ops(entry.n_probes)
+            return entry.copy_sets()
+        session.tracer.counter("evset_cache_misses_total").inc()
+
     sets: dict[int, SliceEvictionSet] = {
         cha: SliceEvictionSet(cha_index=cha, l2_set=l2_set) for cha in range(session.n_chas)
     }
@@ -128,12 +161,14 @@ def build_eviction_sets(
     c_lines = session.tracer.counter("eviction_lines_probed_total")
     c_homes = session.tracer.counter("home_discoveries_total")
 
+    n_probes = 0
     batch = session.lookup_batch() if batched else None
     try:
         for address in machine.sample_lines_in_l2_set(l2_set, max_lines):
             if not pending:
                 break
             c_lines.inc()
+            n_probes += 1
             if batch is not None:
                 workload = ContendedWrite(contenders[0], contenders[1], address, rounds)
                 lookups = batch.measure(lambda: machine.execute(workload)).tolist()
@@ -153,6 +188,22 @@ def build_eviction_sets(
         raise HomeDiscoveryError(
             f"could not fill eviction sets for CHAs {sorted(pending)} "
             f"within {max_lines} probed lines"
+        )
+    if key is not None:
+        EVSET_CACHE.put(
+            key,
+            BuiltSetsEntry(
+                sets={
+                    cha: SliceEvictionSet(
+                        cha_index=ev.cha_index,
+                        l2_set=ev.l2_set,
+                        addresses=list(ev.addresses),
+                    )
+                    for cha, ev in sets.items()
+                },
+                final_rng_state=machine.sampling_state(),
+                n_probes=n_probes,
+            ),
         )
     return sets
 
@@ -191,6 +242,38 @@ def map_os_to_cha(
     separable — the calibration a real tool performs before probing.
     """
     session.program_ring_monitors()
+
+    # Ring readings include co-tenant noise, but the noise a phase observes
+    # is exactly the stream slice it consumes — so keying on the machine's
+    # noise token makes the whole phase replayable (see repro.cache.replay).
+    key = None
+    injections_before = machine.noise_injections
+    if FLAGS.phase_cache and machine.cacheable_measurements:
+        sets_digest = tuple(
+            (cha, ev.l2_set, tuple(ev.addresses))
+            for cha, ev in sorted(eviction_sets.items())
+        )
+        key = (
+            "coloc",
+            machine.instance.ppin,
+            machine.noise_token(),
+            sets_digest,
+            sweeps,
+            quiet_threshold,
+            batched,
+            session.n_chas,
+        )
+        entry = PHASE_CACHE.get(key)
+        if entry is not None:
+            session.tracer.counter("phase_cache_hits_total").inc()
+            machine.skip_noise_injections(entry.n_injections)
+            return ChaMappingResult(
+                os_to_cha=dict(entry.os_to_cha),
+                llc_only_chas=entry.llc_only_chas,
+                eviction_sets=eviction_sets,
+            )
+        session.tracer.counter("phase_cache_misses_total").inc()
+
     some_set = next(iter(eviction_sets.values()))
     set_len = len(some_set.addresses)
     if quiet_threshold is None:
@@ -238,6 +321,15 @@ def map_os_to_cha(
             batch.close()
 
     llc_only = frozenset(range(session.n_chas)) - frozenset(claimed)
+    if key is not None:
+        PHASE_CACHE.put(
+            key,
+            ColocationEntry(
+                os_to_cha=tuple(sorted(os_to_cha.items())),
+                llc_only_chas=llc_only,
+                n_injections=machine.noise_injections - injections_before,
+            ),
+        )
     return ChaMappingResult(
         os_to_cha=os_to_cha,
         llc_only_chas=llc_only,

@@ -31,7 +31,9 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.cache.replay import PHASE_CACHE, ProbeEntry
 from repro.core.cha_mapping import ChaMappingResult
+from repro.perf import FLAGS
 from repro.core.errors import MappingError, MeasurementError
 from repro.core.observations import PathObservation, observation_from_matrix
 from repro.sim.machine import SimulatedMachine
@@ -127,6 +129,38 @@ def collect_observations_with_confidence(
     probe_pairs = list(pairs) if pairs is not None else default_probe_pairs(machine.os_cores())
     c_probes = session.tracer.counter("probes_total")
 
+    # Probe readings include co-tenant noise, but the noise each probe sees
+    # is exactly the stream slice it consumes — keyed on the machine's noise
+    # token the whole sweep is replayable (see repro.cache.replay).
+    key = None
+    injections_before = machine.noise_injections
+    if FLAGS.phase_cache and machine.cacheable_measurements:
+        mapping_digest = (
+            tuple(sorted(cha_mapping.os_to_cha.items())),
+            tuple(sorted(cha_mapping.llc_only_chas)),
+            tuple(
+                (cha, ev.l2_set, tuple(ev.addresses))
+                for cha, ev in sorted(cha_mapping.eviction_sets.items())
+            ),
+        )
+        key = (
+            "probes",
+            machine.instance.ppin,
+            machine.noise_token(),
+            mapping_digest,
+            tuple(probe_pairs),
+            rounds,
+            threshold,
+            batched,
+            session.n_chas,
+        )
+        entry = PHASE_CACHE.get(key)
+        if entry is not None:
+            session.tracer.counter("phase_cache_hits_total").inc()
+            machine.skip_noise_injections(entry.n_injections)
+            return list(entry.observations), list(entry.confidences)
+        session.tracer.counter("phase_cache_misses_total").inc()
+
     observations: list[PathObservation] = []
     confidences: list[float] = []
     batch = session.ring_batch() if batched else None
@@ -144,6 +178,15 @@ def collect_observations_with_confidence(
     finally:
         if batch is not None:
             batch.close()
+    if key is not None:
+        PHASE_CACHE.put(
+            key,
+            ProbeEntry(
+                observations=tuple(observations),
+                confidences=tuple(confidences),
+                n_injections=machine.noise_injections - injections_before,
+            ),
+        )
     return observations, confidences
 
 

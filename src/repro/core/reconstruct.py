@@ -30,6 +30,8 @@ from repro.core.ilp_formulation import IlpLayout, add_route_exclusion, build_lay
 from repro.core.observations import PathObservation
 from repro.ilp import default_solver
 from repro.ilp.model import lin_sum
+from repro.ilp.warmstart import PATTERN_CACHE, PatternEntry, observation_signature
+from repro.perf import FLAGS
 from repro.ilp.solution import Solution
 from repro.mesh.geometry import GridSpec, TileCoord
 from repro.mesh.routing import Channel, ingress_events
@@ -132,6 +134,46 @@ def reconstruct_map(
         raise MappingError("cannot reconstruct a map from zero observations")
     tracer = tracer if tracer is not None else NULL_TRACER
     n_chas = len(cha_mapping.os_to_cha) + len(cha_mapping.llc_only_chas)
+
+    # Warm start: an earlier slot with the same observation signature already
+    # solved this exact model (dies of one SKU share few disable patterns).
+    # Only the default-solver path is cacheable — a caller-supplied solver
+    # may be configured differently. The cached candidate is never trusted
+    # blindly: it must reproduce every freshly measured observation, else we
+    # fall back to the cold solve below.
+    signature = None
+    if solver is None and refine and FLAGS.warm_start:
+        signature = observation_signature(
+            observations,
+            cha_mapping.os_to_cha,
+            cha_mapping.llc_only_chas,
+            (grid.n_rows, grid.n_cols),
+        )
+        entry = PATTERN_CACHE.get(signature)
+        if entry is not None:
+            if not _find_contradictions(entry.positions, observations):
+                tracer.counter("pattern_cache_hits_total").inc()
+                positions = dict(entry.positions)
+                core_map = CoreMap(
+                    grid=grid,
+                    cha_positions=positions,
+                    os_to_cha=dict(cha_mapping.os_to_cha),
+                    llc_only_chas=frozenset(cha_mapping.llc_only_chas)
+                    & frozenset(positions),
+                )
+                return ReconstructionResult(
+                    core_map=core_map,
+                    solution=entry.solution,
+                    layout=entry.layout,
+                    unlocated_chas=entry.unlocated,
+                    refinement_cuts=entry.refinement_cuts,
+                    consistent=entry.consistent,
+                )
+            PATTERN_CACHE.reject()
+            tracer.counter("pattern_cache_rejected_total").inc()
+        else:
+            tracer.counter("pattern_cache_misses_total").inc()
+
     layout = build_layout_model(
         observations,
         n_chas=n_chas,
@@ -188,6 +230,20 @@ def reconstruct_map(
         os_to_cha=dict(cha_mapping.os_to_cha),
         llc_only_chas=frozenset(cha_mapping.llc_only_chas) & frozenset(positions),
     )
+    if signature is not None and consistent:
+        # Only layouts that explain every observation are worth replaying;
+        # an inconsistent best-effort result must be re-derived each time.
+        PATTERN_CACHE.put(
+            signature,
+            PatternEntry(
+                positions=dict(positions),
+                unlocated=layout.unobserved,
+                refinement_cuts=cuts,
+                consistent=consistent,
+                solution=solution,
+                layout=layout,
+            ),
+        )
     return ReconstructionResult(
         core_map=core_map,
         solution=solution,

@@ -79,6 +79,12 @@ class FaultyMachine:
         return self._msr
 
     @property
+    def cacheable_measurements(self) -> bool:
+        # Never serve or record measurement-cache entries under injection:
+        # a replayed phase would skip the probes the faults target.
+        return False
+
+    @property
     def faults_fired(self) -> int:
         return self._budget.fired
 

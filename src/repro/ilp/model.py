@@ -146,11 +146,22 @@ class LinearExpr:
 
 
 def lin_sum(items: Iterable) -> LinearExpr:
-    """Sum variables/expressions into a single :class:`LinearExpr`."""
-    total = LinearExpr()
+    """Sum variables/expressions into a single :class:`LinearExpr`.
+
+    Accumulates into one coefficient dict instead of chaining ``+`` (which
+    would copy the partial sum per term, quadratic in the term count).
+    """
+    coeffs: dict[int, float] = {}
+    constant = 0.0
     for item in items:
-        total = total + item
-    return total
+        if isinstance(item, Variable):
+            coeffs[item.index] = coeffs.get(item.index, 0.0) + 1.0
+            continue
+        e = LinearExpr._coerce(item)
+        constant += e.constant
+        for i, c in e.coeffs.items():
+            coeffs[i] = coeffs.get(i, 0.0) + c
+    return LinearExpr(coeffs, constant)
 
 
 class Sense(enum.Enum):
@@ -263,6 +274,65 @@ class Model:
             b_ub=np.array(ub_rhs) if ub_rhs else np.zeros(0),
             a_eq=np.array(eq_rows) if eq_rows else np.zeros((0, n)),
             b_eq=np.array(eq_rhs) if eq_rhs else np.zeros(0),
+            lo=lo,
+            hi=hi,
+            integrality=integrality,
+            objective_constant=self.objective.constant,
+        )
+
+    def to_coo(self) -> "ModelArrays":
+        """Sparse lowering: like :meth:`to_arrays` but with CSR matrices.
+
+        The layout model's constraint matrix is >99% zeros (each row touches
+        two to four variables out of hundreds), so building COO triplets and
+        handing HiGHS a CSR matrix skips materialising the dense rows
+        entirely. The nonzero values are identical to the dense lowering —
+        the solver sees the same model either way.
+        """
+        from scipy.sparse import csr_array
+
+        n = len(self.variables)
+        c = np.zeros(n)
+        for i, coeff in self.objective.coeffs.items():
+            c[i] = coeff
+
+        ub_r: list[int] = []
+        ub_c: list[int] = []
+        ub_v: list[float] = []
+        ub_rhs: list[float] = []
+        eq_r: list[int] = []
+        eq_c: list[int] = []
+        eq_v: list[float] = []
+        eq_rhs: list[float] = []
+        for con in self.constraints:
+            rhs = -con.expr.constant
+            if con.sense is Sense.EQ:
+                row = len(eq_rhs)
+                for i, coeff in con.expr.coeffs.items():
+                    eq_r.append(row)
+                    eq_c.append(i)
+                    eq_v.append(coeff)
+                eq_rhs.append(rhs)
+                continue
+            sign = 1.0 if con.sense is Sense.LE else -1.0
+            row = len(ub_rhs)
+            for i, coeff in con.expr.coeffs.items():
+                ub_r.append(row)
+                ub_c.append(i)
+                ub_v.append(sign * coeff)
+            ub_rhs.append(sign * rhs)
+
+        lo = np.array([v.lo for v in self.variables])
+        hi = np.array([v.hi for v in self.variables])
+        integrality = np.array(
+            [1 if v.var_type in (VarType.INTEGER, VarType.BINARY) else 0 for v in self.variables]
+        )
+        return ModelArrays(
+            c=c,
+            a_ub=csr_array((ub_v, (ub_r, ub_c)), shape=(len(ub_rhs), n)),
+            b_ub=np.array(ub_rhs),
+            a_eq=csr_array((eq_v, (eq_r, eq_c)), shape=(len(eq_rhs), n)),
+            b_eq=np.array(eq_rhs),
             lo=lo,
             hi=hi,
             integrality=integrality,

@@ -13,6 +13,7 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStatus
+from repro.perf import FLAGS
 
 _STATUS_MAP = {
     0: SolveStatus.OPTIMAL,
@@ -31,13 +32,15 @@ class ScipyMilpSolver:
         self.mip_rel_gap = mip_rel_gap
 
     def solve(self, model: Model) -> Solution:
-        arrays = model.to_arrays()
+        # The sparse lowering hands HiGHS the same nonzeros without ever
+        # materialising the (overwhelmingly zero) dense rows.
+        arrays = model.to_coo() if FLAGS.sparse_ilp else model.to_arrays()
         constraints = []
-        if arrays.a_ub.size:
+        if arrays.a_ub.shape[0]:
             constraints.append(
                 LinearConstraint(arrays.a_ub, -np.inf, arrays.b_ub)
             )
-        if arrays.a_eq.size:
+        if arrays.a_eq.shape[0]:
             constraints.append(
                 LinearConstraint(arrays.a_eq, arrays.b_eq, arrays.b_eq)
             )

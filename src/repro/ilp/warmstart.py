@@ -1,0 +1,108 @@
+"""ILP warm-start pattern cache.
+
+Fleet surveys solve the same layout ILP over and over: dies of one SKU share
+a handful of Table-II disable patterns, and two instances with the same
+pattern produce *identical* observation sets (the pipeline is deterministic
+given the layout). The cache keys solved layouts by an exact observation
+signature; a later slot with the same signature skips model building and the
+HiGHS solve entirely.
+
+Safety: signature equality implies the cached model is byte-for-byte the
+model the cold path would build, and the solver is deterministic — so a hit
+returns exactly the cold result. The consumer must still **verify** the
+cached positions against its freshly measured observations before accepting
+(:func:`repro.core.reconstruct.reconstruct_map` replays every observation
+against the candidate layout); a poisoned or stale entry fails that check
+and falls back to a cold solve. Entries are only ever *added* for consistent
+results, and the cache is cleared by :func:`repro.perf.clear_caches`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def observation_signature(
+    observations,
+    os_to_cha: dict[int, int],
+    llc_only_chas,
+    grid_shape: tuple[int, int],
+) -> tuple:
+    """Exact, hashable identity of a reconstruction problem.
+
+    Two calls with equal signatures would build identical ILP models (same
+    observations in the same order, same endpoint set, same grid), so their
+    cold solves are interchangeable. Observation *order* is part of the
+    signature: it affects constraint order and hence solver traversal.
+    """
+    return (
+        grid_shape,
+        tuple(sorted(os_to_cha.items())),
+        tuple(sorted(llc_only_chas)),
+        tuple(
+            (
+                obs.source_cha,
+                obs.sink_cha,
+                tuple(sorted(obs.up)),
+                tuple(sorted(obs.down)),
+                tuple(sorted(obs.horizontal)),
+            )
+            for obs in observations
+        ),
+    )
+
+
+@dataclass
+class PatternEntry:
+    """One solved layout, keyed by its observation signature."""
+
+    positions: dict[int, Any]  # CHA → TileCoord
+    unlocated: frozenset[int]
+    refinement_cuts: int
+    consistent: bool
+    solution: Any  # repro.ilp.solution.Solution
+    layout: Any  # repro.core.ilp_formulation.IlpLayout
+
+
+@dataclass
+class PatternCache:
+    """Bounded FIFO map from observation signature to solved layout."""
+
+    max_entries: int = 256
+    hits: int = 0
+    misses: int = 0
+    rejected: int = 0
+    _entries: dict[tuple, PatternEntry] = field(default_factory=dict)
+
+    def get(self, signature: tuple) -> PatternEntry | None:
+        entry = self._entries.get(signature)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, signature: tuple, entry: PatternEntry) -> None:
+        if signature in self._entries:
+            return
+        if len(self._entries) >= self.max_entries:
+            # FIFO eviction: drop the oldest pattern. Survey fleets cycle
+            # through far fewer unique patterns than this bound.
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[signature] = entry
+
+    def reject(self) -> None:
+        """Record a hit whose candidate failed fresh-observation verification."""
+        self.rejected += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-global pattern cache (workers each hold their own copy).
+PATTERN_CACHE = PatternCache()

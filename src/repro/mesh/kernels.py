@@ -1,0 +1,77 @@
+"""Fused accumulate kernels for route-deposit hot paths.
+
+The mesh traffic model spends most of its time depositing hop counts into
+the channel-counter array. The original path issues one ``np.add.at``
+scatter per route leg; the fused path precomputes each operation's hop
+indices flattened into the counter array's linear index space and performs
+a single :func:`deposit` per operation.
+
+``np.bincount`` is the accumulate primitive because fused index arrays
+legitimately contain duplicates (legs of one coherence operation share
+mesh hops), so a plain ``out[idx] += w`` gather-scatter would drop counts.
+Sums are exact: integer weights are accumulated in float64, which is exact
+below 2**53 — far above any per-operation hop count.
+
+numba is optional. When it is importable the deposit loop is jit-compiled;
+the numpy ``bincount`` fallback is always present and is the live path on
+machines without numba (including CI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - absence is the common case
+    _numba = None
+
+
+def _deposit_numpy(out: np.ndarray, idx: np.ndarray, weights: np.ndarray | int) -> None:
+    if idx.size < 64 and idx.size * 8 < out.size:
+        # Tiny batches (a single probe op's dozen hops) are cheaper as one
+        # direct scatter than as a bincount spanning the whole counter array.
+        np.add.at(out, idx, weights)
+        return
+    if np.isscalar(weights) or getattr(weights, "ndim", 1) == 0:
+        counts = np.bincount(idx, minlength=out.size)
+        if int(weights) == 1:
+            out += counts
+        else:
+            out += counts * int(weights)
+        return
+    summed = np.bincount(idx, weights=weights, minlength=out.size)
+    out += summed.astype(np.int64)
+
+
+if _numba is not None:  # pragma: no cover - numba-only branch
+
+    @_numba.njit(cache=True)
+    def _deposit_jit(out, idx, weights):
+        for i in range(idx.size):
+            out[idx[i]] += weights[i]
+
+    def _deposit_numba(out: np.ndarray, idx: np.ndarray, weights: np.ndarray | int) -> None:
+        if np.isscalar(weights) or getattr(weights, "ndim", 1) == 0:
+            w = np.full(idx.size, int(weights), dtype=np.int64)
+        else:
+            w = np.asarray(weights, dtype=np.int64)
+        _deposit_jit(out, idx, w)
+
+    deposit_backend = "numba"
+    _deposit_impl = _deposit_numba
+else:
+    deposit_backend = "numpy"
+    _deposit_impl = _deposit_numpy
+
+
+def deposit(out: np.ndarray, idx: np.ndarray, weights: np.ndarray | int) -> None:
+    """Accumulate ``weights`` into ``out`` at (possibly repeated) ``idx``.
+
+    ``out`` must be a 1-D int64 view; ``idx`` a 1-D intp/int64 index array;
+    ``weights`` either a scalar applied to every index or a per-index array.
+    Equivalent to ``np.add.at(out, idx, weights)`` but one fused accumulate.
+    """
+    if idx.size == 0:
+        return
+    _deposit_impl(out, idx, weights)

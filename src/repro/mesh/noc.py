@@ -28,6 +28,7 @@ from repro.mesh.geometry import GridSpec, TileCoord
 from repro.mesh.routing import Channel, RingClass, ingress_events
 from repro.mesh.tile import Tile, TileKind
 from repro.mesh.traffic import CHANNEL_INDEX, ChannelCounters
+from repro.perf import FLAGS
 
 #: BL (data) ring occupancy cycles per 64-byte cache line; the Skylake-SP BL
 #: ring moves 32 bytes per cycle, so a line occupies a channel for 2 cycles.
@@ -51,9 +52,14 @@ class Mesh:
         self.counters = ChannelCounters(tiles=grid.coords())
         #: (src, dst) → (tile-index array, channel-index array) route cache.
         self._route_cache: dict[tuple[TileCoord, TileCoord], tuple[np.ndarray, np.ndarray]] = {}
+        #: (src, dst, ring) → flat counter indices for the fused deposit path.
+        self._flat_route_cache: dict[tuple[TileCoord, TileCoord, RingClass], np.ndarray] = {}
         self._background_endpoints: tuple[list[TileCoord], list[TileCoord]] | None = None
         #: Ragged route table over every (src pick, dst pick, swapped) key.
         self._background_table: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+        #: Lazy-deposit accumulator for background flows (one slot per route
+        #: table key), registered with the counters on first use.
+        self._background_acc: np.ndarray | None = None
 
     # -- structure -------------------------------------------------------------
     def tile(self, coord: TileCoord) -> Tile:
@@ -86,6 +92,16 @@ class Mesh:
             self._route_cache[key] = cached
         return cached
 
+    def flat_route(self, src: TileCoord, dst: TileCoord, ring: RingClass) -> np.ndarray:
+        """Flat counter indices of the (src, dst) route on ``ring``, cached."""
+        key = (src, dst, ring)
+        flat = self._flat_route_cache.get(key)
+        if flat is None:
+            tiles, channels = self._route_indices(src, dst)
+            flat = self.counters.flat_index(tiles, channels, ring)
+            self._flat_route_cache[key] = flat
+        return flat
+
     def inject_transfer(
         self,
         src: TileCoord,
@@ -100,6 +116,9 @@ class Mesh:
         if lines < 0:
             raise ValueError("lines must be non-negative")
         if lines == 0 or src == dst:
+            return
+        if FLAGS.fused_deposit:
+            self.counters.deposit_flat(self.flat_route(src, dst, ring), lines * cycles_per_line)
             return
         tiles, channels = self._route_indices(src, dst)
         self.counters.add_route(tiles, channels, lines * cycles_per_line, ring)
@@ -128,27 +147,65 @@ class Mesh:
         lines = accesses if data_lines is None else data_lines
         self.inject_transfer(home, requester, lines)
 
-    def inject_background(
-        self, rng: np.random.Generator, flows: int, lines_per_flow: int
-    ) -> None:
-        """Inject random tenant traffic between cores and IMC tiles."""
+    def background_endpoint_counts(self) -> tuple[int, int]:
+        """(n_sources, n_destinations) of the background-flow endpoint pools."""
         if self._background_endpoints is None:
             cores = self.core_coords()
             imcs = [c for c in self.grid.coords() if self._tiles[c].kind is TileKind.IMC]
             self._background_endpoints = (cores, imcs if imcs else cores)
         cores, endpoints = self._background_endpoints
-        if not cores or flows <= 0:
+        return len(cores), len(endpoints)
+
+    def inject_background(
+        self, rng: np.random.Generator, flows: int, lines_per_flow: int
+    ) -> None:
+        """Inject random tenant traffic between cores and IMC tiles."""
+        n_cores, n_endpoints = self.background_endpoint_counts()
+        if n_cores == 0 or flows <= 0:
             return
         # One vectorized draw per kind keeps the per-flow cost to a cached
         # route scatter.
-        src_picks = rng.integers(len(cores), size=flows)
-        dst_picks = rng.integers(len(endpoints), size=flows)
+        src_picks = rng.integers(n_cores, size=flows)
+        dst_picks = rng.integers(n_endpoints, size=flows)
         jitters = rng.poisson(lines_per_flow, size=flows)
         swaps = rng.random(size=flows) < 0.5
+        self.inject_background_values(src_picks, dst_picks, jitters, swaps)
+
+    def inject_background_values(
+        self,
+        src_picks: np.ndarray,
+        dst_picks: np.ndarray,
+        jitters: np.ndarray,
+        swaps: np.ndarray,
+    ) -> None:
+        """Deposit background flows from pre-drawn pick/jitter/swap values.
+
+        The hot path: the machine's chunk-buffered noise stream draws these
+        in bulk and hands per-op slices here, so one injection costs a key
+        computation and one small scatter instead of four generator calls.
+        """
+        if self._background_endpoints is None:
+            self.background_endpoint_counts()
+        cores, endpoints = self._background_endpoints
+        keys = (src_picks * len(endpoints) + dst_picks) * 2 + swaps
+        if FLAGS.fused_deposit:
+            # Defer the deposit entirely: bank this call's per-key cycle
+            # totals and let the counters flush the backlog as one matrix
+            # product right before the next read. The RNG draw sequence above
+            # is untouched, and deferral is unobservable because deposits
+            # commute and every read path flushes first.
+            if self._background_acc is None:
+                self._route_table(cores, endpoints)
+                self._background_acc = self.counters.register_lazy(
+                    *self._background_hop_matrix()
+                )
+            cycles = np.maximum(jitters, 1) * DATA_CYCLES_PER_LINE
+            np.add.at(self._background_acc, keys, cycles)
+            self.counters.mark_lazy_dirty()
+            return
         # Look every flow up in the ragged route table and deposit the whole
         # batch with one weighted scatter — no per-flow Python work.
         all_tiles, all_chans, starts, lens = self._route_table(cores, endpoints)
-        keys = (src_picks * len(endpoints) + dst_picks) * 2 + swaps
         hop_counts = lens[keys]
         total = int(hop_counts.sum())
         if total == 0:
@@ -156,12 +213,45 @@ class Mesh:
         cycles = np.maximum(jitters, 1) * DATA_CYCLES_PER_LINE
         ends = np.cumsum(hop_counts)
         gather = np.repeat(starts[keys] - (ends - hop_counts), hop_counts) + np.arange(total)
-        self.counters.add_routes(
-            all_tiles[gather],
-            all_chans[gather],
-            np.repeat(cycles, hop_counts),
-            RingClass.BL,
-        )
+        weights = np.repeat(cycles, hop_counts)
+        self.counters.add_routes(all_tiles[gather], all_chans[gather], weights, RingClass.BL)
+
+    def inject_background_keyed(self, keys: np.ndarray, cycles: np.ndarray) -> None:
+        """Bank pre-keyed background flows into the lazy accumulator.
+
+        The fastest noise path: the machine's noise stream precomputes the
+        route-table keys and cycle counts chunk-wide, so one injection is a
+        single tiny scatter-add plus a dirty flag. Equivalent to
+        :meth:`inject_background_values` with ``FLAGS.fused_deposit`` on.
+        """
+        acc = self._background_acc
+        if acc is None:
+            if self._background_endpoints is None:
+                self.background_endpoint_counts()
+            cores, endpoints = self._background_endpoints
+            self._route_table(cores, endpoints)
+            acc = self._background_acc = self.counters.register_lazy(
+                *self._background_hop_matrix()
+            )
+        np.add.at(acc, keys, cycles)
+        self.counters.mark_lazy_dirty()
+
+    def _background_hop_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-key BL hop-count matrix over the flat positions routes touch.
+
+        Returns ``(matrix, targets)``: ``matrix[key, j]`` is how many times
+        key's route crosses flat counter position ``targets[j]`` (``targets``
+        is unique and covers every position any background route visits).
+        """
+        all_tiles, all_chans, starts, lens = self._background_table
+        flat = self.counters.flat_index(all_tiles, all_chans, RingClass.BL)
+        targets = np.unique(flat)
+        col_of = {int(pos): j for j, pos in enumerate(targets.tolist())}
+        matrix = np.zeros((len(lens), targets.size), dtype=np.float64)
+        for key, (start, length) in enumerate(zip(starts.tolist(), lens.tolist())):
+            for pos in flat[start : start + length].tolist():
+                matrix[key, col_of[pos]] += 1.0
+        return matrix, targets
 
     def _route_table(
         self, cores: list[TileCoord], endpoints: list[TileCoord]

@@ -20,6 +20,7 @@ from collections.abc import Iterable
 import numpy as np
 
 from repro.mesh.geometry import TileCoord
+from repro.mesh.kernels import deposit
 from repro.mesh.routing import Channel, RingClass
 
 CounterKey = tuple[TileCoord, Channel, RingClass]
@@ -73,6 +74,11 @@ class ChannelCounters:
             capacity = max(capacity, len(tile_list))
         self._ring = np.zeros((capacity, N_CHANNELS, N_RINGS), dtype=np.int64)
         self._llc = np.zeros(capacity, dtype=np.int64)
+        # Lazily-flushed deposit channels: (weight matrix, target flat
+        # indices, pending accumulator) triples registered by the mesh's
+        # background-noise path. See :meth:`register_lazy` / :meth:`flush_lazy`.
+        self._lazy: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._lazy_dirty = False
         if tiles is not None:
             for tile in tile_list:
                 self.index_of(tile)
@@ -96,6 +102,8 @@ class ChannelCounters:
     @property
     def ring_array(self) -> np.ndarray:
         """Dense ``[tile, channel, ring]`` cycle counts (ground truth)."""
+        if self._lazy_dirty:
+            self.flush_lazy()
         return self._ring
 
     @property
@@ -151,9 +159,79 @@ class ChannelCounters:
         """
         np.add.at(self._ring, (tile_indices, channel_indices, RING_INDEX[ring]), cycles)
 
+    # -- fused (flat-index) deposits ---------------------------------------------
+    def flat_index(
+        self,
+        tile_indices: np.ndarray,
+        channel_indices: np.ndarray,
+        ring: RingClass = RingClass.BL,
+    ) -> np.ndarray:
+        """Linear indices of (tile, channel, ring) triples into the counter array.
+
+        The flat index ``(tile*N_CHANNELS + chan)*N_RINGS + ring`` depends only
+        on the row assigned by :meth:`index_of`, never on the array's current
+        capacity: growth appends rows at the end, so precomputed flat routes
+        stay valid for the counter's lifetime.
+        """
+        return (tile_indices * N_CHANNELS + channel_indices) * N_RINGS + RING_INDEX[ring]
+
+    def deposit_flat(self, idx: np.ndarray, weights: np.ndarray | int) -> None:
+        """One fused accumulate of ``weights`` at precomputed flat indices.
+
+        Bit-identical to the equivalent sequence of :meth:`add_route` /
+        :meth:`add_routes` scatters: indices may repeat (legs sharing hops)
+        and every weight is a non-negative integer, so the bincount sum is
+        exact and addition order is immaterial for int64 accumulation.
+        """
+        if np.isscalar(weights) and weights < 0:
+            raise ValueError("cycle counts only ever increase")
+        deposit(self._ring.reshape(-1), idx, weights)
+
+    def register_lazy(self, matrix: np.ndarray, flat_targets: np.ndarray) -> np.ndarray:
+        """Open a lazily-flushed deposit channel; returns its accumulator.
+
+        ``matrix`` is a dense ``(n_keys, len(flat_targets))`` float64
+        hop-count matrix: row ``k`` holds how many times key ``k``'s route
+        crosses each of the flat counter positions in ``flat_targets``
+        (columns are restricted to positions any route actually touches).
+        Callers accumulate per-key cycle totals into the returned
+        ``(n_keys,)`` accumulator (and call :meth:`mark_lazy_dirty`);
+        :meth:`flush_lazy` lands the whole backlog as one matrix product.
+        Deferral is invisible because integer deposits commute and every
+        counter *read* goes through :attr:`ring_array` / :meth:`read` /
+        :meth:`snapshot`, which flush first; float64 products of
+        integer-valued operands are exact below 2**53.
+        """
+        acc = np.zeros(matrix.shape[0], dtype=np.float64)
+        self._lazy.append(
+            (
+                np.asarray(matrix, dtype=np.float64),
+                np.asarray(flat_targets, dtype=np.intp),
+                acc,
+            )
+        )
+        return acc
+
+    def mark_lazy_dirty(self) -> None:
+        self._lazy_dirty = True
+
+    def flush_lazy(self) -> None:
+        """Deposit every pending lazy accumulation into the counter array."""
+        if not self._lazy_dirty:
+            return
+        flat = self._ring.reshape(-1)
+        for matrix, targets, acc in self._lazy:
+            # Flat indices are capacity-independent, so targets computed
+            # before array growth still name the right (lower) positions.
+            flat[targets] += (acc @ matrix).astype(np.int64)
+            acc[:] = 0.0
+        self._lazy_dirty = False
+
     def read(
         self, tile: TileCoord, channel: Channel, ring: RingClass = RingClass.BL
     ) -> int:
+        if self._lazy_dirty:
+            self.flush_lazy()
         idx = self._tile_index.get(tile)
         if idx is None:
             return 0
@@ -173,6 +251,8 @@ class ChannelCounters:
 
     # -- snapshots ---------------------------------------------------------------
     def snapshot(self) -> dict[CounterKey, int]:
+        if self._lazy_dirty:
+            self.flush_lazy()
         n = len(self._tiles)
         rows, chans, rings = np.nonzero(self._ring[:n])
         return {

@@ -120,6 +120,20 @@ class MsrRegisterFile:
         if hook is not None:
             hook(os_cpu, addr, value)
 
+    # -- snapshot support ---------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without hooks: the closures bind live simulator internals.
+
+        Whoever owns the hooks (the PMON model, an attached thermal
+        simulator) re-installs them when it is itself unpickled, so a
+        restored register file regains exactly the wiring a fresh build has.
+        """
+        state = self.__dict__.copy()
+        state["_read_hooks"] = {}
+        state["_write_hooks"] = {}
+        state["_block_providers"] = []
+        return state
+
     # -- convenience for simulator setup ---------------------------------------
     def set_all_cpus(self, addr: int, value: int) -> None:
         """Store the same static value at ``addr`` on every CPU (e.g. PPIN)."""

@@ -1,0 +1,106 @@
+"""Process-wide performance-path switches.
+
+The hot-path speed round (fused route deposits, the PMON readback matmul
+plan, sparse ILP lowering, the eviction-set construction cache, the
+measurement-phase replay cache and the ILP warm-start pattern cache) is
+guaranteed bit-identical to the original code
+paths: zero-fault runs produce byte-identical ``canonical_record`` output
+with every switch on or off. The original paths therefore stay in the tree
+behind these flags so that
+
+* the bit-identity property tests can compare both paths in one process,
+* ``repro-map bench`` can measure an honest legacy-vs-optimized speedup on
+  the same machine, and
+* a regression in an optimized path can be bisected by flipping one flag.
+
+Flags are process-local mutable state. The survey runner ships the parent's
+flag values to pool workers through the pool initializer, so a fleet survey
+honours whatever the parent had configured.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PerfFlags:
+    """Which optimized hot paths are active (all on by default)."""
+
+    #: Fused route-deposit kernel: per-op flattened index arrays plus one
+    #: ``np.bincount`` accumulate instead of several ``np.add.at`` scatters.
+    fused_deposit: bool = True
+    #: PMON ground-truth readback as one precompiled 0/1-matrix product
+    #: instead of a per-read fancy-indexing gather.
+    pmon_matmul: bool = True
+    #: Lower ILP constraints straight to sparse triplets for the SciPy/HiGHS
+    #: backend instead of materialising dense rows.
+    sparse_ilp: bool = True
+    #: Memoize eviction-set construction products (see
+    #: :mod:`repro.cache.eviction` for the invalidation rule).
+    evset_cache: bool = True
+    #: Replay whole measurement phases (co-location, probing) whose key
+    #: embeds the exact noise-stream state (see :mod:`repro.cache.replay`).
+    phase_cache: bool = True
+    #: Warm-start the layout reconstruction from previously solved
+    #: observation signatures (verified against fresh observations).
+    warm_start: bool = True
+
+    def as_dict(self) -> dict[str, bool]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: The live switchboard. Mutate via :func:`set_flags` / :func:`use_flags`.
+FLAGS = PerfFlags()
+
+
+def set_flags(**overrides: bool) -> dict[str, bool]:
+    """Set flags by name; returns the previous values of the touched flags."""
+    previous: dict[str, bool] = {}
+    valid = {f.name for f in fields(PerfFlags)}
+    for name, value in overrides.items():
+        if name not in valid:
+            raise ValueError(f"unknown perf flag {name!r}; choose from {sorted(valid)}")
+        previous[name] = getattr(FLAGS, name)
+        setattr(FLAGS, name, bool(value))
+    return previous
+
+
+@contextmanager
+def use_flags(**overrides: bool):
+    """Temporarily override perf flags (restores the old values on exit)."""
+    previous = set_flags(**overrides)
+    try:
+        yield FLAGS
+    finally:
+        set_flags(**previous)
+
+
+def legacy_flags() -> dict[str, bool]:
+    """Overrides that select every pre-optimization code path."""
+    return {f.name: False for f in fields(PerfFlags)}
+
+
+@contextmanager
+def legacy_paths():
+    """Run a block entirely on the original (pre-speed-round) code paths."""
+    with use_flags(**legacy_flags()) as flags:
+        yield flags
+
+
+def clear_caches() -> None:
+    """Empty every process-local perf cache (eviction sets, patterns, snapshots).
+
+    Benchmarks call this between compared runs so the legacy and optimized
+    measurements both start cold.
+    """
+    from repro.cache.eviction import EVSET_CACHE
+    from repro.cache.replay import PHASE_CACHE
+    from repro.ilp.warmstart import PATTERN_CACHE
+    from repro.sim.snapshot import SNAPSHOT_CACHE
+
+    EVSET_CACHE.clear()
+    PHASE_CACHE.clear()
+    PATTERN_CACHE.clear()
+    SNAPSHOT_CACHE.clear()

@@ -14,7 +14,9 @@ from __future__ import annotations
 import tempfile
 from typing import TYPE_CHECKING
 
-from repro.cache.eviction import addresses_in_l2_set
+import numpy as np
+
+from repro.cache.eviction import addresses_in_l2_set, rng_state_token
 from repro.cache.address import random_line_addresses
 from repro.msr.constants import (
     IA32_THERM_STATUS,
@@ -23,8 +25,10 @@ from repro.msr.constants import (
     decode_temperature_target,
     encode_therm_status,
 )
+from repro.mesh.noc import DATA_CYCLES_PER_LINE
 from repro.msr.device import MsrDevice
 from repro.msr.simfs import FileBackedMsrDevice, MsrFileTree
+from repro.perf import FLAGS
 from repro.platform.instance import CpuInstance
 from repro.sim.threads import ContendedWrite, EvictionSweep, ProducerConsumer, Workload
 from repro.sim.workload import NoiseConfig
@@ -32,6 +36,66 @@ from repro.util.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.thermal.rc_model import ThermalSimulator
+
+
+class _NoiseStream:
+    """Chunk-buffered background-noise draws on a dedicated RNG.
+
+    Every ``_inject_noise`` needs four small random vectors (source picks,
+    destination picks, line-count jitters, direction swaps). Drawing them
+    per call costs four generator invocations on the hottest path in the
+    simulator; this stream draws each vector for thousands of future
+    injections at once and serves contiguous slices. The sequence of served
+    values is a pure function of the stream's seed and the (fixed) per-call
+    flow count, so runs are exactly reproducible.
+    """
+
+    CHUNK = 4096
+
+    def __init__(self, rng, n_src: int, n_dst: int, lines_per_flow: int, cycle_mult: int):
+        self._rng = rng
+        self._n_src = n_src
+        self._n_dst = n_dst
+        self._lam = lines_per_flow
+        self._cycle_mult = cycle_mult
+        self._pos = self.CHUNK  # force a refill on first draw
+
+    def _refill(self) -> None:
+        rng = self._rng
+        self._src = rng.integers(self._n_src, size=self.CHUNK)
+        self._dst = rng.integers(self._n_dst, size=self.CHUNK)
+        self._jit = rng.poisson(self._lam, size=self.CHUNK)
+        self._swap = rng.random(size=self.CHUNK) < 0.5
+        # The derived quantities every injection needs, computed once per
+        # chunk instead of once per call: the mesh's route-table key and the
+        # per-flow occupancy cycles.
+        self._keys = (self._src * self._n_dst + self._dst) * 2 + self._swap
+        self._cycles = np.maximum(self._jit, 1) * self._cycle_mult
+        self._pos = 0
+
+    def draw(self, n: int):
+        pos = self._pos
+        if pos + n > self.CHUNK:
+            self._refill()
+            pos = 0
+        self._pos = pos + n
+        end = pos + n
+        return (
+            self._src[pos:end],
+            self._dst[pos:end],
+            self._jit[pos:end],
+            self._swap[pos:end],
+        )
+
+    def draw_keyed(self, n: int):
+        """(route-table keys, cycles) slices — same draws as :meth:`draw`."""
+        pos = self._pos
+        if pos + n > self.CHUNK:
+            self._refill()
+            pos = 0
+        self._pos = pos + n
+        end = pos + n
+        return self._keys[pos:end], self._cycles[pos:end]
 
 
 class SimulatedMachine:
@@ -48,6 +112,16 @@ class SimulatedMachine:
         self.instance = instance
         self.noise = noise if noise is not None else NoiseConfig()
         self._rng = derive_rng(seed, "machine", instance.ppin)
+        # Background noise runs on its own derived stream so the hot path
+        # can buffer draws in bulk (see _NoiseStream) without perturbing the
+        # address-sampling stream.
+        self._noise_rng = derive_rng(seed, "noise", instance.ppin)
+        self._noise_stream: _NoiseStream | None = None
+        # Replay bookkeeping: the noise stream's served sequence is a pure
+        # function of its origin state and how many injections it has fed,
+        # so (origin token, injection count) pins it exactly.
+        self._noise_token0 = rng_state_token(self._noise_rng)
+        self._noise_injections = 0
         self._thermal: "ThermalSimulator | None" = None
 
         if msr_backend == "memory":
@@ -95,6 +169,72 @@ class SimulatedMachine:
         """Public L2 geometry (documented per CPU model)."""
         return self.instance.l2
 
+    # -- cache-replay bookkeeping ----------------------------------------------
+    @property
+    def cacheable_measurements(self) -> bool:
+        """Whether measurement phases on this machine may be memoised.
+
+        True here; fault-injection wrappers override it to False — a faulted
+        run must execute every probe so injected faults land where they
+        would on real hardware, never replay a healthy run's results.
+        """
+        return True
+
+    def sampling_token(self) -> tuple:
+        """Hashable digest of the address-sampling RNG's exact state."""
+        return rng_state_token(self._rng)
+
+    def sampling_state(self) -> dict:
+        """Snapshot of the address-sampling RNG (pair with restore below)."""
+        return self._rng.bit_generator.state
+
+    def restore_sampling_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
+    @property
+    def noise_injections(self) -> int:
+        """Total noise injections served so far (replayed ones included)."""
+        return self._noise_injections
+
+    def noise_token(self) -> tuple:
+        """Hashable digest pinning the noise stream's remaining output.
+
+        Equal tokens on the same machine identity imply every future noise
+        draw is identical — the stream only ever serves fixed-size slices of
+        a sequence determined by its origin state.
+        """
+        return (
+            self._noise_token0,
+            self._noise_injections,
+            self.noise.mesh_flows_per_op,
+            self.noise.mesh_lines_per_flow,
+        )
+
+    def skip_noise_injections(self, n: int) -> None:
+        """Advance the noise stream past ``n`` cached injections.
+
+        A cache hit replays a phase's *results* without running its probes,
+        but the co-tenant noise those probes would have interleaved must
+        still be consumed so every later draw matches the cold run
+        draw-for-draw. The skipped deposits themselves are invisible: all
+        measurements are post-reset deltas, and the replayed phase's
+        counters are reset before the next phase reads them.
+        """
+        flows = self.noise.mesh_flows_per_op
+        if not flows or n <= 0:
+            return
+        stream = self._ensure_noise_stream()
+        if stream is None:
+            return
+        for _ in range(n):
+            stream.draw(flows)
+        self._noise_injections += n
+
+    def skip_noise_ops(self, n_ops: int) -> None:
+        """Advance the noise stream past ``n_ops`` cached workload executions
+        (two injections bracket every execution — see :meth:`execute`)."""
+        self.skip_noise_injections(2 * n_ops)
+
     # -- pinned workloads ----------------------------------------------------------
     def execute(self, workload: Workload) -> None:
         """Run one pinned workload to completion (with co-tenant noise)."""
@@ -128,11 +268,52 @@ class SimulatedMachine:
             raise ValueError(f"cannot pin a thread to non-existent core {os_core}")
         return self.instance.coord_of_os_core(os_core)
 
-    def _inject_noise(self) -> None:
-        if self.noise.mesh_flows_per_op:
-            self.instance.mesh.inject_background(
-                self._rng, self.noise.mesh_flows_per_op, self.noise.mesh_lines_per_flow
+    def _ensure_noise_stream(self) -> _NoiseStream | None:
+        stream = self._noise_stream
+        if stream is None:
+            n_src, n_dst = self.instance.mesh.background_endpoint_counts()
+            if n_src == 0:
+                return None
+            stream = _NoiseStream(
+                self._noise_rng,
+                n_src,
+                n_dst,
+                self.noise.mesh_lines_per_flow,
+                DATA_CYCLES_PER_LINE,
             )
+            self._noise_stream = stream
+        return stream
+
+    def _inject_noise(self) -> None:
+        flows = self.noise.mesh_flows_per_op
+        if not flows:
+            return
+        stream = self._ensure_noise_stream()
+        if stream is None:
+            return
+        self._noise_injections += 1
+        if FLAGS.fused_deposit:
+            # Keys and cycles were precomputed chunk-wide by the stream; the
+            # mesh banks them straight into the lazy accumulator. Both draw
+            # variants advance the same buffered sequence, so toggling the
+            # flag mid-run never desynchronises the noise stream.
+            self.instance.mesh.inject_background_keyed(*stream.draw_keyed(flows))
+            return
+        self.instance.mesh.inject_background_values(*stream.draw(flows))
+
+    # -- snapshot support ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle for :mod:`repro.sim.snapshot` — mapping machines only.
+
+        Thermal simulators and file-backed MSR trees hold hook closures and
+        file handles that cannot cross a process boundary; the survey
+        pipeline never needs either, so snapshots simply refuse them.
+        """
+        if self._thermal is not None:
+            raise TypeError("machines with thermal attached cannot be snapshotted")
+        if self._msr is not self.instance.registers:
+            raise TypeError("only memory-backend machines can be snapshotted")
+        return self.__dict__.copy()
 
     # -- thermal interface ---------------------------------------------------------
     def attach_thermal(self, thermal: "ThermalSimulator") -> None:

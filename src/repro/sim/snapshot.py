@@ -1,0 +1,116 @@
+"""Fork-snapshot machine state for the survey fan-out.
+
+Building a :class:`~repro.sim.machine.SimulatedMachine` means sampling a
+fused pattern, generating a slice hash, wiring a mesh and a full CHA PMON
+register space — work every pool worker used to repeat from ``(sku, seed)``.
+A *snapshot* is the pickled machine taken immediately after construction:
+restoring it yields an object graph equal to a fresh build (hook closures
+are re-installed by ``__setstate__`` on the PMON model), so a worker that
+unpickles instead of rebuilding maps bit-identically to a serial run.
+
+:data:`SNAPSHOT_CACHE` memoises snapshots per ``(sku, instance seed,
+machine seed, noise)``. Keys are exact construction inputs and construction
+is deterministic, so entries can never go stale; the cache pays off whenever
+one machine is built more than once in a process — slot retries, crash
+recovery, repeated surveys, and the parent side of a pool fan-out.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.platform.instance import CpuInstance
+from repro.platform.skus import SKU_CATALOG, SkuSpec
+from repro.sim.machine import SimulatedMachine
+from repro.sim.workload import NoiseConfig
+
+
+def snapshot_machine(machine: SimulatedMachine) -> bytes:
+    """Serialize a freshly built mapping machine (memory MSR backend only)."""
+    return pickle.dumps(machine, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore_machine(data: bytes) -> SimulatedMachine:
+    """Rehydrate a snapshot into a machine equal to a fresh build."""
+    return pickle.loads(data)
+
+
+@dataclass
+class SnapshotCache:
+    """Bounded FIFO memo from construction inputs to snapshot bytes."""
+
+    max_entries: int = 128
+    hits: int = 0
+    misses: int = 0
+    _entries: dict[tuple, bytes] = field(default_factory=dict)
+
+    def get(self, key: tuple) -> bytes | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: tuple, data: bytes) -> None:
+        if key in self._entries:
+            return
+        if len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = data
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-global snapshot cache (cleared by ``repro.perf.clear_caches``).
+SNAPSHOT_CACHE = SnapshotCache()
+
+
+def _noise_key(noise_kwargs: dict[str, Any] | None) -> tuple | None:
+    if noise_kwargs is None:
+        return None
+    return tuple(sorted(noise_kwargs.items()))
+
+
+def machine_snapshot(
+    sku: SkuSpec | str,
+    inst_seed: int,
+    machine_seed: int,
+    noise_kwargs: dict[str, Any] | None = None,
+) -> bytes:
+    """Snapshot bytes for ``(sku, seeds, noise)``, built once per process."""
+    spec = SKU_CATALOG[sku] if isinstance(sku, str) else sku
+    key = (spec.name, inst_seed, machine_seed, _noise_key(noise_kwargs))
+    data = SNAPSHOT_CACHE.get(key)
+    if data is None:
+        # Import here: the factory imports thermal machinery this module's
+        # consumers (pool workers) never need at import time.
+        from repro.sim.factory import build_machine
+
+        noise = NoiseConfig(**noise_kwargs) if noise_kwargs is not None else None
+        machine = build_machine(
+            CpuInstance.generate(spec, inst_seed),
+            seed=machine_seed,
+            noise=noise,
+            with_thermal=False,
+        )
+        data = snapshot_machine(machine)
+        SNAPSHOT_CACHE.put(key, data)
+    return data
+
+
+def machine_from_snapshot(
+    sku: SkuSpec | str,
+    inst_seed: int,
+    machine_seed: int,
+    noise_kwargs: dict[str, Any] | None = None,
+) -> SimulatedMachine:
+    """A machine equal to ``build_machine(generate(sku, inst_seed), ...)``."""
+    return restore_machine(machine_snapshot(sku, inst_seed, machine_seed, noise_kwargs))

@@ -16,10 +16,12 @@ Four properties make it a *survey engine* rather than a loop:
   flushed to disk every ``flush_every`` records, so a crash mid-survey
   loses at most one flush window of work.
 * **Worker-pool fan-out** — with ``workers > 1`` uncached slots are mapped
-  in a :class:`~concurrent.futures.ProcessPoolExecutor`. Workers rebuild
-  their instance from ``(sku, seed)`` — simulated machines hold MSR hook
-  closures and never cross process boundaries — and return plain-dict
-  records, so results are identical to a serial run.
+  in a :class:`~concurrent.futures.ProcessPoolExecutor`. The parent builds
+  each slot's machine once, snapshots it (:mod:`repro.sim.snapshot`), and
+  ships the snapshots plus its live perf flags to every worker through the
+  pool initializer (:class:`_FleetShared`); workers unpickle instead of
+  rebuilding and return plain-dict records, so results are bit-identical
+  to a serial run.
 * **Failure isolation** — with ``keep_going=True`` a slot that keeps
   failing becomes a ``failed`` :class:`InstanceOutcome` carrying its error
   class and attempt count instead of aborting the fleet. Every slot gets a
@@ -49,10 +51,11 @@ from repro.core.errors import SlotTimeoutError, SurveyAbortedError
 from repro.core.pipeline import MappingConfig, StageTimings, map_cpu
 from repro.faults.machine import inject_faults
 from repro.faults.plan import FaultSpec
+from repro.perf import FLAGS, set_flags
 from repro.platform.fleet import instance_seed
 from repro.platform.instance import CpuInstance
 from repro.platform.skus import SKU_CATALOG, SkuSpec
-from repro.sim.factory import build_machine
+from repro.sim.snapshot import machine_from_snapshot, machine_snapshot, restore_machine
 from repro.sim.workload import NoiseConfig
 from repro.store.database import MapDatabase
 from repro.store.serialization import mapping_record, record_core_map
@@ -86,9 +89,13 @@ def _id_mapping(os_to_cha: dict[int, int]) -> tuple[int, ...]:
 
 @dataclass(frozen=True)
 class _SlotJob:
-    """One uncached fleet slot, as plain picklable data."""
+    """One uncached fleet slot, as plain picklable data.
 
-    sku_name: str
+    Carries the *resolved* :class:`SkuSpec` — the runner resolves the SKU
+    once per survey and workers never consult the catalog again.
+    """
+
+    sku: SkuSpec
     index: int
     inst_seed: int
     machine_seed: int
@@ -102,7 +109,7 @@ class _SlotJob:
 
     def on_attempt(self, attempt: int) -> "_SlotJob":
         return _SlotJob(
-            self.sku_name,
+            self.sku,
             self.index,
             self.inst_seed,
             self.machine_seed,
@@ -115,16 +122,50 @@ class _SlotJob:
         )
 
 
+@dataclass(frozen=True)
+class _FleetShared:
+    """Per-survey state shipped to every pool worker exactly once.
+
+    ``flags`` replays the parent's :data:`repro.perf.FLAGS` so a fleet run
+    honours whatever the parent configured (legacy-path benches included);
+    ``snapshots`` maps fleet slot index → pickled machine bytes built by
+    the parent, so workers restore instead of rebuilding.
+    """
+
+    flags: dict[str, bool]
+    snapshots: dict[int, bytes]
+
+
+#: Set by :func:`_init_worker` inside pool workers; ``None`` in the parent.
+_WORKER_SHARED: _FleetShared | None = None
+
+
+def _init_worker(shared: _FleetShared) -> None:
+    global _WORKER_SHARED
+    _WORKER_SHARED = shared
+    set_flags(**shared.flags)
+
+
+def _job_machine(job: _SlotJob):
+    """The slot's machine: restored from a snapshot wherever one exists."""
+    shared = _WORKER_SHARED
+    if shared is not None:
+        data = shared.snapshots.get(job.index)
+        if data is not None:
+            return restore_machine(data)
+    # Serial path (and fallback): the process-local snapshot cache makes
+    # retries and repeated surveys restore instead of rebuilding.
+    return machine_from_snapshot(job.sku, job.inst_seed, job.machine_seed, job.noise_kwargs)
+
+
 def _map_one(job: _SlotJob) -> dict[str, Any]:
     """Map one fleet slot. Module-level so the process pool can pickle it.
 
     Returns only plain data — the mapping record, timings, and ground-truth
     verdict — never live machine objects.
     """
-    sku = SKU_CATALOG[job.sku_name]
-    instance = CpuInstance.generate(sku, job.inst_seed)
-    noise = NoiseConfig(**job.noise_kwargs) if job.noise_kwargs is not None else None
-    machine = build_machine(instance, seed=job.machine_seed, noise=noise, with_thermal=False)
+    machine = _job_machine(job)
+    instance = machine.instance
     # Telemetry is process-local; the snapshot crosses the pool boundary as
     # plain dicts and is merged into the parent tracer per slot.
     tracer = Tracer() if job.trace else NULL_TRACER
@@ -459,11 +500,24 @@ class SurveyRunner:
                 yield self._run_slot_serial(job)
             return
 
+        # Build every slot's machine once here in the parent; workers get
+        # the snapshots (and the parent's perf flags) via the initializer.
+        shared = _FleetShared(
+            flags=dict(FLAGS.as_dict()),
+            snapshots={
+                job.index: machine_snapshot(
+                    job.sku, job.inst_seed, job.machine_seed, job.noise_kwargs
+                )
+                for job in jobs
+            },
+        )
         c_leaked = self.tracer.counter("survey_slots_leaked_total")
         retry_queue: list[tuple[_SlotJob, BaseException]] = []
         pending = list(jobs)
         while pending:
-            pool = ProcessPoolExecutor(max_workers=pool_size)
+            pool = ProcessPoolExecutor(
+                max_workers=pool_size, initializer=_init_worker, initargs=(shared,)
+            )
             futures = [(job, pool.submit(_map_one, job)) for job in pending]
             pending = []
             leaked = 0
@@ -578,7 +632,7 @@ class SurveyRunner:
                     spec = self.faults.get(index)
                     jobs.append(
                         _SlotJob(
-                            sku_name=sku.name,
+                            sku=sku,
                             index=index,
                             inst_seed=inst_seed,
                             machine_seed=index,

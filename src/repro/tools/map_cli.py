@@ -302,6 +302,62 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchRegressionError,
+        append_record,
+        check_regression,
+        latest_record,
+        run_bench,
+    )
+
+    try:
+        record = run_bench(
+            sku=args.sku, fleet_size=args.fleet_size, root_seed=args.root_seed
+        )
+    except (KeyError, ValueError, RuntimeError, AssertionError) as exc:
+        print(f"bench failed: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        ["legacy paths", f"{record['legacy_instances_per_minute']:.1f}", ""],
+        [
+            "optimized, cold caches",
+            f"{record['optimized_cold_instances_per_minute']:.1f}",
+            f"{record['speedup_cold']:.2f}x",
+        ],
+        [
+            "optimized, warm caches",
+            f"{record['optimized_warm_instances_per_minute']:.1f}",
+            f"{record['speedup_warm']:.2f}x",
+        ],
+    ]
+    print(format_table(["configuration", "instances/min", "speedup"], rows,
+                       title=f"Survey throughput ({record['sku']}, "
+                             f"fleet of {record['fleet_size']}, bit-identical)"))
+    span_rows = [
+        [name, stats["count"], f"{stats['p50_seconds'] * 1e3:.1f}ms",
+         f"{stats['p95_seconds'] * 1e3:.1f}ms"]
+        for name, stats in record["spans"].items()
+    ]
+    print(format_table(["span", "count", "p50", "p95"], span_rows,
+                       title="Pipeline span costs (optimized, cold)"))
+
+    baseline = latest_record(args.out)
+    try:
+        check_regression(record, baseline, max_regression=args.max_regression)
+    except BenchRegressionError as exc:
+        print(f"REGRESSION: {exc}", file=sys.stderr)
+        return 1
+    if baseline is not None:
+        print(f"no regression vs committed baseline ({baseline['commit']}: "
+              f"cold {baseline['speedup_cold']:.2f}x, warm {baseline['speedup_warm']:.2f}x)")
+    if args.no_append:
+        return 0
+    append_record(args.out, record)
+    print(f"record appended to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-map", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -418,6 +474,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--trace", metavar="PATH", help="JSONL trace export to summarise")
     p_stats.add_argument("--metrics", metavar="PATH", help="Prometheus exposition to validate")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure the survey hot-path speedups (bit-identity asserted)"
+    )
+    p_bench.add_argument("--sku", default="8259CL", help="CPU model (catalogue name)")
+    p_bench.add_argument("--fleet-size", type=int, default=6, help="surveyed fleet size")
+    p_bench.add_argument("--root-seed", type=int, default=2022, help="fleet root seed")
+    p_bench.add_argument(
+        "--out",
+        default="BENCH_survey.json",
+        metavar="PATH",
+        help="bench record file to check against and append to",
+    )
+    p_bench.add_argument(
+        "--no-append",
+        action="store_true",
+        help="measure and compare only; leave the record file untouched (CI smoke)",
+    )
+    p_bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        metavar="FRAC",
+        help="fail when a speedup ratio drops more than FRAC below the committed baseline",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -30,7 +30,8 @@ import numpy as np
 
 from repro.mesh.geometry import TileCoord
 from repro.mesh.noc import Mesh
-from repro.mesh.traffic import CHANNEL_INDEX, N_CHANNELS, RING_INDEX
+from repro.mesh.traffic import CHANNEL_INDEX, N_CHANNELS, N_RINGS, RING_INDEX
+from repro.perf import FLAGS
 from repro.msr.constants import (
     CHA_NUM_COUNTERS,
     ChaBlockOffset,
@@ -77,10 +78,32 @@ class ChaPmonModel:
         # addr-array-bytes → (cha index array, counter index array), for the
         # block-read fast path.
         self._block_sel_cache: dict[bytes, tuple[np.ndarray, np.ndarray] | None] = {}
+        # id(addr array) → (array ref, selection): identity-keyed memo in
+        # front of the content-keyed cache above.
+        self._block_id_cache: dict[int, tuple] = {}
+        # Precompiled readback plan: a 0/1 float64 matrix mapping the
+        # ground-truth values at the (few) flat ring / llc positions the
+        # programmed events reference to every (cha, counter) value in one
+        # matrix product. Rebuilt lazily after any CTL reprogramming; exact
+        # for integer counts below 2**53. Counter-array growth never
+        # invalidates it: flat positions are capacity-independent.
+        self._plan: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._addr_to_counter: dict[int, tuple[int, int]] = {}
         for cha_id in range(n):
             for counter, ctr_off in enumerate(_CTR_OFFSETS):
                 self._addr_to_counter[cha_msr(cha_id, ctr_off)] = (cha_id, counter)
+        self._install_hooks()
+
+    # -- snapshot support ---------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Identity-keyed: ``id()`` values are meaningless in another process.
+        state["_block_id_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # The register file pickles hook-free; re-wire exactly as __init__.
         self._install_hooks()
 
     # -- MSR wiring --------------------------------------------------------------
@@ -135,6 +158,7 @@ class ChaPmonModel:
             if ring is None:
                 mask[:] = False
             self._chan_idx[cha_id][counter] = tuple(np.flatnonzero(mask).tolist())
+            self._plan = None  # programming changed; recompile the readback plan
             self._base[cha_id, counter] = self._ground_truth(cha_id, counter)
             self._latched[cha_id, counter] = 0
 
@@ -172,8 +196,57 @@ class ChaPmonModel:
             dtype=np.int64,
         )
 
+    def _compile_plan(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(matrix, ring_cols, llc_cols): counts = matrix @ state at those columns."""
+        n = len(self.cha_coords)
+        # (row, flat ring position) and (row, llc tile) references.
+        ring_refs: list[tuple[int, int]] = []
+        llc_refs: list[tuple[int, int]] = []
+        for cha_id in range(n):
+            if not self._visible[cha_id]:
+                continue
+            tile = int(self._tile_idx[cha_id])
+            for counter in range(CHA_NUM_COUNTERS):
+                if not self._enabled[cha_id, counter]:
+                    continue
+                row = cha_id * CHA_NUM_COUNTERS + counter
+                if self._is_llc[cha_id, counter]:
+                    llc_refs.append((row, tile))
+                    continue
+                ring = int(self._ring_idx[cha_id, counter])
+                for chan in self._chan_idx[cha_id][counter]:
+                    ring_refs.append((row, (tile * N_CHANNELS + chan) * N_RINGS + ring))
+        ring_cols = np.unique(np.array([p for _, p in ring_refs], dtype=np.intp))
+        llc_cols = np.unique(np.array([t for _, t in llc_refs], dtype=np.intp))
+        col_of = {int(p): j for j, p in enumerate(ring_cols.tolist())}
+        base = ring_cols.size
+        col_of_llc = {int(t): base + j for j, t in enumerate(llc_cols.tolist())}
+        matrix = np.zeros((n * CHA_NUM_COUNTERS, base + llc_cols.size), dtype=np.float64)
+        for row, pos in ring_refs:
+            matrix[row, col_of[pos]] = 1.0
+        for row, tile in llc_refs:
+            matrix[row, col_of_llc[tile]] = 1.0
+        return matrix, ring_cols, llc_cols
+
     def _ground_truth_matrix(self) -> np.ndarray:
         """Vectorized ground truth of every (cha, counter) at once."""
+        if FLAGS.pmon_matmul:
+            if self._plan is None:
+                self._plan = self._compile_plan()
+            matrix, ring_cols, llc_cols = self._plan
+            if ring_cols.size == 0:
+                # LLC-only programming (the home-discovery batches).
+                # Background noise deposits ring cycles exclusively, so the
+                # pending lazy backlog cannot affect these counters — skip
+                # the flush trigger and gather the LLC columns directly.
+                state = self._counters.llc_array[llc_cols].astype(np.float64)
+            else:
+                ring_flat = self._counters.ring_array.reshape(-1)
+                state = np.concatenate(
+                    [ring_flat[ring_cols], self._counters.llc_array[llc_cols]]
+                ).astype(np.float64)
+            gt = (matrix @ state).astype(np.int64)
+            return gt.reshape(len(self.cha_coords), CHA_NUM_COUNTERS)
         ring = self._counters.ring_array[self._tile_idx]  # (n, channels, rings)
         per_ring = ring.transpose(0, 2, 1)  # (n, rings, channels)
         n = len(self.cha_coords)
@@ -186,16 +259,30 @@ class ChaPmonModel:
     def counter_value_matrix(self) -> np.ndarray:
         """Live value of every (cha, counter) exactly as MSR reads see them."""
         gt = self._ground_truth_matrix()
-        live = np.where(self._enabled, gt - self._base, 0)
-        return np.where(self._frozen[:, None], self._latched, live)
+        # Disabled counters always satisfy gt == base == 0: ground truth is 0
+        # while disabled, and every CTL/UNIT_CTL hook resynchronises base from
+        # ground truth — so the subtraction alone already zeroes them.
+        live = gt - self._base
+        if self._frozen.any():
+            return np.where(self._frozen[:, None], self._latched, live)
+        return live
 
     # -- block-read fast path --------------------------------------------------
     def _block_read(self, os_cpu: int, addrs: np.ndarray) -> np.ndarray | None:
-        key = addrs.tobytes()
-        sel = self._block_sel_cache.get(key, False)
-        if sel is False:
-            sel = self._decode_block(addrs)
-            self._block_sel_cache[key] = sel
+        # Sessions cache their address arrays, so the same object arrives on
+        # every read of a batch: memoise the decoded selection by identity
+        # (holding a reference so the id can never be recycled) and fall back
+        # to the content key for unfamiliar arrays.
+        entry = self._block_id_cache.get(id(addrs))
+        if entry is not None and entry[0] is addrs:
+            sel = entry[1]
+        else:
+            key = addrs.tobytes()
+            sel = self._block_sel_cache.get(key, False)
+            if sel is False:
+                sel = self._decode_block(addrs)
+                self._block_sel_cache[key] = sel
+            self._block_id_cache[id(addrs)] = (addrs, sel)
         if sel is None:
             return None
         cha_sel, ctr_sel = sel

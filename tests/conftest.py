@@ -5,8 +5,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.perf import clear_caches
 from repro.platform import XEON_6354, XEON_8124M, XEON_8175M, XEON_8259CL, CpuInstance
 from repro.sim import NoiseConfig, build_machine
+
+
+@pytest.fixture(autouse=True)
+def _fresh_perf_caches():
+    """Isolate tests from the process-global perf caches.
+
+    The eviction-set / pattern / snapshot caches intentionally persist per
+    process; without this, one test's pipeline run warms the caches for the
+    next and probe/telemetry expectations stop holding.
+    """
+    clear_caches()
+    yield
 
 
 @pytest.fixture

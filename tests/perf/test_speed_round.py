@@ -1,0 +1,180 @@
+"""Hot-path speed round: bit-identity, cache safety, bench schema.
+
+The speed round's contract is that every optimized path — fused deposits,
+snapshot fan-out, the eviction-set / phase replay caches, and the ILP
+warm-start — is invisible in the output: zero-fault runs produce
+byte-identical ``canonical_record`` JSON with the caches on, off, cold, or
+warm, serial or pooled. These tests pin that contract plus the published
+bench-record schema CI's ``bench-smoke`` job relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.survey import (
+    BenchRegressionError,
+    BenchSchemaError,
+    append_record,
+    check_regression,
+    latest_record,
+    validate_record,
+)
+from repro.cache.eviction import EVSET_CACHE
+from repro.cache.replay import PHASE_CACHE, ReplayCache
+from repro.core.pipeline import map_cpu
+from repro.ilp.warmstart import PATTERN_CACHE
+from repro.perf import clear_caches, legacy_paths
+from repro.platform import XEON_8259CL
+from repro.sim.snapshot import machine_from_snapshot, restore_machine, snapshot_machine
+from repro.store.database import MapDatabase
+from repro.store.serialization import canonical_record, mapping_record
+from repro.survey import SurveyRunner
+
+SKU = "8259CL"
+SEED = 7
+
+
+def _canonical(machine) -> str:
+    record = mapping_record(map_cpu(machine), include_observations=True)
+    return json.dumps(canonical_record(record), sort_keys=True, default=str)
+
+
+def _map_canonical(seed: int = SEED) -> str:
+    return _canonical(machine_from_snapshot(SKU, seed, seed))
+
+
+class TestBitIdentity:
+    def test_legacy_cold_and_warm_records_are_byte_identical(self):
+        """One instance, three ways: legacy paths, cold caches, warm caches."""
+        with legacy_paths():
+            clear_caches()
+            reference = _map_canonical()
+        clear_caches()
+        cold = _map_canonical()
+        warm = _map_canonical()  # served by the caches the cold run filled
+        assert cold == reference
+        assert warm == reference
+        assert EVSET_CACHE.hits >= 1
+        assert PHASE_CACHE.hits >= 2  # colocation + probes
+        assert PATTERN_CACHE.hits >= 1
+
+    def test_pooled_survey_records_match_serial(self, tmp_path):
+        """Snapshot fan-out through a real pool == serial, byte for byte."""
+        fleet, root_seed = 3, 2022
+        serial_db = MapDatabase(tmp_path / "serial.json")
+        pooled_db = MapDatabase(tmp_path / "pooled.json")
+        serial = SurveyRunner(db=serial_db, workers=1, root_seed=root_seed).survey(
+            XEON_8259CL, fleet
+        )
+        pooled = SurveyRunner(
+            db=pooled_db, workers=2, root_seed=root_seed, clamp_to_cpus=False
+        ).survey(XEON_8259CL, fleet)
+        assert pooled.n_cached == 0
+        ppins = {o.ppin for o in serial.outcomes}
+        assert {o.ppin for o in pooled.outcomes} == ppins
+        for ppin in ppins:
+            a = json.dumps(canonical_record(serial_db.record(ppin)), sort_keys=True)
+            b = json.dumps(canonical_record(pooled_db.record(ppin)), sort_keys=True)
+            assert a == b
+
+
+class TestSnapshots:
+    def test_restored_machine_maps_bit_identically(self):
+        machine = machine_from_snapshot(SKU, SEED, SEED)
+        clone = restore_machine(snapshot_machine(machine))
+        clear_caches()
+        reference = _canonical(machine)
+        clear_caches()
+        assert _canonical(clone) == reference
+
+
+class TestPatternCachePoisoning:
+    def test_poisoned_entry_is_rejected_and_cold_solve_recovers(self):
+        """A tampered warm-start entry must fail verification, not leak out."""
+        clear_caches()
+        reference = _map_canonical()
+        assert len(PATTERN_CACHE._entries) >= 1
+        entry = next(iter(PATTERN_CACHE._entries.values()))
+        located = sorted(entry.positions)
+        a, b = located[0], located[1]
+        entry.positions[a], entry.positions[b] = entry.positions[b], entry.positions[a]
+        rejected_before = PATTERN_CACHE.rejected
+        assert _map_canonical() == reference
+        assert PATTERN_CACHE.rejected == rejected_before + 1
+
+
+class TestReplayCache:
+    def test_fifo_bound_and_counters(self):
+        cache = ReplayCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("c",), 3)  # evicts the oldest entry ("a",)
+        assert len(cache) == 2
+        assert cache.get(("a",)) is None
+        assert cache.get(("c",)) == 3
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
+
+
+def _valid_record() -> dict:
+    return {
+        "schema_version": 1,
+        "timestamp": "2026-08-09T00:00:00+00:00",
+        "commit": "abc1234",
+        "sku": SKU,
+        "fleet_size": 6,
+        "bit_identical": True,
+        "legacy_instances_per_minute": 200.0,
+        "optimized_cold_instances_per_minute": 300.0,
+        "optimized_warm_instances_per_minute": 4000.0,
+        "speedup_cold": 1.5,
+        "speedup_warm": 20.0,
+        "evset_cache_hits": 6,
+        "pattern_cache_hits": 6,
+        "spans": {
+            "map_cpu": {"count": 1, "p50_seconds": 0.2, "p95_seconds": 0.2},
+        },
+    }
+
+
+class TestBenchSchema:
+    def test_valid_record_passes(self):
+        validate_record(_valid_record())
+
+    @pytest.mark.parametrize("missing", ["timestamp", "speedup_warm", "spans"])
+    def test_missing_field_rejected(self, missing):
+        record = _valid_record()
+        del record[missing]
+        with pytest.raises(BenchSchemaError, match=missing):
+            validate_record(record)
+
+    def test_wrong_type_rejected(self):
+        record = _valid_record()
+        record["fleet_size"] = "six"
+        with pytest.raises(BenchSchemaError, match="fleet_size"):
+            validate_record(record)
+
+    def test_append_and_latest_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_survey.json"
+        assert latest_record(path) is None
+        record = _valid_record()
+        append_record(path, record)
+        assert latest_record(path) == record
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 1
+        assert len(data["records"]) == 1
+
+    def test_regression_check_is_ratio_based(self):
+        baseline = _valid_record()
+        good = _valid_record()
+        good["speedup_warm"] = baseline["speedup_warm"] * 0.85  # within 20%
+        check_regression(good, baseline, max_regression=0.2)
+        bad = _valid_record()
+        bad["speedup_warm"] = baseline["speedup_warm"] * 0.5
+        with pytest.raises(BenchRegressionError, match="speedup_warm"):
+            check_regression(bad, baseline, max_regression=0.2)
+        check_regression(bad, None)  # no committed baseline: nothing to compare
