@@ -18,10 +18,18 @@ machinery in :mod:`repro.core.pipeline` and the failure isolation in
 * :func:`chaos_plan` — a deterministic per-slot fault assignment for chaos
   drills over a survey fleet;
 * :class:`WriteCrashPoint` — SIGKILL at the N-th durable store write
-  (kill-resume drills against the sharded survey service).
+  (kill-resume drills against the sharded survey service);
+* :class:`SlotCrashPoint` / :class:`StallPoint` /
+  :class:`HeartbeatFreezePoint` — poison-slot, wedged-worker, and
+  dead-host drills against the fleet supervisor's lease machinery.
 """
 
-from repro.faults.crashpoints import WriteCrashPoint
+from repro.faults.crashpoints import (
+    HeartbeatFreezePoint,
+    SlotCrashPoint,
+    StallPoint,
+    WriteCrashPoint,
+)
 from repro.faults.machine import FaultyMachine, inject_faults
 from repro.faults.msr import FaultyMsrDevice
 from repro.faults.plan import FaultBudget, FaultSpec, chaos_plan
@@ -31,6 +39,9 @@ __all__ = [
     "FaultSpec",
     "FaultyMachine",
     "FaultyMsrDevice",
+    "HeartbeatFreezePoint",
+    "SlotCrashPoint",
+    "StallPoint",
     "WriteCrashPoint",
     "chaos_plan",
     "inject_faults",

@@ -1,19 +1,27 @@
-"""Crash-at-write fault points for durability drills.
+"""Crash, stall, and freeze fault points for durability drills.
 
 The fault machinery of this package perturbs *measurement*; this module
-perturbs *persistence*. A :class:`WriteCrashPoint` is armed as the
-``on_write`` hook of a :class:`~repro.store.segments.JsonlLog` (via the
-survey service) and SIGKILLs the process at the N-th durable write — no
-``atexit``, no ``finally``, no flush, exactly like a power-cut or OOM-kill
-landing between a record append and its journal entry. The kill-resume
-chaos drill uses it to prove that ``--resume`` after an arbitrary write
-crash converges to a bit-identical database.
+perturbs *process lifecycle and persistence*. A :class:`WriteCrashPoint` is
+armed as the ``on_write`` hook of a :class:`~repro.store.segments.JsonlLog`
+(via the survey service) and SIGKILLs the process at the N-th durable write
+— no ``atexit``, no ``finally``, no flush, exactly like a power-cut or
+OOM-kill landing between a record append and its journal entry. The
+kill-resume chaos drill uses it to prove that ``--resume`` after an
+arbitrary write crash converges to a bit-identical database.
+
+The supervisor drills add the two failure shapes a lease layer exists to
+catch: :class:`StallPoint` (worker stops making slot progress but its
+heartbeat thread keeps beating — a *wedged* owner) and
+:class:`HeartbeatFreezePoint` (heartbeats stop while the process hangs — a
+*dead/partitioned* owner, since a frozen heart with frozen progress is
+indistinguishable from a crashed host to any remote observer).
 """
 
 from __future__ import annotations
 
 import os
 import signal
+import time
 
 
 class WriteCrashPoint:
@@ -35,3 +43,65 @@ class WriteCrashPoint:
         self.writes += 1
         if self.writes >= self.at_write:
             os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - kills the test process
+
+
+class SlotCrashPoint:
+    """SIGKILL the worker the moment it starts mapping ``slot``.
+
+    Armed as the runner's ``slot_started`` hook. Unlike
+    :class:`~repro.faults.plan.FaultSpec` worker crashes (which the
+    runner's own retry budget absorbs in-process), this kills the whole
+    shard worker — the deterministic "poison slot" that murders every
+    owner the supervisor assigns, until the supervisor quarantines it.
+    """
+
+    def __init__(self, slot: int):
+        self.slot = slot
+
+    def __call__(self, index: int) -> None:
+        if index == self.slot:  # pragma: no cover - kills the test process
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class StallPoint:
+    """Hang the worker after its ``after_writes``-th durable write.
+
+    Armed as an ``on_write`` hook. The write itself completes (journal
+    consistent), then the hook sleeps far past any stall deadline — slot
+    progress freezes while the heartbeat daemon thread keeps the lease
+    fresh. The supervisor must diagnose this as *wedged* (alive but
+    useless) and SIGKILL + reassign; nothing inside the process will.
+    """
+
+    def __init__(self, after_writes: int, sleep_seconds: float = 3600.0):
+        if after_writes < 1:
+            raise ValueError("after_writes must be >= 1")
+        self.after_writes = after_writes
+        self.sleep_seconds = sleep_seconds
+        self.writes = 0
+
+    def __call__(self) -> None:
+        self.writes += 1
+        if self.writes >= self.after_writes:
+            time.sleep(self.sleep_seconds)  # pragma: no cover - supervisor kills us
+
+
+class HeartbeatFreezePoint:
+    """Freeze the worker's heart after ``after_beats`` lease beats.
+
+    Armed as the ``on_beat`` hook of a
+    :class:`~repro.store.lease.LeaseHeartbeat`: returning True tells the
+    heart to skip this and every later write, so the lease's beat counter
+    goes stale while the process lives on — exactly what a network
+    partition or a SIGSTOP'd host looks like from the supervisor's side.
+    Combine with a :class:`StallPoint` to model a fully hung host (a
+    freeze alone would race shard completion on fast fleets).
+    """
+
+    def __init__(self, after_beats: int):
+        if after_beats < 1:
+            raise ValueError("after_beats must be >= 1")
+        self.after_beats = after_beats
+
+    def __call__(self, beats: int) -> bool:
+        return beats > self.after_beats

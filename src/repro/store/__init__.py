@@ -13,6 +13,9 @@ This package provides that artefact layer:
   append-only, checksummed, fsync'd JSONL segments with advisory locking,
   torn-tail repair, quarantine, and compaction back into the canonical
   database format;
+* :mod:`repro.store.lease` — durable shard leases with epoch fencing and
+  monotonic heartbeats, the ownership layer the fleet supervisor uses to
+  detect dead/wedged shard workers and reassign their work;
 * :mod:`repro.store.durable` — the fsync/atomic-replace primitives both
   stores build on.
 """
@@ -28,15 +31,33 @@ from repro.store.serialization import (
     record_core_map,
 )
 from repro.store.database import MapDatabase, MapDatabaseError
+from repro.store.lease import (
+    LeaseError,
+    LeaseHeartbeat,
+    LeaseHeldError,
+    LeaseLostError,
+    LeaseState,
+    ShardLease,
+)
 from repro.store.segments import (
     JsonlLog,
     SegmentCorruptError,
     SegmentStore,
     SegmentStoreError,
     SegmentStoreLocked,
+    StoreLock,
+    probe_store_writer,
 )
 
 __all__ = [
+    "LeaseError",
+    "LeaseHeartbeat",
+    "LeaseHeldError",
+    "LeaseLostError",
+    "LeaseState",
+    "ShardLease",
+    "StoreLock",
+    "probe_store_writer",
     "MapDatabaseError",
     "FORMAT_VERSION",
     "canonical_record",

@@ -1,0 +1,320 @@
+"""Durable shard leases with epoch fencing and monotonic heartbeats.
+
+A fleet supervisor hands each shard to exactly one worker at a time. The
+claim is a *lease file* in the shard's store directory, built from the same
+primitives as the segment store (advisory ``flock`` around read-modify-write,
+:func:`~repro.store.durable.atomic_write_text` for every mutation), so a
+lease survives any crash in a readable state and two mutators can never
+interleave a torn write.
+
+Three invariants make takeover safe:
+
+* **Epochs fence stale owners.** Every (re)acquisition bumps ``epoch``. A
+  worker beats with the epoch it was granted; if the on-disk epoch has
+  moved on (the supervisor reassigned the shard), the beat raises
+  :class:`LeaseLostError` and the stale worker must stop touching the
+  shard. This is the classic fencing token — a wedged worker that wakes up
+  after its lease expired cannot clobber its successor's work.
+* **Heartbeats are monotonic.** ``beats`` strictly increases within an
+  epoch. Liveness is judged by *observation*: the supervisor remembers the
+  last ``(epoch, beats)`` it saw and its own clock; a counter that has not
+  advanced within the lease TTL means the owner is dead or partitioned,
+  regardless of any wall-clock skew between hosts.
+* **Progress is separate from liveness.** ``progress`` counts durably
+  finished slots and ``current_slot`` names the slot in flight. A worker
+  whose beats advance while ``progress`` stands still past the stall
+  deadline is *wedged* — alive but useless — and is reassigned just like a
+  dead one. ``current_slot`` is also how the supervisor attributes worker
+  deaths to a poisonous slot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.store.durable import atomic_write_text
+from repro.store.segments import StoreLock
+
+LEASE_NAME = "lease.json"
+LEASE_VERSION = 1
+
+#: Sentinel distinguishing "leave current_slot alone" from "clear it".
+_UNSET = object()
+
+
+class LeaseError(RuntimeError):
+    """A lease file is corrupt or was mis-used."""
+
+
+class LeaseHeldError(LeaseError):
+    """Acquisition refused: the lease is held and ``takeover`` was not set."""
+
+
+class LeaseLostError(LeaseError):
+    """The caller's epoch is no longer the lease's epoch (it was fenced)."""
+
+
+@dataclass(frozen=True)
+class LeaseState:
+    """One decoded lease file — plain data, no behavior."""
+
+    owner: str
+    epoch: int
+    state: str  # "held" | "released"
+    beats: int
+    progress: int
+    current_slot: int | None
+    pid: int | None
+    wall_time: float
+
+    @property
+    def held(self) -> bool:
+        return self.state == "held"
+
+    def as_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["v"] = LEASE_VERSION
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LeaseState":
+        if data.get("v") != LEASE_VERSION:
+            raise LeaseError(f"unsupported lease version {data.get('v')!r}")
+        return cls(
+            owner=data["owner"],
+            epoch=int(data["epoch"]),
+            state=data["state"],
+            beats=int(data["beats"]),
+            progress=int(data["progress"]),
+            current_slot=data["current_slot"],
+            pid=data["pid"],
+            wall_time=float(data["wall_time"]),
+        )
+
+
+class ShardLease:
+    """The durable lease file of one shard store directory.
+
+    All mutations take a blocking exclusive flock on a sibling lock file
+    for the duration of the read-modify-write, then replace the lease file
+    atomically — the segment-store idiom, reused. Readers never lock; the
+    atomic replace guarantees they see a whole lease or none.
+    """
+
+    def __init__(self, shard_dir: str | os.PathLike):
+        self.shard_dir = Path(shard_dir)
+        self.path = self.shard_dir / LEASE_NAME
+
+    def _mutex(self) -> StoreLock:
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        return StoreLock(
+            self.path.with_suffix(".lock"), exclusive=True, blocking=True
+        )
+
+    # -- reading -----------------------------------------------------------------
+    def read(self) -> LeaseState | None:
+        """The current lease, or ``None`` when the shard was never claimed."""
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            return LeaseState.from_dict(json.loads(raw))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise LeaseError(f"{self.path}: unreadable lease: {exc}") from exc
+
+    # -- mutations (all fenced, all atomic) --------------------------------------
+    def _write(self, state: LeaseState) -> None:
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.path, json.dumps(state.as_dict(), sort_keys=True))
+
+    def acquire(
+        self, owner: str, pid: int | None = None, takeover: bool = False
+    ) -> LeaseState:
+        """Claim the shard; returns the granted state (with its new epoch).
+
+        A lease currently ``held`` refuses a plain acquire — the supervisor
+        must *decide* the holder is dead (expired beats, reaped process)
+        and pass ``takeover=True``, which bumps the epoch and fences the
+        old owner out.
+        """
+        with self._mutex():
+            prior = self.read()
+            if prior is not None and prior.held and not takeover:
+                raise LeaseHeldError(
+                    f"{self.path}: held by {prior.owner!r} (epoch {prior.epoch}); "
+                    "pass takeover=True only after declaring the owner dead"
+                )
+            granted = LeaseState(
+                owner=owner,
+                epoch=(prior.epoch if prior is not None else 0) + 1,
+                state="held",
+                beats=0,
+                progress=prior.progress if prior is not None else 0,
+                current_slot=None,
+                pid=pid,
+                wall_time=time.time(),
+            )
+            self._write(granted)
+            return granted
+
+    def _fenced(self, owner: str, epoch: int) -> LeaseState:
+        current = self.read()
+        if current is None:
+            raise LeaseLostError(f"{self.path}: lease file vanished")
+        if current.epoch != epoch or current.owner != owner:
+            raise LeaseLostError(
+                f"{self.path}: epoch {epoch} of {owner!r} was fenced by "
+                f"epoch {current.epoch} of {current.owner!r}"
+            )
+        if not current.held:
+            raise LeaseLostError(f"{self.path}: lease was released")
+        return current
+
+    def beat(
+        self,
+        owner: str,
+        epoch: int,
+        progress: int | None = None,
+        current_slot: int | None | object = _UNSET,
+    ) -> LeaseState:
+        """Bump the heartbeat counter (fenced); optionally update progress."""
+        with self._mutex():
+            current = self._fenced(owner, epoch)
+            updated = LeaseState(
+                owner=owner,
+                epoch=epoch,
+                state="held",
+                beats=current.beats + 1,
+                progress=current.progress if progress is None else progress,
+                current_slot=(
+                    current.current_slot if current_slot is _UNSET else current_slot
+                ),
+                pid=current.pid,
+                wall_time=time.time(),
+            )
+            self._write(updated)
+            return updated
+
+    def release(self, owner: str, epoch: int) -> LeaseState:
+        """Give the shard back cleanly (graceful drain / completion)."""
+        with self._mutex():
+            current = self._fenced(owner, epoch)
+            released = LeaseState(
+                owner=owner,
+                epoch=epoch,
+                state="released",
+                beats=current.beats,
+                progress=current.progress,
+                current_slot=None,
+                pid=current.pid,
+                wall_time=time.time(),
+            )
+            self._write(released)
+            return released
+
+
+class LeaseHeartbeat:
+    """A worker's beating heart: periodic + event-driven lease beats.
+
+    The shard worker drives this from two places: a daemon thread beats
+    every ``interval`` seconds so liveness is visible *between* slots (a
+    slot takes arbitrarily long under faults), and the survey service
+    calls :meth:`notify` on every slot start/flush so ``progress`` and
+    ``current_slot`` track the journal exactly.
+
+    A beat that raises :class:`LeaseLostError` latches :attr:`lost`; the
+    worker's drain check reads it and winds down without touching the
+    store again. ``on_beat`` is the chaos seam: called with the beat
+    ordinal *before* writing, and returning ``True`` freezes the heart —
+    the process keeps running but its lease goes stale, which is exactly
+    what a partitioned or paused host looks like to the supervisor.
+    """
+
+    def __init__(
+        self,
+        lease: ShardLease,
+        owner: str,
+        epoch: int,
+        interval: float = 1.0,
+        on_beat: Callable[[int], bool] | None = None,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.lease = lease
+        self.owner = owner
+        self.epoch = epoch
+        self.interval = interval
+        self.on_beat = on_beat
+        self._mutex = threading.Lock()
+        self._wake = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._progress: int | None = None
+        self._current_slot: int | None = None
+        self._beats = 0
+        self._frozen = False
+        self.lost = False
+
+    # -- one beat ----------------------------------------------------------------
+    def _beat_once(self) -> None:
+        with self._mutex:
+            if self.lost or self._frozen:
+                return
+            self._beats += 1
+            if self.on_beat is not None and self.on_beat(self._beats):
+                self._frozen = True
+                return
+            try:
+                self.lease.beat(
+                    self.owner,
+                    self.epoch,
+                    progress=self._progress,
+                    current_slot=self._current_slot,
+                )
+            except LeaseLostError:
+                self.lost = True
+
+    def notify(
+        self, progress: int | None = None, current_slot: int | None | object = _UNSET
+    ) -> None:
+        """Record slot progress and beat immediately."""
+        with self._mutex:
+            if progress is not None:
+                self._progress = progress
+            if current_slot is not _UNSET:
+                self._current_slot = current_slot  # type: ignore[assignment]
+        self._beat_once()
+
+    # -- background thread -------------------------------------------------------
+    def _run(self) -> None:
+        while not self._wake.wait(self.interval):
+            if self.lost:
+                return
+            self._beat_once()
+
+    def start(self) -> "LeaseHeartbeat":
+        if self._thread is None:
+            self._beat_once()
+            self._thread = threading.Thread(
+                target=self._run, name="lease-heartbeat", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, release: bool = False) -> None:
+        """Stop beating; with ``release`` also give the lease back."""
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(2.0, self.interval * 4))
+            self._thread = None
+        if release and not self.lost:
+            try:
+                self.lease.release(self.owner, self.epoch)
+            except LeaseLostError:
+                self.lost = True

@@ -172,24 +172,55 @@ class JsonlLog:
         return records
 
 
-class _StoreLock:
-    """Advisory flock on the store directory; exclusive for writers."""
+class StoreLock:
+    """An advisory flock on one lock file; exclusive or shared.
 
-    def __init__(self, root: Path, exclusive: bool):
-        self.path = root / LOCK_NAME
-        self._fh = open(self.path, "a+")
-        if fcntl is None:  # pragma: no cover - non-POSIX
-            return
-        flags = (fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH) | fcntl.LOCK_NB
+    Used two ways: the segment store holds one for its whole lifetime
+    (exclusive for writers, shared for readers), and the fleet supervisor
+    *probes* a shard's lock non-destructively — a probe that fails with
+    :class:`SegmentStoreLocked` proves the worker process is still alive,
+    while :attr:`held` tells the prober it must release what it grabbed.
+
+    ``acquire`` is exception-safe: whatever goes wrong after the lock file
+    is opened (``flock`` denial, interrupt, non-POSIX surprises), the file
+    descriptor is closed before the exception propagates, so a crashed
+    acquisition never leaks an fd or a half-taken lock.
+    """
+
+    def __init__(self, path: str | os.PathLike, exclusive: bool = True, blocking: bool = False):
+        self.path = Path(path)
+        self.exclusive = exclusive
+        self.blocking = blocking
+        self._fh = None
+
+    @property
+    def held(self) -> bool:
+        """Whether *this handle* currently holds the lock."""
+        return self._fh is not None
+
+    def acquire(self) -> "StoreLock":
+        if self._fh is not None:
+            raise SegmentStoreError(f"lock {self.path} is already held by this handle")
+        fh = open(self.path, "a+")
         try:
-            fcntl.flock(self._fh.fileno(), flags)
+            if fcntl is not None:
+                flags = fcntl.LOCK_EX if self.exclusive else fcntl.LOCK_SH
+                if not self.blocking:
+                    flags |= fcntl.LOCK_NB
+                fcntl.flock(fh.fileno(), flags)
         except OSError:
-            self._fh.close()
-            mode = "exclusively" if exclusive else "for shared reading"
+            fh.close()
+            mode = "exclusively" if self.exclusive else "for shared reading"
             raise SegmentStoreLocked(
-                f"segment store {root} is already locked (wanted {mode}); "
-                "is another shard writing here?"
+                f"{self.path} is already locked (wanted {mode}); "
+                "is another process writing here?"
             ) from None
+        except BaseException:
+            # Interrupts and anything non-OSError: never leak the fd.
+            fh.close()
+            raise
+        self._fh = fh
+        return self
 
     def release(self) -> None:
         if self._fh is not None:
@@ -197,6 +228,32 @@ class _StoreLock:
                 fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
             self._fh.close()
             self._fh = None
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def probe_store_writer(root: str | os.PathLike) -> bool:
+    """Whether a live process holds ``root``'s store lock exclusively.
+
+    The supervisor's liveness cross-check before a takeover: a SIGKILLed
+    worker drops its flock instantly (the kernel releases it with the fd),
+    so a still-held exclusive lock means the old owner has not actually
+    died yet and reassigning the shard now would just hit
+    :class:`SegmentStoreLocked` in the new worker.
+    """
+    probe = StoreLock(Path(root) / LOCK_NAME, exclusive=False)
+    try:
+        probe.acquire()
+    except SegmentStoreLocked:
+        return True
+    finally:
+        if probe.held:
+            probe.release()
+    return False
 
 
 class SegmentStore:
@@ -220,7 +277,8 @@ class SegmentStore:
         self.mode = mode
         self.on_write = on_write
         self.root.mkdir(parents=True, exist_ok=True)
-        self._lock = _StoreLock(self.root, exclusive=mode == "write")
+        self._lock = StoreLock(self.root / LOCK_NAME, exclusive=mode == "write")
+        self._lock.acquire()
         self._segment: JsonlLog | None = None
         self._records: dict[str, dict[str, Any]] = {}
         try:

@@ -10,9 +10,15 @@ On top of the runner sits the crash-safe sharded service
 (:class:`ShardSpec`), durable per-slot persistence into an append-only
 segment store, checkpoint/resume after SIGKILL, per-shard failure budgets
 (:class:`FailureBudget`), and shard-store merging.
+
+Above the service sits the fleet supervisor
+(:mod:`repro.survey.supervisor`): lease-based shard ownership with
+heartbeats, dead/wedged-owner takeover, poison-slot quarantine, a per-SKU
+:class:`CircuitBreaker` over correlated failures, and graceful drain —
+all while keeping merged output byte-identical to a fault-free run.
 """
 
-from repro.survey.budget import FailureBudget
+from repro.survey.budget import CircuitBreaker, FailureBudget
 from repro.survey.runner import InstanceOutcome, SurveyReport, SurveyRunner
 from repro.survey.service import (
     MergeReport,
@@ -21,15 +27,26 @@ from repro.survey.service import (
     SurveyService,
     merge_shard_stores,
 )
+from repro.survey.supervisor import (
+    FleetReport,
+    FleetSupervisor,
+    ShardOutcome,
+    SupervisorDrill,
+)
 from repro.survey.timing import StageAggregate, aggregate_timings
 
 __all__ = [
+    "CircuitBreaker",
     "FailureBudget",
+    "FleetReport",
+    "FleetSupervisor",
     "InstanceOutcome",
     "MergeReport",
+    "ShardOutcome",
     "ShardSpec",
     "ShardSurveyReport",
     "StageAggregate",
+    "SupervisorDrill",
     "SurveyReport",
     "SurveyRunner",
     "SurveyService",

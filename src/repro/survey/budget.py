@@ -103,3 +103,65 @@ class FailureBudget:
             per_class=dict(data.get("per_class", {})),
             min_sample=data.get("min_sample", 10),
         )
+
+
+class CircuitBreaker:
+    """Per-SKU breaker over *correlated* failures across a whole fleet run.
+
+    A :class:`FailureBudget` bounds one shard; the breaker watches the
+    supervisor's view across shards. When every worker touching one SKU
+    keeps dying or aborting, the cause is almost never the slots — it is
+    the image, the SKU model, or the host — and launching takeover after
+    takeover just burns the fleet. The breaker trips on either:
+
+    * ``max_shard_failures`` — shards of one SKU that ended aborted/failed;
+    * ``max_worker_crashes`` — worker process deaths (SIGKILL, nonzero
+      exit, expired lease, stall kill) attributed to one SKU.
+
+    Once tripped for a SKU it stays open: :meth:`tripped` keeps returning
+    the reason, and the supervisor stops assigning that SKU's shards,
+    drains what is running, and reports the run as tripped instead of
+    grinding every remaining shard through its own failure budget.
+    """
+
+    def __init__(
+        self,
+        max_shard_failures: int | None = 2,
+        max_worker_crashes: int | None = 10,
+    ):
+        if max_shard_failures is not None and max_shard_failures < 1:
+            raise ValueError("max_shard_failures must be >= 1")
+        if max_worker_crashes is not None and max_worker_crashes < 1:
+            raise ValueError("max_worker_crashes must be >= 1")
+        self.max_shard_failures = max_shard_failures
+        self.max_worker_crashes = max_worker_crashes
+        self._shard_failures: Counter = Counter()
+        self._worker_crashes: Counter = Counter()
+
+    def record_shard_failure(self, sku: str) -> str | None:
+        self._shard_failures[sku] += 1
+        return self.tripped(sku)
+
+    def record_worker_crash(self, sku: str) -> str | None:
+        self._worker_crashes[sku] += 1
+        return self.tripped(sku)
+
+    def tripped(self, sku: str) -> str | None:
+        """The trip reason for ``sku``, or ``None`` while the circuit holds."""
+        if (
+            self.max_shard_failures is not None
+            and self._shard_failures[sku] >= self.max_shard_failures
+        ):
+            return (
+                f"{self._shard_failures[sku]} shards of SKU {sku} "
+                f"aborted/failed (breaker cap {self.max_shard_failures})"
+            )
+        if (
+            self.max_worker_crashes is not None
+            and self._worker_crashes[sku] >= self.max_worker_crashes
+        ):
+            return (
+                f"{self._worker_crashes[sku]} worker crashes on SKU {sku} "
+                f"(breaker cap {self.max_worker_crashes})"
+            )
+        return None

@@ -44,7 +44,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Mapping
 
 from repro.core.coremap import CoreMap
 from repro.core.errors import SlotTimeoutError, SurveyAbortedError
@@ -214,6 +214,11 @@ class InstanceOutcome:
     probe_count: int
     #: True when every dispatch attempt for this slot failed.
     failed: bool = False
+    #: True when the slot was quarantined instead of dispatched: it killed
+    #: its worker so many times (across supervisor takeovers) that mapping
+    #: it again would just murder the next owner too. Poisoned slots are
+    #: ``failed`` but never count against the shard's failure budget.
+    poisoned: bool = False
     #: Exception class name of the final failure (None on success).
     error: str | None = None
     error_message: str | None = None
@@ -241,6 +246,10 @@ class SurveyReport:
     patterns: Counter = field(default_factory=Counter)
     #: Merged fleet telemetry (None when the survey ran untraced).
     telemetry: TelemetrySnapshot | None = None
+    #: True when a graceful drain stopped the survey before every slot was
+    #: dispatched (the undispatched slots are simply absent from
+    #: ``outcomes``; a resume picks them up).
+    drained: bool = False
 
     def __post_init__(self) -> None:
         if not self.id_mappings and not self.patterns:
@@ -261,11 +270,15 @@ class SurveyReport:
 
     @property
     def n_failed(self) -> int:
-        return sum(1 for o in self.outcomes if o.failed)
+        return sum(1 for o in self.outcomes if o.failed and not o.poisoned)
+
+    @property
+    def n_poisoned(self) -> int:
+        return sum(1 for o in self.outcomes if o.poisoned)
 
     @property
     def n_mapped(self) -> int:
-        return self.n_instances - self.n_cached - self.n_failed
+        return self.n_instances - self.n_cached - self.n_failed - self.n_poisoned
 
     @property
     def n_recovered(self) -> int:
@@ -293,8 +306,8 @@ class SurveyReport:
         return [o for o in self.outcomes if o.failed]
 
     def failure_classes(self) -> Counter:
-        """Error class → count over the failed slots."""
-        return Counter(o.error for o in self.outcomes if o.failed)
+        """Error class → count over the failed (not poisoned) slots."""
+        return Counter(o.error for o in self.outcomes if o.failed and not o.poisoned)
 
     def stage_aggregates(self) -> dict[str, StageAggregate]:
         """Per-§II-stage timing over the instances actually mapped."""
@@ -480,8 +493,21 @@ class SurveyRunner:
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             return self._retry_serially(job, exc, next_attempt=2)
 
-    def _iter_jobs(self, jobs: list[_SlotJob]):
+    def _iter_jobs(self, jobs: list[_SlotJob], stop=None, slot_started=None):
         """Yield each slot's raw result as it completes, isolating failures.
+
+        ``stop`` is the graceful-drain check: polled before every serial
+        dispatch and every pool harvest. Once it returns True no *new*
+        work starts — the slot in flight finishes normally (a drain must
+        leave a journal-consistent store, and an interrupted slot would
+        just be re-run on resume anyway), queued futures are cancelled,
+        and pending serial retries are skipped (the resume re-dispatches
+        those slots from scratch). ``slot_started`` is called with the
+        slot index right before each serial dispatch — the supervisor's
+        heartbeat layer uses it to stamp ``current_slot`` on the lease so
+        worker deaths can be attributed to the slot that killed them. It
+        is *not* called on the pool path, where up to ``workers`` slots
+        are in flight at once and no single index is "current".
 
         Timeout semantics on the pool path: ``future.cancel()`` can only
         stop a slot still *queued*; a slot already running on a worker
@@ -497,6 +523,10 @@ class SurveyRunner:
         pool_size = self._pool_size(len(jobs))
         if pool_size <= 1:
             for job in jobs:
+                if stop is not None and stop():
+                    return
+                if slot_started is not None:
+                    slot_started(job.index)
                 yield self._run_slot_serial(job)
             return
 
@@ -522,8 +552,14 @@ class SurveyRunner:
             pending = []
             leaked = 0
             pool_broken = False
+            draining = False
             recycle_from: int | None = None
             for pos, (job, future) in enumerate(futures):
+                if not draining and stop is not None and stop():
+                    draining = True
+                if draining and future.cancel():
+                    # Never started — the resume re-dispatches this slot.
+                    continue
                 if pool_broken:
                     # The pool died; whatever did not finish re-runs serially.
                     if future.done() and future.exception() is None:
@@ -567,7 +603,13 @@ class SurveyRunner:
             # Don't block on leaked workers — their results are abandoned
             # and their processes exit on their own once the stall clears.
             pool.shutdown(wait=leaked == 0, cancel_futures=True)
+            if draining:
+                return
         for job, first_error in retry_queue:
+            if stop is not None and stop():
+                # Draining: pending retries are abandoned, not failed —
+                # their slots stay unjournaled and re-dispatch on resume.
+                return
             yield self._retry_serially(job, first_error, next_attempt=2)
 
     # -- survey -------------------------------------------------------------------
@@ -585,6 +627,9 @@ class SurveyRunner:
         raw_sink=None,
         prior_failures: Counter | None = None,
         planned_total: int | None = None,
+        quarantined: Mapping[int, str] | None = None,
+        stop: Callable[[], bool] | None = None,
+        slot_started: Callable[[int], None] | None = None,
     ) -> SurveyReport:
         """Map an explicit set of global fleet slots (a shard's work range).
 
@@ -599,11 +644,26 @@ class SurveyRunner:
         ``prior_failures``/``planned_total`` seed the failure-budget
         accounting on resumed shards so the budget covers the shard's whole
         lifetime, not just the current process.
+
+        ``quarantined`` maps slot indices to quarantine reasons: those
+        slots are *never dispatched* — each becomes a ``poisoned`` outcome
+        (routed through ``raw_sink`` like any terminal result) that counts
+        neither against the failure budget nor as a mapping failure. The
+        fleet supervisor quarantines a slot once it has crashed enough
+        workers that dispatching it again would only kill the next owner.
+
+        ``stop`` enables graceful drain: polled between dispatches; once
+        true, the in-flight slot finishes, nothing new starts, and the
+        report comes back with ``drained=True`` (the skipped slots simply
+        never reach ``raw_sink``, so a journal-driven resume re-dispatches
+        exactly them). ``slot_started`` fires with the slot index before
+        each serial dispatch (heartbeat ``current_slot`` stamping).
         """
         sku = self._resolve_sku(sku)
         slots = [int(index) for index in slot_indices]
         if any(index < 0 for index in slots):
             raise ValueError("slot indices must be non-negative")
+        quarantined = dict(quarantined or {})
         started = time.perf_counter()
         c_cache_hits = self.tracer.counter("survey_cache_hits_total")
         slot_counter = lambda outcome: self.tracer.counter(  # noqa: E731
@@ -619,6 +679,7 @@ class SurveyRunner:
             jobs: list[_SlotJob] = []
             config_kwargs = _config_kwargs(self.config)
             noise_kwargs = self.noise.__dict__.copy() if self.noise is not None else None
+            poisoned_raws: list[dict[str, Any]] = []
             for index in slots:
                 inst_seed = instance_seed(self.root_seed, sku, index)
                 ppin = CpuInstance.ppin_for(sku, inst_seed)
@@ -626,6 +687,19 @@ class SurveyRunner:
                     cached.append(self._cached_outcome(sku, index, inst_seed, ppin))
                     c_cache_hits.inc()
                     slot_counter("cached").inc()
+                elif index in quarantined:
+                    # Quarantined: never dispatched, recorded as poisoned.
+                    poisoned_raws.append(
+                        {
+                            "index": index,
+                            "ppin": ppin,
+                            "failed": True,
+                            "poisoned": True,
+                            "error": "PoisonedSlot",
+                            "error_message": quarantined[index],
+                            "attempts": 0,
+                        }
+                    )
                 else:
                     # Machine seed = fleet index, matching the serial survey
                     # example, so cached and fresh runs agree bit for bit.
@@ -645,9 +719,34 @@ class SurveyRunner:
                     )
 
             fresh: list[InstanceOutcome] = []
+            for raw in poisoned_raws:
+                slot_counter("poisoned").inc()
+                if raw_sink is not None:
+                    raw_sink(raw)
+                fresh.append(
+                    InstanceOutcome(
+                        sku=sku.name,
+                        index=raw["index"],
+                        ppin=raw["ppin"],
+                        cached=False,
+                        core_map=None,
+                        id_mapping=(),
+                        matches_truth=None,
+                        timings=None,
+                        probe_count=0,
+                        failed=True,
+                        poisoned=True,
+                        error=raw["error"],
+                        error_message=raw["error_message"],
+                        attempts=0,
+                    )
+                )
+
             pending_flush = 0
             stored_any = False
-            for raw in self._iter_jobs(jobs):
+            n_raws = 0
+            for raw in self._iter_jobs(jobs, stop=stop, slot_started=slot_started):
+                n_raws += 1
                 n_dispatched += 1
                 if self._tracing and raw.get("telemetry") is not None:
                     # Slot snapshots merge under the open survey span, each
@@ -725,4 +824,5 @@ class SurveyRunner:
             outcomes=outcomes,
             wall_seconds=time.perf_counter() - started,
             telemetry=self.tracer.snapshot() if self._tracing else None,
+            drained=n_raws < len(jobs),
         )

@@ -33,12 +33,13 @@ import json
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from repro.core.errors import SurveyAbortedError
 from repro.platform.skus import SkuSpec
 from repro.store.database import MapDatabase
 from repro.store.durable import atomic_write_text
+from repro.store.lease import LeaseHeartbeat
 from repro.store.segments import (
     MANIFEST_NAME,
     JsonlLog,
@@ -69,20 +70,37 @@ class ShardSpec:
 
     def __post_init__(self) -> None:
         if self.count < 1:
-            raise ValueError("shard count must be >= 1")
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
         if not 0 <= self.index < self.count:
-            raise ValueError(f"shard index must be in [0, {self.count})")
+            raise ValueError(
+                f"shard index must be in [0, {self.count}), got {self.index}"
+            )
 
     @classmethod
     def parse(cls, text: str) -> "ShardSpec":
-        """Parse the CLI spelling ``"i/N"`` (e.g. ``--shard 0/4``)."""
-        try:
-            index_text, count_text = text.split("/", 1)
-            return cls(index=int(index_text), count=int(count_text))
-        except ValueError as exc:
+        """Parse the CLI spelling ``"i/N"`` (e.g. ``--shard 0/4``).
+
+        Each malformed shape gets its own message — a fleet launcher
+        templating ``--shard {{i}}/{{N}}`` wants to know *which* variable
+        it mangled, not just that something was wrong.
+        """
+        index_text, sep, count_text = text.partition("/")
+        if not sep:
             raise ValueError(
-                f"invalid shard spec {text!r}; expected 'i/N' with 0 <= i < N"
-            ) from exc
+                f"invalid shard spec {text!r}: expected 'i/N' (e.g. '0/4')"
+            )
+        try:
+            index = int(index_text)
+            count = int(count_text)
+        except ValueError:
+            raise ValueError(
+                f"invalid shard spec {text!r}: index and count must be "
+                f"integers, got {index_text!r} and {count_text!r}"
+            ) from None
+        try:
+            return cls(index=index, count=count)
+        except ValueError as exc:
+            raise ValueError(f"invalid shard spec {text!r}: {exc}") from None
 
     def __str__(self) -> str:
         return f"{self.index}/{self.count}"
@@ -118,11 +136,19 @@ class ShardSurveyReport:
     #: Slots already finished by earlier runs (skipped via the journal).
     n_prior_done: int = 0
     n_prior_failed: int = 0
+    n_prior_poisoned: int = 0
+    #: ``completed``, or ``drained`` when a graceful stop ended the run
+    #: early (manifest stays ``running``; a resume finishes the rest).
     state: str = "completed"
 
     @property
     def n_total_finished(self) -> int:
-        return self.n_prior_done + self.n_prior_failed + self.report.n_instances
+        return (
+            self.n_prior_done
+            + self.n_prior_failed
+            + self.n_prior_poisoned
+            + self.report.n_instances
+        )
 
 
 class SurveyService:
@@ -175,7 +201,17 @@ class SurveyService:
             self.runner.tracer.snapshot().save(self.shard_dir / TELEMETRY_NAME)
 
     # -- the shard run -----------------------------------------------------------
-    def run(self, sku: SkuSpec | str, n_instances: int, resume: bool = False) -> ShardSurveyReport:
+    def run(
+        self,
+        sku: SkuSpec | str,
+        n_instances: int,
+        resume: bool = False,
+        *,
+        quarantined: Mapping[int, str] | None = None,
+        stop: Callable[[], bool] | None = None,
+        heartbeat: LeaseHeartbeat | None = None,
+        slot_started: Callable[[int], None] | None = None,
+    ) -> ShardSurveyReport:
         """Survey this shard's slice of an ``n_instances`` fleet durably.
 
         With ``resume=False`` the shard directory must not already hold a
@@ -184,6 +220,19 @@ class SurveyService:
         the remainder is dispatched. A shard whose failure budget trips is
         left in a durable ``aborted`` manifest state and the
         :class:`SurveyAbortedError` propagates.
+
+        Supervised-worker extras: ``heartbeat`` beats the shard's lease on
+        every slot start and durable flush (and from its own timer thread
+        between slots); losing the lease mid-run — the supervisor fenced
+        this worker out — reads as a drain request. ``stop`` is the
+        graceful-drain check (SIGTERM handler): when it fires, the
+        in-flight slot finishes and is journaled, telemetry checkpoints,
+        the manifest stays ``running``, and the report comes back
+        ``state="drained"`` — a subsequent ``resume=True`` run converges
+        to exactly the bytes an uninterrupted run produces. ``quarantined``
+        slots are journaled as durable ``poisoned`` entries instead of
+        being dispatched (see :meth:`SurveyRunner.survey_slots`); a slot
+        already journaled (from a prior incarnation) is never re-poisoned.
         """
         sku = self.runner._resolve_sku(sku)
         started_before = (self.shard_dir / MANIFEST_NAME).exists()
@@ -207,6 +256,9 @@ class SurveyService:
             n_prior_done = sum(
                 1 for entry in finished.values() if entry["status"] == "done"
             )
+            n_prior_poisoned = sum(
+                1 for entry in finished.values() if entry["status"] == "poisoned"
+            )
 
             # A resumed run continues the interrupted run's telemetry
             # instead of dropping it; the checkpoint file is replaced
@@ -219,14 +271,41 @@ class SurveyService:
 
             slots = self.shard.slots(n_instances)
             pending = [slot for slot in slots if slot not in finished]
+            quarantine_now = {
+                slot: reason
+                for slot, reason in (quarantined or {}).items()
+                if slot in set(pending)
+            }
             store.set_state("running")
 
             journal = JsonlLog(journal_path, on_write=self.on_write)
             sunk = 0
 
+            def effective_stop() -> bool:
+                if heartbeat is not None and heartbeat.lost:
+                    # Fenced out by the supervisor: stop touching the shard.
+                    return True
+                return stop is not None and stop()
+
+            def started(index: int) -> None:
+                if heartbeat is not None:
+                    heartbeat.notify(current_slot=index)
+                if slot_started is not None:
+                    slot_started(index)
+
             def sink(raw: dict[str, Any]) -> None:
                 nonlocal sunk
-                if raw.get("failed"):
+                if raw.get("poisoned"):
+                    journal.append(
+                        {
+                            "kind": "slot",
+                            "slot": raw["index"],
+                            "status": "poisoned",
+                            "error": raw["error"],
+                            "error_message": raw["error_message"],
+                        }
+                    )
+                elif raw.get("failed"):
                     journal.append(
                         {
                             "kind": "slot",
@@ -251,9 +330,18 @@ class SurveyService:
                         }
                     )
                 sunk += 1
+                if heartbeat is not None:
+                    # Progress is journal-derived, so takeover stall
+                    # detection measures durable work, not optimism.
+                    heartbeat.notify(
+                        progress=len(finished) + sunk, current_slot=None
+                    )
                 if sunk % self.checkpoint_every == 0:
                     self._save_telemetry()
 
+            if heartbeat is not None:
+                heartbeat.notify(progress=len(finished))
+                heartbeat.start()
             try:
                 report = self.runner.survey_slots(
                     sku,
@@ -261,29 +349,55 @@ class SurveyService:
                     raw_sink=sink,
                     prior_failures=prior_failures,
                     planned_total=len(slots),
+                    quarantined=quarantine_now,
+                    stop=effective_stop,
+                    slot_started=started,
                 )
             except SurveyAbortedError as exc:
                 journal.close()
                 self._save_telemetry()
                 store.set_state("aborted", reason=str(exc))
+                if heartbeat is not None:
+                    heartbeat.stop(release=True)
                 raise
             except BaseException:
                 # Unclean death (including KeyboardInterrupt): leave the
-                # manifest in "running" so resume knows work remains.
+                # manifest in "running" so resume knows work remains; the
+                # lease stays held — the supervisor decides when it expires.
                 journal.close()
+                if heartbeat is not None:
+                    heartbeat.stop(release=False)
                 raise
             journal.close()
             self._save_telemetry()
+            if report.drained:
+                # Graceful drain: the manifest stays "running" (work
+                # remains by definition) and the lease is released so the
+                # supervisor can reassign the shard without a takeover.
+                if heartbeat is not None:
+                    heartbeat.stop(release=True)
+                return ShardSurveyReport(
+                    shard=self.shard,
+                    report=report,
+                    store_path=self.shard_dir,
+                    n_prior_done=n_prior_done,
+                    n_prior_failed=sum(prior_failures.values()),
+                    n_prior_poisoned=n_prior_poisoned,
+                    state="drained",
+                )
             # Fold the finished shard into one canonical file so readers
             # (merge, repro-map show/list) need no segment replay.
             store.compact()
             store.set_state("completed")
+            if heartbeat is not None:
+                heartbeat.stop(release=True)
             return ShardSurveyReport(
                 shard=self.shard,
                 report=report,
                 store_path=self.shard_dir,
                 n_prior_done=n_prior_done,
                 n_prior_failed=sum(prior_failures.values()),
+                n_prior_poisoned=n_prior_poisoned,
                 state="completed",
             )
 
@@ -304,6 +418,8 @@ class MergeReport:
     missing_slots: list[int] = field(default_factory=list)
     #: Slots journaled as terminally failed (no map exists for them).
     failed_slots: list[int] = field(default_factory=list)
+    #: Slots the supervisor quarantined as poisoned (accounted, no map).
+    poisoned_slots: list[int] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -346,6 +462,8 @@ def merge_shard_stores(store_root: str | Path, out_path: str | Path) -> MergeRep
 
     report = MergeReport(out_path=out_path)
     merged: dict[str, dict[str, Any]] = {}
+    #: key → (canonical bytes, source shard dir) for conflict detection.
+    provenance: dict[str, tuple[bytes, Path]] = {}
     finished_slots: set[int] = set()
     fleets: dict[str, Any] = {}
     seen_shards: set[tuple[int, int]] = set()
@@ -372,7 +490,26 @@ def merge_shard_stores(store_root: str | Path, out_path: str | Path) -> MergeRep
                     if store.manifest.get("reason")
                     else store.state
                 )
-            merged.update(store.records())
+            for key, record in store.records().items():
+                # Duplicate keys are only legal when the records agree to
+                # the byte. A silent "last shard wins" here would let a
+                # mis-cut fleet (overlapping shard specs, a stale store
+                # directory reused with a different seed) ship half its
+                # slots from the wrong survey — fail with both paths so
+                # the operator can diff the stores.
+                blob = json.dumps(
+                    record, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+                prior = provenance.get(key)
+                if prior is not None and prior[0] != blob:
+                    raise SegmentStoreError(
+                        f"conflicting records for PPIN {key}: "
+                        f"{prior[1]} and {shard_dir} hold different "
+                        "canonical bytes; refusing to merge (were two "
+                        "incompatible shardings written into one root?)"
+                    )
+                provenance[key] = (blob, shard_dir)
+                merged[key] = record
             report.n_shards += 1
         for entry in JsonlLog.read_records(shard_dir / JOURNAL_NAME, repair=False):
             if entry.get("kind") != "slot":
@@ -380,6 +517,8 @@ def merge_shard_stores(store_root: str | Path, out_path: str | Path) -> MergeRep
             finished_slots.add(int(entry["slot"]))
             if entry["status"] == "failed":
                 report.failed_slots.append(int(entry["slot"]))
+            elif entry["status"] == "poisoned":
+                report.poisoned_slots.append(int(entry["slot"]))
 
     report.missing_shards = [
         f"{index}/{count}"
@@ -390,6 +529,7 @@ def merge_shard_stores(store_root: str | Path, out_path: str | Path) -> MergeRep
         slot for slot in range(n_instances) if slot not in finished_slots
     ]
     report.failed_slots.sort()
+    report.poisoned_slots.sort()
 
     out_path.parent.mkdir(parents=True, exist_ok=True)
     atomic_write_text(out_path, as_map_database_payload(merged))

@@ -1,0 +1,635 @@
+"""Fleet supervisor: lease-based shard ownership with automatic takeover.
+
+:class:`~repro.survey.service.SurveyService` makes one shard crash-safe;
+this module makes the *fleet* self-healing. A :class:`FleetSupervisor` owns
+an ``N``-shard survey run end to end: it claims each shard through a
+durable :class:`~repro.store.lease.ShardLease` (epoch-fenced, heartbeat
+stamped), dispatches shard *workers* as subprocesses of the ``repro-map``
+CLI, and watches three failure signals no single worker can handle for
+itself:
+
+* **dead owner** — the worker process exits without completing, or its
+  lease heartbeats go stale past ``lease_ttl`` (a SIGKILLed, OOM-killed,
+  or network-partitioned host). The supervisor reaps/kills it, bumps the
+  lease epoch (fencing any zombie), and reassigns the shard to a fresh
+  worker that resumes from the shard's journal.
+* **wedged owner** — heartbeats keep arriving but journal-derived slot
+  progress stands still past ``stall_deadline``. Alive-but-useless is
+  reassigned exactly like dead.
+* **poisoned slot** — a slot whose mapping deterministically kills its
+  worker would murder every successive owner. The supervisor attributes
+  each worker death to the lease's ``current_slot``; after
+  ``poison_after`` deaths on one slot it quarantines the slot, and the
+  next incarnation journals it as a durable ``poisoned`` outcome instead
+  of dispatching it.
+
+Because takeover just *resumes the journal*, a run interrupted by any
+combination of these faults converges to a merged store byte-identical to
+an undisturbed run — the same idempotent write-ordering argument as
+single-shard resume (DESIGN §7b), applied transitively across owners: the
+journal names exactly the slots whose canonical records are durable, every
+re-run of an unjournaled slot rewrites identical bytes from its
+global-index seed, and the epoch fence guarantees no two owners ever
+append to one store concurrently.
+
+A per-SKU :class:`~repro.survey.budget.CircuitBreaker` sits above the
+per-shard failure budgets: when shards of one SKU keep aborting or
+crashing, the fleet image itself is broken and the supervisor stops
+feeding workers into it. SIGTERM to the supervisor (or any worker) drains
+gracefully — in-flight slots finish, journals stay consistent, leases are
+released — so ``--resume``/re-``supervise`` continues cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.store.lease import LeaseError, ShardLease
+from repro.store.segments import MANIFEST_NAME, JsonlLog, probe_store_writer
+from repro.survey.budget import CircuitBreaker
+from repro.survey.service import (
+    JOURNAL_NAME,
+    MergeReport,
+    ShardSpec,
+    merge_shard_stores,
+    read_shard_manifest,
+)
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+#: Exit code a supervised worker uses when its lease was fenced away.
+EXIT_LEASE_LOST = 4
+
+
+@dataclass(frozen=True)
+class SupervisorDrill:
+    """Deterministic fault wiring for chaos drills (CI and tests).
+
+    Each knob targets one shard's *first* incarnation (takeovers run
+    clean), except ``poison_slot`` which arms every incarnation — that is
+    the point: the slot must keep killing owners until quarantined.
+    """
+
+    #: SIGKILL this shard's first worker at its Nth durable write.
+    kill_shard: int | None = None
+    kill_at_write: int = 3
+    #: Hang this shard's first worker: heartbeats freeze after B beats and
+    #: slot progress stalls after W writes — a dead host to any observer.
+    hang_shard: int | None = None
+    hang_after_beats: int = 1
+    hang_after_writes: int = 1
+    #: Wedge this shard's first worker: progress stalls, heart keeps beating.
+    stall_shard: int | None = None
+    stall_after_writes: int = 1
+    #: SIGKILL any worker the moment it starts mapping this global slot.
+    poison_slot: int | None = None
+
+
+@dataclass
+class _ShardRun:
+    """Supervisor-side mutable bookkeeping for one shard."""
+
+    spec: ShardSpec
+    state: str = "pending"
+    incarnations: int = 0
+    takeovers: int = 0
+    reason: str | None = None
+    #: slot index → worker deaths attributed to it (poison accounting).
+    crash_counts: Counter = field(default_factory=Counter)
+    quarantined: dict[int, str] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+    #: Why the next incarnation is a takeover (set when requeueing).
+    pending_reason: str | None = None
+    # -- live worker state --
+    proc: subprocess.Popen | None = None
+    log_fh: Any = None
+    owner: str | None = None
+    epoch: int = 0
+    last_beats: int = -1
+    last_progress: int = -1
+    beats_seen_at: float = 0.0
+    progress_seen_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's final standing in the fleet report."""
+
+    shard: str
+    state: str
+    incarnations: int
+    takeovers: int
+    poisoned_slots: tuple[int, ...]
+    reason: str | None
+    events: tuple[str, ...]
+
+
+@dataclass
+class FleetReport:
+    """What the supervisor did with the whole fleet."""
+
+    sku: str
+    n_instances: int
+    state: str  # completed | partial | tripped | drained
+    shards: list[ShardOutcome]
+    wall_seconds: float
+    merge: MergeReport | None = None
+
+    @property
+    def n_takeovers(self) -> int:
+        return sum(s.takeovers for s in self.shards)
+
+    @property
+    def n_poisoned(self) -> int:
+        return sum(len(s.poisoned_slots) for s in self.shards)
+
+    @property
+    def completed(self) -> bool:
+        return self.state == "completed"
+
+
+class FleetSupervisor:
+    """Runs an ``N``-shard survey with ``M`` concurrent shard workers.
+
+    Workers are subprocesses of the ``repro-map survey`` CLI in supervised
+    mode (serial per-shard mapping; the shard fan-out *is* the
+    parallelism), each fenced by the lease epoch the supervisor granted
+    it. The supervisor never touches segment stores itself — ownership is
+    expressed only through leases, and the store's own flock is used as a
+    liveness cross-check before reassignment (a freshly killed worker's
+    lock drops with its fd; a still-held lock means it has not died yet).
+    """
+
+    def __init__(
+        self,
+        store_root: str | os.PathLike,
+        sku: str,
+        n_instances: int,
+        shards: int = 1,
+        workers: int = 2,
+        root_seed: int = 0,
+        resilient: bool = True,
+        lease_ttl: float = 10.0,
+        stall_deadline: float = 60.0,
+        heartbeat_interval: float = 1.0,
+        poll_interval: float = 0.2,
+        poison_after: int = 3,
+        max_takeovers: int = 8,
+        max_failures: int | None = None,
+        max_failure_ratio: float | None = None,
+        breaker: CircuitBreaker | None = None,
+        tracer: Tracer | None = None,
+        drill: SupervisorDrill | None = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if n_instances < 0:
+            raise ValueError("n_instances must be non-negative")
+        if lease_ttl <= 0 or stall_deadline <= 0:
+            raise ValueError("lease_ttl and stall_deadline must be positive")
+        if stall_deadline < lease_ttl:
+            raise ValueError(
+                "stall_deadline must be >= lease_ttl (a stall is judged on a "
+                "lease that is still beating)"
+            )
+        if heartbeat_interval <= 0 or poll_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if poison_after < 1:
+            raise ValueError("poison_after must be >= 1")
+        if max_takeovers < 1:
+            raise ValueError("max_takeovers must be >= 1")
+        self.store_root = Path(store_root)
+        self.sku = sku
+        self.n_instances = n_instances
+        self.shards = shards
+        self.workers = workers
+        self.root_seed = root_seed
+        self.resilient = resilient
+        self.lease_ttl = lease_ttl
+        self.stall_deadline = stall_deadline
+        self.heartbeat_interval = heartbeat_interval
+        self.poll_interval = poll_interval
+        self.poison_after = poison_after
+        self.max_takeovers = max_takeovers
+        self.max_failures = max_failures
+        self.max_failure_ratio = max_failure_ratio
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.drill = drill if drill is not None else SupervisorDrill()
+        self._drain_requested = False
+        self._trip_reason: str | None = None
+        self._id = f"sup-{os.getpid()}"
+
+    # -- public control ----------------------------------------------------------
+    def request_drain(self) -> None:
+        """Ask the fleet to wind down gracefully (idempotent, signal-safe)."""
+        self._drain_requested = True
+
+    # -- worker process plumbing -------------------------------------------------
+    def _shard_dir(self, spec: ShardSpec) -> Path:
+        return self.store_root / spec.dirname()
+
+    def _lease(self, run: _ShardRun) -> ShardLease:
+        return ShardLease(self._shard_dir(run.spec))
+
+    def _worker_argv(self, run: _ShardRun) -> list[str]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.tools.map_cli",
+            "survey",
+            "--sku",
+            self.sku,
+            "-n",
+            str(self.n_instances),
+            "--root-seed",
+            str(self.root_seed),
+            "--store",
+            str(self.store_root),
+            "--shard",
+            str(run.spec),
+            "--supervised",
+            "--lease-owner",
+            str(run.owner),
+            "--lease-epoch",
+            str(run.epoch),
+            "--heartbeat-interval",
+            str(self.heartbeat_interval),
+        ]
+        if self.resilient:
+            argv.append("--resilient")
+        if self.max_failures is not None:
+            argv += ["--max-failures", str(self.max_failures)]
+        if self.max_failure_ratio is not None:
+            argv += ["--max-failure-ratio", str(self.max_failure_ratio)]
+        if run.quarantined:
+            argv += ["--quarantine", ",".join(map(str, sorted(run.quarantined)))]
+        first = run.incarnations == 0
+        drill = self.drill
+        if first and drill.kill_shard == run.spec.index:
+            argv += ["--crash-at-write", str(drill.kill_at_write)]
+        if first and drill.hang_shard == run.spec.index:
+            argv += [
+                "--drill-freeze-after",
+                str(drill.hang_after_beats),
+                "--drill-stall-after",
+                str(drill.hang_after_writes),
+            ]
+        if first and drill.stall_shard == run.spec.index:
+            argv += ["--drill-stall-after", str(drill.stall_after_writes)]
+        if drill.poison_slot is not None and run.spec.owns(drill.poison_slot):
+            # Armed on every incarnation; quarantine is what defuses it
+            # (a quarantined slot is never dispatched, so the crashpoint
+            # never fires — exactly the production contract).
+            argv += ["--drill-crash-slot", str(drill.poison_slot)]
+        return argv
+
+    def _worker_env(self) -> dict[str, str]:
+        env = dict(os.environ)
+        src_dir = str(Path(__file__).resolve().parents[2])
+        prior = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_dir + (os.pathsep + prior if prior else "")
+        return env
+
+    def _launch(self, run: _ShardRun) -> None:
+        lease = self._lease(run)
+        prior = lease.read()
+        takeover = prior is not None and prior.held
+        run.owner = f"{self._id}:shard-{run.spec}:inc-{run.incarnations + 1}"
+        granted = lease.acquire(run.owner, pid=None, takeover=takeover)
+        run.epoch = granted.epoch
+        self.tracer.counter(
+            "supervisor_leases_acquired_total", shard=str(run.spec)
+        ).inc()
+        if run.incarnations > 0:
+            run.takeovers += 1
+            self.tracer.counter(
+                "supervisor_takeovers_total",
+                shard=str(run.spec),
+                reason=run.pending_reason or "crash",
+            ).inc()
+            run.events.append(
+                f"takeover #{run.takeovers} (epoch {run.epoch}): "
+                f"{run.pending_reason or 'crash'}"
+            )
+        run.pending_reason = None
+
+        shard_dir = self._shard_dir(run.spec)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        run.log_fh = open(
+            shard_dir / f"worker-epoch-{run.epoch:04d}.log", "w", encoding="utf-8"
+        )
+        run.proc = subprocess.Popen(
+            self._worker_argv(run),
+            stdout=run.log_fh,
+            stderr=subprocess.STDOUT,
+            env=self._worker_env(),
+        )
+        run.incarnations += 1
+        run.state = "running"
+        now = time.monotonic()
+        run.last_beats = -1
+        run.last_progress = -1
+        run.beats_seen_at = now
+        run.progress_seen_at = now
+        self.tracer.counter("supervisor_workers_launched_total").inc()
+
+    def _close_worker(self, run: _ShardRun) -> None:
+        if run.log_fh is not None:
+            run.log_fh.close()
+            run.log_fh = None
+        run.proc = None
+
+    def _kill_worker(self, run: _ShardRun) -> None:
+        """SIGKILL the incarnation and wait for its store lock to drop."""
+        if run.proc is not None:
+            try:
+                run.proc.kill()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            run.proc.wait(timeout=30)
+        self._close_worker(run)
+        # The kernel drops the dead worker's flock with its last fd; poll
+        # until it is observably free so the successor cannot lose the
+        # race and die on SegmentStoreLocked.
+        deadline = time.monotonic() + 10.0
+        while probe_store_writer(self._shard_dir(run.spec)):
+            if time.monotonic() > deadline:  # pragma: no cover - defensive
+                break
+            time.sleep(0.02)
+
+    # -- failure attribution -----------------------------------------------------
+    def _journaled_slots(self, spec: ShardSpec) -> set[int]:
+        try:
+            return {
+                int(entry["slot"])
+                for entry in JsonlLog.read_records(
+                    self._shard_dir(spec) / JOURNAL_NAME, repair=False
+                )
+                if entry.get("kind") == "slot"
+            }
+        except Exception:  # pragma: no cover - torn tail mid-crash
+            return set()
+
+    def _attribute_death(self, run: _ShardRun) -> None:
+        """Charge a worker death to the slot it was mapping, if any."""
+        try:
+            state = self._lease(run).read()
+        except LeaseError:  # pragma: no cover - defensive
+            state = None
+        slot = state.current_slot if state is not None else None
+        if slot is None or slot in self._journaled_slots(run.spec):
+            # Died between slots (or after the fatal slot was journaled):
+            # nothing to poison.
+            return
+        run.crash_counts[slot] += 1
+        if (
+            run.crash_counts[slot] >= self.poison_after
+            and slot not in run.quarantined
+        ):
+            run.quarantined[slot] = (
+                f"poisoned: killed {run.crash_counts[slot]} consecutive "
+                f"workers of shard {run.spec} (quarantined by {self._id})"
+            )
+            run.events.append(
+                f"slot {slot} quarantined after {run.crash_counts[slot]} "
+                "worker deaths"
+            )
+            self.tracer.counter(
+                "supervisor_poisoned_slots_total", shard=str(run.spec)
+            ).inc()
+
+    def _record_worker_death(
+        self, run: _ShardRun, reason: str, attribute_slot: bool
+    ) -> None:
+        self.tracer.counter(
+            "supervisor_worker_crashes_total", shard=str(run.spec)
+        ).inc()
+        if attribute_slot:
+            self._attribute_death(run)
+        trip = self.breaker.record_worker_crash(self.sku)
+        if trip is not None and self._trip_reason is None:
+            self._trip_reason = trip
+        if run.takeovers + 1 >= self.max_takeovers:
+            run.state = "failed"
+            run.reason = (
+                f"{reason}; gave up after {run.incarnations} incarnations "
+                f"(max_takeovers={self.max_takeovers})"
+            )
+            run.events.append(run.reason)
+            trip = self.breaker.record_shard_failure(self.sku)
+            if trip is not None and self._trip_reason is None:
+                self._trip_reason = trip
+        else:
+            run.state = "pending"
+            run.pending_reason = reason
+
+    # -- per-tick observation ----------------------------------------------------
+    def _manifest_state(self, spec: ShardSpec) -> tuple[str, str | None]:
+        try:
+            manifest = read_shard_manifest(self._shard_dir(spec))
+        except (OSError, ValueError):
+            return "missing", None
+        return manifest.get("state", "missing"), manifest.get("reason")
+
+    def _observe_exit(self, run: _ShardRun, code: int) -> None:
+        self._close_worker(run)
+        state, reason = self._manifest_state(run.spec)
+        if code == 0 and state == "completed":
+            run.state = "completed"
+            self.tracer.counter(
+                "supervisor_shards_total", outcome="completed"
+            ).inc()
+            return
+        if code == 0 and self._drain_requested:
+            run.state = "drained"
+            run.events.append("worker drained cleanly")
+            return
+        if state == "aborted":
+            # The shard's own failure budget tripped: durable, terminal,
+            # and *not* a worker crash — takeover cannot help a shard
+            # whose slots genuinely keep failing.
+            run.state = "aborted"
+            run.reason = reason
+            run.events.append(f"aborted by failure budget: {reason}")
+            self.tracer.counter(
+                "supervisor_shards_total", outcome="aborted"
+            ).inc()
+            trip = self.breaker.record_shard_failure(self.sku)
+            if trip is not None and self._trip_reason is None:
+                self._trip_reason = trip
+            return
+        if code == EXIT_LEASE_LOST:
+            # A fenced zombie wound down on its own; its shard was already
+            # reassigned. Nothing to do — do not double-count the death.
+            run.events.append("stale worker observed its fencing and exited")
+            return
+        signal_note = (
+            f"signal {-code}" if code < 0 else f"exit {code}"
+        )
+        run.events.append(f"worker died ({signal_note})")
+        self._record_worker_death(run, "crash", True)
+
+    def _observe_liveness(self, run: _ShardRun) -> None:
+        now = time.monotonic()
+        try:
+            state = self._lease(run).read()
+        except LeaseError:  # pragma: no cover - mid-replace read
+            return
+        if state is None or state.epoch != run.epoch:
+            return
+        if state.beats > run.last_beats:
+            run.last_beats = state.beats
+            run.beats_seen_at = now
+        if state.progress > run.last_progress:
+            run.last_progress = state.progress
+            run.progress_seen_at = now
+        if now - run.beats_seen_at > self.lease_ttl:
+            run.events.append(
+                f"lease expired (no beat in {self.lease_ttl:g}s at "
+                f"beat {max(run.last_beats, 0)})"
+            )
+            self.tracer.counter(
+                "supervisor_leases_expired_total", shard=str(run.spec)
+            ).inc()
+            self._kill_worker(run)
+            self._record_worker_death(run, "lease-expired", False)
+        elif now - run.progress_seen_at > self.stall_deadline:
+            run.events.append(
+                f"stalled (no slot progress in {self.stall_deadline:g}s "
+                f"at progress {max(run.last_progress, 0)})"
+            )
+            self.tracer.counter(
+                "supervisor_stalls_total", shard=str(run.spec)
+            ).inc()
+            self._kill_worker(run)
+            self._record_worker_death(run, "stall", False)
+
+    # -- the supervision loop ----------------------------------------------------
+    def run(self) -> FleetReport:
+        """Drive every shard to a terminal state; returns the fleet report."""
+        started = time.perf_counter()
+        runs = [
+            _ShardRun(spec=ShardSpec(index, self.shards))
+            for index in range(self.shards)
+        ]
+        queue: deque[_ShardRun] = deque(runs)
+        active: list[_ShardRun] = []
+
+        with self.tracer.span(
+            "supervise",
+            sku=self.sku,
+            n_instances=self.n_instances,
+            shards=self.shards,
+            workers=self.workers,
+        ):
+            while queue or active:
+                if self._drain_requested or self._trip_reason is not None:
+                    break
+                while queue and len(active) < self.workers:
+                    run = queue.popleft()
+                    self._launch(run)
+                    active.append(run)
+                time.sleep(self.poll_interval)
+                still: list[_ShardRun] = []
+                for run in active:
+                    code = run.proc.poll() if run.proc is not None else None
+                    if code is not None:
+                        self._observe_exit(run, code)
+                    else:
+                        self._observe_liveness(run)
+                    if run.state == "running":
+                        still.append(run)
+                    elif run.state == "pending":
+                        queue.append(run)
+                active = still
+
+            if self._trip_reason is not None:
+                self.tracer.counter(
+                    "supervisor_breaker_tripped_total", sku=self.sku
+                ).inc()
+            if self._drain_requested or self._trip_reason is not None:
+                self._drain_active(active)
+                for run in queue:
+                    if run.state == "pending":
+                        run.state = "skipped" if self._trip_reason else "pending"
+
+        state = self._fleet_state(runs)
+        if self._drain_requested:
+            self.tracer.counter("supervisor_drains_total").inc()
+        return FleetReport(
+            sku=self.sku,
+            n_instances=self.n_instances,
+            state=state,
+            shards=[
+                ShardOutcome(
+                    shard=str(run.spec),
+                    state=run.state,
+                    incarnations=run.incarnations,
+                    takeovers=run.takeovers,
+                    poisoned_slots=tuple(sorted(run.quarantined)),
+                    reason=run.reason,
+                    events=tuple(run.events),
+                )
+                for run in runs
+            ],
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def _drain_active(self, active: list[_ShardRun]) -> None:
+        """SIGTERM live workers and wait for their graceful exits."""
+        for run in active:
+            if run.proc is not None:
+                try:
+                    run.proc.send_signal(signal.SIGTERM)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        deadline = time.monotonic() + max(60.0, self.stall_deadline)
+        for run in active:
+            if run.proc is None:
+                continue
+            timeout = max(1.0, deadline - time.monotonic())
+            try:
+                code = run.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                self._kill_worker(run)
+                run.state = "pending"
+                run.events.append("drain timed out; worker killed")
+                continue
+            self._observe_exit(run, code)
+            if run.state == "running":
+                run.state = "drained"
+
+    def _fleet_state(self, runs: list[_ShardRun]) -> str:
+        if self._trip_reason is not None:
+            return f"tripped: {self._trip_reason}"
+        if self._drain_requested:
+            return "drained"
+        if all(run.state == "completed" for run in runs):
+            return "completed"
+        return "partial"
+
+    # -- post-run conveniences ---------------------------------------------------
+    def merge(self, out_path: str | os.PathLike) -> MergeReport:
+        """Merge the finished shard stores into one canonical database."""
+        return merge_shard_stores(self.store_root, out_path)
+
+    def shard_manifest_states(self) -> dict[str, str]:
+        """``"i/N"`` → manifest state, for diagnostics and tests."""
+        states: dict[str, str] = {}
+        for index in range(self.shards):
+            spec = ShardSpec(index, self.shards)
+            if (self._shard_dir(spec) / MANIFEST_NAME).exists():
+                states[str(spec)] = self._manifest_state(spec)[0]
+            else:
+                states[str(spec)] = "missing"
+        return states

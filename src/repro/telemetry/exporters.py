@@ -218,6 +218,42 @@ def validate_prometheus_text(text: str) -> int:
     return count
 
 
+def parse_prometheus_samples(
+    text: str,
+) -> list[tuple[str, dict[str, str], float]]:
+    """Decode an exposition into ``(family, labels, value)`` samples.
+
+    The inverse of :func:`prometheus_text` for well-formed documents —
+    run :func:`validate_prometheus_text` first; this parser is lenient
+    (comments and blank lines are skipped, malformed lines ignored) so the
+    ``stats`` CLI can summarise whatever validated.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in _split_label_pairs(raw_labels, 0):
+                key, _, quoted = pair.partition("=")
+                labels[key] = (
+                    quoted[1:-1]
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        samples.append((match.group("name"), labels, value))
+    return samples
+
+
 def _split_label_pairs(raw: str, line_no: int) -> list[str]:
     """Split ``k="v",k2="v2"`` respecting escaped quotes inside values."""
     pairs: list[str] = []

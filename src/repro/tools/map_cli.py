@@ -22,9 +22,16 @@ Subcommands:
   fsync'd into an append-only segment store and journaled, and
   ``--resume`` continues a killed run from its journal:
   ``repro-map survey -n 1000 --store fleet/ --shard 0/4 --resume``
+* ``supervise`` — run a whole N-shard fleet under the lease-based
+  supervisor: shard workers are subprocesses, heartbeat-monitored, and
+  dead/wedged owners are SIGKILLed and reassigned (resuming from the
+  journal, byte-identically); deterministically crashing slots are
+  quarantined as ``poisoned``; SIGTERM drains the fleet gracefully:
+  ``repro-map supervise --sku 8259CL -n 64 --store fleet/ --shards 4 --workers 2``
 * ``merge`` — combine shard stores into one canonical database and flag
   gaps: ``repro-map merge --store fleet/ --out maps.json``
-* ``stats`` — validate exported telemetry and summarise it:
+* ``stats`` — validate exported telemetry and summarise it (including
+  ``supervisor_*`` counters and per-shard takeover counts when present):
   ``repro-map stats --trace spans.jsonl --metrics metrics.prom``
 
 The simulated machine stands in for a bare-metal instance; on real
@@ -35,29 +42,42 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 
 from repro.core.errors import SurveyAbortedError
 from repro.core.pipeline import MappingConfig, RetryPolicy, map_cpu
-from repro.faults.crashpoints import WriteCrashPoint
+from repro.faults.crashpoints import (
+    HeartbeatFreezePoint,
+    SlotCrashPoint,
+    StallPoint,
+    WriteCrashPoint,
+)
 from repro.faults.plan import chaos_plan
 from repro.platform.instance import CpuInstance
 from repro.platform.skus import SKU_CATALOG
 from repro.sim.factory import build_machine
 from repro.store.database import MapDatabase
-from repro.store.segments import SegmentStoreError
+from repro.store.lease import LeaseHeartbeat, ShardLease
+from repro.store.segments import MANIFEST_NAME, SegmentStoreError
 from repro.survey import (
+    CircuitBreaker,
     FailureBudget,
+    FleetSupervisor,
     ShardSpec,
+    SupervisorDrill,
     SurveyRunner,
     SurveyService,
     merge_shard_stores,
 )
+from repro.survey.supervisor import EXIT_LEASE_LOST
 from repro.telemetry import Tracer
 from repro.telemetry.aggregate import aggregate_spans
 from repro.telemetry.exporters import (
+    METRIC_PREFIX,
     TelemetrySchemaError,
+    parse_prometheus_samples,
     validate_prometheus_text,
     validate_trace_jsonl,
     write_metrics_text,
@@ -142,6 +162,21 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     if not args.store and (args.resume or args.shard != "0/1" or args.crash_at_write):
         print("--shard/--resume/--crash-at-write require --store", file=sys.stderr)
         return 2
+    if args.supervised and not args.store:
+        print("--supervised requires --store", file=sys.stderr)
+        return 2
+    if args.supervised and (not args.lease_owner or args.lease_epoch < 1):
+        print("--supervised requires --lease-owner and --lease-epoch >= 1", file=sys.stderr)
+        return 2
+    if not args.supervised and (args.lease_owner or args.lease_epoch):
+        print("--lease-owner/--lease-epoch require --supervised", file=sys.stderr)
+        return 2
+    if not args.store and (args.drill_stall_after or args.drill_crash_slot is not None):
+        print("--drill-stall-after/--drill-crash-slot require --store", file=sys.stderr)
+        return 2
+    if not args.supervised and (args.drill_freeze_after or args.quarantine):
+        print("--drill-freeze-after/--quarantine require --supervised", file=sys.stderr)
+        return 2
     try:
         shard = ShardSpec.parse(args.shard)
         budget = FailureBudget(
@@ -170,14 +205,72 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         tracer=tracer,
     )
     if args.store:
+        # Durable-write hooks compose: the kill drill and the stall drill
+        # may both be armed (a "hung host" is a stall + frozen heart).
+        write_hooks = []
+        if args.crash_at_write:
+            write_hooks.append(WriteCrashPoint(args.crash_at_write))
+        if args.drill_stall_after:
+            write_hooks.append(StallPoint(args.drill_stall_after))
+        on_write = None
+        if write_hooks:
+            on_write = lambda: [hook() for hook in write_hooks]  # noqa: E731
         service = SurveyService(
             args.store,
             shard=shard,
             runner=runner,
-            on_write=WriteCrashPoint(args.crash_at_write) if args.crash_at_write else None,
+            on_write=on_write,
+        )
+
+        heartbeat = None
+        quarantined: dict[int, str] = {}
+        resume = args.resume
+        if args.supervised:
+            # The supervisor already acquired the lease (bumping its
+            # epoch); this worker only beats with the grant it was handed.
+            heartbeat = LeaseHeartbeat(
+                ShardLease(service.shard_dir),
+                owner=args.lease_owner,
+                epoch=args.lease_epoch,
+                interval=args.heartbeat_interval,
+                on_beat=(
+                    HeartbeatFreezePoint(args.drill_freeze_after)
+                    if args.drill_freeze_after
+                    else None
+                ),
+            )
+            for part in (args.quarantine or "").split(","):
+                if part.strip():
+                    quarantined[int(part)] = (
+                        "slot quarantined by the fleet supervisor after "
+                        "repeated worker crashes"
+                    )
+            # Takeover incarnations resume implicitly; the supervisor does
+            # not track which incarnation is the first.
+            resume = resume or (service.shard_dir / MANIFEST_NAME).exists()
+
+        draining = False
+
+        def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+            nonlocal draining
+            draining = True
+
+        prior_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+        slot_started = (
+            SlotCrashPoint(args.drill_crash_slot)
+            if args.drill_crash_slot is not None
+            else None
         )
         try:
-            shard_report = service.run(args.sku, args.instances, resume=args.resume)
+            shard_report = service.run(
+                args.sku,
+                args.instances,
+                resume=resume,
+                quarantined=quarantined,
+                stop=lambda: draining,
+                heartbeat=heartbeat,
+                slot_started=slot_started,
+            )
         except SurveyAbortedError as exc:
             print(f"shard {shard} ABORTED: {exc}", file=sys.stderr)
             print(f"(recorded in {service.shard_dir}/manifest.json)", file=sys.stderr)
@@ -185,10 +278,19 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         except SegmentStoreError as exc:
             print(exc, file=sys.stderr)
             return 1
+        finally:
+            signal.signal(signal.SIGTERM, prior_handler)
+        if heartbeat is not None and heartbeat.lost:
+            print(
+                f"shard {shard}: lease fenced away mid-run; stopped cleanly",
+                file=sys.stderr,
+            )
+            return EXIT_LEASE_LOST
         report = shard_report.report
         print(
             f"shard {shard}: {shard_report.n_prior_done + shard_report.n_prior_failed} "
-            f"slots already journaled ({shard_report.n_prior_failed} failed), "
+            f"slots already journaled ({shard_report.n_prior_failed} failed, "
+            f"{shard_report.n_prior_poisoned} poisoned), "
             f"{report.n_instances} dispatched this run -> {shard_report.state}; "
             f"store: {shard_report.store_path}"
         )
@@ -242,6 +344,99 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     if db is not None:
         print(f"{len(db)} maps stored in {args.db}")
     return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    if args.sku not in SKU_CATALOG:
+        print(f"unknown SKU {args.sku!r}; choose from {sorted(SKU_CATALOG)}", file=sys.stderr)
+        return 2
+    drill = SupervisorDrill(
+        kill_shard=args.drill_kill_shard,
+        kill_at_write=args.drill_kill_at_write,
+        hang_shard=args.drill_hang_shard,
+        hang_after_beats=args.drill_hang_after_beats,
+        hang_after_writes=args.drill_hang_after_writes,
+        stall_shard=args.drill_stall_shard,
+        stall_after_writes=args.drill_stall_after_writes,
+        poison_slot=args.drill_poison_slot,
+    )
+    tracer = Tracer()
+    try:
+        supervisor = FleetSupervisor(
+            args.store,
+            args.sku,
+            args.instances,
+            shards=args.shards,
+            workers=args.workers,
+            root_seed=args.root_seed,
+            resilient=args.resilient,
+            lease_ttl=args.lease_ttl,
+            stall_deadline=args.stall_deadline,
+            heartbeat_interval=args.heartbeat_interval,
+            poll_interval=args.poll_interval,
+            poison_after=args.poison_after,
+            max_takeovers=args.max_takeovers,
+            max_failures=args.max_failures,
+            max_failure_ratio=args.max_failure_ratio,
+            breaker=CircuitBreaker(
+                max_shard_failures=args.breaker_shard_failures,
+                max_worker_crashes=args.breaker_worker_crashes,
+            ),
+            tracer=tracer,
+            drill=drill,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    prior_handler = signal.signal(
+        signal.SIGTERM, lambda signum, frame: supervisor.request_drain()
+    )
+    try:
+        fleet = supervisor.run()
+    finally:
+        signal.signal(signal.SIGTERM, prior_handler)
+
+    rows = [
+        [
+            outcome.shard,
+            outcome.state,
+            outcome.incarnations,
+            outcome.takeovers,
+            ", ".join(map(str, outcome.poisoned_slots)) or "-",
+        ]
+        for outcome in fleet.shards
+    ]
+    print(
+        format_table(
+            ["shard", "state", "incarnations", "takeovers", "poisoned slots"],
+            rows,
+            title=f"Fleet {fleet.sku} x{fleet.n_instances} -> {fleet.state} "
+                  f"({fleet.wall_seconds:.1f}s)",
+        )
+    )
+    for outcome in fleet.shards:
+        for event in outcome.events:
+            print(f"  shard {outcome.shard}: {event}")
+    if args.metrics_out:
+        n_samples = write_metrics_text(tracer.snapshot(), args.metrics_out)
+        print(f"{n_samples} metric samples written to {args.metrics_out}")
+    if args.out:
+        if fleet.completed:
+            merge = supervisor.merge(args.out)
+            print(
+                f"merged {merge.n_shards} shard stores -> {merge.out_path} "
+                f"({merge.n_records} maps, {len(merge.failed_slots)} failed, "
+                f"{len(merge.poisoned_slots)} poisoned slots)"
+            )
+        else:
+            print(
+                f"fleet ended {fleet.state}; skipping merge "
+                f"(re-run supervise to finish, then repro-map merge)",
+                file=sys.stderr,
+            )
+    if fleet.completed or fleet.state == "drained":
+        return 0
+    return 1
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
@@ -299,6 +494,33 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print(f"{args.metrics}: INVALID — {exc}", file=sys.stderr)
             return 1
         print(f"{args.metrics}: {n_samples} samples, exposition valid")
+        sup_prefix = METRIC_PREFIX + "supervisor_"
+        supervisor_samples = [
+            (name, labels, value)
+            for name, labels, value in parse_prometheus_samples(text)
+            if name.startswith(sup_prefix)
+        ]
+        if supervisor_samples:
+            rows = [
+                [
+                    name[len(METRIC_PREFIX):],
+                    ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-",
+                    f"{value:g}",
+                ]
+                for name, labels, value in supervisor_samples
+            ]
+            print(format_table(["supervisor counter", "labels", "value"], rows))
+            takeovers: dict[str, float] = {}
+            for name, labels, value in supervisor_samples:
+                if name == sup_prefix + "takeovers_total" and "shard" in labels:
+                    takeovers[labels["shard"]] = takeovers.get(labels["shard"], 0) + value
+            if takeovers:
+                print(
+                    format_table(
+                        ["shard", "takeovers"],
+                        [[shard, f"{n:g}"] for shard, n in sorted(takeovers.items())],
+                    )
+                )
     return 0
 
 
@@ -427,6 +649,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos drill: SIGKILL this process at the Nth durable store write",
     )
     p_survey.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run as a fleet-supervisor worker: beat the shard lease, honor "
+             "fencing, auto-resume takeovers (requires --lease-owner/--lease-epoch)",
+    )
+    p_survey.add_argument(
+        "--lease-owner",
+        default="",
+        metavar="TOKEN",
+        help="owner token the supervisor granted this worker's lease to",
+    )
+    p_survey.add_argument(
+        "--lease-epoch",
+        type=int,
+        default=0,
+        metavar="E",
+        help="fencing epoch of this worker's lease grant",
+    )
+    p_survey.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="seconds between background lease beats (with --supervised)",
+    )
+    p_survey.add_argument(
+        "--quarantine",
+        default="",
+        metavar="SLOTS",
+        help="comma-separated poisoned slot indices to journal without dispatching",
+    )
+    p_survey.add_argument(
+        "--drill-crash-slot",
+        type=int,
+        default=None,
+        metavar="SLOT",
+        help="chaos drill: SIGKILL this worker when it starts mapping SLOT",
+    )
+    p_survey.add_argument(
+        "--drill-stall-after",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos drill: hang after the Nth durable write (wedged worker)",
+    )
+    p_survey.add_argument(
+        "--drill-freeze-after",
+        type=int,
+        default=0,
+        metavar="B",
+        help="chaos drill: freeze lease heartbeats after B beats (dead host)",
+    )
+    p_survey.add_argument(
         "--resilient",
         action="store_true",
         help="enable in-pipeline retries, vote-based re-measurement and ILP degradation",
@@ -459,6 +734,152 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the survey's counters/gauges as a Prometheus text exposition",
     )
     p_survey.set_defaults(func=_cmd_survey)
+
+    p_sup = sub.add_parser(
+        "supervise",
+        help="run an N-shard fleet under the lease-based supervisor",
+    )
+    p_sup.add_argument("--sku", default="8259CL", help="CPU model (catalogue name)")
+    p_sup.add_argument("-n", "--instances", type=int, default=8, help="fleet size")
+    p_sup.add_argument("--store", required=True, metavar="DIR", help="shard store root")
+    p_sup.add_argument("--shards", type=int, default=2, help="fleet shard count")
+    p_sup.add_argument(
+        "--workers", type=int, default=2, help="concurrent shard worker processes"
+    )
+    p_sup.add_argument("--root-seed", type=int, default=0, help="fleet root seed")
+    p_sup.add_argument(
+        "--resilient",
+        action="store_true",
+        help="workers enable in-pipeline retries and degradation",
+    )
+    p_sup.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=10.0,
+        metavar="SEC",
+        help="declare a worker dead when its lease beats stall this long",
+    )
+    p_sup.add_argument(
+        "--stall-deadline",
+        type=float,
+        default=60.0,
+        metavar="SEC",
+        help="declare a worker wedged when slot progress stalls this long",
+    )
+    p_sup.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="lease beat interval handed to workers",
+    )
+    p_sup.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SEC",
+        help="supervisor observation loop period",
+    )
+    p_sup.add_argument(
+        "--poison-after",
+        type=int,
+        default=3,
+        metavar="K",
+        help="quarantine a slot after it kills K workers",
+    )
+    p_sup.add_argument(
+        "--max-takeovers",
+        type=int,
+        default=8,
+        metavar="T",
+        help="give up on a shard after T takeovers",
+    )
+    p_sup.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        help="per-shard failure budget: absolute failed-slot cap",
+    )
+    p_sup.add_argument(
+        "--max-failure-ratio",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="per-shard failure budget: failed fraction cap",
+    )
+    p_sup.add_argument(
+        "--breaker-shard-failures",
+        type=int,
+        default=2,
+        metavar="S",
+        help="trip the per-SKU breaker after S shards abort/fail",
+    )
+    p_sup.add_argument(
+        "--breaker-worker-crashes",
+        type=int,
+        default=10,
+        metavar="C",
+        help="trip the per-SKU breaker after C worker crashes",
+    )
+    p_sup.add_argument(
+        "--out",
+        metavar="PATH",
+        help="merge the shard stores here when the fleet completes",
+    )
+    p_sup.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="export supervisor counters as a Prometheus text exposition",
+    )
+    drills = p_sup.add_argument_group("chaos drills (deterministic fault injection)")
+    drills.add_argument(
+        "--drill-kill-shard",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="SIGKILL this shard's first worker mid-write",
+    )
+    drills.add_argument(
+        "--drill-kill-at-write",
+        type=int,
+        default=3,
+        metavar="N",
+        help="which durable write the kill drill fires at",
+    )
+    drills.add_argument(
+        "--drill-hang-shard",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="hang this shard's first worker (frozen heart + stalled progress)",
+    )
+    drills.add_argument(
+        "--drill-hang-after-beats", type=int, default=1, metavar="B",
+        help="beats before the hang drill freezes the heart",
+    )
+    drills.add_argument(
+        "--drill-hang-after-writes", type=int, default=1, metavar="W",
+        help="durable writes before the hang drill stalls progress",
+    )
+    drills.add_argument(
+        "--drill-stall-shard",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="wedge this shard's first worker (stalled progress, beating heart)",
+    )
+    drills.add_argument(
+        "--drill-stall-after-writes", type=int, default=1, metavar="W",
+        help="durable writes before the stall drill wedges the worker",
+    )
+    drills.add_argument(
+        "--drill-poison-slot",
+        type=int,
+        default=None,
+        metavar="SLOT",
+        help="make this global slot SIGKILL every worker that starts it",
+    )
+    p_sup.set_defaults(func=_cmd_supervise)
 
     p_merge = sub.add_parser("merge", help="combine shard stores into one database")
     p_merge.add_argument("--store", required=True, metavar="DIR", help="shard store root")

@@ -1,0 +1,227 @@
+"""Shard leases, epoch fencing, heartbeats — and the StoreLock beneath them.
+
+The supervisor's takeover safety rests on three mechanical facts tested
+here: a lock handle never leaks its fd (even when ``flock`` itself
+raises), a lease epoch fences every stale mutator out, and a frozen or
+fenced heartbeat is *observable* (beats stop advancing / ``lost``
+latches) rather than silently racing the new owner.
+"""
+
+import builtins
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.store.segments as segments
+from repro.store.lease import (
+    LeaseHeartbeat,
+    LeaseHeldError,
+    LeaseLostError,
+    ShardLease,
+)
+from repro.store.segments import (
+    SegmentStoreError,
+    SegmentStoreLocked,
+    StoreLock,
+    probe_store_writer,
+)
+
+
+class TestStoreLock:
+    def test_held_lifecycle(self, tmp_path):
+        lock = StoreLock(tmp_path / "l")
+        assert not lock.held
+        lock.acquire()
+        assert lock.held
+        lock.release()
+        assert not lock.held
+
+    def test_double_acquire_same_handle_rejected(self, tmp_path):
+        lock = StoreLock(tmp_path / "l").acquire()
+        with pytest.raises(SegmentStoreError, match="already held"):
+            lock.acquire()
+        lock.release()
+
+    def test_second_handle_blocked_then_freed(self, tmp_path):
+        first = StoreLock(tmp_path / "l").acquire()
+        second = StoreLock(tmp_path / "l")
+        with pytest.raises(SegmentStoreLocked):
+            second.acquire()
+        assert not second.held
+        # The failed acquire must not have leaked an fd that still holds
+        # (or blocks) the flock: releasing the real holder frees the path.
+        first.release()
+        second.acquire()
+        assert second.held
+        second.release()
+
+    def test_release_without_acquire_is_safe(self, tmp_path):
+        lock = StoreLock(tmp_path / "l")
+        lock.release()  # no-op, not an error
+        assert not lock.held
+
+    def test_acquire_closes_fd_when_flock_raises(self, tmp_path, monkeypatch):
+        captured = {}
+        real_open = builtins.open
+
+        def spy_open(path, *args, **kwargs):
+            fh = real_open(path, *args, **kwargs)
+            captured["fh"] = fh
+            return fh
+
+        def broken_flock(fd, flags):
+            raise OSError("flock refused")
+
+        monkeypatch.setattr(builtins, "open", spy_open)
+        monkeypatch.setattr(segments.fcntl, "flock", broken_flock)
+        lock = StoreLock(tmp_path / "l")
+        with pytest.raises(SegmentStoreLocked):
+            lock.acquire()
+        assert not lock.held
+        assert captured["fh"].closed
+
+    def test_crashed_holder_releases_with_its_process(self, tmp_path):
+        """SIGKILL drops the flock with the dead process's fd — the exact
+        property the supervisor's takeover relies on."""
+        lock_path = tmp_path / "l"
+        child = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import fcntl, os, signal, sys\n"
+                f"fh = open({str(lock_path)!r}, 'a+')\n"
+                "fcntl.flock(fh.fileno(), fcntl.LOCK_EX)\n"
+                "print('locked', flush=True)\n"
+                "os.kill(os.getpid(), signal.SIGKILL)\n",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        assert child.stdout.readline().strip() == "locked"
+        child.wait(timeout=30)
+        assert child.returncode == -signal.SIGKILL
+        lock = StoreLock(lock_path).acquire()
+        assert lock.held
+        lock.release()
+
+    def test_probe_store_writer(self, tmp_path):
+        (tmp_path / segments.LOCK_NAME).touch()
+        assert not probe_store_writer(tmp_path)
+        holder = StoreLock(tmp_path / segments.LOCK_NAME).acquire()
+        assert probe_store_writer(tmp_path)
+        holder.release()
+        assert not probe_store_writer(tmp_path)
+
+
+class TestShardLease:
+    def test_unclaimed_reads_none(self, tmp_path):
+        assert ShardLease(tmp_path / "shard").read() is None
+
+    def test_acquire_grants_epoch_one(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        granted = lease.acquire("worker-a", pid=123)
+        assert granted.epoch == 1
+        assert granted.beats == 0
+        assert granted.held
+        on_disk = lease.read()
+        assert on_disk == granted
+
+    def test_held_lease_refuses_plain_acquire(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        lease.acquire("worker-a")
+        with pytest.raises(LeaseHeldError, match="worker-a"):
+            lease.acquire("worker-b")
+
+    def test_takeover_bumps_epoch_and_carries_progress(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        granted = lease.acquire("worker-a")
+        lease.beat("worker-a", granted.epoch, progress=7)
+        taken = lease.acquire("worker-b", takeover=True)
+        assert taken.epoch == granted.epoch + 1
+        assert taken.progress == 7  # durable work survives the owner
+        assert taken.beats == 0
+
+    def test_fencing_rejects_stale_epoch(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        old = lease.acquire("worker-a")
+        lease.acquire("worker-b", takeover=True)
+        with pytest.raises(LeaseLostError, match="fenced"):
+            lease.beat("worker-a", old.epoch)
+        with pytest.raises(LeaseLostError, match="fenced"):
+            lease.release("worker-a", old.epoch)
+
+    def test_beats_are_monotonic_and_track_slot(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        granted = lease.acquire("worker-a")
+        one = lease.beat("worker-a", granted.epoch, current_slot=4)
+        two = lease.beat("worker-a", granted.epoch)
+        assert (one.beats, two.beats) == (1, 2)
+        assert two.current_slot == 4  # sticky until cleared
+        three = lease.beat("worker-a", granted.epoch, current_slot=None)
+        assert three.current_slot is None
+
+    def test_release_then_reacquire_without_takeover(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        granted = lease.acquire("worker-a")
+        lease.release("worker-a", granted.epoch)
+        assert not lease.read().held
+        with pytest.raises(LeaseLostError, match="released"):
+            lease.beat("worker-a", granted.epoch)
+        again = lease.acquire("worker-b")  # no takeover needed
+        assert again.epoch == granted.epoch + 1
+
+
+class TestLeaseHeartbeat:
+    def test_notify_beats_immediately(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        granted = lease.acquire("w")
+        heart = LeaseHeartbeat(lease, "w", granted.epoch, interval=60.0)
+        heart.notify(progress=3, current_slot=9)
+        state = lease.read()
+        assert state.beats == 1
+        assert state.progress == 3
+        assert state.current_slot == 9
+
+    def test_background_thread_keeps_beating(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        granted = lease.acquire("w")
+        heart = LeaseHeartbeat(lease, "w", granted.epoch, interval=0.02).start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while lease.read().beats < 3:
+                assert time.monotonic() < deadline, "heartbeat thread not beating"
+                time.sleep(0.01)
+        finally:
+            heart.stop(release=True)
+        assert not lease.read().held
+
+    def test_on_beat_freeze_stops_the_heart(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        granted = lease.acquire("w")
+        heart = LeaseHeartbeat(
+            lease, "w", granted.epoch, interval=0.02, on_beat=lambda beats: beats > 1
+        ).start()
+        try:
+            time.sleep(0.3)
+            assert lease.read().beats == 1  # froze after the first beat
+        finally:
+            heart.stop()
+        assert lease.read().held  # a frozen heart never releases
+
+    def test_fenced_heartbeat_latches_lost(self, tmp_path):
+        lease = ShardLease(tmp_path / "shard")
+        granted = lease.acquire("w")
+        heart = LeaseHeartbeat(lease, "w", granted.epoch, interval=60.0)
+        heart.notify()
+        lease.acquire("successor", takeover=True)
+        heart.notify()  # fenced: must latch, not raise
+        assert heart.lost
+        heart.stop(release=True)  # must not clobber the successor's lease
+        state = lease.read()
+        assert state.owner == "successor"
+        assert state.held

@@ -105,6 +105,66 @@ class TestPpinCache:
         assert report.n_cached == 0
 
 
+class TestQuarantineAndDrain:
+    def test_quarantined_slots_emit_poisoned_outcomes(self):
+        runner = SurveyRunner(workers=1, root_seed=ROOT_SEED, keep_going=True)
+        raws = []
+        report = runner.survey_slots(
+            XEON_8259CL,
+            [0, 1, 2],
+            raw_sink=raws.append,
+            quarantined={1: "killed 3 workers"},
+        )
+        assert report.n_poisoned == 1
+        assert report.n_failed == 0
+        assert report.n_mapped == 2
+        poisoned = [raw for raw in raws if raw.get("poisoned")]
+        assert len(poisoned) == 1
+        assert poisoned[0]["index"] == 1
+        assert poisoned[0]["error"] == "PoisonedSlot"
+        assert "killed 3 workers" in poisoned[0]["error_message"]
+        assert "PoisonedSlot" not in report.failure_classes()
+
+    def test_slot_started_hook_fires_per_dispatch(self):
+        runner = SurveyRunner(workers=1, root_seed=ROOT_SEED, keep_going=True)
+        started = []
+        runner.survey_slots(
+            XEON_8259CL, [0, 2, 4], slot_started=started.append,
+            quarantined={2: "poison"},
+        )
+        # Quarantined slots are never dispatched, so the hook never sees them.
+        assert started == [0, 4]
+
+    def test_stop_drains_without_dispatching_remainder(self):
+        runner = SurveyRunner(workers=1, root_seed=ROOT_SEED, keep_going=True)
+        checks = {"n": 0}
+
+        def stop() -> bool:
+            checks["n"] += 1
+            return checks["n"] > 1
+
+        report = runner.survey_slots(XEON_8259CL, [0, 1, 2, 3], stop=stop)
+        assert report.drained
+        assert report.n_instances == 1  # the in-flight slot finished
+
+    def test_pool_drain_flag_consistent(self):
+        """Pool mode: a queued future that cannot be cancelled still
+        completes (by design — no mid-slot interruption), so the only
+        hard invariant is that ``drained`` reflects the shortfall."""
+        runner = SurveyRunner(
+            workers=2, root_seed=ROOT_SEED, keep_going=True, clamp_to_cpus=False
+        )
+        report = runner.survey_slots(
+            XEON_8259CL, [0, 1, 2, 3, 4, 5], stop=lambda: True
+        )
+        assert report.drained == (report.n_instances < 6)
+
+    def test_no_stop_means_not_drained(self):
+        runner = SurveyRunner(workers=1, root_seed=ROOT_SEED, keep_going=True)
+        report = runner.survey_slots(XEON_8259CL, [0, 1])
+        assert not report.drained
+
+
 class TestTimingAggregation:
     def test_aggregate_timings_folds_stages(self):
         samples = [

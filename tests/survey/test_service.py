@@ -43,10 +43,25 @@ class TestShardSpec:
         assert ShardSpec.parse("2/4") == ShardSpec(index=2, count=4)
         assert str(ShardSpec.parse("0/1")) == "0/1"
 
-    @pytest.mark.parametrize("text", ["", "3", "4/4", "-1/4", "1/0", "a/b", "1/2/3"])
-    def test_parse_rejects(self, text):
-        with pytest.raises(ValueError):
+    @pytest.mark.parametrize(
+        ("text", "match"),
+        [
+            ("", "expected 'i/N'"),
+            ("3", "expected 'i/N'"),
+            ("a/b", "must be integers, got 'a' and 'b'"),
+            ("1/", "must be integers, got '1' and ''"),
+            ("1/2/3", "must be integers, got '1' and '2/3'"),
+            ("4/4", r"index must be in \[0, 4\), got 4"),
+            ("-1/4", r"index must be in \[0, 4\), got -1"),
+            ("1/0", "count must be >= 1, got 0"),
+        ],
+    )
+    def test_parse_rejects_with_specific_message(self, text, match):
+        """A fleet launcher templating ``--shard {i}/{N}`` needs to know
+        *which* variable it mangled — every malformed shape names it."""
+        with pytest.raises(ValueError, match=match) as excinfo:
             ShardSpec.parse(text)
+        assert repr(text) in str(excinfo.value)
 
     @pytest.mark.parametrize("count", [1, 2, 3, 4, 7])
     @pytest.mark.parametrize("n", [0, 1, 5, 12])
@@ -204,6 +219,108 @@ class TestSurveyService:
         assert report.failed_slots == [1]
         assert report.missing_slots == []
         assert report.n_records == 2
+
+    def test_merge_detects_conflicting_duplicate_slots(self, tmp_path):
+        """Forged conflict: two shard stores claim the same PPIN with
+        different canonical bytes. Last-wins would silently ship half a
+        mis-cut fleet — the merge must refuse and name both stores."""
+        from repro.store.segments import SegmentStore
+
+        for index, payload in enumerate(("first-survey", "second-survey")):
+            shard_dir = tmp_path / "store" / ShardSpec(index, 2).dirname()
+            with SegmentStore(shard_dir) as store:
+                store.set_fleet(
+                    {
+                        "sku": "8259CL",
+                        "n_instances": 2,
+                        "root_seed": ROOT_SEED,
+                        "shard": ShardSpec(index, 2).as_dict(),
+                    }
+                )
+                store.set_state("running")
+                store.append_map(0xDEAD, {"forged": payload})
+                store.set_state("completed")
+        with pytest.raises(SegmentStoreError, match="conflicting records") as excinfo:
+            merge_shard_stores(tmp_path / "store", tmp_path / "merged.json")
+        message = str(excinfo.value)
+        assert "shard-0000-of-0002" in message
+        assert "shard-0001-of-0002" in message
+
+    def test_merge_accepts_byte_identical_duplicates(self, tmp_path):
+        """The same slot surveyed twice (overlapping resumes) is legal as
+        long as the records agree to the byte."""
+        from repro.store.segments import SegmentStore
+
+        for index in range(2):
+            shard_dir = tmp_path / "store" / ShardSpec(index, 2).dirname()
+            with SegmentStore(shard_dir) as store:
+                store.set_fleet(
+                    {
+                        "sku": "8259CL",
+                        "n_instances": 2,
+                        "root_seed": ROOT_SEED,
+                        "shard": ShardSpec(index, 2).as_dict(),
+                    }
+                )
+                store.set_state("running")
+                store.append_map(0xDEAD, {"agreed": True})
+                store.set_state("completed")
+        report = merge_shard_stores(tmp_path / "store", tmp_path / "merged.json")
+        assert report.n_records == 1
+
+    def test_quarantined_slot_journaled_poisoned(self, tmp_path):
+        service = SurveyService(tmp_path / "store", runner=_runner())
+        result = service.run(
+            XEON_8259CL, 3, quarantined={1: "killed 3 workers in a row"}
+        )
+        assert result.state == "completed"
+        assert result.report.n_poisoned == 1
+        assert result.report.n_failed == 0  # poison is not budget failure
+        assert result.report.n_instances == 3
+
+        # The quarantine is durable: a resume never re-dispatches it...
+        resumed = SurveyService(tmp_path / "store", runner=_runner()).run(
+            XEON_8259CL, 3, resume=True
+        )
+        assert resumed.report.n_instances == 0
+        assert resumed.n_prior_poisoned == 1
+        # ...and the merge accounts it as poisoned, not missing.
+        report = merge_shard_stores(tmp_path / "store", tmp_path / "merged.json")
+        assert report.poisoned_slots == [1]
+        assert report.missing_slots == []
+        assert report.n_records == 2
+
+    def test_stop_drains_after_inflight_slot(self, tmp_path):
+        """A graceful stop finishes the slot in flight, journals it, and
+        leaves a resumable ``running`` manifest; resume converges to the
+        same bytes as an uninterrupted run."""
+        SurveyService(tmp_path / "whole", runner=_runner()).run(XEON_8259CL, 3)
+        merge_shard_stores(tmp_path / "whole", tmp_path / "whole.json")
+
+        checks = {"n": 0}
+
+        def stop() -> bool:
+            checks["n"] += 1
+            return checks["n"] > 1  # allow exactly one dispatch
+
+        result = SurveyService(tmp_path / "store", runner=_runner()).run(
+            XEON_8259CL, 3, stop=stop
+        )
+        assert result.state == "drained"
+        assert result.report.drained
+        assert result.report.n_instances == 1
+        manifest = read_shard_manifest(tmp_path / "store" / "shard-0000-of-0001")
+        assert manifest["state"] == "running"
+
+        resumed = SurveyService(tmp_path / "store", runner=_runner()).run(
+            XEON_8259CL, 3, resume=True
+        )
+        assert resumed.state == "completed"
+        assert resumed.n_prior_done == 1
+        merge_shard_stores(tmp_path / "store", tmp_path / "drained.json")
+        assert (tmp_path / "drained.json").read_bytes() == (
+            tmp_path / "whole.json"
+        ).read_bytes()
 
     def test_telemetry_checkpoint_survives_resume(self, tmp_path):
         tracer = Tracer()

@@ -1,0 +1,234 @@
+"""Fleet supervisor chaos drills (ISSUE PR8, acceptance scenarios).
+
+The headline guarantees under test, each against real subprocess workers:
+
+* a shard worker SIGKILLed mid-write *and* a shard whose heartbeats
+  freeze are both detected, killed, and reassigned — and the merged fleet
+  output is byte-identical to a fault-free unsupervised run;
+* a slot that deterministically SIGKILLs every owner is quarantined as a
+  durable ``poisoned`` outcome after K takeovers, without blocking the
+  rest of its shard or the fleet;
+* correlated failures trip the per-SKU circuit breaker instead of
+  grinding through takeover after takeover.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.store.segments import JsonlLog
+from repro.survey import CircuitBreaker, FleetSupervisor, SupervisorDrill
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+FLEET = [
+    "--sku",
+    "8259CL",
+    "-n",
+    "6",
+    "--root-seed",
+    "11",
+    "--resilient",
+]
+FAST = [
+    "--heartbeat-interval",
+    "0.2",
+    "--poll-interval",
+    "0.1",
+    "--lease-ttl",
+    "3",
+    "--stall-deadline",
+    "30",
+]
+
+
+def _cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tools.map_cli", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def _journal_statuses(store_root: Path) -> dict[int, str]:
+    statuses: dict[int, str] = {}
+    for journal in store_root.glob("shard-*-of-*/journal.jsonl"):
+        for entry in JsonlLog.read_records(journal, repair=False):
+            if entry.get("kind") == "slot":
+                statuses[int(entry["slot"])] = entry["status"]
+    return statuses
+
+
+class TestSupervisorConfig:
+    def test_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError, match="shards"):
+            FleetSupervisor(tmp_path, "8259CL", 4, shards=0)
+        with pytest.raises(ValueError, match="stall_deadline"):
+            FleetSupervisor(tmp_path, "8259CL", 4, lease_ttl=10, stall_deadline=5)
+        with pytest.raises(ValueError, match="poison_after"):
+            FleetSupervisor(tmp_path, "8259CL", 4, poison_after=0)
+
+    def test_drill_defaults_inert(self):
+        drill = SupervisorDrill()
+        assert drill.kill_shard is None
+        assert drill.hang_shard is None
+        assert drill.stall_shard is None
+        assert drill.poison_slot is None
+
+
+class TestCircuitBreaker:
+    def test_trips_on_shard_failures(self):
+        breaker = CircuitBreaker(max_shard_failures=2, max_worker_crashes=None)
+        assert breaker.record_shard_failure("A") is None
+        reason = breaker.record_shard_failure("A")
+        assert "2 shards of SKU A" in reason
+        assert breaker.tripped("A") is not None  # stays open
+        assert breaker.tripped("B") is None  # per-SKU isolation
+
+    def test_trips_on_worker_crashes(self):
+        breaker = CircuitBreaker(max_shard_failures=None, max_worker_crashes=3)
+        for _ in range(2):
+            assert breaker.record_worker_crash("A") is None
+        assert "3 worker crashes" in breaker.record_worker_crash("A")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(max_shard_failures=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(max_worker_crashes=0)
+
+
+@pytest.fixture(scope="module")
+def chaos(tmp_path_factory):
+    """The acceptance drill: a fault-free unsupervised reference, then a
+    supervised fleet where shard 0's worker is SIGKILLed mid-write and
+    shard 1's worker hangs with a frozen heart."""
+    root = tmp_path_factory.mktemp("supervise_chaos")
+
+    for shard in ("0/2", "1/2"):
+        ref = _cli("survey", *FLEET, "--store", str(root / "ref"), "--shard", shard)
+        assert ref.returncode == 0, ref.stderr
+    merged_ref = _cli("merge", "--store", str(root / "ref"), "--out", str(root / "ref.json"))
+    assert merged_ref.returncode == 0, merged_ref.stderr
+
+    supervised = _cli(
+        "supervise",
+        *FLEET,
+        *FAST,
+        "--store",
+        str(root / "chaos"),
+        "--shards",
+        "2",
+        "--workers",
+        "2",
+        "--drill-kill-shard",
+        "0",
+        "--drill-kill-at-write",
+        "2",
+        "--drill-hang-shard",
+        "1",
+        "--out",
+        str(root / "chaos.json"),
+        "--metrics-out",
+        str(root / "chaos.prom"),
+    )
+    return root, supervised
+
+
+class TestChaosDrill:
+    def test_supervised_fleet_completes(self, chaos):
+        _, supervised = chaos
+        assert supervised.returncode == 0, supervised.stderr + supervised.stdout
+        assert "-> completed" in supervised.stdout
+
+    def test_both_failure_modes_took_over(self, chaos):
+        _, supervised = chaos
+        assert "worker died (signal 9)" in supervised.stdout
+        assert "lease expired" in supervised.stdout
+        # Each shard needed exactly one takeover.
+        assert supervised.stdout.count("takeover #1") == 2
+
+    def test_merged_output_byte_identical_to_reference(self, chaos):
+        """The headline guarantee: takeover resumes the journal, so a
+        fleet that lost a worker mid-write and a worker to a dead host
+        still produces the exact bytes of an undisturbed run."""
+        root, _ = chaos
+        assert (root / "chaos.json").read_bytes() == (root / "ref.json").read_bytes()
+
+    def test_metrics_capture_takeovers_and_stats_renders_them(self, chaos):
+        root, _ = chaos
+        text = (root / "chaos.prom").read_text()
+        assert 'repro_supervisor_takeovers_total{reason="crash",shard="0/2"} 1' in text
+        assert (
+            'repro_supervisor_takeovers_total{reason="lease-expired",shard="1/2"} 1'
+            in text
+        )
+        stats = _cli("stats", "--metrics", str(root / "chaos.prom"))
+        assert stats.returncode == 0, stats.stderr
+        assert "supervisor_takeovers_total" in stats.stdout
+        assert "takeovers" in stats.stdout
+
+
+class TestPoisonQuarantine:
+    def test_poison_slot_quarantined_after_k_takeovers(self, tmp_path):
+        """Global slot 3 SIGKILLs every worker that starts it; after
+        K=2 deaths the supervisor quarantines it and the fleet finishes
+        with every other slot mapped."""
+        out = _cli(
+            "supervise",
+            *FLEET,
+            *FAST,
+            "--store",
+            str(tmp_path / "store"),
+            "--shards",
+            "2",
+            "--workers",
+            "2",
+            "--poison-after",
+            "2",
+            "--breaker-worker-crashes",
+            "20",
+            "--drill-poison-slot",
+            "3",
+            "--out",
+            str(tmp_path / "merged.json"),
+        )
+        assert out.returncode == 0, out.stderr + out.stdout
+        assert "quarantined after 2 worker deaths" in out.stdout
+        assert "1 poisoned slots" in out.stdout
+        statuses = _journal_statuses(tmp_path / "store")
+        assert statuses[3] == "poisoned"
+        assert sorted(statuses) == [0, 1, 2, 3, 4, 5]
+        assert all(s == "done" for slot, s in statuses.items() if slot != 3)
+
+
+class TestBreaker:
+    def test_correlated_crashes_trip_the_breaker(self, tmp_path):
+        """With the quarantine threshold out of reach, a poison slot's
+        repeated kills must open the per-SKU breaker rather than burn
+        max_takeovers incarnations."""
+        out = _cli(
+            "supervise",
+            *FLEET,
+            *FAST,
+            "--store",
+            str(tmp_path / "store"),
+            "--shards",
+            "2",
+            "--workers",
+            "2",
+            "--poison-after",
+            "5",
+            "--breaker-worker-crashes",
+            "2",
+            "--drill-poison-slot",
+            "3",
+        )
+        assert out.returncode == 1
+        assert "tripped: 2 worker crashes on SKU 8259CL" in out.stdout
