@@ -18,11 +18,19 @@ One :func:`run_bench` call produces one schema-validated record for
   (``cha_mapping``, ``home_discovery``, ``colocation``, ``probe``,
   ``solve``, ``ilp_solve``) into the record, the span names DESIGN.md's
   "Hot paths" section maps to each optimization.
+* **Solver portfolio** — the same fleet is solved twice more with the
+  pattern cache disabled so only the solver layer differs: once on the
+  default backend with the solver-era flags (``fast_model_build``,
+  ``incremental_resolve``) off, once under ``solver="portfolio"`` with
+  them on. The summed ``solve``-span seconds feed the optional
+  ``solver_speedup`` ratio; old bench files without the field still
+  validate.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import subprocess
 import time
 from datetime import datetime, timezone
@@ -31,7 +39,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.pipeline import map_cpu
+from repro.core.pipeline import MappingConfig, map_cpu
 from repro.perf import FLAGS, clear_caches, legacy_flags, use_flags
 from repro.platform.skus import SKU_CATALOG
 from repro.sim.snapshot import machine_from_snapshot
@@ -69,9 +77,32 @@ _REQUIRED_FIELDS: dict[str, type] = {
     "spans": dict,
 }
 
+#: Fields added after schema v1 shipped. Validated when present, never
+#: required, so bench files written before the solver portfolio landed
+#: still re-validate on append.
+_OPTIONAL_FIELDS: dict[str, type] = {
+    "solver_default_solve_seconds": float,
+    "solver_portfolio_solve_seconds": float,
+    "solver_speedup": float,
+}
+
 
 class BenchSchemaError(ValueError):
     """A bench record does not match the published schema."""
+
+
+def _check_field(record: dict[str, Any], name: str, kind: type) -> None:
+    value = record[name]
+    if kind is float:
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif kind is int:
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    else:
+        ok = isinstance(value, kind)
+    if not ok:
+        raise BenchSchemaError(
+            f"bench field {name!r} must be {kind.__name__}, got {type(value).__name__}"
+        )
 
 
 class BenchRegressionError(RuntimeError):
@@ -138,6 +169,60 @@ def _span_quantiles(sku_name: str, seed: int) -> dict[str, dict[str, float]]:
     return out
 
 
+def _solver_solve_seconds(
+    sku_name: str, fleet_size: int, root_seed: int, solver: str | None
+) -> float:
+    """Summed ``solve``-span seconds for one pass over the bench fleet."""
+    total = 0.0
+    config = MappingConfig(solver=solver) if solver is not None else None
+    for i in range(fleet_size):
+        tracer = Tracer()
+        machine = machine_from_snapshot(sku_name, root_seed + i, root_seed + i)
+        map_cpu(machine, config, tracer=tracer)
+        total += sum(
+            float(span["duration_seconds"])
+            for span in tracer.spans
+            if span["name"] == "solve"
+        )
+    return total
+
+
+#: Repeats per solver arm; each arm reports its best pass so transient
+#: scheduler noise (this bench shares a box with the test suite in CI)
+#: cannot fake a speedup or a regression.
+_SOLVER_ARM_REPEATS = 4
+
+
+def _solver_arms(
+    sku_name: str, fleet_size: int, root_seed: int
+) -> tuple[float, float]:
+    """Time the default backend against the portfolio on the same fleet.
+
+    Both arms run with ``warm_start`` off so the pattern cache cannot hand
+    either side a pre-solved answer; the default arm additionally turns off
+    the solver-era build flags, which is exactly the pre-portfolio hot path.
+    Each arm is the best of ``_SOLVER_ARM_REPEATS`` passes.
+    """
+    default_wall = math.inf
+    portfolio_wall = math.inf
+    for _ in range(_SOLVER_ARM_REPEATS):
+        with use_flags(
+            warm_start=False, fast_model_build=False, incremental_resolve=False
+        ):
+            clear_caches()
+            default_wall = min(
+                default_wall,
+                _solver_solve_seconds(sku_name, fleet_size, root_seed, None),
+            )
+        with use_flags(warm_start=False):
+            clear_caches()
+            portfolio_wall = min(
+                portfolio_wall,
+                _solver_solve_seconds(sku_name, fleet_size, root_seed, "portfolio"),
+            )
+    return default_wall, portfolio_wall
+
+
 def run_bench(
     sku: str = "8259CL",
     fleet_size: int = 6,
@@ -172,6 +257,9 @@ def run_bench(
     pattern_hits = PATTERN_CACHE.hits
 
     spans = _span_quantiles(sku, identity_seed)
+    solver_default_wall, solver_portfolio_wall = _solver_arms(
+        sku, fleet_size, root_seed
+    )
     ipm = lambda wall: fleet_size * 60.0 / wall  # noqa: E731
 
     record: dict[str, Any] = {
@@ -189,6 +277,9 @@ def run_bench(
         "evset_cache_hits": int(evset_hits),
         "pattern_cache_hits": int(pattern_hits),
         "spans": spans,
+        "solver_default_solve_seconds": round(solver_default_wall, 4),
+        "solver_portfolio_solve_seconds": round(solver_portfolio_wall, 4),
+        "solver_speedup": round(solver_default_wall / solver_portfolio_wall, 3),
     }
     validate_record(record)
     return record
@@ -202,17 +293,10 @@ def validate_record(record: dict[str, Any]) -> None:
     for name, kind in _REQUIRED_FIELDS.items():
         if name not in record:
             raise BenchSchemaError(f"bench record missing field {name!r}")
-        value = record[name]
-        if kind is float:
-            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
-        elif kind is int:
-            ok = isinstance(value, int) and not isinstance(value, bool)
-        else:
-            ok = isinstance(value, kind)
-        if not ok:
-            raise BenchSchemaError(
-                f"bench field {name!r} must be {kind.__name__}, got {type(value).__name__}"
-            )
+        _check_field(record, name, kind)
+    for name, kind in _OPTIONAL_FIELDS.items():
+        if name in record:
+            _check_field(record, name, kind)
     if record["schema_version"] != BENCH_SCHEMA_VERSION:
         raise BenchSchemaError(
             f"unsupported schema_version {record['schema_version']}"
@@ -221,8 +305,8 @@ def validate_record(record: dict[str, Any]) -> None:
         for field in ("count", "p50_seconds", "p95_seconds"):
             if field not in stats:
                 raise BenchSchemaError(f"span {span_name!r} missing {field!r}")
-    for ratio in ("speedup_cold", "speedup_warm"):
-        if record[ratio] <= 0:
+    for ratio in ("speedup_cold", "speedup_warm", "solver_speedup"):
+        if ratio in record and record[ratio] <= 0:
             raise BenchSchemaError(f"{ratio} must be positive")
 
 
@@ -269,7 +353,11 @@ def check_regression(
         return
     if not 0.0 < max_regression < 1.0:
         raise ValueError("max_regression must be in (0, 1)")
-    for ratio in ("speedup_cold", "speedup_warm"):
+    ratios = ["speedup_cold", "speedup_warm"]
+    if "solver_speedup" in record and "solver_speedup" in baseline:
+        # Optional field: only comparable once both sides measured it.
+        ratios.append("solver_speedup")
+    for ratio in ratios:
         floor = baseline[ratio] * (1.0 - max_regression)
         if record[ratio] < floor:
             raise BenchRegressionError(

@@ -39,11 +39,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.errors import ReconstructionInfeasible
+from repro.core.errors import MappingError, ReconstructionInfeasible
 from repro.core.observations import PathObservation
-from repro.ilp.model import Model, Variable, lin_sum
+from repro.ilp.model import Model, Sense, Variable, lin_sum
 from repro.mesh.geometry import GridSpec
+from repro.perf import FLAGS
 from repro.util.dsu import DisjointSets
+
+
+def _acc(pairs) -> dict[int, float]:
+    """Accumulate (var index, coeff) terms into one dict, preserving order.
+
+    This is the fast-build replacement for a ``LinearExpr`` operator chain.
+    It must reproduce the chain's coefficient dict exactly — same insertion
+    order, and explicit ``0.0`` entries when two terms hit the same class
+    variable — because the sparse lowering walks the dict in insertion
+    order and bit-identity of the solve depends on it.
+    """
+    coeffs: dict[int, float] = {}
+    for idx, coeff in pairs:
+        coeffs[idx] = coeffs.get(idx, 0.0) + coeff
+    return coeffs
 
 
 @dataclass
@@ -72,6 +88,22 @@ class IlpLayout:
     col_onehots: dict[tuple[int, int], Variable] = field(default_factory=dict)
     #: Route exclusions already added (observation index, excluded CHA).
     exclusions: set[tuple[int, int]] = field(default_factory=set)
+    #: Per-build-constraint provenance: the observation index the row came
+    #: from, or None for structural rows (strictness, distinctness,
+    #: one-hots, indicators). Parallel to ``model.constraints`` at build
+    #: time; refinement-added rows are not covered (they lie beyond
+    #: ``n_build_constraints``).
+    constraint_tags: list[int | None] | None = None
+    #: Observation indices whose NE/NW guard pair other observations share.
+    guard_creators: frozenset[int] = frozenset()
+    #: Column-class strictness pairs the model encodes.
+    strict_pairs: frozenset[tuple[int, int]] = frozenset()
+    #: Sizes of the model as built, before refinement appended anything.
+    n_build_variables: int = 0
+    n_build_constraints: int = 0
+    #: The endpoint (core-carrying) CHA set the build used.
+    endpoints: frozenset[int] = frozenset()
+    n_chas: int = 0
 
     def row_var(self, cha: int) -> Variable:
         return self.row_vars[self.row_class_of[cha]]
@@ -140,33 +172,80 @@ def build_layout_model(
     def cv(cha: int) -> Variable:
         return col_vars[col_class_of[cha]]
 
+    # Fast build path: emit each constraint's coefficient dict directly
+    # instead of running the LinearExpr operator chain (which allocates an
+    # intermediate dict per `+`/`-`). Rows are identical either way — see
+    # _acc for the order/zero-entry contract — and the legacy operator
+    # lines stay in-tree for the bit-identity tests and for bisection.
+    fast = FLAGS.fast_model_build
+    rvi = {cha: row_vars[row_class_of[cha]].index for cha in observed}
+    cvi = {cha: col_vars[col_class_of[cha]].index for cha in observed}
+    tags: list[int | None] = []
+
     # -- alignment constraints (explicit only in the faithful full model) ------
     if not reduce:
         for p, obs in enumerate(observations):
             for v in sorted(obs.vertical_observers):
-                model.add_constraint(
-                    (cv(v) - cv(obs.source_cha)).make_eq(0), name=f"align_col_p{p}_cha{v}"
-                )
+                if fast:
+                    model.add_row(
+                        _acc([(cvi[v], 1.0), (cvi[obs.source_cha], -1.0)]),
+                        0.0, Sense.EQ, name=f"align_col_p{p}_cha{v}",
+                    )
+                else:
+                    model.add_constraint(
+                        (cv(v) - cv(obs.source_cha)).make_eq(0), name=f"align_col_p{p}_cha{v}"
+                    )
+                tags.append(p)
             for h in sorted(obs.horizontal):
-                model.add_constraint(
-                    (rv(h) - rv(obs.sink_cha)).make_eq(0), name=f"align_row_p{p}_cha{h}"
-                )
+                if fast:
+                    model.add_row(
+                        _acc([(rvi[h], 1.0), (rvi[obs.sink_cha], -1.0)]),
+                        0.0, Sense.EQ, name=f"align_row_p{p}_cha{h}",
+                    )
+                else:
+                    model.add_constraint(
+                        (rv(h) - rv(obs.sink_cha)).make_eq(0), name=f"align_row_p{p}_cha{h}"
+                    )
+                tags.append(p)
 
     # -- vertical bounding boxes -------------------------------------------------
     for p, obs in enumerate(observations):
         s, e = obs.source_cha, obs.sink_cha
         for k in sorted(obs.up):
             # Upward travel: row indices shrink toward the sink.
-            model.add_constraint(rv(s) - rv(k) >= 1, name=f"vbox_up_s_p{p}_cha{k}")
-            model.add_constraint(rv(k) - rv(e) >= 0, name=f"vbox_up_e_p{p}_cha{k}")
+            if fast:
+                model.add_row(
+                    _acc([(rvi[s], 1.0), (rvi[k], -1.0)]),
+                    -1.0, Sense.GE, name=f"vbox_up_s_p{p}_cha{k}",
+                )
+                model.add_row(
+                    _acc([(rvi[k], 1.0), (rvi[e], -1.0)]),
+                    0.0, Sense.GE, name=f"vbox_up_e_p{p}_cha{k}",
+                )
+            else:
+                model.add_constraint(rv(s) - rv(k) >= 1, name=f"vbox_up_s_p{p}_cha{k}")
+                model.add_constraint(rv(k) - rv(e) >= 0, name=f"vbox_up_e_p{p}_cha{k}")
+            tags.extend((p, p))
         for k in sorted(obs.down):
-            model.add_constraint(rv(k) - rv(s) >= 1, name=f"vbox_dn_s_p{p}_cha{k}")
-            model.add_constraint(rv(e) - rv(k) >= 0, name=f"vbox_dn_e_p{p}_cha{k}")
+            if fast:
+                model.add_row(
+                    _acc([(rvi[k], 1.0), (rvi[s], -1.0)]),
+                    -1.0, Sense.GE, name=f"vbox_dn_s_p{p}_cha{k}",
+                )
+                model.add_row(
+                    _acc([(rvi[e], 1.0), (rvi[k], -1.0)]),
+                    0.0, Sense.GE, name=f"vbox_dn_e_p{p}_cha{k}",
+                )
+            else:
+                model.add_constraint(rv(k) - rv(s) >= 1, name=f"vbox_dn_s_p{p}_cha{k}")
+                model.add_constraint(rv(e) - rv(k) >= 0, name=f"vbox_dn_e_p{p}_cha{k}")
+            tags.extend((p, p))
 
     # -- horizontal bounding boxes with NE/NW direction guards --------------------
     n_guards = 0
     guards: dict[int, tuple[Variable, Variable]] = {}
     signature_guards: dict[tuple, tuple[Variable, Variable]] = {}
+    creators: set[int] = set()
     for p, obs in enumerate(observations):
         if not obs.has_horizontal or obs.sink_reached_vertically:
             continue
@@ -186,17 +265,56 @@ def build_layout_model(
         nw = model.add_binary(f"NW_p{p}")
         guards[p] = (ne, nw)
         signature_guards[signature] = (ne, nw)
+        creators.add(p)
         n_guards += 1
-        model.add_constraint((ne + nw).make_eq(1), name=f"dir_p{p}")
-        # Eastbound set (active when NE == 0): columns grow source → sink.
-        model.add_constraint(cv(e) - cv(s) + big_m * ne >= 1, name=f"hbox_e_ends_p{p}")
-        # Westbound set (active when NW == 0): columns shrink source → sink.
-        model.add_constraint(cv(s) - cv(e) + big_m * nw >= 1, name=f"hbox_w_ends_p{p}")
-        for k in intermediates:
-            model.add_constraint(cv(k) - cv(s) + big_m * ne >= 0, name=f"hbox_e_sk_p{p}_{k}")
-            model.add_constraint(cv(e) - cv(k) + big_m * ne >= 1, name=f"hbox_e_ke_p{p}_{k}")
-            model.add_constraint(cv(s) - cv(k) + big_m * nw >= 0, name=f"hbox_w_sk_p{p}_{k}")
-            model.add_constraint(cv(k) - cv(e) + big_m * nw >= 1, name=f"hbox_w_ke_p{p}_{k}")
+        if fast:
+            bm = float(big_m)
+            nei, nwi = ne.index, nw.index
+            si, ei = cvi[s], cvi[e]
+            model.add_row({nei: 1.0, nwi: 1.0}, -1.0, Sense.EQ, name=f"dir_p{p}")
+            # Eastbound set (active when NE == 0): columns grow source → sink.
+            model.add_row(
+                _acc([(ei, 1.0), (si, -1.0), (nei, bm)]),
+                -1.0, Sense.GE, name=f"hbox_e_ends_p{p}",
+            )
+            # Westbound set (active when NW == 0): columns shrink source → sink.
+            model.add_row(
+                _acc([(si, 1.0), (ei, -1.0), (nwi, bm)]),
+                -1.0, Sense.GE, name=f"hbox_w_ends_p{p}",
+            )
+            tags.extend((p, p, p))
+            for k in intermediates:
+                ki = cvi[k]
+                model.add_row(
+                    _acc([(ki, 1.0), (si, -1.0), (nei, bm)]),
+                    0.0, Sense.GE, name=f"hbox_e_sk_p{p}_{k}",
+                )
+                model.add_row(
+                    _acc([(ei, 1.0), (ki, -1.0), (nei, bm)]),
+                    -1.0, Sense.GE, name=f"hbox_e_ke_p{p}_{k}",
+                )
+                model.add_row(
+                    _acc([(si, 1.0), (ki, -1.0), (nwi, bm)]),
+                    0.0, Sense.GE, name=f"hbox_w_sk_p{p}_{k}",
+                )
+                model.add_row(
+                    _acc([(ki, 1.0), (ei, -1.0), (nwi, bm)]),
+                    -1.0, Sense.GE, name=f"hbox_w_ke_p{p}_{k}",
+                )
+                tags.extend((p, p, p, p))
+        else:
+            model.add_constraint((ne + nw).make_eq(1), name=f"dir_p{p}")
+            # Eastbound set (active when NE == 0): columns grow source → sink.
+            model.add_constraint(cv(e) - cv(s) + big_m * ne >= 1, name=f"hbox_e_ends_p{p}")
+            # Westbound set (active when NW == 0): columns shrink source → sink.
+            model.add_constraint(cv(s) - cv(e) + big_m * nw >= 1, name=f"hbox_w_ends_p{p}")
+            tags.extend((p, p, p))
+            for k in intermediates:
+                model.add_constraint(cv(k) - cv(s) + big_m * ne >= 0, name=f"hbox_e_sk_p{p}_{k}")
+                model.add_constraint(cv(e) - cv(k) + big_m * ne >= 1, name=f"hbox_e_ke_p{p}_{k}")
+                model.add_constraint(cv(s) - cv(k) + big_m * nw >= 0, name=f"hbox_w_sk_p{p}_{k}")
+                model.add_constraint(cv(k) - cv(e) + big_m * nw >= 1, name=f"hbox_w_ke_p{p}_{k}")
+                tags.extend((p, p, p, p))
 
     # -- horizontal observers never share the source's column ---------------------
     # (the tile at the source column on the sink row is the turn tile, which
@@ -219,8 +337,19 @@ def build_layout_model(
     for index, (a, bcls) in enumerate(sorted(strict_pairs)):
         z = model.add_binary(f"colneq_{a}_{bcls}")
         va, vb = col_vars[a], col_vars[bcls]
-        model.add_constraint(va - vb + big_m * z >= 1, name=f"colneq1_{index}")
-        model.add_constraint(vb - va + big_m * (1 - z) >= 1, name=f"colneq2_{index}")
+        if fast:
+            bm = float(big_m)
+            model.add_row(
+                _acc([(va.index, 1.0), (vb.index, -1.0), (z.index, bm)]),
+                -1.0, Sense.GE, name=f"colneq1_{index}",
+            )
+            model.add_row(
+                _acc([(vb.index, 1.0), (va.index, -1.0), (z.index, -bm)]),
+                bm - 1.0, Sense.GE, name=f"colneq2_{index}",
+            )
+        else:
+            model.add_constraint(va - vb + big_m * z >= 1, name=f"colneq1_{index}")
+            model.add_constraint(vb - va + big_m * (1 - z) >= 1, name=f"colneq2_{index}")
 
     # -- distinctness for LLC-only CHAs ---------------------------------------------
     llc_like = sorted(observed - endpoints)
@@ -234,6 +363,11 @@ def build_layout_model(
     row_obj, row_onehots = _add_indicators(model, row_vars, row_class_of, grid.n_rows, "R")
     col_obj, col_onehots = _add_indicators(model, col_vars, col_class_of, grid.n_cols, "C")
     model.minimize(row_obj + col_obj)
+
+    # Strictness, distinctness, and indicator rows carry no observation
+    # tag: they depend only on the class structure, so they survive any
+    # observation subset that preserves it.
+    tags.extend([None] * (len(model.constraints) - len(tags)))
 
     return IlpLayout(
         model=model,
@@ -249,6 +383,13 @@ def build_layout_model(
         guards=guards,
         row_onehots=row_onehots,
         col_onehots=col_onehots,
+        constraint_tags=tags,
+        guard_creators=frozenset(creators),
+        strict_pairs=frozenset(strict_pairs),
+        n_build_variables=len(model.variables),
+        n_build_constraints=len(model.constraints),
+        endpoints=frozenset(endpoints),
+        n_chas=n_chas,
     )
 
 
@@ -323,6 +464,120 @@ def add_route_exclusion(layout: IlpLayout, obs_index: int, obs: PathObservation,
     return True
 
 
+def mutate_layout_for_subset(
+    base: IlpLayout,
+    kept_positions: list[int],
+    observations: list[PathObservation],
+) -> IlpLayout | None:
+    """Derive the layout for an observation *subset* from an existing build.
+
+    ``kept_positions`` are the (sorted, base-local) indices of the
+    observations that survive a degradation step; ``observations`` is the
+    corresponding sublist, in order. When dropping the other observations
+    leaves the model's *structure* intact — same observed-CHA set, same
+    row/column alignment classes, every NE/NW guard creator kept, same
+    strictness pairs — the subset's model is exactly the base's build
+    constraints filtered by observation tag, over the very same variables.
+    This function performs that filter (reusing variable and constraint
+    objects; nothing is re-derived) and renumbers the bookkeeping to
+    subset-local observation indices so mutations chain across rounds.
+
+    Returns None when any structure check fails; the caller falls back to
+    :func:`build_layout_model`, which is always correct. The returned
+    model's constraint *names* keep their base-local indices (``p`` in
+    ``vbox_up_s_p{p}...``) — the arrays the solvers consume are identical
+    to a from-scratch rebuild, which is what the equivalence suite asserts.
+    """
+    if not base.reduced or base.constraint_tags is None:
+        return None
+
+    # (1) The subset must reference exactly the CHAs the base located.
+    observed = set()
+    for obs in observations:
+        observed.add(obs.source_cha)
+        observed.add(obs.sink_cha)
+        observed |= obs.observers
+    if observed != set(base.observed):
+        return None
+
+    # (2) Alignment classes must be unchanged. DisjointSets roots are not
+    # stable under element removal (union-by-size), so compare the derived
+    # dense class maps, not the partitions.
+    col_dsu = DisjointSets(base.n_chas)
+    row_dsu = DisjointSets(base.n_chas)
+    for obs in observations:
+        for v in obs.vertical_observers:
+            col_dsu.union(obs.source_cha, v)
+        for h in obs.horizontal:
+            row_dsu.union(obs.sink_cha, h)
+    for dsu, want in ((row_dsu, base.row_class_of), (col_dsu, base.col_class_of)):
+        roots = sorted({dsu.find(cha) for cha in observed})
+        class_of_root = {root: idx for idx, root in enumerate(roots)}
+        if {cha: class_of_root[dsu.find(cha)] for cha in observed} != want:
+            return None
+
+    kept = set(kept_positions)
+
+    # (3) Every observation that *created* a shared NE/NW guard pair must
+    # survive, otherwise guard variables (and their rows) would have to be
+    # deleted and the variable space would shift.
+    if not base.guard_creators <= kept:
+        return None
+
+    # (4) The strictness pairs encoded by the base must be reproduced by
+    # the subset (classes are known unchanged at this point, so a lost
+    # pair would mean a lost constraint row).
+    strict_pairs: set[tuple[int, int]] = set()
+    for obs in observations:
+        if obs.sink_reached_vertically:
+            continue
+        for k in obs.horizontal:
+            a, bcls = base.col_class_of[k], base.col_class_of[obs.source_cha]
+            strict_pairs.add((min(a, bcls), max(a, bcls)))
+    if frozenset(strict_pairs) != base.strict_pairs:
+        return None
+
+    position_of = {p: i for i, p in enumerate(kept_positions)}
+    model = Model(base.model.name)
+    model.variables = list(base.model.variables[: base.n_build_variables])
+    model.objective = base.model.objective
+    tags: list[int | None] = []
+    for con, tag in zip(
+        base.model.constraints[: base.n_build_constraints], base.constraint_tags
+    ):
+        if tag is None:
+            model.constraints.append(con)
+            tags.append(None)
+        elif tag in kept:
+            model.constraints.append(con)
+            tags.append(position_of[tag])
+
+    return IlpLayout(
+        model=model,
+        grid=base.grid,
+        row_class_of=base.row_class_of,
+        col_class_of=base.col_class_of,
+        row_vars=base.row_vars,
+        col_vars=base.col_vars,
+        observed=base.observed,
+        unobserved=base.unobserved,
+        reduced=True,
+        n_direction_guards=base.n_direction_guards,
+        guards={
+            position_of[p]: pair for p, pair in base.guards.items() if p in kept
+        },
+        row_onehots=base.row_onehots,
+        col_onehots=base.col_onehots,
+        constraint_tags=tags,
+        guard_creators=frozenset(position_of[p] for p in base.guard_creators),
+        strict_pairs=base.strict_pairs,
+        n_build_variables=len(model.variables),
+        n_build_constraints=len(model.constraints),
+        endpoints=base.endpoints,
+        n_chas=base.n_chas,
+    )
+
+
 def _class_variables(
     model: Model,
     dsu: DisjointSets,
@@ -353,18 +608,63 @@ def _add_distinctness(model, rv, cv, row_class_of, col_class_of, i, j, big_m) ->
         raise MappingError(
             f"observations force CHAs {i} and {j} onto one tile; inconsistent input"
         )
+    fast = FLAGS.fast_model_build
+    bm = float(big_m)
     if same_col:
         z = model.add_binary(f"sep_r_{i}_{j}")
-        model.add_constraint(rv(i) - rv(j) + big_m * z >= 1, name=f"diff_r1_{i}_{j}")
-        model.add_constraint(rv(j) - rv(i) + big_m * (1 - z) >= 1, name=f"diff_r2_{i}_{j}")
+        if fast:
+            ri, rj = rv(i).index, rv(j).index
+            model.add_row(
+                _acc([(ri, 1.0), (rj, -1.0), (z.index, bm)]),
+                -1.0, Sense.GE, name=f"diff_r1_{i}_{j}",
+            )
+            model.add_row(
+                _acc([(rj, 1.0), (ri, -1.0), (z.index, -bm)]),
+                bm - 1.0, Sense.GE, name=f"diff_r2_{i}_{j}",
+            )
+        else:
+            model.add_constraint(rv(i) - rv(j) + big_m * z >= 1, name=f"diff_r1_{i}_{j}")
+            model.add_constraint(rv(j) - rv(i) + big_m * (1 - z) >= 1, name=f"diff_r2_{i}_{j}")
         return
     if same_row:
         z = model.add_binary(f"sep_c_{i}_{j}")
-        model.add_constraint(cv(i) - cv(j) + big_m * z >= 1, name=f"diff_c1_{i}_{j}")
-        model.add_constraint(cv(j) - cv(i) + big_m * (1 - z) >= 1, name=f"diff_c2_{i}_{j}")
+        if fast:
+            ci, cj = cv(i).index, cv(j).index
+            model.add_row(
+                _acc([(ci, 1.0), (cj, -1.0), (z.index, bm)]),
+                -1.0, Sense.GE, name=f"diff_c1_{i}_{j}",
+            )
+            model.add_row(
+                _acc([(cj, 1.0), (ci, -1.0), (z.index, -bm)]),
+                bm - 1.0, Sense.GE, name=f"diff_c2_{i}_{j}",
+            )
+        else:
+            model.add_constraint(cv(i) - cv(j) + big_m * z >= 1, name=f"diff_c1_{i}_{j}")
+            model.add_constraint(cv(j) - cv(i) + big_m * (1 - z) >= 1, name=f"diff_c2_{i}_{j}")
         return
     za = model.add_binary(f"sep_a_{i}_{j}")
     zb = model.add_binary(f"sep_b_{i}_{j}")
+    if fast:
+        ri, rj = rv(i).index, rv(j).index
+        ci, cj = cv(i).index, cv(j).index
+        ai, bi = za.index, zb.index
+        model.add_row(
+            _acc([(ri, 1.0), (rj, -1.0), (ai, bm), (bi, bm)]),
+            -1.0, Sense.GE, name=f"diff_q1_{i}_{j}",
+        )
+        model.add_row(
+            _acc([(rj, 1.0), (ri, -1.0), (ai, -bm), (bi, bm)]),
+            bm - 1.0, Sense.GE, name=f"diff_q2_{i}_{j}",
+        )
+        model.add_row(
+            _acc([(ci, 1.0), (cj, -1.0), (ai, bm), (bi, -bm)]),
+            bm - 1.0, Sense.GE, name=f"diff_q3_{i}_{j}",
+        )
+        model.add_row(
+            _acc([(cj, 1.0), (ci, -1.0), (ai, -bm), (bi, -bm)]),
+            2.0 * bm - 1.0, Sense.GE, name=f"diff_q4_{i}_{j}",
+        )
+        return
     model.add_constraint(
         rv(i) - rv(j) + big_m * (za + zb) >= 1, name=f"diff_q1_{i}_{j}"
     )

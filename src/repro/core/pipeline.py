@@ -112,7 +112,11 @@ class MappingConfig:
     l2_set: int = 0
     #: Use the alignment-class-reduced ILP (equivalent, much smaller).
     reduce_ilp: bool = True
-    #: Optional MILP backend override (defaults to HiGHS via SciPy).
+    #: Optional MILP backend override: a registry name (``"highs"``,
+    #: ``"bnb"``, ``"cbc"``, ``"portfolio"``; picklable, so it crosses the
+    #: survey worker pool) or a live SolverBackend instance. None selects
+    #: the registry default. Construct via the registry rather than
+    #: instantiating solver classes directly.
     solver: object | None = None
     #: Use the batched delta-measurement path (bit-identical readings, one
     #: reset/freeze pair per phase instead of per probe). ``False`` restores
@@ -135,6 +139,14 @@ class MappingConfig:
             raise ValueError(
                 f"l2_set {self.l2_set} out of range [0, {L2Config().n_sets})"
             )
+        if isinstance(self.solver, str):
+            from repro.ilp.backend import backend_names
+
+            if self.solver not in backend_names():
+                raise ValueError(
+                    f"unknown solver backend {self.solver!r}; "
+                    f"choose from {backend_names()}"
+                )
 
 
 @dataclass(frozen=True)

@@ -26,9 +26,14 @@ from dataclasses import dataclass
 from repro.core.cha_mapping import ChaMappingResult
 from repro.core.coremap import CoreMap
 from repro.core.errors import MappingError, ReconstructionInfeasible
-from repro.core.ilp_formulation import IlpLayout, add_route_exclusion, build_layout_model
+from repro.core.ilp_formulation import (
+    IlpLayout,
+    add_route_exclusion,
+    build_layout_model,
+    mutate_layout_for_subset,
+)
 from repro.core.observations import PathObservation
-from repro.ilp import default_solver
+from repro.ilp.backend import WarmStart, resolve_solver
 from repro.ilp.model import lin_sum
 from repro.ilp.warmstart import PATTERN_CACHE, PatternEntry, observation_signature
 from repro.perf import FLAGS
@@ -75,6 +80,15 @@ def predict_observation(
     report ingress (everything else is a disabled/IMC tile or empty space).
     """
     cha_at: dict[TileCoord, int] = {coord: cha for cha, coord in positions.items()}
+    return _predict_with_map(cha_at, positions, source_cha, sink_cha)
+
+
+def _predict_with_map(
+    cha_at: dict[TileCoord, int],
+    positions: dict[int, TileCoord],
+    source_cha: int,
+    sink_cha: int,
+) -> PathObservation:
     up, down, horizontal = set(), set(), set()
     for coord, channel in ingress_events(positions[source_cha], positions[sink_cha]):
         cha = cha_at.get(coord)
@@ -106,8 +120,11 @@ def _find_contradictions(
     does not encode.
     """
     out = []
+    # One tile→CHA map for the whole observation sweep (predict_observation
+    # would rebuild it per probe; same output, ~3x less dict churn).
+    cha_at: dict[TileCoord, int] = {coord: cha for cha, coord in positions.items()}
     for index, obs in enumerate(observations):
-        predicted = predict_observation(positions, obs.source_cha, obs.sink_cha)
+        predicted = _predict_with_map(cha_at, positions, obs.source_cha, obs.sink_cha)
         mismatch = (
             predicted.up != obs.up
             or predicted.down != obs.down
@@ -128,8 +145,17 @@ def reconstruct_map(
     refine: bool = True,
     max_refinements: int = 80,
     tracer=None,
+    layout: IlpLayout | None = None,
 ) -> ReconstructionResult:
-    """Build and solve the §II-C ILP; return the placed core map."""
+    """Build and solve the §II-C ILP; return the placed core map.
+
+    ``solver`` may be None (registry default), a backend registry name
+    (``"highs"``, ``"bnb"``, ``"cbc"``, ``"portfolio"``), or a live
+    :class:`~repro.ilp.backend.SolverBackend` instance. ``layout`` lets the
+    degradation path hand in an incrementally mutated model instead of
+    rebuilding (see :func:`mutate_layout_for_subset`); it must describe
+    exactly ``observations``.
+    """
     if not observations:
         raise MappingError("cannot reconstruct a map from zero observations")
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -137,12 +163,14 @@ def reconstruct_map(
 
     # Warm start: an earlier slot with the same observation signature already
     # solved this exact model (dies of one SKU share few disable patterns).
-    # Only the default-solver path is cacheable — a caller-supplied solver
-    # may be configured differently. The cached candidate is never trusted
-    # blindly: it must reproduce every freshly measured observation, else we
-    # fall back to the cold solve below.
+    # Default-solver and registry-name paths are cacheable — both are fully
+    # described by the spec; only a caller-supplied solver *object* may hold
+    # configuration the cache key cannot see. The cached candidate is never
+    # trusted blindly: it must reproduce every freshly measured observation,
+    # else we fall back to the cold solve below.
     signature = None
-    if solver is None and refine and FLAGS.warm_start:
+    warm_hint: WarmStart | None = None
+    if (solver is None or isinstance(solver, str)) and refine and FLAGS.warm_start:
         signature = observation_signature(
             observations,
             cha_mapping.os_to_cha,
@@ -171,35 +199,57 @@ def reconstruct_map(
                 )
             PATTERN_CACHE.reject()
             tracer.counter("pattern_cache_rejected_total").inc()
+            # The rejected entry is still a near-miss: its assignment was
+            # optimal for a signature-identical observation set. Offer it
+            # to warm-startable backends as an incumbent hint (they verify
+            # feasibility themselves, so a poisoned hint is harmless).
+            warm_hint = WarmStart(
+                values=entry.solution.values, source="pattern-cache-rejected"
+            )
         else:
             tracer.counter("pattern_cache_misses_total").inc()
 
-    layout = build_layout_model(
-        observations,
-        n_chas=n_chas,
-        grid=grid,
-        endpoint_chas=cha_mapping.core_chas(),
-        reduce=reduce,
-    )
-    solver = solver or default_solver()
+    if layout is None:
+        layout = build_layout_model(
+            observations,
+            n_chas=n_chas,
+            grid=grid,
+            endpoint_chas=cha_mapping.core_chas(),
+            reduce=reduce,
+        )
+    solver = resolve_solver(solver, tracer=tracer)
     c_solves = tracer.counter("ilp_solves_total")
     c_nodes = tracer.counter("ilp_nodes_total")
     c_cuts = tracer.counter("ilp_refinement_cuts_total")
 
+    if warm_hint is not None and not getattr(solver, "supports_warm_start", False):
+        warm_hint = None
+    if warm_hint is not None and warm_hint.values.shape != (
+        len(layout.model.variables),
+    ):
+        warm_hint = None
+
     cuts = 0
     while True:
         with tracer.span("ilp_solve", refinement_round=cuts) as solve_span:
-            solution = solver.solve(layout.model)
+            solution = solver.solve(layout.model, warm_start=warm_hint)
             solve_span.set_attr(
                 status=solution.status.value, nodes=solution.nodes_explored
             )
+        # A refinement cut invalidates the hinted assignment by design;
+        # only the first round may consume it.
+        warm_hint = None
         c_solves.inc()
         c_nodes.add(solution.nodes_explored)
         if not solution.status.ok:
-            raise ReconstructionInfeasible(
+            exc = ReconstructionInfeasible(
                 f"layout ILP ended with status {solution.status.value} after "
                 f"{cuts} refinement rounds: {solution.message}"
             )
+            # Hand the built model to the degradation path so the next,
+            # smaller attempt can mutate it instead of rebuilding.
+            exc.layout = layout
+            raise exc
         positions = _extract_positions(layout, solution)
         if not refine:
             consistent = not _find_contradictions(positions, observations)
@@ -292,19 +342,39 @@ def reconstruct_with_degradation(
     order = sorted(range(len(observations)), key=lambda i: (confidences[i], i))
     chunk = max(1, int(round(drop_fraction * len(observations))))
     c_shed = tracer.counter("observations_shed_total")
+    c_incr = tracer.counter("ilp_incremental_resolves_total")
+    c_incr_fallback = tracer.counter("ilp_incremental_fallbacks_total")
     dropped = 0
+    prev_keep: list[int] | None = None
+    prev_layout: IlpLayout | None = None
     while True:
         keep = sorted(set(range(len(observations))) - set(order[:dropped]))
         subset = [observations[i] for i in keep]
+        # Incremental re-solve: the previous round built (and failed on) a
+        # superset model. When shedding left the model structure intact,
+        # filter that model's rows down to the kept observations instead of
+        # rebuilding from scratch — provably the same arrays, so the solve
+        # is bit-identical to a rebuild (asserted by the equivalence suite).
+        layout = None
+        if FLAGS.incremental_resolve and prev_layout is not None and reduce:
+            pos_in_prev = {g: i for i, g in enumerate(prev_keep)}
+            kept_positions = [pos_in_prev[g] for g in keep]
+            layout = mutate_layout_for_subset(prev_layout, kept_positions, subset)
+            if layout is not None:
+                c_incr.inc()
+            else:
+                c_incr_fallback.inc()
         try:
             result = reconstruct_map(
                 subset, cha_mapping, grid, solver=solver, reduce=reduce, refine=refine,
-                tracer=tracer,
+                tracer=tracer, layout=layout,
             )
             return result, dropped
-        except ReconstructionInfeasible:
+        except ReconstructionInfeasible as exc:
             if dropped >= chunk * max_degradations or len(subset) <= chunk:
                 raise
+            prev_keep = keep
+            prev_layout = getattr(exc, "layout", None)
             dropped += chunk
             c_shed.add(chunk)
 

@@ -6,21 +6,55 @@ provides everything needed for that, built from scratch:
 * :mod:`repro.ilp.model` — a small modelling layer (variables, linear
   expressions, constraints, objective) with operator overloading.
 * :mod:`repro.ilp.simplex` — a dense two-phase primal simplex LP solver.
-* :mod:`repro.ilp.branch_bound` — a best-first branch-and-bound MILP solver
-  on top of the simplex (or any LP relaxation solver).
-* :mod:`repro.ilp.scipy_backend` — an adapter to ``scipy.optimize.milp``
-  (HiGHS), used for the paper-scale instances.
+* :mod:`repro.ilp.backend` — the :class:`~repro.ilp.backend.SolverBackend`
+  protocol (``solve(model, *, warm_start=None, deadline=None)`` plus the
+  ``supports_warm_start``/``is_exact``/``is_anytime`` capability flags) and
+  the priority-ordered backend registry every solver below registers with.
+* :mod:`repro.ilp.branch_bound` — ``"bnb"``: a best-first branch-and-bound
+  MILP solver on top of the simplex (or any LP relaxation solver); exact,
+  anytime, warm-startable.
+* :mod:`repro.ilp.scipy_backend` — ``"highs"``: an adapter to
+  ``scipy.optimize.milp`` (HiGHS), the default for paper-scale instances.
+* :mod:`repro.ilp.pulp_backend` — ``"cbc"``: COIN-OR CBC via PuLP, an
+  *optional* dependency (``pip install .[cbc]``); absent-solver hosts see
+  it excluded from :func:`~repro.ilp.backend.available_backends`.
+* :mod:`repro.ilp.portfolio` — ``"portfolio"``: races the exact backends
+  with first-to-definitive cancellation and priority-deterministic
+  verdicts.
+* :mod:`repro.ilp.warmstart` — the pattern cache whose hits/rejections
+  feed :class:`~repro.ilp.backend.WarmStart` hints through the protocol.
 
-Both MILP backends implement ``solve(model) -> Solution`` and can be swapped
-freely; the reconstruction code defaults to HiGHS but every backend is
-validated against the other in the test suite.
+Construct backends through the registry (:func:`create_backend`,
+:func:`resolve_solver`) rather than instantiating solver classes at call
+sites — the registry is what keeps string solver specs picklable across
+the survey worker pool and what lets the portfolio discover its lanes.
+All backends are cross-validated on the same generated instances by
+``tests/ilp/test_differential.py``.
 """
 
 from repro.ilp.model import LinearExpr, Model, Variable, VarType
 from repro.ilp.solution import Solution, SolveStatus
 from repro.ilp.simplex import SimplexSolver, LpResult, LpStatus
+from repro.ilp.backend import (
+    BackendUnavailable,
+    SolverBackend,
+    WarmStart,
+    available_backends,
+    backend_available,
+    backend_names,
+    create_backend,
+    default_solver,
+    register_backend,
+    resolve_solver,
+    unregister_backend,
+    _register_builtin_backends,
+)
 from repro.ilp.branch_bound import BranchBoundSolver
 from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.ilp.pulp_backend import PulpCbcSolver, pulp_available
+from repro.ilp.portfolio import PortfolioSolver
+
+_register_builtin_backends()
 
 __all__ = [
     "LinearExpr",
@@ -32,11 +66,20 @@ __all__ = [
     "SimplexSolver",
     "LpResult",
     "LpStatus",
+    "SolverBackend",
+    "WarmStart",
+    "BackendUnavailable",
     "BranchBoundSolver",
     "ScipyMilpSolver",
+    "PulpCbcSolver",
+    "PortfolioSolver",
+    "available_backends",
+    "backend_available",
+    "backend_names",
+    "create_backend",
+    "default_solver",
+    "pulp_available",
+    "register_backend",
+    "resolve_solver",
+    "unregister_backend",
 ]
-
-
-def default_solver() -> "ScipyMilpSolver":
-    """Return the default MILP backend used by the reconstruction pipeline."""
-    return ScipyMilpSolver()

@@ -1,0 +1,279 @@
+"""The pluggable solver-backend layer (ROADMAP item 1).
+
+Every MILP backend in this package — HiGHS via SciPy, the from-scratch
+branch-and-bound, the optional PuLP/CBC adapter, and the racing
+:class:`~repro.ilp.portfolio.PortfolioSolver` — implements one protocol:
+
+``solve(model, *, warm_start=None, deadline=None) -> Solution``
+
+plus three capability flags the callers dispatch on:
+
+* ``supports_warm_start`` — the backend can consume a :class:`WarmStart`
+  hint (a candidate assignment, e.g. from the PR-7 pattern cache). Hints
+  are advisory: a backend must produce the same *optimal* answer with or
+  without one, and must discard an infeasible hint.
+* ``is_exact`` — an ``INFEASIBLE``/``UNBOUNDED`` verdict from this backend
+  is definitive (a heuristic or node-limited solver can only prove
+  feasibility, never infeasibility).
+* ``is_anytime`` — interrupted mid-solve (deadline, cancellation), the
+  backend returns its best incumbent instead of nothing.
+
+Backends register here under a short name with a fixed **priority**; lower
+priority wins. The priority order is what makes the portfolio
+deterministic: whichever lane finishes first, the *returned* result is
+always the definitive result of the highest-priority lane that produced
+one, so records stay byte-reproducible regardless of race timing.
+
+``deadline`` values are absolute :func:`time.monotonic` timestamps —
+comparable across the threads and (on Linux) the forked processes a
+portfolio solve fans out to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.ilp.model import Model
+from repro.ilp.solution import Solution, SolveStatus
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested backend's optional dependency is not installed."""
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """A candidate assignment offered to a backend as a starting hint.
+
+    ``values`` is a dense variable-value vector in model variable order
+    (the same shape :attr:`repro.ilp.solution.Solution.values` has).
+    ``source`` records where the hint came from (``"pattern-cache"``,
+    ``"degradation"``, …) for telemetry only.
+    """
+
+    values: np.ndarray
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "values", np.asarray(self.values, dtype=float)
+        )
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """What the reconstruction layer requires of a MILP solver."""
+
+    #: Registry name (``"highs"``, ``"bnb"``, ``"cbc"``, ``"portfolio"``).
+    name: str
+    #: The backend can consume :class:`WarmStart` hints.
+    supports_warm_start: bool
+    #: INFEASIBLE/UNBOUNDED verdicts from this backend are definitive.
+    is_exact: bool
+    #: Interrupted, the backend returns its best incumbent so far.
+    is_anytime: bool
+
+    def solve(
+        self,
+        model: Model,
+        *,
+        warm_start: WarmStart | None = None,
+        deadline: float | None = None,
+    ) -> Solution: ...
+
+
+def definitive(solution: Solution, backend: Any) -> bool:
+    """Whether ``solution`` settles the instance for a deterministic caller.
+
+    ``OPTIMAL`` always does; ``INFEASIBLE``/``UNBOUNDED`` only from an
+    exact backend (an anytime/heuristic lane hitting its node limit proves
+    nothing). ``NODE_LIMIT``/``ERROR`` never do — the portfolio falls
+    through to the next priority lane on those.
+    """
+    if solution.status is SolveStatus.OPTIMAL:
+        return True
+    if solution.status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED):
+        return bool(getattr(backend, "is_exact", False))
+    return False
+
+
+# -- registry ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend: how to build it and where it ranks."""
+
+    name: str
+    factory: Callable[..., Any]
+    priority: int
+    #: Zero-argument availability probe (optional-dependency backends).
+    available: Callable[[], bool] = lambda: True
+    #: The factory accepts a ``tracer=`` keyword.
+    accepts_tracer: bool = False
+    doc: str = ""
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+#: Name the reconstruction pipeline uses when no backend is requested.
+DEFAULT_BACKEND = "highs"
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., Any],
+    *,
+    priority: int,
+    available: Callable[[], bool] | None = None,
+    accepts_tracer: bool = False,
+    doc: str = "",
+    replace: bool = False,
+) -> BackendSpec:
+    """Register a backend factory under ``name`` at the given priority."""
+    if not name or "/" in name:
+        raise ValueError(f"invalid backend name {name!r}")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"backend {name!r} already registered")
+    spec = BackendSpec(
+        name=name,
+        factory=factory,
+        priority=priority,
+        available=available if available is not None else (lambda: True),
+        accepts_tracer=accepts_tracer,
+        doc=doc,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (tests register throwaway lanes)."""
+    _REGISTRY.pop(name, None)
+
+
+def backend_names() -> list[str]:
+    """All registered backend names in priority order (ties: name order)."""
+    return [
+        spec.name
+        for spec in sorted(_REGISTRY.values(), key=lambda s: (s.priority, s.name))
+    ]
+
+
+def backend_spec(name: str) -> BackendSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown solver backend {name!r}; choose from {backend_names()}"
+        )
+    return spec
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered and its dependencies are importable."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        return False
+    try:
+        return bool(spec.available())
+    except Exception:  # noqa: BLE001 - availability probes must not raise
+        return False
+
+
+def available_backends() -> list[str]:
+    """Registered backends whose dependencies are present, priority order."""
+    return [name for name in backend_names() if backend_available(name)]
+
+
+def create_backend(name: str, *, tracer=None, **kwargs: Any) -> Any:
+    """Instantiate a registered backend.
+
+    Raises :class:`KeyError` for an unknown name and
+    :class:`BackendUnavailable` (with an installation hint) when the
+    backend is registered but its optional dependency is missing — the
+    graceful skip path the differential test harness keys on.
+    """
+    spec = backend_spec(name)
+    if not backend_available(name):
+        raise BackendUnavailable(
+            f"solver backend {name!r} is not available on this host"
+            + (f" — {spec.doc}" if spec.doc else "")
+        )
+    if spec.accepts_tracer and tracer is not None:
+        return spec.factory(tracer=tracer, **kwargs)
+    return spec.factory(**kwargs)
+
+
+def default_solver() -> Any:
+    """The default MILP backend used by the reconstruction pipeline."""
+    return create_backend(DEFAULT_BACKEND)
+
+
+def resolve_solver(spec: Any, *, tracer=None) -> Any:
+    """Turn a solver *specification* into a live backend.
+
+    ``None`` → the default backend; a registry name string → that backend
+    (built fresh, so string specs are picklable and can cross the survey
+    worker pool); anything else is assumed to already be a solver object
+    and is returned unchanged.
+    """
+    if spec is None:
+        return default_solver()
+    if isinstance(spec, str):
+        return create_backend(spec, tracer=tracer)
+    return spec
+
+
+def deadline_remaining(deadline: float | None) -> float:
+    """Seconds left until an absolute monotonic ``deadline`` (inf if None)."""
+    if deadline is None:
+        return math.inf
+    import time
+
+    return deadline - time.monotonic()
+
+
+def _register_builtin_backends() -> None:
+    """Register the in-tree backends (import-cycle-safe lazy factories)."""
+    from repro.ilp.branch_bound import BranchBoundSolver
+    from repro.ilp.scipy_backend import ScipyMilpSolver
+
+    register_backend(
+        "highs",
+        ScipyMilpSolver,
+        priority=0,
+        doc="HiGHS via scipy.optimize.milp (default, exact)",
+        replace=True,
+    )
+    register_backend(
+        "bnb",
+        BranchBoundSolver,
+        priority=10,
+        accepts_tracer=True,
+        doc="from-scratch best-first branch and bound (exact, anytime)",
+        replace=True,
+    )
+
+    from repro.ilp.pulp_backend import PulpCbcSolver, pulp_available
+
+    register_backend(
+        "cbc",
+        PulpCbcSolver,
+        priority=20,
+        available=pulp_available,
+        doc="COIN-OR CBC via PuLP; install with `pip install .[cbc]`",
+        replace=True,
+    )
+
+    from repro.ilp.portfolio import PortfolioSolver
+
+    register_backend(
+        "portfolio",
+        PortfolioSolver,
+        priority=100,
+        accepts_tracer=True,
+        doc="races the exact backends, first-to-optimal wins deterministically",
+        replace=True,
+    )

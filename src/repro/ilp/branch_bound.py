@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.ilp.backend import WarmStart, deadline_remaining
 from repro.ilp.model import Model, ModelArrays
 from repro.ilp.simplex import LpStatus, SimplexSolver
 from repro.ilp.solution import Solution, SolveStatus
@@ -37,7 +38,20 @@ class _Node:
 
 
 class BranchBoundSolver:
-    """Best-first branch and bound over a :class:`~repro.ilp.model.Model`."""
+    """Best-first branch and bound over a :class:`~repro.ilp.model.Model`.
+
+    Implements the :class:`repro.ilp.backend.SolverBackend` protocol. A
+    feasible :class:`~repro.ilp.backend.WarmStart` seeds the incumbent
+    (tightening pruning from node one); an infeasible hint is discarded.
+    ``deadline`` and the cooperative ``cancel`` event are polled once per
+    node — an interrupted solve returns the best incumbent found so far
+    with ``NODE_LIMIT`` status, never a spurious ``OPTIMAL``.
+    """
+
+    name = "bnb"
+    supports_warm_start = True
+    is_exact = True
+    is_anytime = True
 
     def __init__(
         self,
@@ -90,7 +104,14 @@ class BranchBoundSolver:
         return "infeasible", None, math.inf
 
     # -- main loop ---------------------------------------------------------------
-    def solve(self, model: Model) -> Solution:
+    def solve(
+        self,
+        model: Model,
+        *,
+        warm_start: WarmStart | None = None,
+        deadline: float | None = None,
+        cancel=None,
+    ) -> Solution:
         arrays = model.to_arrays()
         int_mask = arrays.integrality.astype(bool)
         tie = itertools.count()
@@ -107,8 +128,24 @@ class BranchBoundSolver:
         incumbent: np.ndarray | None = None
         incumbent_obj = math.inf
         nodes = 0
+        interrupted = False
+
+        if warm_start is not None and warm_start.values.shape == arrays.c.shape:
+            hint = warm_start.values.copy()
+            hint[int_mask] = np.round(hint[int_mask])
+            # Hints are advisory: only a verified-feasible assignment may
+            # seed the incumbent, so a poisoned hint cannot skew the answer.
+            if model.is_feasible(hint):
+                incumbent = hint
+                incumbent_obj = float(arrays.c @ hint) + arrays.objective_constant
+                self._c_incumbents.inc()
 
         while heap and nodes < self.max_nodes:
+            if (cancel is not None and cancel.is_set()) or (
+                deadline is not None and deadline_remaining(deadline) <= 0.0
+            ):
+                interrupted = True
+                break
             node = heapq.heappop(heap)
             if node.bound >= incumbent_obj - self.gap_tolerance:
                 continue  # pruned by bound
@@ -144,6 +181,17 @@ class BranchBoundSolver:
             if lo_u[frac_idx] <= hi_u[frac_idx]:
                 heapq.heappush(heap, _Node(bound, next(tie), lo_u, hi_u))
 
+        if interrupted:
+            # Anytime contract: hand back whatever incumbent exists, but
+            # never claim optimality for a search that did not finish.
+            if incumbent is not None:
+                return Solution(
+                    SolveStatus.NODE_LIMIT, incumbent_obj, incumbent, nodes,
+                    message="interrupted",
+                )
+            return Solution(
+                SolveStatus.NODE_LIMIT, nodes_explored=nodes, message="interrupted"
+            )
         if incumbent is not None:
             exhausted = not heap or all(
                 n.bound >= incumbent_obj - self.gap_tolerance for n in heap

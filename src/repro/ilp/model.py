@@ -90,6 +90,20 @@ class LinearExpr:
         self.coeffs: dict[int, float] = dict(coeffs or {})
         self.constant = float(constant)
 
+    @classmethod
+    def raw(cls, coeffs: dict[int, float], constant: float = 0.0) -> "LinearExpr":
+        """Wrap an already-built coefficient dict without copying it.
+
+        The operator chain above allocates one intermediate dict per ``+``;
+        the layout-model fast build path accumulates each row's dict once
+        and hands it over here. The caller must not mutate ``coeffs``
+        afterwards — the expression takes ownership.
+        """
+        expr = cls.__new__(cls)
+        expr.coeffs = coeffs
+        expr.constant = float(constant)
+        return expr
+
     @staticmethod
     def _coerce(other) -> "LinearExpr":
         if isinstance(other, LinearExpr):
@@ -231,6 +245,26 @@ class Model:
             constraint.name = name
         self.constraints.append(constraint)
         return constraint
+
+    def add_row(
+        self,
+        coeffs: dict[int, float],
+        constant: float,
+        sense: "Sense",
+        name: str = "",
+    ) -> Constraint:
+        """Append a constraint from a raw coefficient dict (no expr algebra).
+
+        ``coeffs``/``constant`` describe the normalised form
+        ``sum(coeff_i * x_i) + constant <sense> 0`` — exactly what the
+        operator chain would have produced, including insertion order and
+        explicit zero coefficients (both of which the sparse lowering and
+        therefore bit-identity depend on). Ownership of ``coeffs`` passes
+        to the constraint.
+        """
+        con = Constraint(LinearExpr.raw(coeffs, constant), sense, name)
+        self.constraints.append(con)
+        return con
 
     def minimize(self, expr) -> None:
         self.objective = LinearExpr._coerce(expr)

@@ -1,0 +1,382 @@
+"""Race several MILP backends, first-to-definitive wins — deterministically.
+
+A :class:`PortfolioSolver` runs every registered (and available) exact
+backend on the same model concurrently and returns as soon as the race is
+decided. The subtlety is reproducibility: two optimal backends may return
+*different* optimal assignments (the reconstruction objective frequently
+has symmetric optima), so "whoever finishes first" would make survey
+records depend on scheduler timing. The portfolio therefore separates the
+*race* from the *verdict*:
+
+* lanes run concurrently (threads or forked processes), lane ``k``
+  starting after ``k * stagger_seconds`` (the hedged-request pattern — on
+  easy instances the priority lane finishes before any backup even wakes);
+* the verdict is always the result of the **highest-priority lane that
+  produced a definitive answer** (``OPTIMAL``, or ``INFEASIBLE`` /
+  ``UNBOUNDED`` from an exact backend). The wait loop walks lanes in
+  priority order: an unfinished higher-priority lane is awaited, a
+  finished-but-indefinite one (node limit, error, crash) is passed over;
+* the moment a verdict exists, every other lane is cancelled —
+  cooperatively (a ``cancel`` event the branch-and-bound polls per node)
+  in thread mode, with ``terminate()``/``kill()`` in process mode.
+
+Consequence: the portfolio's output is byte-identical to what the winning
+backend would have produced solo, no matter how the race unfolded — a
+stalled or slow *lower*-priority lane can never delay or change the
+answer. A wedged *highest*-priority lane is bounded only by ``deadline``;
+that trade-off buys determinism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ilp.backend import (
+    WarmStart,
+    available_backends,
+    backend_spec,
+    create_backend,
+    deadline_remaining,
+    definitive,
+)
+from repro.ilp.model import Model
+from repro.ilp.solution import Solution, SolveStatus
+
+#: Grace period after the deadline before the wait loop gives up on a lane.
+_DEADLINE_GRACE = 0.25
+
+
+def default_lane_names() -> list[str]:
+    """Available exact backends in priority order (the default lanes)."""
+    names = []
+    for name in available_backends():
+        if name == "portfolio":
+            continue
+        backend_cls = backend_spec(name).factory
+        if getattr(backend_cls, "is_exact", False):
+            names.append(name)
+    return names
+
+
+@dataclass
+class _Lane:
+    """One racing backend: its identity, its thread/process, its outcome."""
+
+    index: int
+    name: str
+    backend: object | None = None
+    solution: Solution | None = None
+    error: BaseException | None = None
+    cancel: threading.Event = field(default_factory=threading.Event)
+    done: threading.Event = field(default_factory=threading.Event)
+    thread: threading.Thread | None = None
+    process: object | None = None
+    conn: object | None = None
+    started: bool = False
+    cancelled: bool = False
+
+
+class PortfolioSolver:
+    """Implements :class:`repro.ilp.backend.SolverBackend` by racing others.
+
+    Parameters
+    ----------
+    backends:
+        Lane names in priority order. Defaults to every available exact
+        backend (``highs``, ``bnb``, ``cbc`` when installed). Backend
+        *instances* are also accepted (tests inject stalling lanes).
+    mode:
+        ``"thread"`` (default; zero fork cost, cooperative cancellation)
+        or ``"process"`` (fork per lane, hard cancellation via SIGTERM).
+    stagger_seconds:
+        Delay between lane starts. Lane 0 starts immediately.
+    deadline_seconds:
+        Per-solve budget applied when the caller passes no ``deadline``.
+    """
+
+    name = "portfolio"
+    supports_warm_start = True
+    is_exact = True
+    is_anytime = True
+
+    def __init__(
+        self,
+        backends: list | None = None,
+        mode: str = "thread",
+        stagger_seconds: float = 0.05,
+        deadline_seconds: float | None = None,
+        tracer=None,
+    ):
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown portfolio mode {mode!r}")
+        self.backends = list(backends) if backends is not None else None
+        self.mode = mode
+        self.stagger_seconds = stagger_seconds
+        self.deadline_seconds = deadline_seconds
+        if tracer is None:
+            from repro.telemetry.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        self._c_races = tracer.counter("solver_portfolio_races_total")
+        self._lanes: list[_Lane] = []
+
+    # -- lane construction -------------------------------------------------------
+    def _build_lanes(self) -> list[_Lane]:
+        specs = self.backends if self.backends is not None else default_lane_names()
+        if not specs:
+            raise RuntimeError("portfolio has no available backends to race")
+        lanes = []
+        for i, spec in enumerate(specs):
+            if isinstance(spec, str):
+                lanes.append(_Lane(index=i, name=spec))
+            else:
+                lanes.append(_Lane(index=i, name=getattr(spec, "name", f"lane{i}"), backend=spec))
+        return lanes
+
+    def active_workers(self) -> int:
+        """Live threads/processes from the most recent race (0 = clean)."""
+        alive = 0
+        for lane in self._lanes:
+            if lane.thread is not None and lane.thread.is_alive():
+                alive += 1
+            if lane.process is not None and lane.process.is_alive():
+                alive += 1
+        return alive
+
+    # -- thread lanes ------------------------------------------------------------
+    def _run_lane_thread(
+        self,
+        lane: _Lane,
+        model: Model,
+        warm_start: WarmStart | None,
+        deadline: float | None,
+        delay: float,
+    ) -> None:
+        try:
+            if delay > 0.0 and lane.cancel.wait(timeout=delay):
+                lane.cancelled = True
+                return
+            lane.started = True
+            backend = lane.backend
+            if backend is None:
+                backend = create_backend(lane.name)
+                lane.backend = backend
+            hint = warm_start if getattr(backend, "supports_warm_start", False) else None
+            kwargs = {"warm_start": hint, "deadline": deadline}
+            try:
+                lane.solution = backend.solve(model, cancel=lane.cancel, **kwargs)
+            except TypeError:
+                # Backends without cooperative cancellation still race;
+                # they just cannot be interrupted mid-solve in thread mode.
+                lane.solution = backend.solve(model, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - lane failure != race failure
+            lane.error = exc
+        finally:
+            lane.done.set()
+
+    # -- process lanes -----------------------------------------------------------
+    @staticmethod
+    def _lane_worker(conn, name, model, warm_values, warm_source, deadline, delay):
+        # Runs in the forked child. Flags/registry state arrive via fork.
+        try:
+            if delay > 0.0:
+                time.sleep(delay)
+            backend = create_backend(name)
+            hint = None
+            if warm_values is not None and getattr(backend, "supports_warm_start", False):
+                hint = WarmStart(values=warm_values, source=warm_source)
+            sol = backend.solve(model, warm_start=hint, deadline=deadline)
+            conn.send(
+                (
+                    sol.status.value,
+                    sol.objective,
+                    np.asarray(sol.values, dtype=float),
+                    sol.nodes_explored,
+                    sol.message,
+                )
+            )
+        except BaseException as exc:  # noqa: BLE001 - report, parent decides
+            try:
+                conn.send(("error", float("nan"), np.zeros(0), 0, repr(exc)))
+            except Exception:  # noqa: BLE001
+                pass
+        finally:
+            conn.close()
+
+    def _start_lanes(
+        self,
+        lanes: list[_Lane],
+        model: Model,
+        warm_start: WarmStart | None,
+        deadline: float | None,
+    ) -> None:
+        for lane in lanes:
+            delay = lane.index * self.stagger_seconds
+            if self.mode == "thread" or lane.backend is not None:
+                # Injected backend instances always race in-thread — they
+                # may hold unpicklable state (tracers, stall hooks).
+                lane.thread = threading.Thread(
+                    target=self._run_lane_thread,
+                    args=(lane, model, warm_start, deadline, delay),
+                    name=f"portfolio-{lane.name}",
+                    daemon=True,
+                )
+                lane.thread.start()
+            else:
+                ctx = mp.get_context("fork")
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                warm_values = warm_start.values if warm_start is not None else None
+                warm_source = warm_start.source if warm_start is not None else ""
+                lane.process = ctx.Process(
+                    target=self._lane_worker,
+                    args=(
+                        child_conn,
+                        lane.name,
+                        model,
+                        warm_values,
+                        warm_source,
+                        deadline,
+                        delay,
+                    ),
+                    name=f"portfolio-{lane.name}",
+                    daemon=True,
+                )
+                lane.conn = parent_conn
+                lane.process.start()
+                child_conn.close()
+
+    def _collect_process_result(self, lane: _Lane, timeout: float) -> bool:
+        """Wait up to ``timeout`` for a process lane; True once settled."""
+        proc, conn = lane.process, lane.conn
+        end = time.monotonic() + max(timeout, 0.0)
+        while True:
+            remaining = end - time.monotonic()
+            if conn.poll(max(min(remaining, 0.05), 0.0)):
+                try:
+                    status_value, objective, values, nodes, message = conn.recv()
+                except (EOFError, OSError):
+                    lane.error = RuntimeError(f"lane {lane.name} died without a result")
+                    lane.done.set()
+                    return True
+                if status_value == "error":
+                    lane.error = RuntimeError(message)
+                else:
+                    lane.solution = Solution(
+                        SolveStatus(status_value), objective, values, nodes, message
+                    )
+                lane.done.set()
+                return True
+            if not proc.is_alive() and not conn.poll():
+                lane.error = RuntimeError(f"lane {lane.name} died without a result")
+                lane.done.set()
+                return True
+            if remaining <= 0.0:
+                return lane.done.is_set()
+
+    def _settle_lane(self, lane: _Lane, timeout: float) -> bool:
+        """Block up to ``timeout`` until the lane has an outcome."""
+        if lane.done.is_set():
+            return True
+        if lane.process is not None:
+            return self._collect_process_result(lane, timeout)
+        return lane.done.wait(timeout=timeout)
+
+    def _cancel_lane(self, lane: _Lane, counters: bool = True) -> None:
+        if lane.done.is_set() and lane.process is None:
+            if counters and lane.cancelled:
+                # Lane was told to stand down before its stagger delay
+                # elapsed — it never started, which still counts as a
+                # cancellation for the telemetry.
+                self.tracer.counter(
+                    "solver_portfolio_cancelled_total", backend=lane.name
+                ).inc()
+            return
+        lane.cancel.set()
+        if lane.thread is not None:
+            # Cooperative lanes notice the event quickly (per-node poll or
+            # the stagger wait); join them so active_workers() settles to
+            # zero. A non-cooperative stalled lane stays a daemon thread —
+            # only process mode can cancel those hard.
+            if lane.done.wait(timeout=0.25):
+                lane.thread.join(timeout=1.0)
+        if lane.process is not None and lane.process.is_alive():
+            lane.process.terminate()
+            lane.process.join(timeout=2.0)
+            if lane.process.is_alive():  # pragma: no cover - SIGTERM ignored
+                lane.process.kill()
+                lane.process.join(timeout=2.0)
+        if lane.conn is not None:
+            try:
+                lane.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if not lane.done.is_set():
+            lane.cancelled = True
+        if counters and lane.cancelled:
+            self.tracer.counter(
+                "solver_portfolio_cancelled_total", backend=lane.name
+            ).inc()
+
+    # -- the race ----------------------------------------------------------------
+    def solve(
+        self,
+        model: Model,
+        *,
+        warm_start: WarmStart | None = None,
+        deadline: float | None = None,
+    ) -> Solution:
+        if deadline is None and self.deadline_seconds is not None:
+            deadline = time.monotonic() + self.deadline_seconds
+        lanes = self._build_lanes()
+        self._lanes = lanes
+        self._c_races.inc()
+
+        self._start_lanes(lanes, model, warm_start, deadline)
+        try:
+            winner, verdict = self._await_verdict(lanes, deadline)
+        finally:
+            for lane in lanes:
+                self._cancel_lane(lane)
+        if winner is not None:
+            self.tracer.counter(
+                "solver_portfolio_wins_total", backend=winner.name
+            ).inc()
+            return verdict
+        # No lane produced a definitive verdict (deadline, node limits,
+        # crashes). Fall back to the best indefinite answer in priority
+        # order — an anytime incumbent beats a bare failure.
+        for lane in lanes:
+            if lane.solution is not None and lane.solution.values.size:
+                return lane.solution
+        for lane in lanes:
+            if lane.solution is not None:
+                return lane.solution
+        failures = "; ".join(
+            f"{lane.name}: {lane.error!r}" for lane in lanes if lane.error is not None
+        )
+        return Solution(SolveStatus.ERROR, message=f"all lanes failed ({failures})")
+
+    def _await_verdict(
+        self, lanes: list[_Lane], deadline: float | None
+    ) -> tuple[_Lane | None, Solution | None]:
+        """Walk lanes in priority order until one yields a definitive result."""
+        for lane in lanes:
+            while True:
+                remaining = deadline_remaining(deadline)
+                if remaining <= -_DEADLINE_GRACE:
+                    if not lane.done.is_set():
+                        break  # out of budget: pass over this lane
+                timeout = min(max(remaining + _DEADLINE_GRACE, 0.0), 0.1)
+                if self._settle_lane(lane, timeout=max(timeout, 0.01)):
+                    break
+            if lane.solution is not None and definitive(
+                lane.solution, lane.backend or backend_spec(lane.name).factory
+            ):
+                return lane, lane.solution
+        return None, None

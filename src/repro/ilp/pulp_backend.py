@@ -1,0 +1,145 @@
+"""Optional MILP backend: COIN-OR CBC driven through PuLP.
+
+PuLP is *not* a hard dependency of this package — install it with
+``pip install .[cbc]``. Everything here degrades gracefully when it is
+absent: :func:`pulp_available` returns False, the registry hides the
+``"cbc"`` name from :func:`repro.ilp.backend.available_backends`, and
+constructing :class:`PulpCbcSolver` raises
+:class:`~repro.ilp.backend.BackendUnavailable` so the differential test
+harness can skip per-backend instead of erroring.
+
+The model translation follows the classic PuLP ILP idiom (one LpVariable
+per model variable, constraints re-emitted term by term); CBC supports MIP
+starts, so :class:`~repro.ilp.backend.WarmStart` hints are forwarded via
+``setInitialValue`` + ``warmStart=True``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ilp.backend import BackendUnavailable, WarmStart, deadline_remaining
+from repro.ilp.model import Model, Sense, VarType
+from repro.ilp.solution import Solution, SolveStatus
+
+try:  # pragma: no cover - exercised only on hosts with the extra installed
+    import pulp as _pulp
+except ImportError:  # pragma: no cover
+    _pulp = None
+
+
+def pulp_available() -> bool:
+    """Whether the optional PuLP/CBC stack is importable and usable."""
+    if _pulp is None:
+        return False
+    try:
+        return bool(_pulp.PULP_CBC_CMD(msg=False).available())
+    except Exception:  # noqa: BLE001 - a broken CBC binary means "absent"
+        return False
+
+
+# LpStatus codes: 1 optimal, 0 not solved, -1 infeasible, -2 unbounded,
+# -3 undefined.
+_STATUS_MAP = {
+    1: SolveStatus.OPTIMAL,
+    0: SolveStatus.NODE_LIMIT,
+    -1: SolveStatus.INFEASIBLE,
+    -2: SolveStatus.UNBOUNDED,
+    -3: SolveStatus.ERROR,
+}
+
+
+class PulpCbcSolver:
+    """Solve a :class:`~repro.ilp.model.Model` with CBC via PuLP."""
+
+    name = "cbc"
+    supports_warm_start = True
+    is_exact = True
+    is_anytime = False
+
+    def __init__(self, time_limit: float | None = None, gap_rel: float = 0.0):
+        if not pulp_available():
+            raise BackendUnavailable(
+                "PuLP/CBC is not installed; install with `pip install .[cbc]`"
+            )
+        self.time_limit = time_limit
+        self.gap_rel = gap_rel
+
+    def solve(
+        self,
+        model: Model,
+        *,
+        warm_start: WarmStart | None = None,
+        deadline: float | None = None,
+    ) -> Solution:
+        prob = _pulp.LpProblem(model.name or "model", _pulp.LpMinimize)
+        lp_vars = []
+        for var in model.variables:
+            lo = None if math.isinf(var.lo) else var.lo
+            hi = None if math.isinf(var.hi) else var.hi
+            cat = (
+                _pulp.LpContinuous
+                if var.var_type is VarType.CONTINUOUS
+                else _pulp.LpInteger
+            )
+            lp_vars.append(
+                _pulp.LpVariable(f"x{var.index}", lowBound=lo, upBound=hi, cat=cat)
+            )
+
+        obj = _pulp.lpSum(
+            coeff * lp_vars[idx] for idx, coeff in model.objective.coeffs.items()
+        )
+        prob += obj + model.objective.constant
+
+        for i, con in enumerate(model.constraints):
+            expr = _pulp.lpSum(
+                coeff * lp_vars[idx] for idx, coeff in con.expr.coeffs.items()
+            )
+            rhs = -con.expr.constant
+            if con.sense is Sense.LE:
+                prob += expr <= rhs, con.name or f"c{i}"
+            elif con.sense is Sense.GE:
+                prob += expr >= rhs, con.name or f"c{i}"
+            else:
+                prob += expr == rhs, con.name or f"c{i}"
+
+        use_mip_start = False
+        if warm_start is not None and warm_start.values.shape[0] == len(lp_vars):
+            hint = warm_start.values.copy()
+            for var in model.variables:
+                if var.var_type is not VarType.CONTINUOUS:
+                    hint[var.index] = round(hint[var.index])
+            # Only a verified-feasible assignment is offered as a MIP
+            # start; a poisoned hint is dropped on the floor.
+            if model.is_feasible(hint):
+                for var, value in zip(lp_vars, hint):
+                    var.setInitialValue(float(value))
+                use_mip_start = True
+
+        time_limit = self.time_limit
+        if deadline is not None:
+            remaining = max(deadline_remaining(deadline), 0.001)
+            time_limit = remaining if time_limit is None else min(time_limit, remaining)
+
+        cmd = _pulp.PULP_CBC_CMD(
+            msg=False,
+            timeLimit=time_limit,
+            gapRel=self.gap_rel or None,
+            warmStart=use_mip_start,
+        )
+        prob.solve(cmd)
+
+        status = _STATUS_MAP.get(prob.status, SolveStatus.ERROR)
+        values = np.array(
+            [v.varValue if v.varValue is not None else 0.0 for v in lp_vars],
+            dtype=float,
+        )
+        if status is not SolveStatus.OPTIMAL:
+            return Solution(status, message=_pulp.LpStatus[prob.status])
+        for var in model.variables:
+            if var.var_type is not VarType.CONTINUOUS:
+                values[var.index] = round(values[var.index])
+        objective = model.objective_value(values)
+        return Solution(status, objective, values, message="cbc optimal")

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro.ilp.backend import deadline_remaining
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStatus
 from repro.perf import FLAGS
@@ -25,13 +26,33 @@ _STATUS_MAP = {
 
 
 class ScipyMilpSolver:
-    """Solve a :class:`~repro.ilp.model.Model` with HiGHS via SciPy."""
+    """Solve a :class:`~repro.ilp.model.Model` with HiGHS via SciPy.
+
+    Implements the :class:`repro.ilp.backend.SolverBackend` protocol.
+    ``scipy.optimize.milp`` exposes no MIP-start interface, so warm-start
+    hints are accepted and ignored — which is what keeps the default
+    reconstruction path byte-identical whether or not a hint is offered.
+    """
+
+    name = "highs"
+    supports_warm_start = False
+    is_exact = True
+    # HiGHS honours time_limit, but an interrupted solve may return no
+    # incumbent at all, so it does not meet the anytime contract.
+    is_anytime = False
 
     def __init__(self, time_limit: float | None = None, mip_rel_gap: float = 0.0):
         self.time_limit = time_limit
         self.mip_rel_gap = mip_rel_gap
 
-    def solve(self, model: Model) -> Solution:
+    def solve(
+        self,
+        model: Model,
+        *,
+        warm_start=None,
+        deadline: float | None = None,
+    ) -> Solution:
+        del warm_start  # no MIP-start plumbing in scipy.optimize.milp
         # The sparse lowering hands HiGHS the same nonzeros without ever
         # materialising the (overwhelmingly zero) dense rows.
         arrays = model.to_coo() if FLAGS.sparse_ilp else model.to_arrays()
@@ -45,8 +66,12 @@ class ScipyMilpSolver:
                 LinearConstraint(arrays.a_eq, arrays.b_eq, arrays.b_eq)
             )
         options: dict[str, object] = {"mip_rel_gap": self.mip_rel_gap}
-        if self.time_limit is not None:
-            options["time_limit"] = self.time_limit
+        time_limit = self.time_limit
+        if deadline is not None:
+            remaining = max(deadline_remaining(deadline), 0.001)
+            time_limit = remaining if time_limit is None else min(time_limit, remaining)
+        if time_limit is not None:
+            options["time_limit"] = time_limit
 
         res = milp(
             c=arrays.c,

@@ -65,14 +65,16 @@ from repro.survey.budget import FailureBudget
 from repro.survey.timing import StageAggregate, aggregate_timings
 from repro.util.rng import derive_rng
 
-#: MappingConfig fields a worker job carries (``solver`` objects may hold
-#: unpicklable state, so the pool path only supports the default solver).
+#: MappingConfig fields a worker job carries. ``solver`` crosses the pool
+#: only as a registry *name* (each worker builds its own backend); solver
+#: objects may hold unpicklable state and stay single-process.
 _CONFIG_FIELDS = (
     "home_discovery_rounds",
     "colocation_sweeps",
     "probe_rounds",
     "l2_set",
     "reduce_ilp",
+    "solver",
     "batched",
     "retry",
 )
@@ -368,8 +370,15 @@ class SurveyRunner:
         self.workers = workers
         self.root_seed = root_seed
         self.config = config or MappingConfig()
-        if workers > 1 and self.config.solver is not None:
-            raise ValueError("custom solver objects cannot cross the worker pool")
+        if (
+            workers > 1
+            and self.config.solver is not None
+            and not isinstance(self.config.solver, str)
+        ):
+            raise ValueError(
+                "custom solver objects cannot cross the worker pool; "
+                "pass a registry name (e.g. 'portfolio') instead"
+            )
         self.verify_truth = verify_truth
         #: Cap the pool at the CPUs actually available — extra CPU-bound
         #: workers on an oversubscribed host only add fork/IPC overhead.

@@ -55,6 +55,7 @@ from repro.faults.crashpoints import (
     WriteCrashPoint,
 )
 from repro.faults.plan import chaos_plan
+from repro.ilp.backend import available_backends, backend_available
 from repro.platform.instance import CpuInstance
 from repro.platform.skus import SKU_CATALOG
 from repro.sim.factory import build_machine
@@ -186,14 +187,28 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    if args.solver is not None and not backend_available(args.solver):
+        print(
+            f"solver backend {args.solver!r} is not available on this host "
+            f"(installed: {', '.join(available_backends())}); "
+            "the cbc backend needs `pip install .[cbc]`",
+            file=sys.stderr,
+        )
+        return 2
     db = MapDatabase(args.db) if args.db else None
     faults = chaos_plan(args.instances, args.chaos, seed=args.chaos_seed) if args.chaos else None
     tracer = Tracer() if (args.trace_out or args.metrics_out) else None
+    config = None
+    if args.resilient or args.solver:
+        config = MappingConfig(
+            retry=RetryPolicy() if args.resilient else None,
+            solver=args.solver,
+        )
     runner = SurveyRunner(
         db=db,
         workers=args.workers,
         root_seed=args.root_seed,
-        config=MappingConfig(retry=RetryPolicy()) if args.resilient else None,
+        config=config,
         faults=faults,
         # The sharded service treats slot failure as survivable by
         # default — the failure budget is what bounds it.
@@ -563,6 +578,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ]
     print(format_table(["span", "count", "p50", "p95"], span_rows,
                        title="Pipeline span costs (optimized, cold)"))
+    if "solver_speedup" in record:
+        solver_rows = [
+            ["default backend",
+             f"{record['solver_default_solve_seconds'] * 1e3:.1f}ms", ""],
+            ["portfolio",
+             f"{record['solver_portfolio_solve_seconds'] * 1e3:.1f}ms",
+             f"{record['solver_speedup']:.2f}x"],
+        ]
+        print(format_table(["solver", "fleet solve time", "speedup"], solver_rows,
+                           title="Solver portfolio (warm starts off)"))
 
     baseline = latest_record(args.out)
     try:
@@ -705,6 +730,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--resilient",
         action="store_true",
         help="enable in-pipeline retries, vote-based re-measurement and ILP degradation",
+    )
+    p_survey.add_argument(
+        "--solver",
+        choices=("highs", "bnb", "cbc", "portfolio"),
+        default=None,
+        help="MILP backend for the §II-C reconstruction (default: highs; "
+        "'portfolio' races every installed exact backend)",
     )
     p_survey.add_argument(
         "--retries", type=int, default=2, help="dispatch attempts per slot (first included)"

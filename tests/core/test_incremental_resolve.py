@@ -1,0 +1,224 @@
+"""Incremental re-solve: mutated subset models are bit-identical to rebuilds.
+
+When the degradation loop sheds observations, ``mutate_layout_for_subset``
+filters the previous round's model by constraint tag instead of rebuilding.
+These tests pin the contract: whenever the mutation succeeds, the arrays
+the solver consumes are *exactly* those of a from-scratch build of the
+subset; whenever the structure changed, the mutation refuses and the loop
+falls back to the (always-correct) rebuild.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReconstructionInfeasible
+from repro.core.ilp_formulation import build_layout_model, mutate_layout_for_subset
+from repro.core.observations import PathObservation
+from repro.core.reconstruct import reconstruct_map, reconstruct_with_degradation
+from repro.ilp.warmstart import PATTERN_CACHE
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.perf import FLAGS, clear_caches, use_flags
+from repro.telemetry.tracer import Tracer
+from tests.core.test_ilp_formulation import all_pairs_observations
+from tests.core.test_reconstruct import make_mapping, truth_map
+
+POSITIONS = {
+    0: TileCoord(0, 0), 1: TileCoord(0, 1), 2: TileCoord(1, 0),
+    3: TileCoord(1, 1), 4: TileCoord(2, 0), 5: TileCoord(2, 1),
+}
+CORES = set(POSITIONS)
+GRID = GridSpec(3, 2)
+
+#: Claims CHA 4 sits *above* CHA 0 — contradicts every honest observation.
+CONTRADICTION = PathObservation(source_cha=0, sink_cha=4, up=frozenset({2, 4}))
+
+
+def assert_same_arrays(model_a, model_b):
+    a, b = model_a.to_arrays(), model_b.to_arrays()
+    for field in ("c", "a_ub", "b_ub", "a_eq", "b_eq", "lo", "hi", "integrality"):
+        assert np.array_equal(getattr(a, field), getattr(b, field)), field
+    assert a.objective_constant == b.objective_constant
+    coo_a, coo_b = model_a.to_coo(), model_b.to_coo()
+    for field in ("a_ub", "a_eq"):
+        assert (getattr(coo_a, field) != getattr(coo_b, field)).nnz == 0, field
+
+
+def drop_last(observations, n):
+    kept_positions = list(range(len(observations) - n))
+    return kept_positions, [observations[i] for i in kept_positions]
+
+
+class TestMutationEquivalence:
+    def test_mutated_model_matches_rebuild_exactly(self):
+        obs = all_pairs_observations(POSITIONS, CORES)
+        base = build_layout_model(obs, 6, GRID, endpoint_chas=frozenset(CORES))
+        kept_positions, subset = drop_last(obs, 4)
+        mutated = mutate_layout_for_subset(base, kept_positions, subset)
+        assert mutated is not None
+        rebuilt = build_layout_model(subset, 6, GRID, endpoint_chas=frozenset(CORES))
+        assert len(mutated.model.constraints) == len(rebuilt.model.constraints)
+        assert_same_arrays(mutated.model, rebuilt.model)
+
+    def test_mutation_shares_variables_with_the_base(self):
+        obs = all_pairs_observations(POSITIONS, CORES)
+        base = build_layout_model(obs, 6, GRID, endpoint_chas=frozenset(CORES))
+        kept_positions, subset = drop_last(obs, 4)
+        mutated = mutate_layout_for_subset(base, kept_positions, subset)
+        assert mutated.model.variables[0] is base.model.variables[0]
+        assert mutated.model.objective is base.model.objective
+
+    def test_chained_mutations_match_direct_rebuild(self):
+        """Round 2 mutates round 1's mutation; the renumbered bookkeeping
+        must land on the same arrays as one straight rebuild."""
+        obs = all_pairs_observations(POSITIONS, CORES)
+        base = build_layout_model(obs, 6, GRID, endpoint_chas=frozenset(CORES))
+        kept1, subset1 = drop_last(obs, 3)
+        step1 = mutate_layout_for_subset(base, kept1, subset1)
+        assert step1 is not None
+        kept2, subset2 = drop_last(subset1, 3)
+        step2 = mutate_layout_for_subset(step1, kept2, subset2)
+        assert step2 is not None
+        rebuilt = build_layout_model(subset2, 6, GRID, endpoint_chas=frozenset(CORES))
+        assert_same_arrays(step2.model, rebuilt.model)
+
+    def test_mutated_model_solves_to_the_same_map(self):
+        obs = all_pairs_observations(POSITIONS, CORES)
+        base = build_layout_model(obs, 6, GRID, endpoint_chas=frozenset(CORES))
+        kept_positions, subset = drop_last(obs, 4)
+        mutated = mutate_layout_for_subset(base, kept_positions, subset)
+        result = reconstruct_map(subset, make_mapping(CORES), GRID, layout=mutated)
+        reference = reconstruct_map(subset, make_mapping(CORES), GRID)
+        assert result.core_map.cha_positions == reference.core_map.cha_positions
+        assert (result.solution.values == reference.solution.values).all()
+
+
+class TestMutationRefusals:
+    def _base(self, obs=None):
+        obs = obs if obs is not None else all_pairs_observations(POSITIONS, CORES)
+        return obs, build_layout_model(obs, 6, GRID, endpoint_chas=frozenset(CORES))
+
+    def test_unreduced_base_refused(self):
+        obs = all_pairs_observations(POSITIONS, CORES)
+        base = build_layout_model(
+            obs, 6, GRID, endpoint_chas=frozenset(CORES), reduce=False
+        )
+        kept_positions, subset = drop_last(obs, 2)
+        assert mutate_layout_for_subset(base, kept_positions, subset) is None
+
+    def test_losing_a_cha_refused(self):
+        obs, base = self._base()
+        kept_positions = [
+            i for i, o in enumerate(obs)
+            if 5 not in ({o.source_cha, o.sink_cha} | set(o.observers))
+        ]
+        subset = [obs[i] for i in kept_positions]
+        assert mutate_layout_for_subset(base, kept_positions, subset) is None
+
+    def test_losing_a_guard_creator_refused(self):
+        obs, base = self._base()
+        assert base.guard_creators, "fixture must exercise direction guards"
+        victim = min(base.guard_creators)
+        kept_positions = [i for i in range(len(obs)) if i != victim]
+        subset = [obs[i] for i in kept_positions]
+        assert mutate_layout_for_subset(base, kept_positions, subset) is None
+
+
+class TestDegradationIntegration:
+    def _run(self, tracer=None):
+        clear_caches()  # keep the pattern cache out of cross-run comparisons
+        obs = all_pairs_observations(POSITIONS, CORES) + [CONTRADICTION]
+        confidences = [1.0] * (len(obs) - 1) + [0.01]
+        return reconstruct_with_degradation(
+            obs,
+            confidences,
+            make_mapping(CORES),
+            GRID,
+            drop_fraction=1.0 / len(obs),
+            tracer=tracer,
+        )
+
+    def test_flag_on_and_off_are_bit_identical(self):
+        with use_flags(incremental_resolve=False):
+            cold_result, cold_dropped = self._run()
+        with use_flags(incremental_resolve=True):
+            incr_result, incr_dropped = self._run()
+        assert incr_dropped == cold_dropped == 1
+        assert (
+            incr_result.core_map.cha_positions == cold_result.core_map.cha_positions
+        )
+        assert (incr_result.solution.values == cold_result.solution.values).all()
+        assert incr_result.refinement_cuts == cold_result.refinement_cuts
+        assert incr_result.core_map.equivalent(truth_map(POSITIONS, CORES, GRID))
+
+    def test_incremental_counter_increments(self):
+        tracer = Tracer()
+        with use_flags(incremental_resolve=True):
+            self._run(tracer=tracer)
+        snap = tracer.snapshot()
+        assert snap.counter_value("ilp_incremental_resolves_total") >= 1
+        assert snap.counter_value("ilp_incremental_fallbacks_total") == 0
+
+    def test_flag_off_never_mutates(self):
+        tracer = Tracer()
+        with use_flags(incremental_resolve=False):
+            self._run(tracer=tracer)
+        snap = tracer.snapshot()
+        assert snap.counter_value("ilp_incremental_resolves_total") == 0
+
+    def test_gives_up_like_the_rebuild_path(self):
+        obs = all_pairs_observations(POSITIONS, CORES) + [CONTRADICTION]
+        confidences = [0.5] * (len(obs) - 1) + [1.0]
+        with use_flags(incremental_resolve=True):
+            with pytest.raises(ReconstructionInfeasible):
+                reconstruct_with_degradation(
+                    obs,
+                    confidences,
+                    make_mapping(CORES),
+                    GRID,
+                    drop_fraction=1.0 / len(obs),
+                    max_degradations=2,
+                )
+
+
+class TestPoisonedWarmStartPath:
+    def test_rejected_cache_entry_feeds_a_hint_without_changing_output(self):
+        """PR-7 path, now through the protocol: a tampered pattern-cache
+        entry is rejected, its solution is offered to the solver as a
+        WarmStart hint, and the output stays byte-identical to cold."""
+        clear_caches()
+        obs = all_pairs_observations(POSITIONS, CORES)
+        mapping = make_mapping(CORES)
+        with use_flags(warm_start=True):
+            reference = reconstruct_map(obs, mapping, GRID, solver="bnb")
+            assert len(PATTERN_CACHE._entries) >= 1
+            entry = next(iter(PATTERN_CACHE._entries.values()))
+            located = sorted(entry.positions)
+            a, b = located[0], located[1]
+            entry.positions[a], entry.positions[b] = (
+                entry.positions[b],
+                entry.positions[a],
+            )
+            rejected_before = PATTERN_CACHE.rejected
+            warm = reconstruct_map(obs, mapping, GRID, solver="bnb")
+        assert PATTERN_CACHE.rejected == rejected_before + 1
+        assert warm.core_map.cha_positions == reference.core_map.cha_positions
+        assert (warm.solution.values == reference.solution.values).all()
+        clear_caches()
+
+    def test_hint_dropped_for_backends_without_warm_start_support(self):
+        clear_caches()
+        obs = all_pairs_observations(POSITIONS, CORES)
+        mapping = make_mapping(CORES)
+        with use_flags(warm_start=True):
+            reference = reconstruct_map(obs, mapping, GRID, solver="highs")
+            entry = next(iter(PATTERN_CACHE._entries.values()))
+            located = sorted(entry.positions)
+            a, b = located[0], located[1]
+            entry.positions[a], entry.positions[b] = (
+                entry.positions[b],
+                entry.positions[a],
+            )
+            warm = reconstruct_map(obs, mapping, GRID, solver="highs")
+        assert warm.core_map.cha_positions == reference.core_map.cha_positions
+        assert (warm.solution.values == reference.solution.values).all()
+        clear_caches()

@@ -4,7 +4,7 @@ from repro.core.cha_mapping import ChaMappingResult
 from repro.core.coremap import CoreMap
 from repro.core.errors import MappingError
 from repro.core.reconstruct import predict_observation, reconstruct_map
-from repro.ilp.branch_bound import BranchBoundSolver
+from repro.ilp import create_backend
 from repro.mesh.geometry import GridSpec, TileCoord
 from tests.core.test_ilp_formulation import all_pairs_observations
 
@@ -59,7 +59,7 @@ class TestReconstruction:
         grid = GridSpec(2, 2)
         obs = all_pairs_observations(positions, cores)
         result = reconstruct_map(
-            obs, make_mapping(cores), grid, solver=BranchBoundSolver(max_nodes=50_000)
+            obs, make_mapping(cores), grid, solver=create_backend("bnb", max_nodes=50_000)
         )
         assert result.core_map.equivalent(truth_map(positions, cores, grid))
 

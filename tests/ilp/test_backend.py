@@ -1,0 +1,190 @@
+"""The SolverBackend protocol, the registry, and solver-spec resolution."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import (
+    BackendUnavailable,
+    BranchBoundSolver,
+    PortfolioSolver,
+    ScipyMilpSolver,
+    Solution,
+    SolverBackend,
+    SolveStatus,
+    WarmStart,
+    available_backends,
+    backend_available,
+    backend_names,
+    create_backend,
+    default_solver,
+    pulp_available,
+    register_backend,
+    resolve_solver,
+    unregister_backend,
+)
+from repro.ilp.backend import DEFAULT_BACKEND, backend_spec, definitive
+from repro.ilp.model import Model
+
+
+def tiny_model():
+    m = Model()
+    x = m.add_integer("x", 0, 5)
+    y = m.add_integer("y", 0, 5)
+    m.add_constraint(x + y >= 3)
+    m.minimize(x + 2 * y)
+    return m
+
+
+class TestRegistry:
+    def test_builtin_names_in_priority_order(self):
+        names = backend_names()
+        assert names.index("highs") < names.index("bnb") < names.index("cbc")
+        assert names[-1] == "portfolio"
+
+    def test_default_backend_is_highs(self):
+        assert DEFAULT_BACKEND == "highs"
+        assert isinstance(default_solver(), ScipyMilpSolver)
+
+    def test_availability_tracks_optional_dependency(self):
+        assert backend_available("highs")
+        assert backend_available("bnb")
+        assert backend_available("cbc") == pulp_available()
+        available = available_backends()
+        assert "highs" in available
+        if not pulp_available():
+            assert "cbc" not in available
+
+    def test_unknown_name_raises_keyerror_with_choices(self):
+        with pytest.raises(KeyError, match="highs"):
+            create_backend("glpk")
+
+    def test_unavailable_backend_raises_backend_unavailable(self):
+        register_backend(
+            "never-there",
+            ScipyMilpSolver,
+            priority=999,
+            available=lambda: False,
+            doc="install nothing, this is a test",
+        )
+        try:
+            assert not backend_available("never-there")
+            with pytest.raises(BackendUnavailable, match="never-there"):
+                create_backend("never-there")
+        finally:
+            unregister_backend("never-there")
+
+    def test_duplicate_registration_rejected_without_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("highs", ScipyMilpSolver, priority=0)
+
+    def test_availability_probe_errors_mean_unavailable(self):
+        def broken_probe():
+            raise OSError("solver binary exploded")
+
+        register_backend(
+            "broken", ScipyMilpSolver, priority=998, available=broken_probe
+        )
+        try:
+            assert not backend_available("broken")
+        finally:
+            unregister_backend("broken")
+
+
+class TestResolveSolver:
+    def test_none_resolves_to_default(self):
+        assert isinstance(resolve_solver(None), ScipyMilpSolver)
+
+    def test_name_resolves_to_fresh_instance(self):
+        a = resolve_solver("bnb")
+        b = resolve_solver("bnb")
+        assert isinstance(a, BranchBoundSolver)
+        assert a is not b
+
+    def test_instance_passes_through_unchanged(self):
+        solver = BranchBoundSolver(max_nodes=7)
+        assert resolve_solver(solver) is solver
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", ["highs", "bnb", "portfolio"])
+    def test_backend_satisfies_protocol(self, name):
+        backend = create_backend(name)
+        assert isinstance(backend, SolverBackend)
+        assert backend.name == name
+        assert isinstance(backend.supports_warm_start, bool)
+        assert isinstance(backend.is_exact, bool)
+        assert isinstance(backend.is_anytime, bool)
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in ("highs", "bnb", "cbc", "portfolio") if backend_available(n)],
+    )
+    def test_solve_signature_and_agreement(self, name):
+        sol = create_backend(name).solve(tiny_model())
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)  # x=3, y=0
+
+    def test_warm_start_values_coerced_to_float(self):
+        hint = WarmStart(values=[1, 2, 3], source="test")
+        assert hint.values.dtype == float
+        assert hint.source == "test"
+
+    def test_warm_started_backends_ignore_infeasible_hints(self):
+        model = tiny_model()
+        bad = WarmStart(values=np.zeros(2), source="poisoned")  # violates x+y>=3
+        sol = create_backend("bnb").solve(model, warm_start=bad)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)
+
+
+class TestDefinitive:
+    def test_optimal_is_always_definitive(self):
+        sol = Solution(SolveStatus.OPTIMAL, 0.0, np.zeros(1))
+        assert definitive(sol, BranchBoundSolver())
+
+    def test_infeasible_only_from_exact_backends(self):
+        sol = Solution(SolveStatus.INFEASIBLE)
+
+        class Heuristic:
+            is_exact = False
+
+        assert definitive(sol, ScipyMilpSolver())
+        assert not definitive(sol, Heuristic())
+
+    def test_node_limit_never_definitive(self):
+        sol = Solution(SolveStatus.NODE_LIMIT, 1.0, np.zeros(1))
+        assert not definitive(sol, ScipyMilpSolver())
+
+
+class TestDeadline:
+    def test_bnb_deadline_interrupts_with_incumbent_contract(self):
+        import time
+
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(18)]
+        weights = [3 + (i * 7) % 11 for i in range(18)]
+        from repro.ilp.model import lin_sum
+
+        m.add_constraint(lin_sum(w * x for w, x in zip(weights, xs)) <= 40)
+        m.minimize(lin_sum(-(w + 1) * x for w, x in zip(weights, xs)))
+        sol = BranchBoundSolver().solve(m, deadline=time.monotonic())  # expired
+        # An expired deadline can never be reported as a proven optimum.
+        assert sol.status in (SolveStatus.NODE_LIMIT, SolveStatus.ERROR)
+
+    def test_highs_deadline_maps_to_time_limit(self):
+        import time
+
+        sol = ScipyMilpSolver().solve(
+            tiny_model(), deadline=time.monotonic() + 30.0
+        )
+        assert sol.status is SolveStatus.OPTIMAL
+
+    def test_portfolio_registered_spec_shape(self):
+        spec = backend_spec("portfolio")
+        assert spec.priority > backend_spec("cbc").priority
+        assert spec.accepts_tracer
+
+    def test_portfolio_class_flags(self):
+        assert PortfolioSolver.is_exact
+        assert PortfolioSolver.is_anytime
+        assert PortfolioSolver.supports_warm_start

@@ -1,0 +1,290 @@
+"""Differential cross-backend harness over generated reconstruction ILPs.
+
+Every available backend must agree on every instance of a seeded corpus
+drawn from the §II-C reconstruction model family: same solve status, same
+optimal objective, and — when the optimum is provably unique — the same
+assignment. Instances come in families (dense/sparse observation sets,
+LLC-only CHAs, unobserved CHAs, single-column layouts, contradictory
+measurements), so the corpus contains feasible, infeasible and degenerate
+models. Backends whose optional dependency is missing (CBC without pulp)
+are skipped per-backend, not per-test.
+
+Uniqueness is decided exactly: after the race, the winning one-hot
+pattern is excluded with a no-good cut and the model re-solved — if no
+equally-good second assignment exists, all backends must have returned
+identical positions, not merely equal objectives.
+"""
+
+import random
+
+import pytest
+
+from repro.core.ilp_formulation import build_layout_model
+from repro.core.observations import PathObservation
+from repro.core.reconstruct import predict_observation
+from repro.ilp import (
+    ScipyMilpSolver,
+    SolveStatus,
+    available_backends,
+    create_backend,
+)
+from repro.ilp.model import lin_sum
+from repro.mesh.geometry import GridSpec, TileCoord
+
+N_INSTANCES = 200
+CHUNK = 10
+
+FAMILIES = (
+    "feasible-dense",
+    "feasible-sparse",
+    "llc-only",
+    "unobserved",
+    "column-line",
+    "infeasible",
+)
+
+
+def _random_layout(rng, n_rows, n_cols, k):
+    tiles = [TileCoord(r, c) for r in range(n_rows) for c in range(n_cols)]
+    coords = rng.sample(tiles, k)
+    return {cha: coord for cha, coord in enumerate(coords)}
+
+
+def _all_pairs(positions, cores):
+    return [
+        predict_observation(positions, s, e)
+        for s in sorted(cores)
+        for e in sorted(cores)
+        if s != e
+    ]
+
+
+def generate_instance(seed):
+    """One seeded instance: (observations, n_chas, grid, endpoints, family)."""
+    rng = random.Random(seed)
+    family = FAMILIES[seed % len(FAMILIES)]
+    # Grids stay small: the from-scratch branch-and-bound lane solves every
+    # instance too, and the harness rides the tier-1 suite. One seed in
+    # five gets the larger 5-CHA shape so the corpus is not all-trivial.
+    n_rows = 3
+    n_cols = rng.randint(3, 4)
+    k = 5 if seed % 5 == 4 else 4
+    positions = _random_layout(rng, n_rows, n_cols, k)
+    cores = set(positions)
+    n_chas = k
+
+    if family == "feasible-dense":
+        obs = _all_pairs(positions, cores)
+    elif family == "feasible-sparse":
+        # Drop ~40% of the probes: underconstrained, symmetric optima.
+        obs = [o for o in _all_pairs(positions, cores) if rng.random() < 0.6]
+        if not obs:
+            obs = _all_pairs(positions, cores)[:1]
+    elif family == "llc-only":
+        # One CHA has no core: it observes but is never an endpoint.
+        cores = set(positions) - {rng.choice(sorted(positions))}
+        obs = _all_pairs(positions, cores)
+    elif family == "unobserved":
+        # A CHA id beyond every observation: free variables in the model.
+        n_chas = k + 1
+        obs = _all_pairs(positions, cores)
+    elif family == "column-line":
+        # All CHAs stacked in one column: no horizontal guards at all.
+        k = min(k, n_rows)
+        positions = {cha: TileCoord(r, 0) for cha, r in enumerate(rng.sample(range(n_rows), k))}
+        cores = set(positions)
+        n_chas = k
+        obs = _all_pairs(positions, cores)
+    elif family == "infeasible":
+        obs = _all_pairs(positions, cores)
+        vertical = [o for o in obs if o.up or o.down]
+        if vertical:
+            # The same probe seen with up/down swapped: the observer would
+            # have to sit both above and below the source (usually UNSAT;
+            # a direction guard occasionally absorbs the contradiction, in
+            # which case the instance simply lands in the feasible pool).
+            o = rng.choice(vertical)
+            obs.append(
+                PathObservation(
+                    source_cha=o.source_cha,
+                    sink_cha=o.sink_cha,
+                    up=o.down,
+                    down=o.up,
+                    horizontal=o.horizontal,
+                )
+            )
+        else:  # pragma: no cover - all-pairs always has a vertical probe
+            obs.append(obs[0])
+    else:  # pragma: no cover
+        raise AssertionError(family)
+
+    endpoints = frozenset(cores)
+    return obs, n_chas, GridSpec(n_rows, n_cols), endpoints, family
+
+
+def _positions(layout, solution):
+    return {
+        cha: (
+            solution.int_value_of(layout.row_vars[layout.row_class_of[cha]]),
+            solution.int_value_of(layout.col_vars[layout.col_class_of[cha]]),
+        )
+        for cha in sorted(layout.observed)
+    }
+
+
+def _optimum_is_unique(layout, solution):
+    """Exclude the winning one-hot pattern; True if nothing ties it."""
+    onehots = list(layout.row_onehots.values()) + list(layout.col_onehots.values())
+    cut = lin_sum(
+        (1 - oh) if solution.int_value_of(oh) == 1 else oh for oh in onehots
+    )
+    layout.model.add_constraint(cut >= 1, name="nogood_uniqueness_probe")
+    try:
+        second = ScipyMilpSolver().solve(layout.model)
+    finally:
+        layout.model.constraints.pop()
+    if second.status is SolveStatus.INFEASIBLE:
+        return True
+    return second.objective > solution.objective + 1e-6
+
+
+#: Node budget for the pure-python branch-and-bound lane. On instances it
+#: cannot close within the budget it *withdraws* (NODE_LIMIT) and only its
+#: anytime contract is checked; wherever it completes — more than half the
+#: corpus, asserted below — its verdict must match the other lanes exactly.
+BNB_NODE_BUDGET = 150
+
+#: Completion statistics accumulated across the chunked corpus so the node
+#: budget can never silently withdraw the bnb lane from the whole corpus.
+_BNB_STATS = {"completed": 0, "withdrew": 0}
+
+
+def _backend_lanes():
+    """name → solver factory for every installed lane, priority order."""
+    lanes = {}
+    for name in available_backends():
+        if name == "portfolio":
+            continue
+        if name == "bnb":
+            lanes[name] = lambda: create_backend("bnb", max_nodes=BNB_NODE_BUDGET)
+        else:
+            lanes[name] = lambda name=name: create_backend(name)
+    return lanes
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("chunk", range(N_INSTANCES // CHUNK))
+    def test_backends_agree(self, chunk):
+        lanes = _backend_lanes()
+        assert len(lanes) >= 2, "differential needs at least two backends"
+        names = list(lanes)
+        for seed in range(chunk * CHUNK, (chunk + 1) * CHUNK):
+            obs, n_chas, grid, endpoints, family = generate_instance(seed)
+            layout = build_layout_model(
+                obs, n_chas, grid, endpoint_chas=endpoints, reduce=True
+            )
+            results = {name: lanes[name]().solve(layout.model) for name in names}
+            reference = results[names[0]]
+            assert reference.status in (
+                SolveStatus.OPTIMAL,
+                SolveStatus.INFEASIBLE,
+            ), f"seed {seed} ({family}): reference returned {reference.status}"
+            for name, sol in results.items():
+                if sol.status is SolveStatus.NODE_LIMIT:
+                    # An anytime lane out of budget proves nothing, but any
+                    # incumbent it returns must still satisfy the model.
+                    _BNB_STATS["withdrew"] += 1
+                    if sol.values.size:
+                        assert layout.model.is_feasible(sol.values), (
+                            f"seed {seed} ({family}): {name} returned an "
+                            f"infeasible incumbent"
+                        )
+                    continue
+                if name == "bnb":
+                    _BNB_STATS["completed"] += 1
+                assert sol.status is reference.status, (
+                    f"seed {seed} ({family}): {name} returned {sol.status} "
+                    f"but {names[0]} returned {reference.status}"
+                )
+            settled = {
+                name: sol
+                for name, sol in results.items()
+                if sol.status is SolveStatus.OPTIMAL
+            }
+            if reference.status is not SolveStatus.OPTIMAL or not settled:
+                continue
+            for name, sol in settled.items():
+                assert sol.objective == pytest.approx(
+                    reference.objective, abs=1e-6
+                ), f"seed {seed} ({family}): {name} objective diverged"
+                assert layout.model.is_feasible(sol.values), (
+                    f"seed {seed} ({family}): {name} returned an infeasible point"
+                )
+            if len(settled) > 1 and _optimum_is_unique(layout, reference):
+                ref_positions = _positions(layout, reference)
+                for name, sol in settled.items():
+                    assert _positions(layout, sol) == ref_positions, (
+                        f"seed {seed} ({family}): unique optimum but {name} "
+                        f"returned a different assignment"
+                    )
+
+    def test_bnb_lane_completed_most_of_the_corpus(self):
+        """The node budget must not have withdrawn bnb from the whole race."""
+        total = _BNB_STATS["completed"] + _BNB_STATS["withdrew"]
+        if total < N_INSTANCES:
+            pytest.skip("full corpus did not run (test selection)")
+        assert _BNB_STATS["completed"] >= total // 2, _BNB_STATS
+
+    def test_corpus_exercises_both_outcomes(self):
+        """The generator must produce feasible AND infeasible instances."""
+        statuses = set()
+        solver = ScipyMilpSolver()
+        for seed in range(0, 24):
+            obs, n_chas, grid, endpoints, _ = generate_instance(seed)
+            layout = build_layout_model(
+                obs, n_chas, grid, endpoint_chas=endpoints, reduce=True
+            )
+            statuses.add(solver.solve(layout.model).status)
+        assert SolveStatus.OPTIMAL in statuses
+        assert SolveStatus.INFEASIBLE in statuses
+
+    def test_infeasible_family_is_actually_infeasible(self):
+        # The swapped-duplicate corruption is not *guaranteed* to be
+        # unsatisfiable (direction guards can occasionally explain the
+        # contradiction away), so pin seeds known to produce UNSAT models.
+        for seed in (5, 11, 23, 29):  # seed % 6 == 5 → "infeasible"
+            obs, n_chas, grid, endpoints, family = generate_instance(seed)
+            assert family == "infeasible"
+            layout = build_layout_model(
+                obs, n_chas, grid, endpoint_chas=endpoints, reduce=True
+            )
+            sol = ScipyMilpSolver().solve(layout.model)
+            assert sol.status is SolveStatus.INFEASIBLE, f"seed {seed}"
+
+    @pytest.mark.parametrize("name", ["highs", "bnb", "cbc"])
+    def test_each_lane_runs_or_skips(self, name):
+        """Per-backend skip: absent solvers skip, present ones must work."""
+        if name not in available_backends():
+            pytest.skip(f"backend {name!r} not installed")
+        obs, n_chas, grid, endpoints, _ = generate_instance(0)
+        layout = build_layout_model(
+            obs, n_chas, grid, endpoint_chas=endpoints, reduce=True
+        )
+        sol = create_backend(name).solve(layout.model)
+        assert sol.status is SolveStatus.OPTIMAL
+
+    def test_portfolio_matches_reference_on_corpus_sample(self):
+        """The portfolio's verdict is the priority lane's verdict, bytes and all."""
+        solver = ScipyMilpSolver()
+        portfolio = create_backend("portfolio")
+        for seed in range(0, 12):
+            obs, n_chas, grid, endpoints, family = generate_instance(seed)
+            layout = build_layout_model(
+                obs, n_chas, grid, endpoint_chas=endpoints, reduce=True
+            )
+            expected = solver.solve(layout.model)
+            raced = portfolio.solve(layout.model)
+            assert raced.status is expected.status, f"seed {seed} ({family})"
+            if expected.status is SolveStatus.OPTIMAL:
+                assert raced.objective == expected.objective, f"seed {seed}"
+                assert (raced.values == expected.values).all(), f"seed {seed}"

@@ -1,0 +1,258 @@
+"""Portfolio racing: deterministic verdicts, real cancellation, fallbacks."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults.crashpoints import StallPoint
+from repro.ilp import (
+    BranchBoundSolver,
+    PortfolioSolver,
+    ScipyMilpSolver,
+    Solution,
+    SolveStatus,
+    create_backend,
+)
+from repro.ilp.model import Model, lin_sum
+from repro.telemetry.tracer import Tracer
+
+
+def knapsack_model(n=10, capacity=17):
+    m = Model()
+    xs = [m.add_binary(f"x{i}") for i in range(n)]
+    weights = [(i * 7) % 11 + 2 for i in range(n)]
+    m.add_constraint(lin_sum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.minimize(lin_sum(-(w + 1) * x for w, x in zip(weights, xs)))
+    return m
+
+
+def infeasible_model():
+    m = Model()
+    x = m.add_integer("x", 0, 5)
+    m.add_constraint(x >= 3)
+    m.add_constraint(x <= 2)
+    m.minimize(x)
+    return m
+
+
+class StalledBackend:
+    """A lane wedged mid-solve — reuses the fault-injection stall hook.
+
+    Cooperative by default: the stall watches the portfolio's cancel event
+    and gives up the moment it fires. The non-cooperative flavour exposes
+    no ``cancel`` parameter at all, so nothing inside the lane will ever
+    unwind it — the shape of a wedged native solver call.
+    """
+
+    name = "stalled"
+    supports_warm_start = False
+    is_exact = True
+    is_anytime = False
+
+    def __init__(self, sleep_seconds=2.0, cooperative=True):
+        self.stall = StallPoint(after_writes=1, sleep_seconds=sleep_seconds)
+        self.calls = 0
+        if not cooperative:
+            self.solve = self._solve_wedged
+
+    def solve(self, model, *, warm_start=None, deadline=None, cancel=None):
+        self.calls += 1
+        if cancel is not None:
+            cancel.wait(timeout=self.stall.sleep_seconds)
+            return Solution(SolveStatus.ERROR, message="cancelled mid-stall")
+        self.stall()
+        return ScipyMilpSolver().solve(model)
+
+    def _solve_wedged(self, model, *, warm_start=None, deadline=None):
+        self.calls += 1
+        self.stall()
+        return ScipyMilpSolver().solve(model)
+
+
+class NodeLimitedBackend:
+    """An anytime lane that always runs out of budget."""
+
+    name = "limited"
+    supports_warm_start = True
+    is_exact = True
+    is_anytime = True
+
+    def __init__(self):
+        self._inner = BranchBoundSolver(max_nodes=1)
+
+    def solve(self, model, *, warm_start=None, deadline=None, cancel=None):
+        return self._inner.solve(model)
+
+
+class TestDeterminism:
+    def test_verdict_is_priority_winner_solo_result(self):
+        model = knapsack_model()
+        solo = ScipyMilpSolver().solve(model)
+        raced = PortfolioSolver(backends=["highs", "bnb"], stagger_seconds=0.0).solve(
+            model
+        )
+        assert raced.status is solo.status
+        assert raced.objective == solo.objective
+        assert (raced.values == solo.values).all()
+        assert raced.message == solo.message
+
+    def test_stalled_low_priority_lane_cannot_change_or_delay_the_answer(self):
+        model = knapsack_model()
+        solo = ScipyMilpSolver().solve(model)
+        stalled = StalledBackend(sleep_seconds=30.0)
+        portfolio = PortfolioSolver(
+            backends=[ScipyMilpSolver(), stalled], stagger_seconds=0.0
+        )
+        started = time.perf_counter()
+        raced = portfolio.solve(model)
+        elapsed = time.perf_counter() - started
+        assert (raced.values == solo.values).all()
+        assert raced.objective == solo.objective
+        assert elapsed < 5.0  # nothing waited on the 30s stall
+        # The cooperative stall notices the cancel event and unwinds.
+        assert portfolio.active_workers() == 0
+
+    def test_fast_low_priority_lane_does_not_win(self):
+        # Lane 0 is slow-but-finite; lane 1 finishes long before it. The
+        # verdict must still be lane 0's bytes.
+        model = knapsack_model()
+
+        class SlowExact:
+            name = "slow"
+            supports_warm_start = False
+            is_exact = True
+            is_anytime = False
+
+            def solve(self, inner_model, *, warm_start=None, deadline=None):
+                time.sleep(0.3)
+                sol = ScipyMilpSolver().solve(inner_model)
+                return type(sol)(
+                    sol.status, sol.objective, sol.values, sol.nodes_explored,
+                    "slow lane won",
+                )
+
+        raced = PortfolioSolver(
+            backends=[SlowExact(), ScipyMilpSolver()], stagger_seconds=0.0
+        ).solve(model)
+        assert raced.message == "slow lane won"
+
+    def test_infeasible_verdict_from_exact_lane(self):
+        raced = PortfolioSolver(backends=["highs", "bnb"]).solve(infeasible_model())
+        assert raced.status is SolveStatus.INFEASIBLE
+
+
+class TestCancellation:
+    def test_thread_lanes_unwind_after_the_race(self):
+        portfolio = PortfolioSolver(backends=["highs", "bnb"], stagger_seconds=0.0)
+        portfolio.solve(knapsack_model())
+        deadline = time.monotonic() + 5.0
+        while portfolio.active_workers() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert portfolio.active_workers() == 0
+
+    def test_process_lanes_leave_no_live_children(self):
+        portfolio = PortfolioSolver(
+            backends=["highs", "bnb"], mode="process", stagger_seconds=0.0
+        )
+        sol = portfolio.solve(knapsack_model())
+        assert sol.status is SolveStatus.OPTIMAL
+        assert portfolio.active_workers() == 0
+
+    def test_process_mode_matches_thread_mode_bytes(self):
+        model = knapsack_model()
+        threaded = PortfolioSolver(backends=["highs", "bnb"]).solve(model)
+        forked = PortfolioSolver(backends=["highs", "bnb"], mode="process").solve(model)
+        assert forked.status is threaded.status
+        assert forked.objective == threaded.objective
+        assert (forked.values == threaded.values).all()
+
+    def test_losing_lanes_counted_as_cancelled(self):
+        # A non-cooperative wedged lane deterministically loses and cannot
+        # settle on its own, so it must show up in the cancelled counter.
+        tracer = Tracer()
+        stalled = StalledBackend(sleep_seconds=1.0, cooperative=False)
+        PortfolioSolver(
+            backends=[ScipyMilpSolver(), stalled],
+            stagger_seconds=0.0,
+            tracer=tracer,
+        ).solve(knapsack_model())
+        snap = tracer.snapshot()
+        assert snap.counter_value("solver_portfolio_races_total") == 1
+        assert snap.counter_value("solver_portfolio_wins_total", backend="highs") == 1
+        assert (
+            snap.counter_value("solver_portfolio_cancelled_total", backend="stalled")
+            == 1
+        )
+
+    def test_lane_cancelled_during_stagger_never_starts(self):
+        tracer = Tracer()
+        stalled = StalledBackend(sleep_seconds=30.0)
+        PortfolioSolver(
+            backends=[ScipyMilpSolver(), stalled],
+            stagger_seconds=5.0,  # lane 1 still asleep when lane 0 wins
+            tracer=tracer,
+        ).solve(knapsack_model())
+        assert stalled.calls == 0
+        snap = tracer.snapshot()
+        assert (
+            snap.counter_value("solver_portfolio_cancelled_total", backend="stalled")
+            == 1
+        )
+
+
+class TestFallbacks:
+    def test_anytime_incumbent_when_no_lane_is_definitive(self):
+        model = knapsack_model()
+        limited = NodeLimitedBackend()
+        raced = PortfolioSolver(backends=[limited], stagger_seconds=0.0).solve(model)
+        assert raced.status is SolveStatus.NODE_LIMIT
+
+    def test_definitive_lane_behind_a_withdrawn_one_still_wins(self):
+        model = knapsack_model()
+        raced = PortfolioSolver(
+            backends=[NodeLimitedBackend(), ScipyMilpSolver()],
+            stagger_seconds=0.0,
+        ).solve(model)
+        assert raced.status is SolveStatus.OPTIMAL
+
+    def test_all_lanes_crashing_reports_error(self):
+        class Exploding:
+            name = "boom"
+            supports_warm_start = False
+            is_exact = True
+            is_anytime = False
+
+            def solve(self, model, *, warm_start=None, deadline=None):
+                raise RuntimeError("kaboom")
+
+        raced = PortfolioSolver(backends=[Exploding()], stagger_seconds=0.0).solve(
+            knapsack_model()
+        )
+        assert raced.status is SolveStatus.ERROR
+        assert "kaboom" in raced.message
+
+    def test_empty_portfolio_is_an_error(self):
+        with pytest.raises(RuntimeError, match="no available backends"):
+            PortfolioSolver(backends=[]).solve(knapsack_model())
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            PortfolioSolver(mode="fiber")
+
+    def test_deadline_bounds_a_wedged_priority_lane(self):
+        model = knapsack_model()
+        stalled = StalledBackend(sleep_seconds=30.0)
+        raced = PortfolioSolver(
+            backends=[stalled, ScipyMilpSolver()],
+            stagger_seconds=0.0,
+            deadline_seconds=0.5,
+        ).solve(model)
+        # The wedged lane 0 is passed over once the budget is gone; the
+        # verdict falls to the next definitive lane.
+        assert raced.status is SolveStatus.OPTIMAL
+
+    def test_registry_default_lanes_race(self):
+        raced = create_backend("portfolio").solve(knapsack_model())
+        assert raced.status is SolveStatus.OPTIMAL

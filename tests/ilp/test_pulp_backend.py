@@ -1,0 +1,94 @@
+"""PuLP/CBC adapter: skipped wholesale when the optional extra is absent."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import (
+    BackendUnavailable,
+    PulpCbcSolver,
+    ScipyMilpSolver,
+    SolveStatus,
+    WarmStart,
+    backend_available,
+    pulp_available,
+)
+from repro.ilp.model import Model, lin_sum
+
+needs_cbc = pytest.mark.skipif(
+    not pulp_available(), reason="pulp/CBC not installed (pip install .[cbc])"
+)
+
+
+def test_unavailable_construction_raises_with_install_hint():
+    if pulp_available():
+        pytest.skip("pulp installed; the unavailable path cannot be exercised")
+    with pytest.raises(BackendUnavailable, match="cbc"):
+        PulpCbcSolver()
+
+
+def test_registry_visibility_matches_probe():
+    assert backend_available("cbc") == pulp_available()
+
+
+@needs_cbc
+class TestPulpCbc:
+    def knapsack(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        weights = [3, 4, 2, 3, 5, 4]
+        values = [10, 13, 7, 8, 11, 9]
+        m.add_constraint(lin_sum(w * x for w, x in zip(weights, xs)) <= 9)
+        m.minimize(lin_sum(-v * x for v, x in zip(values, xs)))
+        return m
+
+    def test_flags(self):
+        solver = PulpCbcSolver()
+        assert solver.name == "cbc"
+        assert solver.is_exact
+        assert solver.supports_warm_start
+        assert not solver.is_anytime
+
+    def test_optimal_matches_highs(self):
+        m = self.knapsack()
+        cbc = PulpCbcSolver().solve(m)
+        highs = ScipyMilpSolver().solve(m)
+        assert cbc.status is SolveStatus.OPTIMAL
+        assert cbc.objective == pytest.approx(highs.objective)
+        assert m.is_feasible(cbc.values)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_integer("x", 0, 5)
+        m.add_constraint(x >= 3)
+        m.add_constraint(x <= 2)
+        m.minimize(x)
+        assert PulpCbcSolver().solve(m).status is SolveStatus.INFEASIBLE
+
+    def test_continuous_variables_pass_through(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 4)
+        m.minimize(-x)
+        sol = PulpCbcSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.values[0] == pytest.approx(4.0)
+
+    def test_feasible_warm_start_accepted(self):
+        m = self.knapsack()
+        hint = WarmStart(values=np.zeros(6), source="test")  # feasible: take nothing
+        sol = PulpCbcSolver().solve(m, warm_start=hint)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(ScipyMilpSolver().solve(m).objective)
+
+    def test_infeasible_warm_start_discarded(self):
+        m = self.knapsack()
+        hint = WarmStart(values=np.ones(6), source="poisoned")  # over capacity
+        sol = PulpCbcSolver().solve(m, warm_start=hint)
+        assert sol.status is SolveStatus.OPTIMAL
+
+    def test_deadline_translates_to_time_limit(self):
+        import time
+
+        sol = PulpCbcSolver().solve(
+            self.knapsack(), deadline=time.monotonic() + 30.0
+        )
+        assert sol.status is SolveStatus.OPTIMAL

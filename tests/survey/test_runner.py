@@ -6,13 +6,17 @@ cache lookup — no instance generation beyond ground-truth verification,
 and zero probes executed.
 """
 
+import json
+
 import pytest
 
 import repro.survey.runner as runner_mod
-from repro.core.pipeline import StageTimings
+from repro.core.pipeline import MappingConfig, StageTimings
+from repro.perf import clear_caches
 from repro.platform import XEON_8259CL, CpuInstance
 from repro.platform.fleet import instance_seed
 from repro.store.database import MapDatabase
+from repro.store.serialization import canonical_record
 from repro.survey import SurveyRunner, aggregate_timings
 
 FLEET = 6
@@ -56,6 +60,55 @@ class TestParallelDeterminism:
             assert agg.count == FLEET
             assert agg.total_seconds > 0
             assert agg.min_seconds <= agg.mean_seconds <= agg.max_seconds
+
+
+class TestSolverByteIdentity:
+    def test_portfolio_survey_records_match_default_byte_for_byte(self, tmp_path):
+        """Zero-fault acceptance bar: ``--solver portfolio`` changes nothing.
+
+        The portfolio's verdict is always the priority lane's solution, so
+        the per-PPIN canonical records must be byte-identical to a survey
+        run with the default backend.
+        """
+        fleet = 3
+        default_db = MapDatabase(tmp_path / "default.json")
+        portfolio_db = MapDatabase(tmp_path / "portfolio.json")
+        clear_caches()
+        default = SurveyRunner(db=default_db, workers=1, root_seed=ROOT_SEED).survey(
+            XEON_8259CL, fleet
+        )
+        clear_caches()
+        raced = SurveyRunner(
+            db=portfolio_db,
+            workers=1,
+            root_seed=ROOT_SEED,
+            config=MappingConfig(solver="portfolio"),
+        ).survey(XEON_8259CL, fleet)
+        clear_caches()
+
+        assert raced.n_cached == 0 and raced.n_failed == 0
+        ppins = {o.ppin for o in default.outcomes}
+        assert {o.ppin for o in raced.outcomes} == ppins
+        for ppin in ppins:
+            a = json.dumps(canonical_record(default_db.record(ppin)), sort_keys=True)
+            b = json.dumps(canonical_record(portfolio_db.record(ppin)), sort_keys=True)
+            assert a == b
+
+    def test_portfolio_survey_crosses_a_worker_pool(self, tmp_path):
+        """Solver names (not objects) cross the pool; the maps still match."""
+        fleet = 3
+        db = MapDatabase(tmp_path / "pooled.json")
+        clear_caches()
+        pooled = SurveyRunner(
+            db=db,
+            workers=2,
+            root_seed=ROOT_SEED,
+            clamp_to_cpus=False,
+            config=MappingConfig(solver="portfolio"),
+        ).survey(XEON_8259CL, fleet)
+        clear_caches()
+        assert pooled.n_failed == 0
+        assert all(o.matches_truth for o in pooled.outcomes)
 
 
 class TestPpinCache:
