@@ -1,6 +1,7 @@
 """Fig. 7: BER vs transfer rate per hop count and orientation."""
 
 from repro.experiments import fig7
+from repro.placement import place_pairs
 
 
 def test_fig7_hop_sweep(once):
@@ -28,3 +29,30 @@ def test_fig7_hop_sweep(once):
     series = [result.ber("vertical", 1, r) for r in (1.0, 2.0, 4.0, 8.0)]
     assert series[-1] >= series[0]
     assert series[-1] > 0.05  # 8 bps exceeds the channel bandwidth
+
+    # The sweep's measurement pairs come from the shared HopMatrix — each
+    # measured (orientation, hops) key must agree with the matrix's own
+    # distance/orientation for its pair.
+    matrix = result.hop_matrix
+    for orientation in ("vertical", "horizontal"):
+        for hops in (1, 2, 3):
+            d_row, d_col = (0, hops) if orientation == "horizontal" else (hops, 0)
+            pair = matrix.pair_at_offset(d_row, d_col)
+            if pair is None:
+                assert not any(
+                    k[:2] == (orientation, hops) for k in result.points
+                )
+                continue
+            assert matrix.hops(*pair) == hops
+            assert matrix.orientation(*pair) == orientation
+
+    # Closing the loop with the placement layer: on the same recovered
+    # map, the covert-pair ILP must land on the geometry this very figure
+    # shows is BER-optimal — 1 hop, vertically separated.
+    chosen = place_pairs(result.core_map).best_pair()
+    assert chosen.hops == 1
+    assert chosen.orientation == "vertical"
+    assert matrix.hops(chosen.sender, chosen.receiver) == 1
+    assert result.ber("vertical", chosen.hops, 4.0) < result.ber(
+        "horizontal", chosen.hops, 4.0
+    )

@@ -17,13 +17,27 @@ Package layout:
 * ``repro.mesh`` / ``repro.cache`` / ``repro.msr`` / ``repro.uncore`` /
   ``repro.platform`` / ``repro.sim`` / ``repro.thermal`` — the substrates
   standing in for the Xeon hardware and the cloud fleet;
-* ``repro.ilp`` — the MILP solver substrate;
+* ``repro.ilp`` — the MILP solver substrate (its ``__all__`` is the
+  authoritative solver-layer surface; ``resolve_solver`` is the one way to
+  turn a name/spec/instance into a backend);
+* ``repro.placement`` — consumes recovered maps: covert-pair selection and
+  co-tenant scheduling over the physical tile grid (§IV/§V applied);
 * ``repro.experiments`` — one module per paper table/figure
   (``python -m repro.experiments --list``).
 """
 
 from repro.core import MappingConfig, MappingResult, RetryPolicy, map_cpu
 from repro.core.coremap import CoreMap
+from repro.ilp import BackendSpec, resolve_solver
+from repro.mesh import HopMatrix
+from repro.placement import (
+    FleetPlacement,
+    JobSpec,
+    PlacementResult,
+    place_over_fleet,
+    place_pairs,
+    schedule_jobs,
+)
 from repro.platform import (
     SKU_CATALOG,
     XEON_6354,
@@ -61,5 +75,14 @@ __all__ = [
     "SimulatedMachine",
     "build_machine",
     "build_machine_for_sku",
+    "BackendSpec",
+    "resolve_solver",
+    "HopMatrix",
+    "FleetPlacement",
+    "JobSpec",
+    "PlacementResult",
+    "place_over_fleet",
+    "place_pairs",
+    "schedule_jobs",
     "__version__",
 ]

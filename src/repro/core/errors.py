@@ -60,6 +60,16 @@ class ReconstructionInfeasible(MappingError):
     """The ILP found the observation set unsatisfiable (noise/corruption)."""
 
 
+class PlacementInfeasible(MappingError):
+    """No placement satisfies the problem's constraints on this core map.
+
+    Raised by the :mod:`repro.placement` layer when, e.g., more covert
+    pairs are requested than the non-interference constraints admit, or
+    more jobs than allowed cores exist. Permanent for the given map and
+    problem — retrying cannot help; relax the problem instead.
+    """
+
+
 def is_transient(exc: BaseException) -> bool:
     """Whether retrying the same measurement can plausibly clear ``exc``.
 

@@ -28,6 +28,7 @@ working behind :class:`DeprecationWarning` shims.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import warnings
 from dataclasses import dataclass
@@ -223,6 +224,7 @@ def map_cpu(
     *,
     policy: RetryPolicy | None = None,
     tracer=None,
+    solver=None,
     resilient: bool | None = None,
 ) -> MappingResult:
     """Run the full three-step pipeline against ``machine``.
@@ -233,6 +235,10 @@ def map_cpu(
     ``policy`` enables stage-wise retries/degradation and overrides
     ``config.retry``; ``tracer`` receives per-stage spans and measurement
     counters (default: the no-op :data:`~repro.telemetry.tracer.NULL_TRACER`).
+    ``solver`` overrides ``config.solver`` and accepts every spec shape
+    :func:`repro.ilp.resolve_solver` does (None | registry name |
+    ``BackendSpec`` | backend instance) — the same surface as
+    ``reconstruct_map`` and the placement entry points.
     """
     if isinstance(config, GridSpec):
         # Legacy call shape map_cpu(machine, grid[, config]).
@@ -255,6 +261,8 @@ def map_cpu(
         if resilient and policy is None:
             policy = RetryPolicy()
     config = config or MappingConfig()
+    if solver is not None:
+        config = dataclasses.replace(config, solver=solver)
     if policy is None:
         policy = config.retry
     grid = grid or machine.instance.sku.die.grid

@@ -8,7 +8,7 @@ from dataclasses import dataclass
 from repro.core.cha_mapping import ChaMappingResult, build_eviction_sets, map_os_to_cha
 from repro.core.coremap import CoreMap
 from repro.core.pipeline import MappingResult, map_cpu
-from repro.mesh.geometry import TileCoord
+from repro.mesh.hops import HopMatrix
 from repro.platform.fleet import instance_seed
 from repro.platform.instance import CpuInstance
 from repro.platform.skus import SkuSpec
@@ -107,9 +107,4 @@ def map_whole_fleet(sku: SkuSpec, n_instances: int, seed: int) -> list[MappedIns
 
 def find_hop_pair(core_map: CoreMap, d_row: int, d_col: int) -> tuple[int, int] | None:
     """A (sender, receiver) core pair separated by exactly (d_row, d_col)."""
-    for os_core in sorted(core_map.os_to_cha):
-        pos = core_map.position_of_os_core(os_core)
-        other = core_map.os_core_at(TileCoord(pos.row + d_row, pos.col + d_col))
-        if other is not None:
-            return os_core, other
-    return None
+    return HopMatrix.from_core_map(core_map).pair_at_offset(d_row, d_col)

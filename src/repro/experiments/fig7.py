@@ -10,13 +10,18 @@ vertical strictly better than horizontal (the paper's >20 % horizontal vs
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.pipeline import map_cpu
 from repro.covert.channel import ChannelConfig, run_transmission
 from repro.covert.encoding import random_payload
 from repro.covert.metrics import MeasurementPoint
 from repro.experiments import common
+from repro.mesh.hops import HopMatrix
 from repro.platform.skus import SKU_CATALOG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.coremap import CoreMap
 from repro.util.rng import derive_rng
 from repro.util.tables import format_table
 
@@ -30,6 +35,11 @@ class Fig7Result:
     n_bits: int
     #: (orientation, hops, rate) → point; missing key = no such pair on map.
     points: dict[tuple[str, int, float], MeasurementPoint]
+    #: The recovered map the pairs were drawn from, and its hop analytics —
+    #: so downstream consumers (the hop benchmark, placement cross-checks)
+    #: reason about the exact same grid the sweep measured.
+    core_map: "CoreMap | None" = None
+    hop_matrix: HopMatrix | None = None
 
     def ber(self, orientation: str, hops: int, rate: float) -> float:
         return self.points[(orientation, hops, rate)].ber
@@ -59,13 +69,14 @@ def run(seed: int | None = None, n_bits: int | None = None) -> Fig7Result:
     n_bits = n_bits if n_bits is not None else common.payload_bits()
     mapped_machine = common.machine_for(SKU_CATALOG["8259CL"], 0, seed, with_thermal=True)
     core_map = map_cpu(mapped_machine).core_map
+    hop_matrix = HopMatrix.from_core_map(core_map)
 
     rng = derive_rng(seed, "fig7-payload")
     points: dict[tuple[str, int, float], MeasurementPoint] = {}
     for orientation in ORIENTATIONS:
         for hops in HOPS:
             d_row, d_col = (0, hops) if orientation == "horizontal" else (hops, 0)
-            pair = common.find_hop_pair(core_map, d_row, d_col)
+            pair = hop_matrix.pair_at_offset(d_row, d_col)
             if pair is None:
                 continue
             sender, receiver = pair
@@ -83,4 +94,6 @@ def run(seed: int | None = None, n_bits: int | None = None) -> Fig7Result:
                     n_bits=n_bits,
                     errors=result.errors,
                 )
-    return Fig7Result(n_bits=n_bits, points=points)
+    return Fig7Result(
+        n_bits=n_bits, points=points, core_map=core_map, hop_matrix=hop_matrix
+    )

@@ -32,18 +32,23 @@ All backends are cross-validated on the same generated instances by
 ``tests/ilp/test_differential.py``.
 """
 
-from repro.ilp.model import LinearExpr, Model, Variable, VarType
+from repro.ilp.model import LinearExpr, Model, Variable, VarType, lin_sum
 from repro.ilp.solution import Solution, SolveStatus
 from repro.ilp.simplex import SimplexSolver, LpResult, LpStatus
 from repro.ilp.backend import (
+    DEFAULT_BACKEND,
+    BackendSpec,
     BackendUnavailable,
     SolverBackend,
     WarmStart,
     available_backends,
     backend_available,
     backend_names,
+    backend_spec,
     create_backend,
+    deadline_remaining,
     default_solver,
+    definitive,
     register_backend,
     resolve_solver,
     unregister_backend,
@@ -56,30 +61,42 @@ from repro.ilp.portfolio import PortfolioSolver
 
 _register_builtin_backends()
 
+# The single authoritative solver-layer surface: everything external code
+# (core/reconstruct, placement, the CLI, tests) should import lives here.
 __all__ = [
+    # modelling layer
     "LinearExpr",
     "Model",
     "Variable",
     "VarType",
+    "lin_sum",
     "Solution",
     "SolveStatus",
+    # LP substrate
     "SimplexSolver",
     "LpResult",
     "LpStatus",
+    # backend protocol + registry
     "SolverBackend",
     "WarmStart",
+    "BackendSpec",
     "BackendUnavailable",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "backend_available",
+    "backend_names",
+    "backend_spec",
+    "create_backend",
+    "deadline_remaining",
+    "default_solver",
+    "definitive",
+    "register_backend",
+    "resolve_solver",
+    "unregister_backend",
+    # concrete backends
     "BranchBoundSolver",
     "ScipyMilpSolver",
     "PulpCbcSolver",
     "PortfolioSolver",
-    "available_backends",
-    "backend_available",
-    "backend_names",
-    "create_backend",
-    "default_solver",
     "pulp_available",
-    "register_backend",
-    "resolve_solver",
-    "unregister_backend",
 ]

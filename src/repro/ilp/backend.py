@@ -31,7 +31,9 @@ portfolio solve fans out to.
 
 from __future__ import annotations
 
+import inspect
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, runtime_checkable
 
@@ -211,18 +213,105 @@ def default_solver() -> Any:
     return create_backend(DEFAULT_BACKEND)
 
 
+#: Capability flags every :class:`SolverBackend` must expose; their absence
+#: is what marks a *legacy* bare solver object in :func:`resolve_solver`.
+_CAPABILITY_FLAGS = ("supports_warm_start", "is_exact", "is_anytime")
+
+
+class _LegacyBackendAdapter:
+    """Wrap a pre-protocol solver object behind the SolverBackend surface.
+
+    Early call sites passed bare objects with just a ``solve`` method;
+    :func:`resolve_solver` keeps them working (with a deprecation warning)
+    by assuming the most conservative capability flags and tolerating
+    ``solve`` signatures that predate the keyword-only protocol.
+    """
+
+    supports_warm_start = False
+    is_exact = False
+    is_anytime = False
+
+    def __init__(self, inner: Any):
+        self._inner = inner
+        self.name = getattr(inner, "name", type(inner).__name__)
+
+    def solve(
+        self,
+        model: Model,
+        *,
+        warm_start: WarmStart | None = None,
+        deadline: float | None = None,
+    ) -> Solution:
+        try:
+            return self._inner.solve(
+                model, warm_start=warm_start, deadline=deadline
+            )
+        except TypeError:
+            return self._inner.solve(model)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_LegacyBackendAdapter({self._inner!r})"
+
+
 def resolve_solver(spec: Any, *, tracer=None) -> Any:
     """Turn a solver *specification* into a live backend.
 
-    ``None`` → the default backend; a registry name string → that backend
-    (built fresh, so string specs are picklable and can cross the survey
-    worker pool); anything else is assumed to already be a solver object
-    and is returned unchanged.
+    This is the **single** solver-selection path — ``map_cpu``,
+    ``reconstruct_map``, the placement entry points, and the ``survey``/
+    ``place`` CLI subcommands all funnel through it. Accepted shapes:
+
+    * ``None`` → the default backend;
+    * a registry name string → that backend, built fresh (string specs
+      stay picklable and can cross the survey worker pool);
+    * a :class:`BackendSpec` → its factory invoked (availability-checked),
+      so callers can hold a spec without committing to a live instance;
+    * a :class:`SolverBackend` instance → returned unchanged.
+
+    Two legacy shapes keep working behind deprecation shims:
+
+    * a solver **class** (early call sites passed ``BranchBoundSolver``
+      itself) is instantiated with no arguments;
+    * a bare object with a ``solve`` method but no capability flags is
+      wrapped in an adapter assuming the most conservative flags.
     """
     if spec is None:
         return default_solver()
     if isinstance(spec, str):
         return create_backend(spec, tracer=tracer)
+    if isinstance(spec, BackendSpec):
+        try:
+            ok = bool(spec.available())
+        except Exception:  # noqa: BLE001 - availability probes must not raise
+            ok = False
+        if not ok:
+            raise BackendUnavailable(
+                f"solver backend {spec.name!r} is not available on this host"
+                + (f" — {spec.doc}" if spec.doc else "")
+            )
+        if spec.accepts_tracer and tracer is not None:
+            return spec.factory(tracer=tracer)
+        return spec.factory()
+    if inspect.isclass(spec):
+        warnings.warn(
+            "passing a solver class to resolve_solver()/solver= is "
+            "deprecated; pass a registry name, a BackendSpec, or an "
+            "instance instead (will be removed in 2.0)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return spec()
+    if callable(getattr(spec, "solve", None)) and not all(
+        hasattr(spec, flag) for flag in _CAPABILITY_FLAGS
+    ):
+        warnings.warn(
+            "solver objects without the SolverBackend capability flags "
+            "(supports_warm_start/is_exact/is_anytime) are deprecated; "
+            "implement the protocol or register the backend "
+            "(will be removed in 2.0)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _LegacyBackendAdapter(spec)
     return spec
 
 

@@ -16,6 +16,7 @@ from repro.mesh.tile import Tile, TileKind
 from repro.mesh.routing import Channel, RingClass, ingress_events, route_path
 from repro.mesh.traffic import ChannelCounters, IngressEvent
 from repro.mesh.noc import Mesh
+from repro.mesh.hops import HopMatrix, route_links
 
 __all__ = [
     "GridSpec",
@@ -29,4 +30,6 @@ __all__ = [
     "ChannelCounters",
     "IngressEvent",
     "Mesh",
+    "HopMatrix",
+    "route_links",
 ]

@@ -1,0 +1,154 @@
+"""Hop and route analytics over a recovered core map.
+
+The mapping pipeline ends with a :class:`~repro.core.coremap.CoreMap`; the
+placement layer (and the figure-7 experiment) then reasons about *pairs* of
+OS cores: how many mesh hops separate them, whether the route between them
+is purely vertical (the strong thermal-coupling direction, §V-A), and which
+physical ring segments the Y-first route occupies. :class:`HopMatrix`
+precomputes exactly that view once per map so every consumer — covert-pair
+selection, contention scheduling, the BER-vs-hops sweep — shares one
+definition of "distance" instead of re-deriving it from raw coordinates.
+
+Links are **directed**: the Xeon BL rings are per-direction channels, so a
+packet travelling down a column segment contends with other downward
+traffic but not with upward traffic on the same segment. Two routes
+"interfere" when they share at least one directed link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.mesh.geometry import TileCoord
+from repro.mesh.routing import route_path
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.coremap import CoreMap
+
+#: A directed mesh link: (from_tile, to_tile) of one hop.
+Link = tuple[TileCoord, TileCoord]
+
+#: Orientation labels, in the paper's BER order (vertical channels are the
+#: strongest, mixed routes the weakest).
+ORIENTATIONS = ("same", "vertical", "horizontal", "mixed")
+
+
+def route_links(src: TileCoord, dst: TileCoord) -> frozenset[Link]:
+    """Directed mesh links the Y-first route from ``src`` to ``dst`` occupies."""
+    path = route_path(src, dst)
+    return frozenset(zip(path, path[1:]))
+
+
+@dataclass(frozen=True)
+class HopMatrix:
+    """Pairwise hop/route view of the OS cores on one core map.
+
+    Built from a (recovered or ground-truth) :class:`CoreMap` via
+    :meth:`from_core_map`. All orderings are deterministic: cores ascend by
+    OS ID, so identical maps produce identical analytics byte-for-byte —
+    the property the placement verdicts inherit.
+    """
+
+    #: OS core IDs, ascending.
+    cores: tuple[int, ...]
+    #: Tile coordinate per core, parallel to :attr:`cores`.
+    coords: tuple[TileCoord, ...]
+
+    @classmethod
+    def from_core_map(cls, core_map: "CoreMap") -> "HopMatrix":
+        cores = tuple(sorted(core_map.os_to_cha))
+        coords = tuple(core_map.position_of_os_core(c) for c in cores)
+        return cls(cores=cores, coords=coords)
+
+    @cached_property
+    def _coord_of(self) -> dict[int, TileCoord]:
+        return dict(zip(self.cores, self.coords))
+
+    @cached_property
+    def _core_at(self) -> dict[TileCoord, int]:
+        return {coord: core for core, coord in zip(self.cores, self.coords)}
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def coord_of(self, os_core: int) -> TileCoord:
+        return self._coord_of[os_core]
+
+    def core_at(self, coord: TileCoord) -> int | None:
+        return self._core_at.get(coord)
+
+    # -- pairwise distance -------------------------------------------------------
+    def offset(self, sender: int, receiver: int) -> tuple[int, int]:
+        """Signed ``(d_row, d_col)`` from ``sender``'s tile to ``receiver``'s."""
+        a, b = self._coord_of[sender], self._coord_of[receiver]
+        return (b.row - a.row, b.col - a.col)
+
+    def hops(self, sender: int, receiver: int) -> int:
+        """Mesh hops of the Y-first route (== Manhattan distance)."""
+        return self._coord_of[sender].manhattan(self._coord_of[receiver])
+
+    def orientation(self, sender: int, receiver: int) -> str:
+        """``"vertical"``, ``"horizontal"``, ``"mixed"`` or ``"same"``."""
+        d_row, d_col = self.offset(sender, receiver)
+        if d_row == 0 and d_col == 0:
+            return "same"
+        if d_col == 0:
+            return "vertical"
+        if d_row == 0:
+            return "horizontal"
+        return "mixed"
+
+    def as_array(self) -> np.ndarray:
+        """Dense ``n_cores x n_cores`` hop-count matrix (core order = :attr:`cores`)."""
+        rows = np.array([c.row for c in self.coords])
+        cols = np.array([c.col for c in self.coords])
+        return np.abs(rows[:, None] - rows[None, :]) + np.abs(cols[:, None] - cols[None, :])
+
+    # -- pair enumeration --------------------------------------------------------
+    def pair_at_offset(self, d_row: int, d_col: int) -> tuple[int, int] | None:
+        """First ``(sender, receiver)`` pair at the exact signed offset.
+
+        Scans senders in ascending OS-ID order — the deterministic choice
+        the figure-7 experiment uses to pick its per-hop measurement pairs.
+        """
+        for core in self.cores:
+            pos = self._coord_of[core]
+            other = self._core_at.get(TileCoord(pos.row + d_row, pos.col + d_col))
+            if other is not None:
+                return core, other
+        return None
+
+    def pairs(self, max_hops: int | None = None) -> list[tuple[int, int]]:
+        """All ordered ``(sender, receiver)`` pairs within ``max_hops``."""
+        out = []
+        for a in self.cores:
+            for b in self.cores:
+                if a == b:
+                    continue
+                if max_hops is not None and self.hops(a, b) > max_hops:
+                    continue
+                out.append((a, b))
+        return out
+
+    def pairs_with(self, hops: int, orientation: str | None = None) -> list[tuple[int, int]]:
+        """Ordered pairs at exactly ``hops`` (optionally of one orientation)."""
+        return [
+            (a, b)
+            for a, b in self.pairs(max_hops=hops)
+            if self.hops(a, b) == hops
+            and (orientation is None or self.orientation(a, b) == orientation)
+        ]
+
+    # -- route geometry ----------------------------------------------------------
+    def links(self, sender: int, receiver: int) -> frozenset[Link]:
+        """Directed mesh links of the Y-first route between two cores."""
+        return route_links(self._coord_of[sender], self._coord_of[receiver])
+
+    def interferes(self, pair_a: tuple[int, int], pair_b: tuple[int, int]) -> bool:
+        """Whether two sender→receiver routes share a directed mesh link."""
+        return bool(self.links(*pair_a) & self.links(*pair_b))

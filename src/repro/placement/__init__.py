@@ -1,0 +1,64 @@
+"""Neighbor-aware placement over recovered core maps (ROADMAP item 5).
+
+The paper's payoff (§IV/§V): once the physical core map of a machine is
+known, an attacker — or a defender — can *place* threads with knowledge of
+the tile grid. This package turns a recovered
+:class:`~repro.core.coremap.CoreMap` into optimal placements by solving
+small ILPs over the physical grid through the pluggable solver registry
+(:func:`repro.ilp.resolve_solver`):
+
+* :func:`place_pairs` — covert sender/receiver pair selection, maximizing
+  steady-state thermal coupling (the §IV channel) or a hops/orientation
+  score (the §V mesh view), with non-interference constraints when
+  several pairs form an aggregate-throughput channel;
+* :func:`schedule_jobs` — the defensive dual: assign weighted co-tenant
+  jobs to cores minimizing mesh contention (max per-link load first,
+  total traffic-weighted hops as tie-break);
+* :mod:`repro.placement.reference` — brute-force reference optimizers for
+  small grids, against which every ILP answer is differentially tested;
+* :func:`place_over_fleet` — run a placement over every record of a
+  surveyed fleet (:class:`~repro.store.database.MapDatabase` or a sharded
+  :class:`~repro.store.segments.SegmentStore` root) and pick the best
+  instance.
+
+All verdicts are deterministic down to the byte across solver backends:
+objectives use integer coefficients and results are canonicalized to the
+lexicographically-first optimum (see :mod:`repro.placement.solve`).
+"""
+
+from repro.placement.problem import (
+    JobPlacement,
+    JobSchedule,
+    JobSpec,
+    PairCandidate,
+    PairPlacement,
+    PairSelection,
+    PlacementProblem,
+    PlacementResult,
+)
+from repro.placement.solve import place_pairs, schedule_jobs, solve_placement
+from repro.placement.reference import brute_force_pairs, brute_force_schedule
+from repro.placement.fleet import (
+    FleetPlacement,
+    load_fleet_maps,
+    place_over_fleet,
+)
+
+__all__ = [
+    "JobPlacement",
+    "JobSchedule",
+    "JobSpec",
+    "PairCandidate",
+    "PairPlacement",
+    "PairSelection",
+    "PlacementProblem",
+    "PlacementResult",
+    "place_pairs",
+    "schedule_jobs",
+    "solve_placement",
+    "brute_force_pairs",
+    "brute_force_schedule",
+    "FleetPlacement",
+    "load_fleet_maps",
+    "place_over_fleet",
+]

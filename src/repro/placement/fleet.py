@@ -1,0 +1,169 @@
+"""Placement over a surveyed fleet: pick the best instance for the job.
+
+The paper's deployment story (§VI): a privileged phase surveys the fleet
+once (PPIN-keyed records), and a later unprivileged phase reads the PPIN
+of whatever instance it landed on and places its threads. This module
+closes the loop in the other direction — given the *whole* fleet's
+records, solve the placement on every instance and rank them, so an
+attacker renting N instances (or a scheduler owning them) knows which
+machine offers the strongest covert pair or the least-contended schedule.
+
+Sources accepted everywhere: a live
+:class:`~repro.store.database.MapDatabase`, a path to its JSON file, a
+sharded :class:`~repro.store.segments.SegmentStore` root (the survey
+service's ``--store`` layout), or a single shard directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.coremap import CoreMap
+from repro.core.errors import PlacementInfeasible
+from repro.store.database import MapDatabase
+from repro.store.serialization import record_core_map
+from repro.telemetry.tracer import NULL_TRACER
+
+from repro.placement.problem import PlacementResult
+from repro.placement.solve import place_pairs, schedule_jobs
+
+
+def load_fleet_maps(source) -> dict[int, CoreMap]:
+    """Load every recovered core map of a fleet, keyed by PPIN.
+
+    ``source``: a :class:`MapDatabase`, a path to a map-database JSON
+    file, a segment-store root (directory containing ``shard-*-of-*``
+    subdirectories), one shard directory itself, or an already-loaded
+    ``{ppin: CoreMap}`` dict (returned copied).
+    """
+    if isinstance(source, dict):
+        return dict(source)
+    if isinstance(source, MapDatabase):
+        return {ppin: source.lookup(ppin) for ppin in source.ppins()}
+
+    path = Path(source)
+    if path.is_dir():
+        from repro.store.segments import MANIFEST_NAME, SegmentStore
+
+        shard_dirs = sorted(
+            child
+            for child in path.glob("shard-*-of-*")
+            if (child / MANIFEST_NAME).exists()
+        )
+        if not shard_dirs:
+            if (path / MANIFEST_NAME).exists():
+                shard_dirs = [path]
+            else:
+                raise FileNotFoundError(
+                    f"{path} contains no shard stores and no manifest"
+                )
+        maps: dict[int, CoreMap] = {}
+        for shard_dir in shard_dirs:
+            with SegmentStore(shard_dir, mode="read") as store:
+                for key, record in store.records().items():
+                    maps[int(key, 16)] = record_core_map(record)
+        return maps
+
+    return load_fleet_maps(MapDatabase(path))
+
+
+@dataclass(frozen=True)
+class FleetPlacement:
+    """Ranked placement results across a fleet."""
+
+    kind: str
+    #: ``(ppin, result)`` per instance, ascending PPIN.
+    results: tuple[tuple[int, PlacementResult], ...]
+    #: Instances where the placement was infeasible, ascending PPIN.
+    infeasible: tuple[int, ...] = ()
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.results) + len(self.infeasible)
+
+    @property
+    def best(self) -> tuple[int, PlacementResult]:
+        """The winning ``(ppin, result)``.
+
+        Pairs maximize benefit. Schedules compare ``(max_link_load,
+        total_weighted_hops)`` lexicographically — NOT the combined
+        objective, whose big-M scale depends on each instance's own hops
+        bound and is meaningless across maps. Ties go to the lowest PPIN
+        (the results are PPIN-ascending, and ``max``/``min`` keep the
+        first of equals).
+        """
+        if not self.results:
+            raise PlacementInfeasible(
+                "placement was infeasible on every fleet instance"
+            )
+        if self.kind == "pairs":
+            return max(self.results, key=lambda item: item[1].objective_value)
+        return min(
+            self.results,
+            key=lambda item: (
+                item[1].max_link_load,
+                item[1].total_weighted_hops,
+            ),
+        )
+
+
+def place_over_fleet(
+    source,
+    *,
+    jobs=None,
+    n_pairs: int = 1,
+    objective: str = "coupling",
+    max_hops: int | None = None,
+    allowed_cores=None,
+    solver=None,
+    tracer=None,
+    canonical: bool = True,
+) -> FleetPlacement:
+    """Solve one placement problem on every instance of a surveyed fleet.
+
+    With ``jobs`` (a sequence of :class:`JobSpec` / ``(name, weight)``
+    tuples) the schedule problem is solved per instance; otherwise the
+    covert-pair selection with ``n_pairs``/``objective``/``max_hops``.
+    Instances where the problem is infeasible are recorded, not fatal —
+    the fleet report says which machines cannot host the placement.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    maps = load_fleet_maps(source)
+    results: list[tuple[int, PlacementResult]] = []
+    infeasible: list[int] = []
+    kind = "schedule" if jobs is not None else "pairs"
+    with tracer.span("placement_fleet", kind=kind, instances=len(maps)):
+        for ppin in sorted(maps):
+            core_map = maps[ppin]
+            try:
+                if jobs is not None:
+                    result = schedule_jobs(
+                        core_map,
+                        jobs,
+                        allowed_cores=allowed_cores,
+                        solver=solver,
+                        tracer=tracer,
+                        canonical=canonical,
+                    )
+                else:
+                    result = place_pairs(
+                        core_map,
+                        n_pairs,
+                        objective=objective,
+                        max_hops=max_hops,
+                        allowed_cores=allowed_cores,
+                        solver=solver,
+                        tracer=tracer,
+                        canonical=canonical,
+                    )
+            except PlacementInfeasible:
+                infeasible.append(ppin)
+                continue
+            results.append((ppin, result))
+        tracer.counter("placement_fleet_instances_total", kind=kind).add(
+            len(maps)
+        )
+    return FleetPlacement(
+        kind=kind, results=tuple(results), infeasible=tuple(infeasible)
+    )

@@ -1,0 +1,132 @@
+"""ILP model builders for the placement problems.
+
+Each builder lowers a :class:`~repro.placement.problem.PlacementProblem`
+to a :class:`repro.ilp.Model` solvable by any registered backend. The
+formulations follow the NoC placement ILP of Tootaghaj & Farhat
+(arXiv:1607.04298), specialised to the recovered Xeon tile grid:
+
+Pair selection (maximize, modelled as minimize the negation)::
+
+    max  Σ_p benefit_p · x_p
+    s.t. Σ_p x_p = n_pairs                      (exactly n pairs)
+         Σ_{p ∋ core c} x_p ≤ 1   ∀ cores c    (core-disjoint)
+         x_p + x_q ≤ 1   ∀ route conflicts     (link-disjoint, n_pairs>1)
+
+Job scheduling (minimize)::
+
+    min  Lmax · (S_bound + 1) + Σ_{j,c} w_j · hop_cost_c · x_{j,c}
+    s.t. Σ_c x_{j,c} = 1          ∀ jobs j     (every job placed)
+         Σ_j x_{j,c} ≤ 1          ∀ cores c    (one job per core)
+         Σ_{j,c} w_j · usage_{c,l} · x_{j,c} ≤ Lmax   ∀ links l
+
+All coefficients are integers (see :mod:`repro.placement.problem`), so
+optimal objectives compare exactly across backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ilp import Model, Variable, lin_sum
+
+from repro.placement.problem import JobSchedule, PairSelection
+
+
+@dataclass(frozen=True)
+class PairModel:
+    """A lowered pair-selection instance: the model plus its variables."""
+
+    model: Model
+    #: ``x[i]`` selects candidate ``problem.candidates[i]``.
+    x: tuple[Variable, ...]
+
+
+@dataclass(frozen=True)
+class ScheduleModel:
+    """A lowered job-scheduling instance: the model plus its variables."""
+
+    model: Model
+    #: ``x[(j, c)]`` assigns job index ``j`` to OS core ``c``.
+    x: dict[tuple[int, int], Variable]
+    #: The bottleneck-link load variable.
+    lmax: Variable
+
+
+def build_pair_model(problem: PairSelection) -> PairModel:
+    """Lower a :class:`PairSelection` to a MILP."""
+    cands = problem.candidates
+    model = Model("placement_pairs")
+    x = tuple(
+        model.add_binary(f"pair_{c.sender}_{c.receiver}") for c in cands
+    )
+
+    model.add_constraint(
+        lin_sum(x).make_eq(problem.n_pairs), name="n_pairs"
+    )
+
+    by_core: dict[int, list[Variable]] = {}
+    for cand, var in zip(cands, x):
+        by_core.setdefault(cand.sender, []).append(var)
+        by_core.setdefault(cand.receiver, []).append(var)
+    for core in sorted(by_core):
+        touching = by_core[core]
+        if len(touching) > 1:
+            model.add_constraint(
+                lin_sum(touching) <= 1, name=f"core_{core}"
+            )
+
+    if problem.n_pairs > 1:
+        for i, j in problem.conflicts:
+            model.add_constraint(
+                x[i] + x[j] <= 1, name=f"route_{i}_{j}"
+            )
+
+    # Maximize total benefit == minimize its negation.
+    model.minimize(lin_sum(-cand.benefit * var for cand, var in zip(cands, x)))
+    return PairModel(model=model, x=x)
+
+
+def build_schedule_model(problem: JobSchedule) -> ScheduleModel:
+    """Lower a :class:`JobSchedule` to a MILP."""
+    cores = problem.usable_cores()
+    jobs = problem.jobs
+    model = Model("placement_schedule")
+
+    x: dict[tuple[int, int], Variable] = {}
+    for j, job in enumerate(jobs):
+        for core in cores:
+            x[(j, core)] = model.add_binary(f"job_{job.name}_core_{core}")
+
+    lmax = model.add_integer("max_link_load", lo=0, hi=problem.load_bound())
+
+    for j, job in enumerate(jobs):
+        model.add_constraint(
+            lin_sum(x[(j, core)] for core in cores).make_eq(1),
+            name=f"job_{job.name}",
+        )
+    for core in cores:
+        model.add_constraint(
+            lin_sum(x[(j, core)] for j in range(len(jobs))) <= 1,
+            name=f"core_{core}",
+        )
+
+    for link in problem.links:
+        load = lin_sum(
+            job.weight * problem.link_usage[core].get(link, 0) * x[(j, core)]
+            for j, job in enumerate(jobs)
+            for core in cores
+            if problem.link_usage[core].get(link, 0)
+        )
+        model.add_constraint(
+            load - lmax <= 0,
+            name=f"link_{link[0].row}_{link[0].col}_{link[1].row}_{link[1].col}",
+        )
+
+    scale = problem.hops_bound() + 1
+    total_hops = lin_sum(
+        job.weight * problem.hop_cost(core) * x[(j, core)]
+        for j, job in enumerate(jobs)
+        for core in cores
+    )
+    model.minimize(scale * lmax + total_hops)
+    return ScheduleModel(model=model, x=x, lmax=lmax)

@@ -1,0 +1,393 @@
+"""Placement problem and result types.
+
+Both problems consume a recovered :class:`~repro.core.coremap.CoreMap`
+and precompute *analytics* — candidate pairs with integer benefits, mesh
+link usage per core — that the ILP builders (:mod:`repro.placement.ilp`)
+and the brute-force reference (:mod:`repro.placement.reference`) share.
+One definition of the objective, two independent optimizers: any drift
+between them is a bug the differential tests catch.
+
+All objective coefficients are **integers**. The thermal coupling is
+quantised to µK/W and the hops score is a small integer by construction,
+so "equal objective" is exact across solver backends and the canonical
+verdict (see :mod:`repro.placement.solve`) is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.core.coremap import CoreMap
+from repro.core.errors import PlacementInfeasible
+from repro.mesh.geometry import TileCoord
+from repro.mesh.hops import HopMatrix, Link, route_links
+from repro.thermal.rc_model import ThermalParams, steady_state_coupling
+
+#: Hops-mode orientation bonus: the figure-7 BER sweep shows vertical
+#: channels beat horizontal ones at equal hop count, and mixed routes are
+#: worst (§V-A: g_vertical > g_horizontal). The bonus spread (2) is
+#: strictly below the per-hop step (4), so fewer hops always dominates.
+_ORIENT_BONUS = {"vertical": 3, "horizontal": 2, "mixed": 1, "same": 0}
+_HOP_STEP = 4
+
+#: Quantisation of the steady-state thermal coupling (K/W → µK/W).
+_COUPLING_SCALE = 1_000_000
+
+
+@dataclass(frozen=True)
+class PairCandidate:
+    """One feasible (sender, receiver) covert pair with its analytics."""
+
+    index: int
+    sender: int
+    receiver: int
+    hops: int
+    orientation: str
+    #: Integer objective contribution (µK/W coupling, or the hops score).
+    benefit: int
+    #: Directed mesh links of the round-trip route (both directions); two
+    #: candidates *interfere* when these sets intersect.
+    links: frozenset[Link] = field(repr=False)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One co-tenant job: a name and a relative mesh-traffic weight."""
+
+    name: str
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if not isinstance(self.weight, int) or self.weight < 1:
+            raise ValueError(f"job {self.name!r}: weight must be a positive int")
+
+
+class PlacementProblem:
+    """Base of the placement problem family.
+
+    Subclasses hold a :class:`CoreMap` plus problem parameters and expose
+    deterministic analytics; they are consumed by
+    :func:`repro.placement.solve.solve_placement` and by the brute-force
+    reference. ``kind`` labels telemetry and result records.
+    """
+
+    kind: str = "placement"
+    core_map: CoreMap
+
+    @cached_property
+    def hop_matrix(self) -> HopMatrix:
+        return HopMatrix.from_core_map(self.core_map)
+
+    def usable_cores(self) -> tuple[int, ...]:
+        """OS cores placements may use, ascending (allow-list applied)."""
+        cores = self.hop_matrix.cores
+        allowed = getattr(self, "allowed_cores", None)
+        if allowed is None:
+            return cores
+        allowed_set = set(allowed)
+        unknown = allowed_set - set(cores)
+        if unknown:
+            raise ValueError(
+                f"allowed_cores {sorted(unknown)} are not mapped OS cores"
+            )
+        return tuple(c for c in cores if c in allowed_set)
+
+
+@dataclass(frozen=True)
+class PairSelection(PlacementProblem):
+    """Select ``n_pairs`` covert sender/receiver pairs on one core map.
+
+    ``objective="coupling"`` maximizes the summed steady-state thermal
+    coupling between each pair's tiles (µK per watt of sender power, from
+    the same conduction Laplacian the §IV simulator integrates).
+    ``objective="hops"`` maximizes a mesh-proximity score: fewer hops
+    first, then vertical > horizontal > mixed orientation — the figure-7
+    BER ordering. Selected pairs must be core-disjoint and, for
+    ``n_pairs > 1``, route-disjoint (no shared directed mesh link), so the
+    aggregate channel's pairs do not steal each other's bandwidth.
+    """
+
+    core_map: CoreMap
+    n_pairs: int = 1
+    objective: str = "coupling"
+    #: Candidate pairs farther apart than this are excluded (None = no cap).
+    max_hops: int | None = None
+    allowed_cores: tuple[int, ...] | None = None
+    thermal: ThermalParams | None = None
+
+    kind = "pairs"
+
+    def __post_init__(self) -> None:
+        if self.n_pairs < 1:
+            raise ValueError("n_pairs must be >= 1")
+        if self.objective not in ("coupling", "hops"):
+            raise ValueError(
+                f"unknown pair objective {self.objective!r}; "
+                "choose 'coupling' or 'hops'"
+            )
+        if self.max_hops is not None and self.max_hops < 1:
+            raise ValueError("max_hops must be >= 1")
+
+    @cached_property
+    def candidates(self) -> tuple[PairCandidate, ...]:
+        """All feasible ordered pairs with integer benefits, index order.
+
+        Ordered pairs, not unordered: the thermal coupling is symmetric
+        but the covert channel is not (the sender needs a stressable
+        core, the receiver a sensor), so both orientations are offered
+        and the canonical pass breaks the tie deterministically.
+        """
+        hm = self.hop_matrix
+        cores = self.usable_cores()
+        coupling = None
+        if self.objective == "coupling":
+            coupling = steady_state_coupling(
+                self.core_map.grid, self.thermal or ThermalParams()
+            )
+            tile_index = {
+                coord: i for i, coord in enumerate(self.core_map.grid.coords())
+            }
+        grid_span = (
+            self.core_map.grid.n_rows - 1 + self.core_map.grid.n_cols - 1
+        )
+        out: list[PairCandidate] = []
+        for sender in cores:
+            for receiver in cores:
+                if sender == receiver:
+                    continue
+                hops = hm.hops(sender, receiver)
+                if self.max_hops is not None and hops > self.max_hops:
+                    continue
+                orientation = hm.orientation(sender, receiver)
+                if coupling is not None:
+                    s = tile_index[hm.coord_of(sender)]
+                    r = tile_index[hm.coord_of(receiver)]
+                    benefit = int(round(coupling[r, s] * _COUPLING_SCALE))
+                else:
+                    benefit = (
+                        _HOP_STEP * (grid_span - hops)
+                        + _ORIENT_BONUS[orientation]
+                    )
+                out.append(
+                    PairCandidate(
+                        index=len(out),
+                        sender=sender,
+                        receiver=receiver,
+                        hops=hops,
+                        orientation=orientation,
+                        benefit=benefit,
+                        links=hm.links(sender, receiver)
+                        | hm.links(receiver, sender),
+                    )
+                )
+        return tuple(out)
+
+    @cached_property
+    def conflicts(self) -> tuple[tuple[int, int], ...]:
+        """Candidate index pairs (i < j) whose routes interfere.
+
+        Only *core-disjoint* candidates appear here — candidates sharing
+        an endpoint core are already mutually excluded by the per-core
+        capacity constraints, so listing them again would only bloat the
+        model. A conflict means the round-trip routes share a directed
+        mesh link and the pairs would steal each other's ring bandwidth.
+        """
+        cands = self.candidates
+        out: list[tuple[int, int]] = []
+        for i, a in enumerate(cands):
+            cores_a = {a.sender, a.receiver}
+            for j in range(i + 1, len(cands)):
+                b = cands[j]
+                if cores_a & {b.sender, b.receiver}:
+                    continue
+                if a.links & b.links:
+                    out.append((i, j))
+        return tuple(out)
+
+    def preference_order(self) -> tuple[int, ...]:
+        """Candidate indices, best benefit first (ties: lowest index).
+
+        This single ordering defines the *canonical* optimum: among all
+        benefit-optimal selections, the one whose indicator vector is
+        lexicographically greatest in this order. Both the ILP pinning
+        pass and the brute-force reference use it.
+        """
+        cands = self.candidates
+        return tuple(
+            sorted(range(len(cands)), key=lambda i: (-cands[i].benefit, i))
+        )
+
+
+@dataclass(frozen=True)
+class JobSchedule(PlacementProblem):
+    """Assign weighted co-tenant jobs to cores minimizing mesh contention.
+
+    Every job's LLC traffic is modelled as a round trip from its core
+    tile to **every located CHA slice** (physical addresses interleave
+    across slices, §II-A), weighted by the job's traffic weight. The
+    objective minimizes the worst per-link load first and the total
+    traffic-weighted hop count as a strict tie-break — one integer via a
+    big-M lexicographic combination, see :func:`combined_objective`.
+    """
+
+    core_map: CoreMap
+    jobs: tuple[JobSpec, ...]
+    allowed_cores: tuple[int, ...] | None = None
+
+    kind = "schedule"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        if not self.jobs:
+            raise ValueError("at least one job is required")
+        names = [j.name for j in self.jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {names}")
+
+    @cached_property
+    def cha_tiles(self) -> tuple[TileCoord, ...]:
+        """Tiles of all located CHA slices, deterministic (CHA-ID) order."""
+        return tuple(
+            self.core_map.cha_positions[cha]
+            for cha in sorted(self.core_map.cha_positions)
+        )
+
+    @cached_property
+    def link_usage(self) -> dict[int, dict[Link, int]]:
+        """Per usable core: directed-link traversal counts of its traffic.
+
+        Counts the request route (core → slice) and the response route
+        (slice → core) once per located CHA slice. Multiplied by the job
+        weight, this is the load a job at that core puts on each link.
+        """
+        usage: dict[int, dict[Link, int]] = {}
+        hm = self.hop_matrix
+        for core in self.usable_cores():
+            counts: dict[Link, int] = {}
+            tile = hm.coord_of(core)
+            for cha_tile in self.cha_tiles:
+                for link in route_links(tile, cha_tile):
+                    counts[link] = counts.get(link, 0) + 1
+                for link in route_links(cha_tile, tile):
+                    counts[link] = counts.get(link, 0) + 1
+            usage[core] = counts
+        return usage
+
+    def hop_cost(self, core: int) -> int:
+        """Total link traversals of one unit of traffic from ``core``."""
+        return sum(self.link_usage[core].values())
+
+    @cached_property
+    def links(self) -> tuple[Link, ...]:
+        """All directed links any usable core's traffic touches, sorted."""
+        seen: set[Link] = set()
+        for counts in self.link_usage.values():
+            seen.update(counts)
+        return tuple(sorted(seen))
+
+    def total_weight(self) -> int:
+        return sum(j.weight for j in self.jobs)
+
+    def hops_bound(self) -> int:
+        """Upper bound on the total traffic-weighted hop term ``S``."""
+        worst = max((self.hop_cost(c) for c in self.usable_cores()), default=0)
+        return self.total_weight() * worst
+
+    def load_bound(self) -> int:
+        """Upper bound on any single link's load ``Lmax``."""
+        worst = max(
+            (
+                max(counts.values(), default=0)
+                for counts in self.link_usage.values()
+            ),
+            default=0,
+        )
+        return self.total_weight() * worst
+
+    def combined_objective(self, max_load: int, total_hops: int) -> int:
+        """Lexicographic (max link load, total weighted hops) as one int.
+
+        ``Lmax`` is scaled past the largest possible hops term so the
+        solver minimizes the bottleneck link first and the total only
+        breaks ties: ``Lmax * (S_bound + 1) + S``.
+        """
+        return max_load * (self.hops_bound() + 1) + total_hops
+
+    def evaluate(self, assignment: dict[str, int]) -> tuple[int, int, int]:
+        """``(combined, max_load, total_hops)`` of a job→core assignment."""
+        loads: dict[Link, int] = {}
+        total_hops = 0
+        for job in self.jobs:
+            core = assignment[job.name]
+            total_hops += job.weight * self.hop_cost(core)
+            for link, count in self.link_usage[core].items():
+                loads[link] = loads.get(link, 0) + job.weight * count
+        max_load = max(loads.values(), default=0)
+        return self.combined_objective(max_load, total_hops), max_load, total_hops
+
+
+# -- results --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PairPlacement:
+    """One selected covert pair in a :class:`PlacementResult`."""
+
+    sender: int
+    receiver: int
+    hops: int
+    orientation: str
+    benefit: int
+
+
+@dataclass(frozen=True)
+class JobPlacement:
+    """One job→core assignment in a :class:`PlacementResult`."""
+
+    job: str
+    os_core: int
+    row: int
+    col: int
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of a placement solve.
+
+    :meth:`verdict` is the canonical byte encoding — only the decision
+    and its objective, none of the solver diagnostics — so two backends
+    that agree on the placement produce identical bytes.
+    """
+
+    kind: str
+    #: Integer objective: summed benefit (pairs, maximized) or combined
+    #: contention score (schedule, minimized).
+    objective_value: int
+    pairs: tuple[PairPlacement, ...] = ()
+    assignment: tuple[JobPlacement, ...] = ()
+    #: Schedule diagnostics (None for pair selection).
+    max_link_load: int | None = None
+    total_weighted_hops: int | None = None
+    #: Solver diagnostics — excluded from :meth:`verdict`.
+    solver_name: str = ""
+    canonical: bool = True
+    n_solves: int = 1
+
+    def verdict(self) -> bytes:
+        payload = {
+            "kind": self.kind,
+            "objective": self.objective_value,
+            "pairs": [[p.sender, p.receiver] for p in self.pairs],
+            "assignment": [[a.job, a.os_core] for a in self.assignment],
+        }
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def best_pair(self) -> PairPlacement:
+        """The highest-benefit selected pair (pairs results only)."""
+        if not self.pairs:
+            raise PlacementInfeasible("result contains no selected pairs")
+        return max(self.pairs, key=lambda p: (p.benefit, -p.sender))

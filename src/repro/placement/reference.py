@@ -1,0 +1,140 @@
+"""Brute-force reference optimizers for small grids.
+
+Exhaustive enumeration over the same analytics the ILP builders consume
+(:mod:`repro.placement.problem`), with the same canonical tie-break: among
+all optimal solutions, the one that is lexicographically first in the
+problem's deterministic preference order. The differential tests assert
+byte-identical verdicts between these and every ILP backend — the ILP's
+correctness proof on every instance small enough to enumerate.
+
+Complexity is combinatorial (``C(P, k)`` selections, ``P(C, J)``
+assignments); intended for differential testing and tiny grids only.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+from repro.core.errors import PlacementInfeasible
+
+from repro.placement.problem import (
+    JobPlacement,
+    JobSchedule,
+    PairPlacement,
+    PairSelection,
+    PlacementResult,
+)
+
+REFERENCE_SOLVER = "brute-force"
+
+
+def brute_force_pairs(problem: PairSelection) -> PlacementResult:
+    """Exhaustively optimal (and canonical) covert-pair selection."""
+    cands = problem.candidates
+    if len(cands) < problem.n_pairs:
+        raise PlacementInfeasible(
+            f"{problem.n_pairs} pairs requested but only "
+            f"{len(cands)} candidates exist"
+        )
+    conflict = set(problem.conflicts) if problem.n_pairs > 1 else set()
+    pref = problem.preference_order()
+    rank = {idx: pos for pos, idx in enumerate(pref)}
+
+    best_score: int | None = None
+    best_ranks: tuple[int, ...] | None = None
+    best_sel: tuple[int, ...] | None = None
+    for sel in combinations(range(len(cands)), problem.n_pairs):
+        cores: set[int] = set()
+        ok = True
+        for i in sel:
+            c = cands[i]
+            if c.sender in cores or c.receiver in cores:
+                ok = False
+                break
+            cores.add(c.sender)
+            cores.add(c.receiver)
+        if not ok:
+            continue
+        if conflict and any(
+            (i, j) in conflict for i, j in combinations(sel, 2)
+        ):
+            continue
+        score = sum(cands[i].benefit for i in sel)
+        ranks = tuple(sorted(rank[i] for i in sel))
+        if (
+            best_score is None
+            or score > best_score
+            or (score == best_score and ranks < best_ranks)
+        ):
+            best_score, best_ranks, best_sel = score, ranks, sel
+
+    if best_sel is None:
+        raise PlacementInfeasible(
+            f"no core- and route-disjoint selection of {problem.n_pairs} "
+            "pairs exists on this map"
+        )
+    chosen = [cands[i] for i in sorted(best_sel)]
+    return PlacementResult(
+        kind=problem.kind,
+        objective_value=best_score,
+        pairs=tuple(
+            PairPlacement(
+                sender=c.sender,
+                receiver=c.receiver,
+                hops=c.hops,
+                orientation=c.orientation,
+                benefit=c.benefit,
+            )
+            for c in chosen
+        ),
+        solver_name=REFERENCE_SOLVER,
+        canonical=True,
+        n_solves=1,
+    )
+
+
+def brute_force_schedule(problem: JobSchedule) -> PlacementResult:
+    """Exhaustively optimal (and canonical) co-tenant job schedule.
+
+    Enumerates job→core assignments in lexicographic core order (jobs in
+    declaration order), keeping the strictly best — so ties resolve to
+    the lexicographically-first optimal assignment, matching the ILP
+    canonicalization pass.
+    """
+    cores = problem.usable_cores()
+    jobs = problem.jobs
+    if len(jobs) > len(cores):
+        raise PlacementInfeasible(
+            f"{len(jobs)} jobs but only {len(cores)} usable cores"
+        )
+
+    best: tuple[int, int, int] | None = None
+    best_assign: tuple[int, ...] | None = None
+    for assign in permutations(cores, len(jobs)):
+        combined, max_load, total_hops = problem.evaluate(
+            {job.name: core for job, core in zip(jobs, assign)}
+        )
+        if best is None or combined < best[0]:
+            best = (combined, max_load, total_hops)
+            best_assign = assign
+
+    assert best is not None and best_assign is not None
+    hm = problem.hop_matrix
+    return PlacementResult(
+        kind=problem.kind,
+        objective_value=best[0],
+        assignment=tuple(
+            JobPlacement(
+                job=job.name,
+                os_core=core,
+                row=hm.coord_of(core).row,
+                col=hm.coord_of(core).col,
+            )
+            for job, core in zip(jobs, best_assign)
+        ),
+        max_link_load=best[1],
+        total_weighted_hops=best[2],
+        solver_name=REFERENCE_SOLVER,
+        canonical=True,
+        n_solves=1,
+    )

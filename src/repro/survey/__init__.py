@@ -19,7 +19,12 @@ all while keeping merged output byte-identical to a fault-free run.
 """
 
 from repro.survey.budget import CircuitBreaker, FailureBudget
-from repro.survey.runner import InstanceOutcome, SurveyReport, SurveyRunner
+from repro.survey.runner import (
+    InstanceOutcome,
+    SurveyReport,
+    SurveyRunner,
+    aggregate_timings,
+)
 from repro.survey.service import (
     MergeReport,
     ShardSpec,
@@ -33,8 +38,6 @@ from repro.survey.supervisor import (
     ShardOutcome,
     SupervisorDrill,
 )
-from repro.survey.timing import StageAggregate, aggregate_timings
-
 __all__ = [
     "CircuitBreaker",
     "FailureBudget",
@@ -53,3 +56,13 @@ __all__ = [
     "aggregate_timings",
     "merge_shard_stores",
 ]
+
+
+def __getattr__(name: str):
+    if name == "StageAggregate":
+        # Deprecated alias of repro.telemetry.aggregate.SpanAggregate,
+        # kept importable until 2.0; the shim module owns the warning.
+        from repro.survey import timing
+
+        return timing.StageAggregate
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

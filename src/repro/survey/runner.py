@@ -62,8 +62,29 @@ from repro.store.serialization import mapping_record, record_core_map
 from repro.telemetry.aggregate import SpanAggregate, aggregate_spans
 from repro.telemetry.tracer import NULL_TRACER, TelemetrySnapshot, Tracer
 from repro.survey.budget import FailureBudget
-from repro.survey.timing import StageAggregate, aggregate_timings
 from repro.util.rng import derive_rng
+
+#: Stage label → StageTimings field, in pipeline order.
+STAGE_FIELDS: tuple[tuple[str, str], ...] = (
+    ("cha_mapping", "cha_mapping_seconds"),
+    ("probe", "probe_seconds"),
+    ("solve", "solve_seconds"),
+)
+
+
+def aggregate_timings(timings) -> dict[str, SpanAggregate]:
+    """Fold per-instance stage timings into one aggregate per stage.
+
+    Returns an empty dict when no timings are supplied (e.g. a survey that
+    was served entirely from the PPIN cache).
+    """
+    from repro.telemetry.aggregate import SpanAggregator
+
+    aggregator = SpanAggregator()
+    for t in timings:
+        for stage, field_name in STAGE_FIELDS:
+            aggregator.add(stage, getattr(t, field_name))
+    return aggregator.stats()
 
 #: MappingConfig fields a worker job carries. ``solver`` crosses the pool
 #: only as a registry *name* (each worker builds its own backend); solver
@@ -311,7 +332,7 @@ class SurveyReport:
         """Error class → count over the failed (not poisoned) slots."""
         return Counter(o.error for o in self.outcomes if o.failed and not o.poisoned)
 
-    def stage_aggregates(self) -> dict[str, StageAggregate]:
+    def stage_aggregates(self) -> dict[str, SpanAggregate]:
         """Per-§II-stage timing over the instances actually mapped."""
         return aggregate_timings(o.timings for o in self.outcomes if o.timings is not None)
 

@@ -1,40 +1,52 @@
-"""Compatibility layer over :mod:`repro.telemetry.aggregate`.
+"""Deprecated compatibility shim — import from the canonical homes instead.
 
-.. deprecated::
-    The survey-specific aggregation grew into the general span aggregator
-    in :mod:`repro.telemetry.aggregate`. ``StageAggregate`` is now an alias
-    of :class:`~repro.telemetry.aggregate.SpanAggregate` (whose ``stage``
-    property preserves the old field) and :func:`aggregate_timings` folds
-    through a :class:`~repro.telemetry.aggregate.SpanAggregator`. Existing
-    imports keep working; new code should import from ``repro.telemetry``.
+.. deprecated:: 1.0
+    The survey-specific aggregation grew into the general span aggregator.
+    ``StageAggregate`` is an alias of
+    :class:`repro.telemetry.aggregate.SpanAggregate` (whose ``stage``
+    property preserves the old field); ``aggregate_timings`` and
+    ``STAGE_FIELDS`` live in :mod:`repro.survey.runner` (re-exported from
+    :mod:`repro.survey`). Every attribute access on this module emits a
+    :class:`DeprecationWarning`; **the module will be removed in 2.0**.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import warnings
+from typing import Any
 
-from repro.core.pipeline import StageTimings
-from repro.telemetry.aggregate import SpanAggregate, SpanAggregator
+_FORWARDS = {
+    "StageAggregate": (
+        "repro.telemetry.aggregate",
+        "SpanAggregate",
+        "repro.telemetry.aggregate.SpanAggregate",
+    ),
+    "aggregate_timings": (
+        "repro.survey.runner",
+        "aggregate_timings",
+        "repro.survey.aggregate_timings",
+    ),
+    "STAGE_FIELDS": (
+        "repro.survey.runner",
+        "STAGE_FIELDS",
+        "repro.survey.runner.STAGE_FIELDS",
+    ),
+}
 
-#: Alias kept for pre-telemetry callers; ``.stage`` mirrors ``.name``.
-StageAggregate = SpanAggregate
-
-#: Stage label → StageTimings field, in pipeline order.
-STAGE_FIELDS: tuple[tuple[str, str], ...] = (
-    ("cha_mapping", "cha_mapping_seconds"),
-    ("probe", "probe_seconds"),
-    ("solve", "solve_seconds"),
-)
+__all__ = list(_FORWARDS)
 
 
-def aggregate_timings(timings: Iterable[StageTimings]) -> dict[str, StageAggregate]:
-    """Fold per-instance stage timings into one aggregate per stage.
+def __getattr__(name: str) -> Any:
+    forward = _FORWARDS.get(name)
+    if forward is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr, canonical = forward
+    warnings.warn(
+        f"repro.survey.timing.{name} is deprecated; import {canonical} "
+        "instead (repro.survey.timing will be removed in 2.0)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
 
-    Returns an empty dict when no timings are supplied (e.g. a survey that
-    was served entirely from the PPIN cache).
-    """
-    aggregator = SpanAggregator()
-    for t in timings:
-        for stage, field in STAGE_FIELDS:
-            aggregator.add(stage, getattr(t, field))
-    return aggregator.stats()
+    return getattr(importlib.import_module(module_name), attr)

@@ -18,7 +18,12 @@ die; we substitute a lumped-RC thermal network over the tile grid:
 from repro.thermal.power import PowerModel
 from repro.thermal.ambient import OrnsteinUhlenbeckNoise
 from repro.thermal.sensors import SensorModel, quantize_temp
-from repro.thermal.rc_model import ThermalParams, ThermalSimulator
+from repro.thermal.rc_model import (
+    ThermalParams,
+    ThermalSimulator,
+    conduction_laplacian,
+    steady_state_coupling,
+)
 
 __all__ = [
     "PowerModel",
@@ -27,4 +32,6 @@ __all__ = [
     "quantize_temp",
     "ThermalParams",
     "ThermalSimulator",
+    "conduction_laplacian",
+    "steady_state_coupling",
 ]

@@ -32,6 +32,50 @@ from repro.thermal.power import PowerModel
 from repro.thermal.sensors import SensorModel
 
 
+def conduction_laplacian(grid: GridSpec, params: ThermalParams) -> np.ndarray:
+    """The conduction Laplacian ``L`` over ``grid`` in row-major tile order.
+
+    ``L = neighbour conductances + g_sink·I`` — exactly the matrix the
+    simulator integrates against. Shared with the placement layer, which
+    uses ``L⁻¹`` as the steady-state thermal-coupling kernel; keeping one
+    constructor guarantees the covert-pair objective and the simulated
+    channel agree on the physics.
+    """
+    coords = list(grid.coords())
+    index = {coord: i for i, coord in enumerate(coords)}
+    n = len(coords)
+    lap = np.zeros((n, n))
+    for coord, i in index.items():
+        lap[i, i] += params.g_sink
+        for d_row, d_col, g in (
+            (1, 0, params.g_vertical),
+            (0, 1, params.g_horizontal),
+        ):
+            nb = coord.step(d_row, d_col)
+            if grid.contains(nb):
+                j = index[nb]
+                lap[i, i] += g
+                lap[j, j] += g
+                lap[i, j] -= g
+                lap[j, i] -= g
+    return lap
+
+
+def steady_state_coupling(
+    grid: GridSpec, params: ThermalParams | None = None
+) -> np.ndarray:
+    """Steady-state temperature response matrix ``K = L⁻¹`` (K/W).
+
+    ``K[i, j]`` is the steady-state temperature rise at tile ``i`` (row-major
+    index) per watt dissipated at tile ``j`` — the physically grounded
+    "thermal coupling" a covert sender at ``j`` exerts on a receiver at
+    ``i``. Symmetric (L is), strongest for vertical neighbours because
+    ``g_vertical > g_horizontal`` (§V-A), and decaying with hop distance.
+    """
+    lap = conduction_laplacian(grid, params or ThermalParams())
+    return np.linalg.inv(lap)
+
+
 @dataclass(frozen=True)
 class ThermalParams:
     """Physical constants of the RC network (calibration in DESIGN.md §5)."""
@@ -108,20 +152,7 @@ class ThermalSimulator:
 
     # -- construction ------------------------------------------------------------
     def _build_laplacian(self) -> np.ndarray:
-        n = len(self._coords)
-        lap = np.zeros((n, n))
-        p = self.params
-        for coord, i in self._index.items():
-            lap[i, i] += p.g_sink
-            for d_row, d_col, g in ((1, 0, p.g_vertical), (0, 1, p.g_horizontal)):
-                nb = coord.step(d_row, d_col)
-                if self.grid.contains(nb):
-                    j = self._index[nb]
-                    lap[i, i] += g
-                    lap[j, j] += g
-                    lap[i, j] -= g
-                    lap[j, i] -= g
-        return lap
+        return conduction_laplacian(self.grid, self.params)
 
     def set_timestep(self, dt: float) -> None:
         """Fix the integration step (propagator recomputed exactly)."""

@@ -30,6 +30,12 @@ Subcommands:
   ``repro-map supervise --sku 8259CL -n 64 --store fleet/ --shards 4 --workers 2``
 * ``merge`` — combine shard stores into one canonical database and flag
   gaps: ``repro-map merge --store fleet/ --out maps.json``
+* ``place`` — solve a neighbor-aware placement (ROADMAP item 5) over the
+  recovered maps of a fleet: covert sender/receiver pair selection
+  (``--pairs K --objective coupling|hops``) or weighted co-tenant job
+  scheduling (``--jobs web:3,db:2``), ranked across instances, with the
+  same ``--solver`` surface as ``survey``:
+  ``repro-map place --store fleet/ --pairs 1 --solver portfolio``
 * ``stats`` — validate exported telemetry and summarise it (including
   ``supervisor_*`` counters and per-shard takeover counts when present):
   ``repro-map stats --trace spans.jsonl --metrics metrics.prom``
@@ -55,7 +61,8 @@ from repro.faults.crashpoints import (
     WriteCrashPoint,
 )
 from repro.faults.plan import chaos_plan
-from repro.ilp.backend import available_backends, backend_available
+from repro.ilp import available_backends, backend_available, backend_names
+from repro.placement import JobSpec, place_over_fleet
 from repro.platform.instance import CpuInstance
 from repro.platform.skus import SKU_CATALOG
 from repro.sim.factory import build_machine
@@ -85,6 +92,34 @@ from repro.telemetry.exporters import (
     write_trace_jsonl,
 )
 from repro.util.tables import format_table
+
+
+def _add_solver_argument(parser: argparse.ArgumentParser, purpose: str) -> None:
+    """The one ``--solver`` surface shared by ``survey`` and ``place``.
+
+    Choices come from the live backend registry, so a newly registered
+    backend is selectable everywhere without touching the CLI.
+    """
+    parser.add_argument(
+        "--solver",
+        choices=tuple(backend_names()),
+        default=None,
+        help=f"MILP backend for {purpose} (default: highs; "
+        "'portfolio' races every installed exact backend)",
+    )
+
+
+def _check_solver(name: str | None) -> bool:
+    """Availability gate behind every ``--solver`` flag; prints the hint."""
+    if name is None or backend_available(name):
+        return True
+    print(
+        f"solver backend {name!r} is not available on this host "
+        f"(installed: {', '.join(available_backends())}); "
+        "the cbc backend needs `pip install .[cbc]`",
+        file=sys.stderr,
+    )
+    return False
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -187,13 +222,7 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    if args.solver is not None and not backend_available(args.solver):
-        print(
-            f"solver backend {args.solver!r} is not available on this host "
-            f"(installed: {', '.join(available_backends())}); "
-            "the cbc backend needs `pip install .[cbc]`",
-            file=sys.stderr,
-        )
+    if not _check_solver(args.solver):
         return 2
     db = MapDatabase(args.db) if args.db else None
     faults = chaos_plan(args.instances, args.chaos, seed=args.chaos_seed) if args.chaos else None
@@ -358,6 +387,129 @@ def _cmd_survey(args: argparse.Namespace) -> int:
             print(f"{n_samples} metric samples written to {args.metrics_out}")
     if db is not None:
         print(f"{len(db)} maps stored in {args.db}")
+    return 0
+
+
+def _parse_jobs(spec: str) -> list[JobSpec]:
+    """Parse ``name[:weight],name[:weight],…`` into :class:`JobSpec` list."""
+    jobs = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            name, weight = part.rsplit(":", 1)
+            jobs.append(JobSpec(name.strip(), int(weight)))
+        else:
+            jobs.append(JobSpec(part))
+    if not jobs:
+        raise ValueError("--jobs is empty")
+    return jobs
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    if bool(args.db) == bool(args.store):
+        print("place needs exactly one of --db or --store", file=sys.stderr)
+        return 2
+    if not _check_solver(args.solver):
+        return 2
+    try:
+        jobs = _parse_jobs(args.jobs) if args.jobs else None
+        cores = (
+            [int(c) for c in args.cores.split(",")] if args.cores else None
+        )
+    except ValueError as exc:
+        print(f"bad --jobs/--cores: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.placement import load_fleet_maps
+
+    try:
+        maps = load_fleet_maps(args.db or args.store)
+    except (FileNotFoundError, SegmentStoreError) as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if args.ppin:
+        ppin = int(args.ppin, 0)
+        if ppin not in maps:
+            known = ", ".join(f"{p:#x}" for p in sorted(maps))
+            print(f"no map for PPIN {args.ppin} (stored: {known})", file=sys.stderr)
+            return 1
+        maps = {ppin: maps[ppin]}
+    if not maps:
+        print("the fleet source holds no recovered maps", file=sys.stderr)
+        return 1
+
+    tracer = Tracer() if (args.trace_out or args.metrics_out) else None
+    from repro.core.errors import PlacementInfeasible
+
+    try:
+        fleet = place_over_fleet(
+            maps,
+            jobs=jobs,
+            n_pairs=args.pairs,
+            objective=args.objective,
+            max_hops=args.max_hops,
+            allowed_cores=cores,
+            solver=args.solver,
+            tracer=tracer,
+        )
+        best_ppin, best = fleet.best
+    except PlacementInfeasible as exc:
+        print(f"placement infeasible: {exc}", file=sys.stderr)
+        return 1
+
+    if fleet.kind == "pairs":
+        rows = [
+            [
+                f"{ppin:#x}",
+                str(result.objective_value),
+                ", ".join(f"{p.sender}->{p.receiver}" for p in result.pairs),
+                ", ".join(f"{p.hops}h {p.orientation}" for p in result.pairs),
+                "best" if ppin == best_ppin else "",
+            ]
+            for ppin, result in fleet.results
+        ]
+        print(format_table(
+            ["ppin", "benefit", "pairs (os cores)", "route", ""], rows
+        ))
+        unit = "uK/W" if args.objective == "coupling" else "score"
+        top = best.best_pair()
+        print(
+            f"best instance {best_ppin:#x}: core {top.sender} -> core "
+            f"{top.receiver} ({top.hops} hop {top.orientation}, "
+            f"{top.benefit} {unit}; total {best.objective_value})"
+        )
+    else:
+        rows = [
+            [
+                f"{ppin:#x}",
+                str(result.max_link_load),
+                str(result.total_weighted_hops),
+                "best" if ppin == best_ppin else "",
+            ]
+            for ppin, result in fleet.results
+        ]
+        print(format_table(["ppin", "max link load", "weighted hops", ""], rows))
+        assign_rows = [
+            [a.job, str(a.os_core), f"({a.row},{a.col})"]
+            for a in best.assignment
+        ]
+        print(format_table(["job", "os core", "tile"], assign_rows))
+        print(
+            f"best instance {best_ppin:#x}: max link load "
+            f"{best.max_link_load}, total weighted hops "
+            f"{best.total_weighted_hops}"
+        )
+    if fleet.infeasible:
+        shown = ", ".join(f"{p:#x}" for p in fleet.infeasible)
+        print(f"infeasible on {len(fleet.infeasible)} instance(s): {shown}")
+
+    if tracer is not None:
+        if args.trace_out:
+            write_trace_jsonl(tracer.snapshot(), args.trace_out)
+        if args.metrics_out:
+            write_metrics_text(tracer.snapshot(), args.metrics_out)
     return 0
 
 
@@ -731,13 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable in-pipeline retries, vote-based re-measurement and ILP degradation",
     )
-    p_survey.add_argument(
-        "--solver",
-        choices=("highs", "bnb", "cbc", "portfolio"),
-        default=None,
-        help="MILP backend for the §II-C reconstruction (default: highs; "
-        "'portfolio' races every installed exact backend)",
-    )
+    _add_solver_argument(p_survey, "the §II-C reconstruction")
     p_survey.add_argument(
         "--retries", type=int, default=2, help="dispatch attempts per slot (first included)"
     )
@@ -766,6 +912,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the survey's counters/gauges as a Prometheus text exposition",
     )
     p_survey.set_defaults(func=_cmd_survey)
+
+    p_place = sub.add_parser(
+        "place",
+        help="solve a neighbor-aware placement over recovered maps",
+        description=(
+            "Consume recovered core maps (a --db map database or a --store "
+            "segment-store root) and solve a placement ILP on each "
+            "instance: covert sender/receiver pair selection by default, "
+            "or co-tenant job scheduling with --jobs. Prints the per-"
+            "instance ranking and the best instance's placement."
+        ),
+    )
+    p_place.add_argument("--db", help="PPIN-keyed map database JSON")
+    p_place.add_argument(
+        "--store", help="segment-store root (or one shard directory)"
+    )
+    p_place.add_argument(
+        "--ppin", help="place on this single instance only (hex or decimal)"
+    )
+    p_place.add_argument(
+        "--pairs", type=int, default=1, metavar="K",
+        help="select K non-interfering covert pairs (default 1)",
+    )
+    p_place.add_argument(
+        "--objective",
+        choices=("coupling", "hops"),
+        default="coupling",
+        help="pair objective: steady-state thermal coupling (uK/W) or a "
+        "hops/orientation score (default: coupling)",
+    )
+    p_place.add_argument(
+        "--max-hops", type=int, default=None, metavar="H",
+        help="only consider candidate pairs within H mesh hops",
+    )
+    p_place.add_argument(
+        "--jobs", metavar="NAME:W,...",
+        help="schedule these weighted jobs instead of selecting pairs "
+        "(e.g. 'web:3,db:2,batch:1')",
+    )
+    p_place.add_argument(
+        "--cores", metavar="C0,C1,...",
+        help="restrict placements to these OS cores",
+    )
+    _add_solver_argument(p_place, "the placement ILP")
+    p_place.add_argument(
+        "--trace-out", metavar="PATH",
+        help="export the placement telemetry spans as JSONL",
+    )
+    p_place.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="export the placement counters as a Prometheus text exposition",
+    )
+    p_place.set_defaults(func=_cmd_place)
 
     p_sup = sub.add_parser(
         "supervise",

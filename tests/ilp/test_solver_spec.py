@@ -1,0 +1,157 @@
+"""The unified solver-selection path: resolve_solver spec shapes and shims."""
+
+import warnings
+
+import pytest
+
+from repro.ilp import (
+    BackendSpec,
+    BackendUnavailable,
+    BranchBoundSolver,
+    ScipyMilpSolver,
+    SolverBackend,
+    resolve_solver,
+)
+from repro.ilp.backend import _LegacyBackendAdapter
+from repro.ilp.model import Model
+from repro.telemetry import Tracer
+
+
+def tiny_model():
+    m = Model()
+    x = m.add_integer("x", 0, 5)
+    y = m.add_integer("y", 0, 5)
+    m.add_constraint(x + y >= 3)
+    m.minimize(x + 2 * y)
+    return m
+
+
+class TestBackendSpecShape:
+    def test_spec_factory_invoked(self):
+        spec = BackendSpec(name="custom", factory=BranchBoundSolver, priority=50)
+        solver = resolve_solver(spec)
+        assert isinstance(solver, BranchBoundSolver)
+
+    def test_spec_need_not_be_registered(self):
+        built = []
+
+        def factory():
+            built.append(True)
+            return ScipyMilpSolver()
+
+        spec = BackendSpec(name="throwaway", factory=factory, priority=1)
+        assert isinstance(resolve_solver(spec), ScipyMilpSolver)
+        assert built == [True]
+
+    def test_unavailable_spec_raises(self):
+        spec = BackendSpec(
+            name="ghost",
+            factory=ScipyMilpSolver,
+            priority=1,
+            available=lambda: False,
+            doc="install nothing",
+        )
+        with pytest.raises(BackendUnavailable, match="ghost"):
+            resolve_solver(spec)
+
+    def test_broken_availability_probe_means_unavailable(self):
+        def probe():
+            raise OSError("binary exploded")
+
+        spec = BackendSpec(
+            name="broken", factory=ScipyMilpSolver, priority=1, available=probe
+        )
+        with pytest.raises(BackendUnavailable):
+            resolve_solver(spec)
+
+    def test_tracer_forwarded_when_accepted(self):
+        seen = {}
+
+        def factory(tracer=None):
+            seen["tracer"] = tracer
+            return BranchBoundSolver()
+
+        spec = BackendSpec(
+            name="traced", factory=factory, priority=1, accepts_tracer=True
+        )
+        tracer = Tracer()
+        resolve_solver(spec, tracer=tracer)
+        assert seen["tracer"] is tracer
+
+
+class TestDeprecatedShapes:
+    def test_solver_class_warns_and_instantiates(self):
+        with pytest.warns(DeprecationWarning, match="removed in 2.0"):
+            solver = resolve_solver(BranchBoundSolver)
+        assert isinstance(solver, BranchBoundSolver)
+
+    def test_bare_object_warns_and_is_adapted(self):
+        class OldSolver:
+            def solve(self, model):
+                return ScipyMilpSolver().solve(model)
+
+        with pytest.warns(DeprecationWarning, match="capability flags"):
+            adapted = resolve_solver(OldSolver())
+        assert isinstance(adapted, _LegacyBackendAdapter)
+        assert isinstance(adapted, SolverBackend)
+        # Conservative flags: no claims the wrapped object never made.
+        assert not adapted.is_exact
+        assert not adapted.supports_warm_start
+        assert not adapted.is_anytime
+
+    def test_adapter_tolerates_positional_only_solve(self):
+        class OldSolver:
+            def solve(self, model):
+                return ScipyMilpSolver().solve(model)
+
+        with pytest.warns(DeprecationWarning):
+            adapted = resolve_solver(OldSolver())
+        sol = adapted.solve(tiny_model(), warm_start=None, deadline=None)
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_protocol_conformant_instance_not_warned(self):
+        solver = BranchBoundSolver()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_solver(solver) is solver
+
+
+class TestPipelineSolverKwarg:
+    # The full-size reconstruction ILP is only tractable for the exact LP
+    # backends, so every shape below resolves to HiGHS — the point here is
+    # the *spec plumbing* through map_cpu, not backend agreement (the
+    # differential harnesses cover that on small models).
+    def test_map_cpu_accepts_every_spec_shape(self):
+        from repro.core.pipeline import map_cpu
+        from repro.platform import XEON_8259CL
+        from repro.sim import build_machine_for_sku
+
+        reference = map_cpu(build_machine_for_sku(XEON_8259CL, instance_seed=3))
+
+        spec = BackendSpec(name="custom", factory=ScipyMilpSolver, priority=1)
+        via_spec = map_cpu(
+            build_machine_for_sku(XEON_8259CL, instance_seed=3), solver=spec
+        )
+        assert via_spec.core_map.equivalent(reference.core_map)
+
+        with pytest.warns(DeprecationWarning, match="removed in 2.0"):
+            via_class = map_cpu(
+                build_machine_for_sku(XEON_8259CL, instance_seed=3),
+                solver=ScipyMilpSolver,
+            )
+        assert via_class.core_map.equivalent(reference.core_map)
+
+    def test_map_cpu_solver_overrides_config(self):
+        from repro.core.pipeline import MappingConfig, map_cpu
+        from repro.platform import XEON_8259CL
+        from repro.sim import build_machine_for_sku
+
+        config = MappingConfig(solver="portfolio")
+        result = map_cpu(
+            build_machine_for_sku(XEON_8259CL, instance_seed=3),
+            config=config,
+            solver="highs",
+        )
+        assert result.core_map is not None
+        # The caller's config object is never mutated by the override.
+        assert config.solver == "portfolio"

@@ -1,0 +1,160 @@
+"""Differential harness: placement ILP vs brute force on seeded small maps.
+
+Every available backend (the portfolio included) must produce a verdict
+byte-identical to the exhaustive reference on every instance of a seeded
+corpus of small recovered maps — grids up to 4x5, both pair objectives,
+single- and multi-pair selection, and weighted job schedules. Canonical
+pinning makes "same verdict" well-defined even when the optimum is
+degenerate, so the comparison is bytes, not just objective values.
+
+``REPRO_PLACEMENT_DIFF_CASES`` trims the corpus (CI smoke lanes run a
+reduced set); the default is 120 maps.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.core.errors import PlacementInfeasible
+from repro.ilp import available_backends
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.placement.problem import JobSchedule, JobSpec, PairSelection
+from repro.placement.reference import brute_force_pairs, brute_force_schedule
+from repro.placement.solve import solve_placement
+
+N_MAPS = int(os.environ.get("REPRO_PLACEMENT_DIFF_CASES", "120"))
+CHUNK = 10
+
+
+def generate_map(seed: int) -> CoreMap:
+    """One seeded small map: 2..4 rows, 2..5 cols, 3..6 cores."""
+    rng = random.Random(seed)
+    n_rows = rng.randint(2, 4)
+    n_cols = rng.randint(2, 5)
+    tiles = [TileCoord(r, c) for r in range(n_rows) for c in range(n_cols)]
+    k = min(rng.randint(3, 6), len(tiles))
+    coords = rng.sample(tiles, k)
+    os_ids = rng.sample(range(64), k)
+    return CoreMap(
+        grid=GridSpec(n_rows, n_cols),
+        cha_positions=dict(enumerate(coords)),
+        os_to_cha={os_id: cha for os_id, cha in zip(os_ids, range(k))},
+    )
+
+
+def pair_problem(seed: int, core_map: CoreMap) -> PairSelection:
+    """Problem parameters derived from the seed: both objectives, 1-2 pairs."""
+    return PairSelection(
+        core_map=core_map,
+        n_pairs=2 if seed % 3 == 0 else 1,
+        objective="coupling" if seed % 2 == 0 else "hops",
+        max_hops=2 if seed % 5 == 0 else None,
+    )
+
+
+def schedule_problem(seed: int, core_map: CoreMap) -> JobSchedule:
+    rng = random.Random(seed * 31 + 7)
+    n_jobs = min(2 + seed % 2, len(core_map.os_to_cha))
+    jobs = tuple(
+        JobSpec(f"job{i}", rng.randint(1, 4)) for i in range(n_jobs)
+    )
+    return JobSchedule(core_map=core_map, jobs=jobs)
+
+
+def lanes() -> list[str]:
+    return available_backends()
+
+
+class TestPairDifferential:
+    @pytest.mark.parametrize("chunk", range((N_MAPS + CHUNK - 1) // CHUNK))
+    def test_every_backend_matches_brute_force(self, chunk):
+        names = lanes()
+        assert names, "no solver backend available"
+        for seed in range(chunk * CHUNK, min((chunk + 1) * CHUNK, N_MAPS)):
+            problem = pair_problem(seed, generate_map(seed))
+            try:
+                reference = brute_force_pairs(problem)
+            except PlacementInfeasible:
+                reference = None
+            for name in names:
+                if reference is None:
+                    with pytest.raises(PlacementInfeasible):
+                        solve_placement(problem, solver=name)
+                    continue
+                result = solve_placement(problem, solver=name)
+                assert result.verdict() == reference.verdict(), (
+                    f"seed {seed} ({problem.objective}, n_pairs="
+                    f"{problem.n_pairs}): {name} diverged from brute force"
+                )
+                assert result.objective_value == reference.objective_value
+
+
+class TestScheduleDifferential:
+    @pytest.mark.parametrize("chunk", range((N_MAPS + CHUNK - 1) // CHUNK))
+    def test_every_backend_matches_brute_force(self, chunk):
+        names = lanes()
+        for seed in range(chunk * CHUNK, min((chunk + 1) * CHUNK, N_MAPS)):
+            problem = schedule_problem(seed, generate_map(seed))
+            reference = brute_force_schedule(problem)
+            for name in names:
+                result = solve_placement(problem, solver=name)
+                assert result.verdict() == reference.verdict(), (
+                    f"seed {seed}: {name} diverged from brute force"
+                )
+                assert result.max_link_load == reference.max_link_load
+                assert (
+                    result.total_weighted_hops == reference.total_weighted_hops
+                )
+
+
+class TestCorpusShape:
+    def test_corpus_reaches_the_4x5_bound(self):
+        grids = {
+            (m.grid.n_rows, m.grid.n_cols)
+            for m in (generate_map(s) for s in range(N_MAPS))
+        }
+        assert (4, 5) in grids
+        assert len(grids) > 4
+
+    def test_corpus_exercises_both_objectives_and_multi_pair(self):
+        problems = [pair_problem(s, generate_map(s)) for s in range(24)]
+        assert {p.objective for p in problems} == {"coupling", "hops"}
+        assert {p.n_pairs for p in problems} == {1, 2}
+        assert any(p.max_hops is not None for p in problems)
+
+    def test_corpus_contains_an_infeasible_multi_pair_case(self):
+        found = 0
+        for seed in range(N_MAPS):
+            problem = pair_problem(seed, generate_map(seed))
+            if problem.n_pairs == 1:
+                continue
+            try:
+                brute_force_pairs(problem)
+            except PlacementInfeasible:
+                found += 1
+        # 2 pairs on a 3-core map can never be core-disjoint: the corpus
+        # must exercise the infeasible agreement path, not just optima.
+        assert found > 0
+
+
+class TestPortfolioIdentity:
+    def test_portfolio_and_bnb_verdicts_byte_identical(self):
+        for seed in range(0, 30, 3):
+            core_map = generate_map(seed)
+            problem = pair_problem(seed, core_map)
+            try:
+                via_bnb = solve_placement(problem, solver="bnb")
+            except PlacementInfeasible:
+                with pytest.raises(PlacementInfeasible):
+                    solve_placement(problem, solver="portfolio")
+                continue
+            via_portfolio = solve_placement(problem, solver="portfolio")
+            assert via_portfolio.verdict() == via_bnb.verdict(), f"seed {seed}"
+
+            schedule = schedule_problem(seed, core_map)
+            assert (
+                solve_placement(schedule, solver="portfolio").verdict()
+                == solve_placement(schedule, solver="bnb").verdict()
+            ), f"seed {seed}"

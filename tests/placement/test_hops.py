@@ -1,0 +1,144 @@
+"""HopMatrix: the shared pairwise hop/route view of a core map."""
+
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.experiments.common import find_hop_pair
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.mesh.hops import HopMatrix, route_links
+from repro.platform import SKU_CATALOG, CpuInstance
+
+
+@pytest.fixture
+def core_map():
+    """Five cores (plus one LLC-only CHA) on a 3x3 grid::
+
+        10/0   --    11/1
+        12/2  13/3    --
+        LLC/5  --    14/4
+    """
+    return CoreMap(
+        grid=GridSpec(3, 3),
+        cha_positions={
+            0: TileCoord(0, 0),
+            1: TileCoord(0, 2),
+            2: TileCoord(1, 0),
+            3: TileCoord(1, 1),
+            4: TileCoord(2, 2),
+            5: TileCoord(2, 0),
+        },
+        os_to_cha={10: 0, 11: 1, 12: 2, 13: 3, 14: 4},
+        llc_only_chas=frozenset({5}),
+    )
+
+
+@pytest.fixture
+def matrix(core_map):
+    return HopMatrix.from_core_map(core_map)
+
+
+class TestConstruction:
+    def test_cores_ascend_and_coords_parallel(self, matrix):
+        assert matrix.cores == (10, 11, 12, 13, 14)
+        assert matrix.coord_of(10) == TileCoord(0, 0)
+        assert matrix.coord_of(14) == TileCoord(2, 2)
+        assert matrix.n_cores == 5
+
+    def test_llc_only_chas_are_not_cores(self, matrix):
+        # CHA 5 has no core behind it: absent from the matrix entirely.
+        assert matrix.core_at(TileCoord(2, 0)) is None
+
+    def test_core_at_roundtrip(self, matrix):
+        for core in matrix.cores:
+            assert matrix.core_at(matrix.coord_of(core)) == core
+
+
+class TestDistance:
+    def test_hops_is_manhattan(self, matrix):
+        assert matrix.hops(10, 12) == 1
+        assert matrix.hops(10, 11) == 2
+        assert matrix.hops(10, 14) == 4
+        assert matrix.hops(12, 13) == 1
+
+    def test_offset_is_signed(self, matrix):
+        assert matrix.offset(10, 14) == (2, 2)
+        assert matrix.offset(14, 10) == (-2, -2)
+        assert matrix.offset(10, 12) == (1, 0)
+
+    def test_orientation_labels(self, matrix):
+        assert matrix.orientation(10, 12) == "vertical"
+        assert matrix.orientation(10, 11) == "horizontal"
+        assert matrix.orientation(10, 13) == "mixed"
+        assert matrix.orientation(13, 13) == "same"
+
+    def test_as_array_matches_scalar_hops(self, matrix):
+        arr = matrix.as_array()
+        assert arr.shape == (5, 5)
+        for i, a in enumerate(matrix.cores):
+            for j, b in enumerate(matrix.cores):
+                assert arr[i, j] == matrix.hops(a, b)
+        assert (arr == arr.T).all()
+        assert (arr.diagonal() == 0).all()
+
+
+class TestPairEnumeration:
+    def test_pair_at_offset_scans_ascending_os_ids(self, matrix):
+        # Both (10 -> 12) and (13 -> at (2,1)? none) match (1, 0); the
+        # scan starts at the lowest OS ID, so 10 wins.
+        assert matrix.pair_at_offset(1, 0) == (10, 12)
+        assert matrix.pair_at_offset(0, 2) == (10, 11)
+        assert matrix.pair_at_offset(5, 0) is None
+
+    def test_pair_at_offset_matches_find_hop_pair(self, core_map, matrix):
+        for d_row in range(-2, 3):
+            for d_col in range(-2, 3):
+                assert matrix.pair_at_offset(d_row, d_col) == find_hop_pair(
+                    core_map, d_row, d_col
+                ), (d_row, d_col)
+
+    def test_pair_at_offset_matches_find_hop_pair_on_real_sku(self):
+        # Ground truth of a generated 8259CL instance: the figure-7
+        # experiment's pair choice must be unchanged by the delegation.
+        instance = CpuInstance.generate(SKU_CATALOG["8259CL"], 12345)
+        core_map = CoreMap.from_instance(instance)
+        matrix = HopMatrix.from_core_map(core_map)
+        for hops in (1, 2, 3):
+            for d in ((hops, 0), (0, hops)):
+                assert matrix.pair_at_offset(*d) == find_hop_pair(core_map, *d)
+
+    def test_pairs_are_ordered_and_capped(self, matrix):
+        all_pairs = matrix.pairs()
+        assert len(all_pairs) == 5 * 4
+        near = matrix.pairs(max_hops=1)
+        assert set(near) == {(10, 12), (12, 10), (12, 13), (13, 12)}
+
+    def test_pairs_with_hops_and_orientation(self, matrix):
+        vertical_1 = matrix.pairs_with(1, "vertical")
+        assert set(vertical_1) == {(10, 12), (12, 10)}
+        assert matrix.pairs_with(2, "horizontal") == [(10, 11), (11, 10)]
+
+
+class TestRoutes:
+    def test_route_links_count_equals_hops(self, matrix):
+        for a in matrix.cores:
+            for b in matrix.cores:
+                if a != b:
+                    assert len(matrix.links(a, b)) == matrix.hops(a, b)
+
+    def test_links_are_directed(self, matrix):
+        # The BL rings are per-direction: the reverse route occupies the
+        # opposite-direction channels, so forward and reverse are disjoint.
+        assert not matrix.links(10, 14) & matrix.links(14, 10)
+
+    def test_y_first_route_shape(self):
+        links = route_links(TileCoord(0, 0), TileCoord(2, 1))
+        # Vertical first (column 0 down to row 2), then one horizontal hop.
+        assert (TileCoord(0, 0), TileCoord(1, 0)) in links
+        assert (TileCoord(1, 0), TileCoord(2, 0)) in links
+        assert (TileCoord(2, 0), TileCoord(2, 1)) in links
+
+    def test_interference_is_shared_directed_link(self, matrix):
+        # 10 -> 12 and 10 -> 14 both start down column 0: interfere.
+        assert matrix.interferes((10, 12), (10, 14))
+        # Opposite directions on the same column segment do not.
+        assert not matrix.interferes((10, 12), (12, 10))

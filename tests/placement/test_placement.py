@@ -1,0 +1,180 @@
+"""Placement solves: objectives, canonicalization, failure modes, telemetry."""
+
+import pytest
+
+from repro.core.coremap import CoreMap
+from repro.core.errors import PlacementInfeasible
+from repro.mesh.geometry import GridSpec, TileCoord
+from repro.placement import (
+    JobSpec,
+    PairSelection,
+    place_pairs,
+    schedule_jobs,
+    solve_placement,
+)
+from repro.placement.problem import JobSchedule
+from repro.placement.reference import brute_force_pairs, brute_force_schedule
+from repro.telemetry import Tracer
+
+
+@pytest.fixture
+def core_map():
+    """Six cores on a 3x3 grid; (20, 23) is the only vertical 1-hop pair
+    whose column also carries the least slice traffic asymmetry::
+
+        20/0  21/1  22/2
+        23/3   --   24/4
+         --    --   25/5
+    """
+    return CoreMap(
+        grid=GridSpec(3, 3),
+        cha_positions={
+            0: TileCoord(0, 0),
+            1: TileCoord(0, 1),
+            2: TileCoord(0, 2),
+            3: TileCoord(1, 0),
+            4: TileCoord(1, 2),
+            5: TileCoord(2, 2),
+        },
+        os_to_cha={20: 0, 21: 1, 22: 2, 23: 3, 24: 4, 25: 5},
+    )
+
+
+class TestPairSelection:
+    def test_coupling_picks_a_vertical_neighbor(self, core_map):
+        result = place_pairs(core_map)
+        assert result.kind == "pairs"
+        best = result.best_pair()
+        assert best.hops == 1
+        assert best.orientation == "vertical"
+        assert {best.sender, best.receiver} in ({20, 23}, {22, 24}, {24, 25})
+        assert result.objective_value == best.benefit > 0
+
+    def test_hops_objective_prefers_vertical_over_horizontal(self, core_map):
+        result = place_pairs(core_map, objective="hops")
+        best = result.best_pair()
+        assert best.hops == 1 and best.orientation == "vertical"
+        # grid span 4, 1 hop, vertical bonus 3: 4 * (4 - 1) + 3.
+        assert best.benefit == 15
+
+    def test_matches_brute_force_verdict(self, core_map):
+        problem = PairSelection(core_map=core_map, n_pairs=2, objective="hops")
+        assert (
+            solve_placement(problem).verdict()
+            == brute_force_pairs(problem).verdict()
+        )
+
+    def test_two_pairs_are_core_and_route_disjoint(self, core_map):
+        result = place_pairs(core_map, 2, objective="hops")
+        assert len(result.pairs) == 2
+        cores = [p.sender for p in result.pairs] + [p.receiver for p in result.pairs]
+        assert len(set(cores)) == 4
+
+    def test_max_hops_filters_candidates(self, core_map):
+        result = place_pairs(core_map, objective="hops", max_hops=1)
+        assert result.best_pair().hops == 1
+
+    def test_allowed_cores_restricts_selection(self, core_map):
+        result = place_pairs(core_map, allowed_cores=[20, 21, 22])
+        chosen = {result.best_pair().sender, result.best_pair().receiver}
+        assert chosen <= {20, 21, 22}
+
+    def test_unknown_allowed_core_raises(self, core_map):
+        with pytest.raises(ValueError, match="not mapped OS cores"):
+            place_pairs(core_map, allowed_cores=[20, 99])
+
+    def test_too_many_pairs_is_infeasible(self, core_map):
+        # Six cores support at most three core-disjoint pairs.
+        with pytest.raises(PlacementInfeasible):
+            place_pairs(core_map, 4, objective="hops")
+
+    def test_invalid_objective_rejected(self, core_map):
+        with pytest.raises(ValueError, match="unknown pair objective"):
+            place_pairs(core_map, objective="latency")
+
+    def test_non_canonical_same_objective(self, core_map):
+        canonical = place_pairs(core_map, 2, objective="hops")
+        loose = place_pairs(core_map, 2, objective="hops", canonical=False)
+        assert loose.objective_value == canonical.objective_value
+        assert loose.n_solves < canonical.n_solves
+
+
+class TestJobSchedule:
+    def test_matches_brute_force_verdict(self, core_map):
+        jobs = (JobSpec("web", 3), JobSpec("db", 2), JobSpec("batch", 1))
+        problem = JobSchedule(core_map=core_map, jobs=jobs)
+        ilp = solve_placement(problem)
+        ref = brute_force_schedule(problem)
+        assert ilp.verdict() == ref.verdict()
+        assert ilp.max_link_load == ref.max_link_load
+        assert ilp.total_weighted_hops == ref.total_weighted_hops
+
+    def test_tuple_jobs_accepted(self, core_map):
+        result = schedule_jobs(core_map, [("web", 2), ("db", 1)])
+        assert {a.job for a in result.assignment} == {"web", "db"}
+        placed = {a.job: a.os_core for a in result.assignment}
+        assert len(set(placed.values())) == 2
+
+    def test_assignment_rows_match_map(self, core_map):
+        result = schedule_jobs(core_map, [("solo", 1)])
+        (placement,) = result.assignment
+        coord = core_map.position_of_os_core(placement.os_core)
+        assert (placement.row, placement.col) == (coord.row, coord.col)
+
+    def test_more_jobs_than_cores_is_infeasible(self, core_map):
+        jobs = [(f"j{i}", 1) for i in range(7)]
+        with pytest.raises(PlacementInfeasible, match="7 jobs"):
+            schedule_jobs(core_map, jobs)
+
+    def test_duplicate_job_names_rejected(self, core_map):
+        with pytest.raises(ValueError, match="unique"):
+            schedule_jobs(core_map, [("web", 1), ("web", 2)])
+
+    def test_job_weight_must_be_positive_int(self):
+        with pytest.raises(ValueError, match="weight"):
+            JobSpec("web", 0)
+        with pytest.raises(ValueError, match="weight"):
+            JobSpec("web", 1.5)
+
+    def test_uniform_weight_scaling_scales_loads_not_assignment(self, core_map):
+        # Loads are linear in the weights, so doubling every weight keeps
+        # the optimal assignment and exactly doubles both diagnostics.
+        base = schedule_jobs(core_map, [("web", 2), ("db", 1)])
+        doubled = schedule_jobs(core_map, [("web", 4), ("db", 2)])
+        assert doubled.assignment == base.assignment
+        assert doubled.max_link_load == 2 * base.max_link_load
+        assert doubled.total_weighted_hops == 2 * base.total_weighted_hops
+
+
+class TestTelemetry:
+    def test_spans_and_counters(self, core_map):
+        tracer = Tracer()
+        result = place_pairs(core_map, tracer=tracer)
+        snap = tracer.snapshot()
+        assert "placement_solve" in snap.span_names()
+        assert (
+            snap.counter_value("placement_solves_total", kind="pairs")
+            == result.n_solves
+        )
+
+    def test_infeasible_counter(self, core_map):
+        tracer = Tracer()
+        with pytest.raises(PlacementInfeasible):
+            schedule_jobs(core_map, [(f"j{i}", 1) for i in range(9)], tracer=tracer)
+        snap = tracer.snapshot()
+        assert (
+            snap.counter_value("placement_infeasible_total", kind="schedule") == 1
+        )
+
+
+class TestVerdict:
+    def test_verdict_excludes_solver_diagnostics(self, core_map):
+        a = place_pairs(core_map, solver="highs")
+        b = place_pairs(core_map, solver="bnb")
+        assert a.solver_name != b.solver_name
+        assert a.verdict() == b.verdict()
+
+    def test_verdict_is_stable_bytes(self, core_map):
+        v = place_pairs(core_map).verdict()
+        assert isinstance(v, bytes)
+        assert v == place_pairs(core_map).verdict()

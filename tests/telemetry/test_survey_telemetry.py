@@ -8,7 +8,6 @@ import pytest
 from repro.core.pipeline import StageTimings
 from repro.platform import XEON_8259CL
 from repro.survey import SurveyRunner, aggregate_timings
-from repro.survey.timing import StageAggregate
 from repro.telemetry import Tracer
 from repro.telemetry.aggregate import SpanAggregate
 from repro.telemetry.exporters import (
@@ -130,8 +129,22 @@ class TestCliTelemetryExport:
 
 
 class TestTimingCompatLayer:
-    def test_stage_aggregate_is_span_aggregate(self):
-        assert StageAggregate is SpanAggregate
+    def test_stage_aggregate_is_span_aggregate_and_warns(self):
+        # The repro.survey.timing shim is deprecated: every attribute
+        # access must emit a DeprecationWarning but keep resolving to the
+        # canonical object until the 2.0 removal.
+        from repro.survey import timing
+
+        with pytest.warns(DeprecationWarning, match="removed in 2.0"):
+            assert timing.StageAggregate is SpanAggregate
+        with pytest.warns(DeprecationWarning, match="aggregate_timings"):
+            assert timing.aggregate_timings is aggregate_timings
+
+    def test_package_level_stage_aggregate_still_resolves(self):
+        import repro.survey
+
+        with pytest.warns(DeprecationWarning):
+            assert repro.survey.StageAggregate is SpanAggregate
 
     def test_aggregate_timings_matches_old_shape(self):
         timings = [StageTimings(1.0, 2.0, 3.0), StageTimings(2.0, 1.0, 5.0)]
